@@ -1,0 +1,47 @@
+//! # ditto-apps — the five evaluated applications (Table I)
+//!
+//! Each application is a [`DittoApp`](ditto_core::DittoApp) specification —
+//! the high-level code a developer would write against the Ditto
+//! programming interface (the paper's Listing 2), with the routing rule,
+//! the PE processing body and the merge operator:
+//!
+//! | App | Description (Table I) | Routing | PE buffer |
+//! |---|---|---|---|
+//! | [`HistoApp`] | equi-width histograms | bin mod M | bin-count slice |
+//! | [`DataPartitionApp`] | radix partitioning | partition mod M | staging buffers |
+//! | [`PageRankApp`] | fixed-point PageRank | dst-vertex mod M | next-rank slice |
+//! | [`HllApp`] | murmur3 HyperLogLog | register mod M | register slice |
+//! | [`HhdApp`] | count-min heavy hitters | key-hash mod M | CMS + candidates |
+//!
+//! All five are *decomposable* in the merger's sense except data
+//! partitioning, whose merge concatenates staged output — the paper's
+//! "PrePEs and SecPEs output results to their own memory space".
+//!
+//! # Example
+//!
+//! ```
+//! use ditto_apps::HistoApp;
+//! use ditto_core::{ArchConfig, SkewObliviousPipeline};
+//! use datagen::ZipfGenerator;
+//!
+//! let data = ZipfGenerator::new(1.0, 1 << 16, 5).take_vec(20_000);
+//! let cfg = ArchConfig::new(4, 8, 3).with_pe_entries(32 / 8);
+//! let app = HistoApp::new(32, 8);
+//! let out = SkewObliviousPipeline::run_dataset(app, data, &cfg);
+//! assert_eq!(out.output.iter().sum::<u64>(), 20_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dp;
+mod hhd;
+mod histo;
+mod hll;
+mod pagerank;
+
+pub use dp::DataPartitionApp;
+pub use hhd::HhdApp;
+pub use histo::HistoApp;
+pub use hll::HllApp;
+pub use pagerank::{run_pagerank, PageRankApp, PageRankResult};

@@ -1,0 +1,44 @@
+//! All five applications at the paper shape on uniform data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datagen::UniformGenerator;
+use ditto_apps::{DataPartitionApp, HhdApp, HistoApp, HllApp};
+use ditto_core::{ArchConfig, SkewObliviousPipeline};
+
+fn apps_uniform(c: &mut Criterion) {
+    let n = 10_000usize;
+    let data = UniformGenerator::new(1 << 20, 3).take_vec(n);
+    let mut group = c.benchmark_group("apps_uniform");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n as u64));
+
+    group.bench_function(BenchmarkId::from_parameter("histo"), |b| {
+        let app = HistoApp::new(1_024, 16);
+        let cfg = ArchConfig::paper(0).with_pe_entries(app.pe_entries());
+        b.iter(|| SkewObliviousPipeline::run_dataset(app.clone(), data.clone(), &cfg).report.tuples);
+    });
+    group.bench_function(BenchmarkId::from_parameter("dp"), |b| {
+        let app = DataPartitionApp::new(256, 8);
+        let cfg = ArchConfig::new(8, 8, 0).with_pe_entries(app.pe_entries());
+        b.iter(|| SkewObliviousPipeline::run_dataset(app.clone(), data.clone(), &cfg).report.tuples);
+    });
+    group.bench_function(BenchmarkId::from_parameter("hll"), |b| {
+        let app = HllApp::new(12, 16);
+        let cfg = ArchConfig::paper(0).with_pe_entries(app.pe_entries());
+        b.iter(|| SkewObliviousPipeline::run_dataset(app.clone(), data.clone(), &cfg).report.tuples);
+    });
+    group.bench_function(BenchmarkId::from_parameter("hhd"), |b| {
+        let app = HhdApp::new(4, 256, 500, 16);
+        let cfg = ArchConfig::paper(0).with_pe_entries(app.pe_entries());
+        b.iter(|| SkewObliviousPipeline::run_dataset(app.clone(), data.clone(), &cfg).report.tuples);
+    });
+    group.bench_function(BenchmarkId::from_parameter("pagerank_iter"), |b| {
+        let g = ditto_graph::generate::uniform(1_024, 8.0, 5);
+        let cfg = ArchConfig::paper(0);
+        b.iter(|| ditto_apps::run_pagerank(&g, 0.85, 1, &cfg).reports[0].tuples);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, apps_uniform);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Microbenchmark: Zipf tuple generation (exact inverse-CDF sampling).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datagen::ZipfGenerator;
+
+fn datagen_zipf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datagen_zipf");
+    group.throughput(Throughput::Elements(10_000));
+    for alpha in [0.0f64, 1.0, 3.0] {
+        group.bench_with_input(BenchmarkId::new("alpha", alpha), &alpha, |b, &a| {
+            let mut g = ZipfGenerator::new(a, 1 << 20, 9);
+            b.iter(|| g.take_vec(10_000));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, datagen_zipf);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Microbenchmark: the mapper's table lookup + round-robin redirect.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ditto_core::mapper::Mapper;
+use std::hint::black_box;
+
+fn mapper_redirect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapper_redirect");
+    group.throughput(Throughput::Elements(1_000));
+    for x in [0u32, 7, 15] {
+        group.bench_with_input(BenchmarkId::new("x_sec", x), &x, |b, &x| {
+            let mut m = Mapper::new(16, x);
+            for s in 0..x {
+                m.apply_pair(16 + s, s % 16);
+            }
+            b.iter(|| {
+                let mut acc = 0u32;
+                for i in 0..1_000u32 {
+                    acc = acc.wrapping_add(m.redirect(black_box(i % 16)));
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, mapper_redirect);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Microbenchmark: greedy SecPE plan generation (Fig. 5 algorithm).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ditto_core::SchedulingPlan;
+use std::hint::black_box;
+
+fn profiler_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profiler_plan");
+    for m in [16u32, 64, 256] {
+        let workloads: Vec<u64> = (0..m as u64).map(|i| (i * 37 + 11) % 1000).collect();
+        group.bench_with_input(BenchmarkId::new("generate_m", m), &m, |b, &m| {
+            b.iter(|| SchedulingPlan::generate(black_box(&workloads), m, m - 1));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, profiler_plan);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Pipeline throughput: uniform vs extreme skew, with/without SecPEs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datagen::{UniformGenerator, ZipfGenerator};
+use ditto_apps::HistoApp;
+use ditto_core::{ArchConfig, SkewObliviousPipeline};
+
+fn routing_throughput(c: &mut Criterion) {
+    let n = 20_000usize;
+    let mut group = c.benchmark_group("routing_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n as u64));
+
+    for (name, alpha, x) in [
+        ("uniform_16p", 0.0, 0u32),
+        ("zipf3_16p", 3.0, 0),
+        ("zipf3_16p15s", 3.0, 15),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let data = if alpha == 0.0 {
+                UniformGenerator::new(1 << 20, 7).take_vec(n)
+            } else {
+                ZipfGenerator::new(alpha, 1 << 20, 7).take_vec(n)
+            };
+            let app = HistoApp::new(1_024, 16);
+            let cfg = ArchConfig::paper(x).with_pe_entries(app.pe_entries());
+            b.iter(|| {
+                SkewObliviousPipeline::run_dataset(app.clone(), data.clone(), &cfg)
+                    .report
+                    .tuples
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, routing_throughput);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Ablations: Zipf sweep, channel-depth and profiling-window sensitivity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::ZipfGenerator;
+use ditto_apps::HistoApp;
+use ditto_core::{ArchConfig, SkewObliviousPipeline};
+
+fn simulated_cycles(cfg: &ArchConfig, alpha: f64, n: usize) -> u64 {
+    let app = HistoApp::new(1_024, cfg.m_pri);
+    let data = ZipfGenerator::new(alpha, 1 << 18, 13).take_vec(n);
+    let cfg = cfg.clone().with_pe_entries((1_024 / u64::from(cfg.m_pri)) as usize);
+    SkewObliviousPipeline::run_dataset(app, data, &cfg).report.cycles
+}
+
+fn skew_sweep(c: &mut Criterion) {
+    let n = 10_000usize;
+    let mut group = c.benchmark_group("skew_sweep");
+    group.sample_size(10);
+    for alpha in [0.0f64, 1.0, 2.0, 3.0] {
+        group.bench_with_input(BenchmarkId::new("alpha", alpha), &alpha, |b, &a| {
+            b.iter(|| simulated_cycles(&ArchConfig::paper(4), a, n));
+        });
+    }
+    // Ablation: PE queue depth under skew (channel absorption).
+    for depth in [32usize, 128, 512] {
+        group.bench_with_input(BenchmarkId::new("pe_queue_depth", depth), &depth, |b, &d| {
+            let cfg = ArchConfig::paper(4).with_pe_queue_depth(d);
+            b.iter(|| simulated_cycles(&cfg, 2.0, n));
+        });
+    }
+    // Ablation: profiling window length.
+    for window in [64u64, 256, 1024] {
+        group.bench_with_input(BenchmarkId::new("profile_cycles", window), &window, |b, &w| {
+            let cfg = ArchConfig::paper(4).with_profile_cycles(w);
+            b.iter(|| simulated_cycles(&cfg, 2.0, n));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, skew_sweep);
+criterion_main!(benches);

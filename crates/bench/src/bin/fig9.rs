@@ -1,0 +1,92 @@
+//! Fig. 9 — evolving data skew: HISTO (16P+15S) throughput and reschedule
+//! count vs the time interval of workload-distribution changes, against a
+//! 100 Gbps network-rate source, with the no-skew-handling baseline.
+//!
+//! Scaling note: the paper's kernel dequeue/enqueue overhead is on the
+//! order of a millisecond (hundreds of thousands of cycles); simulating the
+//! paper's full 512 ms intervals at cycle granularity would be needlessly
+//! slow, so the harness scales the overhead down (default 20 000 cycles ≈
+//! 0.1 ms at ~200 MHz) and sweeps intervals around it. The three regimes of
+//! Fig. 9 are preserved relative to the overhead: full bandwidth when the
+//! interval ≫ overhead, a deep dip when they are comparable, and recovery
+//! at sub-microsecond intervals where the internal channels absorb the
+//! short-lived hot spots and rescheduling auto-disables.
+
+use datagen::EvolvingZipfStream;
+use ditto_apps::HistoApp;
+use ditto_bench::{freq_of, print_header, row};
+use ditto_core::{ArchConfig, SkewObliviousPipeline};
+use fpga_model::AppCostProfile;
+
+/// Gbps carried by `tpc` 8-byte tuples/cycle at `freq` MHz.
+fn gbps(tpc: f64, freq_mhz: f64) -> f64 {
+    tpc * 8.0 * 8.0 * freq_mhz / 1_000.0
+}
+
+fn main() {
+    let overhead: u64 = std::env::var("DITTO_REQUEUE_OVERHEAD")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+    let bins = 4_096u64;
+    let m = 16u32;
+    let freq = freq_of(8, 16, 15, &AppCostProfile::histo());
+    let base_freq = freq_of(8, 16, 0, &AppCostProfile::histo());
+    let us_per_kcycle = 1_000.0 / freq; // µs per 1000 cycles
+
+    println!("# Fig. 9 — HISTO under evolving data skew (α = 3, hot set rotates)");
+    println!("\nrequeue overhead = {overhead} cycles ({:.0} µs at {freq:.0} MHz);", overhead as f64 * us_per_kcycle / 1_000.0);
+    println!("peak network bandwidth = {:.0} Gbps (8 tuples/cycle).", gbps(8.0, freq));
+
+    print_header(
+        "Throughput vs hot-set rotation interval",
+        &[
+            "interval (cycles)",
+            "interval (µs)",
+            "Ditto 16P+15S (Gbps)",
+            "reschedules",
+            "w/o skew handling (Gbps)",
+        ],
+    );
+
+    // Sweep from intervals far above the overhead down to a few cycles.
+    let mut interval = overhead * 64;
+    while interval >= 8 {
+        let run_cycles = (interval.saturating_mul(6)).clamp(400_000, 3_000_000);
+
+        let app = HistoApp::new(bins, m);
+        let cfg = ArchConfig::paper(15)
+            .with_pe_entries(app.pe_entries())
+            .with_reschedule(0.5, overhead)
+            .with_profile_cycles(256)
+            .with_monitor_window(4_096);
+        let stream = EvolvingZipfStream::new(3.0, 1 << 22, 777, interval, 8.0, None);
+        let out = SkewObliviousPipeline::run_stream_for(app, Box::new(stream), &cfg, run_cycles);
+
+        let base_app = HistoApp::new(bins, m);
+        let base_cfg = ArchConfig::paper(0).with_pe_entries(base_app.pe_entries());
+        let base_stream = EvolvingZipfStream::new(3.0, 1 << 22, 777, interval, 8.0, None);
+        let base = SkewObliviousPipeline::run_stream_for(
+            base_app,
+            Box::new(base_stream),
+            &base_cfg,
+            run_cycles,
+        );
+
+        println!(
+            "{}",
+            row(&[
+                format!("{interval}"),
+                format!("{:.2}", interval as f64 / freq),
+                format!("{:.1}", gbps(out.report.tuples_per_cycle(), freq)),
+                format!("{}", out.report.reschedules),
+                format!("{:.1}", gbps(base.report.tuples_per_cycle(), base_freq)),
+            ])
+        );
+        interval /= 4;
+    }
+    println!("\nPaper anchors: ~100 Gbps when interval >= 16 ms; deep dip while the");
+    println!("interval is comparable to the rescheduling overhead (SecPEs sit idle);");
+    println!("recovery at tiny intervals (channels absorb short bursts, rescheduling");
+    println!("stops); baseline without skew handling stays ~1/16 of peak throughout.");
+}

@@ -1,0 +1,46 @@
+//! Table I — application details, printed from the implemented specs.
+
+use ditto_bench::{print_header, row};
+
+fn main() {
+    println!("# Table I — application details");
+    print_header(
+        "Evaluated applications",
+        &["App.", "Description", "Algorithm details", "Crate item"],
+    );
+    let rows: [(&str, &str, &str, &str); 5] = [
+        (
+            "HISTO",
+            "Represents the distribution of numerical data",
+            "equi-width histograms (murmur3 binning)",
+            "ditto_apps::HistoApp",
+        ),
+        (
+            "DP",
+            "Separates a big dataset into many chunks",
+            "radix hash partitioning",
+            "ditto_apps::DataPartitionApp",
+        ),
+        (
+            "PR",
+            "Scores the importance of websites by links",
+            "fixed-point (Q32.32) PageRank",
+            "ditto_apps::PageRankApp",
+        ),
+        (
+            "HLL",
+            "Estimates the cardinality of big datasets",
+            "murmur3-hash HyperLogLog",
+            "ditto_apps::HllApp",
+        ),
+        (
+            "HHD",
+            "Detects heavy hitters in data streams",
+            "count-min sketch + candidates",
+            "ditto_apps::HhdApp",
+        ),
+    ];
+    for (app, desc, alg, item) in rows {
+        println!("{}", row(&[app.into(), desc.into(), alg.into(), item.into()]));
+    }
+}

@@ -1,0 +1,94 @@
+//! # ditto-bench — experiment harness shared helpers
+//!
+//! One binary per paper table/figure regenerates the corresponding result:
+//!
+//! | Binary | Regenerates |
+//! |---|---|
+//! | `fig2` | Fig. 2a workload heat map + Fig. 2b throughput collapse |
+//! | `fig7` | Fig. 7 HLL throughput vs SecPE count over Zipf sweep |
+//! | `fig8` | Fig. 8 PR MTEPS vs Chen et al. on undirected graphs |
+//! | `fig9` | Fig. 9 evolving-skew throughput + reschedule counts |
+//! | `table1` | Table I application inventory |
+//! | `table2` | Table II comparison with state-of-the-art designs |
+//! | `table3` | Table III resources/frequency of the HLL variants |
+//!
+//! Dataset sizes default to 1 % of the paper's 26 M tuples so the full
+//! suite runs in minutes; set `DITTO_TUPLES` to override (e.g.
+//! `DITTO_TUPLES=26000000` for paper scale). Throughput *shape* is
+//! independent of size once runs are much longer than pipeline warm-up.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use fpga_model::{AppCostProfile, PipelineShape, ResourceEstimate, ResourceModel};
+
+/// The paper's dataset size (26 M tuples, §II).
+pub const PAPER_TUPLES: usize = 26_000_000;
+
+/// Default harness size: 1 % of the paper's.
+pub const DEFAULT_TUPLES: usize = PAPER_TUPLES / 100;
+
+/// Dataset size for harness runs: `DITTO_TUPLES` env override or the 1 %
+/// default.
+pub fn harness_tuples() -> usize {
+    std::env::var("DITTO_TUPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_TUPLES)
+}
+
+/// The Zipf-factor sweep of Figs. 2b and 7: 0 to 3 in steps of 0.25.
+pub fn alpha_sweep() -> Vec<f64> {
+    (0..=12).map(|i| f64::from(i) * 0.25).collect()
+}
+
+/// The heat-map rows of Fig. 2a.
+pub fn fig2a_alphas() -> Vec<f64> {
+    vec![1.0, 1.3, 1.5, 1.8, 2.0, 2.3, 2.5, 2.8, 3.0]
+}
+
+/// Modelled clock for a configuration running `profile`.
+pub fn freq_of(n: u32, m: u32, x: u32, profile: &AppCostProfile) -> f64 {
+    estimate_of(n, m, x, profile).freq_mhz
+}
+
+/// Full resource estimate for a configuration.
+pub fn estimate_of(n: u32, m: u32, x: u32, profile: &AppCostProfile) -> ResourceEstimate {
+    ResourceModel::arria10().estimate(PipelineShape::new(n, m, x), profile)
+}
+
+/// Formats a markdown table row.
+pub fn row(cells: &[String]) -> String {
+    format!("| {} |", cells.join(" | "))
+}
+
+/// Prints a markdown table header.
+pub fn print_header(title: &str, cols: &[&str]) {
+    println!("\n## {title}\n");
+    println!("| {} |", cols.join(" | "));
+    println!("|{}|", cols.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_zero_to_three() {
+        let s = alpha_sweep();
+        assert_eq!(s.len(), 13);
+        assert_eq!(s[0], 0.0);
+        assert_eq!(s[12], 3.0);
+    }
+
+    #[test]
+    fn default_size_is_one_percent() {
+        assert_eq!(DEFAULT_TUPLES, 260_000);
+    }
+
+    #[test]
+    fn freq_lookup_works() {
+        let f = freq_of(8, 16, 0, &AppCostProfile::hll());
+        assert!(f > 200.0 && f < 280.0);
+    }
+}

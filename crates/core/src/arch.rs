@@ -1,0 +1,375 @@
+//! Pipeline assembly: builds and runs the full Fig. 3 architecture.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use hls_sim::{Channel, Counter, Engine, MemoryModel, SliceSource, StreamSource};
+
+use crate::app::{DittoApp, Routed};
+use crate::config::ArchConfig;
+use crate::control::Control;
+use crate::mapper::MapperKernel;
+use crate::mask::MaskTable;
+use crate::merger::MergerKernel;
+use crate::pe::{PeRole, PrePeKernel, ProcPeKernel};
+use crate::profiler::{ProfilerKernel, ProfilerParams};
+use crate::reader::MemoryReaderKernel;
+use crate::report::ExecutionReport;
+use crate::routing::{CombinerKernel, DecoderFilterKernel, WideWord};
+use crate::{PeId, SchedulingPlan, Tuple};
+
+/// Result of a pipeline run: the application output plus measurements.
+#[derive(Debug)]
+pub struct RunOutcome<O> {
+    /// The application's finalized output (e.g. the global histogram).
+    pub output: O,
+    /// Cycle counts, throughput and workload statistics.
+    pub report: ExecutionReport,
+}
+
+/// Builder/runner for the skew-oblivious data routing architecture.
+///
+/// See the [crate-level documentation](crate) for the module diagram. The
+/// two entry points are [`run_dataset`](Self::run_dataset) (offline: stream
+/// a dataset from "global memory", drain, merge, finalize) and
+/// [`run_stream_for`](Self::run_stream_for) (online: run a rate-limited
+/// source for a fixed number of cycles — the Fig. 9 scenario).
+pub struct SkewObliviousPipeline;
+
+struct BuiltPipeline<A: DittoApp> {
+    engine: Engine,
+    app: Rc<A>,
+    states: Vec<Rc<RefCell<A::State>>>,
+    per_pe_counters: Vec<Counter>,
+    processed: Counter,
+    plan: Rc<RefCell<SchedulingPlan>>,
+    control: Rc<Control>,
+    plans_generated: Counter,
+    label: String,
+}
+
+impl SkewObliviousPipeline {
+    /// Runs `app` over an in-memory dataset streamed through the default
+    /// memory interface (64-byte wide, the paper's platform), draining the
+    /// pipeline completely, then merging and finalizing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline fails to drain within an internal cycle
+    /// budget proportional to the dataset size — which would indicate a
+    /// deadlock bug, not a data property.
+    pub fn run_dataset<A: DittoApp + 'static>(
+        app: A,
+        data: Vec<Tuple>,
+        config: &ArchConfig,
+    ) -> RunOutcome<A::Output> {
+        let tuples = data.len() as u64;
+        // Worst case is every tuple serialised through one PE at ii_pri
+        // cycles each, plus generous pipeline/profiling slack.
+        let budget = tuples * (u64::from(app.ii_pri()) + 2) + 500_000;
+        let source = SliceSource::new(data, Tuple::PAPER_WIDTH_BYTES, MemoryModel::new(64, 16));
+        Self::run_source(app, Box::new(source), config, budget, true)
+    }
+
+    /// Runs `app` over an arbitrary source for exactly `cycles` cycles
+    /// (online processing: the source typically outlives the run), then
+    /// merges and finalizes whatever has been processed.
+    pub fn run_stream_for<A: DittoApp + 'static>(
+        app: A,
+        source: Box<dyn StreamSource<Tuple>>,
+        config: &ArchConfig,
+        cycles: u64,
+    ) -> RunOutcome<A::Output> {
+        Self::run_source(app, source, config, cycles, false)
+    }
+
+    /// Shared driver. With `drain = true` the run ends at quiescence (or
+    /// panics at the cycle budget); with `drain = false` it runs exactly
+    /// `cycles` cycles.
+    pub fn run_source<A: DittoApp + 'static>(
+        app: A,
+        source: Box<dyn StreamSource<Tuple>>,
+        config: &ArchConfig,
+        cycles: u64,
+        drain: bool,
+    ) -> RunOutcome<A::Output> {
+        let mut built = Self::build(app, source, config);
+        let completed = if drain {
+            let rep = built.engine.run_until_quiescent(cycles);
+            assert!(
+                rep.completed,
+                "pipeline failed to drain within {cycles} cycles — deadlock?"
+            );
+            true
+        } else {
+            built.engine.run_cycles(cycles);
+            true
+        };
+        let total_cycles = built.engine.cycle();
+
+        // Tear down the engine so the shared state handles become unique.
+        drop(built.engine);
+
+        // Final merge (the offline flow's single merger pass) + finalize.
+        let app = built.app;
+        let plan = built.plan.borrow().clone();
+        for &(sec, pri) in plan.pairs() {
+            let sec_state = built.states[sec as usize]
+                .replace(app.new_state(config.pe_entries));
+            app.merge(&mut built.states[pri as usize].borrow_mut(), &sec_state);
+        }
+        let pri_states: Vec<A::State> = built
+            .states
+            .drain(..)
+            .take(config.m_pri as usize)
+            .map(|rc| {
+                Rc::try_unwrap(rc)
+                    .unwrap_or_else(|_| unreachable!("engine dropped, state unaliased"))
+                    .into_inner()
+            })
+            .collect();
+        let output = app.finalize(pri_states);
+
+        let report = ExecutionReport {
+            label: built.label,
+            cycles: total_cycles,
+            tuples: built.processed.get(),
+            reschedules: built.control.reschedules(),
+            plans_generated: built.plans_generated.get(),
+            per_pe_processed: built.per_pe_counters.iter().map(Counter::get).collect(),
+            completed,
+        };
+        RunOutcome { output, report }
+    }
+
+    /// Assembles all kernels and channels for one run.
+    fn build<A: DittoApp + 'static>(
+        app: A,
+        source: Box<dyn StreamSource<Tuple>>,
+        config: &ArchConfig,
+    ) -> BuiltPipeline<A> {
+        let app = Rc::new(app);
+        let n = config.n_pre as usize;
+        let pes = config.destination_pes() as usize;
+        let m = config.m_pri;
+        let control = Control::new(config.x_sec);
+        let processed = Counter::new();
+        let issued = Counter::new();
+        let plan = Rc::new(RefCell::new(SchedulingPlan::empty()));
+        let mask = Rc::new(MaskTable::new(config.n_pre));
+
+        let lane_in: Vec<Channel<Tuple>> =
+            (0..n).map(|i| Channel::new(&format!("lane{i}"), config.lane_queue_depth)).collect();
+        let pre_out: Vec<Channel<Routed<A::Value>>> =
+            (0..n).map(|i| Channel::new(&format!("pre{i}"), config.lane_queue_depth)).collect();
+        let map_out: Vec<Channel<Routed<A::Value>>> =
+            (0..n).map(|i| Channel::new(&format!("map{i}"), config.lane_queue_depth)).collect();
+        let word_ch: Vec<Channel<WideWord<A::Value>>> =
+            (0..pes).map(|j| Channel::new(&format!("word{j}"), config.word_queue_depth)).collect();
+        let pe_in: Vec<Channel<A::Value>> =
+            (0..pes).map(|j| Channel::new(&format!("pein{j}"), config.pe_queue_depth)).collect();
+        let plan_ch: Vec<Channel<(PeId, PeId)>> = (0..n)
+            .map(|i| Channel::new(&format!("plan{i}"), config.x_sec as usize + 1))
+            .collect();
+        let feed_ch: Vec<Channel<PeId>> =
+            (0..n).map(|i| Channel::new(&format!("feed{i}"), 4)).collect();
+
+        let states: Vec<Rc<RefCell<A::State>>> =
+            (0..pes).map(|_| Rc::new(RefCell::new(app.new_state(config.pe_entries)))).collect();
+        let per_pe_counters: Vec<Counter> = (0..pes).map(|_| Counter::new()).collect();
+
+        let mut engine = Engine::new();
+        engine.add_kernel(MemoryReaderKernel::new(
+            source,
+            lane_in.iter().map(Channel::sender).collect(),
+            issued,
+        ));
+        for i in 0..n {
+            engine.add_kernel(PrePeKernel::new(
+                i,
+                Rc::clone(&app),
+                m,
+                lane_in[i].receiver(),
+                pre_out[i].sender(),
+            ));
+        }
+        for i in 0..n {
+            engine.add_kernel(MapperKernel::new(
+                i,
+                m,
+                config.x_sec,
+                Rc::clone(&control),
+                plan_ch[i].receiver(),
+                pre_out[i].receiver(),
+                map_out[i].sender(),
+                feed_ch[i].sender(),
+            ));
+        }
+        engine.add_kernel(CombinerKernel::new(
+            map_out.iter().map(Channel::receiver).collect(),
+            word_ch.iter().map(Channel::sender).collect(),
+        ));
+        for (j, (word, pein)) in word_ch.iter().zip(&pe_in).enumerate() {
+            engine.add_kernel(DecoderFilterKernel::new(
+                j as PeId,
+                Rc::clone(&mask),
+                word.receiver(),
+                pein.sender(),
+            ));
+        }
+        for (j, (pein, state)) in pe_in.iter().zip(&states).enumerate() {
+            let role = if (j as u32) < m {
+                PeRole::Primary
+            } else {
+                PeRole::Secondary(j - m as usize)
+            };
+            engine.add_kernel(ProcPeKernel::new(
+                j as PeId,
+                role,
+                Rc::clone(&app),
+                pein.receiver(),
+                Rc::clone(state),
+                per_pe_counters[j].clone(),
+                processed.clone(),
+                Rc::clone(&control),
+            ));
+        }
+
+        let plans_generated = if config.x_sec > 0 {
+            let profiler = ProfilerKernel::new(
+                ProfilerParams {
+                    m_pri: m,
+                    x_sec: config.x_sec,
+                    profile_cycles: config.profile_cycles,
+                    monitor_window: config.monitor_window,
+                    reschedule_threshold: config.reschedule_threshold,
+                    requeue_overhead_cycles: config.requeue_overhead_cycles,
+                    auto_disable_after: config.auto_disable_after,
+                },
+                feed_ch.iter().map(Channel::receiver).collect(),
+                plan_ch.iter().map(Channel::sender).collect(),
+                processed.clone(),
+                Rc::clone(&plan),
+                Rc::clone(&control),
+            );
+            let counter = profiler.plans_generated();
+            engine.add_kernel(profiler);
+            engine.add_kernel(MergerKernel::new(
+                Rc::clone(&app),
+                states.clone(),
+                m,
+                config.pe_entries,
+                Rc::clone(&plan),
+                Rc::clone(&control),
+            ));
+            counter
+        } else {
+            Counter::new()
+        };
+
+        BuiltPipeline {
+            engine,
+            app,
+            states,
+            per_pe_counters,
+            processed,
+            plan,
+            control,
+            plans_generated,
+            label: config.label(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::{CountPerKey, ModHistogram};
+    use datagen::{UniformGenerator, ZipfGenerator};
+
+    #[test]
+    fn uniform_dataset_processes_everything() {
+        let data = UniformGenerator::new(1 << 16, 1).take_vec(10_000);
+        let cfg = ArchConfig::new(4, 8, 0);
+        let out = SkewObliviousPipeline::run_dataset(CountPerKey::new(8), data, &cfg);
+        assert_eq!(out.output.iter().sum::<u64>(), 10_000);
+        assert_eq!(out.report.tuples, 10_000);
+        assert!(out.report.completed);
+        // Near-peak throughput: 4 lanes, II=2, 8 PEs -> ~4 tuples/cycle.
+        assert!(out.report.tuples_per_cycle() > 2.0, "{}", out.report.tuples_per_cycle());
+    }
+
+    #[test]
+    fn histogram_matches_reference() {
+        let data = ZipfGenerator::new(1.2, 1 << 10, 3).take_vec(8_000);
+        let bins = 64u64;
+        let m = 8u32;
+        let mut expect = vec![0u64; bins as usize];
+        for t in &data {
+            expect[(t.key % bins) as usize] += 1;
+        }
+        let cfg = ArchConfig::new(4, m, 3).with_pe_entries((bins / u64::from(m)) as usize);
+        let out = SkewObliviousPipeline::run_dataset(ModHistogram::new(bins), data, &cfg);
+        assert_eq!(out.output, expect, "pipeline histogram must equal reference");
+    }
+
+    #[test]
+    fn skew_collapses_throughput_without_secpes() {
+        let uniform = UniformGenerator::new(1 << 20, 5).take_vec(8_000);
+        let skewed = ZipfGenerator::new(3.0, 1 << 20, 5).take_vec(8_000);
+        let cfg = ArchConfig::new(4, 8, 0);
+        let u = SkewObliviousPipeline::run_dataset(CountPerKey::new(8), uniform, &cfg);
+        let s = SkewObliviousPipeline::run_dataset(CountPerKey::new(8), skewed, &cfg);
+        let ratio = u.report.tuples_per_cycle() / s.report.tuples_per_cycle();
+        // The paper observes ~M× slowdown (all tuples to one PE, II = 2).
+        assert!(ratio > 4.0, "slowdown only {ratio:.2}x");
+    }
+
+    #[test]
+    fn secpes_restore_throughput_under_extreme_skew() {
+        let skewed = ZipfGenerator::new(3.0, 1 << 20, 5).take_vec(8_000);
+        let base_cfg = ArchConfig::new(4, 8, 0);
+        let full_cfg = ArchConfig::new(4, 8, 7);
+        let base =
+            SkewObliviousPipeline::run_dataset(CountPerKey::new(8), skewed.clone(), &base_cfg);
+        let full = SkewObliviousPipeline::run_dataset(CountPerKey::new(8), skewed, &full_cfg);
+        let speedup = full.report.tuples_per_cycle() / base.report.tuples_per_cycle();
+        assert!(speedup > 3.0, "speedup only {speedup:.2}x");
+        assert_eq!(full.report.tuples, 8_000, "no tuples lost through SecPEs");
+        assert_eq!(full.output.iter().sum::<u64>(), 8_000, "merge preserved counts");
+        assert!(full.report.plans_generated >= 1);
+    }
+
+    #[test]
+    fn per_pe_workload_reflects_skew() {
+        let skewed = ZipfGenerator::new(2.5, 1 << 16, 9).take_vec(6_000);
+        let cfg = ArchConfig::new(4, 8, 0);
+        let out = SkewObliviousPipeline::run_dataset(CountPerKey::new(8), skewed, &cfg);
+        assert!(out.report.imbalance(8) > 3.0, "imbalance {}", out.report.imbalance(8));
+    }
+
+    #[test]
+    fn online_run_with_rescheduling_counts_reschedules() {
+        use datagen::EvolvingZipfStream;
+        // Hot key rotates every 4000 cycles; reschedule overhead is small so
+        // the profiler can keep up and must re-plan at least once.
+        let stream = EvolvingZipfStream::new(3.0, 1 << 16, 11, 4_000, 4.0, None);
+        let cfg = ArchConfig::new(4, 8, 7)
+            .with_reschedule(0.5, 200)
+            .with_profile_cycles(64)
+            .with_monitor_window(256);
+        let out = SkewObliviousPipeline::run_stream_for(
+            CountPerKey::new(8),
+            Box::new(stream),
+            &cfg,
+            40_000,
+        );
+        assert!(out.report.tuples > 0);
+        assert!(
+            out.report.reschedules >= 1,
+            "expected at least one reschedule, got {}",
+            out.report.reschedules
+        );
+        assert_eq!(out.output.iter().sum::<u64>(), out.report.tuples);
+    }
+}

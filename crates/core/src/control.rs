@@ -1,0 +1,249 @@
+//! Shared control state wiring the profiler, mappers, SecPEs and merger.
+//!
+//! In the paper these are side-band signals between kernels ("the runtime
+//! profiler ... informs SecPEs and mappers and exits itself", §IV-B). We
+//! model them as a shared, single-threaded control block every kernel holds
+//! an `Rc` to; all mutations happen inside `step` calls of the owning
+//! kernels, so the protocol stays cycle-accurate and deterministic.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Lifecycle of a SecPE kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SecPhase {
+    /// Enqueued and processing tuples.
+    Running,
+    /// Told to exit: consume remaining channel items, then exit
+    /// ("The SecPEs exit the execution after all the tuples in the channels
+    /// whose upstream is the data routing logic are consumed", §IV-B).
+    Draining,
+    /// Exited; waiting for the host to enqueue it again.
+    Exited,
+}
+
+/// Shared control block (one per pipeline).
+#[derive(Debug)]
+pub struct Control {
+    /// When `false`, mappers route every tuple to its original PriPE —
+    /// "the mappers will prevent the tuples from being routed to SecPEs".
+    route_to_sec: Cell<bool>,
+    /// When `true`, mappers feed original PriPE ids to the profiler.
+    feed_profiler: Cell<bool>,
+    /// Bumped on every reschedule; mappers reset their tables when they
+    /// observe a generation change.
+    generation: Cell<u64>,
+    /// Per-SecPE phase, indexed by `sec_index = pe_id - M`.
+    sec_phases: Vec<Cell<SecPhase>>,
+    /// Tuples routed to each SecPE (by the mappers) and not yet processed.
+    /// The drain protocol exits a SecPE only when this reaches zero, which
+    /// is the exact form of "all the tuples in the channels whose upstream
+    /// is the data routing logic are consumed" (§IV-B).
+    sec_inflight: Vec<Cell<u64>>,
+    /// Request flag for the merger to fold SecPE partials.
+    merge_request: Cell<bool>,
+    /// Set by the merger once the fold completed.
+    merge_done: Cell<bool>,
+    /// Completed reschedules.
+    reschedules: Cell<u64>,
+}
+
+impl Control {
+    /// Creates the control block for `x_sec` SecPEs, with routing enabled.
+    pub fn new(x_sec: u32) -> Rc<Self> {
+        Rc::new(Control {
+            route_to_sec: Cell::new(true),
+            feed_profiler: Cell::new(false),
+            generation: Cell::new(0),
+            sec_phases: (0..x_sec).map(|_| Cell::new(SecPhase::Running)).collect(),
+            sec_inflight: (0..x_sec).map(|_| Cell::new(0)).collect(),
+            merge_request: Cell::new(false),
+            merge_done: Cell::new(false),
+            reschedules: Cell::new(0),
+        })
+    }
+
+    /// Number of SecPEs.
+    pub fn x_sec(&self) -> u32 {
+        self.sec_phases.len() as u32
+    }
+
+    /// Whether mappers may redirect tuples to SecPEs.
+    pub fn route_to_sec(&self) -> bool {
+        self.route_to_sec.get()
+    }
+
+    /// Enables/disables SecPE routing.
+    pub fn set_route_to_sec(&self, on: bool) {
+        self.route_to_sec.set(on);
+    }
+
+    /// Whether mappers should feed PriPE ids to the profiler.
+    pub fn feed_profiler(&self) -> bool {
+        self.feed_profiler.get()
+    }
+
+    /// Turns the profiler feed on or off.
+    pub fn set_feed_profiler(&self, on: bool) {
+        self.feed_profiler.set(on);
+    }
+
+    /// Current mapper-table generation.
+    pub fn generation(&self) -> u64 {
+        self.generation.get()
+    }
+
+    /// Starts a new generation (mappers reset to identity on observing it).
+    pub fn bump_generation(&self) {
+        self.generation.set(self.generation.get() + 1);
+    }
+
+    /// Phase of SecPE `sec_index` (0-based, *not* the PE id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sec_index` is out of range.
+    pub fn sec_phase(&self, sec_index: usize) -> SecPhase {
+        self.sec_phases[sec_index].get()
+    }
+
+    /// Sets the phase of SecPE `sec_index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sec_index` is out of range.
+    pub fn set_sec_phase(&self, sec_index: usize, phase: SecPhase) {
+        self.sec_phases[sec_index].set(phase);
+    }
+
+    /// Moves every running SecPE to [`SecPhase::Draining`].
+    pub fn drain_all_secs(&self) {
+        for c in &self.sec_phases {
+            if c.get() == SecPhase::Running {
+                c.set(SecPhase::Draining);
+            }
+        }
+    }
+
+    /// Re-enqueues all SecPEs ([`SecPhase::Running`]).
+    pub fn restart_all_secs(&self) {
+        for c in &self.sec_phases {
+            c.set(SecPhase::Running);
+        }
+    }
+
+    /// `true` when every SecPE has exited (vacuously true with X = 0).
+    pub fn all_secs_exited(&self) -> bool {
+        self.sec_phases.iter().all(|c| c.get() == SecPhase::Exited)
+    }
+
+    /// Records a tuple routed towards SecPE `sec_index` (mapper side).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sec_index` is out of range.
+    pub fn sec_inflight_inc(&self, sec_index: usize) {
+        let c = &self.sec_inflight[sec_index];
+        c.set(c.get() + 1);
+    }
+
+    /// Records a tuple consumed by SecPE `sec_index` (PE side).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sec_index` is out of range or the count would go negative.
+    pub fn sec_inflight_dec(&self, sec_index: usize) {
+        let c = &self.sec_inflight[sec_index];
+        assert!(c.get() > 0, "in-flight underflow for SecPE {sec_index}");
+        c.set(c.get() - 1);
+    }
+
+    /// Tuples currently in flight towards SecPE `sec_index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sec_index` is out of range.
+    pub fn sec_inflight(&self, sec_index: usize) -> u64 {
+        self.sec_inflight[sec_index].get()
+    }
+
+    /// Asks the merger to fold SecPE partials into PriPE buffers.
+    pub fn request_merge(&self) {
+        self.merge_done.set(false);
+        self.merge_request.set(true);
+    }
+
+    /// Consumed by the merger: returns `true` exactly once per request.
+    pub fn take_merge_request(&self) -> bool {
+        let req = self.merge_request.get();
+        if req {
+            self.merge_request.set(false);
+        }
+        req
+    }
+
+    /// Marks the requested merge as complete.
+    pub fn set_merge_done(&self) {
+        self.merge_done.set(true);
+    }
+
+    /// `true` once the last requested merge completed.
+    pub fn merge_done(&self) -> bool {
+        self.merge_done.get()
+    }
+
+    /// Number of completed reschedules.
+    pub fn reschedules(&self) -> u64 {
+        self.reschedules.get()
+    }
+
+    /// Counts one completed reschedule.
+    pub fn count_reschedule(&self) {
+        self.reschedules.set(self.reschedules.get() + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sec_phase_lifecycle() {
+        let c = Control::new(3);
+        assert!(!c.all_secs_exited());
+        c.drain_all_secs();
+        for i in 0..3 {
+            assert_eq!(c.sec_phase(i), SecPhase::Draining);
+            c.set_sec_phase(i, SecPhase::Exited);
+        }
+        assert!(c.all_secs_exited());
+        c.restart_all_secs();
+        assert_eq!(c.sec_phase(0), SecPhase::Running);
+    }
+
+    #[test]
+    fn zero_secpes_are_vacuously_exited() {
+        let c = Control::new(0);
+        assert!(c.all_secs_exited());
+    }
+
+    #[test]
+    fn merge_request_is_consumed_once() {
+        let c = Control::new(1);
+        c.request_merge();
+        assert!(c.take_merge_request());
+        assert!(!c.take_merge_request());
+        assert!(!c.merge_done());
+        c.set_merge_done();
+        assert!(c.merge_done());
+    }
+
+    #[test]
+    fn generation_bumps() {
+        let c = Control::new(1);
+        assert_eq!(c.generation(), 0);
+        c.bump_generation();
+        c.bump_generation();
+        assert_eq!(c.generation(), 2);
+    }
+}

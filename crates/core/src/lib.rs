@@ -1,0 +1,75 @@
+//! # ditto-core — the skew-oblivious data routing architecture
+//!
+//! This crate is the paper's primary contribution (§IV), reproduced as a
+//! cycle-level model on the [`hls_sim`] substrate. Every module of the
+//! paper's Fig. 3 is one simulated kernel:
+//!
+//! ```text
+//! MemoryReader ─lane 0..N─► PrePE_i ─► Mapper_i ─► Combiner ═wide word═►
+//!    {Decoder+Filter}_j ─► ProcPE_j (PriPE j<M / SecPE j≥M) ─► Merger
+//!    Mapper_i ─PriPE-id feed─► RuntimeProfiler ─plan/reschedule─► Mappers, SecPEs
+//! ```
+//!
+//! * [`DittoApp`] — the programming interface (the paper's Listing 2): an
+//!   application provides `preprocess` (PrePE logic: compute `⟨dst, value⟩`),
+//!   `process` (PriPE/SecPE logic against the private buffer), `merge`
+//!   (fold a SecPE partial into its PriPE) and `finalize`.
+//! * [`SkewObliviousPipeline`] — assembles and runs the full architecture
+//!   for a given [`ArchConfig`] (N PrePEs, M PriPEs, X SecPEs, channel
+//!   depths, profiling window, reschedule threshold and kernel-requeue
+//!   overhead).
+//! * [`mapper::Mapper`] — the mapping table + counter array with round-robin
+//!   workload redirecting (§IV-C2, Fig. 4).
+//! * [`profiler`] — workload histogram profiling, greedy SecPE plan
+//!   generation (§IV-C3, Fig. 5) and throughput-drop triggered rescheduling
+//!   (§IV-B) including the kernel re-enqueue overhead the paper measures in
+//!   Fig. 9.
+//!
+//! # Example
+//!
+//! Build a 4-PrePE / 8-PriPE / 3-SecPE histogram pipeline and run it over a
+//! skewed dataset:
+//!
+//! ```
+//! use ditto_core::{ArchConfig, SkewObliviousPipeline};
+//! use ditto_core::apps::CountPerKey;
+//! use datagen::ZipfGenerator;
+//!
+//! let data = ZipfGenerator::new(2.0, 1 << 12, 7).take_vec(20_000);
+//! let config = ArchConfig::new(4, 8, 3);
+//! let app = CountPerKey::new(8);
+//! let outcome = SkewObliviousPipeline::run_dataset(app, data, &config);
+//! assert_eq!(outcome.output.iter().sum::<u64>(), 20_000);
+//! assert!(outcome.report.completed);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod app;
+pub mod apps;
+mod arch;
+mod config;
+mod control;
+pub mod mapper;
+mod mask;
+pub mod merger;
+pub mod pe;
+pub mod plan;
+pub mod profiler;
+pub mod reader;
+mod report;
+pub mod routing;
+
+pub use app::{DittoApp, Routed};
+pub use arch::{RunOutcome, SkewObliviousPipeline};
+pub use config::ArchConfig;
+pub use control::{Control, SecPhase};
+pub use mask::MaskTable;
+pub use plan::SchedulingPlan;
+pub use report::ExecutionReport;
+
+/// Identifier of a destination PE: `0..M` are PriPEs, `M..M+X` are SecPEs.
+pub type PeId = u32;
+
+pub use datagen::Tuple;

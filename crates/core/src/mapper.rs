@@ -1,0 +1,305 @@
+//! The mapper module (§IV-C2, Fig. 4): mapping table, counter array and
+//! round-robin workload redirecting.
+
+use std::rc::Rc;
+
+use hls_sim::{Cycle, Kernel, Receiver, Sender};
+
+use crate::app::Routed;
+use crate::control::Control;
+use crate::PeId;
+
+/// The pure mapping-table state machine, separated from the kernel shell so
+/// it can be unit-tested against the paper's Fig. 4 walk-through.
+///
+/// Each mapper maintains an `M × (X+1)` mapping table and an `M`-entry
+/// counter array. Row `i` starts as `[i, i, …, i]` with counter 1; applying
+/// a scheduling-plan pair `(sec → pri)` writes `sec` at index `counter[pri]`
+/// of row `pri` and increments the counter. Redirecting looks up row `dst`
+/// round-robin over its first `counter[dst]` entries.
+///
+/// # Example
+///
+/// The exact sequence of the paper's Fig. 4 (four PriPEs, three SecPEs,
+/// plan `4→2; 5→2; 6→0`):
+///
+/// ```
+/// use ditto_core::mapper::Mapper;
+///
+/// let mut m = Mapper::new(4, 3);
+/// m.apply_pair(4, 2);
+/// m.apply_pair(5, 2);
+/// m.apply_pair(6, 0);
+/// // PriPE 0 alternates 0, 6, 0, 6, ...
+/// assert_eq!([m.redirect(0), m.redirect(0), m.redirect(0), m.redirect(0)], [0, 6, 0, 6]);
+/// // PriPE 2 round-robins 2, 4, 5, 2, ...
+/// assert_eq!([m.redirect(2), m.redirect(2), m.redirect(2), m.redirect(2)], [2, 4, 5, 2]);
+/// // Unhelped PriPEs map to themselves.
+/// assert_eq!(m.redirect(1), 1);
+/// assert_eq!(m.redirect(3), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mapper {
+    pub(crate) m_pri: u32,
+    x_sec: u32,
+    /// `M` rows of `X+1` destination PE ids.
+    table: Vec<Vec<PeId>>,
+    /// Available PEs per row, counted from the left (init 1).
+    counter: Vec<u8>,
+    /// Round-robin cursor per row.
+    cursor: Vec<u8>,
+}
+
+impl Mapper {
+    /// Creates the initial mapping table for `m_pri` PriPEs and `x_sec`
+    /// schedulable SecPEs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m_pri` is zero.
+    pub fn new(m_pri: u32, x_sec: u32) -> Self {
+        assert!(m_pri > 0, "need at least one PriPE");
+        Mapper {
+            m_pri,
+            x_sec,
+            table: (0..m_pri).map(|i| vec![i; x_sec as usize + 1]).collect(),
+            counter: vec![1; m_pri as usize],
+            cursor: vec![0; m_pri as usize],
+        }
+    }
+
+    /// Applies one `(SecPE → PriPE)` scheduling pair (one per cycle in
+    /// hardware, "for better timing").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pri >= M`, if `sec` is not a SecPE id (`M..M+X`), or if
+    /// the row is already full.
+    pub fn apply_pair(&mut self, sec: PeId, pri: PeId) {
+        assert!(pri < self.m_pri, "pri {pri} out of range");
+        assert!(
+            sec >= self.m_pri && sec < self.m_pri + self.x_sec,
+            "sec {sec} is not a SecPE id"
+        );
+        let row = &mut self.table[pri as usize];
+        let c = &mut self.counter[pri as usize];
+        assert!((*c as usize) < row.len(), "row {pri} already has X+1 entries");
+        row[*c as usize] = sec;
+        *c += 1;
+    }
+
+    /// Redirects a tuple destined for PriPE `dst`, advancing the row's
+    /// round-robin cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst >= M`.
+    pub fn redirect(&mut self, dst: PeId) -> PeId {
+        let row = dst as usize;
+        let c = self.counter[row];
+        let idx = self.cursor[row];
+        self.cursor[row] = (idx + 1) % c;
+        self.table[row][idx as usize]
+    }
+
+    /// Looks up without advancing the cursor (identity when no SecPE is
+    /// attached).
+    pub fn peek(&self, dst: PeId) -> PeId {
+        self.table[dst as usize][self.cursor[dst as usize] as usize]
+    }
+
+    /// Resets the table to identity and the counters to one — executed when
+    /// the profiler announces a new generation.
+    pub fn reset(&mut self) {
+        for (i, row) in self.table.iter_mut().enumerate() {
+            row.fill(i as PeId);
+        }
+        self.counter.fill(1);
+        self.cursor.fill(0);
+    }
+
+    /// Number of destination PEs (incl. SecPEs) row `dst` currently cycles
+    /// through.
+    pub fn fan_out(&self, dst: PeId) -> u8 {
+        self.counter[dst as usize]
+    }
+}
+
+/// The mapper kernel: one per PrePE lane (Fig. 3 instantiates mapper
+/// `#0..#N-1`).
+///
+/// Per cycle it:
+/// 1. applies at most one scheduling-plan pair from the profiler,
+/// 2. pops at most one routed record from its PrePE, redirects the
+///    destination through the mapping table (unless SecPE routing is
+///    suspended) and forwards it to the combiner lane,
+/// 3. feeds the *original* PriPE id to the profiler while profiling is on.
+pub struct MapperKernel<V> {
+    name: String,
+    mapper: Mapper,
+    generation: u64,
+    control: Rc<Control>,
+    plan_rx: Receiver<(PeId, PeId)>,
+    input: Receiver<Routed<V>>,
+    output: Sender<Routed<V>>,
+    profiler_feed: Sender<PeId>,
+}
+
+impl<V> MapperKernel<V> {
+    /// Creates a mapper kernel for lane `lane`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        lane: usize,
+        m_pri: u32,
+        x_sec: u32,
+        control: Rc<Control>,
+        plan_rx: Receiver<(PeId, PeId)>,
+        input: Receiver<Routed<V>>,
+        output: Sender<Routed<V>>,
+        profiler_feed: Sender<PeId>,
+    ) -> Self {
+        MapperKernel {
+            name: format!("mapper#{lane}"),
+            mapper: Mapper::new(m_pri, x_sec),
+            generation: 0,
+            control,
+            plan_rx,
+            input,
+            output,
+            profiler_feed,
+        }
+    }
+}
+
+impl<V: Clone + 'static> Kernel for MapperKernel<V> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn step(&mut self, cy: Cycle) {
+        // Generation change: reset to identity before anything else.
+        let gen = self.control.generation();
+        if gen != self.generation {
+            self.mapper.reset();
+            self.generation = gen;
+        }
+
+        // One scheduling-plan pair per cycle.
+        if let Some((sec, pri)) = self.plan_rx.try_recv(cy) {
+            self.mapper.apply_pair(sec, pri);
+        }
+
+        // One tuple per cycle, gated by downstream space.
+        if !self.output.can_send() {
+            return;
+        }
+        if let Some(routed) = self.input.try_recv(cy) {
+            let original = routed.dst;
+            let redirected = if self.control.route_to_sec() {
+                self.mapper.redirect(original)
+            } else {
+                original
+            };
+            if redirected >= self.mapper.m_pri {
+                // Exact in-flight accounting for the drain protocol.
+                self.control.sec_inflight_inc((redirected - self.mapper.m_pri) as usize);
+            }
+            self.output
+                .try_send(cy, Routed::new(redirected, routed.value))
+                .unwrap_or_else(|_| unreachable!("checked can_send"));
+            if self.control.feed_profiler() {
+                // Drop the feed if the profiler queue is full; the hardware
+                // hist port accepts one id per lane per cycle by design.
+                let _ = self.profiler_feed.try_send(cy, original);
+            }
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.input.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_table_is_identity() {
+        let mut m = Mapper::new(4, 3);
+        for dst in 0..4 {
+            assert_eq!(m.redirect(dst), dst);
+            assert_eq!(m.redirect(dst), dst); // stays identity
+            assert_eq!(m.fan_out(dst), 1);
+        }
+    }
+
+    #[test]
+    fn fig4_walkthrough() {
+        // Fig. 4b/4c: plan 4->2; 5->2; 6->0 with four PriPEs, three SecPEs.
+        let mut m = Mapper::new(4, 3);
+        m.apply_pair(4, 2);
+        m.apply_pair(5, 2);
+        m.apply_pair(6, 0);
+        assert_eq!(m.fan_out(2), 3);
+        assert_eq!(m.fan_out(0), 2);
+        // Row 2 cycles 2, 4, 5 (Fig. 4c's mapping sequence for PriPE 2).
+        let seq: Vec<_> = (0..6).map(|_| m.redirect(2)).collect();
+        assert_eq!(seq, vec![2, 4, 5, 2, 4, 5]);
+        // Row 0 alternates 0, 6.
+        let seq: Vec<_> = (0..4).map(|_| m.redirect(0)).collect();
+        assert_eq!(seq, vec![0, 6, 0, 6]);
+    }
+
+    #[test]
+    fn reset_restores_identity() {
+        let mut m = Mapper::new(4, 2);
+        m.apply_pair(4, 1);
+        m.redirect(1);
+        m.reset();
+        for dst in 0..4 {
+            assert_eq!(m.redirect(dst), dst);
+            assert_eq!(m.fan_out(dst), 1);
+        }
+    }
+
+    #[test]
+    fn round_robin_balances_exactly() {
+        let mut m = Mapper::new(2, 3);
+        m.apply_pair(2, 0);
+        m.apply_pair(3, 0);
+        m.apply_pair(4, 0);
+        let mut counts = [0u32; 5];
+        for _ in 0..400 {
+            counts[m.redirect(0) as usize] += 1;
+        }
+        assert_eq!(counts[0], 100);
+        assert_eq!(counts[2], 100);
+        assert_eq!(counts[3], 100);
+        assert_eq!(counts[4], 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a SecPE id")]
+    fn rejects_pri_as_sec() {
+        Mapper::new(4, 2).apply_pair(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already has")]
+    fn rejects_row_overflow() {
+        let mut m = Mapper::new(2, 1);
+        m.apply_pair(2, 0);
+        m.apply_pair(2, 0);
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut m = Mapper::new(2, 1);
+        m.apply_pair(2, 0);
+        assert_eq!(m.peek(0), 0);
+        assert_eq!(m.peek(0), 0);
+        assert_eq!(m.redirect(0), 0);
+        assert_eq!(m.peek(0), 2);
+    }
+}

@@ -1,0 +1,144 @@
+//! The merger module (§IV-B): folds SecPE partial buffers into PriPE
+//! results according to the SecPE scheduling plan.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use hls_sim::{Cycle, Kernel};
+
+use crate::app::DittoApp;
+use crate::control::Control;
+use crate::SchedulingPlan;
+
+/// The merger kernel.
+///
+/// Holds shared handles to every destination PE's private buffer. On a
+/// merge request (raised by the profiler once all SecPEs have drained) it
+/// folds each scheduled SecPE's buffer into its PriPE's via the
+/// application's `merge`, resets the SecPE buffer for its next assignment,
+/// and acknowledges through the control block.
+///
+/// The same `merge_now` path is invoked once more at end of run before
+/// `finalize` (the paper's offline flow: "the results of PriPEs and SecPEs
+/// are merged by the merger module according to the SecPE scheduling plan").
+pub struct MergerKernel<A: DittoApp> {
+    name: String,
+    app: Rc<A>,
+    states: Vec<Rc<RefCell<A::State>>>,
+    m_pri: u32,
+    pe_entries: usize,
+    plan: Rc<RefCell<SchedulingPlan>>,
+    control: Rc<Control>,
+    merges_done: u64,
+}
+
+impl<A: DittoApp> MergerKernel<A> {
+    /// Creates the merger over all `M + X` destination-PE buffers
+    /// (`states[0..M]` are PriPEs, the rest SecPEs).
+    pub fn new(
+        app: Rc<A>,
+        states: Vec<Rc<RefCell<A::State>>>,
+        m_pri: u32,
+        pe_entries: usize,
+        plan: Rc<RefCell<SchedulingPlan>>,
+        control: Rc<Control>,
+    ) -> Self {
+        assert!(states.len() >= m_pri as usize, "need at least M states");
+        MergerKernel {
+            name: "merger".to_owned(),
+            app,
+            states,
+            m_pri,
+            pe_entries,
+            plan,
+            control,
+            merges_done: 0,
+        }
+    }
+
+    /// Performs the fold immediately (also used by the pipeline at end of
+    /// run). SecPE buffers are reset to fresh states afterwards.
+    pub fn merge_now(&mut self) {
+        let plan = self.plan.borrow();
+        for &(sec, pri) in plan.pairs() {
+            let sec_idx = sec as usize;
+            let pri_idx = pri as usize;
+            debug_assert!(pri_idx < self.m_pri as usize);
+            let sec_state = self.states[sec_idx].replace(self.app.new_state(self.pe_entries));
+            self.app.merge(&mut self.states[pri_idx].borrow_mut(), &sec_state);
+        }
+        self.merges_done += 1;
+    }
+
+    /// Number of merge passes executed.
+    pub fn merges_done(&self) -> u64 {
+        self.merges_done
+    }
+}
+
+impl<A: DittoApp + 'static> Kernel for MergerKernel<A> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn step(&mut self, _cy: Cycle) {
+        if self.control.take_merge_request() {
+            self.merge_now();
+            self.control.set_merge_done();
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::CountPerKey;
+
+    fn setup(plan_pairs: Vec<(u32, u32)>) -> (MergerKernel<CountPerKey>, Vec<Rc<RefCell<u64>>>) {
+        let app = Rc::new(CountPerKey::new(2));
+        let states: Vec<Rc<RefCell<u64>>> =
+            (0..4).map(|i| Rc::new(RefCell::new(i * 10))).collect();
+        let plan = Rc::new(RefCell::new(SchedulingPlan::from_pairs(plan_pairs)));
+        let control = Control::new(2);
+        let merger =
+            MergerKernel::new(app, states.clone(), 2, 1, plan, control);
+        (merger, states)
+    }
+
+    #[test]
+    fn merges_sec_into_pri_and_resets_sec() {
+        // PEs 0,1 primary (10*id), PEs 2,3 secondary; plan: 2->0, 3->1.
+        let (mut merger, states) = setup(vec![(2, 0), (3, 1)]);
+        merger.merge_now();
+        assert_eq!(*states[0].borrow(), 0 + 20);
+        assert_eq!(*states[1].borrow(), 10 + 30);
+        assert_eq!(*states[2].borrow(), 0, "SecPE buffer reset");
+        assert_eq!(*states[3].borrow(), 0);
+    }
+
+    #[test]
+    fn merge_request_via_control() {
+        let (mut merger, states) = setup(vec![(2, 1)]);
+        let control = Rc::clone(&merger.control);
+        control.request_merge();
+        merger.step(0);
+        assert!(control.merge_done());
+        assert_eq!(*states[1].borrow(), 10 + 20);
+        // A second step without a request does nothing.
+        merger.step(1);
+        assert_eq!(merger.merges_done(), 1);
+    }
+
+    #[test]
+    fn empty_plan_merges_nothing() {
+        let (mut merger, states) = setup(vec![]);
+        merger.merge_now();
+        for (i, s) in states.iter().enumerate() {
+            assert_eq!(*s.borrow(), i as u64 * 10);
+        }
+    }
+}

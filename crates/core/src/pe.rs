@@ -1,0 +1,273 @@
+//! Processing elements: PrePEs and destination PEs (PriPE/SecPE).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use hls_sim::{Counter, Cycle, Kernel, Receiver, Sender};
+
+use crate::app::{DittoApp, Routed};
+use crate::control::{Control, SecPhase};
+use crate::Tuple;
+
+/// A PrePE: reads raw tuples from its lane, applies the application's
+/// `preprocess` (Listing 2's PrePE body) at `ii_pre` cycles per tuple, and
+/// emits `⟨dst, value⟩` records to its mapper.
+pub struct PrePeKernel<A: DittoApp> {
+    name: String,
+    app: Rc<A>,
+    m_pri: u32,
+    input: Receiver<Tuple>,
+    output: Sender<Routed<A::Value>>,
+    busy_until: Cycle,
+}
+
+impl<A: DittoApp> PrePeKernel<A> {
+    /// Creates PrePE `lane`.
+    pub fn new(
+        lane: usize,
+        app: Rc<A>,
+        m_pri: u32,
+        input: Receiver<Tuple>,
+        output: Sender<Routed<A::Value>>,
+    ) -> Self {
+        PrePeKernel { name: format!("prepe#{lane}"), app, m_pri, input, output, busy_until: 0 }
+    }
+}
+
+impl<A: DittoApp + 'static> Kernel for PrePeKernel<A> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn step(&mut self, cy: Cycle) {
+        if cy < self.busy_until || !self.output.can_send() {
+            return;
+        }
+        if let Some(tuple) = self.input.try_recv(cy) {
+            let routed = self.app.preprocess(tuple, self.m_pri);
+            assert!(
+                routed.dst < self.m_pri,
+                "application routed to PE {} but M = {}",
+                routed.dst,
+                self.m_pri
+            );
+            self.output.try_send(cy, routed).unwrap_or_else(|_| unreachable!("checked"));
+            self.busy_until = cy + Cycle::from(self.app.ii_pre());
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.input.is_empty()
+    }
+}
+
+/// Role of a destination PE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeRole {
+    /// Primary PE `0..M`: always running, owns a distinct key range.
+    Primary,
+    /// Secondary PE `M..M+X` (with its 0-based SecPE index): enqueued and
+    /// dequeued dynamically by the reschedule protocol.
+    Secondary(usize),
+}
+
+/// A destination PE (PriPE or SecPE): consumes routed values at `ii_pri`
+/// cycles per tuple and applies the application's `process` against its
+/// private buffer.
+///
+/// The private buffer is shared with the merger through an
+/// `Rc<RefCell<State>>` — the in-simulation equivalent of the merger reading
+/// the PE's BRAM after it exits.
+pub struct ProcPeKernel<A: DittoApp> {
+    name: String,
+    app: Rc<A>,
+    role: PeRole,
+    input: Receiver<A::Value>,
+    state: Rc<RefCell<A::State>>,
+    processed: Counter,
+    total_processed: Counter,
+    control: Rc<Control>,
+    busy_until: Cycle,
+}
+
+impl<A: DittoApp> ProcPeKernel<A> {
+    /// Creates destination PE `id` with the given `role`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: u32,
+        role: PeRole,
+        app: Rc<A>,
+        input: Receiver<A::Value>,
+        state: Rc<RefCell<A::State>>,
+        processed: Counter,
+        total_processed: Counter,
+        control: Rc<Control>,
+    ) -> Self {
+        let name = match role {
+            PeRole::Primary => format!("pripe#{id}"),
+            PeRole::Secondary(_) => format!("secpe#{id}"),
+        };
+        ProcPeKernel {
+            name,
+            app,
+            role,
+            input,
+            state,
+            processed,
+            total_processed,
+            control,
+            busy_until: 0,
+        }
+    }
+
+    /// This PE's per-PE processed-tuple counter.
+    pub fn processed(&self) -> Counter {
+        self.processed.clone()
+    }
+}
+
+impl<A: DittoApp + 'static> Kernel for ProcPeKernel<A> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn step(&mut self, cy: Cycle) {
+        if let PeRole::Secondary(idx) = self.role {
+            match self.control.sec_phase(idx) {
+                SecPhase::Running => {}
+                SecPhase::Draining => {
+                    // §IV-B's drain protocol: keep consuming (at the normal
+                    // II) until every tuple routed to this SecPE anywhere in
+                    // the datapath has been consumed, then exit.
+                    if self.control.sec_inflight(idx) == 0 {
+                        self.control.set_sec_phase(idx, SecPhase::Exited);
+                        return;
+                    }
+                }
+                SecPhase::Exited => return,
+            }
+        }
+        if cy < self.busy_until {
+            return;
+        }
+        if let Some(value) = self.input.try_recv(cy) {
+            self.app.process(&mut self.state.borrow_mut(), &value);
+            self.processed.incr();
+            self.total_processed.incr();
+            if let PeRole::Secondary(idx) = self.role {
+                self.control.sec_inflight_dec(idx);
+            }
+            self.busy_until = cy + Cycle::from(self.app.ii_pri());
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.input.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::CountPerKey;
+    use hls_sim::{Channel, Engine};
+
+    #[test]
+    fn prepe_applies_ii() {
+        let app = Rc::new(CountPerKey::new(4));
+        let in_ch = Channel::new("in", 64);
+        let out_ch = Channel::new("out", 64);
+        for k in 0..10u64 {
+            in_ch.sender().try_send(0, Tuple::from_key(k)).unwrap();
+        }
+        let mut engine = Engine::new();
+        engine.add_kernel(PrePeKernel::new(0, app, 4, in_ch.receiver(), out_ch.sender()));
+        engine.run_cycles(5);
+        // II = 1, latency 1: ~4 tuples forwarded after 5 cycles.
+        let forwarded = out_ch.stats().pushes;
+        assert!((3..=5).contains(&forwarded), "{forwarded}");
+        engine.run_cycles(20);
+        assert_eq!(out_ch.stats().pushes, 10);
+    }
+
+    #[test]
+    fn procpe_ii_two_halves_rate() {
+        let app = Rc::new(CountPerKey::new(4));
+        let in_ch = Channel::new("in", 256);
+        for _ in 0..100 {
+            in_ch.sender().try_send(0, ()).unwrap();
+        }
+        let state = Rc::new(RefCell::new(0u64));
+        let control = Control::new(0);
+        let mut engine = Engine::new();
+        engine.add_kernel(ProcPeKernel::new(
+            0,
+            PeRole::Primary,
+            app,
+            in_ch.receiver(),
+            state.clone(),
+            Counter::new(),
+            Counter::new(),
+            control,
+        ));
+        engine.run_cycles(41);
+        // II = 2: about 20 tuples in 41 cycles.
+        let done = *state.borrow();
+        assert!((19..=21).contains(&done), "{done}");
+    }
+
+    #[test]
+    fn secpe_drains_then_exits() {
+        let app = Rc::new(CountPerKey::new(4));
+        let in_ch = Channel::new("in", 256);
+        for _ in 0..5 {
+            in_ch.sender().try_send(0, ()).unwrap();
+        }
+        let control = Control::new(1);
+        // The mapper-side accounting would have counted these five tuples.
+        for _ in 0..5 {
+            control.sec_inflight_inc(0);
+        }
+        let state = Rc::new(RefCell::new(0u64));
+        let mut pe = ProcPeKernel::new(
+            4,
+            PeRole::Secondary(0),
+            app,
+            in_ch.receiver(),
+            state.clone(),
+            Counter::new(),
+            Counter::new(),
+            control.clone(),
+        );
+        control.set_sec_phase(0, SecPhase::Draining);
+        for cy in 1..100 {
+            pe.step(cy);
+        }
+        assert_eq!(*state.borrow(), 5, "drained all queued tuples");
+        assert_eq!(control.sec_phase(0), SecPhase::Exited);
+    }
+
+    #[test]
+    fn exited_secpe_ignores_input() {
+        let app = Rc::new(CountPerKey::new(4));
+        let in_ch = Channel::new("in", 16);
+        in_ch.sender().try_send(0, ()).unwrap();
+        let control = Control::new(1);
+        control.set_sec_phase(0, SecPhase::Exited);
+        let state = Rc::new(RefCell::new(0u64));
+        let mut pe = ProcPeKernel::new(
+            4,
+            PeRole::Secondary(0),
+            app,
+            in_ch.receiver(),
+            state.clone(),
+            Counter::new(),
+            Counter::new(),
+            control,
+        );
+        for cy in 1..10 {
+            pe.step(cy);
+        }
+        assert_eq!(*state.borrow(), 0);
+    }
+}

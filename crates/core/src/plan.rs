@@ -1,0 +1,164 @@
+//! SecPE scheduling plans (§IV-C3, Fig. 5).
+
+use crate::PeId;
+
+/// A SecPE scheduling plan: the array of `SecPE id → PriPE id` pairs the
+/// runtime profiler transfers to the mappers and the merger.
+///
+/// # Example
+///
+/// ```
+/// use ditto_core::SchedulingPlan;
+///
+/// // The paper's Fig. 4/5 example: 4 PriPEs, 3 SecPEs, PriPE 2 overloaded.
+/// let plan = SchedulingPlan::generate(&[40, 20, 90, 10], 4, 3);
+/// assert_eq!(plan.pairs(), &[(4, 2), (5, 2), (6, 0)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SchedulingPlan {
+    pairs: Vec<(PeId, PeId)>,
+}
+
+impl SchedulingPlan {
+    /// An empty plan (no SecPEs scheduled).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Creates a plan from explicit `(SecPE id, PriPE id)` pairs.
+    pub fn from_pairs(pairs: Vec<(PeId, PeId)>) -> Self {
+        SchedulingPlan { pairs }
+    }
+
+    /// The `(SecPE id, PriPE id)` pairs in scheduling order.
+    pub fn pairs(&self) -> &[(PeId, PeId)] {
+        &self.pairs
+    }
+
+    /// Number of scheduled SecPEs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// `true` when no SecPE is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The PriPE a given SecPE helps, if scheduled.
+    pub fn pri_of_sec(&self, sec: PeId) -> Option<PeId> {
+        self.pairs.iter().find(|&&(s, _)| s == sec).map(|&(_, p)| p)
+    }
+
+    /// Greedy plan generation — the algorithm of Fig. 5.
+    ///
+    /// The profiler "assigns a SecPE to the PriPE whose workload is maximal
+    /// and recalculates the workload distribution with assuming the original
+    /// workload is evenly shared with the attached SecPEs. This process is
+    /// repeated until all SecPEs are scheduled."
+    ///
+    /// `workloads[i]` is PriPE i's tuple count over the profiling window;
+    /// SecPE ids are assigned `m_pri..m_pri + x_sec` in scheduling order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workloads.len() != m_pri as usize`.
+    pub fn generate(workloads: &[u64], m_pri: u32, x_sec: u32) -> Self {
+        assert_eq!(workloads.len(), m_pri as usize, "one workload entry per PriPE");
+        let mut helpers = vec![1u64; workloads.len()];
+        let mut pairs = Vec::with_capacity(x_sec as usize);
+        for sec in 0..x_sec {
+            // Effective load = original / (1 + attached SecPEs).
+            let (target, _) = workloads
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| (i, w as f64 / helpers[i] as f64))
+                .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
+                .expect("m_pri > 0");
+            helpers[target] += 1;
+            pairs.push((m_pri + sec, target as PeId));
+        }
+        SchedulingPlan { pairs }
+    }
+
+    /// Effective per-PriPE load after applying this plan: `w[i] / (1 + h_i)`
+    /// where `h_i` counts SecPEs assigned to PriPE i. Used by tests and by
+    /// the analyzer's what-if reasoning.
+    pub fn effective_loads(&self, workloads: &[u64]) -> Vec<f64> {
+        let mut helpers = vec![1u64; workloads.len()];
+        for &(_, pri) in &self.pairs {
+            helpers[pri as usize] += 1;
+        }
+        workloads.iter().zip(&helpers).map(|(&w, &h)| w as f64 / h as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_example() {
+        // Fig. 5: four PriPEs; PriPE 2 dominates (90), gets two SecPEs
+        // (90 -> 45 -> 30); the third SecPE then goes to PriPE 0 (40).
+        // Plan: 4->2, 5->2, 6->0 — the example of Figs. 4 and 5.
+        let plan = SchedulingPlan::generate(&[40, 20, 90, 10], 4, 3);
+        assert_eq!(plan.pairs(), &[(4, 2), (5, 2), (6, 0)]);
+    }
+
+    #[test]
+    fn extreme_skew_gets_all_secpes() {
+        let plan = SchedulingPlan::generate(&[1000, 1, 1, 1], 4, 3);
+        assert_eq!(plan.pairs(), &[(4, 0), (5, 0), (6, 0)]);
+        let eff = plan.effective_loads(&[1000, 1, 1, 1]);
+        assert!((eff[0] - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_load_spreads_secpes() {
+        let plan = SchedulingPlan::generate(&[100, 100, 100, 100], 4, 3);
+        // Each SecPE goes to a distinct PriPE (ties broken deterministically).
+        let mut targets: Vec<_> = plan.pairs().iter().map(|&(_, p)| p).collect();
+        targets.sort_unstable();
+        targets.dedup();
+        assert_eq!(targets.len(), 3);
+    }
+
+    #[test]
+    fn effective_load_is_reduced_only_for_helped_pes() {
+        let w = [80u64, 40, 10, 10];
+        let plan = SchedulingPlan::generate(&w, 4, 2);
+        let eff = plan.effective_loads(&w);
+        assert!(eff[0] < 80.0);
+        assert_eq!(eff[2], 10.0);
+        assert_eq!(eff[3], 10.0);
+    }
+
+    #[test]
+    fn max_effective_load_never_increases_with_more_secpes() {
+        let w = [500u64, 300, 150, 50, 25, 12, 6, 3];
+        let mut prev_max = f64::INFINITY;
+        for x in 0..8u32 {
+            let plan = SchedulingPlan::generate(&w, 8, x);
+            let max =
+                plan.effective_loads(&w).into_iter().fold(0.0f64, f64::max);
+            assert!(max <= prev_max + 1e-9, "x={x}: {max} > {prev_max}");
+            prev_max = max;
+        }
+    }
+
+    #[test]
+    fn pri_of_sec_lookup() {
+        let plan = SchedulingPlan::from_pairs(vec![(4, 2), (5, 0)]);
+        assert_eq!(plan.pri_of_sec(4), Some(2));
+        assert_eq!(plan.pri_of_sec(5), Some(0));
+        assert_eq!(plan.pri_of_sec(6), None);
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        let a = SchedulingPlan::generate(&[10, 10], 2, 1);
+        let b = SchedulingPlan::generate(&[10, 10], 2, 1);
+        assert_eq!(a, b);
+    }
+}

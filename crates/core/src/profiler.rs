@@ -1,0 +1,418 @@
+//! The runtime profiler (§IV-C3): workload profiling, SecPE plan
+//! generation, throughput monitoring and the reschedule protocol (§IV-B).
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use hls_sim::{Counter, Cycle, Kernel, Receiver, Sender, ThroughputWindow};
+
+use crate::control::Control;
+use crate::{PeId, SchedulingPlan};
+
+/// Tuning parameters of the profiler.
+#[derive(Debug, Clone)]
+pub struct ProfilerParams {
+    /// PriPE count M.
+    pub m_pri: u32,
+    /// SecPE count X.
+    pub x_sec: u32,
+    /// Profiling window length in cycles (the paper's example uses 256).
+    pub profile_cycles: u64,
+    /// Throughput-monitoring window in clock ticks.
+    pub monitor_window: u64,
+    /// Reschedule when the monitored rate falls below this fraction of the
+    /// peak rate seen since the last plan. `0.0` disables rescheduling —
+    /// "the predefined threshold can be set to zero to stop the SecPE
+    /// rescheduling" (§IV-C3).
+    pub reschedule_threshold: f64,
+    /// Kernel dequeue + enqueue overhead in cycles: the time between the
+    /// profiler exiting and the CPU having re-enqueued profiler + SecPEs.
+    pub requeue_overhead_cycles: u64,
+    /// After this many *consecutive* reschedules that re-trigger faster than
+    /// twice the requeue overhead, stop rescheduling for good (the adaptive
+    /// form of setting the threshold to zero that Fig. 9's right side
+    /// exercises).
+    pub auto_disable_after: u32,
+}
+
+/// Internal protocol state.
+#[derive(Debug)]
+enum Phase {
+    /// Counting PriPE ids into the per-lane hist instances.
+    Profiling { remaining: u64 },
+    /// Streaming the generated plan to the mappers, one pair per cycle.
+    Distributing { queue: VecDeque<(PeId, PeId)> },
+    /// Watching the throughput window for a skew change.
+    Monitoring { since: Cycle, peak: f64 },
+    /// Waiting for all SecPEs to drain and exit.
+    Draining,
+    /// Waiting for the merger to fold SecPE partials.
+    AwaitMerge,
+    /// Modelling the CPU-side kernel re-enqueue overhead.
+    Requeue { until: Cycle },
+    /// Rescheduling permanently off (threshold 0 or auto-disabled).
+    Disabled,
+}
+
+/// The runtime profiler kernel.
+///
+/// It "receives N PriPE IDs from the mappers in one cycle with N independent
+/// hist instances"; after the profiling window it serially merges the
+/// partial hists, generates the SecPE scheduling plan greedily (Fig. 5) and
+/// transfers it to the mappers and the merger. It then monitors system
+/// throughput with a local clock tick; a drop below the threshold starts
+/// the reschedule protocol: mappers stop routing to SecPEs, SecPEs drain
+/// and exit, the merger folds their partials, and after the kernel
+/// re-enqueue overhead the profiler starts a fresh profiling window.
+pub struct ProfilerKernel {
+    name: String,
+    params: ProfilerParams,
+    phase: Phase,
+    feeds: Vec<Receiver<PeId>>,
+    plan_txs: Vec<Sender<(PeId, PeId)>>,
+    /// N independent hist instances (one per mapper lane), M bins each.
+    hists: Vec<Vec<u64>>,
+    current_plan: Rc<RefCell<SchedulingPlan>>,
+    control: Rc<Control>,
+    window: ThroughputWindow,
+    plans_generated: Counter,
+    /// Consecutive reschedules that re-triggered faster than the requeue
+    /// overhead can amortise.
+    fast_retriggers: u32,
+}
+
+impl ProfilerKernel {
+    /// Creates the profiler.
+    ///
+    /// `feeds` carry original PriPE ids from each mapper lane; `plan_txs`
+    /// deliver plan pairs back to each mapper; `processed` is the global
+    /// processed-tuple counter driving the throughput monitor;
+    /// `current_plan` is shared with the merger.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.x_sec == 0` (a pipeline without SecPEs has nothing
+    /// to schedule — don't instantiate a profiler) or if `feeds` and
+    /// `plan_txs` lengths differ.
+    pub fn new(
+        params: ProfilerParams,
+        feeds: Vec<Receiver<PeId>>,
+        plan_txs: Vec<Sender<(PeId, PeId)>>,
+        processed: Counter,
+        current_plan: Rc<RefCell<SchedulingPlan>>,
+        control: Rc<Control>,
+    ) -> Self {
+        assert!(params.x_sec > 0, "profiler requires at least one SecPE");
+        assert_eq!(feeds.len(), plan_txs.len(), "one plan channel per mapper lane");
+        let lanes = feeds.len();
+        control.set_feed_profiler(true);
+        ProfilerKernel {
+            name: "runtime-profiler".to_owned(),
+            window: ThroughputWindow::new(processed, params.monitor_window),
+            phase: Phase::Profiling { remaining: params.profile_cycles },
+            hists: vec![vec![0; params.m_pri as usize]; lanes],
+            feeds,
+            plan_txs,
+            current_plan,
+            control,
+            params,
+            plans_generated: Counter::new(),
+            fast_retriggers: 0,
+        }
+    }
+
+    /// Counter of generated plans (observable by reports/tests).
+    pub fn plans_generated(&self) -> Counter {
+        self.plans_generated.clone()
+    }
+
+    /// Merges the per-lane hists into the global workload histogram —
+    /// "serially executed to reduce the resource consumption".
+    fn merged_workloads(&self) -> Vec<u64> {
+        let m = self.params.m_pri as usize;
+        let mut global = vec![0u64; m];
+        for hist in &self.hists {
+            for (g, h) in global.iter_mut().zip(hist) {
+                *g += *h;
+            }
+        }
+        global
+    }
+
+    fn reset_hists(&mut self) {
+        for hist in &mut self.hists {
+            hist.fill(0);
+        }
+    }
+}
+
+impl Kernel for ProfilerKernel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn step(&mut self, cy: Cycle) {
+        match &mut self.phase {
+            Phase::Profiling { remaining } => {
+                // One id per lane per cycle into the lane's hist instance.
+                for (lane, feed) in self.feeds.iter().enumerate() {
+                    if let Some(pri) = feed.try_recv(cy) {
+                        self.hists[lane][pri as usize] += 1;
+                    }
+                }
+                *remaining -= 1;
+                if *remaining == 0 {
+                    self.control.set_feed_profiler(false);
+                    let workloads = self.merged_workloads();
+                    let plan = SchedulingPlan::generate(
+                        &workloads,
+                        self.params.m_pri,
+                        self.params.x_sec,
+                    );
+                    let queue: VecDeque<_> = plan.pairs().to_vec().into();
+                    *self.current_plan.borrow_mut() = plan;
+                    self.plans_generated.incr();
+                    self.phase = Phase::Distributing { queue };
+                }
+            }
+            Phase::Distributing { queue } => {
+                // One pair per cycle to every mapper (each mapper applies
+                // one pair per cycle, §IV-C2).
+                if let Some(&pair) = queue.front() {
+                    let all_ok = self.plan_txs.iter().all(Sender::can_send);
+                    if all_ok {
+                        for tx in &self.plan_txs {
+                            tx.try_send(cy, pair).unwrap_or_else(|_| unreachable!("checked"));
+                        }
+                        queue.pop_front();
+                    }
+                }
+                if queue.is_empty() {
+                    self.window.restart(cy);
+                    self.phase = Phase::Monitoring { since: cy, peak: 0.0 };
+                }
+            }
+            Phase::Monitoring { since, peak } => {
+                if self.params.reschedule_threshold <= 0.0 {
+                    return;
+                }
+                if let Some(rate) = self.window.tick(cy) {
+                    if rate > *peak {
+                        *peak = rate;
+                    }
+                    let triggered =
+                        *peak > 0.0 && rate < self.params.reschedule_threshold * *peak;
+                    if triggered {
+                        let steady = cy - *since;
+                        if steady < 2 * self.params.requeue_overhead_cycles {
+                            self.fast_retriggers += 1;
+                            if self.fast_retriggers >= self.params.auto_disable_after {
+                                // The workload distribution changes faster
+                                // than kernels can be re-enqueued: stop
+                                // rescheduling for good (the threshold-to-
+                                // zero behaviour Fig. 9's right side shows).
+                                self.phase = Phase::Disabled;
+                                return;
+                            }
+                        } else {
+                            self.fast_retriggers = 0;
+                        }
+                        self.control.set_route_to_sec(false);
+                        self.control.drain_all_secs();
+                        self.phase = Phase::Draining;
+                    }
+                }
+            }
+            Phase::Draining => {
+                if self.control.all_secs_exited() {
+                    self.control.request_merge();
+                    self.phase = Phase::AwaitMerge;
+                }
+            }
+            Phase::AwaitMerge => {
+                if self.control.merge_done() {
+                    self.control.count_reschedule();
+                    self.phase =
+                        Phase::Requeue { until: cy + self.params.requeue_overhead_cycles };
+                }
+            }
+            Phase::Requeue { until } => {
+                if cy >= *until {
+                    // CPU has re-enqueued profiler + SecPEs (§IV-B).
+                    self.control.bump_generation();
+                    self.control.restart_all_secs();
+                    self.control.set_route_to_sec(true);
+                    self.control.set_feed_profiler(true);
+                    self.reset_hists();
+                    self.phase = Phase::Profiling { remaining: self.params.profile_cycles };
+                }
+            }
+            Phase::Disabled => {}
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        match &self.phase {
+            Phase::Profiling { .. } => self.feeds.iter().all(Receiver::is_empty),
+            Phase::Distributing { queue } => queue.is_empty(),
+            Phase::Monitoring { .. } | Phase::Disabled => true,
+            // Mid-protocol states must complete before the engine may stop.
+            Phase::Draining | Phase::AwaitMerge | Phase::Requeue { .. } => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_sim::Channel;
+
+    fn params(x: u32) -> ProfilerParams {
+        ProfilerParams {
+            m_pri: 4,
+            x_sec: x,
+            profile_cycles: 16,
+            monitor_window: 32,
+            reschedule_threshold: 0.0,
+            requeue_overhead_cycles: 100,
+            auto_disable_after: 3,
+        }
+    }
+
+    #[test]
+    fn profiles_then_distributes_plan() {
+        let feed = Channel::new("feed", 64);
+        let plan_ch = Channel::new("plan", 8);
+        let control = Control::new(2);
+        let plan = Rc::new(RefCell::new(SchedulingPlan::empty()));
+        let mut prof = ProfilerKernel::new(
+            params(2),
+            vec![feed.receiver()],
+            vec![plan_ch.sender()],
+            Counter::new(),
+            plan.clone(),
+            control.clone(),
+        );
+        // All workload on PriPE 3.
+        for _ in 0..10 {
+            feed.sender().try_send(0, 3u32).unwrap();
+        }
+        for cy in 1..64 {
+            prof.step(cy);
+        }
+        assert_eq!(plan.borrow().pairs(), &[(4, 3), (5, 3)]);
+        // Mapper received both pairs.
+        let rx = plan_ch.receiver();
+        assert_eq!(rx.try_recv(100), Some((4, 3)));
+        assert_eq!(rx.try_recv(100), Some((5, 3)));
+        assert!(!control.feed_profiler(), "feed stops after profiling window");
+        assert!(prof.is_idle());
+    }
+
+    #[test]
+    fn hists_are_per_lane_and_merged() {
+        let feeds: Vec<Channel<u32>> = (0..2).map(|i| Channel::new(&format!("f{i}"), 64)).collect();
+        let plans: Vec<Channel<(u32, u32)>> =
+            (0..2).map(|i| Channel::new(&format!("p{i}"), 8)).collect();
+        let control = Control::new(1);
+        let plan = Rc::new(RefCell::new(SchedulingPlan::empty()));
+        let mut prof = ProfilerKernel::new(
+            params(1),
+            feeds.iter().map(|c| c.receiver()).collect(),
+            plans.iter().map(|c| c.sender()).collect(),
+            Counter::new(),
+            plan.clone(),
+            control,
+        );
+        // Lane 0 votes PriPE 1, lane 1 votes PriPE 2 — but lane 1 votes more.
+        for i in 0..6 {
+            feeds[0].sender().try_send(i, 1u32).unwrap();
+        }
+        for i in 0..12 {
+            feeds[1].sender().try_send(i, 2u32).unwrap();
+        }
+        for cy in 1..40 {
+            prof.step(cy);
+        }
+        assert_eq!(plan.borrow().pairs(), &[(4, 2)]);
+    }
+
+    #[test]
+    fn threshold_zero_never_reschedules() {
+        let feed = Channel::new("feed", 64);
+        let plan_ch = Channel::new("plan", 8);
+        let control = Control::new(1);
+        let processed = Counter::new();
+        let plan = Rc::new(RefCell::new(SchedulingPlan::empty()));
+        let mut prof = ProfilerKernel::new(
+            params(1),
+            vec![feed.receiver()],
+            vec![plan_ch.sender()],
+            processed.clone(),
+            plan,
+            control.clone(),
+        );
+        // Throughput collapses to zero after the plan, but threshold is 0.
+        for cy in 1..2_000 {
+            prof.step(cy);
+        }
+        assert_eq!(control.reschedules(), 0);
+        assert!(control.route_to_sec());
+    }
+
+    #[test]
+    fn reschedule_protocol_completes() {
+        let feed = Channel::new("feed", 256);
+        let plan_ch = Channel::new("plan", 8);
+        let control = Control::new(1);
+        let processed = Counter::new();
+        let plan = Rc::new(RefCell::new(SchedulingPlan::empty()));
+        let mut p = params(1);
+        p.reschedule_threshold = 0.5;
+        p.requeue_overhead_cycles = 50;
+        let mut prof = ProfilerKernel::new(
+            p,
+            vec![feed.receiver()],
+            vec![plan_ch.sender()],
+            processed.clone(),
+            plan,
+            control.clone(),
+        );
+        // Phase 1: profile (16 cycles), distribute, then healthy rate.
+        let mut cy = 1;
+        for _ in 0..16 {
+            feed.sender().try_send(cy, 0u32).ok();
+            prof.step(cy);
+            cy += 1;
+        }
+        // Healthy throughput for several windows (processed grows fast)...
+        for _ in 0..400 {
+            processed.add(4);
+            prof.step(cy);
+            cy += 1;
+        }
+        assert_eq!(control.reschedules(), 0);
+        // ...then collapse: rate goes to ~0 -> trigger.
+        for _ in 0..200 {
+            prof.step(cy);
+            cy += 1;
+            // SecPE cooperates with the drain request.
+            if control.sec_phase(0) == crate::SecPhase::Draining {
+                control.set_sec_phase(0, crate::SecPhase::Exited);
+            }
+            // Merger cooperates.
+            if control.take_merge_request() {
+                control.set_merge_done();
+            }
+        }
+        assert_eq!(control.reschedules(), 1, "one reschedule completed");
+        // After the requeue overhead the profiler must be profiling again.
+        for _ in 0..100 {
+            prof.step(cy);
+            cy += 1;
+        }
+        assert!(control.route_to_sec(), "routing re-enabled after requeue");
+        assert!(control.generation() > 0, "mappers told to reset");
+    }
+}

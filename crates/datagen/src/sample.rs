@@ -1,0 +1,93 @@
+//! Random sampling for the skew analyzer (§V-D).
+//!
+//! The paper's skew analyzer "randomly samples a certain number of data of
+//! the dataset" — 0.1 % (256 × 100 points) in the evaluation — to estimate
+//! the per-PriPE workload distribution before choosing an implementation.
+
+use crate::rng::Xoshiro256;
+use crate::Tuple;
+
+/// The paper's sampling fraction: 0.1 % of the dataset.
+pub const PAPER_SAMPLE_FRACTION: f64 = 0.001;
+
+/// Draws `k` tuples uniformly at random (with replacement) from `data`.
+///
+/// Sampling with replacement matches the analyzer's need — an unbiased
+/// estimate of the key-frequency distribution — and is how a streaming
+/// sampler over a DMA window behaves.
+///
+/// # Panics
+///
+/// Panics if `data` is empty and `k > 0`.
+pub fn sample_k(data: &[Tuple], k: usize, seed: u64) -> Vec<Tuple> {
+    assert!(k == 0 || !data.is_empty(), "cannot sample from empty dataset");
+    let mut rng = Xoshiro256::new(seed);
+    (0..k).map(|_| data[rng.range_u64(data.len() as u64) as usize]).collect()
+}
+
+/// Draws `fraction` of `data` (at least one tuple for nonempty input),
+/// rounding to the nearest count.
+///
+/// # Panics
+///
+/// Panics if `fraction` is not within `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use datagen::{sample, UniformGenerator};
+///
+/// let data = UniformGenerator::new(1 << 16, 1).take_vec(10_000);
+/// let s = sample::sample_fraction(&data, sample::PAPER_SAMPLE_FRACTION, 42);
+/// assert_eq!(s.len(), 10); // 0.1% of 10k
+/// ```
+pub fn sample_fraction(data: &[Tuple], fraction: f64, seed: u64) -> Vec<Tuple> {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+    if data.is_empty() || fraction == 0.0 {
+        return Vec::new();
+    }
+    let k = ((data.len() as f64 * fraction).round() as usize).max(1);
+    sample_k(data, k, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ZipfGenerator;
+
+    #[test]
+    fn sample_size_is_exact() {
+        let data = ZipfGenerator::new(1.0, 1 << 10, 1).take_vec(50_000);
+        assert_eq!(sample_k(&data, 500, 7).len(), 500);
+        assert_eq!(sample_fraction(&data, 0.001, 7).len(), 50);
+    }
+
+    #[test]
+    fn sample_preserves_skew_roughly() {
+        let mut g = ZipfGenerator::new(2.5, 1 << 12, 3);
+        let data = g.take_vec(100_000);
+        let hot = g.key_of_rank(1);
+        let pop_share = data.iter().filter(|t| t.key == hot).count() as f64 / data.len() as f64;
+        let s = sample_fraction(&data, 0.01, 9);
+        let samp_share = s.iter().filter(|t| t.key == hot).count() as f64 / s.len() as f64;
+        assert!((pop_share - samp_share).abs() < 0.08, "pop {pop_share} sample {samp_share}");
+    }
+
+    #[test]
+    fn empty_input_yields_empty_sample() {
+        assert!(sample_fraction(&[], 0.5, 1).is_empty());
+        assert!(sample_k(&[], 0, 1).is_empty());
+    }
+
+    #[test]
+    fn nonempty_input_small_fraction_yields_at_least_one() {
+        let data = vec![Tuple::new(1, 1); 10];
+        assert_eq!(sample_fraction(&data, 1e-9, 1).len(), 1);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let data = ZipfGenerator::new(1.0, 256, 5).take_vec(1000);
+        assert_eq!(sample_k(&data, 100, 42), sample_k(&data, 100, 42));
+    }
+}

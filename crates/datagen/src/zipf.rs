@@ -1,0 +1,219 @@
+//! Zipf-distributed tuple generation (§II, §VI-C of the paper).
+
+use sketches::hash::splitmix64;
+
+use crate::rng::Xoshiro256;
+
+use crate::Tuple;
+
+/// Maximum universe size for which the exact CDF table is built.
+const MAX_UNIVERSE: usize = 1 << 24;
+
+/// Generates tuples whose keys follow a Zipf distribution with factor `α`
+/// over a universe of `n` distinct keys.
+///
+/// Rank `r` (1-based) is drawn with probability `r^-α / H(n, α)` using an
+/// exact inverse-CDF table, then mapped to a key by a seeded pseudo-random
+/// permutation of the universe — so the *hot* keys land on different values
+/// (and therefore different PEs) for different seeds, reproducing the
+/// paper's observation that "overloaded PEs vary across datasets" (Fig. 2a).
+///
+/// `α = 0` degenerates to the uniform distribution, matching the paper's
+/// use of α = 0 as the uniform baseline.
+///
+/// # Example
+///
+/// ```
+/// use datagen::ZipfGenerator;
+///
+/// // Extreme skew: almost all tuples share one key.
+/// let mut g = ZipfGenerator::new(3.0, 1 << 20, 7);
+/// let data = g.take_vec(10_000);
+/// let hot = g.key_of_rank(1);
+/// let hot_count = data.iter().filter(|t| t.key == hot).count();
+/// assert!(hot_count > 8_000, "hot key only {hot_count}/10000");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfGenerator {
+    alpha: f64,
+    universe: u64,
+    seed: u64,
+    rng: Xoshiro256,
+    /// Inverse-CDF table: `cdf[i]` = P(rank <= i+1). Empty when α = 0.
+    cdf: Vec<f64>,
+}
+
+impl ZipfGenerator {
+    /// Creates a generator with Zipf factor `alpha` over `universe` distinct
+    /// keys, seeded by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is negative or not finite, if `universe` is zero,
+    /// or if `universe` exceeds 2²⁴ with `alpha > 0` (the exact CDF table
+    /// would not fit comfortably in memory).
+    pub fn new(alpha: f64, universe: u64, seed: u64) -> Self {
+        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be >= 0");
+        assert!(universe > 0, "universe must be nonzero");
+        let cdf = if alpha == 0.0 {
+            Vec::new()
+        } else {
+            assert!(
+                universe as usize <= MAX_UNIVERSE,
+                "universe {universe} too large for exact Zipf table"
+            );
+            let mut cdf = Vec::with_capacity(universe as usize);
+            let mut acc = 0.0f64;
+            for r in 1..=universe {
+                acc += (r as f64).powf(-alpha);
+                cdf.push(acc);
+            }
+            let norm = acc;
+            for v in &mut cdf {
+                *v /= norm;
+            }
+            cdf
+        };
+        ZipfGenerator { alpha, universe, seed, rng: Xoshiro256::new(seed), cdf }
+    }
+
+    /// The Zipf factor α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The number of distinct keys in the universe.
+    pub fn universe(&self) -> u64 {
+        self.universe
+    }
+
+    /// The seed this generator was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Draws the next rank (1-based) from the distribution.
+    ///
+    /// Exposed so that stream wrappers (e.g. the evolving-skew stream of
+    /// Fig. 9) can re-map ranks to keys with their own epoch-dependent salt.
+    pub fn next_rank(&mut self) -> u64 {
+        if self.cdf.is_empty() {
+            return self.rng.range_u64(self.universe) + 1;
+        }
+        let u: f64 = self.rng.uniform_f64();
+        // partition_point returns the first index whose cdf >= u.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx as u64 + 1).min(self.universe)
+    }
+
+    /// Maps a rank to its (seed-dependent) key value.
+    ///
+    /// The mapping is a pseudo-random permutation-like mixing of the rank:
+    /// collisions are possible but negligibly rare for 64-bit keys, and the
+    /// property that matters — hot ranks land on seed-dependent keys — holds.
+    pub fn key_of_rank(&self, rank: u64) -> u64 {
+        splitmix64(rank ^ splitmix64(self.seed))
+    }
+
+    /// Generates the next tuple.
+    pub fn next_tuple(&mut self) -> Tuple {
+        let rank = self.next_rank();
+        let key = self.key_of_rank(rank);
+        Tuple::new(key, rank)
+    }
+
+    /// Generates `n` tuples into a fresh vector.
+    pub fn take_vec(&mut self, n: usize) -> Vec<Tuple> {
+        (0..n).map(|_| self.next_tuple()).collect()
+    }
+
+    /// Generates `n` tuples, appending to `out`.
+    pub fn fill(&mut self, n: usize, out: &mut Vec<Tuple>) {
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(self.next_tuple());
+        }
+    }
+}
+
+impl Iterator for ZipfGenerator {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        Some(self.next_tuple())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn freq(data: &[Tuple]) -> HashMap<u64, usize> {
+        let mut m = HashMap::new();
+        for t in data {
+            *m.entry(t.key).or_insert(0) += 1;
+        }
+        m
+    }
+
+    #[test]
+    fn alpha_zero_is_roughly_uniform() {
+        let mut g = ZipfGenerator::new(0.0, 64, 1);
+        let data = g.take_vec(64_000);
+        let f = freq(&data);
+        // Expect ~1000 per key; allow generous tolerance.
+        for (&k, &c) in &f {
+            assert!((700..1300).contains(&c), "key {k} count {c}");
+        }
+    }
+
+    #[test]
+    fn high_alpha_concentrates_mass() {
+        let mut g = ZipfGenerator::new(3.0, 1 << 16, 3);
+        let data = g.take_vec(50_000);
+        let hot = g.key_of_rank(1);
+        let hot_share = data.iter().filter(|t| t.key == hot).count() as f64 / 50_000.0;
+        // zeta(3) ≈ 1.202, so rank 1 carries ~83% of the mass.
+        assert!(hot_share > 0.80, "hot share {hot_share}");
+    }
+
+    #[test]
+    fn rank_one_frequency_matches_theory_at_alpha_one() {
+        let n = 1000u64;
+        let mut g = ZipfGenerator::new(1.0, n, 11);
+        let data = g.take_vec(100_000);
+        let hot = g.key_of_rank(1);
+        let share = data.iter().filter(|t| t.key == hot).count() as f64 / 100_000.0;
+        let h: f64 = (1..=n).map(|r| 1.0 / r as f64).sum();
+        let expect = 1.0 / h;
+        assert!((share - expect).abs() < 0.02, "share {share} vs theory {expect}");
+    }
+
+    #[test]
+    fn different_seeds_move_the_hot_key() {
+        let a = ZipfGenerator::new(2.0, 1 << 10, 1).key_of_rank(1);
+        let b = ZipfGenerator::new(2.0, 1 << 10, 2).key_of_rank(1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = ZipfGenerator::new(1.2, 1 << 12, 9).take_vec(1000);
+        let b = ZipfGenerator::new(1.2, 1 << 12, 9).take_vec(1000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn iterator_interface() {
+        let g = ZipfGenerator::new(0.5, 100, 4);
+        let v: Vec<Tuple> = g.take(5).collect();
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be >= 0")]
+    fn negative_alpha_rejected() {
+        let _ = ZipfGenerator::new(-1.0, 10, 0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Property tests on the dataset generators.
+
+use datagen::{rng::Xoshiro256, EvolvingZipfStream, UniformGenerator, ZipfGenerator};
+use hls_sim::StreamSource;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Zipf rank frequencies are non-increasing (up to sampling noise)
+    /// for any positive alpha.
+    #[test]
+    fn zipf_ranks_are_monotone(alpha in 0.5f64..3.0, seed in any::<u64>()) {
+        let mut g = ZipfGenerator::new(alpha, 1 << 10, seed);
+        let mut counts = vec![0u32; 1 << 10];
+        for _ in 0..20_000 {
+            counts[(g.next_rank() - 1) as usize] += 1;
+        }
+        // Compare well-separated ranks to dodge noise.
+        prop_assert!(counts[0] >= counts[15]);
+        prop_assert!(counts[3] >= counts[63]);
+        prop_assert!(counts[15] >= counts[255]);
+    }
+
+    /// Generators are reproducible and seed-sensitive.
+    #[test]
+    fn determinism_and_seed_sensitivity(seed in any::<u64>()) {
+        let a = ZipfGenerator::new(1.0, 256, seed).take_vec(64);
+        let b = ZipfGenerator::new(1.0, 256, seed).take_vec(64);
+        prop_assert_eq!(&a, &b);
+        let c = ZipfGenerator::new(1.0, 256, seed.wrapping_add(1)).take_vec(64);
+        prop_assert_ne!(a, c);
+    }
+
+    /// Uniform keys respect the universe bound for any universe size.
+    #[test]
+    fn uniform_keys_in_bounds(universe in 1u64..1_000_000, seed in any::<u64>()) {
+        let mut g = UniformGenerator::new(universe, seed);
+        for _ in 0..200 {
+            prop_assert!(g.next_tuple().key < universe);
+        }
+    }
+
+    /// The evolving stream never exceeds its rate budget in any window.
+    #[test]
+    fn stream_rate_budget(rate in 1u32..8, interval in 1u64..5_000) {
+        let mut s = EvolvingZipfStream::new(
+            2.0, 1 << 12, 9, interval, f64::from(rate), None,
+        );
+        let mut out = Vec::new();
+        let window = 500u64;
+        let mut got = 0usize;
+        for cy in 0..window {
+            out.clear();
+            s.pull(cy, 64, &mut out);
+            got += out.len();
+        }
+        // Allow the one-cycle burst headroom of the token bucket.
+        prop_assert!(got as u64 <= u64::from(rate) * window + u64::from(rate) * 2);
+    }
+
+    /// The raw RNG's range reduction is always in bounds.
+    #[test]
+    fn rng_range_in_bounds(n in 1u64..1_000_000, seed in any::<u64>()) {
+        let mut r = Xoshiro256::new(seed);
+        for _ in 0..100 {
+            prop_assert!(r.range_u64(n) < n);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! FPGA device capacities.
+
+/// Capacity of one FPGA device, in the units Quartus reports.
+///
+/// # Example
+///
+/// ```
+/// use fpga_model::Device;
+///
+/// let dev = Device::arria10_gx1150();
+/// assert_eq!(dev.m20k_blocks, 2_713);
+/// assert!(dev.utilization_ram(597) > 0.21 && dev.utilization_ram(597) < 0.23);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Device {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Adaptive logic modules.
+    pub alms: u64,
+    /// M20K on-chip RAM blocks.
+    pub m20k_blocks: u64,
+    /// Hard DSP blocks.
+    pub dsp_blocks: u64,
+}
+
+impl Device {
+    /// The Intel PAC's Arria 10 GX 1150 — the paper's platform (§VI-A1).
+    pub fn arria10_gx1150() -> Self {
+        Device {
+            name: "Intel Arria 10 GX 1150",
+            alms: 427_200,
+            m20k_blocks: 2_713,
+            dsp_blocks: 1_518,
+        }
+    }
+
+    /// Fraction of ALMs used by `alms` (0.0–1.0+, uncapped).
+    pub fn utilization_logic(&self, alms: u64) -> f64 {
+        alms as f64 / self.alms as f64
+    }
+
+    /// Fraction of M20K blocks used.
+    pub fn utilization_ram(&self, blocks: u64) -> f64 {
+        blocks as f64 / self.m20k_blocks as f64
+    }
+
+    /// Fraction of DSP blocks used.
+    pub fn utilization_dsp(&self, dsps: u64) -> f64 {
+        dsps as f64 / self.dsp_blocks as f64
+    }
+
+    /// `true` if a design with the given usage fits on the device.
+    pub fn fits(&self, alms: u64, m20k: u64, dsp: u64) -> bool {
+        alms <= self.alms && m20k <= self.m20k_blocks && dsp <= self.dsp_blocks
+    }
+}
+
+impl Default for Device {
+    fn default() -> Self {
+        Device::arria10_gx1150()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_utilization_anchors() {
+        // Cross-check the device totals against Table III's percentages:
+        // 597 RAM = 22%, 163,934 logic = 38%, 403 DSP = 27% for 16P.
+        let dev = Device::arria10_gx1150();
+        assert!((dev.utilization_ram(597) - 0.22).abs() < 0.01);
+        assert!((dev.utilization_logic(163_934) - 0.38).abs() < 0.01);
+        assert!((dev.utilization_dsp(403) - 0.27).abs() < 0.01);
+        // ...and 16P+15S: 2,129 RAM = 78%, 230,095 logic = 54%, 658 DSP = 43%.
+        assert!((dev.utilization_ram(2_129) - 0.78).abs() < 0.01);
+        assert!((dev.utilization_logic(230_095) - 0.54).abs() < 0.01);
+        assert!((dev.utilization_dsp(658) - 0.43).abs() < 0.01);
+    }
+
+    #[test]
+    fn fits_checks_all_axes() {
+        let dev = Device::arria10_gx1150();
+        assert!(dev.fits(100, 100, 100));
+        assert!(!dev.fits(dev.alms + 1, 0, 0));
+        assert!(!dev.fits(0, dev.m20k_blocks + 1, 0));
+        assert!(!dev.fits(0, 0, dev.dsp_blocks + 1));
+    }
+}

@@ -1,0 +1,126 @@
+//! Clock-frequency model and throughput unit conversions.
+
+/// Linear frequency-vs-utilisation fit with deterministic P&R jitter.
+///
+/// Quartus closes timing at lower frequencies as the device fills up; a
+/// linear fit through Table III's anchor points — (38 % logic, 246 MHz) for
+/// `16P` and (60 %, 191 MHz) for `32P` — gives `f = 341 − 250·util`. Real
+/// place-&-route adds run-to-run noise (Table III's `16P+2S` at 180 MHz is
+/// *slower* than `16P+15S` at 188 MHz); we reproduce that character with a
+/// *deterministic* per-configuration jitter of up to ±4 %, seeded by the
+/// configuration hash so results never change between runs.
+///
+/// # Example
+///
+/// ```
+/// use fpga_model::FrequencyModel;
+///
+/// let f = FrequencyModel::calibrated();
+/// let fast = f.frequency_mhz(0.38, 0);
+/// let slow = f.frequency_mhz(0.70, 0);
+/// assert!(fast > slow);
+/// assert_eq!(fast, f.frequency_mhz(0.38, 0)); // deterministic
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrequencyModel {
+    /// Zero-utilisation intercept, MHz.
+    pub intercept_mhz: f64,
+    /// Frequency lost per unit of logic utilisation, MHz.
+    pub slope_mhz: f64,
+    /// Maximum relative jitter (0.04 = ±4 %).
+    pub jitter: f64,
+    /// Lower clamp, MHz.
+    pub min_mhz: f64,
+    /// Upper clamp, MHz.
+    pub max_mhz: f64,
+}
+
+impl FrequencyModel {
+    /// The fit calibrated against Table III (see type-level docs).
+    pub fn calibrated() -> Self {
+        FrequencyModel {
+            intercept_mhz: 341.0,
+            slope_mhz: 250.0,
+            jitter: 0.04,
+            min_mhz: 140.0,
+            max_mhz: 280.0,
+        }
+    }
+
+    /// A noise-free variant (useful in tests that need exact monotonicity).
+    pub fn noiseless() -> Self {
+        FrequencyModel { jitter: 0.0, ..Self::calibrated() }
+    }
+
+    /// Achieved frequency at `logic_util` for the design identified by
+    /// `config_hash` (jitter seed).
+    pub fn frequency_mhz(&self, logic_util: f64, config_hash: u64) -> f64 {
+        let base = self.intercept_mhz - self.slope_mhz * logic_util;
+        let unit = ((config_hash >> 17) % 10_000) as f64 / 10_000.0; // [0,1)
+        let factor = 1.0 + (unit - 0.5) * 2.0 * self.jitter;
+        (base * factor).clamp(self.min_mhz, self.max_mhz)
+    }
+}
+
+impl Default for FrequencyModel {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+/// Converts a simulated rate in tuples/cycle at `freq_mhz` into million
+/// tuples per second — the paper's throughput unit for Figs. 2b and 7.
+///
+/// # Example
+///
+/// ```
+/// // 8 tuples/cycle at 246 MHz ≈ 1968 MT/s (the paper's uniform HISTO peak
+/// // of ~2000 MT/s in Fig. 2b).
+/// assert_eq!(fpga_model::mtps(8.0, 246.0), 1968.0);
+/// ```
+pub fn mtps(tuples_per_cycle: f64, freq_mhz: f64) -> f64 {
+    tuples_per_cycle * freq_mhz
+}
+
+/// Converts edges/cycle at `freq_mhz` into million traversed edges per
+/// second (MTEPS) — Fig. 8's throughput metric. Identical arithmetic to
+/// [`mtps`], provided separately for unit clarity.
+pub fn mteps(edges_per_cycle: f64, freq_mhz: f64) -> f64 {
+    edges_per_cycle * freq_mhz
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_passes_through_anchors() {
+        let f = FrequencyModel::noiseless();
+        assert!((f.frequency_mhz(0.38, 0) - 246.0).abs() < 1.5);
+        assert!((f.frequency_mhz(0.60, 0) - 191.0).abs() < 1.5);
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let f = FrequencyModel::calibrated();
+        for h in 0..1000u64 {
+            let v = f.frequency_mhz(0.5, h.wrapping_mul(0x9e3779b97f4a7c15));
+            let base = 341.0 - 250.0 * 0.5;
+            assert!((v / base - 1.0).abs() <= 0.0401, "hash {h}: {v}");
+            assert_eq!(v, f.frequency_mhz(0.5, h.wrapping_mul(0x9e3779b97f4a7c15)));
+        }
+    }
+
+    #[test]
+    fn clamps_apply() {
+        let f = FrequencyModel::calibrated();
+        assert!(f.frequency_mhz(5.0, 0) >= 140.0);
+        assert!(f.frequency_mhz(-5.0, 0) <= 280.0);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(mtps(1.0, 200.0), 200.0);
+        assert_eq!(mteps(0.5, 200.0), 100.0);
+    }
+}

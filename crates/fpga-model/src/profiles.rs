@@ -1,0 +1,118 @@
+//! Per-application hardware cost profiles.
+
+/// Resource costs of one application's PE logic, used by
+/// [`ResourceModel`](crate::ResourceModel) to estimate a full design.
+///
+/// `buffer_m20k` is the private BRAM buffer each destination PE owns (bins,
+/// partitions staging, vertex slice, HLL registers, CMS slice); the `pe_*`
+/// fields cost the processing logic replicated per PriPE/SecPE and the
+/// `pre_*` fields the tuple-preparation logic replicated per PrePE.
+///
+/// The HLL profile is calibrated so the full-design estimates track the
+/// paper's Table III; the other four applications' profiles are scaled by
+/// the relative complexity of their inner loops (hash width, fixed-point
+/// multipliers, staging buffers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppCostProfile {
+    /// Application name as it appears in reports.
+    pub name: &'static str,
+    /// Private buffer per destination PE, in M20K blocks.
+    pub buffer_m20k: u64,
+    /// PriPE/SecPE processing logic, in ALMs.
+    pub pe_logic: u64,
+    /// PriPE/SecPE DSP blocks.
+    pub pe_dsp: u64,
+    /// PrePE preparation logic, in ALMs.
+    pub pre_logic: u64,
+    /// PrePE DSP blocks.
+    pub pre_dsp: u64,
+}
+
+impl AppCostProfile {
+    /// HyperLogLog — murmur3 in the PrePE, max-update register file in the
+    /// PE. Calibrated against Table III.
+    pub fn hll() -> Self {
+        AppCostProfile {
+            name: "HLL",
+            buffer_m20k: 8,
+            pe_logic: 2_306,
+            pe_dsp: 9,
+            pre_logic: 3_000,
+            pre_dsp: 20,
+        }
+    }
+
+    /// Histogram building — cheap hash, single-increment PE.
+    pub fn histo() -> Self {
+        AppCostProfile {
+            name: "HISTO",
+            buffer_m20k: 12,
+            pe_logic: 1_800,
+            pe_dsp: 4,
+            pre_logic: 1_500,
+            pre_dsp: 6,
+        }
+    }
+
+    /// Data partitioning — radix split with per-partition staging buffers.
+    pub fn dp() -> Self {
+        AppCostProfile {
+            name: "DP",
+            buffer_m20k: 16,
+            pe_logic: 2_600,
+            pe_dsp: 2,
+            pre_logic: 1_200,
+            pre_dsp: 4,
+        }
+    }
+
+    /// PageRank — fixed-point multiply-accumulate over a vertex slice.
+    pub fn pagerank() -> Self {
+        AppCostProfile {
+            name: "PR",
+            buffer_m20k: 20,
+            pe_logic: 2_400,
+            pe_dsp: 12,
+            pre_logic: 2_800,
+            pre_dsp: 16,
+        }
+    }
+
+    /// Heavy-hitter detection — count-min slice plus candidate tracking.
+    pub fn hhd() -> Self {
+        AppCostProfile {
+            name: "HHD",
+            buffer_m20k: 14,
+            pe_logic: 2_200,
+            pe_dsp: 6,
+            pre_logic: 2_000,
+            pre_dsp: 10,
+        }
+    }
+
+    /// All five evaluated applications, in Table I order.
+    pub fn all() -> Vec<AppCostProfile> {
+        vec![Self::histo(), Self::dp(), Self::pagerank(), Self::hll(), Self::hhd()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_have_distinct_names() {
+        let all = AppCostProfile::all();
+        let mut names: Vec<_> = all.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn profiles_are_nonzero() {
+        for p in AppCostProfile::all() {
+            assert!(p.buffer_m20k > 0 && p.pe_logic > 0 && p.pre_logic > 0, "{}", p.name);
+        }
+    }
+}

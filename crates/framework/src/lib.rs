@@ -1,0 +1,47 @@
+//! # ditto-framework — the Ditto workflow (§V)
+//!
+//! The framework wraps the skew-oblivious architecture of `ditto-core` with
+//! the two phases of the paper's Fig. 6:
+//!
+//! 1. **Implementation generation** — [`SystemGenerator`] tunes the PrePE
+//!    and PriPE counts with Equation 1
+//!    (`N_pre/II_pre = N_pri/II_pri = Wmem/Wtuple`) for the given
+//!    [`Platform`], then generates implementation variants with X = 0..M−1
+//!    SecPEs, each with a resource/frequency estimate from `fpga-model`
+//!    (standing in for the Intel tool-chain's bitstream compilation).
+//! 2. **Implementation selection** — [`SkewAnalyzer`] samples 0.1 % of the
+//!    dataset, estimates the per-PriPE workload, applies Equation 2 to
+//!    choose the number of SecPEs, and [`select_implementation`] picks the
+//!    cheapest generated variant that can absorb the measured skew.
+//!
+//! # Example
+//!
+//! ```
+//! use ditto_framework::{Platform, SkewAnalyzer, SystemGenerator};
+//! use ditto_core::apps::CountPerKey;
+//! use datagen::ZipfGenerator;
+//!
+//! let platform = Platform::intel_pac_a10();
+//! let shape = SystemGenerator::tune(1, 2, &platform); // II_pre=1, II_pri=2
+//! assert_eq!((shape.n_pre, shape.m_pri), (8, 16));
+//!
+//! let data = ZipfGenerator::new(3.0, 1 << 20, 1).take_vec(100_000);
+//! let app = CountPerKey::new(16);
+//! let x = SkewAnalyzer::paper().recommend(&app, &data, 16);
+//! assert!(x >= 10); // extreme skew needs most of the M-1 SecPEs
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analyzer;
+mod platform;
+mod predictor;
+mod select;
+mod sysgen;
+
+pub use analyzer::SkewAnalyzer;
+pub use platform::Platform;
+pub use predictor::StreamSkewPredictor;
+pub use select::{select_implementation, Implementation};
+pub use sysgen::{PipelineTuning, SystemGenerator};

@@ -1,0 +1,106 @@
+//! Platform description: memory interface, tuple width, device.
+
+use fpga_model::Device;
+
+/// The deployment platform: memory interface width, tuple width, and the
+/// FPGA device the implementations must fit.
+///
+/// # Example
+///
+/// ```
+/// use ditto_framework::Platform;
+///
+/// let p = Platform::intel_pac_a10();
+/// assert_eq!(p.tuples_per_cycle(), 8); // 64-byte interface, 8-byte tuples
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    /// Memory interface width `Wmem`, bytes per cycle.
+    pub wmem_bytes: u32,
+    /// Tuple width `Wtuple`, bytes.
+    pub wtuple_bytes: u32,
+    /// Burst latency of the memory interface, cycles.
+    pub burst_latency: u64,
+    /// The FPGA device.
+    pub device: Device,
+}
+
+impl Platform {
+    /// The paper's platform: Intel PAC with an Arria 10 GX 1150, 64-byte
+    /// (512-bit) memory interface, 8-byte tuples (§VI-A1, §VI-C1).
+    pub fn intel_pac_a10() -> Self {
+        Platform {
+            wmem_bytes: 64,
+            wtuple_bytes: 8,
+            burst_latency: 16,
+            device: Device::arria10_gx1150(),
+        }
+    }
+
+    /// `Wmem / Wtuple` — tuples the interface supplies per cycle, the
+    /// right-hand side of Equation 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tuple is wider than the interface.
+    pub fn tuples_per_cycle(&self) -> u32 {
+        assert!(
+            self.wtuple_bytes <= self.wmem_bytes,
+            "tuple wider than the memory interface"
+        );
+        self.wmem_bytes / self.wtuple_bytes
+    }
+
+    /// A variant with a different tuple width.
+    pub fn with_tuple_bytes(mut self, bytes: u32) -> Self {
+        self.wtuple_bytes = bytes;
+        self
+    }
+
+    /// A Xilinx Alveo U250-class platform — the paper notes the system
+    /// "can be migrated to the Xilinx OpenCL tool-chain as well" (§V-A).
+    /// Same 512-bit memory interface; a larger device (1.7 M LUTs ≈
+    /// 863 k CLBs-as-ALM-equivalents, 2 000 BRAM36 + 1 280 URAM blocks
+    /// folded into one on-chip-RAM pool, 12 288 DSPs).
+    pub fn xilinx_alveo_u250() -> Self {
+        Platform {
+            wmem_bytes: 64,
+            wtuple_bytes: 8,
+            burst_latency: 20,
+            device: fpga_model::Device {
+                name: "Xilinx Alveo U250",
+                alms: 863_000,
+                m20k_blocks: 5_280,
+                dsp_blocks: 12_288,
+            },
+        }
+    }
+}
+
+impl Default for Platform {
+    fn default() -> Self {
+        Self::intel_pac_a10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_platform_feeds_eight_tuples_per_cycle() {
+        assert_eq!(Platform::intel_pac_a10().tuples_per_cycle(), 8);
+    }
+
+    #[test]
+    fn wider_tuples_reduce_rate() {
+        let p = Platform::intel_pac_a10().with_tuple_bytes(16);
+        assert_eq!(p.tuples_per_cycle(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than the memory interface")]
+    fn oversized_tuple_rejected() {
+        let _ = Platform::intel_pac_a10().with_tuple_bytes(128).tuples_per_cycle();
+    }
+}

@@ -1,0 +1,117 @@
+//! Implementation selection (Fig. 6 phase 2).
+
+use datagen::Tuple;
+use ditto_core::{ArchConfig, DittoApp};
+use fpga_model::{AppCostProfile, ResourceEstimate, ResourceModel};
+
+use crate::{Platform, SkewAnalyzer, SystemGenerator};
+
+/// A selected implementation: the architecture configuration plus its
+/// modelled resources and frequency (the "suitable bitstream" of Fig. 6).
+#[derive(Debug, Clone)]
+pub struct Implementation {
+    /// The architecture configuration to run.
+    pub config: ArchConfig,
+    /// Modelled post-P&R resources and clock.
+    pub estimate: ResourceEstimate,
+    /// The SecPE count Equation 2 recommended (the chosen variant's X may
+    /// be the next generated size up).
+    pub recommended_x: u32,
+}
+
+/// Runs the full Ditto workflow for one application and dataset: Equation 1
+/// tuning, variant generation, skew analysis, and selection of the variant
+/// that "saves the BRAM usage without significantly compromising the
+/// performance" — the smallest X ≥ the Equation 2 recommendation.
+///
+/// # Example
+///
+/// ```
+/// use ditto_framework::{select_implementation, Platform, SkewAnalyzer};
+/// use ditto_core::apps::CountPerKey;
+/// use fpga_model::AppCostProfile;
+/// use datagen::ZipfGenerator;
+///
+/// let data = ZipfGenerator::new(0.0, 1 << 20, 9).take_vec(50_000);
+/// let app = CountPerKey::new(16);
+/// let imp = select_implementation(
+///     &app,
+///     &data,
+///     &Platform::intel_pac_a10(),
+///     &AppCostProfile::histo(),
+///     &SkewAnalyzer::paper(),
+/// );
+/// assert_eq!(imp.config.x_sec, 0); // uniform data: cheapest variant
+/// ```
+pub fn select_implementation<A: DittoApp>(
+    app: &A,
+    data: &[Tuple],
+    platform: &Platform,
+    profile: &AppCostProfile,
+    analyzer: &SkewAnalyzer,
+) -> Implementation {
+    let tuning = SystemGenerator::tune(app.ii_pre(), app.ii_pri(), platform);
+    let model = ResourceModel::new(platform.device.clone(), fpga_model::FrequencyModel::calibrated());
+    let variants = SystemGenerator::variants(tuning, profile, &model);
+    let recommended_x = analyzer.recommend(app, data, tuning.m_pri);
+    let (config, estimate) = variants
+        .into_iter()
+        .find(|(c, _)| c.x_sec >= recommended_x)
+        .expect("variant list covers 0..M-1, recommendation is clamped to M-1");
+    Implementation { config, estimate, recommended_x }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::ZipfGenerator;
+    use ditto_core::apps::CountPerKey;
+
+    fn select_for(alpha: f64) -> Implementation {
+        let data = ZipfGenerator::new(alpha, 1 << 18, 21).take_vec(60_000);
+        let app = CountPerKey::new(16);
+        select_implementation(
+            &app,
+            &data,
+            &Platform::intel_pac_a10(),
+            &AppCostProfile::histo(),
+            &SkewAnalyzer::paper(),
+        )
+    }
+
+    #[test]
+    fn uniform_selects_base() {
+        let imp = select_for(0.0);
+        assert_eq!(imp.config.x_sec, 0);
+        assert_eq!(imp.recommended_x, 0);
+    }
+
+    #[test]
+    fn extreme_skew_selects_nearly_full() {
+        let imp = select_for(3.0);
+        // α = 3 concentrates ~83% of tuples on one PriPE; Equation 2 asks
+        // for most of the M-1 SecPEs (the all-one-key worst case asks for
+        // exactly M-1).
+        assert!(imp.config.x_sec >= 10, "x = {}", imp.config.x_sec);
+    }
+
+    #[test]
+    fn selection_never_underprovisions() {
+        for &alpha in &[0.0, 0.75, 1.25, 2.0, 3.0] {
+            let imp = select_for(alpha);
+            assert!(
+                imp.config.x_sec >= imp.recommended_x,
+                "α={alpha}: x {} < recommended {}",
+                imp.config.x_sec,
+                imp.recommended_x
+            );
+        }
+    }
+
+    #[test]
+    fn bram_grows_with_selected_x() {
+        let base = select_for(0.0);
+        let full = select_for(3.0);
+        assert!(full.estimate.ram_blocks > base.estimate.ram_blocks);
+    }
+}

@@ -1,0 +1,117 @@
+//! System generation (§V-C): Equation 1 tuning and variant generation.
+
+use ditto_core::ArchConfig;
+use fpga_model::{AppCostProfile, PipelineShape, ResourceEstimate, ResourceModel};
+
+use crate::Platform;
+
+/// The Equation 1 result: PE counts forming a balanced pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineTuning {
+    /// PrePE count N.
+    pub n_pre: u32,
+    /// PriPE count M.
+    pub m_pri: u32,
+}
+
+/// Generates implementations: Equation 1 tuning plus the X = 0..M−1 SecPE
+/// variant sweep, each annotated with modelled resources and frequency
+/// (standing in for the Intel OpenCL tool-chain's bitstream compilation).
+pub struct SystemGenerator;
+
+impl SystemGenerator {
+    /// Equation 1: `N_pre / II_pre = N_pri / II_pri = Wmem / Wtuple`.
+    ///
+    /// The IIs come from HLS synthesis of the developer's PE logic in the
+    /// paper; here the [`DittoApp`](ditto_core::DittoApp) reports them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either II is zero.
+    pub fn tune(ii_pre: u32, ii_pri: u32, platform: &Platform) -> PipelineTuning {
+        assert!(ii_pre > 0 && ii_pri > 0, "initiation intervals must be nonzero");
+        let rate = platform.tuples_per_cycle();
+        PipelineTuning { n_pre: rate * ii_pre, m_pri: rate * ii_pri }
+    }
+
+    /// Generates the full variant set: `X = 0..M−1` SecPEs ("the system
+    /// then generates M sets of codes with the number of SecPEs ranging
+    /// from 0 to M−1", §V-C), with resource estimates.
+    pub fn variants(
+        tuning: PipelineTuning,
+        profile: &AppCostProfile,
+        model: &ResourceModel,
+    ) -> Vec<(ArchConfig, ResourceEstimate)> {
+        (0..tuning.m_pri)
+            .map(|x| {
+                let config = ArchConfig::new(tuning.n_pre, tuning.m_pri, x);
+                let estimate =
+                    model.estimate(PipelineShape::new(tuning.n_pre, tuning.m_pri, x), profile);
+                (config, estimate)
+            })
+            .collect()
+    }
+
+    /// The subset of variants the paper sweeps in Fig. 7 / Table III:
+    /// `{16P, 16P+1S, 16P+2S, 16P+4S, 16P+8S, 16P+15S}` generalised to any
+    /// M as `{0, 1, 2, 4, …, M/2, M−1}` SecPEs.
+    pub fn paper_sweep_x(m_pri: u32) -> Vec<u32> {
+        let mut xs = vec![0u32];
+        let mut x = 1;
+        while x < m_pri / 2 {
+            xs.push(x);
+            x *= 2;
+        }
+        if m_pri >= 2 {
+            xs.push(m_pri / 2);
+            xs.push(m_pri - 1);
+        }
+        xs.dedup();
+        xs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equation1_with_paper_numbers() {
+        // 8-byte tuples on a 64-byte interface; II_pre = 1, II_pri = 2:
+        // "the system sets the number of PriPEs to 16 on our platform".
+        let t = SystemGenerator::tune(1, 2, &Platform::intel_pac_a10());
+        assert_eq!(t.n_pre, 8);
+        assert_eq!(t.m_pri, 16);
+    }
+
+    #[test]
+    fn equation1_scales_with_tuple_width() {
+        let p = Platform::intel_pac_a10().with_tuple_bytes(16);
+        let t = SystemGenerator::tune(1, 2, &p);
+        assert_eq!(t.n_pre, 4);
+        assert_eq!(t.m_pri, 8);
+    }
+
+    #[test]
+    fn variants_cover_zero_to_m_minus_one() {
+        let t = PipelineTuning { n_pre: 8, m_pri: 16 };
+        let variants =
+            SystemGenerator::variants(t, &AppCostProfile::hll(), &ResourceModel::arria10());
+        assert_eq!(variants.len(), 16);
+        assert_eq!(variants[0].0.x_sec, 0);
+        assert_eq!(variants[15].0.x_sec, 15);
+        // Resource estimates grow with X.
+        assert!(variants[15].1.ram_blocks > variants[0].1.ram_blocks);
+    }
+
+    #[test]
+    fn paper_sweep_matches_fig7() {
+        assert_eq!(SystemGenerator::paper_sweep_x(16), vec![0, 1, 2, 4, 8, 15]);
+    }
+
+    #[test]
+    fn paper_sweep_small_m() {
+        assert_eq!(SystemGenerator::paper_sweep_x(4), vec![0, 1, 2, 3]);
+        assert_eq!(SystemGenerator::paper_sweep_x(2), vec![0, 1]);
+    }
+}

@@ -1,0 +1,190 @@
+//! Compressed sparse row graph storage.
+
+/// A directed graph in compressed sparse row form.
+///
+/// Vertices are `0..vertex_count()`; `neighbors(v)` yields the targets of
+/// `v`'s out-edges. The PageRank pipeline streams `(src, dst)` edge tuples
+/// out of this structure exactly the way the paper's memory access engine
+/// streams the edge list from DDR4.
+///
+/// # Example
+///
+/// ```
+/// use ditto_graph::Csr;
+///
+/// let g = Csr::from_edges(4, &[(0, 1), (0, 2), (2, 3)]);
+/// assert_eq!(g.out_degree(0), 2);
+/// assert_eq!(g.neighbors(2), &[3]);
+/// assert_eq!(g.edge_count(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+    in_degrees: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds a graph with `n` vertices from an edge list.
+    ///
+    /// Parallel edges are kept (the generators may produce them; PageRank
+    /// treats them as weighted links, as the paper's synthetic graphs do).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut counts = vec![0usize; n];
+        let mut in_degrees = vec![0u32; n];
+        for &(s, d) in edges {
+            assert!((s as usize) < n && (d as usize) < n, "edge ({s},{d}) out of range");
+            counts[s as usize] += 1;
+            in_degrees[d as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for c in &counts {
+            acc += c;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets[..n].to_vec();
+        let mut targets = vec![0u32; edges.len()];
+        for &(s, d) in edges {
+            targets[cursor[s as usize]] = d;
+            cursor[s as usize] += 1;
+        }
+        Csr { offsets, targets, in_degrees }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn out_degree(&self, v: usize) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// In-degree of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn in_degree(&self, v: usize) -> usize {
+        self.in_degrees[v] as usize
+    }
+
+    /// Out-neighbors of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Average degree (edges / vertices).
+    pub fn avg_degree(&self) -> f64 {
+        if self.vertex_count() == 0 {
+            return 0.0;
+        }
+        self.edge_count() as f64 / self.vertex_count() as f64
+    }
+
+    /// Maximum in-degree — the quantity that drives PE overload in the
+    /// paper's PR experiment ("more edges updating the same vertex causes
+    /// more severe data skew").
+    pub fn max_in_degree(&self) -> usize {
+        self.in_degrees.iter().copied().max().unwrap_or(0) as usize
+    }
+
+    /// Iterates over all `(src, dst)` edges in CSR order — the stream the
+    /// PR pipeline consumes.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.vertex_count()).flat_map(move |v| {
+            self.neighbors(v).iter().map(move |&d| (v as u32, d))
+        })
+    }
+
+    /// Builds the undirected closure: every edge `(a, b)` also as `(b, a)`.
+    ///
+    /// Fig. 8 evaluates PR on *undirected* graphs, where high-degree hubs
+    /// receive updates from every neighbor and skew is most severe.
+    pub fn to_undirected(&self) -> Csr {
+        let mut edges: Vec<(u32, u32)> = Vec::with_capacity(self.edge_count() * 2);
+        for (s, d) in self.edges() {
+            edges.push((s, d));
+            edges.push((d, s));
+        }
+        Csr::from_edges(self.vertex_count(), &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let g = Csr::from_edges(5, &[(0, 1), (0, 2), (1, 2), (3, 4), (3, 4)]);
+        assert_eq!(g.vertex_count(), 5);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(3), 2); // parallel edge kept
+        assert_eq!(g.in_degree(2), 2);
+        assert_eq!(g.in_degree(4), 2);
+        assert_eq!(g.neighbors(1), &[2]);
+        assert_eq!(g.out_degree(4), 0);
+    }
+
+    #[test]
+    fn edges_iterator_roundtrips() {
+        let input = vec![(0u32, 1u32), (2, 0), (1, 2)];
+        let g = Csr::from_edges(3, &input);
+        let mut out: Vec<_> = g.edges().collect();
+        let mut expect = input.clone();
+        out.sort_unstable();
+        expect.sort_unstable();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn undirected_doubles_edges() {
+        let g = Csr::from_edges(3, &[(0, 1), (1, 2)]);
+        let u = g.to_undirected();
+        assert_eq!(u.edge_count(), 4);
+        assert_eq!(u.in_degree(1), 2);
+        assert_eq!(u.out_degree(1), 2);
+    }
+
+    #[test]
+    fn max_in_degree_finds_hub() {
+        let g = Csr::from_edges(4, &[(0, 3), (1, 3), (2, 3)]);
+        assert_eq!(g.max_in_degree(), 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::from_edges(0, &[]);
+        assert_eq!(g.vertex_count(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+        assert_eq!(g.max_in_degree(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_edges() {
+        let _ = Csr::from_edges(2, &[(0, 5)]);
+    }
+}

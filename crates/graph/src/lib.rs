@@ -1,0 +1,36 @@
+//! # ditto-graph — graph substrate for the PageRank experiments
+//!
+//! The paper evaluates PageRank on public graphs from the Network Data
+//! Repository and synthetic graphs (Fig. 8), sorted by ascending average
+//! degree. Those exact datasets are not redistributable here, so this crate
+//! provides:
+//!
+//! * [`Csr`] — compressed sparse row storage with in/out degree queries,
+//! * [`generate`] — seeded synthetic generators sweeping the same axes the
+//!   paper's graph suite covers (average degree, degree skew): uniform
+//!   random graphs, power-law (Zipf-degree) graphs, and an RMAT-style
+//!   recursive-matrix generator,
+//! * [`pagerank`] — a host-side reference PageRank (fixed-point, matching
+//!   Table I) used to validate the FPGA-pipeline implementation.
+//!
+//! # Example
+//!
+//! ```
+//! use ditto_graph::{generate, pagerank};
+//!
+//! let g = generate::power_law(1_000, 8.0, 2.0, 42);
+//! let pr = pagerank::pagerank(&g, 0.85, 10);
+//! assert_eq!(pr.len(), g.vertex_count());
+//! // PageRank is a probability distribution.
+//! let sum: f64 = pr.iter().map(|r| r.to_f64()).sum();
+//! assert!((sum - 1.0).abs() < 1e-3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod csr;
+pub mod generate;
+pub mod pagerank;
+
+pub use csr::Csr;

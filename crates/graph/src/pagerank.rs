@@ -1,0 +1,141 @@
+//! Host-side reference PageRank with fixed-point arithmetic.
+//!
+//! The paper's PR application uses a fixed-point data type (Table I); this
+//! module is the bit-exact software reference the simulated pipeline is
+//! validated against (same [`Fixed`] arithmetic, same update order semantics
+//! up to commutative addition).
+
+use sketches::Fixed;
+
+use crate::Csr;
+
+/// One synchronous PageRank iteration in fixed point.
+///
+/// `next[v] = (1−d)/n + d · Σ_{u→v} rank[u]/outdeg[u]`, with the dangling-
+/// vertex mass redistributed uniformly (the standard formulation).
+///
+/// # Panics
+///
+/// Panics if `ranks.len() != g.vertex_count()`.
+pub fn step(g: &Csr, ranks: &[Fixed], damping: f64) -> Vec<Fixed> {
+    assert_eq!(ranks.len(), g.vertex_count(), "rank vector size mismatch");
+    let n = g.vertex_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let d = Fixed::from_f64(damping);
+    let n_fixed = Fixed::from_int(n as i32);
+    let base = (Fixed::ONE - d) / n_fixed;
+
+    // Dangling mass: vertices with no out-edges donate rank/n to everyone.
+    let mut dangling = Fixed::ZERO;
+    for v in 0..n {
+        if g.out_degree(v) == 0 {
+            dangling += ranks[v];
+        }
+    }
+    let dangling_share = d * dangling / n_fixed;
+
+    let mut next = vec![base + dangling_share; n];
+    for v in 0..n {
+        let deg = g.out_degree(v);
+        if deg == 0 {
+            continue;
+        }
+        let contrib = d * ranks[v] / Fixed::from_int(deg as i32);
+        for &t in g.neighbors(v) {
+            next[t as usize] += contrib;
+        }
+    }
+    next
+}
+
+/// Runs `iterations` synchronous PageRank iterations from the uniform
+/// initial vector and returns the final ranks.
+///
+/// # Example
+///
+/// ```
+/// use ditto_graph::{Csr, pagerank};
+///
+/// // A 3-cycle: symmetric, so all ranks stay equal.
+/// let g = Csr::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+/// let pr = pagerank::pagerank(&g, 0.85, 20);
+/// assert!((pr[0].to_f64() - 1.0 / 3.0).abs() < 1e-6);
+/// assert_eq!(pr[0], pr[1]);
+/// ```
+pub fn pagerank(g: &Csr, damping: f64, iterations: usize) -> Vec<Fixed> {
+    let n = g.vertex_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut ranks = vec![Fixed::ONE / Fixed::from_int(n as i32); n];
+    for _ in 0..iterations {
+        ranks = step(g, &ranks, damping);
+    }
+    ranks
+}
+
+/// L1 distance between two rank vectors, in `f64` — used by convergence
+/// tests and by pipeline-vs-reference validation.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn l1_distance(a: &[Fixed], b: &[Fixed]) -> f64 {
+    assert_eq!(a.len(), b.len(), "rank vector size mismatch");
+    a.iter().zip(b).map(|(x, y)| (x.to_f64() - y.to_f64()).abs()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn ranks_sum_to_one() {
+        let g = generate::power_law(500, 6.0, 1.2, 11);
+        let pr = pagerank(&g, 0.85, 15);
+        let sum: f64 = pr.iter().map(|r| r.to_f64()).sum();
+        assert!((sum - 1.0).abs() < 1e-4, "sum {sum}");
+    }
+
+    #[test]
+    fn hub_outranks_leaf() {
+        // star: everyone points to vertex 0
+        let edges: Vec<(u32, u32)> = (1..50u32).map(|v| (v, 0)).collect();
+        let g = Csr::from_edges(50, &edges);
+        let pr = pagerank(&g, 0.85, 30);
+        for v in 1..50 {
+            assert!(pr[0] > pr[v], "hub must outrank vertex {v}");
+        }
+    }
+
+    #[test]
+    fn dangling_mass_is_conserved() {
+        // vertex 1 dangles
+        let g = Csr::from_edges(3, &[(0, 1), (2, 1)]);
+        let pr = pagerank(&g, 0.85, 25);
+        let sum: f64 = pr.iter().map(|r| r.to_f64()).sum();
+        assert!((sum - 1.0).abs() < 1e-4, "sum {sum}");
+    }
+
+    #[test]
+    fn converges_to_fixed_point() {
+        let g = generate::uniform(200, 5.0, 3);
+        let a = pagerank(&g, 0.85, 40);
+        let b = pagerank(&g, 0.85, 41);
+        assert!(l1_distance(&a, &b) < 1e-4);
+    }
+
+    #[test]
+    fn symmetric_cycle_is_uniform() {
+        let n = 10;
+        let edges: Vec<(u32, u32)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+        let g = Csr::from_edges(n as usize, &edges);
+        let pr = pagerank(&g, 0.85, 50);
+        for v in 1..n as usize {
+            assert!((pr[v].to_f64() - pr[0].to_f64()).abs() < 1e-9);
+        }
+    }
+}

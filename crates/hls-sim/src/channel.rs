@@ -1,0 +1,397 @@
+//! Bounded, latency-aware FIFO channels connecting kernels.
+//!
+//! A [`Channel`] models an HLS `cl_channel`: a hardware FIFO with a fixed
+//! capacity (the paper sizes PE input queues at a few hundred entries) and a
+//! visibility latency of at least one cycle, so that a value written in cycle
+//! `c` is readable in `c + latency` at the earliest. Producers observe
+//! backpressure through [`Sender::try_send`] returning [`SendError::Full`].
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::Cycle;
+
+/// Default visibility latency for newly created channels, in cycles.
+pub const DEFAULT_LATENCY: u64 = 1;
+
+struct Slot<T> {
+    value: T,
+    visible_at: Cycle,
+}
+
+struct Inner<T> {
+    name: String,
+    capacity: usize,
+    latency: u64,
+    queue: VecDeque<Slot<T>>,
+    // -- statistics --
+    pushes: u64,
+    pops: u64,
+    full_stalls: u64,
+    max_occupancy: usize,
+}
+
+impl<T> Inner<T> {
+    fn occupancy(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// A bounded FIFO channel with visibility latency, mirroring an HLS
+/// `cl_channel` FIFO between two autorun kernels.
+///
+/// Construct one with [`Channel::new`] (latency 1) or
+/// [`Channel::with_latency`], then split it into endpoint handles with
+/// [`Channel::endpoints`]. Handles are cheaply cloneable and share the same
+/// underlying queue; the simulation is single-threaded, matching the
+/// deterministic clocked hardware it models.
+///
+/// # Example
+///
+/// ```
+/// use hls_sim::Channel;
+///
+/// let ch = Channel::new("tuples", 2);
+/// let (tx, rx) = ch.endpoints();
+/// tx.try_send(0, 7u32).unwrap();
+/// tx.try_send(0, 8u32).unwrap();
+/// assert!(tx.try_send(0, 9u32).is_err()); // capacity 2 -> stall
+/// assert_eq!(rx.try_recv(0), None);       // latency 1: not visible yet
+/// assert_eq!(rx.try_recv(1), Some(7));
+/// ```
+pub struct Channel<T> {
+    inner: Rc<RefCell<Inner<T>>>,
+}
+
+impl<T> Channel<T> {
+    /// Creates a channel with the given debug `name` and `capacity`, using the
+    /// default visibility latency of one cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — a zero-capacity FIFO cannot transfer
+    /// data under stall-on-full semantics.
+    pub fn new(name: &str, capacity: usize) -> Self {
+        Self::with_latency(name, capacity, DEFAULT_LATENCY)
+    }
+
+    /// Creates a channel with an explicit visibility `latency` in cycles.
+    ///
+    /// A latency of zero permits same-cycle forwarding (useful for purely
+    /// combinational adapters); hardware FIFOs use at least one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_latency(name: &str, capacity: usize, latency: u64) -> Self {
+        assert!(capacity > 0, "channel {name:?} must have nonzero capacity");
+        Channel {
+            inner: Rc::new(RefCell::new(Inner {
+                name: name.to_owned(),
+                capacity,
+                latency,
+                queue: VecDeque::with_capacity(capacity.min(4096)),
+                pushes: 0,
+                pops: 0,
+                full_stalls: 0,
+                max_occupancy: 0,
+            })),
+        }
+    }
+
+    /// Splits the channel into a `(Sender, Receiver)` pair.
+    ///
+    /// May be called repeatedly; all handles alias the same FIFO.
+    pub fn endpoints(&self) -> (Sender<T>, Receiver<T>) {
+        (self.sender(), self.receiver())
+    }
+
+    /// Returns a producer handle.
+    pub fn sender(&self) -> Sender<T> {
+        Sender { inner: Rc::clone(&self.inner) }
+    }
+
+    /// Returns a consumer handle.
+    pub fn receiver(&self) -> Receiver<T> {
+        Receiver { inner: Rc::clone(&self.inner) }
+    }
+
+    /// Takes a snapshot of the channel's lifetime statistics.
+    pub fn stats(&self) -> ChannelStats {
+        let inner = self.inner.borrow();
+        ChannelStats {
+            name: inner.name.clone(),
+            capacity: inner.capacity,
+            pushes: inner.pushes,
+            pops: inner.pops,
+            full_stalls: inner.full_stalls,
+            max_occupancy: inner.max_occupancy,
+            occupancy: inner.occupancy(),
+        }
+    }
+}
+
+impl<T> Clone for Channel<T> {
+    fn clone(&self) -> Self {
+        Channel { inner: Rc::clone(&self.inner) }
+    }
+}
+
+impl<T> fmt::Debug for Channel<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("Channel")
+            .field("name", &inner.name)
+            .field("capacity", &inner.capacity)
+            .field("occupancy", &inner.occupancy())
+            .finish()
+    }
+}
+
+/// Error returned by [`Sender::try_send`] when the FIFO is full.
+///
+/// Carries the rejected value back to the caller so it can be retried next
+/// cycle without cloning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "channel full")
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for SendError<T> {}
+
+/// Producer endpoint of a [`Channel`].
+pub struct Sender<T> {
+    inner: Rc<RefCell<Inner<T>>>,
+}
+
+impl<T> Sender<T> {
+    /// Attempts to push `value` at cycle `cy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] holding the value if the FIFO is at capacity;
+    /// the producing kernel should treat that as a pipeline stall and retry
+    /// on a later cycle. Each failed attempt is counted as a *full stall* in
+    /// the channel statistics.
+    pub fn try_send(&self, cy: Cycle, value: T) -> Result<(), SendError<T>> {
+        let mut inner = self.inner.borrow_mut();
+        if inner.queue.len() >= inner.capacity {
+            inner.full_stalls += 1;
+            return Err(SendError(value));
+        }
+        let visible_at = cy + inner.latency;
+        inner.queue.push_back(Slot { value, visible_at });
+        inner.pushes += 1;
+        let occ = inner.occupancy();
+        if occ > inner.max_occupancy {
+            inner.max_occupancy = occ;
+        }
+        Ok(())
+    }
+
+    /// Returns how many more items the FIFO can accept right now.
+    pub fn free_space(&self) -> usize {
+        let inner = self.inner.borrow();
+        inner.capacity - inner.queue.len()
+    }
+
+    /// Returns `true` when at least one item can be pushed.
+    pub fn can_send(&self) -> bool {
+        self.free_space() > 0
+    }
+
+    /// Returns `true` when the FIFO currently holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().queue.is_empty()
+    }
+
+    /// The channel's debug name.
+    pub fn channel_name(&self) -> String {
+        self.inner.borrow().name.clone()
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender { inner: Rc::clone(&self.inner) }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sender({})", self.inner.borrow().name)
+    }
+}
+
+/// Consumer endpoint of a [`Channel`].
+pub struct Receiver<T> {
+    inner: Rc<RefCell<Inner<T>>>,
+}
+
+impl<T> Receiver<T> {
+    /// Pops the oldest item if one is visible at cycle `cy`.
+    ///
+    /// Returns `None` when the FIFO is empty *or* its head was pushed less
+    /// than `latency` cycles ago.
+    pub fn try_recv(&self, cy: Cycle) -> Option<T> {
+        let mut inner = self.inner.borrow_mut();
+        match inner.queue.front() {
+            Some(slot) if slot.visible_at <= cy => {
+                let slot = inner.queue.pop_front().expect("nonempty");
+                inner.pops += 1;
+                Some(slot.value)
+            }
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if an item is visible at cycle `cy`.
+    pub fn can_recv(&self, cy: Cycle) -> bool {
+        let inner = self.inner.borrow();
+        matches!(inner.queue.front(), Some(slot) if slot.visible_at <= cy)
+    }
+
+    /// Returns `true` when the FIFO holds no items at all (visible or not).
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().queue.is_empty()
+    }
+
+    /// Number of items currently buffered (visible or not).
+    pub fn len(&self) -> usize {
+        self.inner.borrow().queue.len()
+    }
+
+    /// The channel's debug name.
+    pub fn channel_name(&self) -> String {
+        self.inner.borrow().name.clone()
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Receiver { inner: Rc::clone(&self.inner) }
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Receiver({})", self.inner.borrow().name)
+    }
+}
+
+/// A point-in-time snapshot of a channel's lifetime statistics.
+///
+/// Produced by [`Channel::stats`]; used by the experiment harness to report
+/// stall behaviour (e.g. how skew fills a hot PE's queue).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Debug name given at construction.
+    pub name: String,
+    /// Configured capacity.
+    pub capacity: usize,
+    /// Total successful pushes.
+    pub pushes: u64,
+    /// Total successful pops.
+    pub pops: u64,
+    /// Number of rejected pushes (producer stalls on full FIFO).
+    pub full_stalls: u64,
+    /// High-water mark of occupancy.
+    pub max_occupancy: usize,
+    /// Occupancy at snapshot time.
+    pub occupancy: usize,
+}
+
+impl ChannelStats {
+    /// Items still in flight (pushed but never popped).
+    pub fn in_flight(&self) -> u64 {
+        self.pushes - self.pops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let ch = Channel::new("t", 8);
+        let (tx, rx) = ch.endpoints();
+        for i in 0..5 {
+            tx.try_send(0, i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(rx.try_recv(10), Some(i));
+        }
+        assert_eq!(rx.try_recv(10), None);
+    }
+
+    #[test]
+    fn latency_hides_fresh_items() {
+        let ch = Channel::with_latency("t", 4, 3);
+        let (tx, rx) = ch.endpoints();
+        tx.try_send(5, 42).unwrap();
+        assert_eq!(rx.try_recv(5), None);
+        assert_eq!(rx.try_recv(7), None);
+        assert!(!rx.can_recv(7));
+        assert_eq!(rx.try_recv(8), Some(42));
+    }
+
+    #[test]
+    fn zero_latency_allows_same_cycle_forwarding() {
+        let ch = Channel::with_latency("t", 4, 0);
+        let (tx, rx) = ch.endpoints();
+        tx.try_send(9, 1).unwrap();
+        assert_eq!(rx.try_recv(9), Some(1));
+    }
+
+    #[test]
+    fn full_channel_rejects_and_counts_stalls() {
+        let ch = Channel::new("t", 2);
+        let (tx, _rx) = ch.endpoints();
+        tx.try_send(0, 'a').unwrap();
+        tx.try_send(0, 'b').unwrap();
+        assert_eq!(tx.try_send(0, 'c'), Err(SendError('c')));
+        assert_eq!(tx.try_send(0, 'd'), Err(SendError('d')));
+        let st = ch.stats();
+        assert_eq!(st.full_stalls, 2);
+        assert_eq!(st.pushes, 2);
+        assert_eq!(st.max_occupancy, 2);
+    }
+
+    #[test]
+    fn stats_track_in_flight() {
+        let ch = Channel::new("t", 8);
+        let (tx, rx) = ch.endpoints();
+        for i in 0..6 {
+            tx.try_send(0, i).unwrap();
+        }
+        for _ in 0..2 {
+            rx.try_recv(1).unwrap();
+        }
+        let st = ch.stats();
+        assert_eq!(st.in_flight(), 4);
+        assert_eq!(st.occupancy, 4);
+    }
+
+    #[test]
+    fn capacity_frees_after_pop() {
+        let ch = Channel::new("t", 1);
+        let (tx, rx) = ch.endpoints();
+        tx.try_send(0, 1).unwrap();
+        assert!(tx.try_send(0, 2).is_err());
+        assert_eq!(rx.try_recv(1), Some(1));
+        assert!(tx.try_send(1, 2).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero capacity")]
+    fn zero_capacity_panics() {
+        let _ = Channel::<u8>::new("bad", 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! The [`Kernel`] trait: one hardware module, stepped once per cycle.
+
+use crate::Cycle;
+
+/// A hardware module in the dataflow pipeline.
+///
+/// Each kernel corresponds to one autorun OpenCL kernel in the paper's HLS
+/// design (a PrePE, a mapper, the combiner, a decoder/filter pair, a
+/// PriPE/SecPE, the runtime profiler, the merger, …). The [`Engine`] calls
+/// [`Kernel::step`] exactly once per simulated clock cycle, in registration
+/// order. All communication with other kernels must go through
+/// [`Channel`](crate::Channel)s so that bounded capacity models backpressure.
+///
+/// A kernel that cannot make progress this cycle (input empty, output full,
+/// initiation-interval budget exhausted) simply returns without effect —
+/// exactly like a stalled pipeline stage.
+pub trait Kernel {
+    /// Stable debug name used in engine reports.
+    fn name(&self) -> &str;
+
+    /// Advances the module by one clock cycle `cy`.
+    fn step(&mut self, cy: Cycle);
+
+    /// Reports whether the kernel has no internal pending work.
+    ///
+    /// The engine declares the simulation *quiescent* — and
+    /// [`Engine::run_until_quiescent`](crate::Engine::run_until_quiescent)
+    /// returns — once every kernel is idle for a full settling window.
+    /// Kernels with upstream work they cannot see (e.g. waiting on a channel)
+    /// should report idleness based on their own state only; the engine
+    /// combines all kernels' answers.
+    fn is_idle(&self) -> bool {
+        false
+    }
+}
+
+impl<K: Kernel + ?Sized> Kernel for Box<K> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn step(&mut self, cy: Cycle) {
+        (**self).step(cy)
+    }
+
+    fn is_idle(&self) -> bool {
+        (**self).is_idle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Nop(u32);
+    impl Kernel for Nop {
+        fn name(&self) -> &str {
+            "nop"
+        }
+        fn step(&mut self, _cy: Cycle) {
+            self.0 += 1;
+        }
+        fn is_idle(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn boxed_kernel_delegates() {
+        let mut k: Box<dyn Kernel> = Box::new(Nop(0));
+        k.step(0);
+        assert_eq!(k.name(), "nop");
+        assert!(k.is_idle());
+    }
+}

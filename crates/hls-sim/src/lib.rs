@@ -1,0 +1,81 @@
+//! # hls-sim — a cycle-level kernels-and-channels dataflow simulator
+//!
+//! This crate models the execution substrate that the Ditto paper's
+//! accelerators run on: Intel-OpenCL-for-FPGA style *autorun kernels*
+//! connected by bounded *channels* (`cl_channel`). Every hardware module in
+//! the paper (PrePE, mapper, combiner, decoder/filter, PriPE/SecPE, runtime
+//! profiler, merger) becomes a [`Kernel`] stepped once per clock cycle by the
+//! [`Engine`]; every arrow in the paper's Fig. 3 becomes a [`Channel`].
+//!
+//! The simulator is deliberately simple and fully deterministic:
+//!
+//! * a [`Channel`] has a bounded capacity and a visibility latency — an item
+//!   pushed at cycle `c` can be popped at `c + latency` or later, and a full
+//!   channel makes the producer stall (this stall-on-full backpressure is the
+//!   single mechanism behind the paper's skew-induced throughput collapse);
+//! * kernels are stepped in registration order, once per cycle; all
+//!   cross-kernel communication goes through channels, so step order only
+//!   affects pipeline latency by ±1 cycle, never results;
+//! * there is no randomness anywhere in the engine.
+//!
+//! Throughput numbers are measured in items per cycle and converted to wall
+//! clock by the `fpga-model` crate's frequency model.
+//!
+//! # Example
+//!
+//! A two-stage pipeline: a producer streams numbers into a channel, a consumer
+//! accumulates them.
+//!
+//! ```
+//! use hls_sim::{Channel, Cycle, Engine, Kernel};
+//!
+//! struct Producer { tx: hls_sim::Sender<u64>, next: u64, count: u64 }
+//! impl Kernel for Producer {
+//!     fn name(&self) -> &str { "producer" }
+//!     fn step(&mut self, cy: Cycle) {
+//!         if self.next < self.count && self.tx.try_send(cy, self.next).is_ok() {
+//!             self.next += 1;
+//!         }
+//!     }
+//!     fn is_idle(&self) -> bool { self.next == self.count }
+//! }
+//!
+//! struct Consumer { rx: hls_sim::Receiver<u64>, sum: std::rc::Rc<std::cell::Cell<u64>> }
+//! impl Kernel for Consumer {
+//!     fn name(&self) -> &str { "consumer" }
+//!     fn step(&mut self, cy: Cycle) {
+//!         if let Some(v) = self.rx.try_recv(cy) {
+//!             self.sum.set(self.sum.get() + v);
+//!         }
+//!     }
+//!     fn is_idle(&self) -> bool { self.rx.is_empty() }
+//! }
+//!
+//! let ch = Channel::new("link", 4);
+//! let (tx, rx) = ch.endpoints();
+//! let sum = std::rc::Rc::new(std::cell::Cell::new(0));
+//! let mut engine = Engine::new();
+//! engine.add_kernel(Producer { tx, next: 0, count: 10 });
+//! engine.add_kernel(Consumer { rx, sum: sum.clone() });
+//! let report = engine.run_until_quiescent(1_000);
+//! assert_eq!(sum.get(), 45);
+//! assert!(report.cycles < 20);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod channel;
+mod engine;
+mod kernel;
+mod memory;
+mod stats;
+
+pub use channel::{Channel, ChannelStats, Receiver, SendError, Sender};
+pub use engine::{Engine, RunReport};
+pub use kernel::Kernel;
+pub use memory::{MemoryModel, RateLimiter, SliceSource, StreamSource};
+pub use stats::{Counter, ThroughputWindow};
+
+/// Simulation time, measured in clock cycles since engine start.
+pub type Cycle = u64;

@@ -1,0 +1,252 @@
+//! Global-memory and streaming-input models.
+//!
+//! The paper's memory access engine coalesces requests and reads the DDR4
+//! interface in bursts, delivering `Wmem / Wtuple` tuples per cycle at steady
+//! state (§IV-C4). For the online-processing experiment (Fig. 9) the same
+//! interface stands in for a 100 Gbps network source. Both reduce to the same
+//! abstraction: a [`StreamSource`] that yields at most a rate-limited number
+//! of items per cycle after an initial burst latency.
+
+use crate::Cycle;
+
+/// A cycle-aware producer of input items.
+///
+/// `pull` is called by the memory-reader kernel once per cycle with the
+/// number of items the pipeline can accept; the source appends at most that
+/// many to `out`. Implementations must be deterministic.
+pub trait StreamSource<T> {
+    /// Appends up to `max` items available at cycle `cy` to `out`; returns
+    /// the number appended.
+    fn pull(&mut self, cy: Cycle, max: usize, out: &mut Vec<T>) -> usize;
+
+    /// `true` once the source will never produce another item.
+    fn exhausted(&self) -> bool;
+
+    /// Total items produced so far.
+    fn produced(&self) -> u64;
+}
+
+/// Bandwidth model of the global-memory interface.
+///
+/// Converts interface width and tuple width into a per-cycle tuple budget
+/// (Equation 1's `Wmem / Wtuple`) and captures the initial burst latency.
+///
+/// # Example
+///
+/// ```
+/// use hls_sim::MemoryModel;
+///
+/// // The paper's platform: 64-byte (512-bit) interface, 8-byte tuples.
+/// let mem = MemoryModel::new(64, 200);
+/// assert_eq!(mem.tuples_per_cycle(8), 8.0);
+/// assert_eq!(mem.tuples_per_cycle(16), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryModel {
+    /// Interface width in bytes transferred per cycle (`Wmem`).
+    pub bytes_per_cycle: u32,
+    /// Cycles from issuing the first burst until data starts flowing.
+    pub burst_latency: u64,
+}
+
+impl MemoryModel {
+    /// Creates a model with the given interface width and burst latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_cycle` is zero.
+    pub fn new(bytes_per_cycle: u32, burst_latency: u64) -> Self {
+        assert!(bytes_per_cycle > 0, "memory interface width must be nonzero");
+        MemoryModel { bytes_per_cycle, burst_latency }
+    }
+
+    /// Steady-state tuples deliverable per cycle for `tuple_bytes`-wide
+    /// tuples (`Wmem / Wtuple`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tuple_bytes` is zero.
+    pub fn tuples_per_cycle(&self, tuple_bytes: u32) -> f64 {
+        assert!(tuple_bytes > 0, "tuple width must be nonzero");
+        f64::from(self.bytes_per_cycle) / f64::from(tuple_bytes)
+    }
+}
+
+impl Default for MemoryModel {
+    /// The paper's platform: 64-byte interface, 200-cycle burst latency.
+    fn default() -> Self {
+        MemoryModel::new(64, 200)
+    }
+}
+
+/// Fractional-rate token bucket used to rate-limit sources.
+///
+/// Accumulates `rate` tokens per elapsed cycle (rates below one item/cycle
+/// are supported) up to one cycle's worth of headroom beyond the burst size,
+/// and grants whole items on request.
+#[derive(Debug, Clone)]
+pub struct RateLimiter {
+    rate: f64,
+    tokens: f64,
+    last_cycle: Cycle,
+    burst: f64,
+}
+
+impl RateLimiter {
+    /// Creates a limiter releasing `rate` items per cycle on average, with a
+    /// maximum accumulation (`burst`) of `burst_items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not finite and positive.
+    pub fn new(rate: f64, burst_items: usize) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+        // Cycle zero gets a full cycle's budget like every other cycle.
+        RateLimiter { rate, tokens: rate, last_cycle: 0, burst: burst_items as f64 }
+    }
+
+    /// Grants up to `want` items at cycle `cy`, consuming tokens.
+    pub fn grant(&mut self, cy: Cycle, want: usize) -> usize {
+        if cy > self.last_cycle {
+            let elapsed = (cy - self.last_cycle) as f64;
+            self.tokens = (self.tokens + elapsed * self.rate).min(self.burst.max(self.rate));
+            self.last_cycle = cy;
+        }
+        let granted = (self.tokens.floor() as usize).min(want);
+        self.tokens -= granted as f64;
+        granted
+    }
+
+    /// The configured average rate in items per cycle.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+/// A [`StreamSource`] backed by an in-memory dataset, delivered through a
+/// [`MemoryModel`]'s bandwidth budget.
+///
+/// Models the paper's offline experiments, where the full dataset resides in
+/// the card's DDR4 and is streamed in bursts.
+///
+/// # Example
+///
+/// ```
+/// use hls_sim::{MemoryModel, SliceSource, StreamSource};
+///
+/// let mem = MemoryModel::new(64, 0);
+/// let mut src = SliceSource::new(vec![1u64, 2, 3, 4, 5], 8, mem);
+/// let mut out = Vec::new();
+/// src.pull(0, 16, &mut out);
+/// assert_eq!(out, vec![1, 2, 3, 4, 5]); // 8 tuples/cycle budget covers all 5
+/// assert!(src.exhausted());
+/// ```
+#[derive(Debug)]
+pub struct SliceSource<T> {
+    data: Vec<T>,
+    next: usize,
+    produced: u64,
+    limiter: RateLimiter,
+    latency: u64,
+}
+
+impl<T: Clone> SliceSource<T> {
+    /// Creates a source over `data` with `tuple_bytes`-wide items flowing
+    /// through the memory interface `mem`.
+    pub fn new(data: Vec<T>, tuple_bytes: u32, mem: MemoryModel) -> Self {
+        let rate = mem.tuples_per_cycle(tuple_bytes);
+        SliceSource {
+            data,
+            next: 0,
+            produced: 0,
+            limiter: RateLimiter::new(rate, rate.ceil() as usize * 2),
+            latency: mem.burst_latency,
+        }
+    }
+
+    /// Remaining items not yet delivered.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.next
+    }
+}
+
+impl<T: Clone> StreamSource<T> for SliceSource<T> {
+    fn pull(&mut self, cy: Cycle, max: usize, out: &mut Vec<T>) -> usize {
+        if cy < self.latency || self.next >= self.data.len() {
+            return 0;
+        }
+        let want = max.min(self.data.len() - self.next);
+        let granted = self.limiter.grant(cy, want);
+        out.extend_from_slice(&self.data[self.next..self.next + granted]);
+        self.next += granted;
+        self.produced += granted as u64;
+        granted
+    }
+
+    fn exhausted(&self) -> bool {
+        self.next >= self.data.len()
+    }
+
+    fn produced(&self) -> u64 {
+        self.produced
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_model_budget() {
+        let mem = MemoryModel::new(64, 10);
+        assert_eq!(mem.tuples_per_cycle(8), 8.0);
+        assert_eq!(mem.tuples_per_cycle(4), 16.0);
+        assert_eq!(mem.tuples_per_cycle(64), 1.0);
+    }
+
+    #[test]
+    fn rate_limiter_sub_unit_rate() {
+        // 0.5 items/cycle: expect one grant every other cycle.
+        let mut rl = RateLimiter::new(0.5, 1);
+        let mut total = 0;
+        for cy in 1..=20 {
+            total += rl.grant(cy, 10);
+        }
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn rate_limiter_caps_burst() {
+        let mut rl = RateLimiter::new(2.0, 4);
+        // long idle period must not accumulate unbounded tokens
+        let granted = rl.grant(1_000, 100);
+        assert!(granted <= 4, "granted {granted} exceeds burst");
+    }
+
+    #[test]
+    fn slice_source_respects_latency_and_rate() {
+        let mem = MemoryModel::new(8, 5); // 1 tuple/cycle for 8-byte tuples
+        let mut src = SliceSource::new((0u64..10).collect(), 8, mem);
+        let mut out = Vec::new();
+        assert_eq!(src.pull(0, 8, &mut out), 0); // before burst latency
+        assert_eq!(src.pull(4, 8, &mut out), 0);
+        let mut got = 0;
+        for cy in 5..40 {
+            got += src.pull(cy, 8, &mut out);
+        }
+        assert_eq!(got, 10);
+        assert_eq!(out, (0u64..10).collect::<Vec<_>>());
+        assert!(src.exhausted());
+        assert_eq!(src.produced(), 10);
+    }
+
+    #[test]
+    fn slice_source_respects_max() {
+        let mem = MemoryModel::new(64, 0); // 8/cycle
+        let mut src = SliceSource::new((0u64..100).collect(), 8, mem);
+        let mut out = Vec::new();
+        // consumer only accepts 3 per cycle
+        let n = src.pull(1, 3, &mut out);
+        assert_eq!(n, 3);
+    }
+}

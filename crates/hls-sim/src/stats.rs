@@ -1,0 +1,151 @@
+//! Shared counters and windowed throughput measurement.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use crate::Cycle;
+
+/// A shared monotonic counter.
+///
+/// Kernels increment it (e.g. "tuples processed"); observers — the runtime
+/// profiler's throughput monitor, the experiment harness — read it. Cloning
+/// yields another handle to the same count.
+///
+/// # Example
+///
+/// ```
+/// use hls_sim::Counter;
+///
+/// let c = Counter::new();
+/// let handle = c.clone();
+/// handle.add(3);
+/// handle.incr();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: Rc<Cell<u64>>,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the count.
+    pub fn add(&self, n: u64) {
+        self.value.set(self.value.get() + n);
+    }
+
+    /// Adds one to the count.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Reads the current count.
+    pub fn get(&self) -> u64 {
+        self.value.get()
+    }
+
+    /// Resets the count to zero.
+    pub fn reset(&self) {
+        self.value.set(0);
+    }
+}
+
+/// Sliding-window throughput observer over a [`Counter`].
+///
+/// Mirrors the runtime profiler's monitoring logic (§IV-C3): it keeps a local
+/// clock tick, and every `window` ticks computes the incremental number of
+/// processed items. [`ThroughputWindow::tick`] returns `Some(rate)` in
+/// items/cycle exactly once per completed window.
+#[derive(Debug, Clone)]
+pub struct ThroughputWindow {
+    counter: Counter,
+    window: u64,
+    last_cycle: Cycle,
+    last_count: u64,
+}
+
+impl ThroughputWindow {
+    /// Creates a window of `window` cycles over `counter`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(counter: Counter, window: u64) -> Self {
+        assert!(window > 0, "throughput window must be nonzero");
+        ThroughputWindow { counter, window, last_cycle: 0, last_count: 0 }
+    }
+
+    /// Advances the observer to cycle `cy`; returns the items/cycle rate of
+    /// the window that just completed, if one did.
+    pub fn tick(&mut self, cy: Cycle) -> Option<f64> {
+        if cy < self.last_cycle + self.window {
+            return None;
+        }
+        let count = self.counter.get();
+        let cycles = (cy - self.last_cycle) as f64;
+        let rate = (count - self.last_count) as f64 / cycles;
+        self.last_cycle = cy;
+        self.last_count = count;
+        Some(rate)
+    }
+
+    /// The configured window length in cycles.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Restarts the window at cycle `cy` without emitting a sample.
+    pub fn restart(&mut self, cy: Cycle) {
+        self.last_cycle = cy;
+        self.last_count = self.counter.get();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_shares_state_across_clones() {
+        let a = Counter::new();
+        let b = a.clone();
+        a.add(2);
+        b.add(3);
+        assert_eq!(a.get(), 5);
+        a.reset();
+        assert_eq!(b.get(), 0);
+    }
+
+    #[test]
+    fn throughput_window_emits_once_per_window() {
+        let c = Counter::new();
+        let mut w = ThroughputWindow::new(c.clone(), 10);
+        let mut samples = Vec::new();
+        for cy in 1..=30 {
+            c.add(2); // 2 items/cycle
+            if let Some(r) = w.tick(cy) {
+                samples.push(r);
+            }
+        }
+        assert_eq!(samples.len(), 3);
+        for s in samples {
+            assert!((s - 2.0).abs() < 1e-9, "rate {s}");
+        }
+    }
+
+    #[test]
+    fn throughput_window_restart_suppresses_partial_sample() {
+        let c = Counter::new();
+        let mut w = ThroughputWindow::new(c.clone(), 10);
+        c.add(100);
+        w.restart(5);
+        assert_eq!(w.tick(9), None);
+        c.add(10);
+        let r = w.tick(15).expect("window complete");
+        assert!((r - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests for channel FIFO semantics — the invariants every
+//! simulated pipeline relies on.
+
+use hls_sim::Channel;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Whatever interleaving of sends and receives happens, the received
+    /// sequence is a prefix-order-preserving subsequence of the sent one.
+    #[test]
+    fn fifo_order_under_arbitrary_interleaving(
+        ops in prop::collection::vec(any::<bool>(), 1..200),
+        capacity in 1usize..16,
+        latency in 0u64..4,
+    ) {
+        let ch = Channel::with_latency("t", capacity, latency);
+        let (tx, rx) = ch.endpoints();
+        let mut sent = 0u64;
+        let mut received = Vec::new();
+        for (cy, &do_send) in ops.iter().enumerate() {
+            let cy = cy as u64;
+            if do_send {
+                if tx.try_send(cy, sent).is_ok() {
+                    sent += 1;
+                }
+            } else if let Some(v) = rx.try_recv(cy) {
+                received.push(v);
+            }
+        }
+        // FIFO: received values are exactly 0..k in order.
+        for (i, &v) in received.iter().enumerate() {
+            prop_assert_eq!(v, i as u64);
+        }
+        prop_assert!(received.len() as u64 <= sent);
+    }
+
+    /// Occupancy never exceeds capacity, and stats balance.
+    #[test]
+    fn capacity_and_stats_invariants(
+        ops in prop::collection::vec(any::<bool>(), 1..200),
+        capacity in 1usize..8,
+    ) {
+        let ch = Channel::new("t", capacity);
+        let (tx, rx) = ch.endpoints();
+        for (cy, &do_send) in ops.iter().enumerate() {
+            let cy = cy as u64;
+            if do_send {
+                let _ = tx.try_send(cy, cy);
+            } else {
+                let _ = rx.try_recv(cy);
+            }
+            let st = ch.stats();
+            prop_assert!(st.occupancy <= capacity);
+            prop_assert!(st.max_occupancy <= capacity);
+            prop_assert_eq!(st.in_flight(), st.occupancy as u64);
+        }
+    }
+
+    /// An item is never visible before its latency has elapsed.
+    #[test]
+    fn latency_is_respected(latency in 0u64..8, send_cy in 0u64..100) {
+        let ch = Channel::with_latency("t", 4, latency);
+        let (tx, rx) = ch.endpoints();
+        tx.try_send(send_cy, 1u8).unwrap();
+        if latency > 0 {
+            prop_assert_eq!(rx.try_recv(send_cy + latency - 1), None);
+        }
+        prop_assert_eq!(rx.try_recv(send_cy + latency), Some(1));
+    }
+}

@@ -1,0 +1,170 @@
+//! Count-min sketch, the substrate of heavy-hitter detection (Table I).
+
+use crate::murmur3::murmur3_u64;
+
+/// A count-min sketch over `u64` keys.
+///
+/// `depth` independent rows of `width` counters; an update increments one
+/// counter per row (chosen by a per-row hash) and a query returns the minimum
+/// across rows, which upper-bounds the true count with error `ε ≈ e/width`
+/// at probability `1 − e^−depth`.
+///
+/// The FPGA heavy-hitter PE in `ditto-apps` embeds one (narrow) sketch per
+/// PE; this type is also used directly as the host-side reference.
+///
+/// # Example
+///
+/// ```
+/// use sketches::CountMinSketch;
+///
+/// let mut cms = CountMinSketch::new(4, 1024);
+/// for _ in 0..500 { cms.update(7, 1); }
+/// cms.update(9, 3);
+/// assert!(cms.query(7) >= 500); // never under-estimates
+/// assert!(cms.query(9) >= 3);
+/// assert_eq!(cms.query(12345), 0); // nothing aliased in an empty region
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountMinSketch {
+    depth: usize,
+    width: usize,
+    rows: Vec<Vec<u64>>,
+    total: u64,
+}
+
+impl CountMinSketch {
+    /// Creates a sketch with `depth` rows of `width` counters each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` or `width` is zero.
+    pub fn new(depth: usize, width: usize) -> Self {
+        assert!(depth > 0, "depth must be nonzero");
+        assert!(width > 0, "width must be nonzero");
+        CountMinSketch { depth, width, rows: vec![vec![0; width]; depth], total: 0 }
+    }
+
+    /// Number of rows.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Counters per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total weight of all updates applied.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    fn bucket(&self, row: usize, key: u64) -> usize {
+        (murmur3_u64(key, row as u32) % self.width as u64) as usize
+    }
+
+    /// Adds `count` to `key`'s estimate.
+    pub fn update(&mut self, key: u64, count: u64) {
+        for row in 0..self.depth {
+            let b = self.bucket(row, key);
+            self.rows[row][b] += count;
+        }
+        self.total += count;
+    }
+
+    /// Returns the (over-)estimate of `key`'s count.
+    pub fn query(&self, key: u64) -> u64 {
+        (0..self.depth)
+            .map(|row| self.rows[row][self.bucket(row, key)])
+            .min()
+            .expect("depth > 0")
+    }
+
+    /// Merges `other` into `self` by element-wise addition.
+    ///
+    /// Merging is exact for sketches of identical geometry: the merged sketch
+    /// equals the sketch of the concatenated streams. This is what the Ditto
+    /// merger module uses to fold a SecPE's partial sketch into its PriPE's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sketches' `depth` or `width` differ.
+    pub fn merge(&mut self, other: &CountMinSketch) {
+        assert_eq!(self.depth, other.depth, "depth mismatch");
+        assert_eq!(self.width, other.width, "width mismatch");
+        for (mine, theirs) in self.rows.iter_mut().zip(&other.rows) {
+            for (m, t) in mine.iter_mut().zip(theirs) {
+                *m += *t;
+            }
+        }
+        self.total += other.total;
+    }
+
+    /// Memory footprint in counter cells (used by the BRAM cost model).
+    pub fn cells(&self) -> usize {
+        self.depth * self.width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_underestimates() {
+        let mut cms = CountMinSketch::new(4, 64);
+        let truth: Vec<(u64, u64)> = (0..100).map(|k| (k, (k % 7) + 1)).collect();
+        for &(k, c) in &truth {
+            cms.update(k, c);
+        }
+        for &(k, c) in &truth {
+            assert!(cms.query(k) >= c, "key {k}: est {} < true {c}", cms.query(k));
+        }
+    }
+
+    #[test]
+    fn error_bound_holds_for_wide_sketch() {
+        // width >> distinct keys: estimates should be exact.
+        let mut cms = CountMinSketch::new(4, 1 << 14);
+        for k in 0..256u64 {
+            cms.update(k, k + 1);
+        }
+        for k in 0..256u64 {
+            assert_eq!(cms.query(k), k + 1);
+        }
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let mut a = CountMinSketch::new(3, 128);
+        let mut b = CountMinSketch::new(3, 128);
+        let mut whole = CountMinSketch::new(3, 128);
+        for k in 0..50u64 {
+            a.update(k, 2);
+            whole.update(k, 2);
+        }
+        for k in 25..75u64 {
+            b.update(k, 5);
+            whole.update(k, 5);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        assert_eq!(a.total(), whole.total());
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn merge_rejects_geometry_mismatch() {
+        let mut a = CountMinSketch::new(3, 128);
+        let b = CountMinSketch::new(3, 256);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn total_tracks_weight() {
+        let mut cms = CountMinSketch::new(2, 16);
+        cms.update(1, 10);
+        cms.update(2, 5);
+        assert_eq!(cms.total(), 15);
+    }
+}

@@ -1,0 +1,234 @@
+//! Q32.32 fixed-point arithmetic for the PageRank application.
+//!
+//! The paper's PR implementation "scores the importance of websites by links
+//! with fixed-point data type" (Table I) — FPGA PEs avoid floating point to
+//! keep the per-tuple update single-cycle. This module provides the same
+//! numeric type for the simulated PEs and for the host-side reference.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A signed Q32.32 fixed-point number stored in an `i64`.
+///
+/// 32 integer bits and 32 fractional bits give PageRank more than enough
+/// headroom (ranks are in `[0, 1]`, contributions are tiny positive values)
+/// while every operation stays a single integer instruction — the property
+/// the paper relies on for II = 1 PE arithmetic.
+///
+/// Arithmetic wraps like hardware adders would; multiplication and division
+/// use 128-bit intermediates for full precision.
+///
+/// # Example
+///
+/// ```
+/// use sketches::Fixed;
+///
+/// let a = Fixed::from_f64(0.25);
+/// let b = Fixed::from_f64(0.5);
+/// assert_eq!((a + b).to_f64(), 0.75);
+/// assert_eq!((a * b).to_f64(), 0.125);
+/// assert_eq!((b / a).to_f64(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Fixed(i64);
+
+impl Fixed {
+    /// Number of fractional bits.
+    pub const FRAC_BITS: u32 = 32;
+    /// The value zero.
+    pub const ZERO: Fixed = Fixed(0);
+    /// The value one.
+    pub const ONE: Fixed = Fixed(1 << Self::FRAC_BITS);
+
+    /// Creates a fixed-point value from its raw `i64` bit pattern.
+    pub const fn from_bits(bits: i64) -> Self {
+        Fixed(bits)
+    }
+
+    /// Returns the raw bit pattern.
+    pub const fn to_bits(self) -> i64 {
+        self.0
+    }
+
+    /// Converts from `f64`, rounding to the nearest representable value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not finite or overflows the Q32.32 range.
+    pub fn from_f64(v: f64) -> Self {
+        assert!(v.is_finite(), "cannot convert non-finite value");
+        let scaled = v * f64::from(2u32).powi(Self::FRAC_BITS as i32);
+        assert!(
+            scaled >= i64::MIN as f64 && scaled <= i64::MAX as f64,
+            "value {v} overflows Q32.32"
+        );
+        Fixed(scaled.round() as i64)
+    }
+
+    /// Converts to `f64` (exact for all Q32.32 values up to f64 precision).
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / f64::from(2u32).powi(Self::FRAC_BITS as i32)
+    }
+
+    /// Creates a fixed-point value from an integer.
+    pub const fn from_int(v: i32) -> Self {
+        Fixed((v as i64) << Self::FRAC_BITS)
+    }
+
+    /// Fixed-point reciprocal `1/self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero.
+    pub fn recip(self) -> Self {
+        Self::ONE / self
+    }
+
+    /// Absolute value (wrapping at `i64::MIN` like hardware).
+    pub fn abs(self) -> Self {
+        Fixed(self.0.wrapping_abs())
+    }
+
+    /// `true` when the value is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for Fixed {
+    type Output = Fixed;
+    fn add(self, rhs: Fixed) -> Fixed {
+        Fixed(self.0.wrapping_add(rhs.0))
+    }
+}
+
+impl AddAssign for Fixed {
+    fn add_assign(&mut self, rhs: Fixed) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Fixed {
+    type Output = Fixed;
+    fn sub(self, rhs: Fixed) -> Fixed {
+        Fixed(self.0.wrapping_sub(rhs.0))
+    }
+}
+
+impl SubAssign for Fixed {
+    fn sub_assign(&mut self, rhs: Fixed) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Fixed {
+    type Output = Fixed;
+    fn mul(self, rhs: Fixed) -> Fixed {
+        let wide = i128::from(self.0) * i128::from(rhs.0);
+        Fixed((wide >> Self::FRAC_BITS) as i64)
+    }
+}
+
+impl Div for Fixed {
+    type Output = Fixed;
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    fn div(self, rhs: Fixed) -> Fixed {
+        assert!(rhs.0 != 0, "fixed-point division by zero");
+        let wide = (i128::from(self.0) << Self::FRAC_BITS) / i128::from(rhs.0);
+        Fixed(wide as i64)
+    }
+}
+
+impl Neg for Fixed {
+    type Output = Fixed;
+    fn neg(self) -> Fixed {
+        Fixed(self.0.wrapping_neg())
+    }
+}
+
+impl Sum for Fixed {
+    fn sum<I: Iterator<Item = Fixed>>(iter: I) -> Fixed {
+        iter.fold(Fixed::ZERO, Add::add)
+    }
+}
+
+impl From<i32> for Fixed {
+    fn from(v: i32) -> Self {
+        Fixed::from_int(v)
+    }
+}
+
+impl fmt::Display for Fixed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.9}", self.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        for &v in &[0.0, 1.0, -1.0, 0.5, -0.125, 123.456, -9876.5] {
+            let f = Fixed::from_f64(v);
+            assert!((f.to_f64() - v).abs() < 1e-9, "{v}");
+        }
+    }
+
+    #[test]
+    fn arithmetic_matches_f64() {
+        let pairs = [(0.75, 0.25), (1.5, -2.25), (-3.125, -0.5), (100.0, 7.0)];
+        for &(a, b) in &pairs {
+            let fa = Fixed::from_f64(a);
+            let fb = Fixed::from_f64(b);
+            assert!(((fa + fb).to_f64() - (a + b)).abs() < 1e-8);
+            assert!(((fa - fb).to_f64() - (a - b)).abs() < 1e-8);
+            assert!(((fa * fb).to_f64() - (a * b)).abs() < 1e-6);
+            assert!(((fa / fb).to_f64() - (a / b)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn identities() {
+        let x = Fixed::from_f64(3.375);
+        assert_eq!(x * Fixed::ONE, x);
+        assert_eq!(x + Fixed::ZERO, x);
+        assert_eq!(x - x, Fixed::ZERO);
+        assert_eq!(-(-x), x);
+        // recip truncates toward zero, so the double reciprocal is only
+        // accurate to ~2^-32 of relative error.
+        assert!((x.recip().recip().to_f64() - x.to_f64()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Fixed = (1..=10).map(Fixed::from_int).sum();
+        assert_eq!(total, Fixed::from_int(55));
+    }
+
+    #[test]
+    fn display_formats_decimal() {
+        assert_eq!(Fixed::from_f64(0.5).to_string(), "0.500000000");
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = Fixed::ONE / Fixed::ZERO;
+    }
+
+    #[test]
+    fn pagerank_sized_accumulation_is_stable() {
+        // Sum 1e6 tiny contributions like a PR gather would.
+        let contrib = Fixed::from_f64(1e-6);
+        let mut acc = Fixed::ZERO;
+        for _ in 0..1_000_000 {
+            acc += contrib;
+        }
+        assert!((acc.to_f64() - 1.0).abs() < 1e-3, "acc {}", acc.to_f64());
+    }
+}

@@ -1,0 +1,199 @@
+//! HyperLogLog cardinality estimation (Table I's HLL application).
+
+/// A HyperLogLog cardinality estimator with `2^precision` registers.
+///
+/// Implements the classic Flajolet–Fuss–Gandouet–Meunier estimator with the
+/// standard small-range (linear counting) correction. The register update
+/// rule — `reg[idx] = max(reg[idx], ρ)` where `idx` is the top `precision`
+/// hash bits and `ρ` the position of the first set bit in the remainder —
+/// is exactly what each simulated PE executes in the `ditto-apps` HLL
+/// application; merging registers by `max` is what the Ditto merger uses to
+/// fold SecPE partials into PriPE results.
+///
+/// # Example
+///
+/// ```
+/// use sketches::{HyperLogLog, murmur3_u64};
+///
+/// let mut a = HyperLogLog::new(10);
+/// let mut b = HyperLogLog::new(10);
+/// for k in 0u64..3000 { a.insert_hash(murmur3_u64(k, 1)); }
+/// for k in 1500u64..4500 { b.insert_hash(murmur3_u64(k, 1)); }
+/// a.merge(&b);
+/// let est = a.estimate();
+/// assert!((est - 4500.0).abs() / 4500.0 < 0.10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HyperLogLog {
+    precision: u32,
+    registers: Vec<u8>,
+}
+
+impl HyperLogLog {
+    /// Creates an estimator with `2^precision` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `4 <= precision <= 18` (the standard usable range).
+    pub fn new(precision: u32) -> Self {
+        assert!((4..=18).contains(&precision), "precision must be in 4..=18");
+        HyperLogLog { precision, registers: vec![0; 1 << precision] }
+    }
+
+    /// Number of registers (`m = 2^precision`).
+    pub fn register_count(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// The precision parameter `b` (register index width in bits).
+    pub fn precision(&self) -> u32 {
+        self.precision
+    }
+
+    /// Read-only view of the register file.
+    pub fn registers(&self) -> &[u8] {
+        &self.registers
+    }
+
+    /// Splits a 64-bit hash into `(register index, rank ρ)`.
+    ///
+    /// The top `precision` bits select the register; ρ is the number of
+    /// leading zeros of the remaining bits plus one, saturating at the
+    /// remainder width + 1.
+    pub fn decompose(&self, hash: u64) -> (usize, u8) {
+        let idx = (hash >> (64 - self.precision)) as usize;
+        let rest = hash << self.precision;
+        let width = 64 - self.precision;
+        let lz = rest.leading_zeros().min(width);
+        (idx, (lz + 1) as u8)
+    }
+
+    /// Inserts a pre-hashed value.
+    pub fn insert_hash(&mut self, hash: u64) {
+        let (idx, rho) = self.decompose(hash);
+        self.apply(idx, rho);
+    }
+
+    /// Applies the register update rule directly (used by the simulated PEs,
+    /// which receive `(idx, ρ)` as a routed tuple).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn apply(&mut self, idx: usize, rho: u8) {
+        let r = &mut self.registers[idx];
+        if rho > *r {
+            *r = rho;
+        }
+    }
+
+    /// Merges another estimator's registers by element-wise max.
+    ///
+    /// # Panics
+    ///
+    /// Panics if precisions differ.
+    pub fn merge(&mut self, other: &HyperLogLog) {
+        assert_eq!(self.precision, other.precision, "precision mismatch");
+        for (m, t) in self.registers.iter_mut().zip(&other.registers) {
+            if *t > *m {
+                *m = *t;
+            }
+        }
+    }
+
+    /// Estimates the cardinality of the inserted multiset.
+    pub fn estimate(&self) -> f64 {
+        let m = self.registers.len() as f64;
+        let alpha = match self.registers.len() {
+            16 => 0.673,
+            32 => 0.697,
+            64 => 0.709,
+            n => 0.7213 / (1.0 + 1.079 / n as f64),
+        };
+        let sum: f64 = self.registers.iter().map(|&r| 2f64.powi(-i32::from(r))).sum();
+        let raw = alpha * m * m / sum;
+
+        if raw <= 2.5 * m {
+            // Small-range correction: linear counting over empty registers.
+            let zeros = self.registers.iter().filter(|&&r| r == 0).count();
+            if zeros != 0 {
+                return m * (m / zeros as f64).ln();
+            }
+        }
+        raw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::murmur3::murmur3_u64;
+
+    fn fill(hll: &mut HyperLogLog, range: std::ops::Range<u64>, seed: u32) {
+        for k in range {
+            hll.insert_hash(murmur3_u64(k, seed));
+        }
+    }
+
+    #[test]
+    fn estimates_within_standard_error() {
+        // sigma ~ 1.04/sqrt(m); allow 4 sigma.
+        for &(precision, n) in &[(10u32, 5_000u64), (12, 50_000), (14, 200_000)] {
+            let mut hll = HyperLogLog::new(precision);
+            fill(&mut hll, 0..n, 99);
+            let est = hll.estimate();
+            let sigma = 1.04 / ((1u64 << precision) as f64).sqrt();
+            let rel = (est - n as f64).abs() / n as f64;
+            assert!(rel < 4.0 * sigma, "p={precision} n={n}: rel err {rel:.4} vs 4σ={:.4}", 4.0 * sigma);
+        }
+    }
+
+    #[test]
+    fn small_range_linear_counting() {
+        let mut hll = HyperLogLog::new(12);
+        fill(&mut hll, 0..10, 3);
+        let est = hll.estimate();
+        assert!((est - 10.0).abs() < 2.0, "est {est}");
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate() {
+        let mut hll = HyperLogLog::new(12);
+        for _ in 0..100 {
+            fill(&mut hll, 0..1000, 5);
+        }
+        let est = hll.estimate();
+        assert!((est - 1000.0).abs() / 1000.0 < 0.1, "est {est}");
+    }
+
+    #[test]
+    fn merge_is_union() {
+        let mut a = HyperLogLog::new(12);
+        let mut b = HyperLogLog::new(12);
+        fill(&mut a, 0..20_000, 7);
+        fill(&mut b, 10_000..30_000, 7);
+        let mut whole = HyperLogLog::new(12);
+        fill(&mut whole, 0..30_000, 7);
+        a.merge(&b);
+        assert_eq!(a, whole, "merge must equal the single-stream sketch");
+    }
+
+    #[test]
+    fn decompose_roundtrip_bounds() {
+        let hll = HyperLogLog::new(8);
+        let (idx, rho) = hll.decompose(u64::MAX);
+        assert_eq!(idx, 255);
+        assert_eq!(rho, 1);
+        let (idx, rho) = hll.decompose(0);
+        assert_eq!(idx, 0);
+        assert_eq!(rho, (64 - 8) + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "precision mismatch")]
+    fn merge_rejects_mismatch() {
+        let mut a = HyperLogLog::new(10);
+        let b = HyperLogLog::new(11);
+        a.merge(&b);
+    }
+}

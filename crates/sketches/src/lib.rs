@@ -1,0 +1,44 @@
+//! # sketches — hashing and sketching substrates
+//!
+//! Algorithmic building blocks the paper's five applications depend on:
+//!
+//! * [`murmur3_32`] / [`murmur3_u64`] — the MurmurHash3 function used by the
+//!   paper's HyperLogLog application (Table I);
+//! * [`CountMinSketch`] — the count-min sketch behind heavy-hitter detection;
+//! * [`HyperLogLog`] — a reference cardinality estimator used to validate the
+//!   FPGA-pipeline HLL application;
+//! * [`Fixed`] — Q32.32 fixed-point arithmetic matching the paper's
+//!   fixed-point PageRank (Table I);
+//! * [`hash`] — small deterministic mixers (`splitmix64`, `fnv1a64`) used by
+//!   dataset generators and routing.
+//!
+//! Everything here is pure, deterministic computational code with no
+//! simulator dependencies, so the same functions can run inside simulated PEs
+//! and in host-side reference checks.
+//!
+//! # Example
+//!
+//! ```
+//! use sketches::{HyperLogLog, murmur3_u64};
+//!
+//! let mut hll = HyperLogLog::new(12); // 4096 registers
+//! for key in 0u64..10_000 {
+//!     hll.insert_hash(murmur3_u64(key, 0));
+//! }
+//! let est = hll.estimate();
+//! assert!((est - 10_000.0).abs() / 10_000.0 < 0.05);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cms;
+mod fixed;
+pub mod hash;
+mod hyperloglog;
+mod murmur3;
+
+pub use cms::CountMinSketch;
+pub use fixed::Fixed;
+pub use hyperloglog::HyperLogLog;
+pub use murmur3::{murmur3_32, murmur3_u64};

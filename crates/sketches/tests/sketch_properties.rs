@@ -1,0 +1,67 @@
+//! Property tests on the sketching substrates.
+
+use proptest::prelude::*;
+use sketches::{hash, murmur3_32, murmur3_u64, CountMinSketch, Fixed, HyperLogLog};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// murmur3 is a pure function and distinguishes prefixes from
+    /// extensions (no trivial collisions on length).
+    #[test]
+    fn murmur_pure_and_length_sensitive(data in prop::collection::vec(any::<u8>(), 0..64)) {
+        prop_assert_eq!(murmur3_32(&data, 7), murmur3_32(&data, 7));
+        let mut extended = data.clone();
+        extended.push(0x5a);
+        prop_assert_ne!(murmur3_32(&data, 7), murmur3_32(&extended, 7));
+    }
+
+    /// CMS merge equals processing the concatenated stream.
+    #[test]
+    fn cms_merge_is_stream_concat(
+        xs in prop::collection::vec((0u64..64, 1u64..8), 0..60),
+        ys in prop::collection::vec((0u64..64, 1u64..8), 0..60),
+    ) {
+        let mut a = CountMinSketch::new(3, 64);
+        let mut b = CountMinSketch::new(3, 64);
+        let mut whole = CountMinSketch::new(3, 64);
+        for &(k, c) in &xs { a.update(k, c); whole.update(k, c); }
+        for &(k, c) in &ys { b.update(k, c); whole.update(k, c); }
+        a.merge(&b);
+        prop_assert_eq!(a, whole);
+    }
+
+    /// HLL estimates are invariant under input permutation and duplication.
+    #[test]
+    fn hll_set_semantics(keys in prop::collection::vec(any::<u64>(), 1..200)) {
+        let mut forward = HyperLogLog::new(8);
+        for &k in &keys {
+            forward.insert_hash(murmur3_u64(k, 3));
+        }
+        let mut doubled = HyperLogLog::new(8);
+        for &k in keys.iter().rev().chain(keys.iter()) {
+            doubled.insert_hash(murmur3_u64(k, 3));
+        }
+        prop_assert_eq!(forward, doubled);
+    }
+
+    /// Fixed-point add/sub round-trip exactly; multiplication by an integer equals
+    /// repeated addition.
+    #[test]
+    fn fixed_algebra(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+        let fa = Fixed::from_bits(a);
+        let fb = Fixed::from_bits(b);
+        prop_assert_eq!((fa + fb) - fb, fa);
+        prop_assert_eq!(fa + fb, fb + fa);
+        let three = Fixed::from_int(3);
+        prop_assert_eq!(fa * three, fa + fa + fa);
+    }
+
+    /// Radix extraction is idempotent and bounded.
+    #[test]
+    fn radix_bits_bounded(key in any::<u64>(), bits in 0u32..63) {
+        let r = hash::radix_bits(key, bits);
+        prop_assert!(bits == 0 || r < (1u64 << bits));
+        prop_assert_eq!(hash::radix_bits(r, bits), r);
+    }
+}

@@ -1,0 +1,78 @@
+//! # ditto — skew-oblivious data routing for data-intensive applications
+//!
+//! A comprehensive Rust reproduction of *"Skew-Oblivious Data Routing for
+//! Data Intensive Applications on FPGAs with HLS"* (DAC 2021): the Ditto
+//! framework and its skew-oblivious data routing architecture, rebuilt as a
+//! cycle-level model on a kernels-and-channels simulator.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`hls_sim`] — the execution substrate (cycle-level kernels, bounded
+//!   channels, memory models);
+//! * [`core`] (`ditto-core`) — the skew-oblivious architecture: PrePEs,
+//!   data routing, mappers, PriPEs/SecPEs, runtime profiler, merger;
+//! * [`framework`] (`ditto-framework`) — Equation 1 tuning, SecPE variant
+//!   generation, the Equation 2 skew analyzer and implementation selection;
+//! * [`apps`] (`ditto-apps`) — HISTO, DP, PR, HLL and HHD;
+//! * [`baselines`] (`ditto-baselines`) — the designs the paper compares
+//!   against;
+//! * [`sketches`], [`graph`], [`datagen`], [`fpga_model`] — algorithmic,
+//!   graph, dataset and resource-model substrates.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ditto::prelude::*;
+//!
+//! // A skewed dataset: Zipf(2.0) over 2^20 keys.
+//! let data = ZipfGenerator::new(2.0, 1 << 20, 42).take_vec(30_000);
+//!
+//! // Let the framework pick an implementation for it...
+//! let app = HistoApp::new(4096, 16);
+//! let imp = select_implementation(
+//!     &app,
+//!     &data,
+//!     &Platform::intel_pac_a10(),
+//!     &AppCostProfile::histo(),
+//!     &SkewAnalyzer::paper(),
+//! );
+//! assert!(imp.config.x_sec > 0, "skewed data should get SecPEs");
+//!
+//! // ...and run it cycle-accurately.
+//! let cfg = imp.config.clone().with_pe_entries(app.pe_entries());
+//! let outcome = SkewObliviousPipeline::run_dataset(app, data, &cfg);
+//! assert_eq!(outcome.output.iter().sum::<u64>(), 30_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use datagen;
+pub use ditto_apps as apps;
+pub use ditto_baselines as baselines;
+pub use ditto_core as core;
+pub use ditto_framework as framework;
+pub use ditto_graph as graph;
+pub use fpga_model;
+pub use hls_sim;
+pub use sketches;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use datagen::{sample, EvolvingZipfStream, Tuple, UniformGenerator, ZipfGenerator};
+    pub use ditto_apps::{
+        run_pagerank, DataPartitionApp, HhdApp, HistoApp, HllApp, PageRankApp, PageRankResult,
+    };
+    pub use ditto_baselines::{routing_noskew, PriorDesign, SinglePeDesign, StaticReplicationDesign};
+    pub use ditto_core::{
+        ArchConfig, DittoApp, ExecutionReport, Routed, RunOutcome, SchedulingPlan,
+        SkewObliviousPipeline,
+    };
+    pub use ditto_framework::{
+        select_implementation, Implementation, Platform, SkewAnalyzer, SystemGenerator,
+    };
+    pub use ditto_graph::{generate, pagerank, Csr};
+    pub use fpga_model::{mteps, mtps, AppCostProfile, Device, PipelineShape, ResourceModel};
+    pub use hls_sim::{Channel, Engine, Kernel, MemoryModel, SliceSource, StreamSource};
+    pub use sketches::{murmur3_32, murmur3_u64, CountMinSketch, Fixed, HyperLogLog};
+}

@@ -1,0 +1,105 @@
+//! End-to-end integration: the full framework workflow (tune → analyze →
+//! select → run) for every application, validated against host references.
+
+use ditto::prelude::*;
+
+#[test]
+fn equation1_tuning_matches_paper_platform() {
+    let platform = Platform::intel_pac_a10();
+    // HISTO-style apps: II_pre = 1, II_pri = 2 -> 8 PrePEs, 16 PriPEs.
+    let t = SystemGenerator::tune(1, 2, &platform);
+    assert_eq!((t.n_pre, t.m_pri), (8, 16));
+    // DP: II_pri = 1 -> 8 PriPEs.
+    let t = SystemGenerator::tune(1, 1, &platform);
+    assert_eq!((t.n_pre, t.m_pri), (8, 8));
+}
+
+#[test]
+fn histo_selected_implementation_is_correct_and_fast() {
+    let data = ZipfGenerator::new(2.0, 1 << 20, 11).take_vec(60_000);
+    let app = HistoApp::new(4_096, 16);
+    let imp = select_implementation(
+        &app,
+        &data,
+        &Platform::intel_pac_a10(),
+        &AppCostProfile::histo(),
+        &SkewAnalyzer::paper(),
+    );
+    assert!(imp.config.x_sec >= imp.recommended_x);
+    let cfg = imp.config.clone().with_pe_entries(app.pe_entries());
+    let selected = SkewObliviousPipeline::run_dataset(app.clone(), data.clone(), &cfg);
+    assert_eq!(selected.output, app.reference(&data));
+
+    let baseline = routing_noskew::run(app, data, &cfg);
+    assert!(
+        selected.report.tuples_per_cycle() > 1.5 * baseline.report.tuples_per_cycle(),
+        "selected {} vs baseline {}",
+        selected.report.tuples_per_cycle(),
+        baseline.report.tuples_per_cycle()
+    );
+}
+
+#[test]
+fn all_five_apps_run_through_the_paper_shape() {
+    let n = 20_000;
+    let skew = ZipfGenerator::new(1.5, 1 << 18, 3).take_vec(n);
+
+    // HISTO
+    let histo = HistoApp::new(1_024, 16);
+    let cfg = ArchConfig::paper(4).with_pe_entries(histo.pe_entries());
+    let out = SkewObliviousPipeline::run_dataset(histo.clone(), skew.clone(), &cfg);
+    assert_eq!(out.output, histo.reference(&skew));
+
+    // DP (M = 8 per Equation 1)
+    let dp = DataPartitionApp::new(256, 8);
+    let cfg = ArchConfig::new(8, 8, 4).with_pe_entries(dp.pe_entries());
+    let out = SkewObliviousPipeline::run_dataset(dp.clone(), skew.clone(), &cfg);
+    let sizes: Vec<u64> = out.output.iter().map(|b| b.len() as u64).collect();
+    assert_eq!(sizes, dp.reference_sizes(&skew));
+
+    // HLL
+    let hll = HllApp::new(12, 16);
+    let cfg = ArchConfig::paper(4).with_pe_entries(hll.pe_entries());
+    let out = SkewObliviousPipeline::run_dataset(hll.clone(), skew.clone(), &cfg);
+    assert_eq!(out.output, hll.reference(&skew));
+
+    // HHD
+    let hhd = HhdApp::new(4, 512, 200, 16);
+    let cfg = ArchConfig::paper(4).with_pe_entries(hhd.pe_entries());
+    let out = SkewObliviousPipeline::run_dataset(hhd.clone(), skew.clone(), &cfg);
+    for (key, count) in hhd.reference(&skew) {
+        let est = out.output.iter().find(|&&(k, _)| k == key);
+        assert!(est.is_some(), "missing heavy hitter {key} (count {count})");
+    }
+
+    // PR
+    let g = generate::power_law(512, 8.0, 1.4, 5).to_undirected();
+    let res = run_pagerank(&g, 0.85, 4, &ArchConfig::paper(7));
+    assert_eq!(res.ranks, pagerank::pagerank(&g, 0.85, 4));
+}
+
+#[test]
+fn bram_saving_scales_with_m() {
+    // The headline Table II claim: data routing buffers 1/M of the state
+    // per PE instead of a full replica.
+    let histo = HistoApp::new(32_768, 16);
+    let replica = StaticReplicationDesign::new(8, 16, 32_768);
+    let saving = replica.entries_per_pe() as f64 / histo.pe_entries() as f64;
+    assert_eq!(saving, 16.0);
+}
+
+#[test]
+fn static_replication_needs_no_routing_but_loses_bram() {
+    let data = ZipfGenerator::new(3.0, 1 << 16, 17).take_vec(20_000);
+    let histo_ditto = HistoApp::new(1_024, 16);
+    let cfg = ArchConfig::paper(15).with_pe_entries(histo_ditto.pe_entries());
+    let ditto = SkewObliviousPipeline::run_dataset(histo_ditto, data.clone(), &cfg);
+
+    let replica = StaticReplicationDesign::new(8, 16, 1_024);
+    let stat = replica.run(HistoApp::new(1_024, 1), data);
+
+    // Same histogram from both architectures.
+    assert_eq!(ditto.output, stat.output);
+    // The static design is skew-immune but pays 16x the per-PE buffer.
+    assert!(stat.report.imbalance(16) < 1.2);
+}

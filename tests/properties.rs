@@ -1,0 +1,171 @@
+//! Property-based tests over the core invariants (proptest).
+
+use ditto::core::apps::CountPerKey;
+use ditto::core::mapper::Mapper;
+use ditto::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The pipeline never loses or duplicates tuples, for any key set and
+    /// any SecPE count.
+    #[test]
+    fn pipeline_conserves_tuples(
+        keys in prop::collection::vec(any::<u64>(), 100..800),
+        x_sec in 0u32..8,
+    ) {
+        let data: Vec<Tuple> = keys.iter().map(|&k| Tuple::from_key(k)).collect();
+        let n = data.len() as u64;
+        let cfg = ArchConfig::new(4, 8, x_sec).with_pe_entries(8);
+        let out = SkewObliviousPipeline::run_dataset(CountPerKey::new(8), data, &cfg);
+        prop_assert_eq!(out.report.tuples, n);
+        prop_assert_eq!(out.output.iter().sum::<u64>(), n);
+    }
+
+    /// The histogram pipeline equals the host reference for arbitrary keys.
+    #[test]
+    fn histogram_matches_reference(
+        keys in prop::collection::vec(any::<u64>(), 200..600),
+        x_sec in 0u32..8,
+    ) {
+        let data: Vec<Tuple> = keys.iter().map(|&k| Tuple::from_key(k)).collect();
+        let app = HistoApp::new(64, 8);
+        let cfg = ArchConfig::new(4, 8, x_sec).with_pe_entries(app.pe_entries());
+        let expect = app.reference(&data);
+        let out = SkewObliviousPipeline::run_dataset(app, data, &cfg);
+        prop_assert_eq!(out.output, expect);
+    }
+
+    /// Mapper round-robin is conservative: every redirect lands on the
+    /// original PriPE or one of its scheduled helpers, and the PriPE always
+    /// stays in rotation.
+    #[test]
+    fn mapper_redirects_stay_in_row(
+        pairs in prop::collection::vec((0u32..4), 0..3),
+        lookups in 1usize..64,
+    ) {
+        let mut m = Mapper::new(4, 3);
+        let mut helpers: Vec<Vec<u32>> = (0..4).map(|i| vec![i]).collect();
+        for (i, &pri) in pairs.iter().enumerate() {
+            let sec = 4 + i as u32;
+            m.apply_pair(sec, pri);
+            helpers[pri as usize].push(sec);
+        }
+        for dst in 0u32..4 {
+            let mut saw_pri = false;
+            for _ in 0..lookups {
+                let got = m.redirect(dst);
+                prop_assert!(helpers[dst as usize].contains(&got),
+                    "dst {} redirected to {}", dst, got);
+                saw_pri |= got == dst;
+            }
+            if lookups >= helpers[dst as usize].len() {
+                prop_assert!(saw_pri, "PriPE {} never selected", dst);
+            }
+        }
+    }
+
+    /// The greedy plan never increases the maximum effective load as X
+    /// grows, and always schedules exactly X SecPEs.
+    #[test]
+    fn plan_monotone_and_complete(
+        workloads in prop::collection::vec(0u64..10_000, 2..16),
+    ) {
+        let m = workloads.len() as u32;
+        let mut prev = f64::INFINITY;
+        for x in 0..m {
+            let plan = SchedulingPlan::generate(&workloads, m, x);
+            prop_assert_eq!(plan.len(), x as usize);
+            let max = plan
+                .effective_loads(&workloads)
+                .into_iter()
+                .fold(0.0f64, f64::max);
+            prop_assert!(max <= prev + 1e-9);
+            prev = max;
+        }
+    }
+
+    /// Equation 2 is clamped, zero for uniform workloads and maximal for a
+    /// single hot PE, for any M.
+    #[test]
+    fn equation2_bounds(m in 2u32..32, hot in 0u32..32) {
+        let analyzer = SkewAnalyzer::paper();
+        let uniform = vec![1_000u64; m as usize];
+        prop_assert_eq!(analyzer.recommend_from_workloads(&uniform, m), 0);
+        let mut single = vec![0u64; m as usize];
+        single[(hot % m) as usize] = 1_000_000;
+        prop_assert_eq!(analyzer.recommend_from_workloads(&single, m), m - 1);
+    }
+
+    /// Fixed-point addition is associative/commutative, so any processing
+    /// order of PR contributions yields identical ranks.
+    #[test]
+    fn fixed_point_sum_is_order_independent(
+        values in prop::collection::vec(-1_000_000i64..1_000_000, 1..100),
+        seed in any::<u64>(),
+    ) {
+        let fixed: Vec<Fixed> = values.iter().map(|&v| Fixed::from_bits(v)).collect();
+        let forward: Fixed = fixed.iter().copied().sum();
+        let mut shuffled = fixed.clone();
+        // Deterministic shuffle from the seed.
+        let mut s = seed;
+        for i in (1..shuffled.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (s >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let backward: Fixed = shuffled.into_iter().sum();
+        prop_assert_eq!(forward, backward);
+    }
+
+    /// The CMS never under-estimates, whatever the update mix.
+    #[test]
+    fn cms_upper_bounds_counts(
+        updates in prop::collection::vec((0u64..64, 1u64..16), 1..200),
+    ) {
+        let mut cms = CountMinSketch::new(4, 128);
+        let mut truth = std::collections::HashMap::new();
+        for &(k, c) in &updates {
+            cms.update(k, c);
+            *truth.entry(k).or_insert(0u64) += c;
+        }
+        for (&k, &c) in &truth {
+            prop_assert!(cms.query(k) >= c);
+        }
+    }
+
+    /// HLL merge is idempotent and commutative (a lattice join).
+    #[test]
+    fn hll_merge_lattice(
+        a_keys in prop::collection::vec(any::<u64>(), 0..300),
+        b_keys in prop::collection::vec(any::<u64>(), 0..300),
+    ) {
+        let mut a = HyperLogLog::new(8);
+        let mut b = HyperLogLog::new(8);
+        for k in &a_keys { a.insert_hash(murmur3_u64(*k, 1)); }
+        for k in &b_keys { b.insert_hash(murmur3_u64(*k, 1)); }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        let mut abb = ab.clone();
+        abb.merge(&b);
+        prop_assert_eq!(&abb, &ab);
+    }
+}
+
+/// Non-proptest structural check: the variant sweep covers the whole
+/// BRAM-vs-robustness trade-off frontier.
+#[test]
+fn variant_frontier_is_monotone() {
+    let model = ResourceModel::arria10();
+    let profile = AppCostProfile::hll();
+    let tuning = SystemGenerator::tune(1, 2, &Platform::intel_pac_a10());
+    let variants = SystemGenerator::variants(tuning, &profile, &model);
+    for pair in variants.windows(2) {
+        assert!(pair[1].1.ram_blocks >= pair[0].1.ram_blocks);
+        assert!(pair[1].0.x_sec == pair[0].0.x_sec + 1);
+    }
+}

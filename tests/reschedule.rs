@@ -1,0 +1,112 @@
+//! The §IV-B reschedule protocol under evolving skew (the Fig. 9 machine).
+
+use ditto::hls_sim::StreamSource;
+use ditto::prelude::*;
+
+fn online_cfg(threshold: f64, overhead: u64) -> ArchConfig {
+    ArchConfig::new(4, 8, 7)
+        .with_pe_entries(128)
+        .with_reschedule(threshold, overhead)
+        .with_profile_cycles(64)
+        .with_monitor_window(256)
+}
+
+fn rotating_stream(interval: u64) -> EvolvingZipfStream {
+    EvolvingZipfStream::new(3.0, 1 << 16, 41, interval, 4.0, None)
+}
+
+#[test]
+fn reschedules_track_rotations_when_overhead_is_cheap() {
+    let out = SkewObliviousPipeline::run_stream_for(
+        ditto::core::apps::CountPerKey::new(8),
+        Box::new(rotating_stream(5_000)),
+        &online_cfg(0.5, 200),
+        50_000,
+    );
+    assert!(
+        out.report.reschedules >= 3,
+        "10 rotations with cheap requeue should trigger several reschedules, got {}",
+        out.report.reschedules
+    );
+    // Conservation: every processed tuple is accounted for after merges.
+    assert_eq!(out.output.iter().sum::<u64>(), out.report.tuples);
+}
+
+#[test]
+fn threshold_zero_disables_rescheduling() {
+    let out = SkewObliviousPipeline::run_stream_for(
+        ditto::core::apps::CountPerKey::new(8),
+        Box::new(rotating_stream(5_000)),
+        &online_cfg(0.0, 200),
+        50_000,
+    );
+    assert_eq!(out.report.reschedules, 0);
+    assert!(out.report.plans_generated >= 1, "the initial plan is still generated");
+}
+
+#[test]
+fn fast_rotation_auto_disables_rescheduling() {
+    // Rotation much faster than the requeue overhead: the system must stop
+    // rescheduling (Fig. 9's right region) instead of thrashing.
+    let out = SkewObliviousPipeline::run_stream_for(
+        ditto::core::apps::CountPerKey::new(8),
+        Box::new(rotating_stream(300)),
+        &online_cfg(0.5, 5_000),
+        120_000,
+    );
+    assert!(
+        out.report.reschedules <= 3,
+        "rescheduling should auto-disable, got {}",
+        out.report.reschedules
+    );
+    assert_eq!(out.output.iter().sum::<u64>(), out.report.tuples);
+}
+
+#[test]
+fn rescheduling_improves_throughput_on_slowly_evolving_skew() {
+    let interval = 20_000u64;
+    let cycles = 100_000u64;
+    let with = SkewObliviousPipeline::run_stream_for(
+        ditto::core::apps::CountPerKey::new(8),
+        Box::new(rotating_stream(interval)),
+        &online_cfg(0.5, 500),
+        cycles,
+    );
+    let without = SkewObliviousPipeline::run_stream_for(
+        ditto::core::apps::CountPerKey::new(8),
+        Box::new(rotating_stream(interval)),
+        &ArchConfig::new(4, 8, 0).with_pe_entries(128),
+        cycles,
+    );
+    assert!(
+        with.report.tuples_per_cycle() > 1.5 * without.report.tuples_per_cycle(),
+        "with: {} vs without: {}",
+        with.report.tuples_per_cycle(),
+        without.report.tuples_per_cycle()
+    );
+}
+
+#[test]
+fn evolving_stream_hot_pe_moves_across_epochs() {
+    // Underpinning Fig. 9: the overloaded PE changes when the seed rotates.
+    let stream = rotating_stream(1_000);
+    let mut hot_pes = std::collections::HashSet::new();
+    for epoch in 0..8 {
+        hot_pes.insert(stream.hot_key(epoch) % 8);
+    }
+    assert!(hot_pes.len() >= 3, "hot PE should move, saw {hot_pes:?}");
+}
+
+#[test]
+fn stream_respects_line_rate() {
+    let mut s = rotating_stream(1_000);
+    let mut got = 0usize;
+    let mut buf = Vec::new();
+    for cy in 0..10_000 {
+        buf.clear();
+        s.pull(cy, 64, &mut buf);
+        got += buf.len();
+    }
+    let rate = got as f64 / 10_000.0;
+    assert!((3.9..=4.1).contains(&rate), "rate {rate}");
+}

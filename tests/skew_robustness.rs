@@ -1,0 +1,76 @@
+//! Fig. 7-shaped invariants at test scale: more SecPEs buy more skew
+//! robustness; more PriPEs do not.
+
+use ditto::prelude::*;
+
+fn throughput(x_sec: u32, alpha: f64, m: u32, n: u32) -> f64 {
+    let app = HistoApp::new(1_024, m);
+    let data = ZipfGenerator::new(alpha, 1 << 18, 21).take_vec(30_000);
+    let cfg = ArchConfig::new(n, m, x_sec).with_pe_entries((1_024 / u64::from(m)) as usize);
+    SkewObliviousPipeline::run_dataset(app, data, &cfg).report.tuples_per_cycle()
+}
+
+#[test]
+fn throughput_is_monotone_in_secpes_under_extreme_skew() {
+    let alpha = 3.0;
+    let t0 = throughput(0, alpha, 16, 8);
+    let t2 = throughput(2, alpha, 16, 8);
+    let t8 = throughput(8, alpha, 16, 8);
+    let t15 = throughput(15, alpha, 16, 8);
+    assert!(t2 > 1.5 * t0, "2 SecPEs: {t2} vs {t0}");
+    assert!(t8 > t2, "8 SecPEs: {t8} vs {t2}");
+    assert!(t15 > t8 * 0.95, "15 SecPEs: {t15} vs {t8}");
+    assert!(t15 > 6.0 * t0, "full SecPEs must recover most of the collapse");
+}
+
+#[test]
+fn more_pripes_do_not_help() {
+    // The paper's 32P strawman: doubling PriPEs cannot fix per-PE overload.
+    let alpha = 2.5;
+    let t16 = throughput(0, alpha, 16, 8);
+    let t32 = throughput(0, alpha, 32, 16);
+    assert!(
+        t32 < 2.0 * t16,
+        "32P ({t32}) must not outrun 16P ({t16}) meaningfully under skew"
+    );
+}
+
+#[test]
+fn uniform_data_needs_no_secpes() {
+    let t0 = throughput(0, 0.0, 16, 8);
+    let t15 = throughput(15, 0.0, 16, 8);
+    // SecPEs must not hurt uniform throughput much (they idle).
+    assert!(t15 > 0.8 * t0, "uniform: {t15} vs {t0}");
+    assert!(t0 > 6.0, "uniform 16P should run near the 8/cycle bandwidth: {t0}");
+}
+
+#[test]
+fn secpe_capacity_matches_plan_effectiveness() {
+    // The profiler's greedy plan (Fig. 5) should leave max effective load
+    // near total/(1+helpers) for the hot PE.
+    let w = [10_000u64, 100, 100, 100, 100, 100, 100, 100];
+    for x in [1u32, 3, 7] {
+        let plan = SchedulingPlan::generate(&w, 8, x);
+        let eff = plan.effective_loads(&w);
+        let max = eff.into_iter().fold(0.0f64, f64::max);
+        let ideal = 10_000.0 / f64::from(x + 1);
+        assert!(
+            max <= ideal + 101.0,
+            "x={x}: max effective load {max} vs ideal {ideal}"
+        );
+    }
+}
+
+#[test]
+fn workload_imbalance_drives_the_collapse() {
+    let app = HistoApp::new(1_024, 16);
+    let data = ZipfGenerator::new(2.5, 1 << 18, 31).take_vec(30_000);
+    let cfg = ArchConfig::paper(0).with_pe_entries(app.pe_entries());
+    let rep = SkewObliviousPipeline::run_dataset(app, data, &cfg).report;
+    // Normalised workload (Fig. 2a) shows one dominant PE...
+    let norm = rep.normalized_workload(16);
+    let max = norm.iter().copied().fold(0.0f64, f64::max);
+    assert!(max > 5.0, "expected a dominant PE, max normalised load {max}");
+    // ...and throughput is inversely tied to it.
+    assert!(rep.tuples_per_cycle() < 8.0 / (max / 2.0));
+}
