@@ -42,8 +42,15 @@ impl DataPartitionApp {
     pub fn new(fan_out: u64, m_pri: u32) -> Self {
         assert!(fan_out.is_power_of_two(), "fan-out must be a power of two");
         assert!(fan_out >= u64::from(m_pri), "fan-out must cover all PEs");
-        assert!(fan_out % u64::from(m_pri) == 0, "fan-out must be a multiple of M");
-        DataPartitionApp { fan_out, m_pri, radix_bits: fan_out.trailing_zeros() }
+        assert!(
+            fan_out.is_multiple_of(u64::from(m_pri)),
+            "fan-out must be a multiple of M"
+        );
+        DataPartitionApp {
+            fan_out,
+            m_pri,
+            radix_bits: fan_out.trailing_zeros(),
+        }
     }
 
     /// The fan-out (number of output partitions).
@@ -159,8 +166,7 @@ mod tests {
     fn skewed_partitioning_with_secpes_loses_nothing() {
         let app = DataPartitionApp::new(64, 8);
         // Low-bit-skewed keys: most tuples share one partition.
-        let data: Vec<Tuple> = ZipfGenerator::new(2.5, 1 << 16, 3)
-            .take_vec(8_000);
+        let data: Vec<Tuple> = ZipfGenerator::new(2.5, 1 << 16, 3).take_vec(8_000);
         let expect = app.reference_sizes(&data);
         let cfg = ArchConfig::new(4, 8, 7).with_pe_entries(app.pe_entries());
         let out = SkewObliviousPipeline::run_dataset(app, data, &cfg);

@@ -47,11 +47,20 @@ impl HhdApp {
     ///
     /// Panics if any parameter is zero.
     pub fn new(depth: usize, width_per_pe: usize, threshold: u64, m_pri: u32) -> Self {
-        assert!(depth > 0 && width_per_pe > 0, "CMS geometry must be nonzero");
+        assert!(
+            depth > 0 && width_per_pe > 0,
+            "CMS geometry must be nonzero"
+        );
         assert!(threshold > 0, "threshold must be nonzero");
         assert!(m_pri > 0, "need at least one PriPE");
         let candidate_threshold = threshold.div_ceil(u64::from(m_pri)).max(1);
-        HhdApp { depth, width_per_pe, threshold, candidate_threshold, m_pri }
+        HhdApp {
+            depth,
+            width_per_pe,
+            threshold,
+            candidate_threshold,
+            m_pri,
+        }
     }
 
     /// CMS cells per PE (the BRAM cost driver).
@@ -70,8 +79,10 @@ impl HhdApp {
         for t in data {
             *counts.entry(t.key).or_insert(0) += 1;
         }
-        let mut hitters: Vec<(u64, u64)> =
-            counts.into_iter().filter(|&(_, c)| c >= self.threshold).collect();
+        let mut hitters: Vec<(u64, u64)> = counts
+            .into_iter()
+            .filter(|&(_, c)| c >= self.threshold)
+            .collect();
         hitters.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         hitters
     }
@@ -121,8 +132,12 @@ impl DittoApp for HhdApp {
         pri.sketch.merge(&sec.sketch);
         // Re-score all candidates against the merged sketch: a key may only
         // cross the threshold once both partial counts are combined.
-        let keys: Vec<u64> =
-            pri.candidates.keys().chain(sec.candidates.keys()).copied().collect();
+        let keys: Vec<u64> = pri
+            .candidates
+            .keys()
+            .chain(sec.candidates.keys())
+            .copied()
+            .collect();
         for key in keys {
             let est = pri.sketch.query(key);
             if est >= self.candidate_threshold {
@@ -186,7 +201,11 @@ mod tests {
         let app = HhdApp::new(4, 512, 6_000, 8);
         let data = ZipfGenerator::new(3.0, 1 << 14, 21).take_vec(10_000);
         let truth = app.reference(&data);
-        assert_eq!(truth.len(), 1, "α=3 should leave exactly the rank-1 key above 60%");
+        assert_eq!(
+            truth.len(),
+            1,
+            "α=3 should leave exactly the rank-1 key above 60%"
+        );
         let cfg = ArchConfig::new(4, 8, 7).with_pe_entries(app.pe_entries());
         let out = SkewObliviousPipeline::run_dataset(app, data, &cfg);
         assert!(

@@ -39,7 +39,7 @@ impl HistoApp {
     pub fn new(bins: u64, m_pri: u32) -> Self {
         assert!(bins > 0 && m_pri > 0, "bins and m_pri must be nonzero");
         assert!(
-            bins % u64::from(m_pri) == 0,
+            bins.is_multiple_of(u64::from(m_pri)),
             "bins ({bins}) must be a multiple of M ({m_pri})"
         );
         HistoApp { bins, m_pri }

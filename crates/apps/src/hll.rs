@@ -45,10 +45,14 @@ impl HllApp {
     pub fn new(precision: u32, m_pri: u32) -> Self {
         assert!((4..=18).contains(&precision), "precision must be in 4..=18");
         assert!(
-            (1u64 << precision) % u64::from(m_pri) == 0,
+            (1u64 << precision).is_multiple_of(u64::from(m_pri)),
             "register count must be a multiple of M"
         );
-        HllApp { precision, m_pri, seed: 0x4151 }
+        HllApp {
+            precision,
+            m_pri,
+            seed: 0x4151,
+        }
     }
 
     /// Registers each PE buffers (`2^precision / M`).

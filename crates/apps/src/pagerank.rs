@@ -1,6 +1,6 @@
 //! PageRank (PR) — fixed-point rank scoring over graph edges (Table I).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ditto_core::{ArchConfig, DittoApp, ExecutionReport, Routed, SkewObliviousPipeline, Tuple};
 use ditto_graph::Csr;
@@ -20,7 +20,7 @@ use sketches::Fixed;
 /// that Fig. 8 shows plain data routing collapsing under.
 #[derive(Debug, Clone)]
 pub struct PageRankApp {
-    contribs: Rc<Vec<Fixed>>,
+    contribs: Arc<Vec<Fixed>>,
     n_vertices: usize,
     m_pri: u32,
 }
@@ -31,9 +31,13 @@ impl PageRankApp {
     /// # Panics
     ///
     /// Panics if `m_pri` is zero.
-    pub fn new(contribs: Rc<Vec<Fixed>>, m_pri: u32) -> Self {
+    pub fn new(contribs: Arc<Vec<Fixed>>, m_pri: u32) -> Self {
         assert!(m_pri > 0, "need at least one PriPE");
-        PageRankApp { n_vertices: contribs.len(), contribs, m_pri }
+        PageRankApp {
+            n_vertices: contribs.len(),
+            contribs,
+            m_pri,
+        }
     }
 
     /// Next-rank accumulator entries each PE buffers (`⌈n/M⌉`).
@@ -44,7 +48,10 @@ impl PageRankApp {
     /// The edge stream for `graph`: one `⟨dst, src⟩` tuple per edge, in CSR
     /// order — the order the memory access engine would burst-read.
     pub fn edge_tuples(graph: &Csr) -> Vec<Tuple> {
-        graph.edges().map(|(s, d)| Tuple::new(u64::from(d), u64::from(s))).collect()
+        graph
+            .edges()
+            .map(|(s, d)| Tuple::new(u64::from(d), u64::from(s)))
+            .collect()
     }
 }
 
@@ -154,11 +161,13 @@ pub fn run_pagerank(
                 }
             })
             .collect();
-        let dangling: Fixed =
-            (0..n).filter(|&v| graph.out_degree(v) == 0).map(|v| ranks[v]).sum();
+        let dangling: Fixed = (0..n)
+            .filter(|&v| graph.out_degree(v) == 0)
+            .map(|v| ranks[v])
+            .sum();
         let dangling_share = d * dangling / n_fixed;
 
-        let app = PageRankApp::new(Rc::new(contribs), config.m_pri);
+        let app = PageRankApp::new(Arc::new(contribs), config.m_pri);
         let cfg = config.clone().with_pe_entries(app.pe_entries());
         let outcome = SkewObliviousPipeline::run_dataset(app, edges.clone(), &cfg);
         reports.push(outcome.report);
@@ -183,7 +192,10 @@ mod tests {
         let cfg = ArchConfig::new(4, 8, 0);
         let ours = run_pagerank(&g, 0.85, 5, &cfg);
         let refr = reference::pagerank(&g, 0.85, 5);
-        assert_eq!(ours.ranks, refr, "fixed-point addition is exact; results must match");
+        assert_eq!(
+            ours.ranks, refr,
+            "fixed-point addition is exact; results must match"
+        );
     }
 
     #[test]

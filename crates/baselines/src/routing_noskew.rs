@@ -47,7 +47,9 @@ mod tests {
 
     #[test]
     fn strips_secpes_only() {
-        let cfg = ArchConfig::new(8, 16, 9).with_pe_entries(77).with_pe_queue_depth(33);
+        let cfg = ArchConfig::new(8, 16, 9)
+            .with_pe_entries(77)
+            .with_pe_queue_depth(33);
         let base = baseline_config(&cfg);
         assert_eq!(base.x_sec, 0);
         assert_eq!(base.n_pre, 8);

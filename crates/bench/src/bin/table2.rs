@@ -10,8 +10,8 @@
 
 use datagen::{UniformGenerator, ZipfGenerator};
 use ditto_apps::{run_pagerank, DataPartitionApp, HhdApp, HistoApp, HllApp};
-use ditto_bench::{estimate_of, freq_of, harness_tuples, print_header, row, PAPER_TUPLES};
 use ditto_baselines::{PriorDesign, StaticReplicationDesign};
+use ditto_bench::{estimate_of, freq_of, harness_tuples, par_map, print_header, row, PAPER_TUPLES};
 use ditto_core::{ArchConfig, SkewObliviousPipeline};
 use ditto_framework::SkewAnalyzer;
 use ditto_graph::generate;
@@ -19,7 +19,10 @@ use fpga_model::AppCostProfile;
 
 /// Smallest generated variant (the paper's Fig. 7 sweep) covering `rec`.
 fn pick_x(rec: u32) -> u32 {
-    [0u32, 1, 2, 4, 8, 15].into_iter().find(|&x| x >= rec).unwrap_or(15)
+    [0u32, 1, 2, 4, 8, 15]
+        .into_iter()
+        .find(|&x| x >= rec)
+        .unwrap_or(15)
 }
 
 /// Projects a measured run to paper scale: cycles/tuple × 26 M + overhead,
@@ -41,165 +44,209 @@ struct Row {
     paper_bu: f64,
 }
 
-fn main() {
-    let tuples = harness_tuples().min(1_000_000);
+/// One independent comparison block (a Table II app section); each runs its
+/// own engines, so the blocks sweep across threads.
+fn block(idx: usize, tuples: usize) -> Vec<Row> {
     let mut rows: Vec<Row> = Vec::new();
+    match idx {
+        // ---- HISTO vs Jiang et al. [12] (Reproduced: simulate both) ----
+        0 => {
+            let bins = 16_384u64;
+            let app = HistoApp::new(bins, 16);
+            let data = UniformGenerator::new(1 << 24, 31).take_vec(tuples);
+            let cfg = ArchConfig::paper(0).with_pe_entries(app.pe_entries());
+            let ours = SkewObliviousPipeline::run_dataset(app, data.clone(), &cfg).report;
+            let ours_mtps = projected_mtps(
+                ours.cycles,
+                ours.tuples,
+                0,
+                freq_of(8, 16, 0, &AppCostProfile::histo()),
+            );
 
-    // ---- HISTO vs Jiang et al. [12] (Reproduced: simulate both) ----
-    {
-        let bins = 16_384u64;
-        let app = HistoApp::new(bins, 16);
-        let data = UniformGenerator::new(1 << 24, 31).take_vec(tuples);
-        let cfg = ArchConfig::paper(0).with_pe_entries(app.pe_entries());
-        let ours = SkewObliviousPipeline::run_dataset(app, data.clone(), &cfg).report;
-        let ours_mtps =
-            projected_mtps(ours.cycles, ours.tuples, 0, freq_of(8, 16, 0, &AppCostProfile::histo()));
-
-        let design = StaticReplicationDesign::new(8, 16, bins as usize);
-        let base = design.run(HistoApp::new(bins, 1), data).report;
-        // The simulated static run already charges the CPU merge; split it
-        // back out so the projection scales kernel time with tuples only.
-        let merge = 16 * bins * 2;
-        let base_mtps = projected_mtps(
-            base.cycles - merge,
-            base.tuples,
-            merge,
-            PriorDesign::jiang_histo().freq_mhz,
-        );
-        rows.push(Row {
-            app: "HISTO",
-            work: "Jiang et al. [12]".into(),
-            source: "Reproduced",
-            pl: "HLS",
-            ratio: ours_mtps / base_mtps,
-            paper_ratio: 1.2,
-            bu: f64::from(PriorDesign::jiang_histo().buffer_replication),
-            paper_bu: 32.0,
-        });
-    }
-
-    // ---- DP vs Wang et al. [18] and Kara et al. [17] (Original) ----
-    {
-        let app = DataPartitionApp::new(512, 8); // II_pri = 1 -> Eq. 1 gives M = 8
-        let data = UniformGenerator::new(1 << 24, 33).take_vec(tuples.min(400_000));
-        let cfg = ArchConfig::new(8, 8, 0).with_pe_entries(app.pe_entries());
-        let ours = SkewObliviousPipeline::run_dataset(app, data, &cfg).report;
-        let ours_mtps =
-            projected_mtps(ours.cycles, ours.tuples, 0, freq_of(8, 8, 0, &AppCostProfile::dp()));
-        for (prior, paper_ratio, paper_bu) in
-            [(PriorDesign::wang_dp(), 2.4, 16.0), (PriorDesign::kara_dp(), 1.2, 8.0)]
-        {
+            let design = StaticReplicationDesign::new(8, 16, bins as usize);
+            let base = design.run(HistoApp::new(bins, 1), data).report;
+            // The simulated static run already charges the CPU merge; split it
+            // back out so the projection scales kernel time with tuples only.
+            let merge = 16 * bins * 2;
+            let base_mtps = projected_mtps(
+                base.cycles - merge,
+                base.tuples,
+                merge,
+                PriorDesign::jiang_histo().freq_mhz,
+            );
             rows.push(Row {
-                app: "DP",
-                work: format!("{} [{}]", prior.name, if prior.language == "HLS" { 18 } else { 17 }),
-                source: "Original",
-                pl: prior.language,
-                ratio: ours_mtps / prior.effective_mtps(8.0),
-                paper_ratio,
-                bu: f64::from(prior.buffer_replication),
-                paper_bu,
+                app: "HISTO",
+                work: "Jiang et al. [12]".into(),
+                source: "Reproduced",
+                pl: "HLS",
+                ratio: ours_mtps / base_mtps,
+                paper_ratio: 1.2,
+                bu: f64::from(PriorDesign::jiang_histo().buffer_replication),
+                paper_bu: 32.0,
             });
         }
-    }
 
-    // ---- PR vs Chen et al. [8] (Reproduced) and Zhou et al. [21] ----
-    {
-        // Directed graphs "have near balanced workload distribution" — the
-        // analyzer selects the base variant and both routing designs
-        // perform identically (paper: 1.0x).
-        let g = generate::uniform(4_096, 8.0, 35);
-        let profile = AppCostProfile::pagerank();
-        let edges = ditto_apps::PageRankApp::edge_tuples(&g);
-        let probe = ditto_apps::PageRankApp::new(
-            std::rc::Rc::new(vec![sketches::Fixed::ZERO; g.vertex_count()]),
-            16,
-        );
-        let x = pick_x(SkewAnalyzer::paper().recommend(&probe, &edges, 16));
-        let ours = run_pagerank(&g, 0.85, 2, &ArchConfig::paper(x));
-        let chen = run_pagerank(&g, 0.85, 2, &ArchConfig::paper(0));
-        let ours_mteps = ours.edges_per_cycle() * freq_of(8, 16, x, &profile);
-        let chen_mteps = chen.edges_per_cycle() * freq_of(8, 16, 0, &profile);
-        rows.push(Row {
-            app: "PR",
-            work: "Chen et al. [8]".into(),
-            source: "Reproduced",
-            pl: "HLS",
-            ratio: ours_mteps / chen_mteps,
-            paper_ratio: 1.0,
-            bu: 1.0,
-            paper_bu: 1.0,
-        });
-        let zhou = PriorDesign::zhou_pr();
-        rows.push(Row {
-            app: "PR",
-            work: "Zhou et al. [21]".into(),
-            source: "Original",
-            pl: "RTL",
-            ratio: ours_mteps / zhou.effective_mtps(8.0),
-            paper_ratio: 1.8,
-            bu: 1.0,
-            paper_bu: 1.0,
-        });
-    }
-
-    // ---- HLL vs Kulkarni et al. [20] (Original) ----
-    {
-        let app = HllApp::new(14, 16);
-        let data = UniformGenerator::new(1 << 30, 37).take_vec(tuples.min(400_000));
-        let cfg = ArchConfig::paper(0).with_pe_entries(app.pe_entries());
-        let ours = SkewObliviousPipeline::run_dataset(app, data, &cfg).report;
-        let ours_mtps =
-            projected_mtps(ours.cycles, ours.tuples, 0, freq_of(8, 16, 0, &AppCostProfile::hll()));
-        let prior = PriorDesign::kulkarni_hll();
-        rows.push(Row {
-            app: "HLL",
-            work: "Kulkami et al. [20]".into(),
-            source: "Original",
-            pl: "RTL",
-            ratio: ours_mtps / prior.effective_mtps(8.0),
-            paper_ratio: 0.9,
-            bu: f64::from(prior.buffer_replication),
-            paper_bu: 10.0,
-        });
-    }
-
-    // ---- HHD vs Tong et al. [19] (Original) ----
-    {
-        // The paper's HHD dataset has "half of the tuples with the same
-        // key": Ditto's analyzer provisions SecPEs for it.
-        let app = HhdApp::new(4, 1_024, 1_000, 16);
-        let n = tuples.min(400_000);
-        let mut data = ZipfGenerator::new(0.0, 1 << 24, 39).take_vec(n / 2);
-        data.extend(std::iter::repeat_n(datagen::Tuple::from_key(0xbeef), n / 2));
-        // Interleave so the hot key is spread over time.
-        let mut interleaved = Vec::with_capacity(n);
-        let half = data.split_off(n / 2);
-        for (a, b) in data.into_iter().zip(half) {
-            interleaved.push(a);
-            interleaved.push(b);
+        // ---- DP vs Wang et al. [18] and Kara et al. [17] (Original) ----
+        1 => {
+            let app = DataPartitionApp::new(512, 8); // II_pri = 1 -> Eq. 1 gives M = 8
+            let data = UniformGenerator::new(1 << 24, 33).take_vec(tuples.min(400_000));
+            let cfg = ArchConfig::new(8, 8, 0).with_pe_entries(app.pe_entries());
+            let ours = SkewObliviousPipeline::run_dataset(app, data, &cfg).report;
+            let ours_mtps = projected_mtps(
+                ours.cycles,
+                ours.tuples,
+                0,
+                freq_of(8, 8, 0, &AppCostProfile::dp()),
+            );
+            for (prior, paper_ratio, paper_bu) in [
+                (PriorDesign::wang_dp(), 2.4, 16.0),
+                (PriorDesign::kara_dp(), 1.2, 8.0),
+            ] {
+                rows.push(Row {
+                    app: "DP",
+                    work: format!(
+                        "{} [{}]",
+                        prior.name,
+                        if prior.language == "HLS" { 18 } else { 17 }
+                    ),
+                    source: "Original",
+                    pl: prior.language,
+                    ratio: ours_mtps / prior.effective_mtps(8.0),
+                    paper_ratio,
+                    bu: f64::from(prior.buffer_replication),
+                    paper_bu,
+                });
+            }
         }
-        let x = pick_x(SkewAnalyzer::paper().recommend(&app, &interleaved, 16));
-        let cfg = ArchConfig::paper(x).with_pe_entries(app.pe_entries());
-        let ours = SkewObliviousPipeline::run_dataset(app, interleaved, &cfg).report;
-        let ours_mtps =
-            projected_mtps(ours.cycles, ours.tuples, 0, freq_of(8, 16, x, &AppCostProfile::hhd()));
-        let prior = PriorDesign::tong_hhd();
-        rows.push(Row {
-            app: "HHD",
-            work: "Tong et al. [19]".into(),
-            source: "Original",
-            pl: "RTL",
-            ratio: ours_mtps / prior.effective_mtps(8.0),
-            paper_ratio: 1.6,
-            bu: 1.0,
-            paper_bu: 1.0,
-        });
+
+        // ---- PR vs Chen et al. [8] (Reproduced) and Zhou et al. [21] ----
+        2 => {
+            // Directed graphs "have near balanced workload distribution" — the
+            // analyzer selects the base variant and both routing designs
+            // perform identically (paper: 1.0x).
+            let g = generate::uniform(4_096, 8.0, 35);
+            let profile = AppCostProfile::pagerank();
+            let edges = ditto_apps::PageRankApp::edge_tuples(&g);
+            let probe = ditto_apps::PageRankApp::new(
+                std::sync::Arc::new(vec![sketches::Fixed::ZERO; g.vertex_count()]),
+                16,
+            );
+            let x = pick_x(SkewAnalyzer::paper().recommend(&probe, &edges, 16));
+            let ours = run_pagerank(&g, 0.85, 2, &ArchConfig::paper(x));
+            let chen = run_pagerank(&g, 0.85, 2, &ArchConfig::paper(0));
+            let ours_mteps = ours.edges_per_cycle() * freq_of(8, 16, x, &profile);
+            let chen_mteps = chen.edges_per_cycle() * freq_of(8, 16, 0, &profile);
+            rows.push(Row {
+                app: "PR",
+                work: "Chen et al. [8]".into(),
+                source: "Reproduced",
+                pl: "HLS",
+                ratio: ours_mteps / chen_mteps,
+                paper_ratio: 1.0,
+                bu: 1.0,
+                paper_bu: 1.0,
+            });
+            let zhou = PriorDesign::zhou_pr();
+            rows.push(Row {
+                app: "PR",
+                work: "Zhou et al. [21]".into(),
+                source: "Original",
+                pl: "RTL",
+                ratio: ours_mteps / zhou.effective_mtps(8.0),
+                paper_ratio: 1.8,
+                bu: 1.0,
+                paper_bu: 1.0,
+            });
+        }
+
+        // ---- HLL vs Kulkarni et al. [20] (Original) ----
+        3 => {
+            let app = HllApp::new(14, 16);
+            let data = UniformGenerator::new(1 << 30, 37).take_vec(tuples.min(400_000));
+            let cfg = ArchConfig::paper(0).with_pe_entries(app.pe_entries());
+            let ours = SkewObliviousPipeline::run_dataset(app, data, &cfg).report;
+            let ours_mtps = projected_mtps(
+                ours.cycles,
+                ours.tuples,
+                0,
+                freq_of(8, 16, 0, &AppCostProfile::hll()),
+            );
+            let prior = PriorDesign::kulkarni_hll();
+            rows.push(Row {
+                app: "HLL",
+                work: "Kulkami et al. [20]".into(),
+                source: "Original",
+                pl: "RTL",
+                ratio: ours_mtps / prior.effective_mtps(8.0),
+                paper_ratio: 0.9,
+                bu: f64::from(prior.buffer_replication),
+                paper_bu: 10.0,
+            });
+        }
+
+        // ---- HHD vs Tong et al. [19] (Original) ----
+        4 => {
+            // The paper's HHD dataset has "half of the tuples with the same
+            // key": Ditto's analyzer provisions SecPEs for it.
+            let app = HhdApp::new(4, 1_024, 1_000, 16);
+            let n = tuples.min(400_000);
+            let mut data = ZipfGenerator::new(0.0, 1 << 24, 39).take_vec(n / 2);
+            data.extend(std::iter::repeat_n(datagen::Tuple::from_key(0xbeef), n / 2));
+            // Interleave so the hot key is spread over time.
+            let mut interleaved = Vec::with_capacity(n);
+            let half = data.split_off(n / 2);
+            for (a, b) in data.into_iter().zip(half) {
+                interleaved.push(a);
+                interleaved.push(b);
+            }
+            let x = pick_x(SkewAnalyzer::paper().recommend(&app, &interleaved, 16));
+            let cfg = ArchConfig::paper(x).with_pe_entries(app.pe_entries());
+            let ours = SkewObliviousPipeline::run_dataset(app, interleaved, &cfg).report;
+            let ours_mtps = projected_mtps(
+                ours.cycles,
+                ours.tuples,
+                0,
+                freq_of(8, 16, x, &AppCostProfile::hhd()),
+            );
+            let prior = PriorDesign::tong_hhd();
+            rows.push(Row {
+                app: "HHD",
+                work: "Tong et al. [19]".into(),
+                source: "Original",
+                pl: "RTL",
+                ratio: ours_mtps / prior.effective_mtps(8.0),
+                paper_ratio: 1.6,
+                bu: 1.0,
+                paper_bu: 1.0,
+            });
+        }
+
+        _ => unreachable!("unknown block"),
     }
+    rows
+}
+
+fn main() {
+    let tuples = harness_tuples().min(1_000_000);
+    let indices: Vec<usize> = (0..5).collect();
+    let rows: Vec<Row> = par_map(&indices, |&i| block(i, tuples))
+        .into_iter()
+        .flatten()
+        .collect();
 
     println!("# Table II — Ditto vs state-of-the-art designs");
     print_header(
         "Throughput ratio (ours / theirs) and BRAM usage saving per PE",
-        &["App.", "Existing work", "Source", "P.L.", "Thro. (ours)", "Thro. (paper)", "B.U.Saving (ours)", "B.U.Saving (paper)"],
+        &[
+            "App.",
+            "Existing work",
+            "Source",
+            "P.L.",
+            "Thro. (ours)",
+            "Thro. (paper)",
+            "B.U.Saving (ours)",
+            "B.U.Saving (paper)",
+        ],
     );
     for r in &rows {
         println!(
@@ -216,12 +263,19 @@ fn main() {
             ])
         );
     }
-    println!("\nBaseline resource context (Ditto 16P HLL): {}", estimate_of(8, 16, 0, &AppCostProfile::hll()).table_row());
+    println!(
+        "\nBaseline resource context (Ditto 16P HLL): {}",
+        estimate_of(8, 16, 0, &AppCostProfile::hll()).table_row()
+    );
 
     // Keep the binary honest: the directional claims must hold.
     for r in &rows {
-        let same_direction = (r.ratio >= 1.0) == (r.paper_ratio >= 1.0)
-            || (r.ratio - r.paper_ratio).abs() < 0.3;
-        assert!(same_direction, "{}: ratio {:.2} vs paper {:.2}", r.work, r.ratio, r.paper_ratio);
+        let same_direction =
+            (r.ratio >= 1.0) == (r.paper_ratio >= 1.0) || (r.ratio - r.paper_ratio).abs() < 0.3;
+        assert!(
+            same_direction,
+            "{}: ratio {:.2} vs paper {:.2}",
+            r.work, r.ratio, r.paper_ratio
+        );
     }
 }

@@ -5,7 +5,10 @@ use ditto_bench::{print_header, row};
 use fpga_model::{AppCostProfile, PipelineShape, ResourceModel};
 
 /// The paper's Table III (HLL implementations on the Arria 10 GX 1150).
-const PAPER: &[(&str, u32, u32, u32, f64, u64, u64, u64)] = &[
+/// label, N, M, X, freq (MHz), RAM blocks, logic elements, DSPs.
+type PaperRow = (&'static str, u32, u32, u32, f64, u64, u64, u64);
+
+const PAPER: &[PaperRow] = &[
     ("16P", 8, 16, 0, 246.0, 597, 163_934, 403),
     ("32P", 16, 32, 0, 191.0, 1_868, 230_838, 729),
     ("16P+1S", 8, 16, 1, 202.0, 908, 184_826, 409),
@@ -22,7 +25,17 @@ fn main() {
     println!("\nModel vs paper; Δ is (model − paper) / paper.");
     print_header(
         "Resource utilisation and frequency",
-        &["Implem.", "Freq (model/paper)", "Δ", "RAM", "Δ", "Logic", "Δ", "DSP", "Δ"],
+        &[
+            "Implem.",
+            "Freq (model/paper)",
+            "Δ",
+            "RAM",
+            "Δ",
+            "Logic",
+            "Δ",
+            "DSP",
+            "Δ",
+        ],
     );
     let pct = |a: f64, b: f64| format!("{:+.0}%", (a - b) / b * 100.0);
     for &(label, n, m, x, freq, ram, logic, dsp) in PAPER {
@@ -35,7 +48,12 @@ fn main() {
                 pct(e.freq_mhz, freq),
                 format!("{} / {} ({:.0}%)", e.ram_blocks, ram, e.ram_util * 100.0),
                 pct(e.ram_blocks as f64, ram as f64),
-                format!("{} / {} ({:.0}%)", e.logic_alms, logic, e.logic_util * 100.0),
+                format!(
+                    "{} / {} ({:.0}%)",
+                    e.logic_alms,
+                    logic,
+                    e.logic_util * 100.0
+                ),
                 pct(e.logic_alms as f64, logic as f64),
                 format!("{} / {} ({:.0}%)", e.dsps, dsp, e.dsp_util * 100.0),
                 pct(e.dsps as f64, dsp as f64),

@@ -57,6 +57,53 @@ pub fn estimate_of(n: u32, m: u32, x: u32, profile: &AppCostProfile) -> Resource
     ResourceModel::arria10().estimate(PipelineShape::new(n, m, x), profile)
 }
 
+/// Number of worker threads for scenario sweeps: `DITTO_THREADS` override
+/// or the machine's available parallelism.
+pub fn sweep_threads() -> usize {
+    std::env::var("DITTO_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Runs `f` over `items` across [`sweep_threads`] scoped threads, returning
+/// results in input order.
+///
+/// Each scenario point of a sweep (app × Zipf-θ × PE-config) is an
+/// independent simulation `Engine`, so sweeps are embarrassingly parallel;
+/// work is dealt round-robin by index, which balances well because
+/// neighbouring sweep points have similar cost.
+pub fn par_map<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(items: &[T], f: F) -> Vec<R> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let threads = sweep_threads().min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let r = f(item);
+                *slots[i].lock().expect("no panics hold the slot lock") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("lock not poisoned")
+                .expect("filled by worker")
+        })
+        .collect()
+}
+
 /// Formats a markdown table row.
 pub fn row(cells: &[String]) -> String {
     format!("| {} |", cells.join(" | "))
@@ -66,7 +113,10 @@ pub fn row(cells: &[String]) -> String {
 pub fn print_header(title: &str, cols: &[&str]) {
     println!("\n## {title}\n");
     println!("| {} |", cols.join(" | "));
-    println!("|{}|", cols.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        cols.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 #[cfg(test)]

@@ -43,11 +43,11 @@ impl<V> Routed<V> {
 /// The initiation intervals feed the framework's Equation 1 tuning: a
 /// HISTO-style PE that reads and writes its buffer each tuple has
 /// `ii_pri() == 2` (the paper's motivating example).
-pub trait DittoApp {
+pub trait DittoApp: Send + Sync {
     /// Payload type routed from PrePEs to destination PEs.
-    type Value: Clone + 'static;
+    type Value: Clone + Default + Send + 'static;
     /// Per-PE private buffer contents (the BRAM state).
-    type State: 'static;
+    type State: Send + 'static;
     /// Final application output.
     type Output;
 

@@ -48,7 +48,10 @@ impl DittoApp for CountPerKey {
     }
 
     fn preprocess(&self, tuple: Tuple, m_pri: u32) -> Routed<()> {
-        debug_assert!(m_pri == self.m_pri || self.m_pri == 1, "pipeline M differs from app M");
+        debug_assert!(
+            m_pri == self.m_pri || self.m_pri == 1,
+            "pipeline M differs from app M"
+        );
         Routed::new((tuple.key % u64::from(m_pri)) as u32, ())
     }
 

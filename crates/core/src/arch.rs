@@ -1,11 +1,10 @@
 //! Pipeline assembly: builds and runs the full Fig. 3 architecture.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
-use hls_sim::{Channel, Counter, Engine, MemoryModel, SliceSource, StreamSource};
+use hls_sim::{ChannelStats, Counter, Engine, MemoryModel, SliceSource, StreamSource};
 
-use crate::app::{DittoApp, Routed};
+use crate::app::DittoApp;
 use crate::config::ArchConfig;
 use crate::control::Control;
 use crate::mapper::MapperKernel;
@@ -14,8 +13,8 @@ use crate::merger::MergerKernel;
 use crate::pe::{PeRole, PrePeKernel, ProcPeKernel};
 use crate::profiler::{ProfilerKernel, ProfilerParams};
 use crate::reader::MemoryReaderKernel;
-use crate::report::ExecutionReport;
-use crate::routing::{CombinerKernel, DecoderFilterKernel, WideWord};
+use crate::report::{ChannelTotals, ExecutionReport};
+use crate::routing::{CombinerKernel, DecoderFilterKernel, WideWord, MAX_DEST_PES};
 use crate::{PeId, SchedulingPlan, Tuple};
 
 /// Result of a pipeline run: the application output plus measurements.
@@ -25,6 +24,10 @@ pub struct RunOutcome<O> {
     pub output: O,
     /// Cycle counts, throughput and workload statistics.
     pub report: ExecutionReport,
+    /// Per-channel statistics at end of run, in creation order (lanes,
+    /// PrePE outputs, mapper outputs, wide-word datapaths, PE inputs, plan
+    /// and profiler-feed channels).
+    pub channels: Vec<ChannelStats>,
 }
 
 /// Builder/runner for the skew-oblivious data routing architecture.
@@ -34,16 +37,20 @@ pub struct RunOutcome<O> {
 /// a dataset from "global memory", drain, merge, finalize) and
 /// [`run_stream_for`](Self::run_stream_for) (online: run a rate-limited
 /// source for a fixed number of cycles — the Fig. 9 scenario).
+///
+/// Runs are `Send` end to end — the engine, every kernel and all shared
+/// state cross thread boundaries — so scenario sweeps (one run per
+/// app × skew × configuration point) parallelise with plain scoped threads.
 pub struct SkewObliviousPipeline;
 
 struct BuiltPipeline<A: DittoApp> {
     engine: Engine,
-    app: Rc<A>,
-    states: Vec<Rc<RefCell<A::State>>>,
+    app: Arc<A>,
+    states: Vec<Arc<Mutex<A::State>>>,
     per_pe_counters: Vec<Counter>,
     processed: Counter,
-    plan: Rc<RefCell<SchedulingPlan>>,
-    control: Rc<Control>,
+    plan: Arc<Mutex<SchedulingPlan>>,
+    control: Arc<Control>,
     plans_generated: Counter,
     label: String,
 }
@@ -106,26 +113,25 @@ impl SkewObliviousPipeline {
             true
         };
         let total_cycles = built.engine.cycle();
+        let kernel_steps = built.engine.steps_executed();
+        let channels = built.engine.channel_stats();
 
         // Tear down the engine so the shared state handles become unique.
         drop(built.engine);
 
         // Final merge (the offline flow's single merger pass) + finalize.
         let app = built.app;
-        let plan = built.plan.borrow().clone();
-        for &(sec, pri) in plan.pairs() {
-            let sec_state = built.states[sec as usize]
-                .replace(app.new_state(config.pe_entries));
-            app.merge(&mut built.states[pri as usize].borrow_mut(), &sec_state);
-        }
+        let plan = built.plan.lock().expect("engine dropped").clone();
+        crate::merger::fold_sec_states(&*app, &built.states, &plan, config.pe_entries);
         let pri_states: Vec<A::State> = built
             .states
             .drain(..)
             .take(config.m_pri as usize)
-            .map(|rc| {
-                Rc::try_unwrap(rc)
+            .map(|arc| {
+                Arc::try_unwrap(arc)
                     .unwrap_or_else(|_| unreachable!("engine dropped, state unaliased"))
                     .into_inner()
+                    .expect("lock not poisoned")
             })
             .collect();
         let output = app.finalize(pri_states);
@@ -138,8 +144,14 @@ impl SkewObliviousPipeline {
             plans_generated: built.plans_generated.get(),
             per_pe_processed: built.per_pe_counters.iter().map(Counter::get).collect(),
             completed,
+            channel_totals: ChannelTotals::aggregate(&channels),
+            kernel_steps,
         };
-        RunOutcome { output, report }
+        RunOutcome {
+            output,
+            report,
+            channels,
+        }
     }
 
     /// Assembles all kernels and channels for one run.
@@ -148,49 +160,67 @@ impl SkewObliviousPipeline {
         source: Box<dyn StreamSource<Tuple>>,
         config: &ArchConfig,
     ) -> BuiltPipeline<A> {
-        let app = Rc::new(app);
+        let app = Arc::new(app);
         let n = config.n_pre as usize;
         let pes = config.destination_pes() as usize;
+        assert!(
+            pes <= MAX_DEST_PES,
+            "M + X = {pes} exceeds the wide word's {MAX_DEST_PES}-destination mask range"
+        );
         let m = config.m_pri;
         let control = Control::new(config.x_sec);
         let processed = Counter::new();
         let issued = Counter::new();
-        let plan = Rc::new(RefCell::new(SchedulingPlan::empty()));
-        let mask = Rc::new(MaskTable::new(config.n_pre));
-
-        let lane_in: Vec<Channel<Tuple>> =
-            (0..n).map(|i| Channel::new(&format!("lane{i}"), config.lane_queue_depth)).collect();
-        let pre_out: Vec<Channel<Routed<A::Value>>> =
-            (0..n).map(|i| Channel::new(&format!("pre{i}"), config.lane_queue_depth)).collect();
-        let map_out: Vec<Channel<Routed<A::Value>>> =
-            (0..n).map(|i| Channel::new(&format!("map{i}"), config.lane_queue_depth)).collect();
-        let word_ch: Vec<Channel<WideWord<A::Value>>> =
-            (0..pes).map(|j| Channel::new(&format!("word{j}"), config.word_queue_depth)).collect();
-        let pe_in: Vec<Channel<A::Value>> =
-            (0..pes).map(|j| Channel::new(&format!("pein{j}"), config.pe_queue_depth)).collect();
-        let plan_ch: Vec<Channel<(PeId, PeId)>> = (0..n)
-            .map(|i| Channel::new(&format!("plan{i}"), config.x_sec as usize + 1))
-            .collect();
-        let feed_ch: Vec<Channel<PeId>> =
-            (0..n).map(|i| Channel::new(&format!("feed{i}"), 4)).collect();
-
-        let states: Vec<Rc<RefCell<A::State>>> =
-            (0..pes).map(|_| Rc::new(RefCell::new(app.new_state(config.pe_entries)))).collect();
-        let per_pe_counters: Vec<Counter> = (0..pes).map(|_| Counter::new()).collect();
+        let plan = Arc::new(Mutex::new(SchedulingPlan::empty()));
+        let mask = Arc::new(MaskTable::new(config.n_pre));
 
         let mut engine = Engine::new();
+        let lane_in: Vec<_> = (0..n)
+            .map(|i| engine.channel::<Tuple>(&format!("lane{i}"), config.lane_queue_depth))
+            .collect();
+        let pre_out: Vec<_> = (0..n)
+            .map(|i| {
+                engine
+                    .channel::<crate::Routed<A::Value>>(&format!("pre{i}"), config.lane_queue_depth)
+            })
+            .collect();
+        let map_out: Vec<_> = (0..n)
+            .map(|i| {
+                engine
+                    .channel::<crate::Routed<A::Value>>(&format!("map{i}"), config.lane_queue_depth)
+            })
+            .collect();
+        // One broadcast group stands in for the M+X wide-word datapath
+        // channels: stored once, per-datapath cursors and statistics.
+        let (word_tx, word_rx) =
+            engine.broadcast_channel::<WideWord<A::Value>>("word", pes, config.word_queue_depth);
+        let pe_in: Vec<_> = (0..pes)
+            .map(|j| engine.channel::<A::Value>(&format!("pein{j}"), config.pe_queue_depth))
+            .collect();
+        let plan_ch: Vec<_> = (0..n)
+            .map(|i| engine.channel::<(PeId, PeId)>(&format!("plan{i}"), config.x_sec as usize + 1))
+            .collect();
+        let feed_ch: Vec<_> = (0..n)
+            .map(|i| engine.channel::<PeId>(&format!("feed{i}"), 4))
+            .collect();
+
+        let states: Vec<Arc<Mutex<A::State>>> = (0..pes)
+            .map(|_| Arc::new(Mutex::new(app.new_state(config.pe_entries))))
+            .collect();
+        let per_pe_counters: Vec<Counter> = (0..pes).map(|_| Counter::new()).collect();
+
         engine.add_kernel(MemoryReaderKernel::new(
             source,
-            lane_in.iter().map(Channel::sender).collect(),
+            lane_in.iter().map(|&(tx, _)| tx).collect(),
             issued,
         ));
         for i in 0..n {
             engine.add_kernel(PrePeKernel::new(
                 i,
-                Rc::clone(&app),
+                Arc::clone(&app),
                 m,
-                lane_in[i].receiver(),
-                pre_out[i].sender(),
+                lane_in[i].1,
+                pre_out[i].0,
             ));
         }
         for i in 0..n {
@@ -198,44 +228,51 @@ impl SkewObliviousPipeline {
                 i,
                 m,
                 config.x_sec,
-                Rc::clone(&control),
-                plan_ch[i].receiver(),
-                pre_out[i].receiver(),
-                map_out[i].sender(),
-                feed_ch[i].sender(),
+                Arc::clone(&control),
+                plan_ch[i].1,
+                pre_out[i].1,
+                map_out[i].0,
+                feed_ch[i].0,
             ));
         }
         engine.add_kernel(CombinerKernel::new(
-            map_out.iter().map(Channel::receiver).collect(),
-            word_ch.iter().map(Channel::sender).collect(),
+            map_out.iter().map(|&(_, rx)| rx).collect(),
+            word_tx,
         ));
-        for (j, (word, pein)) in word_ch.iter().zip(&pe_in).enumerate() {
+        for (j, &word) in word_rx.iter().enumerate() {
             engine.add_kernel(DecoderFilterKernel::new(
                 j as PeId,
-                Rc::clone(&mask),
-                word.receiver(),
-                pein.sender(),
+                config.n_pre,
+                Arc::clone(&mask),
+                word,
+                pe_in[j].0,
             ));
         }
-        for (j, (pein, state)) in pe_in.iter().zip(&states).enumerate() {
+        let mut sec_kernel_ids = Vec::new();
+        for (j, state) in states.iter().enumerate() {
             let role = if (j as u32) < m {
                 PeRole::Primary
             } else {
                 PeRole::Secondary(j - m as usize)
             };
-            engine.add_kernel(ProcPeKernel::new(
+            let kernel_id = engine.add_kernel(ProcPeKernel::new(
                 j as PeId,
                 role,
-                Rc::clone(&app),
-                pein.receiver(),
-                Rc::clone(state),
+                Arc::clone(&app),
+                pe_in[j].1,
+                Arc::clone(state),
                 per_pe_counters[j].clone(),
                 processed.clone(),
-                Rc::clone(&control),
+                Arc::clone(&control),
             ));
+            if (j as u32) >= m {
+                sec_kernel_ids.push(kernel_id);
+            }
         }
 
         let plans_generated = if config.x_sec > 0 {
+            // The profiler and merger are registered next, in this order.
+            let merger_kernel_id = engine.kernel_count() as u32 + 1;
             let profiler = ProfilerKernel::new(
                 ProfilerParams {
                     m_pri: m,
@@ -246,22 +283,27 @@ impl SkewObliviousPipeline {
                     requeue_overhead_cycles: config.requeue_overhead_cycles,
                     auto_disable_after: config.auto_disable_after,
                 },
-                feed_ch.iter().map(Channel::receiver).collect(),
-                plan_ch.iter().map(Channel::sender).collect(),
+                feed_ch.iter().map(|&(_, rx)| rx).collect(),
+                plan_ch.iter().map(|&(tx, _)| tx).collect(),
                 processed.clone(),
-                Rc::clone(&plan),
-                Rc::clone(&control),
-            );
+                Arc::clone(&plan),
+                Arc::clone(&control),
+            )
+            .with_protocol_wakes(sec_kernel_ids, Some(merger_kernel_id));
             let counter = profiler.plans_generated();
             engine.add_kernel(profiler);
-            engine.add_kernel(MergerKernel::new(
-                Rc::clone(&app),
+            let actual_merger_id = engine.add_kernel(MergerKernel::new(
+                Arc::clone(&app),
                 states.clone(),
                 m,
                 config.pe_entries,
-                Rc::clone(&plan),
-                Rc::clone(&control),
+                Arc::clone(&plan),
+                Arc::clone(&control),
             ));
+            assert_eq!(
+                actual_merger_id, merger_kernel_id,
+                "merger wake target must match its registration index"
+            );
             counter
         } else {
             Counter::new()
@@ -296,7 +338,11 @@ mod tests {
         assert_eq!(out.report.tuples, 10_000);
         assert!(out.report.completed);
         // Near-peak throughput: 4 lanes, II=2, 8 PEs -> ~4 tuples/cycle.
-        assert!(out.report.tuples_per_cycle() > 2.0, "{}", out.report.tuples_per_cycle());
+        assert!(
+            out.report.tuples_per_cycle() > 2.0,
+            "{}",
+            out.report.tuples_per_cycle()
+        );
     }
 
     #[test]
@@ -310,7 +356,10 @@ mod tests {
         }
         let cfg = ArchConfig::new(4, m, 3).with_pe_entries((bins / u64::from(m)) as usize);
         let out = SkewObliviousPipeline::run_dataset(ModHistogram::new(bins), data, &cfg);
-        assert_eq!(out.output, expect, "pipeline histogram must equal reference");
+        assert_eq!(
+            out.output, expect,
+            "pipeline histogram must equal reference"
+        );
     }
 
     #[test]
@@ -336,7 +385,11 @@ mod tests {
         let speedup = full.report.tuples_per_cycle() / base.report.tuples_per_cycle();
         assert!(speedup > 3.0, "speedup only {speedup:.2}x");
         assert_eq!(full.report.tuples, 8_000, "no tuples lost through SecPEs");
-        assert_eq!(full.output.iter().sum::<u64>(), 8_000, "merge preserved counts");
+        assert_eq!(
+            full.output.iter().sum::<u64>(),
+            8_000,
+            "merge preserved counts"
+        );
         assert!(full.report.plans_generated >= 1);
     }
 
@@ -345,7 +398,11 @@ mod tests {
         let skewed = ZipfGenerator::new(2.5, 1 << 16, 9).take_vec(6_000);
         let cfg = ArchConfig::new(4, 8, 0);
         let out = SkewObliviousPipeline::run_dataset(CountPerKey::new(8), skewed, &cfg);
-        assert!(out.report.imbalance(8) > 3.0, "imbalance {}", out.report.imbalance(8));
+        assert!(
+            out.report.imbalance(8) > 3.0,
+            "imbalance {}",
+            out.report.imbalance(8)
+        );
     }
 
     #[test]
@@ -371,5 +428,21 @@ mod tests {
             out.report.reschedules
         );
         assert_eq!(out.output.iter().sum::<u64>(), out.report.tuples);
+    }
+
+    #[test]
+    fn channel_stats_are_reported() {
+        let data = UniformGenerator::new(1 << 16, 2).take_vec(2_000);
+        let cfg = ArchConfig::new(4, 8, 2);
+        let out = SkewObliviousPipeline::run_dataset(CountPerKey::new(8), data, &cfg);
+        // 4 lanes + 4 pre + 4 map + 10 word taps + 10 pein + 4 plan + 4 feed.
+        assert_eq!(out.channels.len(), 40);
+        let lane0 = out.channels.iter().find(|s| s.name == "lane0").unwrap();
+        assert_eq!(lane0.pushes, 500);
+        assert!(out.report.channel_totals.pushes > 0);
+        assert_eq!(
+            out.report.channel_totals.pushes,
+            out.channels.iter().map(|s| s.pushes).sum::<u64>()
+        );
     }
 }

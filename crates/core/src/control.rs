@@ -2,12 +2,14 @@
 //!
 //! In the paper these are side-band signals between kernels ("the runtime
 //! profiler ... informs SecPEs and mappers and exits itself", §IV-B). We
-//! model them as a shared, single-threaded control block every kernel holds
-//! an `Rc` to; all mutations happen inside `step` calls of the owning
-//! kernels, so the protocol stays cycle-accurate and deterministic.
+//! model them as a shared control block every kernel holds an `Arc` to; all
+//! mutations happen inside `step` calls of the owning kernels, so the
+//! protocol stays cycle-accurate and deterministic. The block uses relaxed
+//! atomics purely so the whole engine is `Send` — each simulation remains
+//! single-threaded.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
 
 /// Lifecycle of a SecPE kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,44 +24,65 @@ pub enum SecPhase {
     Exited,
 }
 
+impl SecPhase {
+    fn encode(self) -> u8 {
+        match self {
+            SecPhase::Running => 0,
+            SecPhase::Draining => 1,
+            SecPhase::Exited => 2,
+        }
+    }
+
+    fn decode(v: u8) -> Self {
+        match v {
+            0 => SecPhase::Running,
+            1 => SecPhase::Draining,
+            2 => SecPhase::Exited,
+            _ => unreachable!("invalid SecPhase encoding {v}"),
+        }
+    }
+}
+
 /// Shared control block (one per pipeline).
 #[derive(Debug)]
 pub struct Control {
     /// When `false`, mappers route every tuple to its original PriPE —
     /// "the mappers will prevent the tuples from being routed to SecPEs".
-    route_to_sec: Cell<bool>,
+    route_to_sec: AtomicBool,
     /// When `true`, mappers feed original PriPE ids to the profiler.
-    feed_profiler: Cell<bool>,
+    feed_profiler: AtomicBool,
     /// Bumped on every reschedule; mappers reset their tables when they
     /// observe a generation change.
-    generation: Cell<u64>,
+    generation: AtomicU64,
     /// Per-SecPE phase, indexed by `sec_index = pe_id - M`.
-    sec_phases: Vec<Cell<SecPhase>>,
+    sec_phases: Vec<AtomicU8>,
     /// Tuples routed to each SecPE (by the mappers) and not yet processed.
     /// The drain protocol exits a SecPE only when this reaches zero, which
     /// is the exact form of "all the tuples in the channels whose upstream
     /// is the data routing logic are consumed" (§IV-B).
-    sec_inflight: Vec<Cell<u64>>,
+    sec_inflight: Vec<AtomicU64>,
     /// Request flag for the merger to fold SecPE partials.
-    merge_request: Cell<bool>,
+    merge_request: AtomicBool,
     /// Set by the merger once the fold completed.
-    merge_done: Cell<bool>,
+    merge_done: AtomicBool,
     /// Completed reschedules.
-    reschedules: Cell<u64>,
+    reschedules: AtomicU64,
 }
 
 impl Control {
     /// Creates the control block for `x_sec` SecPEs, with routing enabled.
-    pub fn new(x_sec: u32) -> Rc<Self> {
-        Rc::new(Control {
-            route_to_sec: Cell::new(true),
-            feed_profiler: Cell::new(false),
-            generation: Cell::new(0),
-            sec_phases: (0..x_sec).map(|_| Cell::new(SecPhase::Running)).collect(),
-            sec_inflight: (0..x_sec).map(|_| Cell::new(0)).collect(),
-            merge_request: Cell::new(false),
-            merge_done: Cell::new(false),
-            reschedules: Cell::new(0),
+    pub fn new(x_sec: u32) -> Arc<Self> {
+        Arc::new(Control {
+            route_to_sec: AtomicBool::new(true),
+            feed_profiler: AtomicBool::new(false),
+            generation: AtomicU64::new(0),
+            sec_phases: (0..x_sec)
+                .map(|_| AtomicU8::new(SecPhase::Running.encode()))
+                .collect(),
+            sec_inflight: (0..x_sec).map(|_| AtomicU64::new(0)).collect(),
+            merge_request: AtomicBool::new(false),
+            merge_done: AtomicBool::new(false),
+            reschedules: AtomicU64::new(0),
         })
     }
 
@@ -70,32 +93,32 @@ impl Control {
 
     /// Whether mappers may redirect tuples to SecPEs.
     pub fn route_to_sec(&self) -> bool {
-        self.route_to_sec.get()
+        self.route_to_sec.load(Ordering::Relaxed)
     }
 
     /// Enables/disables SecPE routing.
     pub fn set_route_to_sec(&self, on: bool) {
-        self.route_to_sec.set(on);
+        self.route_to_sec.store(on, Ordering::Relaxed);
     }
 
     /// Whether mappers should feed PriPE ids to the profiler.
     pub fn feed_profiler(&self) -> bool {
-        self.feed_profiler.get()
+        self.feed_profiler.load(Ordering::Relaxed)
     }
 
     /// Turns the profiler feed on or off.
     pub fn set_feed_profiler(&self, on: bool) {
-        self.feed_profiler.set(on);
+        self.feed_profiler.store(on, Ordering::Relaxed);
     }
 
     /// Current mapper-table generation.
     pub fn generation(&self) -> u64 {
-        self.generation.get()
+        self.generation.load(Ordering::Relaxed)
     }
 
     /// Starts a new generation (mappers reset to identity on observing it).
     pub fn bump_generation(&self) {
-        self.generation.set(self.generation.get() + 1);
+        self.generation.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Phase of SecPE `sec_index` (0-based, *not* the PE id).
@@ -104,7 +127,7 @@ impl Control {
     ///
     /// Panics if `sec_index` is out of range.
     pub fn sec_phase(&self, sec_index: usize) -> SecPhase {
-        self.sec_phases[sec_index].get()
+        SecPhase::decode(self.sec_phases[sec_index].load(Ordering::Relaxed))
     }
 
     /// Sets the phase of SecPE `sec_index`.
@@ -113,28 +136,33 @@ impl Control {
     ///
     /// Panics if `sec_index` is out of range.
     pub fn set_sec_phase(&self, sec_index: usize, phase: SecPhase) {
-        self.sec_phases[sec_index].set(phase);
+        self.sec_phases[sec_index].store(phase.encode(), Ordering::Relaxed);
     }
 
     /// Moves every running SecPE to [`SecPhase::Draining`].
     pub fn drain_all_secs(&self) {
         for c in &self.sec_phases {
-            if c.get() == SecPhase::Running {
-                c.set(SecPhase::Draining);
-            }
+            let _ = c.compare_exchange(
+                SecPhase::Running.encode(),
+                SecPhase::Draining.encode(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
         }
     }
 
     /// Re-enqueues all SecPEs ([`SecPhase::Running`]).
     pub fn restart_all_secs(&self) {
         for c in &self.sec_phases {
-            c.set(SecPhase::Running);
+            c.store(SecPhase::Running.encode(), Ordering::Relaxed);
         }
     }
 
     /// `true` when every SecPE has exited (vacuously true with X = 0).
     pub fn all_secs_exited(&self) -> bool {
-        self.sec_phases.iter().all(|c| c.get() == SecPhase::Exited)
+        self.sec_phases
+            .iter()
+            .all(|c| c.load(Ordering::Relaxed) == SecPhase::Exited.encode())
     }
 
     /// Records a tuple routed towards SecPE `sec_index` (mapper side).
@@ -143,8 +171,7 @@ impl Control {
     ///
     /// Panics if `sec_index` is out of range.
     pub fn sec_inflight_inc(&self, sec_index: usize) {
-        let c = &self.sec_inflight[sec_index];
-        c.set(c.get() + 1);
+        self.sec_inflight[sec_index].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a tuple consumed by SecPE `sec_index` (PE side).
@@ -153,9 +180,8 @@ impl Control {
     ///
     /// Panics if `sec_index` is out of range or the count would go negative.
     pub fn sec_inflight_dec(&self, sec_index: usize) {
-        let c = &self.sec_inflight[sec_index];
-        assert!(c.get() > 0, "in-flight underflow for SecPE {sec_index}");
-        c.set(c.get() - 1);
+        let prev = self.sec_inflight[sec_index].fetch_sub(1, Ordering::Relaxed);
+        assert!(prev > 0, "in-flight underflow for SecPE {sec_index}");
     }
 
     /// Tuples currently in flight towards SecPE `sec_index`.
@@ -164,42 +190,38 @@ impl Control {
     ///
     /// Panics if `sec_index` is out of range.
     pub fn sec_inflight(&self, sec_index: usize) -> u64 {
-        self.sec_inflight[sec_index].get()
+        self.sec_inflight[sec_index].load(Ordering::Relaxed)
     }
 
     /// Asks the merger to fold SecPE partials into PriPE buffers.
     pub fn request_merge(&self) {
-        self.merge_done.set(false);
-        self.merge_request.set(true);
+        self.merge_done.store(false, Ordering::Relaxed);
+        self.merge_request.store(true, Ordering::Relaxed);
     }
 
     /// Consumed by the merger: returns `true` exactly once per request.
     pub fn take_merge_request(&self) -> bool {
-        let req = self.merge_request.get();
-        if req {
-            self.merge_request.set(false);
-        }
-        req
+        self.merge_request.swap(false, Ordering::Relaxed)
     }
 
     /// Marks the requested merge as complete.
     pub fn set_merge_done(&self) {
-        self.merge_done.set(true);
+        self.merge_done.store(true, Ordering::Relaxed);
     }
 
     /// `true` once the last requested merge completed.
     pub fn merge_done(&self) -> bool {
-        self.merge_done.get()
+        self.merge_done.load(Ordering::Relaxed)
     }
 
     /// Number of completed reschedules.
     pub fn reschedules(&self) -> u64 {
-        self.reschedules.get()
+        self.reschedules.load(Ordering::Relaxed)
     }
 
     /// Counts one completed reschedule.
     pub fn count_reschedule(&self) {
-        self.reschedules.set(self.reschedules.get() + 1);
+        self.reschedules.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -219,6 +241,15 @@ mod tests {
         assert!(c.all_secs_exited());
         c.restart_all_secs();
         assert_eq!(c.sec_phase(0), SecPhase::Running);
+    }
+
+    #[test]
+    fn drain_does_not_resurrect_exited_secs() {
+        let c = Control::new(2);
+        c.set_sec_phase(0, SecPhase::Exited);
+        c.drain_all_secs();
+        assert_eq!(c.sec_phase(0), SecPhase::Exited);
+        assert_eq!(c.sec_phase(1), SecPhase::Draining);
     }
 
     #[test]
@@ -245,5 +276,11 @@ mod tests {
         c.bump_generation();
         c.bump_generation();
         assert_eq!(c.generation(), 2);
+    }
+
+    #[test]
+    fn control_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>(_t: &T) {}
+        assert_send_sync(&*Control::new(2));
     }
 }

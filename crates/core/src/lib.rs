@@ -67,7 +67,8 @@ pub use config::ArchConfig;
 pub use control::{Control, SecPhase};
 pub use mask::MaskTable;
 pub use plan::SchedulingPlan;
-pub use report::ExecutionReport;
+pub use report::{ChannelTotals, ExecutionReport};
+pub use routing::{WideWord, MAX_DEST_PES, MAX_WORD_SLOTS};
 
 /// Identifier of a destination PE: `0..M` are PriPEs, `M..M+X` are SecPEs.
 pub type PeId = u32;

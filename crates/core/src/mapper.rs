@@ -1,9 +1,9 @@
 //! The mapper module (§IV-C2, Fig. 4): mapping table, counter array and
 //! round-robin workload redirecting.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
-use hls_sim::{Cycle, Kernel, Receiver, Sender};
+use hls_sim::{Cycle, Kernel, Progress, ReceiverId, SenderId, SimContext, WakeSet};
 
 use crate::app::Routed;
 use crate::control::Control;
@@ -83,7 +83,10 @@ impl Mapper {
         );
         let row = &mut self.table[pri as usize];
         let c = &mut self.counter[pri as usize];
-        assert!((*c as usize) < row.len(), "row {pri} already has X+1 entries");
+        assert!(
+            (*c as usize) < row.len(),
+            "row {pri} already has X+1 entries"
+        );
         row[*c as usize] = sec;
         *c += 1;
     }
@@ -138,11 +141,11 @@ pub struct MapperKernel<V> {
     name: String,
     mapper: Mapper,
     generation: u64,
-    control: Rc<Control>,
-    plan_rx: Receiver<(PeId, PeId)>,
-    input: Receiver<Routed<V>>,
-    output: Sender<Routed<V>>,
-    profiler_feed: Sender<PeId>,
+    control: Arc<Control>,
+    plan_rx: ReceiverId<(PeId, PeId)>,
+    input: ReceiverId<Routed<V>>,
+    output: SenderId<Routed<V>>,
+    profiler_feed: SenderId<PeId>,
 }
 
 impl<V> MapperKernel<V> {
@@ -152,11 +155,11 @@ impl<V> MapperKernel<V> {
         lane: usize,
         m_pri: u32,
         x_sec: u32,
-        control: Rc<Control>,
-        plan_rx: Receiver<(PeId, PeId)>,
-        input: Receiver<Routed<V>>,
-        output: Sender<Routed<V>>,
-        profiler_feed: Sender<PeId>,
+        control: Arc<Control>,
+        plan_rx: ReceiverId<(PeId, PeId)>,
+        input: ReceiverId<Routed<V>>,
+        output: SenderId<Routed<V>>,
+        profiler_feed: SenderId<PeId>,
     ) -> Self {
         MapperKernel {
             name: format!("mapper#{lane}"),
@@ -171,12 +174,26 @@ impl<V> MapperKernel<V> {
     }
 }
 
-impl<V: Clone + 'static> Kernel for MapperKernel<V> {
+impl<V: Clone + Send + 'static> MapperKernel<V> {
+    /// `Sleep` is safe exactly when no plan pair is waiting and either there
+    /// is nothing to forward or downstream has no room: a generation bump
+    /// while parked is applied on wake, before any tuple is processed —
+    /// indistinguishable from applying it during the idle cycles.
+    fn parked(&self, ctx: &SimContext) -> Progress {
+        if ctx.is_empty(self.plan_rx) && (ctx.is_empty(self.input) || !ctx.can_send(self.output)) {
+            Progress::Sleep
+        } else {
+            Progress::Busy
+        }
+    }
+}
+
+impl<V: Clone + Send + 'static> Kernel for MapperKernel<V> {
     fn name(&self) -> &str {
         &self.name
     }
 
-    fn step(&mut self, cy: Cycle) {
+    fn step(&mut self, cy: Cycle, ctx: &mut SimContext) -> Progress {
         // Generation change: reset to identity before anything else.
         let gen = self.control.generation();
         if gen != self.generation {
@@ -185,15 +202,15 @@ impl<V: Clone + 'static> Kernel for MapperKernel<V> {
         }
 
         // One scheduling-plan pair per cycle.
-        if let Some((sec, pri)) = self.plan_rx.try_recv(cy) {
+        if let Some((sec, pri)) = ctx.try_recv(cy, self.plan_rx) {
             self.mapper.apply_pair(sec, pri);
         }
 
         // One tuple per cycle, gated by downstream space.
-        if !self.output.can_send() {
-            return;
+        if !ctx.can_send(self.output) {
+            return self.parked(ctx);
         }
-        if let Some(routed) = self.input.try_recv(cy) {
+        if let Some(routed) = ctx.try_recv(cy, self.input) {
             let original = routed.dst;
             let redirected = if self.control.route_to_sec() {
                 self.mapper.redirect(original)
@@ -202,21 +219,31 @@ impl<V: Clone + 'static> Kernel for MapperKernel<V> {
             };
             if redirected >= self.mapper.m_pri {
                 // Exact in-flight accounting for the drain protocol.
-                self.control.sec_inflight_inc((redirected - self.mapper.m_pri) as usize);
+                self.control
+                    .sec_inflight_inc((redirected - self.mapper.m_pri) as usize);
             }
-            self.output
-                .try_send(cy, Routed::new(redirected, routed.value))
+            ctx.try_send(cy, self.output, Routed::new(redirected, routed.value))
                 .unwrap_or_else(|_| unreachable!("checked can_send"));
             if self.control.feed_profiler() {
                 // Drop the feed if the profiler queue is full; the hardware
                 // hist port accepts one id per lane per cycle by design.
-                let _ = self.profiler_feed.try_send(cy, original);
+                let _ = ctx.try_send(cy, self.profiler_feed, original);
             }
+            Progress::Busy
+        } else {
+            self.parked(ctx)
         }
     }
 
-    fn is_idle(&self) -> bool {
-        self.input.is_empty()
+    fn is_idle(&self, ctx: &SimContext) -> bool {
+        ctx.is_empty(self.input)
+    }
+
+    fn wake_set(&self) -> WakeSet {
+        WakeSet::new()
+            .after_push_on(self.plan_rx)
+            .after_push_on(self.input)
+            .after_pop_on(self.output)
     }
 }
 

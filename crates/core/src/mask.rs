@@ -41,7 +41,10 @@ impl MaskTable {
     /// Panics unless `1 <= n <= 16` (a 2^16-entry table is the largest a
     /// single BRAM-backed decoder stage would realistically hold).
     pub fn new(n: u32) -> Self {
-        assert!((1..=MAX_TABLE_LANES).contains(&n), "mask table supports 1..=16 lanes");
+        assert!(
+            (1..=MAX_TABLE_LANES).contains(&n),
+            "mask table supports 1..=16 lanes"
+        );
         let entries = 1usize << n;
         let mut counts = vec![0u8; entries];
         let mut positions = vec![0u8; entries * n as usize];
@@ -55,7 +58,11 @@ impl MaskTable {
             }
             counts[mask] = c;
         }
-        MaskTable { n, counts, positions }
+        MaskTable {
+            n,
+            counts,
+            positions,
+        }
     }
 
     /// Lane count N.
@@ -72,7 +79,10 @@ impl MaskTable {
     pub fn decode(&self, mask: u32) -> (u8, &[u8]) {
         assert!(mask < (1u32 << self.n), "mask wider than table");
         let m = mask as usize;
-        (self.counts[m], &self.positions[m * self.n as usize..(m + 1) * self.n as usize])
+        (
+            self.counts[m],
+            &self.positions[m * self.n as usize..(m + 1) * self.n as usize],
+        )
     }
 
     /// Number of table entries (2^N) — feeds the resource model.
@@ -91,8 +101,8 @@ mod tests {
         for mask in 0u32..64 {
             let (count, pos) = t.decode(mask);
             assert_eq!(u32::from(count), mask.count_ones());
-            for i in 0..count as usize {
-                assert!(mask & (1 << pos[i]) != 0, "mask {mask:#b} pos {}", pos[i]);
+            for &p in &pos[..count as usize] {
+                assert!(mask & (1 << p) != 0, "mask {mask:#b} pos {p}");
             }
             // positions are strictly increasing
             for w in pos[..count as usize].windows(2) {

@@ -1,10 +1,9 @@
 //! The merger module (§IV-B): folds SecPE partial buffers into PriPE
 //! results according to the SecPE scheduling plan.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
-use hls_sim::{Cycle, Kernel};
+use hls_sim::{Cycle, Kernel, Progress, SimContext};
 
 use crate::app::DittoApp;
 use crate::control::Control;
@@ -23,12 +22,12 @@ use crate::SchedulingPlan;
 /// are merged by the merger module according to the SecPE scheduling plan").
 pub struct MergerKernel<A: DittoApp> {
     name: String,
-    app: Rc<A>,
-    states: Vec<Rc<RefCell<A::State>>>,
+    app: Arc<A>,
+    states: Vec<Arc<Mutex<A::State>>>,
     m_pri: u32,
     pe_entries: usize,
-    plan: Rc<RefCell<SchedulingPlan>>,
-    control: Rc<Control>,
+    plan: Arc<Mutex<SchedulingPlan>>,
+    control: Arc<Control>,
     merges_done: u64,
 }
 
@@ -36,12 +35,12 @@ impl<A: DittoApp> MergerKernel<A> {
     /// Creates the merger over all `M + X` destination-PE buffers
     /// (`states[0..M]` are PriPEs, the rest SecPEs).
     pub fn new(
-        app: Rc<A>,
-        states: Vec<Rc<RefCell<A::State>>>,
+        app: Arc<A>,
+        states: Vec<Arc<Mutex<A::State>>>,
         m_pri: u32,
         pe_entries: usize,
-        plan: Rc<RefCell<SchedulingPlan>>,
-        control: Rc<Control>,
+        plan: Arc<Mutex<SchedulingPlan>>,
+        control: Arc<Control>,
     ) -> Self {
         assert!(states.len() >= m_pri as usize, "need at least M states");
         MergerKernel {
@@ -59,20 +58,23 @@ impl<A: DittoApp> MergerKernel<A> {
     /// Performs the fold immediately (also used by the pipeline at end of
     /// run). SecPE buffers are reset to fresh states afterwards.
     pub fn merge_now(&mut self) {
-        let plan = self.plan.borrow();
-        for &(sec, pri) in plan.pairs() {
-            let sec_idx = sec as usize;
-            let pri_idx = pri as usize;
-            debug_assert!(pri_idx < self.m_pri as usize);
-            let sec_state = self.states[sec_idx].replace(self.app.new_state(self.pe_entries));
-            self.app.merge(&mut self.states[pri_idx].borrow_mut(), &sec_state);
-        }
+        let plan = self.plan.lock().expect("uncontended").clone();
+        debug_assert!(plan
+            .pairs()
+            .iter()
+            .all(|&(_, pri)| (pri as usize) < self.m_pri as usize));
+        fold_sec_states(&*self.app, &self.states, &plan, self.pe_entries);
         self.merges_done += 1;
     }
 
     /// Number of merge passes executed.
     pub fn merges_done(&self) -> u64 {
         self.merges_done
+    }
+
+    #[cfg(test)]
+    pub(crate) fn control(&self) -> Arc<Control> {
+        Arc::clone(&self.control)
     }
 }
 
@@ -81,15 +83,41 @@ impl<A: DittoApp + 'static> Kernel for MergerKernel<A> {
         &self.name
     }
 
-    fn step(&mut self, _cy: Cycle) {
+    fn step(&mut self, _cy: Cycle, _ctx: &mut SimContext) -> Progress {
         if self.control.take_merge_request() {
             self.merge_now();
             self.control.set_merge_done();
         }
+        // Merge requests arrive through the control block, not a channel;
+        // the profiler wakes this kernel explicitly whenever it raises one,
+        // so the merger parks in between.
+        Progress::Sleep
     }
 
-    fn is_idle(&self) -> bool {
+    fn is_idle(&self, _ctx: &SimContext) -> bool {
         true
+    }
+}
+
+/// Folds each scheduled SecPE buffer into its PriPE's via the application's
+/// `merge`, resetting the SecPE buffer to a fresh `pe_entries`-sized state —
+/// the one fold used both by mid-run reschedules ([`MergerKernel`]) and the
+/// pipeline's end-of-run pass.
+pub fn fold_sec_states<A: DittoApp>(
+    app: &A,
+    states: &[Arc<Mutex<A::State>>],
+    plan: &SchedulingPlan,
+    pe_entries: usize,
+) {
+    for &(sec, pri) in plan.pairs() {
+        let sec_state = std::mem::replace(
+            &mut *states[sec as usize].lock().expect("uncontended"),
+            app.new_state(pe_entries),
+        );
+        app.merge(
+            &mut states[pri as usize].lock().expect("uncontended"),
+            &sec_state,
+        );
     }
 }
 
@@ -97,15 +125,14 @@ impl<A: DittoApp + 'static> Kernel for MergerKernel<A> {
 mod tests {
     use super::*;
     use crate::apps::CountPerKey;
+    use hls_sim::Engine;
 
-    fn setup(plan_pairs: Vec<(u32, u32)>) -> (MergerKernel<CountPerKey>, Vec<Rc<RefCell<u64>>>) {
-        let app = Rc::new(CountPerKey::new(2));
-        let states: Vec<Rc<RefCell<u64>>> =
-            (0..4).map(|i| Rc::new(RefCell::new(i * 10))).collect();
-        let plan = Rc::new(RefCell::new(SchedulingPlan::from_pairs(plan_pairs)));
+    fn setup(plan_pairs: Vec<(u32, u32)>) -> (MergerKernel<CountPerKey>, Vec<Arc<Mutex<u64>>>) {
+        let app = Arc::new(CountPerKey::new(2));
+        let states: Vec<Arc<Mutex<u64>>> = (0..4).map(|i| Arc::new(Mutex::new(i * 10))).collect();
+        let plan = Arc::new(Mutex::new(SchedulingPlan::from_pairs(plan_pairs)));
         let control = Control::new(2);
-        let merger =
-            MergerKernel::new(app, states.clone(), 2, 1, plan, control);
+        let merger = MergerKernel::new(app, states.clone(), 2, 1, plan, control);
         (merger, states)
     }
 
@@ -114,22 +141,23 @@ mod tests {
         // PEs 0,1 primary (10*id), PEs 2,3 secondary; plan: 2->0, 3->1.
         let (mut merger, states) = setup(vec![(2, 0), (3, 1)]);
         merger.merge_now();
-        assert_eq!(*states[0].borrow(), 0 + 20);
-        assert_eq!(*states[1].borrow(), 10 + 30);
-        assert_eq!(*states[2].borrow(), 0, "SecPE buffer reset");
-        assert_eq!(*states[3].borrow(), 0);
+        assert_eq!(*states[0].lock().unwrap(), 20);
+        assert_eq!(*states[1].lock().unwrap(), 10 + 30);
+        assert_eq!(*states[2].lock().unwrap(), 0, "SecPE buffer reset");
+        assert_eq!(*states[3].lock().unwrap(), 0);
     }
 
     #[test]
     fn merge_request_via_control() {
         let (mut merger, states) = setup(vec![(2, 1)]);
-        let control = Rc::clone(&merger.control);
+        let control = merger.control();
+        let mut engine = Engine::new();
         control.request_merge();
-        merger.step(0);
+        merger.step(0, engine.context_mut());
         assert!(control.merge_done());
-        assert_eq!(*states[1].borrow(), 10 + 20);
+        assert_eq!(*states[1].lock().unwrap(), 10 + 20);
         // A second step without a request does nothing.
-        merger.step(1);
+        merger.step(1, engine.context_mut());
         assert_eq!(merger.merges_done(), 1);
     }
 
@@ -138,7 +166,7 @@ mod tests {
         let (mut merger, states) = setup(vec![]);
         merger.merge_now();
         for (i, s) in states.iter().enumerate() {
-            assert_eq!(*s.borrow(), i as u64 * 10);
+            assert_eq!(*s.lock().unwrap(), i as u64 * 10);
         }
     }
 }

@@ -1,9 +1,8 @@
 //! Processing elements: PrePEs and destination PEs (PriPE/SecPE).
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
-use hls_sim::{Counter, Cycle, Kernel, Receiver, Sender};
+use hls_sim::{Counter, Cycle, Kernel, Progress, ReceiverId, SenderId, SimContext, WakeSet};
 
 use crate::app::{DittoApp, Routed};
 use crate::control::{Control, SecPhase};
@@ -14,10 +13,10 @@ use crate::Tuple;
 /// emits `⟨dst, value⟩` records to its mapper.
 pub struct PrePeKernel<A: DittoApp> {
     name: String,
-    app: Rc<A>,
+    app: Arc<A>,
     m_pri: u32,
-    input: Receiver<Tuple>,
-    output: Sender<Routed<A::Value>>,
+    input: ReceiverId<Tuple>,
+    output: SenderId<Routed<A::Value>>,
     busy_until: Cycle,
 }
 
@@ -25,12 +24,19 @@ impl<A: DittoApp> PrePeKernel<A> {
     /// Creates PrePE `lane`.
     pub fn new(
         lane: usize,
-        app: Rc<A>,
+        app: Arc<A>,
         m_pri: u32,
-        input: Receiver<Tuple>,
-        output: Sender<Routed<A::Value>>,
+        input: ReceiverId<Tuple>,
+        output: SenderId<Routed<A::Value>>,
     ) -> Self {
-        PrePeKernel { name: format!("prepe#{lane}"), app, m_pri, input, output, busy_until: 0 }
+        PrePeKernel {
+            name: format!("prepe#{lane}"),
+            app,
+            m_pri,
+            input,
+            output,
+            busy_until: 0,
+        }
     }
 }
 
@@ -39,11 +45,20 @@ impl<A: DittoApp + 'static> Kernel for PrePeKernel<A> {
         &self.name
     }
 
-    fn step(&mut self, cy: Cycle) {
-        if cy < self.busy_until || !self.output.can_send() {
-            return;
+    fn step(&mut self, cy: Cycle, ctx: &mut SimContext) -> Progress {
+        let parked = |ctx: &SimContext| {
+            // No new input or no downstream room: only channel events can
+            // change either, so park. An II wait with buffered input spins.
+            if ctx.is_empty(self.input) || !ctx.can_send(self.output) {
+                Progress::Sleep
+            } else {
+                Progress::Busy
+            }
+        };
+        if cy < self.busy_until || !ctx.can_send(self.output) {
+            return parked(ctx);
         }
-        if let Some(tuple) = self.input.try_recv(cy) {
+        if let Some(tuple) = ctx.try_recv(cy, self.input) {
             let routed = self.app.preprocess(tuple, self.m_pri);
             assert!(
                 routed.dst < self.m_pri,
@@ -51,13 +66,23 @@ impl<A: DittoApp + 'static> Kernel for PrePeKernel<A> {
                 routed.dst,
                 self.m_pri
             );
-            self.output.try_send(cy, routed).unwrap_or_else(|_| unreachable!("checked"));
+            ctx.try_send(cy, self.output, routed)
+                .unwrap_or_else(|_| unreachable!("checked"));
             self.busy_until = cy + Cycle::from(self.app.ii_pre());
+            Progress::Busy
+        } else {
+            parked(ctx)
         }
     }
 
-    fn is_idle(&self) -> bool {
-        self.input.is_empty()
+    fn is_idle(&self, ctx: &SimContext) -> bool {
+        ctx.is_empty(self.input)
+    }
+
+    fn wake_set(&self) -> WakeSet {
+        WakeSet::new()
+            .after_push_on(self.input)
+            .after_pop_on(self.output)
     }
 }
 
@@ -76,17 +101,18 @@ pub enum PeRole {
 /// private buffer.
 ///
 /// The private buffer is shared with the merger through an
-/// `Rc<RefCell<State>>` — the in-simulation equivalent of the merger reading
-/// the PE's BRAM after it exits.
+/// `Arc<Mutex<State>>` — the in-simulation equivalent of the merger reading
+/// the PE's BRAM after it exits. The lock is uncontended (one engine runs on
+/// one thread); it exists so whole engines can move across sweep threads.
 pub struct ProcPeKernel<A: DittoApp> {
     name: String,
-    app: Rc<A>,
+    app: Arc<A>,
     role: PeRole,
-    input: Receiver<A::Value>,
-    state: Rc<RefCell<A::State>>,
+    input: ReceiverId<A::Value>,
+    state: Arc<Mutex<A::State>>,
     processed: Counter,
     total_processed: Counter,
-    control: Rc<Control>,
+    control: Arc<Control>,
     busy_until: Cycle,
 }
 
@@ -96,12 +122,12 @@ impl<A: DittoApp> ProcPeKernel<A> {
     pub fn new(
         id: u32,
         role: PeRole,
-        app: Rc<A>,
-        input: Receiver<A::Value>,
-        state: Rc<RefCell<A::State>>,
+        app: Arc<A>,
+        input: ReceiverId<A::Value>,
+        state: Arc<Mutex<A::State>>,
         processed: Counter,
         total_processed: Counter,
-        control: Rc<Control>,
+        control: Arc<Control>,
     ) -> Self {
         let name = match role {
             PeRole::Primary => format!("pripe#{id}"),
@@ -131,38 +157,56 @@ impl<A: DittoApp + 'static> Kernel for ProcPeKernel<A> {
         &self.name
     }
 
-    fn step(&mut self, cy: Cycle) {
+    fn step(&mut self, cy: Cycle, ctx: &mut SimContext) -> Progress {
         if let PeRole::Secondary(idx) = self.role {
             match self.control.sec_phase(idx) {
                 SecPhase::Running => {}
                 SecPhase::Draining => {
                     // §IV-B's drain protocol: keep consuming (at the normal
                     // II) until every tuple routed to this SecPE anywhere in
-                    // the datapath has been consumed, then exit.
+                    // the datapath has been consumed, then exit. Stay hot
+                    // for the whole drain so the transition fires the cycle
+                    // the last in-flight tuple lands.
                     if self.control.sec_inflight(idx) == 0 {
                         self.control.set_sec_phase(idx, SecPhase::Exited);
-                        return;
+                        return Progress::Sleep;
                     }
                 }
-                SecPhase::Exited => return,
+                // Parked until the profiler re-enqueues it (the profiler
+                // wakes this kernel explicitly on restart, §IV-B).
+                SecPhase::Exited => return Progress::Sleep,
             }
         }
         if cy < self.busy_until {
-            return;
+            return Progress::Busy;
         }
-        if let Some(value) = self.input.try_recv(cy) {
-            self.app.process(&mut self.state.borrow_mut(), &value);
+        if let Some(value) = ctx.try_recv(cy, self.input) {
+            self.app
+                .process(&mut self.state.lock().expect("uncontended"), &value);
             self.processed.incr();
             self.total_processed.incr();
             if let PeRole::Secondary(idx) = self.role {
                 self.control.sec_inflight_dec(idx);
             }
             self.busy_until = cy + Cycle::from(self.app.ii_pri());
+            return Progress::Busy;
+        }
+        if ctx.is_empty(self.input) {
+            // Sleeping is safe for SecPEs too: phase transitions that need
+            // a step (drain command, restart) arrive with an explicit wake
+            // from the profiler, and new tuples wake via the channel.
+            Progress::Sleep
+        } else {
+            Progress::Busy
         }
     }
 
-    fn is_idle(&self) -> bool {
-        self.input.is_empty()
+    fn is_idle(&self, ctx: &SimContext) -> bool {
+        ctx.is_empty(self.input)
+    }
+
+    fn wake_set(&self) -> WakeSet {
+        WakeSet::new().after_push_on(self.input)
     }
 }
 
@@ -170,41 +214,51 @@ impl<A: DittoApp + 'static> Kernel for ProcPeKernel<A> {
 mod tests {
     use super::*;
     use crate::apps::CountPerKey;
-    use hls_sim::{Channel, Engine};
+    use hls_sim::Engine;
 
     #[test]
     fn prepe_applies_ii() {
-        let app = Rc::new(CountPerKey::new(4));
-        let in_ch = Channel::new("in", 64);
-        let out_ch = Channel::new("out", 64);
-        for k in 0..10u64 {
-            in_ch.sender().try_send(0, Tuple::from_key(k)).unwrap();
-        }
+        let app = Arc::new(CountPerKey::new(4));
         let mut engine = Engine::new();
-        engine.add_kernel(PrePeKernel::new(0, app, 4, in_ch.receiver(), out_ch.sender()));
+        let (in_tx, in_rx) = engine.channel("in", 64);
+        let (out_tx, _out_rx) = engine.channel::<Routed<()>>("out", 64);
+        for k in 0..10u64 {
+            engine
+                .context_mut()
+                .try_send(0, in_tx, Tuple::from_key(k))
+                .unwrap();
+        }
+        engine.add_kernel(PrePeKernel::new(0, app, 4, in_rx, out_tx));
         engine.run_cycles(5);
         // II = 1, latency 1: ~4 tuples forwarded after 5 cycles.
-        let forwarded = out_ch.stats().pushes;
+        let pushes = |e: &Engine| {
+            e.channel_stats()
+                .iter()
+                .find(|s| s.name == "out")
+                .unwrap()
+                .pushes
+        };
+        let forwarded = pushes(&engine);
         assert!((3..=5).contains(&forwarded), "{forwarded}");
         engine.run_cycles(20);
-        assert_eq!(out_ch.stats().pushes, 10);
+        assert_eq!(pushes(&engine), 10);
     }
 
     #[test]
     fn procpe_ii_two_halves_rate() {
-        let app = Rc::new(CountPerKey::new(4));
-        let in_ch = Channel::new("in", 256);
-        for _ in 0..100 {
-            in_ch.sender().try_send(0, ()).unwrap();
-        }
-        let state = Rc::new(RefCell::new(0u64));
-        let control = Control::new(0);
+        let app = Arc::new(CountPerKey::new(4));
         let mut engine = Engine::new();
+        let (in_tx, in_rx) = engine.channel("in", 256);
+        for _ in 0..100 {
+            engine.context_mut().try_send(0, in_tx, ()).unwrap();
+        }
+        let state = Arc::new(Mutex::new(0u64));
+        let control = Control::new(0);
         engine.add_kernel(ProcPeKernel::new(
             0,
             PeRole::Primary,
             app,
-            in_ch.receiver(),
+            in_rx,
             state.clone(),
             Counter::new(),
             Counter::new(),
@@ -212,62 +266,60 @@ mod tests {
         ));
         engine.run_cycles(41);
         // II = 2: about 20 tuples in 41 cycles.
-        let done = *state.borrow();
+        let done = *state.lock().unwrap();
         assert!((19..=21).contains(&done), "{done}");
     }
 
     #[test]
     fn secpe_drains_then_exits() {
-        let app = Rc::new(CountPerKey::new(4));
-        let in_ch = Channel::new("in", 256);
+        let app = Arc::new(CountPerKey::new(4));
+        let mut engine = Engine::new();
+        let (in_tx, in_rx) = engine.channel("in", 256);
         for _ in 0..5 {
-            in_ch.sender().try_send(0, ()).unwrap();
+            engine.context_mut().try_send(0, in_tx, ()).unwrap();
         }
         let control = Control::new(1);
         // The mapper-side accounting would have counted these five tuples.
         for _ in 0..5 {
             control.sec_inflight_inc(0);
         }
-        let state = Rc::new(RefCell::new(0u64));
-        let mut pe = ProcPeKernel::new(
+        let state = Arc::new(Mutex::new(0u64));
+        engine.add_kernel(ProcPeKernel::new(
             4,
             PeRole::Secondary(0),
             app,
-            in_ch.receiver(),
+            in_rx,
             state.clone(),
             Counter::new(),
             Counter::new(),
             control.clone(),
-        );
+        ));
         control.set_sec_phase(0, SecPhase::Draining);
-        for cy in 1..100 {
-            pe.step(cy);
-        }
-        assert_eq!(*state.borrow(), 5, "drained all queued tuples");
+        engine.run_cycles(100);
+        assert_eq!(*state.lock().unwrap(), 5, "drained all queued tuples");
         assert_eq!(control.sec_phase(0), SecPhase::Exited);
     }
 
     #[test]
     fn exited_secpe_ignores_input() {
-        let app = Rc::new(CountPerKey::new(4));
-        let in_ch = Channel::new("in", 16);
-        in_ch.sender().try_send(0, ()).unwrap();
+        let app = Arc::new(CountPerKey::new(4));
+        let mut engine = Engine::new();
+        let (in_tx, in_rx) = engine.channel("in", 16);
+        engine.context_mut().try_send(0, in_tx, ()).unwrap();
         let control = Control::new(1);
         control.set_sec_phase(0, SecPhase::Exited);
-        let state = Rc::new(RefCell::new(0u64));
-        let mut pe = ProcPeKernel::new(
+        let state = Arc::new(Mutex::new(0u64));
+        engine.add_kernel(ProcPeKernel::new(
             4,
             PeRole::Secondary(0),
             app,
-            in_ch.receiver(),
+            in_rx,
             state.clone(),
             Counter::new(),
             Counter::new(),
             control,
-        );
-        for cy in 1..10 {
-            pe.step(cy);
-        }
-        assert_eq!(*state.borrow(), 0);
+        ));
+        engine.run_cycles(10);
+        assert_eq!(*state.lock().unwrap(), 0);
     }
 }

@@ -64,7 +64,11 @@ impl SchedulingPlan {
     ///
     /// Panics if `workloads.len() != m_pri as usize`.
     pub fn generate(workloads: &[u64], m_pri: u32, x_sec: u32) -> Self {
-        assert_eq!(workloads.len(), m_pri as usize, "one workload entry per PriPE");
+        assert_eq!(
+            workloads.len(),
+            m_pri as usize,
+            "one workload entry per PriPE"
+        );
         let mut helpers = vec![1u64; workloads.len()];
         let mut pairs = Vec::with_capacity(x_sec as usize);
         for sec in 0..x_sec {
@@ -89,7 +93,11 @@ impl SchedulingPlan {
         for &(_, pri) in &self.pairs {
             helpers[pri as usize] += 1;
         }
-        workloads.iter().zip(&helpers).map(|(&w, &h)| w as f64 / h as f64).collect()
+        workloads
+            .iter()
+            .zip(&helpers)
+            .map(|(&w, &h)| w as f64 / h as f64)
+            .collect()
     }
 }
 
@@ -140,8 +148,7 @@ mod tests {
         let mut prev_max = f64::INFINITY;
         for x in 0..8u32 {
             let plan = SchedulingPlan::generate(&w, 8, x);
-            let max =
-                plan.effective_loads(&w).into_iter().fold(0.0f64, f64::max);
+            let max = plan.effective_loads(&w).into_iter().fold(0.0f64, f64::max);
             assert!(max <= prev_max + 1e-9, "x={x}: {max} > {prev_max}");
             prev_max = max;
         }

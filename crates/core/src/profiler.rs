@@ -1,11 +1,12 @@
 //! The runtime profiler (§IV-C3): workload profiling, SecPE plan
 //! generation, throughput monitoring and the reschedule protocol (§IV-B).
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
-use hls_sim::{Counter, Cycle, Kernel, Receiver, Sender, ThroughputWindow};
+use hls_sim::{
+    Counter, Cycle, Kernel, KernelId, Progress, ReceiverId, SenderId, SimContext, ThroughputWindow,
+};
 
 use crate::control::Control;
 use crate::{PeId, SchedulingPlan};
@@ -69,17 +70,23 @@ pub struct ProfilerKernel {
     name: String,
     params: ProfilerParams,
     phase: Phase,
-    feeds: Vec<Receiver<PeId>>,
-    plan_txs: Vec<Sender<(PeId, PeId)>>,
+    feeds: Vec<ReceiverId<PeId>>,
+    plan_txs: Vec<SenderId<(PeId, PeId)>>,
     /// N independent hist instances (one per mapper lane), M bins each.
     hists: Vec<Vec<u64>>,
-    current_plan: Rc<RefCell<SchedulingPlan>>,
-    control: Rc<Control>,
+    current_plan: Arc<Mutex<SchedulingPlan>>,
+    control: Arc<Control>,
     window: ThroughputWindow,
     plans_generated: Counter,
     /// Consecutive reschedules that re-triggered faster than the requeue
     /// overhead can amortise.
     fast_retriggers: u32,
+    /// SecPE kernel ids woken on drain/restart commands (§IV-B side-band
+    /// signals produce no channel event, so the profiler wakes the sleeping
+    /// kernels explicitly in the cycle it mutates the control block).
+    sec_kernels: Vec<KernelId>,
+    /// Merger kernel id woken on merge requests.
+    merger_kernel: Option<KernelId>,
 }
 
 impl ProfilerKernel {
@@ -97,20 +104,30 @@ impl ProfilerKernel {
     /// `plan_txs` lengths differ.
     pub fn new(
         params: ProfilerParams,
-        feeds: Vec<Receiver<PeId>>,
-        plan_txs: Vec<Sender<(PeId, PeId)>>,
+        feeds: Vec<ReceiverId<PeId>>,
+        plan_txs: Vec<SenderId<(PeId, PeId)>>,
         processed: Counter,
-        current_plan: Rc<RefCell<SchedulingPlan>>,
-        control: Rc<Control>,
+        current_plan: Arc<Mutex<SchedulingPlan>>,
+        control: Arc<Control>,
     ) -> Self {
         assert!(params.x_sec > 0, "profiler requires at least one SecPE");
-        assert_eq!(feeds.len(), plan_txs.len(), "one plan channel per mapper lane");
+        assert!(
+            params.profile_cycles > 0,
+            "profiling window must be nonzero"
+        );
+        assert_eq!(
+            feeds.len(),
+            plan_txs.len(),
+            "one plan channel per mapper lane"
+        );
         let lanes = feeds.len();
         control.set_feed_profiler(true);
         ProfilerKernel {
             name: "runtime-profiler".to_owned(),
             window: ThroughputWindow::new(processed, params.monitor_window),
-            phase: Phase::Profiling { remaining: params.profile_cycles },
+            phase: Phase::Profiling {
+                remaining: params.profile_cycles,
+            },
             hists: vec![vec![0; params.m_pri as usize]; lanes],
             feeds,
             plan_txs,
@@ -119,12 +136,34 @@ impl ProfilerKernel {
             params,
             plans_generated: Counter::new(),
             fast_retriggers: 0,
+            sec_kernels: Vec::new(),
+            merger_kernel: None,
         }
     }
 
     /// Counter of generated plans (observable by reports/tests).
     pub fn plans_generated(&self) -> Counter {
         self.plans_generated.clone()
+    }
+
+    /// Registers the kernels this profiler must wake when it drives the
+    /// §IV-B protocol through the shared control block: the SecPE kernels
+    /// (drain + restart commands) and the merger (merge requests). Without
+    /// this, those kernels must stay awake polling the control block.
+    pub fn with_protocol_wakes(
+        mut self,
+        sec_kernels: Vec<KernelId>,
+        merger_kernel: Option<KernelId>,
+    ) -> Self {
+        self.sec_kernels = sec_kernels;
+        self.merger_kernel = merger_kernel;
+        self
+    }
+
+    fn wake_secs(&self, ctx: &mut SimContext) {
+        for &k in &self.sec_kernels {
+            ctx.wake_kernel(k);
+        }
     }
 
     /// Merges the per-lane hists into the global workload histogram —
@@ -152,12 +191,12 @@ impl Kernel for ProfilerKernel {
         &self.name
     }
 
-    fn step(&mut self, cy: Cycle) {
+    fn step(&mut self, cy: Cycle, ctx: &mut SimContext) -> Progress {
         match &mut self.phase {
             Phase::Profiling { remaining } => {
                 // One id per lane per cycle into the lane's hist instance.
-                for (lane, feed) in self.feeds.iter().enumerate() {
-                    if let Some(pri) = feed.try_recv(cy) {
+                for (lane, &feed) in self.feeds.iter().enumerate() {
+                    if let Some(pri) = ctx.try_recv(cy, feed) {
                         self.hists[lane][pri as usize] += 1;
                     }
                 }
@@ -165,13 +204,10 @@ impl Kernel for ProfilerKernel {
                 if *remaining == 0 {
                     self.control.set_feed_profiler(false);
                     let workloads = self.merged_workloads();
-                    let plan = SchedulingPlan::generate(
-                        &workloads,
-                        self.params.m_pri,
-                        self.params.x_sec,
-                    );
+                    let plan =
+                        SchedulingPlan::generate(&workloads, self.params.m_pri, self.params.x_sec);
                     let queue: VecDeque<_> = plan.pairs().to_vec().into();
-                    *self.current_plan.borrow_mut() = plan;
+                    *self.current_plan.lock().expect("uncontended") = plan;
                     self.plans_generated.incr();
                     self.phase = Phase::Distributing { queue };
                 }
@@ -180,29 +216,34 @@ impl Kernel for ProfilerKernel {
                 // One pair per cycle to every mapper (each mapper applies
                 // one pair per cycle, §IV-C2).
                 if let Some(&pair) = queue.front() {
-                    let all_ok = self.plan_txs.iter().all(Sender::can_send);
+                    let all_ok = self.plan_txs.iter().all(|&tx| ctx.can_send(tx));
                     if all_ok {
-                        for tx in &self.plan_txs {
-                            tx.try_send(cy, pair).unwrap_or_else(|_| unreachable!("checked"));
+                        for &tx in &self.plan_txs {
+                            ctx.try_send(cy, tx, pair)
+                                .unwrap_or_else(|_| unreachable!("checked"));
                         }
                         queue.pop_front();
                     }
                 }
                 if queue.is_empty() {
                     self.window.restart(cy);
-                    self.phase = Phase::Monitoring { since: cy, peak: 0.0 };
+                    self.phase = Phase::Monitoring {
+                        since: cy,
+                        peak: 0.0,
+                    };
                 }
             }
             Phase::Monitoring { since, peak } => {
                 if self.params.reschedule_threshold <= 0.0 {
-                    return;
+                    // Rescheduling disabled: monitoring is a permanent
+                    // no-op, so the profiler can park for good.
+                    return Progress::Sleep;
                 }
                 if let Some(rate) = self.window.tick(cy) {
                     if rate > *peak {
                         *peak = rate;
                     }
-                    let triggered =
-                        *peak > 0.0 && rate < self.params.reschedule_threshold * *peak;
+                    let triggered = *peak > 0.0 && rate < self.params.reschedule_threshold * *peak;
                     if triggered {
                         let steady = cy - *since;
                         if steady < 2 * self.params.requeue_overhead_cycles {
@@ -213,13 +254,14 @@ impl Kernel for ProfilerKernel {
                                 // rescheduling for good (the threshold-to-
                                 // zero behaviour Fig. 9's right side shows).
                                 self.phase = Phase::Disabled;
-                                return;
+                                return Progress::Sleep;
                             }
                         } else {
                             self.fast_retriggers = 0;
                         }
                         self.control.set_route_to_sec(false);
                         self.control.drain_all_secs();
+                        self.wake_secs(ctx);
                         self.phase = Phase::Draining;
                     }
                 }
@@ -227,14 +269,18 @@ impl Kernel for ProfilerKernel {
             Phase::Draining => {
                 if self.control.all_secs_exited() {
                     self.control.request_merge();
+                    if let Some(k) = self.merger_kernel {
+                        ctx.wake_kernel(k);
+                    }
                     self.phase = Phase::AwaitMerge;
                 }
             }
             Phase::AwaitMerge => {
                 if self.control.merge_done() {
                     self.control.count_reschedule();
-                    self.phase =
-                        Phase::Requeue { until: cy + self.params.requeue_overhead_cycles };
+                    self.phase = Phase::Requeue {
+                        until: cy + self.params.requeue_overhead_cycles,
+                    };
                 }
             }
             Phase::Requeue { until } => {
@@ -242,19 +288,26 @@ impl Kernel for ProfilerKernel {
                     // CPU has re-enqueued profiler + SecPEs (§IV-B).
                     self.control.bump_generation();
                     self.control.restart_all_secs();
+                    self.wake_secs(ctx);
                     self.control.set_route_to_sec(true);
                     self.control.set_feed_profiler(true);
                     self.reset_hists();
-                    self.phase = Phase::Profiling { remaining: self.params.profile_cycles };
+                    self.phase = Phase::Profiling {
+                        remaining: self.params.profile_cycles,
+                    };
                 }
             }
-            Phase::Disabled => {}
+            Phase::Disabled => return Progress::Sleep,
         }
+        // Every live phase carries an internal clock (profiling countdown,
+        // plan distribution, throughput windows, requeue timer), so the
+        // profiler steps every cycle while any of them is in flight.
+        Progress::Busy
     }
 
-    fn is_idle(&self) -> bool {
+    fn is_idle(&self, ctx: &SimContext) -> bool {
         match &self.phase {
-            Phase::Profiling { .. } => self.feeds.iter().all(Receiver::is_empty),
+            Phase::Profiling { .. } => self.feeds.iter().all(|&f| ctx.is_empty(f)),
             Phase::Distributing { queue } => queue.is_empty(),
             Phase::Monitoring { .. } | Phase::Disabled => true,
             // Mid-protocol states must complete before the engine may stop.
@@ -266,7 +319,7 @@ impl Kernel for ProfilerKernel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hls_sim::Channel;
+    use hls_sim::Engine;
 
     fn params(x: u32) -> ProfilerParams {
         ProfilerParams {
@@ -282,80 +335,91 @@ mod tests {
 
     #[test]
     fn profiles_then_distributes_plan() {
-        let feed = Channel::new("feed", 64);
-        let plan_ch = Channel::new("plan", 8);
+        let mut engine = Engine::new();
+        let (feed_tx, feed_rx) = engine.channel::<u32>("feed", 64);
+        let (plan_tx, plan_rx) = engine.channel::<(u32, u32)>("plan", 8);
         let control = Control::new(2);
-        let plan = Rc::new(RefCell::new(SchedulingPlan::empty()));
+        let plan = Arc::new(Mutex::new(SchedulingPlan::empty()));
         let mut prof = ProfilerKernel::new(
             params(2),
-            vec![feed.receiver()],
-            vec![plan_ch.sender()],
+            vec![feed_rx],
+            vec![plan_tx],
             Counter::new(),
             plan.clone(),
             control.clone(),
         );
         // All workload on PriPE 3.
         for _ in 0..10 {
-            feed.sender().try_send(0, 3u32).unwrap();
+            engine.context_mut().try_send(0, feed_tx, 3u32).unwrap();
         }
+        let ctx = engine.context_mut();
         for cy in 1..64 {
-            prof.step(cy);
+            prof.step(cy, ctx);
         }
-        assert_eq!(plan.borrow().pairs(), &[(4, 3), (5, 3)]);
+        assert_eq!(plan.lock().unwrap().pairs(), &[(4, 3), (5, 3)]);
         // Mapper received both pairs.
-        let rx = plan_ch.receiver();
-        assert_eq!(rx.try_recv(100), Some((4, 3)));
-        assert_eq!(rx.try_recv(100), Some((5, 3)));
-        assert!(!control.feed_profiler(), "feed stops after profiling window");
-        assert!(prof.is_idle());
+        assert_eq!(ctx.try_recv(100, plan_rx), Some((4, 3)));
+        assert_eq!(ctx.try_recv(100, plan_rx), Some((5, 3)));
+        assert!(
+            !control.feed_profiler(),
+            "feed stops after profiling window"
+        );
+        assert!(prof.is_idle(ctx));
     }
 
     #[test]
     fn hists_are_per_lane_and_merged() {
-        let feeds: Vec<Channel<u32>> = (0..2).map(|i| Channel::new(&format!("f{i}"), 64)).collect();
-        let plans: Vec<Channel<(u32, u32)>> =
-            (0..2).map(|i| Channel::new(&format!("p{i}"), 8)).collect();
+        let mut engine = Engine::new();
+        let feeds: Vec<_> = (0..2)
+            .map(|i| engine.channel::<u32>(&format!("f{i}"), 64))
+            .collect();
+        let plans: Vec<_> = (0..2)
+            .map(|i| engine.channel::<(u32, u32)>(&format!("p{i}"), 8))
+            .collect();
         let control = Control::new(1);
-        let plan = Rc::new(RefCell::new(SchedulingPlan::empty()));
+        let plan = Arc::new(Mutex::new(SchedulingPlan::empty()));
         let mut prof = ProfilerKernel::new(
             params(1),
-            feeds.iter().map(|c| c.receiver()).collect(),
-            plans.iter().map(|c| c.sender()).collect(),
+            feeds.iter().map(|&(_, rx)| rx).collect(),
+            plans.iter().map(|&(tx, _)| tx).collect(),
             Counter::new(),
             plan.clone(),
             control,
         );
         // Lane 0 votes PriPE 1, lane 1 votes PriPE 2 — but lane 1 votes more.
+        let ctx = engine.context_mut();
         for i in 0..6 {
-            feeds[0].sender().try_send(i, 1u32).unwrap();
+            ctx.try_send(i, feeds[0].0, 1u32).unwrap();
         }
         for i in 0..12 {
-            feeds[1].sender().try_send(i, 2u32).unwrap();
+            ctx.try_send(i, feeds[1].0, 2u32).unwrap();
         }
         for cy in 1..40 {
-            prof.step(cy);
+            prof.step(cy, ctx);
         }
-        assert_eq!(plan.borrow().pairs(), &[(4, 2)]);
+        assert_eq!(plan.lock().unwrap().pairs(), &[(4, 2)]);
     }
 
     #[test]
     fn threshold_zero_never_reschedules() {
-        let feed = Channel::new("feed", 64);
-        let plan_ch = Channel::new("plan", 8);
+        let mut engine = Engine::new();
+        let (_feed_tx, feed_rx) = engine.channel::<u32>("feed", 64);
+        let (plan_tx, _plan_rx) = engine.channel::<(u32, u32)>("plan", 8);
         let control = Control::new(1);
         let processed = Counter::new();
-        let plan = Rc::new(RefCell::new(SchedulingPlan::empty()));
+        let plan = Arc::new(Mutex::new(SchedulingPlan::empty()));
         let mut prof = ProfilerKernel::new(
             params(1),
-            vec![feed.receiver()],
-            vec![plan_ch.sender()],
+            vec![feed_rx],
+            vec![plan_tx],
             processed.clone(),
             plan,
             control.clone(),
         );
         // Throughput collapses to zero after the plan, but threshold is 0.
+        let ctx = engine.context_mut();
         for cy in 1..2_000 {
-            prof.step(cy);
+            prof.step(cy, ctx);
         }
         assert_eq!(control.reschedules(), 0);
         assert!(control.route_to_sec());
@@ -363,39 +427,41 @@ mod tests {
 
     #[test]
     fn reschedule_protocol_completes() {
-        let feed = Channel::new("feed", 256);
-        let plan_ch = Channel::new("plan", 8);
+        let mut engine = Engine::new();
+        let (feed_tx, feed_rx) = engine.channel::<u32>("feed", 256);
+        let (plan_tx, _plan_rx) = engine.channel::<(u32, u32)>("plan", 8);
         let control = Control::new(1);
         let processed = Counter::new();
-        let plan = Rc::new(RefCell::new(SchedulingPlan::empty()));
+        let plan = Arc::new(Mutex::new(SchedulingPlan::empty()));
         let mut p = params(1);
         p.reschedule_threshold = 0.5;
         p.requeue_overhead_cycles = 50;
         let mut prof = ProfilerKernel::new(
             p,
-            vec![feed.receiver()],
-            vec![plan_ch.sender()],
+            vec![feed_rx],
+            vec![plan_tx],
             processed.clone(),
             plan,
             control.clone(),
         );
         // Phase 1: profile (16 cycles), distribute, then healthy rate.
+        let ctx = engine.context_mut();
         let mut cy = 1;
         for _ in 0..16 {
-            feed.sender().try_send(cy, 0u32).ok();
-            prof.step(cy);
+            ctx.try_send(cy, feed_tx, 0u32).ok();
+            prof.step(cy, ctx);
             cy += 1;
         }
         // Healthy throughput for several windows (processed grows fast)...
         for _ in 0..400 {
             processed.add(4);
-            prof.step(cy);
+            prof.step(cy, ctx);
             cy += 1;
         }
         assert_eq!(control.reschedules(), 0);
         // ...then collapse: rate goes to ~0 -> trigger.
         for _ in 0..200 {
-            prof.step(cy);
+            prof.step(cy, ctx);
             cy += 1;
             // SecPE cooperates with the drain request.
             if control.sec_phase(0) == crate::SecPhase::Draining {
@@ -409,7 +475,7 @@ mod tests {
         assert_eq!(control.reschedules(), 1, "one reschedule completed");
         // After the requeue overhead the profiler must be profiling again.
         for _ in 0..100 {
-            prof.step(cy);
+            prof.step(cy, ctx);
             cy += 1;
         }
         assert!(control.route_to_sec(), "routing re-enabled after requeue");

@@ -1,6 +1,6 @@
 //! The memory access engine (§IV-C4): streams tuples into the PrePE lanes.
 
-use hls_sim::{Counter, Cycle, Kernel, Sender, StreamSource};
+use hls_sim::{Counter, Cycle, Kernel, Progress, SenderId, SimContext, StreamSource};
 
 use crate::Tuple;
 
@@ -17,12 +17,16 @@ use crate::Tuple;
 pub struct MemoryReaderKernel {
     name: String,
     source: Box<dyn StreamSource<Tuple>>,
-    lanes: Vec<Sender<Tuple>>,
-    staging: std::collections::VecDeque<Tuple>,
+    lanes: Vec<SenderId<Tuple>>,
+    /// Staging buffer: `staging[staged..]` are the queued tuples. The
+    /// source appends at the tail; the lane distributor consumes from
+    /// `staged`, and the vector is reset once fully drained — FIFO
+    /// semantics without ring-buffer bookkeeping or an intermediate copy.
+    staging: Vec<Tuple>,
+    staged: usize,
     staging_cap: usize,
     next_lane: usize,
     issued: Counter,
-    pull_buf: Vec<Tuple>,
 }
 
 impl MemoryReaderKernel {
@@ -30,7 +34,7 @@ impl MemoryReaderKernel {
     /// the pipeline (used by the run report).
     pub fn new(
         source: Box<dyn StreamSource<Tuple>>,
-        lanes: Vec<Sender<Tuple>>,
+        lanes: Vec<SenderId<Tuple>>,
         issued: Counter,
     ) -> Self {
         let staging_cap = lanes.len() * 4;
@@ -38,17 +42,21 @@ impl MemoryReaderKernel {
             name: "memory-reader".to_owned(),
             source,
             lanes,
-            staging: std::collections::VecDeque::with_capacity(staging_cap),
+            staging: Vec::with_capacity(staging_cap),
+            staged: 0,
             staging_cap,
             next_lane: 0,
             issued,
-            pull_buf: Vec::new(),
         }
+    }
+
+    fn staging_len(&self) -> usize {
+        self.staging.len() - self.staged
     }
 
     /// `true` once the source is exhausted and the staging buffer drained.
     pub fn drained(&self) -> bool {
-        self.source.exhausted() && self.staging.is_empty()
+        self.source.exhausted() && self.staging_len() == 0
     }
 }
 
@@ -57,67 +65,100 @@ impl Kernel for MemoryReaderKernel {
         &self.name
     }
 
-    fn step(&mut self, cy: Cycle) {
-        // Pull this cycle's burst into staging (the source rate-limits).
-        let room = self.staging_cap - self.staging.len();
+    fn step(&mut self, cy: Cycle, ctx: &mut SimContext) -> Progress {
+        // Reset the drained staging vector so the source appends at the
+        // front again, then pull this cycle's burst (the source
+        // rate-limits) straight into it — no intermediate buffer.
+        if self.staged == self.staging.len() {
+            self.staging.clear();
+            self.staged = 0;
+        } else if self.staged >= self.staging_cap * 4 {
+            // Steady-state compaction: shift the few queued tuples to the
+            // front so the vector stays bounded (amortised O(1) per tuple).
+            self.staging.drain(..self.staged);
+            self.staged = 0;
+        }
+        let room = self.staging_cap - self.staging_len();
         if room > 0 && !self.source.exhausted() {
-            self.pull_buf.clear();
-            self.source.pull(cy, room, &mut self.pull_buf);
-            self.staging.extend(self.pull_buf.iter().copied());
+            self.source.pull(cy, room, &mut self.staging);
         }
 
         // Distribute round-robin: at most one tuple per lane per cycle
         // (each PrePE reads one tuple per cycle at best).
         let lanes = self.lanes.len();
         for _ in 0..lanes {
-            let Some(&tuple) = self.staging.front() else { break };
+            let Some(&tuple) = self.staging.get(self.staged) else {
+                break;
+            };
             let lane = self.next_lane;
-            if self.lanes[lane].try_send(cy, tuple).is_ok() {
-                self.staging.pop_front();
+            if ctx.try_send(cy, self.lanes[lane], tuple).is_ok() {
+                self.staged += 1;
                 self.issued.incr();
             }
             // Advance even when the lane stalls: hardware lane FIFOs fill
             // independently and a single busy lane must not starve the rest.
             self.next_lane = (self.next_lane + 1) % lanes;
         }
+
+        // The reader only parks once the source is exhausted and staging is
+        // drained — a permanent condition, so no wake subscription is
+        // needed. While staging holds tuples it must retry every cycle so
+        // lane stalls keep being counted, exactly like the original engine.
+        if self.drained() {
+            Progress::Sleep
+        } else {
+            Progress::Busy
+        }
     }
 
-    fn is_idle(&self) -> bool {
+    fn is_idle(&self, _ctx: &SimContext) -> bool {
         self.drained()
+    }
+
+    fn is_quiescence_gate(&self) -> bool {
+        // The pipeline cannot drain while the source still has tuples, so
+        // the engine can skip the full idle scan until the reader drains.
+        true
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hls_sim::{Channel, Engine, MemoryModel, SliceSource};
+    use hls_sim::{Engine, MemoryModel, SliceSource};
 
     #[test]
     fn distributes_all_tuples_round_robin() {
         let n = 4;
-        let channels: Vec<Channel<Tuple>> =
-            (0..n).map(|i| Channel::new(&format!("lane{i}"), 64)).collect();
-        let senders = channels.iter().map(|c| c.sender()).collect();
+        let mut engine = Engine::new();
+        let senders = (0..n)
+            .map(|i| engine.channel::<Tuple>(&format!("lane{i}"), 64).0)
+            .collect();
         let data: Vec<Tuple> = (0..100).map(Tuple::from_key).collect();
         let src = SliceSource::new(data, 8, MemoryModel::new(32, 0)); // 4/cycle
         let issued = Counter::new();
-        let mut engine = Engine::new();
-        engine.add_kernel(MemoryReaderKernel::new(Box::new(src), senders, issued.clone()));
+        engine.add_kernel(MemoryReaderKernel::new(
+            Box::new(src),
+            senders,
+            issued.clone(),
+        ));
         engine.run_cycles(200);
         assert_eq!(issued.get(), 100);
-        let per_lane: Vec<u64> = channels.iter().map(|c| c.stats().pushes).collect();
+        let per_lane: Vec<u64> = engine.channel_stats().iter().map(|s| s.pushes).collect();
         assert_eq!(per_lane, vec![25, 25, 25, 25]);
     }
 
     #[test]
     fn backpressure_stops_pulling() {
-        let ch = Channel::new("lane", 4);
+        let mut engine = Engine::new();
+        let (lane_tx, _lane_rx) = engine.channel::<Tuple>("lane", 4);
         let data: Vec<Tuple> = (0..1000).map(Tuple::from_key).collect();
         let src = SliceSource::new(data, 8, MemoryModel::new(64, 0));
         let issued = Counter::new();
-        let mut reader = MemoryReaderKernel::new(Box::new(src), vec![ch.sender()], issued.clone());
+        let mut reader = MemoryReaderKernel::new(Box::new(src), vec![lane_tx], issued.clone());
+        let ctx = engine.context_mut();
         for cy in 0..100 {
-            reader.step(cy);
+            reader.step(cy, ctx);
         }
         // Lane capacity 4, staging 4: nothing downstream consumes, so at
         // most capacity + staging tuples leave the source.

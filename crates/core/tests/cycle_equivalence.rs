@@ -1,0 +1,129 @@
+//! Cycle-equivalence regression: the arena engine (typed channel arena,
+//! idle-set scheduler, broadcast wide words) must reproduce the original
+//! `Rc<RefCell>`-channel step-everyone engine *bit for bit* — same cycle
+//! counts, same per-PE workloads, same per-channel statistics including
+//! stall counts and occupancy high-water marks.
+//!
+//! The golden values below were captured by running these exact scenarios
+//! on the seed engine (PR 1, commit that introduced the workspace
+//! manifests) before the arena refactor. Any scheduling or channel-protocol
+//! deviation shows up here as a hard mismatch.
+
+use datagen::{EvolvingZipfStream, ZipfGenerator};
+use ditto_core::apps::{CountPerKey, ModHistogram};
+use ditto_core::{ArchConfig, SkewObliviousPipeline};
+use hls_sim::ChannelStats;
+
+fn channel<'a>(channels: &'a [ChannelStats], name: &str) -> &'a ChannelStats {
+    channels
+        .iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("channel {name}"))
+}
+
+#[track_caller]
+fn assert_channel(channels: &[ChannelStats], name: &str, golden: (u64, u64, u64, usize)) {
+    let s = channel(channels, name);
+    assert_eq!(
+        (s.pushes, s.pops, s.full_stalls, s.max_occupancy),
+        golden,
+        "channel {name}: (pushes, pops, stalls, max_occupancy) diverged from seed semantics"
+    );
+}
+
+/// Offline, moderately skewed, 3 SecPEs: exercises profiling, plan
+/// distribution, SecPE routing and the end-of-run merge.
+#[test]
+fn offline_skewed_with_secpes_matches_seed() {
+    let data = ZipfGenerator::new(1.5, 1 << 12, 7).take_vec(6_000);
+    let cfg = ArchConfig::new(4, 8, 3).with_pe_entries(8);
+    let out = SkewObliviousPipeline::run_dataset(ModHistogram::new(64), data, &cfg);
+
+    assert_eq!(out.report.cycles, 2_114);
+    assert_eq!(out.report.tuples, 6_000);
+    assert_eq!(out.report.plans_generated, 1);
+    assert_eq!(out.report.reschedules, 0);
+    assert_eq!(
+        out.report.per_pe_processed,
+        vec![334, 290, 538, 238, 236, 862, 390, 1043, 706, 659, 704]
+    );
+    assert_eq!(out.output.iter().sum::<u64>(), 6_000);
+
+    let t = out.report.channel_totals;
+    assert_eq!(
+        (t.pushes, t.pops, t.full_stalls, t.max_occupancy_sum),
+        (41_328, 41_324, 784, 586)
+    );
+
+    assert_channel(&out.channels, "lane0", (1_500, 1_500, 196, 8));
+    assert_channel(&out.channels, "word5", (1_500, 1_500, 0, 40));
+    assert_channel(&out.channels, "word7", (1_500, 1_500, 0, 64));
+    assert_channel(&out.channels, "pein7", (1_043, 1_043, 0, 166));
+    assert_channel(&out.channels, "feed0", (204, 203, 0, 2));
+}
+
+/// Offline, extreme skew, no SecPEs: the pure collapse path with heavy
+/// backpressure (lane stalls, hot-PE queue at capacity).
+#[test]
+fn offline_extreme_skew_without_secpes_matches_seed() {
+    let data = ZipfGenerator::new(3.0, 1 << 20, 5).take_vec(6_000);
+    let cfg = ArchConfig::new(4, 8, 0);
+    let out = SkewObliviousPipeline::run_dataset(CountPerKey::new(8), data, &cfg);
+
+    assert_eq!(out.report.cycles, 9_869);
+    assert_eq!(out.report.tuples, 6_000);
+    assert_eq!(out.report.plans_generated, 0);
+    assert_eq!(
+        out.report.per_pe_processed,
+        vec![1, 77, 4921, 2, 28, 209, 757, 5]
+    );
+    assert_eq!(out.output.iter().sum::<u64>(), 6_000);
+
+    let t = out.report.channel_totals;
+    assert_eq!(
+        (t.pushes, t.pops, t.full_stalls, t.max_occupancy_sum),
+        (36_000, 36_000, 30_960, 703)
+    );
+
+    assert_channel(&out.channels, "lane0", (1_500, 1_500, 6_766, 8));
+    assert_channel(&out.channels, "word2", (1_500, 1_500, 0, 64));
+    assert_channel(&out.channels, "pein2", (4_921, 4_921, 3_896, 512));
+}
+
+/// Online, evolving skew, 7 SecPEs with rescheduling: exercises the full
+/// §IV-B protocol — drain, merge, requeue — eight times over.
+#[test]
+fn online_evolving_skew_reschedules_match_seed() {
+    let stream = EvolvingZipfStream::new(3.0, 1 << 16, 11, 4_000, 4.0, None);
+    let cfg = ArchConfig::new(4, 8, 7)
+        .with_reschedule(0.5, 200)
+        .with_profile_cycles(64)
+        .with_monitor_window(256);
+    let out =
+        SkewObliviousPipeline::run_stream_for(CountPerKey::new(8), Box::new(stream), &cfg, 40_000);
+
+    assert_eq!(out.report.cycles, 40_000);
+    assert_eq!(out.report.tuples, 132_606);
+    assert_eq!(out.report.plans_generated, 9);
+    assert_eq!(out.report.reschedules, 8);
+    assert_eq!(
+        out.report.per_pe_processed,
+        vec![
+            8089, 1417, 5361, 5129, 3330, 2432, 5054, 3494, 14522, 14516, 14510, 14507, 13750,
+            12745, 13750
+        ]
+    );
+    assert_eq!(out.output.iter().sum::<u64>(), 132_606);
+
+    let t = out.report.channel_totals;
+    assert_eq!(
+        (t.pushes, t.pops, t.full_stalls, t.max_occupancy_sum),
+        (1_030_821, 1_030_433, 27_064, 3_220)
+    );
+
+    assert_channel(&out.channels, "lane0", (33_234, 33_227, 6_766, 8));
+    assert_channel(&out.channels, "word0", (33_213, 33_212, 0, 64));
+    assert_channel(&out.channels, "pein8", (14_523, 14_522, 0, 3));
+    assert_channel(&out.channels, "plan0", (63, 63, 0, 1));
+    assert_channel(&out.channels, "feed0", (211, 211, 0, 2));
+}

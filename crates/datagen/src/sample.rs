@@ -20,9 +20,14 @@ pub const PAPER_SAMPLE_FRACTION: f64 = 0.001;
 ///
 /// Panics if `data` is empty and `k > 0`.
 pub fn sample_k(data: &[Tuple], k: usize, seed: u64) -> Vec<Tuple> {
-    assert!(k == 0 || !data.is_empty(), "cannot sample from empty dataset");
+    assert!(
+        k == 0 || !data.is_empty(),
+        "cannot sample from empty dataset"
+    );
     let mut rng = Xoshiro256::new(seed);
-    (0..k).map(|_| data[rng.range_u64(data.len() as u64) as usize]).collect()
+    (0..k)
+        .map(|_| data[rng.range_u64(data.len() as u64) as usize])
+        .collect()
 }
 
 /// Draws `fraction` of `data` (at least one tuple for nonempty input),
@@ -70,7 +75,10 @@ mod tests {
         let pop_share = data.iter().filter(|t| t.key == hot).count() as f64 / data.len() as f64;
         let s = sample_fraction(&data, 0.01, 9);
         let samp_share = s.iter().filter(|t| t.key == hot).count() as f64 / s.len() as f64;
-        assert!((pop_share - samp_share).abs() < 0.08, "pop {pop_share} sample {samp_share}");
+        assert!(
+            (pop_share - samp_share).abs() < 0.08,
+            "pop {pop_share} sample {samp_share}"
+        );
     }
 
     #[test]

@@ -32,7 +32,10 @@ impl UniformGenerator {
     /// Panics if `universe` is zero.
     pub fn new(universe: u64, seed: u64) -> Self {
         assert!(universe > 0, "universe must be nonzero");
-        UniformGenerator { universe, rng: Xoshiro256::new(seed) }
+        UniformGenerator {
+            universe,
+            rng: Xoshiro256::new(seed),
+        }
     }
 
     /// The number of distinct keys.

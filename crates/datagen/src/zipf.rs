@@ -1,5 +1,7 @@
 //! Zipf-distributed tuple generation (§II, §VI-C of the paper).
 
+use std::sync::{Arc, Mutex, OnceLock};
+
 use sketches::hash::splitmix64;
 
 use crate::rng::Xoshiro256;
@@ -8,6 +10,58 @@ use crate::Tuple;
 
 /// Maximum universe size for which the exact CDF table is built.
 const MAX_UNIVERSE: usize = 1 << 24;
+
+/// Process-wide cache of computed CDF tables, keyed by `(α bits, universe)`.
+///
+/// Building a table costs one `powf` per universe entry (tens of
+/// milliseconds at 2²⁰), and scenario sweeps construct the same distribution
+/// over and over — once per configuration point, once per benchmark sample.
+/// The cache makes every construction after the first free while keeping
+/// the tables bit-identical (the values are computed once, so sequences
+/// cannot drift). Bounded to [`CDF_CACHE_CAP_BYTES`] of table storage
+/// (tables are `universe × 8` bytes, up to 128 MiB at the 2²⁴ limit),
+/// evicting the oldest until the new table fits.
+type CdfCache = Mutex<Vec<((u64, u64), Arc<[f64]>)>>;
+
+fn cdf_cache() -> &'static CdfCache {
+    static CACHE: OnceLock<CdfCache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Maximum bytes of cached CDF tables (a 2²⁰-key table is 8 MiB).
+const CDF_CACHE_CAP_BYTES: usize = 256 << 20;
+
+fn cdf_for(alpha: f64, universe: u64) -> Arc<[f64]> {
+    let key = (alpha.to_bits(), universe);
+    {
+        let cache = cdf_cache().lock().expect("cache lock");
+        if let Some((_, table)) = cache.iter().find(|(k, _)| *k == key) {
+            return Arc::clone(table);
+        }
+    }
+    // Build outside the lock: construction is the expensive part.
+    let mut cdf = Vec::with_capacity(universe as usize);
+    let mut acc = 0.0f64;
+    for r in 1..=universe {
+        acc += (r as f64).powf(-alpha);
+        cdf.push(acc);
+    }
+    let norm = acc;
+    for v in &mut cdf {
+        *v /= norm;
+    }
+    let table: Arc<[f64]> = cdf.into();
+    let mut cache = cdf_cache().lock().expect("cache lock");
+    if !cache.iter().any(|(k, _)| *k == key) {
+        let bytes = |t: &Arc<[f64]>| t.len() * std::mem::size_of::<f64>();
+        let mut total: usize = cache.iter().map(|(_, t)| bytes(t)).sum::<usize>() + bytes(&table);
+        while total > CDF_CACHE_CAP_BYTES && !cache.is_empty() {
+            total -= bytes(&cache.remove(0).1);
+        }
+        cache.push((key, Arc::clone(&table)));
+    }
+    table
+}
 
 /// Generates tuples whose keys follow a Zipf distribution with factor `α`
 /// over a universe of `n` distinct keys.
@@ -40,7 +94,9 @@ pub struct ZipfGenerator {
     seed: u64,
     rng: Xoshiro256,
     /// Inverse-CDF table: `cdf[i]` = P(rank <= i+1). Empty when α = 0.
-    cdf: Vec<f64>,
+    /// Shared through the process-wide cache — sweeps constructing the same
+    /// distribution repeatedly pay the `powf` loop once.
+    cdf: Arc<[f64]>,
 }
 
 impl ZipfGenerator {
@@ -55,26 +111,22 @@ impl ZipfGenerator {
     pub fn new(alpha: f64, universe: u64, seed: u64) -> Self {
         assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be >= 0");
         assert!(universe > 0, "universe must be nonzero");
-        let cdf = if alpha == 0.0 {
-            Vec::new()
+        let cdf: Arc<[f64]> = if alpha == 0.0 {
+            Arc::new([])
         } else {
             assert!(
                 universe as usize <= MAX_UNIVERSE,
                 "universe {universe} too large for exact Zipf table"
             );
-            let mut cdf = Vec::with_capacity(universe as usize);
-            let mut acc = 0.0f64;
-            for r in 1..=universe {
-                acc += (r as f64).powf(-alpha);
-                cdf.push(acc);
-            }
-            let norm = acc;
-            for v in &mut cdf {
-                *v /= norm;
-            }
-            cdf
+            cdf_for(alpha, universe)
         };
-        ZipfGenerator { alpha, universe, seed, rng: Xoshiro256::new(seed), cdf }
+        ZipfGenerator {
+            alpha,
+            universe,
+            seed,
+            rng: Xoshiro256::new(seed),
+            cdf,
+        }
     }
 
     /// The Zipf factor α.
@@ -187,7 +239,10 @@ mod tests {
         let share = data.iter().filter(|t| t.key == hot).count() as f64 / 100_000.0;
         let h: f64 = (1..=n).map(|r| 1.0 / r as f64).sum();
         let expect = 1.0 / h;
-        assert!((share - expect).abs() < 0.02, "share {share} vs theory {expect}");
+        assert!(
+            (share - expect).abs() < 0.02,
+            "share {share} vs theory {expect}"
+        );
     }
 
     #[test]

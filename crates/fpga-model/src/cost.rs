@@ -39,7 +39,11 @@ impl PipelineShape {
         assert!(n_pre > 0, "need at least one PrePE");
         assert!(m_pri > 0, "need at least one PriPE");
         assert!(x_sec < m_pri, "X is bounded by M-1 (paper §V-C)");
-        PipelineShape { n_pre, m_pri, x_sec }
+        PipelineShape {
+            n_pre,
+            m_pri,
+            x_sec,
+        }
     }
 
     /// Total destination PEs (PriPEs + SecPEs).
@@ -59,9 +63,8 @@ impl PipelineShape {
     /// Stable hash of the configuration, used to seed deterministic
     /// place-&-route jitter.
     pub fn config_hash(&self) -> u64 {
-        let x = (u64::from(self.n_pre) << 42)
-            ^ (u64::from(self.m_pri) << 21)
-            ^ u64::from(self.x_sec);
+        let x =
+            (u64::from(self.n_pre) << 42) ^ (u64::from(self.m_pri) << 21) ^ u64::from(self.x_sec);
         // splitmix64-style mixing, inlined to keep this crate dependency-free
         let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -182,7 +185,10 @@ pub struct ResourceModel {
 impl ResourceModel {
     /// Model for the paper's platform.
     pub fn arria10() -> Self {
-        ResourceModel { device: Device::arria10_gx1150(), freq: FrequencyModel::calibrated() }
+        ResourceModel {
+            device: Device::arria10_gx1150(),
+            freq: FrequencyModel::calibrated(),
+        }
     }
 
     /// Model for a custom device / frequency fit.
@@ -261,7 +267,9 @@ mod tests {
     use super::*;
 
     /// Table III of the paper (HLL implementations).
-    const TABLE3: &[(&str, u32, u32, u32, f64, u64, u64, u64)] = &[
+    type PaperRow = (&'static str, u32, u32, u32, f64, u64, u64, u64);
+
+    const TABLE3: &[PaperRow] = &[
         // label, n, m, x, freq, ram, logic, dsp
         ("16P", 8, 16, 0, 246.0, 597, 163_934, 403),
         ("32P", 16, 32, 0, 191.0, 1_868, 230_838, 729),
@@ -284,7 +292,11 @@ mod tests {
             // at 180 MHz despite 48% utilisation; 16P+8S uses more logic
             // than 16P+15S).
             let rel = |a: f64, b: f64| (a - b).abs() / b;
-            assert!(rel(est.freq_mhz, freq) < 0.32, "{label}: freq {} vs {freq}", est.freq_mhz);
+            assert!(
+                rel(est.freq_mhz, freq) < 0.32,
+                "{label}: freq {} vs {freq}",
+                est.freq_mhz
+            );
             assert!(
                 rel(est.ram_blocks as f64, ram as f64) < 0.30,
                 "{label}: ram {} vs {ram}",
@@ -295,7 +307,11 @@ mod tests {
                 "{label}: logic {} vs {logic}",
                 est.logic_alms
             );
-            assert!(rel(est.dsps as f64, dsp as f64) < 0.25, "{label}: dsp {} vs {dsp}", est.dsps);
+            assert!(
+                rel(est.dsps as f64, dsp as f64) < 0.25,
+                "{label}: dsp {} vs {dsp}",
+                est.dsps
+            );
         }
     }
 
@@ -341,7 +357,9 @@ mod tests {
             for x in 0..16u32 {
                 let est = model.estimate(PipelineShape::new(8, 16, x), &profile);
                 assert!(
-                    model.device().fits(est.logic_alms, est.ram_blocks, est.dsps),
+                    model
+                        .device()
+                        .fits(est.logic_alms, est.ram_blocks, est.dsps),
                     "{} x={x} does not fit",
                     profile.name
                 );

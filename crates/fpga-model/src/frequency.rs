@@ -49,7 +49,10 @@ impl FrequencyModel {
 
     /// A noise-free variant (useful in tests that need exact monotonicity).
     pub fn noiseless() -> Self {
-        FrequencyModel { jitter: 0.0, ..Self::calibrated() }
+        FrequencyModel {
+            jitter: 0.0,
+            ..Self::calibrated()
+        }
     }
 
     /// Achieved frequency at `logic_util` for the design identified by

@@ -92,7 +92,13 @@ impl AppCostProfile {
 
     /// All five evaluated applications, in Table I order.
     pub fn all() -> Vec<AppCostProfile> {
-        vec![Self::histo(), Self::dp(), Self::pagerank(), Self::hll(), Self::hhd()]
+        vec![
+            Self::histo(),
+            Self::dp(),
+            Self::pagerank(),
+            Self::hll(),
+            Self::hhd(),
+        ]
     }
 }
 
@@ -112,7 +118,11 @@ mod tests {
     #[test]
     fn profiles_are_nonzero() {
         for p in AppCostProfile::all() {
-            assert!(p.buffer_m20k > 0 && p.pe_logic > 0 && p.pre_logic > 0, "{}", p.name);
+            assert!(
+                p.buffer_m20k > 0 && p.pe_logic > 0 && p.pre_logic > 0,
+                "{}",
+                p.name
+            );
         }
     }
 }

@@ -30,7 +30,11 @@ pub struct SkewAnalyzer {
 impl SkewAnalyzer {
     /// The paper's evaluation settings: 0.1 % sampling, T = 0.01.
     pub fn paper() -> Self {
-        SkewAnalyzer { sample_fraction: sample::PAPER_SAMPLE_FRACTION, tolerance: 0.01, seed: 0x5eed }
+        SkewAnalyzer {
+            sample_fraction: sample::PAPER_SAMPLE_FRACTION,
+            tolerance: 0.01,
+            seed: 0x5eed,
+        }
     }
 
     /// Creates an analyzer with explicit parameters.
@@ -45,17 +49,16 @@ impl SkewAnalyzer {
             "sample fraction must be in (0, 1]"
         );
         assert!(tolerance >= 0.0, "tolerance must be non-negative");
-        SkewAnalyzer { sample_fraction, tolerance, seed }
+        SkewAnalyzer {
+            sample_fraction,
+            tolerance,
+            seed,
+        }
     }
 
     /// Estimates the per-PriPE workload of `data` by sampling and routing
     /// each sampled tuple through `app.preprocess`.
-    pub fn sampled_workloads<A: DittoApp>(
-        &self,
-        app: &A,
-        data: &[Tuple],
-        m_pri: u32,
-    ) -> Vec<u64> {
+    pub fn sampled_workloads<A: DittoApp>(&self, app: &A, data: &[Tuple], m_pri: u32) -> Vec<u64> {
         let sampled = sample::sample_fraction(data, self.sample_fraction, self.seed);
         let mut workloads = vec![0u64; m_pri as usize];
         for &t in &sampled {
@@ -152,7 +155,7 @@ mod tests {
         let mut w = vec![100u64; 16];
         w[3] = 300;
         let x = a.recommend_from_workloads(&w, 16);
-        assert!(x >= 1 && x < 15, "x = {x}");
+        assert!((1..15).contains(&x), "x = {x}");
     }
 
     #[test]

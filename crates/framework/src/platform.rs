@@ -101,6 +101,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "wider than the memory interface")]
     fn oversized_tuple_rejected() {
-        let _ = Platform::intel_pac_a10().with_tuple_bytes(128).tuples_per_cycle();
+        let _ = Platform::intel_pac_a10()
+            .with_tuple_bytes(128)
+            .tuples_per_cycle();
     }
 }

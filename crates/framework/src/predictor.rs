@@ -68,7 +68,10 @@ impl StreamSkewPredictor {
 
     /// Observes one window's per-PriPE workload histogram.
     pub fn observe_workloads(&mut self, workloads: &[u64]) {
-        let x = f64::from(self.analyzer.recommend_from_workloads(workloads, self.m_pri));
+        let x = f64::from(
+            self.analyzer
+                .recommend_from_workloads(workloads, self.m_pri),
+        );
         self.observe_requirement(x);
     }
 
@@ -159,7 +162,10 @@ mod tests {
             safe.observe_requirement(x);
         }
         assert!(safe.predict() > tight.predict());
-        assert!(safe.predict() >= 10, "safe predictor must cover the heavy windows");
+        assert!(
+            safe.predict() >= 10,
+            "safe predictor must cover the heavy windows"
+        );
     }
 
     #[test]

@@ -51,14 +51,21 @@ pub fn select_implementation<A: DittoApp>(
     analyzer: &SkewAnalyzer,
 ) -> Implementation {
     let tuning = SystemGenerator::tune(app.ii_pre(), app.ii_pri(), platform);
-    let model = ResourceModel::new(platform.device.clone(), fpga_model::FrequencyModel::calibrated());
+    let model = ResourceModel::new(
+        platform.device.clone(),
+        fpga_model::FrequencyModel::calibrated(),
+    );
     let variants = SystemGenerator::variants(tuning, profile, &model);
     let recommended_x = analyzer.recommend(app, data, tuning.m_pri);
     let (config, estimate) = variants
         .into_iter()
         .find(|(c, _)| c.x_sec >= recommended_x)
         .expect("variant list covers 0..M-1, recommendation is clamped to M-1");
-    Implementation { config, estimate, recommended_x }
+    Implementation {
+        config,
+        estimate,
+        recommended_x,
+    }
 }
 
 #[cfg(test)]

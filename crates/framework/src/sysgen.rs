@@ -29,9 +29,15 @@ impl SystemGenerator {
     ///
     /// Panics if either II is zero.
     pub fn tune(ii_pre: u32, ii_pri: u32, platform: &Platform) -> PipelineTuning {
-        assert!(ii_pre > 0 && ii_pri > 0, "initiation intervals must be nonzero");
+        assert!(
+            ii_pre > 0 && ii_pri > 0,
+            "initiation intervals must be nonzero"
+        );
         let rate = platform.tuples_per_cycle();
-        PipelineTuning { n_pre: rate * ii_pre, m_pri: rate * ii_pri }
+        PipelineTuning {
+            n_pre: rate * ii_pre,
+            m_pri: rate * ii_pri,
+        }
     }
 
     /// Generates the full variant set: `X = 0..M−1` SecPEs ("the system
@@ -94,7 +100,10 @@ mod tests {
 
     #[test]
     fn variants_cover_zero_to_m_minus_one() {
-        let t = PipelineTuning { n_pre: 8, m_pri: 16 };
+        let t = PipelineTuning {
+            n_pre: 8,
+            m_pri: 16,
+        };
         let variants =
             SystemGenerator::variants(t, &AppCostProfile::hll(), &ResourceModel::arria10());
         assert_eq!(variants.len(), 16);

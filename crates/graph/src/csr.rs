@@ -37,7 +37,10 @@ impl Csr {
         let mut counts = vec![0usize; n];
         let mut in_degrees = vec![0u32; n];
         for &(s, d) in edges {
-            assert!((s as usize) < n && (d as usize) < n, "edge ({s},{d}) out of range");
+            assert!(
+                (s as usize) < n && (d as usize) < n,
+                "edge ({s},{d}) out of range"
+            );
             counts[s as usize] += 1;
             in_degrees[d as usize] += 1;
         }
@@ -54,7 +57,11 @@ impl Csr {
             targets[cursor[s as usize]] = d;
             cursor[s as usize] += 1;
         }
-        Csr { offsets, targets, in_degrees }
+        Csr {
+            offsets,
+            targets,
+            in_degrees,
+        }
     }
 
     /// Number of vertices.
@@ -112,9 +119,8 @@ impl Csr {
     /// Iterates over all `(src, dst)` edges in CSR order — the stream the
     /// PR pipeline consumes.
     pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        (0..self.vertex_count()).flat_map(move |v| {
-            self.neighbors(v).iter().map(move |&d| (v as u32, d))
-        })
+        (0..self.vertex_count())
+            .flat_map(move |v| self.neighbors(v).iter().map(move |&d| (v as u32, d)))
     }
 
     /// Builds the undirected closure: every edge `(a, b)` also as `(b, a)`.

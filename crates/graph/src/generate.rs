@@ -22,7 +22,12 @@ pub fn uniform(n: usize, avg_degree: f64, seed: u64) -> Csr {
     let m = (n as f64 * avg_degree).round() as usize;
     let mut rng = Xoshiro256::new(seed);
     let edges: Vec<(u32, u32)> = (0..m)
-        .map(|_| (rng.range_u64(n as u64) as u32, rng.range_u64(n as u64) as u32))
+        .map(|_| {
+            (
+                rng.range_u64(n as u64) as u32,
+                rng.range_u64(n as u64) as u32,
+            )
+        })
         .collect();
     Csr::from_edges(n, &edges)
 }
@@ -80,13 +85,7 @@ pub fn power_law(n: usize, avg_degree: f64, skew: f64, seed: u64) -> Csr {
 /// # Panics
 ///
 /// Same conditions as [`power_law`].
-pub fn power_law_bipolar(
-    n: usize,
-    avg_degree: f64,
-    skew: f64,
-    src_skew: f64,
-    seed: u64,
-) -> Csr {
+pub fn power_law_bipolar(n: usize, avg_degree: f64, skew: f64, src_skew: f64, seed: u64) -> Csr {
     assert!(n > 0, "graph must have vertices");
     assert!(avg_degree >= 0.0, "degree must be non-negative");
     assert!(skew >= 0.0 && src_skew >= 0.0, "skew must be non-negative");
@@ -138,7 +137,10 @@ pub fn power_law_bipolar(
 /// `scale` is 0 or above 30.
 pub fn rmat(scale: u32, avg_degree: f64, a: f64, b: f64, c: f64, seed: u64) -> Csr {
     assert!((1..=30).contains(&scale), "scale must be in 1..=30");
-    assert!(a > 0.0 && b >= 0.0 && c >= 0.0, "probabilities must be positive");
+    assert!(
+        a > 0.0 && b >= 0.0 && c >= 0.0,
+        "probabilities must be positive"
+    );
     assert!(a + b + c < 1.0, "a+b+c must leave room for d");
     let n = 1usize << scale;
     let m = (n as f64 * avg_degree).round() as usize;
@@ -201,8 +203,8 @@ pub fn fig8_suite(scale_down: usize) -> Vec<(String, Csr)> {
         ("rmat-20", 32_768, 20.0, 2.5),
     ];
     for (i, (name, base, deg, skew)) in specs.into_iter().enumerate() {
-        let g = power_law_bipolar(n(base), deg, skew, skew * 0.8, 0x5eed + i as u64)
-            .to_undirected();
+        let g =
+            power_law_bipolar(n(base), deg, skew, skew * 0.8, 0x5eed + i as u64).to_undirected();
         suite.push((name.to_owned(), g));
     }
     suite
@@ -253,7 +255,10 @@ mod tests {
     fn generators_are_deterministic() {
         assert_eq!(uniform(100, 3.0, 7), uniform(100, 3.0, 7));
         assert_eq!(power_law(100, 3.0, 1.0, 7), power_law(100, 3.0, 1.0, 7));
-        assert_eq!(rmat(8, 4.0, 0.5, 0.2, 0.2, 7), rmat(8, 4.0, 0.5, 0.2, 0.2, 7));
+        assert_eq!(
+            rmat(8, 4.0, 0.5, 0.2, 0.2, 7),
+            rmat(8, 4.0, 0.5, 0.2, 0.2, 7)
+        );
     }
 
     #[test]

@@ -29,20 +29,20 @@ pub fn step(g: &Csr, ranks: &[Fixed], damping: f64) -> Vec<Fixed> {
 
     // Dangling mass: vertices with no out-edges donate rank/n to everyone.
     let mut dangling = Fixed::ZERO;
-    for v in 0..n {
+    for (v, &rank) in ranks.iter().enumerate() {
         if g.out_degree(v) == 0 {
-            dangling += ranks[v];
+            dangling += rank;
         }
     }
     let dangling_share = d * dangling / n_fixed;
 
     let mut next = vec![base + dangling_share; n];
-    for v in 0..n {
+    for (v, &rank) in ranks.iter().enumerate() {
         let deg = g.out_degree(v);
         if deg == 0 {
             continue;
         }
-        let contrib = d * ranks[v] / Fixed::from_int(deg as i32);
+        let contrib = d * rank / Fixed::from_int(deg as i32);
         for &t in g.neighbors(v) {
             next[t as usize] += contrib;
         }
@@ -84,7 +84,10 @@ pub fn pagerank(g: &Csr, damping: f64, iterations: usize) -> Vec<Fixed> {
 /// Panics if lengths differ.
 pub fn l1_distance(a: &[Fixed], b: &[Fixed]) -> f64 {
     assert_eq!(a.len(), b.len(), "rank vector size mismatch");
-    a.iter().zip(b).map(|(x, y)| (x.to_f64() - y.to_f64()).abs()).sum()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x.to_f64() - y.to_f64()).abs())
+        .sum()
 }
 
 #[cfg(test)]

@@ -1,156 +1,43 @@
-//! Bounded, latency-aware FIFO channels connecting kernels.
+//! Bounded, latency-aware FIFO channels living in the engine's channel
+//! arena.
 //!
-//! A [`Channel`] models an HLS `cl_channel`: a hardware FIFO with a fixed
+//! A channel models an HLS `cl_channel`: a hardware FIFO with a fixed
 //! capacity (the paper sizes PE input queues at a few hundred entries) and a
-//! visibility latency of at least one cycle, so that a value written in cycle
-//! `c` is readable in `c + latency` at the earliest. Producers observe
-//! backpressure through [`Sender::try_send`] returning [`SendError::Full`].
+//! visibility latency of at least one cycle, so that a value written in
+//! cycle `c` is readable in `c + latency` at the earliest. Producers observe
+//! backpressure through [`SimContext::try_send`](crate::SimContext::try_send)
+//! returning [`SendError::Full`](SendError).
+//!
+//! Unlike the original `Rc<RefCell<…>>` handle design, channels are owned by
+//! the [`Engine`](crate::Engine)'s arena and kernels hold plain-`Copy`
+//! [`SenderId`]/[`ReceiverId`] handles, resolved through the
+//! [`SimContext`](crate::SimContext) passed to every `step`. This removes
+//! all per-access reference counting and interior-mutability checks from the
+//! hot path and makes the whole engine `Send`.
+//!
+//! The arena also provides a *broadcast* channel
+//! ([`BcastSenderId`]/[`BcastReceiverId`]): one producer fanning the same
+//! value out to `R` reader taps, each with its own FIFO view, cursor and
+//! statistics. It behaves exactly like `R` independent channels that happen
+//! to receive identical atomic pushes — which is precisely the combiner's
+//! wide-word duplication in the paper's Fig. 3 — but stores each value once
+//! instead of `R` times.
 
-use std::cell::RefCell;
+use std::any::Any;
 use std::collections::VecDeque;
 use std::fmt;
-use std::rc::Rc;
+use std::marker::PhantomData;
 
 use crate::Cycle;
 
 /// Default visibility latency for newly created channels, in cycles.
 pub const DEFAULT_LATENCY: u64 = 1;
 
-struct Slot<T> {
-    value: T,
-    visible_at: Cycle,
-}
+/// Raw arena index of a channel; obtained from the typed id handles and used
+/// to declare wake subscriptions.
+pub type RawChannelId = u32;
 
-struct Inner<T> {
-    name: String,
-    capacity: usize,
-    latency: u64,
-    queue: VecDeque<Slot<T>>,
-    // -- statistics --
-    pushes: u64,
-    pops: u64,
-    full_stalls: u64,
-    max_occupancy: usize,
-}
-
-impl<T> Inner<T> {
-    fn occupancy(&self) -> usize {
-        self.queue.len()
-    }
-}
-
-/// A bounded FIFO channel with visibility latency, mirroring an HLS
-/// `cl_channel` FIFO between two autorun kernels.
-///
-/// Construct one with [`Channel::new`] (latency 1) or
-/// [`Channel::with_latency`], then split it into endpoint handles with
-/// [`Channel::endpoints`]. Handles are cheaply cloneable and share the same
-/// underlying queue; the simulation is single-threaded, matching the
-/// deterministic clocked hardware it models.
-///
-/// # Example
-///
-/// ```
-/// use hls_sim::Channel;
-///
-/// let ch = Channel::new("tuples", 2);
-/// let (tx, rx) = ch.endpoints();
-/// tx.try_send(0, 7u32).unwrap();
-/// tx.try_send(0, 8u32).unwrap();
-/// assert!(tx.try_send(0, 9u32).is_err()); // capacity 2 -> stall
-/// assert_eq!(rx.try_recv(0), None);       // latency 1: not visible yet
-/// assert_eq!(rx.try_recv(1), Some(7));
-/// ```
-pub struct Channel<T> {
-    inner: Rc<RefCell<Inner<T>>>,
-}
-
-impl<T> Channel<T> {
-    /// Creates a channel with the given debug `name` and `capacity`, using the
-    /// default visibility latency of one cycle.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `capacity` is zero — a zero-capacity FIFO cannot transfer
-    /// data under stall-on-full semantics.
-    pub fn new(name: &str, capacity: usize) -> Self {
-        Self::with_latency(name, capacity, DEFAULT_LATENCY)
-    }
-
-    /// Creates a channel with an explicit visibility `latency` in cycles.
-    ///
-    /// A latency of zero permits same-cycle forwarding (useful for purely
-    /// combinational adapters); hardware FIFOs use at least one.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `capacity` is zero.
-    pub fn with_latency(name: &str, capacity: usize, latency: u64) -> Self {
-        assert!(capacity > 0, "channel {name:?} must have nonzero capacity");
-        Channel {
-            inner: Rc::new(RefCell::new(Inner {
-                name: name.to_owned(),
-                capacity,
-                latency,
-                queue: VecDeque::with_capacity(capacity.min(4096)),
-                pushes: 0,
-                pops: 0,
-                full_stalls: 0,
-                max_occupancy: 0,
-            })),
-        }
-    }
-
-    /// Splits the channel into a `(Sender, Receiver)` pair.
-    ///
-    /// May be called repeatedly; all handles alias the same FIFO.
-    pub fn endpoints(&self) -> (Sender<T>, Receiver<T>) {
-        (self.sender(), self.receiver())
-    }
-
-    /// Returns a producer handle.
-    pub fn sender(&self) -> Sender<T> {
-        Sender { inner: Rc::clone(&self.inner) }
-    }
-
-    /// Returns a consumer handle.
-    pub fn receiver(&self) -> Receiver<T> {
-        Receiver { inner: Rc::clone(&self.inner) }
-    }
-
-    /// Takes a snapshot of the channel's lifetime statistics.
-    pub fn stats(&self) -> ChannelStats {
-        let inner = self.inner.borrow();
-        ChannelStats {
-            name: inner.name.clone(),
-            capacity: inner.capacity,
-            pushes: inner.pushes,
-            pops: inner.pops,
-            full_stalls: inner.full_stalls,
-            max_occupancy: inner.max_occupancy,
-            occupancy: inner.occupancy(),
-        }
-    }
-}
-
-impl<T> Clone for Channel<T> {
-    fn clone(&self) -> Self {
-        Channel { inner: Rc::clone(&self.inner) }
-    }
-}
-
-impl<T> fmt::Debug for Channel<T> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let inner = self.inner.borrow();
-        f.debug_struct("Channel")
-            .field("name", &inner.name)
-            .field("capacity", &inner.capacity)
-            .field("occupancy", &inner.occupancy())
-            .finish()
-    }
-}
-
-/// Error returned by [`Sender::try_send`] when the FIFO is full.
+/// Error returned by a failed send when the FIFO is full.
 ///
 /// Carries the rejected value back to the caller so it can be retried next
 /// cycle without cloning.
@@ -165,130 +52,92 @@ impl<T> fmt::Display for SendError<T> {
 
 impl<T: fmt::Debug> std::error::Error for SendError<T> {}
 
-/// Producer endpoint of a [`Channel`].
-pub struct Sender<T> {
-    inner: Rc<RefCell<Inner<T>>>,
+/// Producer handle of an arena channel. Plain `Copy` data; resolved through
+/// the [`SimContext`](crate::SimContext).
+pub struct SenderId<T> {
+    pub(crate) idx: u32,
+    pub(crate) _marker: PhantomData<fn(T)>,
 }
 
-impl<T> Sender<T> {
-    /// Attempts to push `value` at cycle `cy`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SendError`] holding the value if the FIFO is at capacity;
-    /// the producing kernel should treat that as a pipeline stall and retry
-    /// on a later cycle. Each failed attempt is counted as a *full stall* in
-    /// the channel statistics.
-    pub fn try_send(&self, cy: Cycle, value: T) -> Result<(), SendError<T>> {
-        let mut inner = self.inner.borrow_mut();
-        if inner.queue.len() >= inner.capacity {
-            inner.full_stalls += 1;
-            return Err(SendError(value));
-        }
-        let visible_at = cy + inner.latency;
-        inner.queue.push_back(Slot { value, visible_at });
-        inner.pushes += 1;
-        let occ = inner.occupancy();
-        if occ > inner.max_occupancy {
-            inner.max_occupancy = occ;
-        }
-        Ok(())
-    }
-
-    /// Returns how many more items the FIFO can accept right now.
-    pub fn free_space(&self) -> usize {
-        let inner = self.inner.borrow();
-        inner.capacity - inner.queue.len()
-    }
-
-    /// Returns `true` when at least one item can be pushed.
-    pub fn can_send(&self) -> bool {
-        self.free_space() > 0
-    }
-
-    /// Returns `true` when the FIFO currently holds no items.
-    pub fn is_empty(&self) -> bool {
-        self.inner.borrow().queue.is_empty()
-    }
-
-    /// The channel's debug name.
-    pub fn channel_name(&self) -> String {
-        self.inner.borrow().name.clone()
-    }
+/// Consumer handle of an arena channel.
+pub struct ReceiverId<T> {
+    pub(crate) idx: u32,
+    pub(crate) _marker: PhantomData<fn() -> T>,
 }
 
-impl<T> Clone for Sender<T> {
-    fn clone(&self) -> Self {
-        Sender { inner: Rc::clone(&self.inner) }
-    }
+/// Producer handle of a broadcast channel.
+pub struct BcastSenderId<T> {
+    pub(crate) idx: u32,
+    pub(crate) _marker: PhantomData<fn(T)>,
 }
 
-impl<T> fmt::Debug for Sender<T> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Sender({})", self.inner.borrow().name)
-    }
+/// One reader tap of a broadcast channel.
+pub struct BcastReceiverId<T> {
+    pub(crate) idx: u32,
+    pub(crate) reader: u32,
+    pub(crate) _marker: PhantomData<fn() -> T>,
 }
 
-/// Consumer endpoint of a [`Channel`].
-pub struct Receiver<T> {
-    inner: Rc<RefCell<Inner<T>>>,
-}
-
-impl<T> Receiver<T> {
-    /// Pops the oldest item if one is visible at cycle `cy`.
-    ///
-    /// Returns `None` when the FIFO is empty *or* its head was pushed less
-    /// than `latency` cycles ago.
-    pub fn try_recv(&self, cy: Cycle) -> Option<T> {
-        let mut inner = self.inner.borrow_mut();
-        match inner.queue.front() {
-            Some(slot) if slot.visible_at <= cy => {
-                let slot = inner.queue.pop_front().expect("nonempty");
-                inner.pops += 1;
-                Some(slot.value)
+macro_rules! impl_id_traits {
+    ($name:ident) => {
+        impl<T> Clone for $name<T> {
+            fn clone(&self) -> Self {
+                *self
             }
-            _ => None,
         }
-    }
+        impl<T> Copy for $name<T> {}
+        impl<T> fmt::Debug for $name<T> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.idx)
+            }
+        }
+    };
+}
 
-    /// Returns `true` if an item is visible at cycle `cy`.
-    pub fn can_recv(&self, cy: Cycle) -> bool {
-        let inner = self.inner.borrow();
-        matches!(inner.queue.front(), Some(slot) if slot.visible_at <= cy)
-    }
+impl_id_traits!(SenderId);
+impl_id_traits!(ReceiverId);
+impl_id_traits!(BcastSenderId);
+impl_id_traits!(BcastReceiverId);
 
-    /// Returns `true` when the FIFO holds no items at all (visible or not).
-    pub fn is_empty(&self) -> bool {
-        self.inner.borrow().queue.is_empty()
-    }
-
-    /// Number of items currently buffered (visible or not).
-    pub fn len(&self) -> usize {
-        self.inner.borrow().queue.len()
-    }
-
-    /// The channel's debug name.
-    pub fn channel_name(&self) -> String {
-        self.inner.borrow().name.clone()
+impl<T> SenderId<T> {
+    /// The raw arena index (for wake subscriptions).
+    pub fn raw(&self) -> RawChannelId {
+        self.idx
     }
 }
 
-impl<T> Clone for Receiver<T> {
-    fn clone(&self) -> Self {
-        Receiver { inner: Rc::clone(&self.inner) }
+impl<T> ReceiverId<T> {
+    /// The raw arena index (for wake subscriptions).
+    pub fn raw(&self) -> RawChannelId {
+        self.idx
     }
 }
 
-impl<T> fmt::Debug for Receiver<T> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Receiver({})", self.inner.borrow().name)
+impl<T> BcastSenderId<T> {
+    /// The raw arena index (for wake subscriptions).
+    pub fn raw(&self) -> RawChannelId {
+        self.idx
+    }
+}
+
+impl<T> BcastReceiverId<T> {
+    /// The raw arena index (for wake subscriptions).
+    pub fn raw(&self) -> RawChannelId {
+        self.idx
+    }
+
+    /// This tap's reader index within the broadcast group.
+    pub fn reader(&self) -> u32 {
+        self.reader
     }
 }
 
 /// A point-in-time snapshot of a channel's lifetime statistics.
 ///
-/// Produced by [`Channel::stats`]; used by the experiment harness to report
-/// stall behaviour (e.g. how skew fills a hot PE's queue).
+/// Produced by [`SimContext::channel_stats`](crate::SimContext::channel_stats)
+/// (one entry per plain channel, one per broadcast reader tap); used by the
+/// experiment harness to report stall behaviour (e.g. how skew fills a hot
+/// PE's queue).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChannelStats {
     /// Debug name given at construction.
@@ -314,84 +163,416 @@ impl ChannelStats {
     }
 }
 
+pub(crate) struct QueueSlot<T> {
+    pub(crate) value: T,
+    pub(crate) visible_at: Cycle,
+}
+
+/// Outcome of one broadcast-tap receive attempt (see
+/// [`SimContext::bcast_recv_or_empty`](crate::SimContext::bcast_recv_or_empty)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TapRecv<R> {
+    /// A visible item was consumed; `R` is the closure's result, and
+    /// `tap_now_empty` says whether this tap has anything left buffered —
+    /// letting a consumer park immediately after draining its last item.
+    Got {
+        /// The closure's result.
+        out: R,
+        /// `true` when the tap holds no further items after this pop.
+        tap_now_empty: bool,
+    },
+    /// Items are buffered for this tap but none is visible yet at this
+    /// cycle.
+    NotVisible,
+    /// The tap holds no items at all.
+    Empty,
+}
+
+/// Storage of one plain single-reader channel.
+pub(crate) struct ChannelCore<T> {
+    pub(crate) name: String,
+    pub(crate) capacity: usize,
+    pub(crate) latency: u64,
+    pub(crate) queue: VecDeque<QueueSlot<T>>,
+    pub(crate) pushes: u64,
+    pub(crate) pops: u64,
+    pub(crate) full_stalls: u64,
+    pub(crate) max_occupancy: usize,
+}
+
+impl<T> ChannelCore<T> {
+    pub(crate) fn new(name: &str, capacity: usize, latency: u64) -> Self {
+        assert!(capacity > 0, "channel {name:?} must have nonzero capacity");
+        ChannelCore {
+            name: name.to_owned(),
+            capacity,
+            latency,
+            queue: VecDeque::with_capacity(capacity.min(4096)),
+            pushes: 0,
+            pops: 0,
+            full_stalls: 0,
+            max_occupancy: 0,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn try_send(&mut self, cy: Cycle, value: T) -> Result<(), SendError<T>> {
+        if self.queue.len() >= self.capacity {
+            self.full_stalls += 1;
+            return Err(SendError(value));
+        }
+        self.queue.push_back(QueueSlot {
+            value,
+            visible_at: cy + self.latency,
+        });
+        self.pushes += 1;
+        if self.queue.len() > self.max_occupancy {
+            self.max_occupancy = self.queue.len();
+        }
+        Ok(())
+    }
+
+    #[inline]
+    pub(crate) fn try_recv(&mut self, cy: Cycle) -> Option<T> {
+        match self.queue.front() {
+            Some(slot) if slot.visible_at <= cy => {
+                let slot = self.queue.pop_front().expect("nonempty");
+                self.pops += 1;
+                Some(slot.value)
+            }
+            _ => None,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn can_recv(&self, cy: Cycle) -> bool {
+        matches!(self.queue.front(), Some(slot) if slot.visible_at <= cy)
+    }
+
+    pub(crate) fn stats(&self) -> ChannelStats {
+        ChannelStats {
+            name: self.name.clone(),
+            capacity: self.capacity,
+            pushes: self.pushes,
+            pops: self.pops,
+            full_stalls: self.full_stalls,
+            max_occupancy: self.max_occupancy,
+            occupancy: self.queue.len(),
+        }
+    }
+}
+
+/// Storage of one broadcast channel: a single queue with `R` reader cursors.
+///
+/// Sequence numbers are absolute: the front of `queue` holds sequence
+/// `base_seq`, and reader `r` will next consume sequence `cursors[r]`. An
+/// item is dropped once every cursor has moved past it, so each value is
+/// stored exactly once regardless of the fan-out.
+pub(crate) struct BroadcastCore<T> {
+    pub(crate) name_prefix: String,
+    pub(crate) capacity: usize,
+    pub(crate) latency: u64,
+    pub(crate) queue: VecDeque<QueueSlot<T>>,
+    pub(crate) base_seq: u64,
+    pub(crate) cursors: Vec<u64>,
+    /// Readers whose cursor still equals `base_seq` (fast front-release).
+    pub(crate) front_waiters: u32,
+    pub(crate) pushes: u64,
+    pub(crate) pops: Vec<u64>,
+    pub(crate) full_stalls: u64,
+    pub(crate) max_occupancy: Vec<usize>,
+}
+
+impl<T> BroadcastCore<T> {
+    pub(crate) fn new(name_prefix: &str, readers: usize, capacity: usize, latency: u64) -> Self {
+        assert!(
+            capacity > 0,
+            "broadcast {name_prefix:?} must have nonzero capacity"
+        );
+        assert!(
+            readers > 0,
+            "broadcast {name_prefix:?} needs at least one reader"
+        );
+        BroadcastCore {
+            name_prefix: name_prefix.to_owned(),
+            capacity,
+            latency,
+            queue: VecDeque::with_capacity(capacity.min(4096)),
+            base_seq: 0,
+            cursors: vec![0; readers],
+            front_waiters: readers as u32,
+            pushes: 0,
+            pops: vec![0; readers],
+            full_stalls: 0,
+            max_occupancy: vec![0; readers],
+        }
+    }
+
+    #[inline]
+    fn head_seq(&self) -> u64 {
+        self.base_seq + self.queue.len() as u64
+    }
+
+    /// Occupancy as seen by reader `r` (items pushed, not yet consumed).
+    #[inline]
+    pub(crate) fn occupancy(&self, r: usize) -> usize {
+        (self.head_seq() - self.cursors[r]) as usize
+    }
+
+    /// `true` when every reader tap has room for one more item.
+    ///
+    /// `release_front` keeps `base_seq` equal to the slowest cursor, so the
+    /// fullest tap's occupancy is exactly `queue.len()` — one comparison,
+    /// no cursor scan.
+    #[inline]
+    pub(crate) fn can_send_all(&self) -> bool {
+        self.queue.len() < self.capacity
+    }
+
+    #[inline]
+    pub(crate) fn try_send(&mut self, cy: Cycle, value: T) -> Result<(), SendError<T>> {
+        if !self.can_send_all() {
+            self.full_stalls += 1;
+            return Err(SendError(value));
+        }
+        self.queue.push_back(QueueSlot {
+            value,
+            visible_at: cy + self.latency,
+        });
+        self.pushes += 1;
+        let head = self.head_seq();
+        for (r, &c) in self.cursors.iter().enumerate() {
+            let occ = (head - c) as usize;
+            if occ > self.max_occupancy[r] {
+                self.max_occupancy[r] = occ;
+            }
+        }
+        Ok(())
+    }
+
+    /// Like [`recv_map`](Self::recv_map) but also distinguishes "tap
+    /// completely empty" from "item buffered but not yet visible", in one
+    /// resolution of the arena slot.
+    #[inline]
+    pub(crate) fn recv_or_empty<R>(
+        &mut self,
+        cy: Cycle,
+        r: usize,
+        f: impl FnOnce(&T) -> R,
+    ) -> TapRecv<R> {
+        if self.occupancy(r) == 0 {
+            return TapRecv::Empty;
+        }
+        match self.recv_map(cy, r, f) {
+            Some(out) => TapRecv::Got {
+                out,
+                tap_now_empty: self.occupancy(r) == 0,
+            },
+            None => TapRecv::NotVisible,
+        }
+    }
+
+    /// Applies `f` to the item at reader `r`'s cursor if it is visible at
+    /// `cy`, advancing the cursor.
+    #[inline]
+    pub(crate) fn recv_map<R>(
+        &mut self,
+        cy: Cycle,
+        r: usize,
+        f: impl FnOnce(&T) -> R,
+    ) -> Option<R> {
+        let cursor = self.cursors[r];
+        let offset = (cursor - self.base_seq) as usize;
+        let slot = self.queue.get(offset)?;
+        if slot.visible_at > cy {
+            return None;
+        }
+        let out = f(&slot.value);
+        self.cursors[r] = cursor + 1;
+        self.pops[r] += 1;
+        if cursor == self.base_seq {
+            self.front_waiters -= 1;
+            if self.front_waiters == 0 {
+                self.release_front();
+            }
+        }
+        Some(out)
+    }
+
+    #[inline]
+    pub(crate) fn can_recv(&self, cy: Cycle, r: usize) -> bool {
+        let offset = (self.cursors[r] - self.base_seq) as usize;
+        matches!(self.queue.get(offset), Some(slot) if slot.visible_at <= cy)
+    }
+
+    /// Drops fully-consumed items from the front of the queue. The slowest
+    /// cursor always lands on the new front, so `front_waiters` ends ≥ 1.
+    fn release_front(&mut self) {
+        let min = *self.cursors.iter().min().expect("readers > 0");
+        debug_assert!(min >= self.base_seq);
+        for _ in 0..(min - self.base_seq) as usize {
+            self.queue.pop_front();
+        }
+        self.base_seq = min;
+        self.front_waiters = self.cursors.iter().filter(|&&c| c == min).count() as u32;
+    }
+
+    pub(crate) fn reader_stats(&self, r: usize) -> ChannelStats {
+        ChannelStats {
+            name: format!("{}{}", self.name_prefix, r),
+            capacity: self.capacity,
+            pushes: self.pushes,
+            pops: self.pops[r],
+            full_stalls: self.full_stalls,
+            max_occupancy: self.max_occupancy[r],
+            occupancy: self.occupancy(r),
+        }
+    }
+}
+
+/// Type-erased arena slot: the concrete `ChannelCore<T>`/`BroadcastCore<T>`
+/// behind a plain `dyn Any` (one `TypeId` compare per access, no extra
+/// virtual hop), plus a monomorphised stats reporter.
+pub(crate) struct ArenaSlot {
+    pub(crate) core: Box<dyn Any + Send>,
+    stats_fn: fn(&dyn Any, &mut Vec<ChannelStats>),
+}
+
+impl ArenaSlot {
+    pub(crate) fn plain<T: Send + 'static>(core: ChannelCore<T>) -> Self {
+        fn report<T: Send + 'static>(any: &dyn Any, out: &mut Vec<ChannelStats>) {
+            let core = any.downcast_ref::<ChannelCore<T>>().expect("slot type");
+            out.push(core.stats());
+        }
+        ArenaSlot {
+            core: Box::new(core),
+            stats_fn: report::<T>,
+        }
+    }
+
+    pub(crate) fn broadcast<T: Send + 'static>(core: BroadcastCore<T>) -> Self {
+        fn report<T: Send + 'static>(any: &dyn Any, out: &mut Vec<ChannelStats>) {
+            let core = any.downcast_ref::<BroadcastCore<T>>().expect("slot type");
+            for r in 0..core.cursors.len() {
+                out.push(core.reader_stats(r));
+            }
+        }
+        ArenaSlot {
+            core: Box::new(core),
+            stats_fn: report::<T>,
+        }
+    }
+
+    pub(crate) fn push_stats(&self, out: &mut Vec<ChannelStats>) {
+        (self.stats_fn)(&*self.core, out);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn fifo_order_is_preserved() {
-        let ch = Channel::new("t", 8);
-        let (tx, rx) = ch.endpoints();
+    fn core_fifo_order_is_preserved() {
+        let mut ch = ChannelCore::new("t", 8, DEFAULT_LATENCY);
         for i in 0..5 {
-            tx.try_send(0, i).unwrap();
+            ch.try_send(0, i).unwrap();
         }
         for i in 0..5 {
-            assert_eq!(rx.try_recv(10), Some(i));
+            assert_eq!(ch.try_recv(10), Some(i));
         }
-        assert_eq!(rx.try_recv(10), None);
+        assert_eq!(ch.try_recv(10), None);
     }
 
     #[test]
-    fn latency_hides_fresh_items() {
-        let ch = Channel::with_latency("t", 4, 3);
-        let (tx, rx) = ch.endpoints();
-        tx.try_send(5, 42).unwrap();
-        assert_eq!(rx.try_recv(5), None);
-        assert_eq!(rx.try_recv(7), None);
-        assert!(!rx.can_recv(7));
-        assert_eq!(rx.try_recv(8), Some(42));
+    fn core_latency_hides_fresh_items() {
+        let mut ch = ChannelCore::new("t", 4, 3);
+        ch.try_send(5, 42).unwrap();
+        assert_eq!(ch.try_recv(5), None);
+        assert_eq!(ch.try_recv(7), None);
+        assert!(!ch.can_recv(7));
+        assert_eq!(ch.try_recv(8), Some(42));
     }
 
     #[test]
-    fn zero_latency_allows_same_cycle_forwarding() {
-        let ch = Channel::with_latency("t", 4, 0);
-        let (tx, rx) = ch.endpoints();
-        tx.try_send(9, 1).unwrap();
-        assert_eq!(rx.try_recv(9), Some(1));
-    }
-
-    #[test]
-    fn full_channel_rejects_and_counts_stalls() {
-        let ch = Channel::new("t", 2);
-        let (tx, _rx) = ch.endpoints();
-        tx.try_send(0, 'a').unwrap();
-        tx.try_send(0, 'b').unwrap();
-        assert_eq!(tx.try_send(0, 'c'), Err(SendError('c')));
-        assert_eq!(tx.try_send(0, 'd'), Err(SendError('d')));
+    fn core_full_channel_rejects_and_counts_stalls() {
+        let mut ch = ChannelCore::new("t", 2, 1);
+        ch.try_send(0, 'a').unwrap();
+        ch.try_send(0, 'b').unwrap();
+        assert_eq!(ch.try_send(0, 'c'), Err(SendError('c')));
+        assert_eq!(ch.try_send(0, 'd'), Err(SendError('d')));
         let st = ch.stats();
         assert_eq!(st.full_stalls, 2);
         assert_eq!(st.pushes, 2);
         assert_eq!(st.max_occupancy, 2);
-    }
-
-    #[test]
-    fn stats_track_in_flight() {
-        let ch = Channel::new("t", 8);
-        let (tx, rx) = ch.endpoints();
-        for i in 0..6 {
-            tx.try_send(0, i).unwrap();
-        }
-        for _ in 0..2 {
-            rx.try_recv(1).unwrap();
-        }
-        let st = ch.stats();
-        assert_eq!(st.in_flight(), 4);
-        assert_eq!(st.occupancy, 4);
-    }
-
-    #[test]
-    fn capacity_frees_after_pop() {
-        let ch = Channel::new("t", 1);
-        let (tx, rx) = ch.endpoints();
-        tx.try_send(0, 1).unwrap();
-        assert!(tx.try_send(0, 2).is_err());
-        assert_eq!(rx.try_recv(1), Some(1));
-        assert!(tx.try_send(1, 2).is_ok());
+        assert_eq!(st.in_flight(), 2);
     }
 
     #[test]
     #[should_panic(expected = "nonzero capacity")]
-    fn zero_capacity_panics() {
-        let _ = Channel::<u8>::new("bad", 0);
+    fn core_zero_capacity_panics() {
+        let _ = ChannelCore::<u8>::new("bad", 0, 1);
+    }
+
+    #[test]
+    fn broadcast_readers_see_every_item_once() {
+        let mut b = BroadcastCore::new("w", 3, 4, 1);
+        b.try_send(0, 7u32).unwrap();
+        b.try_send(0, 8u32).unwrap();
+        for r in 0..3 {
+            assert_eq!(b.recv_map(5, r, |&v| v), Some(7));
+            assert_eq!(b.recv_map(5, r, |&v| v), Some(8));
+            assert_eq!(b.recv_map(5, r, |&v| v), None);
+        }
+        assert_eq!(b.queue.len(), 0, "fully consumed items are released");
+        assert_eq!(b.pushes, 2);
+        assert_eq!(b.pops, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn broadcast_slowest_reader_gates_capacity() {
+        let mut b = BroadcastCore::new("w", 2, 2, 1);
+        b.try_send(0, 1u8).unwrap();
+        b.try_send(0, 2u8).unwrap();
+        // Reader 0 drains fully; reader 1 does not move.
+        assert_eq!(b.recv_map(3, 0, |&v| v), Some(1));
+        assert_eq!(b.recv_map(3, 0, |&v| v), Some(2));
+        assert!(!b.can_send_all(), "reader 1 still at capacity");
+        assert!(b.try_send(3, 3u8).is_err());
+        assert_eq!(b.full_stalls, 1);
+        // Reader 1 frees one slot.
+        assert_eq!(b.recv_map(4, 1, |&v| v), Some(1));
+        assert!(b.can_send_all());
+        b.try_send(4, 3u8).unwrap();
+        assert_eq!(b.occupancy(0), 1);
+        assert_eq!(b.occupancy(1), 2);
+    }
+
+    #[test]
+    fn broadcast_latency_applies_per_item() {
+        let mut b = BroadcastCore::new("w", 2, 4, 2);
+        b.try_send(10, 5u8).unwrap();
+        assert!(!b.can_recv(11, 0));
+        assert_eq!(b.recv_map(11, 0, |&v| v), None);
+        assert_eq!(b.recv_map(12, 0, |&v| v), Some(5));
+    }
+
+    #[test]
+    fn broadcast_per_reader_stats() {
+        let mut b = BroadcastCore::new("word", 2, 8, 1);
+        b.try_send(0, 1u8).unwrap();
+        b.try_send(0, 2u8).unwrap();
+        b.recv_map(5, 0, |_| ()).unwrap();
+        let s0 = b.reader_stats(0);
+        let s1 = b.reader_stats(1);
+        assert_eq!(s0.name, "word0");
+        assert_eq!(s1.name, "word1");
+        assert_eq!(s0.pushes, 2);
+        assert_eq!(s1.pushes, 2);
+        assert_eq!(s0.pops, 1);
+        assert_eq!(s1.pops, 0);
+        assert_eq!(s0.occupancy, 1);
+        assert_eq!(s1.occupancy, 2);
+        assert_eq!(s0.max_occupancy, 2);
     }
 }

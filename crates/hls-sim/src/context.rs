@@ -1,0 +1,378 @@
+//! The [`SimContext`]: the engine-owned channel arena plus the wake-flag
+//! plumbing of the idle-set scheduler.
+
+use crate::channel::{ArenaSlot, BroadcastCore, ChannelCore};
+use crate::{
+    BcastReceiverId, BcastSenderId, ChannelStats, Cycle, RawChannelId, ReceiverId, SendError,
+    SenderId,
+};
+
+/// Wake subscribers of one channel event, compact in the (overwhelmingly
+/// common) zero/one-subscriber cases so firing an event is branch + store,
+/// not a heap walk.
+#[derive(Debug, Clone, Default)]
+pub(crate) enum Subscribers {
+    #[default]
+    None,
+    One(u32),
+    Many(Vec<u32>),
+}
+
+impl Subscribers {
+    fn add(&mut self, kernel: u32) {
+        match self {
+            Subscribers::None => *self = Subscribers::One(kernel),
+            Subscribers::One(first) => *self = Subscribers::Many(vec![*first, kernel]),
+            Subscribers::Many(v) => v.push(kernel),
+        }
+    }
+}
+
+/// Owns every channel of a simulation and resolves the typed id handles
+/// kernels hold.
+///
+/// A `&mut SimContext` is passed to every [`Kernel::step`](crate::Kernel::step);
+/// all sends and receives go through it. Successful sends and pops also mark
+/// the subscribed kernels' wake flags, which is how sleeping kernels are
+/// re-activated.
+pub struct SimContext {
+    channels: Vec<ArenaSlot>,
+    /// Kernels to wake when a value is pushed into channel `c`.
+    on_push: Vec<Subscribers>,
+    /// Kernels to wake when a value is popped from channel `c`.
+    on_pop: Vec<Subscribers>,
+    /// Per-kernel wake flags (`true` = step this kernel).
+    pub(crate) wake: Vec<bool>,
+    /// Kernel currently stepping (wakes targeting it are deferred to the
+    /// sleep decision instead of the flag array).
+    pub(crate) current_kernel: u32,
+    /// Set when the currently stepping kernel triggered its own wake.
+    pub(crate) self_woken: bool,
+}
+
+impl SimContext {
+    pub(crate) fn new() -> Self {
+        SimContext {
+            channels: Vec::new(),
+            on_push: Vec::new(),
+            on_pop: Vec::new(),
+            wake: Vec::new(),
+            current_kernel: u32::MAX,
+            self_woken: false,
+        }
+    }
+
+    pub(crate) fn add_channel(&mut self, ch: ArenaSlot) -> RawChannelId {
+        let id = self.channels.len() as RawChannelId;
+        self.channels.push(ch);
+        self.on_push.push(Subscribers::None);
+        self.on_pop.push(Subscribers::None);
+        id
+    }
+
+    pub(crate) fn subscribe_push(&mut self, ch: RawChannelId, kernel: u32) {
+        assert!(
+            (ch as usize) < self.channels.len(),
+            "wake subscription references unknown channel {ch}"
+        );
+        self.on_push[ch as usize].add(kernel);
+    }
+
+    pub(crate) fn subscribe_pop(&mut self, ch: RawChannelId, kernel: u32) {
+        assert!(
+            (ch as usize) < self.channels.len(),
+            "wake subscription references unknown channel {ch}"
+        );
+        self.on_pop[ch as usize].add(kernel);
+    }
+
+    #[inline]
+    fn chan<T: Send + 'static>(&self, idx: u32) -> &ChannelCore<T> {
+        self.channels[idx as usize]
+            .core
+            .downcast_ref::<ChannelCore<T>>()
+            .expect("channel id used with mismatched payload type")
+    }
+
+    #[inline]
+    fn chan_mut<T: Send + 'static>(&mut self, idx: u32) -> &mut ChannelCore<T> {
+        self.channels[idx as usize]
+            .core
+            .downcast_mut::<ChannelCore<T>>()
+            .expect("channel id used with mismatched payload type")
+    }
+
+    #[inline]
+    fn bcast<T: Send + 'static>(&self, idx: u32) -> &BroadcastCore<T> {
+        self.channels[idx as usize]
+            .core
+            .downcast_ref::<BroadcastCore<T>>()
+            .expect("broadcast id used with mismatched payload type")
+    }
+
+    #[inline]
+    fn bcast_mut<T: Send + 'static>(&mut self, idx: u32) -> &mut BroadcastCore<T> {
+        self.channels[idx as usize]
+            .core
+            .downcast_mut::<BroadcastCore<T>>()
+            .expect("broadcast id used with mismatched payload type")
+    }
+
+    #[inline]
+    fn fire(
+        on_event: &[Subscribers],
+        idx: u32,
+        wake: &mut [bool],
+        current: u32,
+        self_woken: &mut bool,
+    ) {
+        let mut one = |k: u32| {
+            if k == current {
+                *self_woken = true;
+            } else {
+                wake[k as usize] = true;
+            }
+        };
+        match &on_event[idx as usize] {
+            Subscribers::None => {}
+            Subscribers::One(k) => one(*k),
+            Subscribers::Many(v) => v.iter().for_each(|&k| one(k)),
+        }
+    }
+
+    // ---- plain channels -------------------------------------------------
+
+    /// Attempts to push `value` at cycle `cy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] holding the value if the FIFO is at capacity;
+    /// the producing kernel should treat that as a pipeline stall and retry
+    /// on a later cycle. Each failed attempt is counted as a *full stall* in
+    /// the channel statistics.
+    #[inline]
+    pub fn try_send<T: Send + 'static>(
+        &mut self,
+        cy: Cycle,
+        tx: SenderId<T>,
+        value: T,
+    ) -> Result<(), SendError<T>> {
+        let result = self.chan_mut::<T>(tx.idx).try_send(cy, value);
+        if result.is_ok() {
+            Self::fire(
+                &self.on_push,
+                tx.idx,
+                &mut self.wake,
+                self.current_kernel,
+                &mut self.self_woken,
+            );
+        }
+        result
+    }
+
+    /// Pops the oldest item if one is visible at cycle `cy`.
+    ///
+    /// Returns `None` when the FIFO is empty *or* its head was pushed less
+    /// than `latency` cycles ago.
+    #[inline]
+    pub fn try_recv<T: Send + 'static>(&mut self, cy: Cycle, rx: ReceiverId<T>) -> Option<T> {
+        let result = self.chan_mut::<T>(rx.idx).try_recv(cy);
+        if result.is_some() {
+            Self::fire(
+                &self.on_pop,
+                rx.idx,
+                &mut self.wake,
+                self.current_kernel,
+                &mut self.self_woken,
+            );
+        }
+        result
+    }
+
+    /// Returns `true` when at least one item can be pushed through `tx`.
+    #[inline]
+    pub fn can_send<T: Send + 'static>(&self, tx: SenderId<T>) -> bool {
+        let ch = self.chan::<T>(tx.idx);
+        ch.queue.len() < ch.capacity
+    }
+
+    /// How many more items the FIFO behind `tx` can accept right now.
+    #[inline]
+    pub fn free_space<T: Send + 'static>(&self, tx: SenderId<T>) -> usize {
+        let ch = self.chan::<T>(tx.idx);
+        ch.capacity - ch.queue.len()
+    }
+
+    /// Returns `true` if an item is visible to `rx` at cycle `cy`.
+    #[inline]
+    pub fn can_recv<T: Send + 'static>(&self, cy: Cycle, rx: ReceiverId<T>) -> bool {
+        self.chan::<T>(rx.idx).can_recv(cy)
+    }
+
+    /// Returns `true` when the FIFO holds no items at all (visible or not).
+    #[inline]
+    pub fn is_empty<T: Send + 'static>(&self, rx: ReceiverId<T>) -> bool {
+        self.chan::<T>(rx.idx).queue.is_empty()
+    }
+
+    /// Number of items currently buffered behind `rx` (visible or not).
+    #[inline]
+    pub fn len<T: Send + 'static>(&self, rx: ReceiverId<T>) -> usize {
+        self.chan::<T>(rx.idx).queue.len()
+    }
+
+    /// Returns `true` when the FIFO behind `tx` holds no items.
+    #[inline]
+    pub fn send_side_empty<T: Send + 'static>(&self, tx: SenderId<T>) -> bool {
+        self.chan::<T>(tx.idx).queue.is_empty()
+    }
+
+    // ---- broadcast channels --------------------------------------------
+
+    /// Attempts to broadcast `value` to every reader tap at cycle `cy`.
+    ///
+    /// The push is atomic: it succeeds only when *every* tap has room
+    /// (mirroring the combiner's all-datapaths gate), and the value is
+    /// stored once regardless of fan-out.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] holding the value when some tap is at capacity;
+    /// the attempt is counted as a full stall.
+    #[inline]
+    pub fn bcast_try_send<T: Send + 'static>(
+        &mut self,
+        cy: Cycle,
+        tx: BcastSenderId<T>,
+        value: T,
+    ) -> Result<(), SendError<T>> {
+        let result = self.bcast_mut::<T>(tx.idx).try_send(cy, value);
+        if result.is_ok() {
+            Self::fire(
+                &self.on_push,
+                tx.idx,
+                &mut self.wake,
+                self.current_kernel,
+                &mut self.self_woken,
+            );
+        }
+        result
+    }
+
+    /// Returns `true` when every reader tap can accept one more item.
+    #[inline]
+    pub fn bcast_can_send<T: Send + 'static>(&self, tx: BcastSenderId<T>) -> bool {
+        self.bcast::<T>(tx.idx).can_send_all()
+    }
+
+    /// Applies `f` to the oldest unconsumed item of this reader tap if one
+    /// is visible at `cy`, consuming it (for this tap only).
+    ///
+    /// The item is passed by reference because other taps may still need
+    /// it; clone out whatever must outlive the call.
+    #[inline]
+    pub fn bcast_recv_map<T: Send + 'static, R>(
+        &mut self,
+        cy: Cycle,
+        rx: BcastReceiverId<T>,
+        f: impl FnOnce(&T) -> R,
+    ) -> Option<R> {
+        let result = self
+            .bcast_mut::<T>(rx.idx)
+            .recv_map(cy, rx.reader as usize, f);
+        if result.is_some() {
+            Self::fire(
+                &self.on_pop,
+                rx.idx,
+                &mut self.wake,
+                self.current_kernel,
+                &mut self.self_woken,
+            );
+        }
+        result
+    }
+
+    /// Combined receive: consumes and maps the tap's next visible item like
+    /// [`bcast_recv_map`](Self::bcast_recv_map), additionally reporting
+    /// whether the tap is completely empty when nothing was visible — one
+    /// arena resolution instead of two for the common consume-or-park
+    /// kernel pattern.
+    #[inline]
+    pub fn bcast_recv_or_empty<T: Send + 'static, R>(
+        &mut self,
+        cy: Cycle,
+        rx: BcastReceiverId<T>,
+        f: impl FnOnce(&T) -> R,
+    ) -> crate::TapRecv<R> {
+        let result = self
+            .bcast_mut::<T>(rx.idx)
+            .recv_or_empty(cy, rx.reader as usize, f);
+        if matches!(result, crate::TapRecv::Got { .. }) {
+            Self::fire(
+                &self.on_pop,
+                rx.idx,
+                &mut self.wake,
+                self.current_kernel,
+                &mut self.self_woken,
+            );
+        }
+        result
+    }
+
+    /// Returns `true` if this tap has a visible item at cycle `cy`.
+    #[inline]
+    pub fn bcast_can_recv<T: Send + 'static>(&self, cy: Cycle, rx: BcastReceiverId<T>) -> bool {
+        self.bcast::<T>(rx.idx).can_recv(cy, rx.reader as usize)
+    }
+
+    /// Returns `true` when this tap has no items at all (visible or not).
+    #[inline]
+    pub fn bcast_is_empty<T: Send + 'static>(&self, rx: BcastReceiverId<T>) -> bool {
+        self.bcast::<T>(rx.idx).occupancy(rx.reader as usize) == 0
+    }
+
+    /// Number of items buffered for this tap (visible or not).
+    #[inline]
+    pub fn bcast_len<T: Send + 'static>(&self, rx: BcastReceiverId<T>) -> usize {
+        self.bcast::<T>(rx.idx).occupancy(rx.reader as usize)
+    }
+
+    // ---- explicit wakes -------------------------------------------------
+
+    /// Wakes kernel `kernel` (a [`KernelId`](crate::KernelId) from
+    /// [`Engine::add_kernel`](crate::Engine::add_kernel)).
+    ///
+    /// For protocol kernels whose inputs are side-band shared state rather
+    /// than channels (the §IV-B drain/merge/requeue signals): the kernel
+    /// driving the protocol wakes the affected kernels in the same cycle it
+    /// mutates the shared state, so they may sleep in their quiescent
+    /// phases without missing a transition.
+    #[inline]
+    pub fn wake_kernel(&mut self, kernel: u32) {
+        if kernel == self.current_kernel {
+            self.self_woken = true;
+        } else {
+            self.wake[kernel as usize] = true;
+        }
+    }
+
+    // ---- statistics -----------------------------------------------------
+
+    /// Snapshots every channel's lifetime statistics, in creation order;
+    /// broadcast channels contribute one entry per reader tap.
+    pub fn channel_stats(&self) -> Vec<ChannelStats> {
+        let mut out = Vec::with_capacity(self.channels.len());
+        for ch in &self.channels {
+            ch.push_stats(&mut out);
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for SimContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimContext")
+            .field("channels", &self.channels.len())
+            .finish()
+    }
+}

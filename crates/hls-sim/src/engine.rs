@@ -1,6 +1,11 @@
 //! The clocked simulation [`Engine`].
 
-use crate::{Cycle, Kernel};
+use crate::channel::{ArenaSlot, BroadcastCore, ChannelCore};
+use crate::{
+    BcastReceiverId, BcastSenderId, ChannelStats, Cycle, Kernel, KernelId, Progress, ReceiverId,
+    SenderId, SimContext, DEFAULT_LATENCY,
+};
+use std::marker::PhantomData;
 
 /// Number of consecutive all-idle cycles required before
 /// [`Engine::run_until_quiescent`] declares the pipeline drained. Channels
@@ -9,33 +14,169 @@ const QUIESCENT_SETTLE_CYCLES: u64 = 8;
 
 /// Deterministic single-clock simulation engine.
 ///
-/// Owns a set of [`Kernel`]s and steps each of them once per cycle, in
-/// registration order. There is no other scheduling policy: the combination
-/// of per-cycle stepping and bounded channels is what models a synchronous
-/// FPGA pipeline with backpressure.
+/// Owns the channel arena (see [`SimContext`]) and a set of [`Kernel`]s, and
+/// steps each *active* kernel once per cycle, in registration order. Kernels
+/// that report [`Progress::Sleep`] are skipped until a subscribed channel
+/// event wakes them — the idle-set scheduler. Because a sleeping kernel's
+/// step is by contract a no-op, the schedule is observationally identical to
+/// stepping every kernel every cycle (the original engine's behaviour), just
+/// cheaper on mostly-quiescent pipelines.
+///
+/// The engine is `Send`: scenario sweeps can run one engine per thread.
 ///
 /// # Example
 ///
 /// See the [crate-level example](crate) for a complete two-kernel pipeline.
 pub struct Engine {
     kernels: Vec<Box<dyn Kernel>>,
+    ctx: SimContext,
+    /// Indices of quiescence-gate kernels (sources), checked before the
+    /// full idle scan.
+    gates: Vec<u32>,
     cycle: Cycle,
+    /// Total kernel step calls executed (diagnostic: `steps / (cycles *
+    /// kernels)` is the fraction of the naive step-everyone schedule the
+    /// idle-set scheduler actually ran).
+    steps_executed: u64,
 }
 
 impl Engine {
     /// Creates an empty engine at cycle zero.
     pub fn new() -> Self {
-        Engine { kernels: Vec::new(), cycle: 0 }
+        Engine {
+            kernels: Vec::new(),
+            ctx: SimContext::new(),
+            gates: Vec::new(),
+            cycle: 0,
+            steps_executed: 0,
+        }
     }
 
-    /// Registers a kernel; kernels are stepped in registration order.
-    pub fn add_kernel<K: Kernel + 'static>(&mut self, kernel: K) {
-        self.kernels.push(Box::new(kernel));
+    /// Total kernel step calls executed so far (see the field docs).
+    pub fn steps_executed(&self) -> u64 {
+        self.steps_executed
     }
 
-    /// Registers an already-boxed kernel.
-    pub fn add_boxed(&mut self, kernel: Box<dyn Kernel>) {
+    /// Creates a channel with the given debug `name` and `capacity`, using
+    /// the default visibility latency of one cycle, and returns its typed
+    /// endpoint handles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — a zero-capacity FIFO cannot transfer
+    /// data under stall-on-full semantics.
+    pub fn channel<T: Send + 'static>(
+        &mut self,
+        name: &str,
+        capacity: usize,
+    ) -> (SenderId<T>, ReceiverId<T>) {
+        self.channel_with_latency(name, capacity, DEFAULT_LATENCY)
+    }
+
+    /// Creates a channel with an explicit visibility `latency` in cycles.
+    ///
+    /// A latency of zero permits same-cycle forwarding (useful for purely
+    /// combinational adapters); hardware FIFOs use at least one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn channel_with_latency<T: Send + 'static>(
+        &mut self,
+        name: &str,
+        capacity: usize,
+        latency: u64,
+    ) -> (SenderId<T>, ReceiverId<T>) {
+        let idx = self.ctx.add_channel(ArenaSlot::plain(ChannelCore::<T>::new(
+            name, capacity, latency,
+        )));
+        (
+            SenderId {
+                idx,
+                _marker: PhantomData,
+            },
+            ReceiverId {
+                idx,
+                _marker: PhantomData,
+            },
+        )
+    }
+
+    /// Creates a broadcast channel fanning each pushed value out to
+    /// `readers` taps (each a FIFO view named `{prefix}{reader}` with its
+    /// own `capacity` and statistics), with the default latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `readers` is zero.
+    pub fn broadcast_channel<T: Send + 'static>(
+        &mut self,
+        name_prefix: &str,
+        readers: usize,
+        capacity: usize,
+    ) -> (BcastSenderId<T>, Vec<BcastReceiverId<T>>) {
+        self.broadcast_channel_with_latency(name_prefix, readers, capacity, DEFAULT_LATENCY)
+    }
+
+    /// [`broadcast_channel`](Self::broadcast_channel) with an explicit
+    /// visibility latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `readers` is zero.
+    pub fn broadcast_channel_with_latency<T: Send + 'static>(
+        &mut self,
+        name_prefix: &str,
+        readers: usize,
+        capacity: usize,
+        latency: u64,
+    ) -> (BcastSenderId<T>, Vec<BcastReceiverId<T>>) {
+        let idx = self
+            .ctx
+            .add_channel(ArenaSlot::broadcast(BroadcastCore::<T>::new(
+                name_prefix,
+                readers,
+                capacity,
+                latency,
+            )));
+        let tx = BcastSenderId {
+            idx,
+            _marker: PhantomData,
+        };
+        let rxs = (0..readers as u32)
+            .map(|reader| BcastReceiverId {
+                idx,
+                reader,
+                _marker: PhantomData,
+            })
+            .collect();
+        (tx, rxs)
+    }
+
+    /// Registers a kernel; kernels are stepped in registration order. The
+    /// kernel's [`wake_set`](Kernel::wake_set) is recorded for the idle-set
+    /// scheduler, and the kernel starts awake. Returns the kernel's id,
+    /// usable with [`SimContext::wake_kernel`].
+    pub fn add_kernel<K: Kernel + 'static>(&mut self, kernel: K) -> KernelId {
+        self.add_boxed(Box::new(kernel))
+    }
+
+    /// Registers an already-boxed kernel, returning its id.
+    pub fn add_boxed(&mut self, kernel: Box<dyn Kernel>) -> KernelId {
+        let idx = self.kernels.len() as u32;
+        let ws = kernel.wake_set();
+        for ch in ws.on_push {
+            self.ctx.subscribe_push(ch, idx);
+        }
+        for ch in ws.on_pop {
+            self.ctx.subscribe_pop(ch, idx);
+        }
+        self.ctx.wake.push(true);
+        if kernel.is_quiescence_gate() {
+            self.gates.push(idx);
+        }
         self.kernels.push(kernel);
+        idx
     }
 
     /// The current cycle (the next one to be executed).
@@ -48,12 +189,54 @@ impl Engine {
         self.kernels.len()
     }
 
-    /// Executes exactly one clock cycle.
+    /// Number of kernels currently awake (not parked by the idle-set
+    /// scheduler).
+    pub fn active_kernels(&self) -> usize {
+        self.ctx.wake.iter().filter(|&&w| w).count()
+    }
+
+    /// Read access to the channel arena (statistics, post-run inspection).
+    pub fn context(&self) -> &SimContext {
+        &self.ctx
+    }
+
+    /// Mutable access to the channel arena — used by tests and harness code
+    /// that drives channels directly, outside any kernel.
+    pub fn context_mut(&mut self) -> &mut SimContext {
+        &mut self.ctx
+    }
+
+    /// Snapshots every channel's statistics (see
+    /// [`SimContext::channel_stats`]).
+    pub fn channel_stats(&self) -> Vec<ChannelStats> {
+        self.ctx.channel_stats()
+    }
+
+    /// Executes exactly one clock cycle: every awake kernel steps once, in
+    /// registration order.
     pub fn step(&mut self) {
         let cy = self.cycle;
-        for k in &mut self.kernels {
-            k.step(cy);
+        let Engine {
+            kernels,
+            ctx,
+            steps_executed,
+            ..
+        } = self;
+        for (i, kernel) in kernels.iter_mut().enumerate() {
+            if !ctx.wake[i] {
+                continue;
+            }
+            *steps_executed += 1;
+            ctx.current_kernel = i as u32;
+            ctx.self_woken = false;
+            if kernel.step(cy, ctx) == Progress::Sleep {
+                // Park unless the kernel's own step triggered one of its
+                // wake events (self-loop); the next subscribed event or
+                // explicit wake re-activates it.
+                ctx.wake[i] = ctx.self_woken;
+            }
         }
+        self.ctx.current_kernel = u32::MAX;
         self.cycle += 1;
     }
 
@@ -74,10 +257,41 @@ impl Engine {
         while self.cycle - start < max_cycles {
             self.step();
             if done() {
-                return RunReport { cycles: self.cycle - start, completed: true };
+                return RunReport {
+                    cycles: self.cycle - start,
+                    completed: true,
+                };
             }
         }
-        RunReport { cycles: self.cycle - start, completed: false }
+        RunReport {
+            cycles: self.cycle - start,
+            completed: false,
+        }
+    }
+
+    /// `true` when every *awake* kernel reports idle. Sleeping kernels are
+    /// skipped: their idle status is frozen while they sleep, and the
+    /// settling confirmation re-checks them before completion is declared.
+    fn active_all_idle(&self) -> bool {
+        self.kernels
+            .iter()
+            .zip(&self.ctx.wake)
+            .all(|(k, &awake)| !awake || k.is_idle(&self.ctx))
+    }
+
+    /// Full-population idle check used to confirm a completed settling
+    /// window. Wakes any sleeping non-idle kernel it finds (so a stalled
+    /// producer parked on backpressure gets to retry rather than deadlock
+    /// the check).
+    fn confirm_all_idle(&mut self) -> bool {
+        let mut all = true;
+        for i in 0..self.kernels.len() {
+            if !self.kernels[i].is_idle(&self.ctx) {
+                self.ctx.wake[i] = true;
+                all = false;
+            }
+        }
+        all
     }
 
     /// Runs until every kernel reports [`Kernel::is_idle`] for a settling
@@ -86,21 +300,40 @@ impl Engine {
     /// This is the standard way to drain a pipeline at end of input: sources
     /// become idle once exhausted, intermediate kernels once their queues are
     /// empty, and the settling window covers channel visibility latency.
+    ///
+    /// The per-cycle check only consults awake kernels (the active set); the
+    /// full population is re-confirmed once when the settling window
+    /// completes.
     pub fn run_until_quiescent(&mut self, max_cycles: u64) -> RunReport {
         let start = self.cycle;
         let mut idle_streak = 0u64;
         while self.cycle - start < max_cycles {
             self.step();
-            if self.kernels.iter().all(|k| k.is_idle()) {
+            // Gate filter: while any source still has data, the pipeline
+            // cannot be quiescent — skip the full scan.
+            let gates_idle = self
+                .gates
+                .iter()
+                .all(|&g| self.kernels[g as usize].is_idle(&self.ctx));
+            if gates_idle && self.active_all_idle() {
                 idle_streak += 1;
                 if idle_streak >= QUIESCENT_SETTLE_CYCLES {
-                    return RunReport { cycles: self.cycle - start, completed: true };
+                    if self.confirm_all_idle() {
+                        return RunReport {
+                            cycles: self.cycle - start,
+                            completed: true,
+                        };
+                    }
+                    idle_streak = 0;
                 }
             } else {
                 idle_streak = 0;
             }
         }
-        RunReport { cycles: self.cycle - start, completed: false }
+        RunReport {
+            cycles: self.cycle - start,
+            completed: false,
+        }
     }
 
     /// Names of all registered kernels, in step order.
@@ -136,33 +369,36 @@ pub struct RunReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::Cell;
-    use std::rc::Rc;
+    use crate::Counter;
 
     struct CountTo {
         n: u64,
-        hits: Rc<Cell<u64>>,
+        hits: Counter,
     }
 
     impl Kernel for CountTo {
         fn name(&self) -> &str {
             "count"
         }
-        fn step(&mut self, _cy: Cycle) {
+        fn step(&mut self, _cy: Cycle, _ctx: &mut SimContext) -> Progress {
             if self.hits.get() < self.n {
-                self.hits.set(self.hits.get() + 1);
+                self.hits.incr();
             }
+            Progress::Busy
         }
-        fn is_idle(&self) -> bool {
+        fn is_idle(&self, _ctx: &SimContext) -> bool {
             self.hits.get() >= self.n
         }
     }
 
     #[test]
     fn run_until_stops_on_condition() {
-        let hits = Rc::new(Cell::new(0));
+        let hits = Counter::new();
         let mut e = Engine::new();
-        e.add_kernel(CountTo { n: 5, hits: hits.clone() });
+        e.add_kernel(CountTo {
+            n: 5,
+            hits: hits.clone(),
+        });
         let hits2 = hits.clone();
         let rep = e.run_until(100, move || hits2.get() == 5);
         assert!(rep.completed);
@@ -172,9 +408,11 @@ mod tests {
 
     #[test]
     fn run_until_times_out() {
-        let hits = Rc::new(Cell::new(0));
         let mut e = Engine::new();
-        e.add_kernel(CountTo { n: u64::MAX, hits });
+        e.add_kernel(CountTo {
+            n: u64::MAX,
+            hits: Counter::new(),
+        });
         let rep = e.run_until(10, || false);
         assert!(!rep.completed);
         assert_eq!(rep.cycles, 10);
@@ -182,9 +420,11 @@ mod tests {
 
     #[test]
     fn quiescence_requires_settle_window() {
-        let hits = Rc::new(Cell::new(0));
         let mut e = Engine::new();
-        e.add_kernel(CountTo { n: 3, hits });
+        e.add_kernel(CountTo {
+            n: 3,
+            hits: Counter::new(),
+        });
         let rep = e.run_until_quiescent(100);
         assert!(rep.completed);
         // Two fully busy cycles; the third cycle (where the kernel turns
@@ -195,24 +435,148 @@ mod tests {
     #[test]
     fn step_order_is_registration_order() {
         struct Recorder {
-            id: u8,
-            log: Rc<std::cell::RefCell<Vec<u8>>>,
+            id: u64,
+            log: Counter,
         }
         impl Kernel for Recorder {
             fn name(&self) -> &str {
                 "rec"
             }
-            fn step(&mut self, _cy: Cycle) {
-                self.log.borrow_mut().push(self.id);
+            fn step(&mut self, _cy: Cycle, _ctx: &mut SimContext) -> Progress {
+                // Encode order: each step appends its id as a base-4 digit.
+                self.log.reset_to(self.log.get() * 4 + self.id);
+                Progress::Busy
             }
         }
-        let log = Rc::new(std::cell::RefCell::new(Vec::new()));
+        let log = Counter::new();
         let mut e = Engine::new();
-        for id in 0..3 {
-            e.add_kernel(Recorder { id, log: log.clone() });
+        for id in 1..=3 {
+            e.add_kernel(Recorder {
+                id,
+                log: log.clone(),
+            });
         }
         e.step();
         e.step();
-        assert_eq!(*log.borrow(), vec![0, 1, 2, 0, 1, 2]);
+        // Two cycles of 1,2,3 in base 4: 0o123123 base-4 digits.
+        let mut expect = 0u64;
+        for _ in 0..2 {
+            for id in 1..=3 {
+                expect = expect * 4 + id;
+            }
+        }
+        assert_eq!(log.get(), expect);
+    }
+
+    #[test]
+    fn sleeping_kernel_is_skipped_until_woken() {
+        struct Sleeper {
+            rx: ReceiverId<u32>,
+            steps: Counter,
+            got: Counter,
+        }
+        impl Kernel for Sleeper {
+            fn name(&self) -> &str {
+                "sleeper"
+            }
+            fn step(&mut self, cy: Cycle, ctx: &mut SimContext) -> Progress {
+                self.steps.incr();
+                if let Some(v) = ctx.try_recv(cy, self.rx) {
+                    self.got.add(u64::from(v));
+                    Progress::Busy
+                } else if ctx.is_empty(self.rx) {
+                    Progress::Sleep
+                } else {
+                    Progress::Busy
+                }
+            }
+            fn wake_set(&self) -> crate::WakeSet {
+                crate::WakeSet::new().after_push_on(self.rx)
+            }
+        }
+        let steps = Counter::new();
+        let got = Counter::new();
+        let mut e = Engine::new();
+        let (tx, rx) = e.channel::<u32>("in", 4);
+        e.add_kernel(Sleeper {
+            rx,
+            steps: steps.clone(),
+            got: got.clone(),
+        });
+        e.run_cycles(50);
+        assert_eq!(steps.get(), 1, "parked after the first no-op step");
+        // Push from outside any kernel: wakes the sleeper.
+        e.context_mut().try_send(50, tx, 7).unwrap();
+        e.run_cycles(4);
+        assert_eq!(got.get(), 7);
+        // Busy on the recv cycle, one more no-op step, asleep again.
+        assert!(steps.get() <= 4, "steps {}", steps.get());
+        let parked_steps = steps.get();
+        e.run_cycles(50);
+        assert_eq!(steps.get(), parked_steps, "asleep again after drain");
+    }
+
+    #[test]
+    fn wake_on_pop_releases_backpressured_producer() {
+        struct Producer {
+            tx: SenderId<u32>,
+            sent: Counter,
+            steps: Counter,
+        }
+        impl Kernel for Producer {
+            fn name(&self) -> &str {
+                "producer"
+            }
+            fn step(&mut self, cy: Cycle, ctx: &mut SimContext) -> Progress {
+                self.steps.incr();
+                if ctx.can_send(self.tx) {
+                    ctx.try_send(cy, self.tx, 1).expect("checked");
+                    self.sent.incr();
+                    Progress::Busy
+                } else {
+                    Progress::Sleep
+                }
+            }
+            fn wake_set(&self) -> crate::WakeSet {
+                crate::WakeSet::new().after_pop_on(self.tx)
+            }
+        }
+        let sent = Counter::new();
+        let steps = Counter::new();
+        let mut e = Engine::new();
+        let (tx, rx) = e.channel::<u32>("out", 2);
+        e.add_kernel(Producer {
+            tx,
+            sent: sent.clone(),
+            steps: steps.clone(),
+        });
+        e.run_cycles(20);
+        assert_eq!(sent.get(), 2, "filled the FIFO then parked");
+        assert_eq!(steps.get(), 3, "two sends + one parking no-op");
+        // Drain one item: the producer wakes and refills.
+        assert_eq!(e.context_mut().try_recv(20, rx), Some(1));
+        e.run_cycles(5);
+        assert_eq!(sent.get(), 3);
+    }
+
+    #[test]
+    fn engine_is_send() {
+        fn assert_send<T: Send>(_t: &T) {}
+        let mut e = Engine::new();
+        let (_tx, _rx) = e.channel::<u64>("x", 4);
+        e.add_kernel(CountTo {
+            n: 1,
+            hits: Counter::new(),
+        });
+        assert_send(&e);
+        // And it can actually cross a thread boundary mid-simulation.
+        let e = std::thread::spawn(move || {
+            let mut e = e;
+            e.run_cycles(10);
+            e
+        })
+        .join()
+        .expect("no panic");
+        assert_eq!(e.cycle(), 10);
     }
 }

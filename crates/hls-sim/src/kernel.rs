@@ -1,35 +1,133 @@
 //! The [`Kernel`] trait: one hardware module, stepped once per cycle.
 
-use crate::Cycle;
+use crate::{
+    BcastReceiverId, BcastSenderId, Cycle, RawChannelId, ReceiverId, SenderId, SimContext,
+};
+
+/// What a kernel reports back to the engine's idle-set scheduler after one
+/// `step`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Progress {
+    /// The kernel did work — or may do work next cycle without any new
+    /// channel event (internal timers, pending retries that must count
+    /// stalls, protocol phases). The engine will step it again.
+    Busy,
+    /// `step` is guaranteed to be a no-op until one of the channels in the
+    /// kernel's [`wake_set`](Kernel::wake_set) sees the subscribed activity.
+    /// The engine stops stepping the kernel until then.
+    ///
+    /// Contract: a sleeping kernel must be externally unobservable — its
+    /// skipped steps would not have changed any state — and must report
+    /// [`is_idle`](Kernel::is_idle) truthfully if queried while asleep
+    /// (its idle status cannot change while it sleeps, because only its own
+    /// `step` mutates its internals and only subscribed channel activity
+    /// changes its inputs).
+    Sleep,
+}
+
+/// Wake subscriptions of a kernel: which channel events pull it out of
+/// [`Progress::Sleep`].
+///
+/// Build one from the kernel's channel handles:
+///
+/// * [`after_push_on`](WakeSet::after_push_on) — wake when a value is pushed
+///   into a channel the kernel *reads* (new input available);
+/// * [`after_pop_on`](WakeSet::after_pop_on) — wake when a value is popped
+///   from a channel the kernel *writes* (backpressure released).
+#[derive(Debug, Clone, Default)]
+pub struct WakeSet {
+    pub(crate) on_push: Vec<RawChannelId>,
+    pub(crate) on_pop: Vec<RawChannelId>,
+}
+
+impl WakeSet {
+    /// An empty wake set (a kernel that never sleeps needs no more).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wake after a push into the channel read through `rx`.
+    pub fn after_push_on<T>(mut self, rx: ReceiverId<T>) -> Self {
+        self.on_push.push(rx.raw());
+        self
+    }
+
+    /// Wake after a push into the broadcast group read through `rx`.
+    pub fn after_push_on_bcast<T>(mut self, rx: BcastReceiverId<T>) -> Self {
+        self.on_push.push(rx.raw());
+        self
+    }
+
+    /// Wake after a pop from the channel written through `tx`.
+    pub fn after_pop_on<T>(mut self, tx: SenderId<T>) -> Self {
+        self.on_pop.push(tx.raw());
+        self
+    }
+
+    /// Wake after any reader tap advances in the broadcast group written
+    /// through `tx`.
+    pub fn after_pop_on_bcast<T>(mut self, tx: BcastSenderId<T>) -> Self {
+        self.on_pop.push(tx.raw());
+        self
+    }
+}
 
 /// A hardware module in the dataflow pipeline.
 ///
 /// Each kernel corresponds to one autorun OpenCL kernel in the paper's HLS
 /// design (a PrePE, a mapper, the combiner, a decoder/filter pair, a
-/// PriPE/SecPE, the runtime profiler, the merger, …). The [`Engine`] calls
-/// [`Kernel::step`] exactly once per simulated clock cycle, in registration
-/// order. All communication with other kernels must go through
-/// [`Channel`](crate::Channel)s so that bounded capacity models backpressure.
+/// PriPE/SecPE, the runtime profiler, the merger, …). The
+/// [`Engine`](crate::Engine) calls [`Kernel::step`] once per simulated clock
+/// cycle, in registration order, passing the [`SimContext`] that owns every
+/// channel. All communication with other kernels must go through channels so
+/// that bounded capacity models backpressure.
 ///
 /// A kernel that cannot make progress this cycle (input empty, output full,
 /// initiation-interval budget exhausted) simply returns without effect —
-/// exactly like a stalled pipeline stage.
-pub trait Kernel {
+/// exactly like a stalled pipeline stage. If it can additionally *prove*
+/// that every future step will be a no-op until new channel activity
+/// arrives, it returns [`Progress::Sleep`] and the engine's idle-set
+/// scheduler stops visiting it until a subscribed event fires — this is what
+/// makes mostly-quiescent pipelines (the common case under skew) cheap to
+/// simulate.
+pub trait Kernel: Send {
     /// Stable debug name used in engine reports.
     fn name(&self) -> &str;
 
     /// Advances the module by one clock cycle `cy`.
-    fn step(&mut self, cy: Cycle);
+    fn step(&mut self, cy: Cycle, ctx: &mut SimContext) -> Progress;
 
     /// Reports whether the kernel has no internal pending work.
     ///
     /// The engine declares the simulation *quiescent* — and
     /// [`Engine::run_until_quiescent`](crate::Engine::run_until_quiescent)
     /// returns — once every kernel is idle for a full settling window.
-    /// Kernels with upstream work they cannot see (e.g. waiting on a channel)
-    /// should report idleness based on their own state only; the engine
-    /// combines all kernels' answers.
-    fn is_idle(&self) -> bool {
+    /// Kernels with upstream work they cannot see (e.g. waiting on a
+    /// channel) should report idleness based on their own state only; the
+    /// engine combines all kernels' answers.
+    fn is_idle(&self, _ctx: &SimContext) -> bool {
+        false
+    }
+
+    /// The channel events that wake this kernel from [`Progress::Sleep`].
+    /// Queried once at registration. A kernel that ever returns `Sleep`
+    /// must subscribe to every event that could make its `step` do work
+    /// again.
+    fn wake_set(&self) -> WakeSet {
+        WakeSet::default()
+    }
+
+    /// Marks this kernel as a *quiescence gate*: the pipeline can only be
+    /// quiescent once every gate is idle, so
+    /// [`run_until_quiescent`](crate::Engine::run_until_quiescent) checks
+    /// the gates first and consults the full population only while all
+    /// gates are idle. Sources are natural gates — a pipeline cannot drain
+    /// while its source still has data — and declaring them turns the
+    /// per-cycle idle scan into a single call for the bulk of a run.
+    ///
+    /// Queried once at registration. Purely an optimisation: completion
+    /// cycles are identical with or without gates.
+    fn is_quiescence_gate(&self) -> bool {
         false
     }
 }
@@ -39,12 +137,20 @@ impl<K: Kernel + ?Sized> Kernel for Box<K> {
         (**self).name()
     }
 
-    fn step(&mut self, cy: Cycle) {
-        (**self).step(cy)
+    fn step(&mut self, cy: Cycle, ctx: &mut SimContext) -> Progress {
+        (**self).step(cy, ctx)
     }
 
-    fn is_idle(&self) -> bool {
-        (**self).is_idle()
+    fn is_idle(&self, ctx: &SimContext) -> bool {
+        (**self).is_idle(ctx)
+    }
+
+    fn wake_set(&self) -> WakeSet {
+        (**self).wake_set()
+    }
+
+    fn is_quiescence_gate(&self) -> bool {
+        (**self).is_quiescence_gate()
     }
 }
 
@@ -57,19 +163,23 @@ mod tests {
         fn name(&self) -> &str {
             "nop"
         }
-        fn step(&mut self, _cy: Cycle) {
+        fn step(&mut self, _cy: Cycle, _ctx: &mut SimContext) -> Progress {
             self.0 += 1;
+            Progress::Busy
         }
-        fn is_idle(&self) -> bool {
+        fn is_idle(&self, _ctx: &SimContext) -> bool {
             true
         }
     }
 
     #[test]
     fn boxed_kernel_delegates() {
+        let mut engine = crate::Engine::new();
+        let ctx = engine.context_mut();
         let mut k: Box<dyn Kernel> = Box::new(Nop(0));
-        k.step(0);
+        assert_eq!(k.step(0, ctx), Progress::Busy);
         assert_eq!(k.name(), "nop");
-        assert!(k.is_idle());
+        assert!(k.is_idle(ctx));
+        assert!(k.wake_set().on_push.is_empty());
     }
 }

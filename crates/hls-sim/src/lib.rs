@@ -5,17 +5,29 @@
 //! connected by bounded *channels* (`cl_channel`). Every hardware module in
 //! the paper (PrePE, mapper, combiner, decoder/filter, PriPE/SecPE, runtime
 //! profiler, merger) becomes a [`Kernel`] stepped once per clock cycle by the
-//! [`Engine`]; every arrow in the paper's Fig. 3 becomes a [`Channel`].
+//! [`Engine`]; every arrow in the paper's Fig. 3 becomes a channel in the
+//! engine's arena.
 //!
 //! The simulator is deliberately simple and fully deterministic:
 //!
-//! * a [`Channel`] has a bounded capacity and a visibility latency — an item
+//! * channels live in a typed **arena** owned by the engine's
+//!   [`SimContext`]; kernels hold plain-`Copy` [`SenderId`]/[`ReceiverId`]
+//!   handles and resolve them through the context passed to `step` — no
+//!   reference counting or interior mutability on the hot path, and the
+//!   whole engine is `Send` so scenario sweeps parallelise across threads;
+//! * a channel has a bounded capacity and a visibility latency — an item
 //!   pushed at cycle `c` can be popped at `c + latency` or later, and a full
 //!   channel makes the producer stall (this stall-on-full backpressure is the
 //!   single mechanism behind the paper's skew-induced throughput collapse);
-//! * kernels are stepped in registration order, once per cycle; all
-//!   cross-kernel communication goes through channels, so step order only
-//!   affects pipeline latency by ±1 cycle, never results;
+//! * awake kernels are stepped in registration order, once per cycle; a
+//!   kernel whose step is provably a no-op until new channel activity can
+//!   return [`Progress::Sleep`] and is skipped until a subscribed event
+//!   wakes it (the **idle-set scheduler**) — observationally identical to
+//!   stepping everyone, but mostly-quiescent pipelines (the common case
+//!   under skew) cost only their active set;
+//! * a [broadcast channel](Engine::broadcast_channel) fans one value out to
+//!   `R` reader taps while storing it once — the combiner's wide-word
+//!   duplication without `R` copies;
 //! * there is no randomness anywhere in the engine.
 //!
 //! Throughput numbers are measured in items per cycle and converted to wall
@@ -23,59 +35,76 @@
 //!
 //! # Example
 //!
-//! A two-stage pipeline: a producer streams numbers into a channel, a consumer
-//! accumulates them.
+//! A two-stage pipeline: a producer streams numbers into a channel, a
+//! consumer accumulates them into a shared [`Counter`].
 //!
 //! ```
-//! use hls_sim::{Channel, Cycle, Engine, Kernel};
+//! use hls_sim::{
+//!     Counter, Cycle, Engine, Kernel, Progress, ReceiverId, SenderId, SimContext, WakeSet,
+//! };
 //!
-//! struct Producer { tx: hls_sim::Sender<u64>, next: u64, count: u64 }
+//! struct Producer { tx: SenderId<u64>, next: u64, count: u64 }
 //! impl Kernel for Producer {
 //!     fn name(&self) -> &str { "producer" }
-//!     fn step(&mut self, cy: Cycle) {
-//!         if self.next < self.count && self.tx.try_send(cy, self.next).is_ok() {
+//!     fn step(&mut self, cy: Cycle, ctx: &mut SimContext) -> Progress {
+//!         if self.next < self.count && ctx.try_send(cy, self.tx, self.next).is_ok() {
 //!             self.next += 1;
 //!         }
+//!         if self.next == self.count { Progress::Sleep } else { Progress::Busy }
 //!     }
-//!     fn is_idle(&self) -> bool { self.next == self.count }
+//!     fn is_idle(&self, _ctx: &SimContext) -> bool { self.next == self.count }
 //! }
 //!
-//! struct Consumer { rx: hls_sim::Receiver<u64>, sum: std::rc::Rc<std::cell::Cell<u64>> }
+//! struct Consumer { rx: ReceiverId<u64>, sum: Counter }
 //! impl Kernel for Consumer {
 //!     fn name(&self) -> &str { "consumer" }
-//!     fn step(&mut self, cy: Cycle) {
-//!         if let Some(v) = self.rx.try_recv(cy) {
-//!             self.sum.set(self.sum.get() + v);
+//!     fn step(&mut self, cy: Cycle, ctx: &mut SimContext) -> Progress {
+//!         if let Some(v) = ctx.try_recv(cy, self.rx) {
+//!             self.sum.add(v);
+//!             Progress::Busy
+//!         } else if ctx.is_empty(self.rx) {
+//!             Progress::Sleep // parked until the producer pushes again
+//!         } else {
+//!             Progress::Busy // item in flight, visible next cycle
 //!         }
 //!     }
-//!     fn is_idle(&self) -> bool { self.rx.is_empty() }
+//!     fn is_idle(&self, ctx: &SimContext) -> bool { ctx.is_empty(self.rx) }
+//!     fn wake_set(&self) -> WakeSet { WakeSet::new().after_push_on(self.rx) }
 //! }
 //!
-//! let ch = Channel::new("link", 4);
-//! let (tx, rx) = ch.endpoints();
-//! let sum = std::rc::Rc::new(std::cell::Cell::new(0));
 //! let mut engine = Engine::new();
+//! let (tx, rx) = engine.channel::<u64>("link", 4);
+//! let sum = Counter::new();
 //! engine.add_kernel(Producer { tx, next: 0, count: 10 });
 //! engine.add_kernel(Consumer { rx, sum: sum.clone() });
 //! let report = engine.run_until_quiescent(1_000);
 //! assert_eq!(sum.get(), 45);
-//! assert!(report.cycles < 20);
+//! assert!(report.cycles < 25);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod channel;
+mod context;
 mod engine;
 mod kernel;
 mod memory;
 mod stats;
 
-pub use channel::{Channel, ChannelStats, Receiver, SendError, Sender};
+pub use channel::{
+    BcastReceiverId, BcastSenderId, ChannelStats, RawChannelId, ReceiverId, SendError, SenderId,
+    TapRecv, DEFAULT_LATENCY,
+};
+pub use context::SimContext;
 pub use engine::{Engine, RunReport};
-pub use kernel::Kernel;
+pub use kernel::{Kernel, Progress, WakeSet};
 pub use memory::{MemoryModel, RateLimiter, SliceSource, StreamSource};
 pub use stats::{Counter, ThroughputWindow};
 
 /// Simulation time, measured in clock cycles since engine start.
 pub type Cycle = u64;
+
+/// Identifier of a registered kernel (its registration index), returned by
+/// [`Engine::add_kernel`] and accepted by [`SimContext::wake_kernel`].
+pub type KernelId = u32;

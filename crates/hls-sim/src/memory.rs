@@ -13,8 +13,9 @@ use crate::Cycle;
 ///
 /// `pull` is called by the memory-reader kernel once per cycle with the
 /// number of items the pipeline can accept; the source appends at most that
-/// many to `out`. Implementations must be deterministic.
-pub trait StreamSource<T> {
+/// many to `out`. Implementations must be deterministic. Sources are `Send`
+/// so that whole engines can move across sweep threads.
+pub trait StreamSource<T>: Send {
     /// Appends up to `max` items available at cycle `cy` to `out`; returns
     /// the number appended.
     fn pull(&mut self, cy: Cycle, max: usize, out: &mut Vec<T>) -> usize;
@@ -56,8 +57,14 @@ impl MemoryModel {
     ///
     /// Panics if `bytes_per_cycle` is zero.
     pub fn new(bytes_per_cycle: u32, burst_latency: u64) -> Self {
-        assert!(bytes_per_cycle > 0, "memory interface width must be nonzero");
-        MemoryModel { bytes_per_cycle, burst_latency }
+        assert!(
+            bytes_per_cycle > 0,
+            "memory interface width must be nonzero"
+        );
+        MemoryModel {
+            bytes_per_cycle,
+            burst_latency,
+        }
     }
 
     /// Steady-state tuples deliverable per cycle for `tuple_bytes`-wide
@@ -102,7 +109,12 @@ impl RateLimiter {
     pub fn new(rate: f64, burst_items: usize) -> Self {
         assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
         // Cycle zero gets a full cycle's budget like every other cycle.
-        RateLimiter { rate, tokens: rate, last_cycle: 0, burst: burst_items as f64 }
+        RateLimiter {
+            rate,
+            tokens: rate,
+            last_cycle: 0,
+            burst: burst_items as f64,
+        }
     }
 
     /// Grants up to `want` items at cycle `cy`, consuming tokens.
@@ -170,7 +182,7 @@ impl<T: Clone> SliceSource<T> {
     }
 }
 
-impl<T: Clone> StreamSource<T> for SliceSource<T> {
+impl<T: Clone + Send> StreamSource<T> for SliceSource<T> {
     fn pull(&mut self, cy: Cycle, max: usize, out: &mut Vec<T>) -> usize {
         if cy < self.latency || self.next >= self.data.len() {
             return 0;

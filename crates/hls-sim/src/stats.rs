@@ -1,7 +1,7 @@
 //! Shared counters and windowed throughput measurement.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::Cycle;
 
@@ -10,6 +10,10 @@ use crate::Cycle;
 /// Kernels increment it (e.g. "tuples processed"); observers — the runtime
 /// profiler's throughput monitor, the experiment harness — read it. Cloning
 /// yields another handle to the same count.
+///
+/// Backed by an atomic with relaxed ordering so handles are `Send + Sync`
+/// (the engine itself is single-threaded per simulation; atomicity only
+/// matters for moving whole engines across threads).
 ///
 /// # Example
 ///
@@ -24,7 +28,7 @@ use crate::Cycle;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Counter {
-    value: Rc<Cell<u64>>,
+    value: Arc<AtomicU64>,
 }
 
 impl Counter {
@@ -34,23 +38,31 @@ impl Counter {
     }
 
     /// Adds `n` to the count.
+    #[inline]
     pub fn add(&self, n: u64) {
-        self.value.set(self.value.get() + n);
+        self.value.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Adds one to the count.
+    #[inline]
     pub fn incr(&self) {
         self.add(1);
     }
 
     /// Reads the current count.
+    #[inline]
     pub fn get(&self) -> u64 {
-        self.value.get()
+        self.value.load(Ordering::Relaxed)
     }
 
     /// Resets the count to zero.
     pub fn reset(&self) {
-        self.value.set(0);
+        self.value.store(0, Ordering::Relaxed);
+    }
+
+    /// Overwrites the count with `n`.
+    pub fn reset_to(&self, n: u64) {
+        self.value.store(n, Ordering::Relaxed);
     }
 }
 
@@ -76,7 +88,12 @@ impl ThroughputWindow {
     /// Panics if `window` is zero.
     pub fn new(counter: Counter, window: u64) -> Self {
         assert!(window > 0, "throughput window must be nonzero");
-        ThroughputWindow { counter, window, last_cycle: 0, last_count: 0 }
+        ThroughputWindow {
+            counter,
+            window,
+            last_cycle: 0,
+            last_count: 0,
+        }
     }
 
     /// Advances the observer to cycle `cy`; returns the items/cycle rate of
@@ -118,6 +135,14 @@ mod tests {
         assert_eq!(a.get(), 5);
         a.reset();
         assert_eq!(b.get(), 0);
+        b.reset_to(9);
+        assert_eq!(a.get(), 9);
+    }
+
+    #[test]
+    fn counter_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>(_t: &T) {}
+        assert_send_sync(&Counter::new());
     }
 
     #[test]

@@ -1,72 +1,131 @@
-//! Property tests for channel FIFO semantics — the invariants every
-//! simulated pipeline relies on.
+//! Property-style tests for channel FIFO semantics — the invariants every
+//! simulated pipeline relies on — driven by deterministic op sequences (the
+//! offline build has no proptest). Channels are driven directly through the
+//! engine's [`SimContext`], outside any kernel.
 
-use hls_sim::Channel;
-use proptest::prelude::*;
+use hls_sim::Engine;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Deterministic 64-bit generator for op-sequence synthesis.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
-    /// Whatever interleaving of sends and receives happens, the received
-    /// sequence is a prefix-order-preserving subsequence of the sent one.
-    #[test]
-    fn fifo_order_under_arbitrary_interleaving(
-        ops in prop::collection::vec(any::<bool>(), 1..200),
-        capacity in 1usize..16,
-        latency in 0u64..4,
-    ) {
-        let ch = Channel::with_latency("t", capacity, latency);
-        let (tx, rx) = ch.endpoints();
+/// Whatever interleaving of sends and receives happens, the received
+/// sequence is a prefix-order-preserving subsequence of the sent one.
+#[test]
+fn fifo_order_under_arbitrary_interleaving() {
+    let mut s = 0xf1f0u64;
+    for case in 0..128 {
+        let ops = 1 + (splitmix(&mut s) % 199) as usize;
+        let capacity = 1 + (splitmix(&mut s) % 15) as usize;
+        let latency = splitmix(&mut s) % 4;
+        let mut engine = Engine::new();
+        let (tx, rx) = engine.channel_with_latency::<u64>("t", capacity, latency);
+        let ctx = engine.context_mut();
         let mut sent = 0u64;
         let mut received = Vec::new();
-        for (cy, &do_send) in ops.iter().enumerate() {
-            let cy = cy as u64;
-            if do_send {
-                if tx.try_send(cy, sent).is_ok() {
+        for cy in 0..ops as u64 {
+            if splitmix(&mut s).is_multiple_of(2) {
+                if ctx.try_send(cy, tx, sent).is_ok() {
                     sent += 1;
                 }
-            } else if let Some(v) = rx.try_recv(cy) {
+            } else if let Some(v) = ctx.try_recv(cy, rx) {
                 received.push(v);
             }
         }
         // FIFO: received values are exactly 0..k in order.
         for (i, &v) in received.iter().enumerate() {
-            prop_assert_eq!(v, i as u64);
+            assert_eq!(v, i as u64, "case {case}");
         }
-        prop_assert!(received.len() as u64 <= sent);
+        assert!(received.len() as u64 <= sent, "case {case}");
     }
+}
 
-    /// Occupancy never exceeds capacity, and stats balance.
-    #[test]
-    fn capacity_and_stats_invariants(
-        ops in prop::collection::vec(any::<bool>(), 1..200),
-        capacity in 1usize..8,
-    ) {
-        let ch = Channel::new("t", capacity);
-        let (tx, rx) = ch.endpoints();
-        for (cy, &do_send) in ops.iter().enumerate() {
-            let cy = cy as u64;
-            if do_send {
-                let _ = tx.try_send(cy, cy);
+/// Occupancy never exceeds capacity, and stats balance.
+#[test]
+fn capacity_and_stats_invariants() {
+    let mut s = 0xcafeu64;
+    for case in 0..128 {
+        let ops = 1 + (splitmix(&mut s) % 199) as usize;
+        let capacity = 1 + (splitmix(&mut s) % 7) as usize;
+        let mut engine = Engine::new();
+        let (tx, rx) = engine.channel::<u64>("t", capacity);
+        let ctx = engine.context_mut();
+        for cy in 0..ops as u64 {
+            if splitmix(&mut s).is_multiple_of(2) {
+                let _ = ctx.try_send(cy, tx, cy);
             } else {
-                let _ = rx.try_recv(cy);
+                let _ = ctx.try_recv(cy, rx);
             }
-            let st = ch.stats();
-            prop_assert!(st.occupancy <= capacity);
-            prop_assert!(st.max_occupancy <= capacity);
-            prop_assert_eq!(st.in_flight(), st.occupancy as u64);
+            let st = &ctx.channel_stats()[0];
+            assert!(st.occupancy <= capacity, "case {case}");
+            assert!(st.max_occupancy <= capacity, "case {case}");
+            assert_eq!(st.in_flight(), st.occupancy as u64, "case {case}");
         }
     }
+}
 
-    /// An item is never visible before its latency has elapsed.
-    #[test]
-    fn latency_is_respected(latency in 0u64..8, send_cy in 0u64..100) {
-        let ch = Channel::with_latency("t", 4, latency);
-        let (tx, rx) = ch.endpoints();
-        tx.try_send(send_cy, 1u8).unwrap();
-        if latency > 0 {
-            prop_assert_eq!(rx.try_recv(send_cy + latency - 1), None);
+/// An item is never visible before its latency has elapsed.
+#[test]
+fn latency_is_respected() {
+    for latency in 0u64..8 {
+        for send_cy in [0u64, 1, 17, 99] {
+            let mut engine = Engine::new();
+            let (tx, rx) = engine.channel_with_latency::<u8>("t", 4, latency);
+            let ctx = engine.context_mut();
+            ctx.try_send(send_cy, tx, 1u8).unwrap();
+            if latency > 0 {
+                assert_eq!(ctx.try_recv(send_cy + latency - 1, rx), None);
+            }
+            assert_eq!(ctx.try_recv(send_cy + latency, rx), Some(1));
         }
-        prop_assert_eq!(rx.try_recv(send_cy + latency), Some(1));
+    }
+}
+
+/// Broadcast taps behave exactly like independent channels fed the same
+/// atomic pushes: per-tap FIFO order, per-tap latency, slowest-tap gating.
+#[test]
+fn broadcast_taps_mirror_plain_channels() {
+    let mut s = 0xb44du64;
+    for case in 0..64 {
+        let capacity = 1 + (splitmix(&mut s) % 7) as usize;
+        let readers = 1 + (splitmix(&mut s) % 4) as usize;
+        let mut engine = Engine::new();
+        let (btx, brx) = engine.broadcast_channel::<u64>("w", readers, capacity);
+        let ctx = engine.context_mut();
+        let mut sent = 0u64;
+        let mut received = vec![Vec::new(); readers];
+        for cy in 0..200u64 {
+            match splitmix(&mut s) % (readers as u64 + 1) {
+                0 => {
+                    if ctx.bcast_try_send(cy, btx, sent).is_ok() {
+                        sent += 1;
+                    }
+                }
+                r => {
+                    let r = (r - 1) as usize;
+                    if let Some(v) = ctx.bcast_recv_map(cy, brx[r], |&v| v) {
+                        received[r].push(v);
+                    }
+                }
+            }
+        }
+        for (r, recv) in received.iter().enumerate() {
+            for (i, &v) in recv.iter().enumerate() {
+                assert_eq!(v, i as u64, "case {case} reader {r}");
+            }
+            assert!(recv.len() as u64 <= sent, "case {case} reader {r}");
+        }
+        let stats = ctx.channel_stats();
+        assert_eq!(stats.len(), readers);
+        for (r, st) in stats.iter().enumerate() {
+            assert_eq!(st.pushes, sent, "case {case} reader {r}");
+            assert_eq!(st.pops, received[r].len() as u64, "case {case} reader {r}");
+            assert!(st.occupancy <= capacity, "case {case} reader {r}");
+        }
     }
 }

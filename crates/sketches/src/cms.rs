@@ -41,7 +41,12 @@ impl CountMinSketch {
     pub fn new(depth: usize, width: usize) -> Self {
         assert!(depth > 0, "depth must be nonzero");
         assert!(width > 0, "width must be nonzero");
-        CountMinSketch { depth, width, rows: vec![vec![0; width]; depth], total: 0 }
+        CountMinSketch {
+            depth,
+            width,
+            rows: vec![vec![0; width]; depth],
+            total: 0,
+        }
     }
 
     /// Number of rows.
@@ -118,7 +123,11 @@ mod tests {
             cms.update(k, c);
         }
         for &(k, c) in &truth {
-            assert!(cms.query(k) >= c, "key {k}: est {} < true {c}", cms.query(k));
+            assert!(
+                cms.query(k) >= c,
+                "key {k}: est {} < true {c}",
+                cms.query(k)
+            );
         }
     }
 

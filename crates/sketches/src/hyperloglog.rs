@@ -37,7 +37,10 @@ impl HyperLogLog {
     /// Panics unless `4 <= precision <= 18` (the standard usable range).
     pub fn new(precision: u32) -> Self {
         assert!((4..=18).contains(&precision), "precision must be in 4..=18");
-        HyperLogLog { precision, registers: vec![0; 1 << precision] }
+        HyperLogLog {
+            precision,
+            registers: vec![0; 1 << precision],
+        }
     }
 
     /// Number of registers (`m = 2^precision`).
@@ -110,7 +113,11 @@ impl HyperLogLog {
             64 => 0.709,
             n => 0.7213 / (1.0 + 1.079 / n as f64),
         };
-        let sum: f64 = self.registers.iter().map(|&r| 2f64.powi(-i32::from(r))).sum();
+        let sum: f64 = self
+            .registers
+            .iter()
+            .map(|&r| 2f64.powi(-i32::from(r)))
+            .sum();
         let raw = alpha * m * m / sum;
 
         if raw <= 2.5 * m {
@@ -144,7 +151,11 @@ mod tests {
             let est = hll.estimate();
             let sigma = 1.04 / ((1u64 << precision) as f64).sqrt();
             let rel = (est - n as f64).abs() / n as f64;
-            assert!(rel < 4.0 * sigma, "p={precision} n={n}: rel err {rel:.4} vs 4σ={:.4}", 4.0 * sigma);
+            assert!(
+                rel < 4.0 * sigma,
+                "p={precision} n={n}: rel err {rel:.4} vs 4σ={:.4}",
+                4.0 * sigma
+            );
         }
     }
 

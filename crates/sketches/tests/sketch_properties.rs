@@ -1,39 +1,73 @@
-//! Property tests on the sketching substrates.
+//! Property-style tests on the sketching substrates, driven by a
+//! deterministic case generator (the offline build has no proptest).
 
-use proptest::prelude::*;
 use sketches::{hash, murmur3_32, murmur3_u64, CountMinSketch, Fixed, HyperLogLog};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Deterministic 64-bit generator for test-case synthesis.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
-    /// murmur3 is a pure function and distinguishes prefixes from
-    /// extensions (no trivial collisions on length).
-    #[test]
-    fn murmur_pure_and_length_sensitive(data in prop::collection::vec(any::<u8>(), 0..64)) {
-        prop_assert_eq!(murmur3_32(&data, 7), murmur3_32(&data, 7));
+fn byte_vec(state: &mut u64, len: usize) -> Vec<u8> {
+    (0..len).map(|_| splitmix(state) as u8).collect()
+}
+
+/// murmur3 is a pure function and distinguishes prefixes from extensions.
+#[test]
+fn murmur_pure_and_length_sensitive() {
+    let mut s = 0xa1_1ce5u64;
+    for case in 0..64 {
+        let data = byte_vec(&mut s, case % 64);
+        assert_eq!(murmur3_32(&data, 7), murmur3_32(&data, 7));
         let mut extended = data.clone();
         extended.push(0x5a);
-        prop_assert_ne!(murmur3_32(&data, 7), murmur3_32(&extended, 7));
+        assert_ne!(
+            murmur3_32(&data, 7),
+            murmur3_32(&extended, 7),
+            "case {case}"
+        );
     }
+}
 
-    /// CMS merge equals processing the concatenated stream.
-    #[test]
-    fn cms_merge_is_stream_concat(
-        xs in prop::collection::vec((0u64..64, 1u64..8), 0..60),
-        ys in prop::collection::vec((0u64..64, 1u64..8), 0..60),
-    ) {
+/// CMS merge equals processing the concatenated stream.
+#[test]
+fn cms_merge_is_stream_concat() {
+    let mut s = 0xc0ffeeu64;
+    for case in 0..64 {
+        let xs: Vec<(u64, u64)> = (0..(splitmix(&mut s) % 60))
+            .map(|_| (splitmix(&mut s) % 64, 1 + splitmix(&mut s) % 7))
+            .collect();
+        let ys: Vec<(u64, u64)> = (0..(splitmix(&mut s) % 60))
+            .map(|_| (splitmix(&mut s) % 64, 1 + splitmix(&mut s) % 7))
+            .collect();
         let mut a = CountMinSketch::new(3, 64);
         let mut b = CountMinSketch::new(3, 64);
         let mut whole = CountMinSketch::new(3, 64);
-        for &(k, c) in &xs { a.update(k, c); whole.update(k, c); }
-        for &(k, c) in &ys { b.update(k, c); whole.update(k, c); }
+        for &(k, c) in &xs {
+            a.update(k, c);
+            whole.update(k, c);
+        }
+        for &(k, c) in &ys {
+            b.update(k, c);
+            whole.update(k, c);
+        }
         a.merge(&b);
-        prop_assert_eq!(a, whole);
+        assert_eq!(a, whole, "case {case}");
     }
+}
 
-    /// HLL estimates are invariant under input permutation and duplication.
-    #[test]
-    fn hll_set_semantics(keys in prop::collection::vec(any::<u64>(), 1..200)) {
+/// HLL estimates are invariant under input permutation and duplication.
+#[test]
+fn hll_set_semantics() {
+    let mut s = 0x5eed_1234u64;
+    for case in 0..64 {
+        let keys: Vec<u64> = (0..(1 + splitmix(&mut s) % 199))
+            .map(|_| splitmix(&mut s))
+            .collect();
         let mut forward = HyperLogLog::new(8);
         for &k in &keys {
             forward.insert_hash(murmur3_u64(k, 3));
@@ -42,26 +76,36 @@ proptest! {
         for &k in keys.iter().rev().chain(keys.iter()) {
             doubled.insert_hash(murmur3_u64(k, 3));
         }
-        prop_assert_eq!(forward, doubled);
+        assert_eq!(forward, doubled, "case {case}");
     }
+}
 
-    /// Fixed-point add/sub round-trip exactly; multiplication by an integer equals
-    /// repeated addition.
-    #[test]
-    fn fixed_algebra(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+/// Fixed-point add/sub round-trip exactly; multiplication by an integer
+/// equals repeated addition.
+#[test]
+fn fixed_algebra() {
+    let mut s = 0xf_17edu64;
+    for case in 0..256 {
+        let a = (splitmix(&mut s) % 2_000_000) as i64 - 1_000_000;
+        let b = (splitmix(&mut s) % 2_000_000) as i64 - 1_000_000;
         let fa = Fixed::from_bits(a);
         let fb = Fixed::from_bits(b);
-        prop_assert_eq!((fa + fb) - fb, fa);
-        prop_assert_eq!(fa + fb, fb + fa);
+        assert_eq!((fa + fb) - fb, fa, "case {case}");
+        assert_eq!(fa + fb, fb + fa, "case {case}");
         let three = Fixed::from_int(3);
-        prop_assert_eq!(fa * three, fa + fa + fa);
+        assert_eq!(fa * three, fa + fa + fa, "case {case}");
     }
+}
 
-    /// Radix extraction is idempotent and bounded.
-    #[test]
-    fn radix_bits_bounded(key in any::<u64>(), bits in 0u32..63) {
+/// Radix extraction is idempotent and bounded.
+#[test]
+fn radix_bits_bounded() {
+    let mut s = 0x4a_d12bu64;
+    for _ in 0..256 {
+        let key = splitmix(&mut s);
+        let bits = (splitmix(&mut s) % 63) as u32;
         let r = hash::radix_bits(key, bits);
-        prop_assert!(bits == 0 || r < (1u64 << bits));
-        prop_assert_eq!(hash::radix_bits(r, bits), r);
+        assert!(bits == 0 || r < (1u64 << bits));
+        assert_eq!(hash::radix_bits(r, bits), r);
     }
 }

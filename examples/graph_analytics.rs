@@ -27,8 +27,12 @@ fn main() {
 
     let profile = AppCostProfile::pagerank();
     let model = ResourceModel::arria10();
-    let f0 = model.estimate(PipelineShape::new(8, 16, 0), &profile).freq_mhz;
-    let f15 = model.estimate(PipelineShape::new(8, 16, 15), &profile).freq_mhz;
+    let f0 = model
+        .estimate(PipelineShape::new(8, 16, 0), &profile)
+        .freq_mhz;
+    let f15 = model
+        .estimate(PipelineShape::new(8, 16, 15), &profile)
+        .freq_mhz;
     let base_mteps = mteps(baseline.edges_per_cycle(), f0);
     let ditto_mteps = mteps(ditto.edges_per_cycle(), f15);
     println!("\nChen et al. [8] (16P):   {base_mteps:.0} MTEPS");
@@ -36,12 +40,15 @@ fn main() {
     println!("speedup:                 {:.1}x", ditto_mteps / base_mteps);
 
     // Top pages by rank.
-    let mut ranked: Vec<(usize, Fixed)> =
-        ditto.ranks.iter().copied().enumerate().collect();
-    ranked.sort_by(|a, b| b.1.cmp(&a.1));
+    let mut ranked: Vec<(usize, Fixed)> = ditto.ranks.iter().copied().enumerate().collect();
+    ranked.sort_by_key(|&(_, r)| std::cmp::Reverse(r));
     println!("\ntop 5 pages by rank:");
     for (v, r) in ranked.iter().take(5) {
-        println!("  vertex {v:>5}: rank {:.6} (in-degree {})", r.to_f64(), g.in_degree(*v));
+        println!(
+            "  vertex {v:>5}: rank {:.6} (in-degree {})",
+            r.to_f64(),
+            g.in_degree(*v)
+        );
     }
 
     // Sanity: ranks form a probability distribution.

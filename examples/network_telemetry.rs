@@ -39,10 +39,17 @@ fn main() {
     let out = SkewObliviousPipeline::run_stream_for(app, Box::new(stream), &cfg, run_cycles);
 
     let gbps = out.report.tuples_per_cycle() * 8.0 * 8.0 * freq_mhz / 1_000.0;
-    println!("heavy-hitter pipeline: {:.1} Gbps sustained, {} reschedules", gbps, out.report.reschedules);
+    println!(
+        "heavy-hitter pipeline: {:.1} Gbps sustained, {} reschedules",
+        gbps, out.report.reschedules
+    );
     println!("detected {} heavy flows; top 3:", out.output.len());
     for (key, est) in out.output.iter().take(3) {
-        let marker = if *key == hot0 { "  <- epoch-0 elephant flow" } else { "" };
+        let marker = if *key == hot0 {
+            "  <- epoch-0 elephant flow"
+        } else {
+            ""
+        };
         println!("  flow {key:#018x}: ~{est} packets{marker}");
     }
     assert!(
@@ -78,6 +85,12 @@ fn main() {
         keys.dedup();
         keys.len() as f64
     };
-    println!("\ndistinct flows: estimated {est:.0}, true {truth:.0} ({:+.1}% error)", (est / truth - 1.0) * 100.0);
-    assert!((est / truth - 1.0).abs() < 0.05, "HLL estimate should be within 5%");
+    println!(
+        "\ndistinct flows: estimated {est:.0}, true {truth:.0} ({:+.1}% error)",
+        (est / truth - 1.0) * 100.0
+    );
+    assert!(
+        (est / truth - 1.0).abs() < 0.05,
+        "HLL estimate should be within 5%"
+    );
 }

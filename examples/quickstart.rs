@@ -41,7 +41,10 @@ fn main() {
 
     let sel_mtps = mtps(selected.report.tuples_per_cycle(), imp.estimate.freq_mhz);
     let base_freq = ResourceModel::arria10()
-        .estimate(PipelineShape::new(cfg.n_pre, cfg.m_pri, 0), &AppCostProfile::histo())
+        .estimate(
+            PipelineShape::new(cfg.n_pre, cfg.m_pri, 0),
+            &AppCostProfile::histo(),
+        )
         .freq_mhz;
     let base_mtps = mtps(baseline.report.tuples_per_cycle(), base_freq);
 

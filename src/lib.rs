@@ -63,7 +63,9 @@ pub mod prelude {
     pub use ditto_apps::{
         run_pagerank, DataPartitionApp, HhdApp, HistoApp, HllApp, PageRankApp, PageRankResult,
     };
-    pub use ditto_baselines::{routing_noskew, PriorDesign, SinglePeDesign, StaticReplicationDesign};
+    pub use ditto_baselines::{
+        routing_noskew, PriorDesign, SinglePeDesign, StaticReplicationDesign,
+    };
     pub use ditto_core::{
         ArchConfig, DittoApp, ExecutionReport, Routed, RunOutcome, SchedulingPlan,
         SkewObliviousPipeline,
@@ -73,6 +75,9 @@ pub mod prelude {
     };
     pub use ditto_graph::{generate, pagerank, Csr};
     pub use fpga_model::{mteps, mtps, AppCostProfile, Device, PipelineShape, ResourceModel};
-    pub use hls_sim::{Channel, Engine, Kernel, MemoryModel, SliceSource, StreamSource};
+    pub use hls_sim::{
+        Counter, Engine, Kernel, MemoryModel, Progress, ReceiverId, SenderId, SimContext,
+        SliceSource, StreamSource, WakeSet,
+    };
     pub use sketches::{murmur3_32, murmur3_u64, CountMinSketch, Fixed, HyperLogLog};
 }

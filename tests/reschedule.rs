@@ -41,7 +41,10 @@ fn threshold_zero_disables_rescheduling() {
         50_000,
     );
     assert_eq!(out.report.reschedules, 0);
-    assert!(out.report.plans_generated >= 1, "the initial plan is still generated");
+    assert!(
+        out.report.plans_generated >= 1,
+        "the initial plan is still generated"
+    );
 }
 
 #[test]

@@ -7,7 +7,9 @@ fn throughput(x_sec: u32, alpha: f64, m: u32, n: u32) -> f64 {
     let app = HistoApp::new(1_024, m);
     let data = ZipfGenerator::new(alpha, 1 << 18, 21).take_vec(30_000);
     let cfg = ArchConfig::new(n, m, x_sec).with_pe_entries((1_024 / u64::from(m)) as usize);
-    SkewObliviousPipeline::run_dataset(app, data, &cfg).report.tuples_per_cycle()
+    SkewObliviousPipeline::run_dataset(app, data, &cfg)
+        .report
+        .tuples_per_cycle()
 }
 
 #[test]
@@ -20,7 +22,10 @@ fn throughput_is_monotone_in_secpes_under_extreme_skew() {
     assert!(t2 > 1.5 * t0, "2 SecPEs: {t2} vs {t0}");
     assert!(t8 > t2, "8 SecPEs: {t8} vs {t2}");
     assert!(t15 > t8 * 0.95, "15 SecPEs: {t15} vs {t8}");
-    assert!(t15 > 6.0 * t0, "full SecPEs must recover most of the collapse");
+    assert!(
+        t15 > 6.0 * t0,
+        "full SecPEs must recover most of the collapse"
+    );
 }
 
 #[test]
@@ -41,7 +46,10 @@ fn uniform_data_needs_no_secpes() {
     let t15 = throughput(15, 0.0, 16, 8);
     // SecPEs must not hurt uniform throughput much (they idle).
     assert!(t15 > 0.8 * t0, "uniform: {t15} vs {t0}");
-    assert!(t0 > 6.0, "uniform 16P should run near the 8/cycle bandwidth: {t0}");
+    assert!(
+        t0 > 6.0,
+        "uniform 16P should run near the 8/cycle bandwidth: {t0}"
+    );
 }
 
 #[test]
@@ -70,7 +78,10 @@ fn workload_imbalance_drives_the_collapse() {
     // Normalised workload (Fig. 2a) shows one dominant PE...
     let norm = rep.normalized_workload(16);
     let max = norm.iter().copied().fold(0.0f64, f64::max);
-    assert!(max > 5.0, "expected a dominant PE, max normalised load {max}");
+    assert!(
+        max > 5.0,
+        "expected a dominant PE, max normalised load {max}"
+    );
     // ...and throughput is inversely tied to it.
     assert!(rep.tuples_per_cycle() < 8.0 / (max / 2.0));
 }
