@@ -18,6 +18,7 @@ use std::time::Instant;
 
 use datagen::ZipfGenerator;
 use ditto_apps::HistoApp;
+use ditto_bench::json::Json;
 use ditto_bench::{alpha_sweep, harness_tuples, par_map, sweep_threads};
 use ditto_core::{ArchConfig, SkewObliviousPipeline};
 
@@ -87,34 +88,58 @@ fn main() {
     let speedup_seq = BASELINE_SEED_SKEW_SWEEP_MS / seq_ms;
     let speedup_par = BASELINE_SEED_SKEW_SWEEP_MS / par_ms;
 
-    let json = format!(
-        r#"{{
-  "bench": "BENCH_1",
-  "machine": {{ "threads": {threads} }},
-  "workload": {{ "tuples_per_point": {tuples}, "sweep_points": {points} }},
-  "skew_sweep": {{
-    "sequential_ms": {seq_ms:.1},
-    "parallel_ms": {par_ms:.1},
-    "simulated_cycles": {seq_cycles}
-  }},
-  "routing_throughput": {{ "tuples_per_sec": {routing_tps:.0} }},
-  "baseline_seed_engine": {{
-    "skew_sweep_ms": {base_sweep:.1},
-    "routing_tuples_per_sec": {base_routing:.0},
-    "note": "seed Rc<RefCell> engine, measured once on the repo's original 1-vCPU dev container during PR 1; speedup_vs_seed is only meaningful for runs on comparable hardware"
-  }},
-  "speedup_vs_seed": {{
-    "skew_sweep_sequential": {speedup_seq:.2},
-    "skew_sweep_parallel": {speedup_par:.2}
-  }}
-}}
-"#,
-        threads = sweep_threads(),
-        points = alphas.len(),
-        base_sweep = BASELINE_SEED_SKEW_SWEEP_MS,
-        base_routing = BASELINE_SEED_ROUTING_TUPLES_PER_SEC,
-    );
-    std::fs::write(&out_path, &json).expect("write BENCH_1.json");
-    print!("{json}");
+    let doc = Json::obj([
+        ("bench", Json::str("BENCH_1")),
+        (
+            "machine",
+            Json::obj([("threads", Json::uint(sweep_threads() as u64))]),
+        ),
+        (
+            "workload",
+            Json::obj([
+                ("tuples_per_point", Json::uint(tuples as u64)),
+                ("sweep_points", Json::uint(alphas.len() as u64)),
+            ]),
+        ),
+        (
+            "skew_sweep",
+            Json::obj([
+                ("sequential_ms", Json::float(seq_ms, 1)),
+                ("parallel_ms", Json::float(par_ms, 1)),
+                ("simulated_cycles", Json::uint(seq_cycles)),
+            ]),
+        ),
+        (
+            "routing_throughput",
+            Json::obj([("tuples_per_sec", Json::float(routing_tps, 0))]),
+        ),
+        (
+            "baseline_seed_engine",
+            Json::obj([
+                ("skew_sweep_ms", Json::float(BASELINE_SEED_SKEW_SWEEP_MS, 1)),
+                (
+                    "routing_tuples_per_sec",
+                    Json::float(BASELINE_SEED_ROUTING_TUPLES_PER_SEC, 0),
+                ),
+                (
+                    "note",
+                    Json::str(
+                        "seed Rc<RefCell> engine, measured once on the repo's original 1-vCPU \
+                         dev container during PR 1; speedup_vs_seed is only meaningful for runs \
+                         on comparable hardware",
+                    ),
+                ),
+            ]),
+        ),
+        (
+            "speedup_vs_seed",
+            Json::obj([
+                ("skew_sweep_sequential", Json::float(speedup_seq, 2)),
+                ("skew_sweep_parallel", Json::float(speedup_par, 2)),
+            ]),
+        ),
+    ]);
+    doc.write(&out_path).expect("write BENCH_1.json");
+    println!("{}", doc.to_pretty());
     eprintln!("wrote {out_path}");
 }

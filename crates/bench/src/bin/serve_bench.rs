@@ -1,0 +1,250 @@
+//! Emits `BENCH_2.json`: the `ditto-serve` cluster performance snapshot.
+//!
+//! Two experiment families:
+//!
+//! * `parallel_sweep` — the PR-1 open item: the 13-point Zipf-α sweep run
+//!   sequentially and across `par_map` threads, recording the multi-core
+//!   speedup of the scenario-sweep path on this runner;
+//! * `serve` — a load-generator sweep over **qps × skew × shard count**
+//!   against a live cluster (HISTO app, online-serving arch per shard):
+//!   aggregate cluster throughput, p50/p99 batch latency in simulated
+//!   cycles and wall time, queue/migration counters.
+//!
+//! Shard engines run on their own OS threads, so aggregate throughput
+//! scales with shard count only on a multi-core runner — `machine.threads`
+//! records what this run had.
+//!
+//! Size knobs: `DITTO_SERVE_TUPLES` (tuples per sweep point, default
+//! 40 000), `DITTO_TUPLES` (parallel-sweep sizing, shared with the other
+//! harness binaries).
+//!
+//! Usage: `cargo run --release -p ditto-bench --bin serve_bench [out.json]`
+
+use std::time::{Duration, Instant};
+
+use datagen::ZipfGenerator;
+use ditto_apps::HistoApp;
+use ditto_bench::json::Json;
+use ditto_bench::{alpha_sweep, harness_tuples, par_map, sweep_threads};
+use ditto_core::{ArchConfig, SkewObliviousPipeline};
+use ditto_serve::{split_into_batches, BalancerConfig, Cluster, ServeConfig};
+
+const BATCH_TUPLES: usize = 2_000;
+/// Rebalance cadence in admitted batches.
+const REBALANCE_EVERY: usize = 4;
+
+fn serve_tuples() -> usize {
+    std::env::var("DITTO_SERVE_TUPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40_000)
+}
+
+/// One point of the PR-1 parallel sweep (same workload as `bench_report`).
+fn sweep_point(alpha: f64, tuples: usize) -> u64 {
+    let app = HistoApp::new(1_024, 16);
+    let data = ZipfGenerator::new(alpha, 1 << 18, 13).take_vec(tuples);
+    let cfg = ArchConfig::paper(4).with_pe_entries(app.pe_entries());
+    SkewObliviousPipeline::run_dataset(app, data, &cfg)
+        .report
+        .cycles
+}
+
+/// Measures the sequential-vs-parallel scenario sweep on this runner.
+fn parallel_sweep_block() -> Json {
+    let tuples = harness_tuples().min(20_000);
+    let alphas = alpha_sweep();
+    // Warm-up: page in code paths and the memoised Zipf CDF tables.
+    for &a in &alphas {
+        sweep_point(a, tuples.min(2_000));
+    }
+    let t0 = Instant::now();
+    let seq_cycles: u64 = alphas.iter().map(|&a| sweep_point(a, tuples)).sum();
+    let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let par_cycles: u64 = par_map(&alphas, |&a| sweep_point(a, tuples))
+        .into_iter()
+        .sum();
+    let par_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        seq_cycles, par_cycles,
+        "parallel sweep must be bit-identical"
+    );
+    Json::obj([
+        ("tuples_per_point", Json::uint(tuples as u64)),
+        ("sweep_points", Json::uint(alphas.len() as u64)),
+        ("sequential_ms", Json::float(seq_ms, 1)),
+        ("parallel_ms", Json::float(par_ms, 1)),
+        ("speedup", Json::float(seq_ms / par_ms, 2)),
+        (
+            "note",
+            Json::str(
+                "multi-core scaling of the par_map scenario sweep (ROADMAP open item); \
+                 speedup ~1.0 on a single-vCPU runner is expected",
+            ),
+        ),
+    ])
+}
+
+/// One measured serve sweep point: the JSON row plus the headline number
+/// `main` aggregates into the scaling block.
+struct ServePoint {
+    row: Json,
+    tuples_per_sec: f64,
+}
+
+/// One serve sweep point: drive `tuples` of Zipf(`alpha`) traffic through a
+/// `shards`-shard cluster at `qps` tuples/sec (`None` = as fast as the
+/// cluster admits), return the measurement.
+fn serve_point(shards: usize, alpha: f64, qps: Option<f64>, tuples: usize) -> ServePoint {
+    let app = HistoApp::new(1_024, 8);
+    let arch = ArchConfig::new(4, 8, 7)
+        .with_reschedule(0.5, 2_000)
+        .with_pe_entries(app.pe_entries());
+    let config = ServeConfig::new(shards, arch).with_balancer(BalancerConfig {
+        min_window_tuples: 1_024,
+        ..BalancerConfig::default()
+    });
+    let data = ZipfGenerator::new(alpha, 1 << 18, 17).take_vec(tuples);
+    let batches = split_into_batches(&data, BATCH_TUPLES);
+
+    let mut cluster = Cluster::new(app, &config);
+    let start = Instant::now();
+    for (i, batch) in batches.into_iter().enumerate() {
+        if let Some(rate) = qps {
+            // Open-loop pacing: batch i is due at start + i·B/rate.
+            let due = start + Duration::from_secs_f64(i as f64 * BATCH_TUPLES as f64 / rate);
+            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+        }
+        cluster.submit(batch);
+        if (i + 1) % REBALANCE_EVERY == 0 {
+            cluster.rebalance();
+        }
+    }
+    cluster.drain();
+    let wall = start.elapsed();
+    let outcome = cluster.finish();
+    let snap = &outcome.snapshot;
+    assert_eq!(
+        snap.tuples_processed(),
+        tuples as u64,
+        "cluster lost tuples"
+    );
+    let tps = tuples as f64 / wall.as_secs_f64();
+    let row = Json::obj([
+        ("shards", Json::uint(shards as u64)),
+        ("alpha", Json::float(alpha, 2)),
+        (
+            "qps_target",
+            qps.map_or(Json::str("max"), |r| Json::float(r, 0)),
+        ),
+        ("wall_ms", Json::float(wall.as_secs_f64() * 1e3, 1)),
+        ("tuples_per_sec", Json::float(tps, 0)),
+        ("batches", Json::uint(snap.batches_completed)),
+        ("p50_batch_cycles", Json::uint(snap.latency_cycles.p50)),
+        ("p99_batch_cycles", Json::uint(snap.latency_cycles.p99)),
+        ("p50_batch_wall_us", Json::uint(snap.latency_wall_us.p50)),
+        ("p99_batch_wall_us", Json::uint(snap.latency_wall_us.p99)),
+        ("migrations", Json::uint(snap.migrations)),
+        ("shard_imbalance", Json::float(snap.shard_imbalance(), 2)),
+        (
+            "reschedules",
+            Json::uint(snap.shards.iter().map(|s| s.reschedules).sum()),
+        ),
+    ]);
+    ServePoint {
+        row,
+        tuples_per_sec: tps,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_2.json".to_owned());
+    let tuples = serve_tuples();
+
+    eprintln!("parallel sweep ({} threads)...", sweep_threads());
+    let parallel_sweep = parallel_sweep_block();
+
+    // The headline grid: unthrottled throughput over shards × skew.
+    let shard_counts = [1usize, 2, 4];
+    let alphas = [0.0, 3.0];
+    let mut points = Vec::new();
+    let mut max_tps: Vec<(usize, f64, f64)> = Vec::new();
+    for &shards in &shard_counts {
+        for &alpha in &alphas {
+            eprintln!("serve point: {shards} shard(s), alpha {alpha}, max rate...");
+            let point = serve_point(shards, alpha, None, tuples);
+            max_tps.push((shards, alpha, point.tuples_per_sec));
+            points.push(point.row);
+        }
+    }
+    // Two paced points (2 shards, ~half the unthrottled rate) to expose
+    // latency under a sustainable offered load.
+    let paced_rate = max_tps
+        .iter()
+        .find(|&&(s, a, _)| s == 2 && a == 0.0)
+        .map_or(200_000.0, |&(_, _, tps)| (tps / 2.0).max(10_000.0));
+    for &alpha in &alphas {
+        eprintln!("serve point: 2 shards, alpha {alpha}, paced {paced_rate:.0} tps...");
+        points.push(serve_point(2, alpha, Some(paced_rate), tuples).row);
+    }
+
+    let scaling = {
+        let tps_of = |shards: usize, alpha: f64| {
+            max_tps
+                .iter()
+                .find(|&&(s, a, _)| s == shards && a == alpha)
+                .map(|&(_, _, t)| t)
+                .unwrap_or(0.0)
+        };
+        Json::obj([
+            ("alpha0_1shard_tps", Json::float(tps_of(1, 0.0), 0)),
+            ("alpha0_4shard_tps", Json::float(tps_of(4, 0.0), 0)),
+            (
+                "alpha0_speedup_4_over_1",
+                Json::float(tps_of(4, 0.0) / tps_of(1, 0.0).max(1.0), 2),
+            ),
+            ("alpha3_1shard_tps", Json::float(tps_of(1, 3.0), 0)),
+            ("alpha3_4shard_tps", Json::float(tps_of(4, 3.0), 0)),
+            (
+                "alpha3_speedup_4_over_1",
+                Json::float(tps_of(4, 3.0) / tps_of(1, 3.0).max(1.0), 2),
+            ),
+        ])
+    };
+
+    let doc = Json::obj([
+        ("bench", Json::str("BENCH_2")),
+        (
+            "machine",
+            Json::obj([("threads", Json::uint(sweep_threads() as u64))]),
+        ),
+        ("parallel_sweep", parallel_sweep),
+        (
+            "serve",
+            Json::obj([
+                ("app", Json::str("HISTO")),
+                ("arch_per_shard", Json::str("8P+7S, reschedule 0.5")),
+                ("tuples_per_point", Json::uint(tuples as u64)),
+                ("batch_tuples", Json::uint(BATCH_TUPLES as u64)),
+                ("points", Json::arr(points)),
+                ("scaling_max_rate", scaling),
+                (
+                    "note",
+                    Json::str(
+                        "one OS thread per shard: aggregate tuples_per_sec scales with shard \
+                         count only when machine.threads allows; wall latencies include host \
+                         scheduling",
+                    ),
+                ),
+            ]),
+        ),
+    ]);
+    doc.write(&out_path).expect("write BENCH_2.json");
+    println!("{}", doc.to_pretty());
+    eprintln!("wrote {out_path}");
+}

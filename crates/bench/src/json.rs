@@ -1,0 +1,216 @@
+//! A minimal JSON value builder for the BENCH_*.json artifacts.
+//!
+//! The harness deliberately has zero external dependencies, so the bench
+//! binaries used to format JSON by hand with `format!` — fine once, wrong
+//! twice. This module centralises the (small) amount of JSON we need:
+//! typed values, stable field order, fixed float precision and pretty
+//! printing.
+
+use std::fmt::Write as _;
+
+/// A JSON value with explicit float precision.
+///
+/// # Example
+///
+/// ```
+/// use ditto_bench::json::Json;
+///
+/// let doc = Json::obj([
+///     ("bench", Json::str("BENCH_X")),
+///     ("threads", Json::uint(8)),
+///     ("speedup", Json::float(3.14159, 2)),
+///     ("points", Json::arr(vec![Json::uint(1), Json::uint(2)])),
+/// ]);
+/// let text = doc.to_pretty();
+/// assert!(text.contains("\"speedup\": 3.14"));
+/// assert!(text.ends_with("}"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A signed integer.
+    Int(i64),
+    /// A float rendered with a fixed number of decimal places.
+    Float {
+        /// The value.
+        value: f64,
+        /// Decimal places to render.
+        prec: usize,
+    },
+    /// A string (escaped on output).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with stable field order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An unsigned integer value.
+    pub fn uint(v: u64) -> Json {
+        Json::UInt(v)
+    }
+
+    /// A float rendered with `prec` decimal places.
+    pub fn float(value: f64, prec: usize) -> Json {
+        Json::Float { value, prec }
+    }
+
+    /// An object from `(key, value)` pairs, preserving order.
+    pub fn obj<'a>(fields: impl IntoIterator<Item = (&'a str, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// An array value.
+    pub fn arr(items: Vec<Json>) -> Json {
+        Json::Arr(items)
+    }
+
+    /// Renders with two-space indentation (no trailing newline).
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, 0);
+        out
+    }
+
+    /// Writes the pretty rendering plus a trailing newline to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_pretty() + "\n")
+    }
+
+    fn render(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Float { value, prec } => {
+                if value.is_finite() {
+                    let _ = write!(out, "{value:.prec$}");
+                } else {
+                    // JSON has no NaN/Inf; null is the conventional stand-in.
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => render_string(out, s),
+            Json::Arr(items) => render_block(out, indent, '[', ']', items.len(), |out, i| {
+                items[i].render(out, indent + 1);
+            }),
+            Json::Obj(fields) => render_block(out, indent, '{', '}', fields.len(), |out, i| {
+                let (k, v) = &fields[i];
+                render_string(out, k);
+                out.push_str(": ");
+                v.render(out, indent + 1);
+            }),
+        }
+    }
+}
+
+fn render_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn render_block(
+    out: &mut String,
+    indent: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    if len == 0 {
+        out.push(open);
+        out.push(close);
+        return;
+    }
+    out.push(open);
+    for i in 0..len {
+        out.push('\n');
+        for _ in 0..=indent {
+            out.push_str("  ");
+        }
+        item(out, i);
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+    out.push(close);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render_plainly() {
+        assert_eq!(Json::Null.to_pretty(), "null");
+        assert_eq!(Json::Bool(true).to_pretty(), "true");
+        assert_eq!(Json::uint(42).to_pretty(), "42");
+        assert_eq!(Json::Int(-7).to_pretty(), "-7");
+        assert_eq!(Json::float(1.0 / 3.0, 2).to_pretty(), "0.33");
+        assert_eq!(Json::float(f64::NAN, 2).to_pretty(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(Json::str("a\"b\\c\nd").to_pretty(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn nested_structure_is_indented() {
+        let doc = Json::obj([
+            ("name", Json::str("x")),
+            ("inner", Json::obj([("k", Json::uint(1))])),
+            ("empty", Json::arr(vec![])),
+        ]);
+        assert_eq!(
+            doc.to_pretty(),
+            "{\n  \"name\": \"x\",\n  \"inner\": {\n    \"k\": 1\n  },\n  \"empty\": []\n}"
+        );
+    }
+
+    #[test]
+    fn field_order_is_preserved() {
+        let doc = Json::obj([("z", Json::uint(1)), ("a", Json::uint(2))]);
+        let text = doc.to_pretty();
+        assert!(text.find("\"z\"").unwrap() < text.find("\"a\"").unwrap());
+    }
+}

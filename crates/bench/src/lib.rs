@@ -20,6 +20,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+
 use fpga_model::{AppCostProfile, PipelineShape, ResourceEstimate, ResourceModel};
 
 /// The paper's dataset size (26 M tuples, §II).

@@ -13,7 +13,7 @@ use crate::merger::MergerKernel;
 use crate::pe::{PeRole, PrePeKernel, ProcPeKernel};
 use crate::profiler::{ProfilerKernel, ProfilerParams};
 use crate::reader::MemoryReaderKernel;
-use crate::report::{ChannelTotals, ExecutionReport};
+use crate::report::{ChannelTotals, ExecutionReport, StatSnapshot};
 use crate::routing::{CombinerKernel, DecoderFilterKernel, WideWord, MAX_DEST_PES};
 use crate::{PeId, SchedulingPlan, Tuple};
 
@@ -36,14 +36,31 @@ pub struct RunOutcome<O> {
 /// two entry points are [`run_dataset`](Self::run_dataset) (offline: stream
 /// a dataset from "global memory", drain, merge, finalize) and
 /// [`run_stream_for`](Self::run_stream_for) (online: run a rate-limited
-/// source for a fixed number of cycles — the Fig. 9 scenario).
+/// source for a fixed number of cycles — the Fig. 9 scenario). Both are thin
+/// run-to-completion wrappers around [`PersistentPipeline`], which serving
+/// layers drive incrementally instead.
 ///
 /// Runs are `Send` end to end — the engine, every kernel and all shared
 /// state cross thread boundaries — so scenario sweeps (one run per
 /// app × skew × configuration point) parallelise with plain scoped threads.
 pub struct SkewObliviousPipeline;
 
-struct BuiltPipeline<A: DittoApp> {
+/// A fully assembled pipeline that can be driven incrementally.
+///
+/// This is the long-lived form of the architecture: an engine plus the
+/// shared state handles (`M + X` PE buffers, the scheduling plan, the
+/// control block and the processed-tuple counters) that a serving layer
+/// needs to keep one simulated FPGA alive across many requests. One
+/// `ditto-serve` shard owns exactly one `PersistentPipeline` and steps it
+/// between batch admissions; the offline entry points build one, run it to
+/// completion and tear it down in a single call.
+///
+/// The lifecycle is: [`new`](Self::new) → any number of
+/// [`step_cycles`](Self::step_cycles) / [`snapshot`](Self::snapshot) calls →
+/// [`drain`](Self::drain) once the source is exhausted → one of the
+/// consuming finishers ([`finish`](Self::finish) or
+/// [`finish_states`](Self::finish_states)).
+pub struct PersistentPipeline<A: DittoApp> {
     engine: Engine,
     app: Arc<A>,
     states: Vec<Arc<Mutex<A::State>>>,
@@ -53,6 +70,11 @@ struct BuiltPipeline<A: DittoApp> {
     control: Arc<Control>,
     plans_generated: Counter,
     label: String,
+    m_pri: u32,
+    pe_entries: usize,
+    /// `false` once a bounded drain gave up — reported, not asserted, so
+    /// callers can attribute the failure themselves.
+    drained_ok: bool,
 }
 
 impl SkewObliviousPipeline {
@@ -100,66 +122,25 @@ impl SkewObliviousPipeline {
         cycles: u64,
         drain: bool,
     ) -> RunOutcome<A::Output> {
-        let mut built = Self::build(app, source, config);
-        let completed = if drain {
-            let rep = built.engine.run_until_quiescent(cycles);
-            assert!(
-                rep.completed,
-                "pipeline failed to drain within {cycles} cycles — deadlock?"
-            );
-            true
+        let mut built = PersistentPipeline::new(app, source, config);
+        if drain {
+            built.expect_drained(cycles);
         } else {
-            built.engine.run_cycles(cycles);
-            true
-        };
-        let total_cycles = built.engine.cycle();
-        let kernel_steps = built.engine.steps_executed();
-        let channels = built.engine.channel_stats();
-
-        // Tear down the engine so the shared state handles become unique.
-        drop(built.engine);
-
-        // Final merge (the offline flow's single merger pass) + finalize.
-        let app = built.app;
-        let plan = built.plan.lock().expect("engine dropped").clone();
-        crate::merger::fold_sec_states(&*app, &built.states, &plan, config.pe_entries);
-        let pri_states: Vec<A::State> = built
-            .states
-            .drain(..)
-            .take(config.m_pri as usize)
-            .map(|arc| {
-                Arc::try_unwrap(arc)
-                    .unwrap_or_else(|_| unreachable!("engine dropped, state unaliased"))
-                    .into_inner()
-                    .expect("lock not poisoned")
-            })
-            .collect();
-        let output = app.finalize(pri_states);
-
-        let report = ExecutionReport {
-            label: built.label,
-            cycles: total_cycles,
-            tuples: built.processed.get(),
-            reschedules: built.control.reschedules(),
-            plans_generated: built.plans_generated.get(),
-            per_pe_processed: built.per_pe_counters.iter().map(Counter::get).collect(),
-            completed,
-            channel_totals: ChannelTotals::aggregate(&channels),
-            kernel_steps,
-        };
-        RunOutcome {
-            output,
-            report,
-            channels,
+            built.step_cycles(cycles);
         }
+        built.finish()
     }
+}
 
-    /// Assembles all kernels and channels for one run.
-    fn build<A: DittoApp + 'static>(
-        app: A,
-        source: Box<dyn StreamSource<Tuple>>,
-        config: &ArchConfig,
-    ) -> BuiltPipeline<A> {
+impl<A: DittoApp + 'static> PersistentPipeline<A> {
+    /// Assembles all kernels and channels for one pipeline instance fed by
+    /// `source`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.destination_pes()` exceeds the wide word's
+    /// destination-mask range.
+    pub fn new(app: A, source: Box<dyn StreamSource<Tuple>>, config: &ArchConfig) -> Self {
         let app = Arc::new(app);
         let n = config.n_pre as usize;
         let pes = config.destination_pes() as usize;
@@ -309,7 +290,7 @@ impl SkewObliviousPipeline {
             Counter::new()
         };
 
-        BuiltPipeline {
+        PersistentPipeline {
             engine,
             app,
             states,
@@ -319,6 +300,149 @@ impl SkewObliviousPipeline {
             control,
             plans_generated,
             label: config.label(),
+            m_pri: m,
+            pe_entries: config.pe_entries,
+            drained_ok: true,
+        }
+    }
+
+    /// Prefixes the report label (e.g. with a shard name) so failures in
+    /// multi-pipeline deployments stay attributable.
+    pub fn with_label_prefix(mut self, prefix: &str) -> Self {
+        self.label = format!("{prefix}:{}", self.label);
+        self
+    }
+
+    /// The configuration label, including any prefix set via
+    /// [`with_label_prefix`](Self::with_label_prefix).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The application this pipeline runs (e.g. for initiation-interval
+    /// based cycle budgeting by a serving layer).
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    /// The current simulation cycle.
+    pub fn cycle(&self) -> u64 {
+        self.engine.cycle()
+    }
+
+    /// Tuples processed by destination PEs so far.
+    pub fn processed(&self) -> u64 {
+        self.processed.get()
+    }
+
+    /// Steps the engine `n` cycles unconditionally.
+    pub fn step_cycles(&mut self, n: u64) {
+        self.engine.run_cycles(n);
+    }
+
+    /// Runs until the pipeline quiesces (source exhausted and every kernel
+    /// idle) or `max_cycles` elapse in this call; returns `true` on
+    /// quiescence. A `false` result is also latched into the final report's
+    /// `completed` flag.
+    pub fn drain(&mut self, max_cycles: u64) -> bool {
+        let ok = self.engine.run_until_quiescent(max_cycles).completed;
+        self.drained_ok = self.drained_ok && ok;
+        ok
+    }
+
+    /// [`drain`](Self::drain), panicking with an attributable message on
+    /// cycle-budget exhaustion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline fails to quiesce within `max_cycles` — the
+    /// message names the pipeline label and the processed-tuple count so a
+    /// failing shard in a sharded run can be identified.
+    pub fn expect_drained(&mut self, max_cycles: u64) {
+        assert!(
+            self.drain(max_cycles),
+            "pipeline '{}' failed to drain within {} cycles ({} tuples processed) — deadlock?",
+            self.label,
+            max_cycles,
+            self.processed.get(),
+        );
+    }
+
+    /// Mid-run statistics: cheap (no channel scan), safe to call between
+    /// steps at any time.
+    pub fn snapshot(&self) -> StatSnapshot {
+        StatSnapshot {
+            cycles: self.engine.cycle(),
+            tuples: self.processed.get(),
+            reschedules: self.control.reschedules(),
+            plans_generated: self.plans_generated.get(),
+            per_pe_processed: self.per_pe_counters.iter().map(Counter::get).collect(),
+            kernel_steps: self.engine.steps_executed(),
+        }
+    }
+
+    /// Tears the pipeline down, folds SecPE partials into the PriPE buffers
+    /// (the offline flow's final merger pass) and returns the `M` PriPE
+    /// states plus measurements — the raw parts a cross-shard merge path
+    /// folds before a single cluster-level `finalize`.
+    pub fn finish_states(self) -> (Vec<A::State>, ExecutionReport, Vec<ChannelStats>) {
+        let PersistentPipeline {
+            engine,
+            app,
+            mut states,
+            per_pe_counters,
+            processed,
+            plan,
+            control,
+            plans_generated,
+            label,
+            m_pri,
+            pe_entries,
+            drained_ok,
+        } = self;
+        let total_cycles = engine.cycle();
+        let kernel_steps = engine.steps_executed();
+        let channels = engine.channel_stats();
+
+        // Tear down the engine so the shared state handles become unique.
+        drop(engine);
+
+        let plan = plan.lock().expect("engine dropped").clone();
+        crate::merger::fold_sec_states(&*app, &states, &plan, pe_entries);
+        let pri_states: Vec<A::State> = states
+            .drain(..)
+            .take(m_pri as usize)
+            .map(|arc| {
+                Arc::try_unwrap(arc)
+                    .unwrap_or_else(|_| unreachable!("engine dropped, state unaliased"))
+                    .into_inner()
+                    .expect("lock not poisoned")
+            })
+            .collect();
+
+        let report = ExecutionReport {
+            label,
+            cycles: total_cycles,
+            tuples: processed.get(),
+            reschedules: control.reschedules(),
+            plans_generated: plans_generated.get(),
+            per_pe_processed: per_pe_counters.iter().map(Counter::get).collect(),
+            completed: drained_ok,
+            channel_totals: ChannelTotals::aggregate(&channels),
+            kernel_steps,
+        };
+        (pri_states, report, channels)
+    }
+
+    /// Final merge + finalize: consumes the pipeline and produces the
+    /// application output with measurements.
+    pub fn finish(self) -> RunOutcome<A::Output> {
+        let app = Arc::clone(&self.app);
+        let (pri_states, report, channels) = self.finish_states();
+        RunOutcome {
+            output: app.finalize(pri_states),
+            report,
+            channels,
         }
     }
 }
@@ -444,5 +568,53 @@ mod tests {
             out.report.channel_totals.pushes,
             out.channels.iter().map(|s| s.pushes).sum::<u64>()
         );
+    }
+
+    #[test]
+    fn persistent_pipeline_steps_incrementally() {
+        let data = UniformGenerator::new(1 << 16, 4).take_vec(4_000);
+        let cfg = ArchConfig::new(4, 8, 2);
+        let source = SliceSource::new(data, Tuple::PAPER_WIDTH_BYTES, MemoryModel::new(64, 16));
+        let mut p = PersistentPipeline::new(CountPerKey::new(8), Box::new(source), &cfg)
+            .with_label_prefix("shard0");
+        assert_eq!(p.label(), "shard0:8P+2S");
+        p.step_cycles(200);
+        let early = p.snapshot();
+        assert!(early.tuples < 4_000, "4k tuples can't finish in 200 cycles");
+        assert_eq!(early.cycles, 200);
+        p.expect_drained(100_000);
+        let late = p.snapshot();
+        assert_eq!(late.tuples, 4_000);
+        assert!(late.cycles > early.cycles);
+        let out = p.finish();
+        assert_eq!(out.output.iter().sum::<u64>(), 4_000);
+        assert!(out.report.completed);
+        assert_eq!(out.report.label, "shard0:8P+2S");
+    }
+
+    #[test]
+    fn finish_states_returns_post_merge_pri_states() {
+        let data = ZipfGenerator::new(2.0, 1 << 12, 7).take_vec(5_000);
+        let cfg = ArchConfig::new(4, 8, 7);
+        let source = SliceSource::new(data, Tuple::PAPER_WIDTH_BYTES, MemoryModel::new(64, 16));
+        let mut p = PersistentPipeline::new(CountPerKey::new(8), Box::new(source), &cfg);
+        p.expect_drained(200_000);
+        let (states, report, channels) = p.finish_states();
+        assert_eq!(states.len(), 8, "exactly M PriPE states");
+        assert_eq!(states.iter().sum::<u64>(), 5_000, "SecPE partials folded");
+        assert_eq!(report.tuples, 5_000);
+        assert!(!channels.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "pipeline 'stuck:8P' failed to drain within 10 cycles")]
+    fn drain_panic_names_the_pipeline() {
+        let data = UniformGenerator::new(1 << 16, 4).take_vec(1_000);
+        let cfg = ArchConfig::new(4, 8, 0);
+        let source = SliceSource::new(data, Tuple::PAPER_WIDTH_BYTES, MemoryModel::new(64, 16));
+        let mut p = PersistentPipeline::new(CountPerKey::new(8), Box::new(source), &cfg)
+            .with_label_prefix("stuck");
+        // 10 cycles cannot drain 1000 tuples: the panic must carry the label.
+        p.expect_drained(10);
     }
 }

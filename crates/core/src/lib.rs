@@ -61,13 +61,13 @@ pub mod reader;
 mod report;
 pub mod routing;
 
-pub use app::{DittoApp, Routed};
-pub use arch::{RunOutcome, SkewObliviousPipeline};
+pub use app::{DittoApp, MergeableOutput, Routed};
+pub use arch::{PersistentPipeline, RunOutcome, SkewObliviousPipeline};
 pub use config::ArchConfig;
 pub use control::{Control, SecPhase};
 pub use mask::MaskTable;
 pub use plan::SchedulingPlan;
-pub use report::{ChannelTotals, ExecutionReport};
+pub use report::{ChannelTotals, ExecutionReport, StatSnapshot};
 pub use routing::{WideWord, MAX_DEST_PES, MAX_WORD_SLOTS};
 
 /// Identifier of a destination PE: `0..M` are PriPEs, `M..M+X` are SecPEs.

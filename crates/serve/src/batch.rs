@@ -1,0 +1,68 @@
+//! Request batches: identifiers, completion records and chunking helpers.
+
+use std::time::Duration;
+
+use datagen::Tuple;
+
+/// Identifier of one admitted batch, unique within a cluster's lifetime and
+/// assigned in admission order.
+pub type BatchId = u64;
+
+/// A finished batch, as observed by the cluster's completion tracking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletedBatch {
+    /// The batch's admission id.
+    pub id: BatchId,
+    /// Tuples the batch carried.
+    pub tuples: u64,
+    /// Worst sub-batch latency across the shards that served the batch, in
+    /// simulated cycles (each shard has its own clock; the batch is done
+    /// when its slowest shard is).
+    pub latency_cycles: u64,
+    /// Worst sub-batch wall-clock latency across shards, admission to
+    /// completion detection.
+    pub wall: Duration,
+}
+
+/// Splits a dataset into fixed-size request batches (the last one may be
+/// short) — the load-generator shape used by benches, tests and examples.
+///
+/// # Example
+///
+/// ```
+/// use ditto_serve::split_into_batches;
+/// use datagen::Tuple;
+///
+/// let data: Vec<Tuple> = (0..10).map(Tuple::from_key).collect();
+/// let batches = split_into_batches(&data, 4);
+/// assert_eq!(batches.len(), 3);
+/// assert_eq!(batches[2].len(), 2);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `batch_tuples` is zero.
+pub fn split_into_batches(data: &[Tuple], batch_tuples: usize) -> Vec<Vec<Tuple>> {
+    assert!(batch_tuples > 0, "batch size must be nonzero");
+    data.chunks(batch_tuples).map(<[Tuple]>::to_vec).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_cover_the_dataset_in_order() {
+        let data: Vec<Tuple> = (0..103).map(Tuple::from_key).collect();
+        let batches = split_into_batches(&data, 10);
+        assert_eq!(batches.len(), 11);
+        let flat: Vec<Tuple> = batches.into_iter().flatten().collect();
+        assert_eq!(flat, data);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be nonzero")]
+    fn zero_batch_size_panics() {
+        let _ = split_into_batches(&[], 0);
+    }
+}

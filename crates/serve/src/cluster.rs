@@ -1,0 +1,521 @@
+//! The cluster front-end: admission, shard fan-out, completion tracking,
+//! balancing and the cross-shard merge/finalize path.
+
+use std::collections::HashMap;
+use std::sync::mpsc::Receiver;
+use std::time::{Duration, Instant};
+
+use datagen::Tuple;
+use ditto_core::{ArchConfig, DittoApp, ExecutionReport, MergeableOutput};
+use ditto_framework::SkewAnalyzer;
+
+use crate::balancer::{BalancerConfig, ShardBalancer};
+use crate::batch::{BatchId, CompletedBatch};
+use crate::metrics::{ClusterSnapshot, LatencyRecorder, ShardSnapshot};
+use crate::router::{RoutingTable, SlotMove, DEFAULT_SLOTS};
+use crate::shard::{spawn_shard, ShardCommand, ShardEvent, ShardFinish, ShardHandle};
+
+/// How long the cluster waits on a shard reply or completion event before
+/// declaring the deployment wedged. Simulated work is fast; a hit here
+/// means a shard thread died (its panic message names the shard).
+const SHARD_REPLY_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Cluster deployment configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of pipeline shards (simulated FPGAs).
+    pub shards: usize,
+    /// Per-shard architecture (every shard runs the same implementation).
+    pub arch: ArchConfig,
+    /// Routing slots (migration granularity).
+    pub slots: usize,
+    /// Cycles a shard simulates between command polls — the completion
+    /// detection granularity.
+    pub cycles_per_poll: u64,
+    /// Per-shard ingress bandwidth in tuples per cycle (the paper's
+    /// platform delivers 8 eight-byte tuples per cycle over a 64-byte
+    /// interface).
+    pub ingress_rate: f64,
+    /// Skew-aware balancer tuning; `None` pins the routing table.
+    pub balancer: Option<BalancerConfig>,
+}
+
+impl ServeConfig {
+    /// A cluster of `shards` identical `arch` shards with routing defaults
+    /// and the balancer disabled (fixed key ranges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize, arch: ArchConfig) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        ServeConfig {
+            shards,
+            arch,
+            slots: DEFAULT_SLOTS.max(shards),
+            cycles_per_poll: 256,
+            ingress_rate: 8.0,
+            balancer: None,
+        }
+    }
+
+    /// The online-serving preset: each shard provisions the paper's maximal
+    /// skew-handling capacity (`X = M − 1`, the [`SkewAnalyzer`]'s
+    /// prior-free online recommendation), enables throughput-triggered
+    /// rescheduling, and the cluster-level balancer is on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards`, `n_pre` or `m_pri` is zero.
+    pub fn online(shards: usize, n_pre: u32, m_pri: u32) -> Self {
+        let x_sec = SkewAnalyzer::paper().recommend_online(m_pri);
+        let arch = ArchConfig::new(n_pre, m_pri, x_sec)
+            .with_reschedule(0.5, 2_000)
+            .with_profile_cycles(256)
+            .with_monitor_window(2_048);
+        ServeConfig::new(shards, arch).with_balancer(BalancerConfig::default())
+    }
+
+    /// Sets the routing slot count.
+    pub fn with_slots(mut self, slots: usize) -> Self {
+        self.slots = slots;
+        self
+    }
+
+    /// Sets the per-poll cycle chunk.
+    pub fn with_cycles_per_poll(mut self, cycles: u64) -> Self {
+        self.cycles_per_poll = cycles;
+        self
+    }
+
+    /// Sets the per-shard ingress rate in tuples per cycle.
+    pub fn with_ingress_rate(mut self, rate: f64) -> Self {
+        self.ingress_rate = rate;
+        self
+    }
+
+    /// Enables the skew-aware balancer.
+    pub fn with_balancer(mut self, config: BalancerConfig) -> Self {
+        self.balancer = Some(config);
+        self
+    }
+}
+
+struct PendingCluster {
+    remaining: usize,
+    tuples: u64,
+    worst_cycles: u64,
+    worst_wall: Duration,
+}
+
+/// Terminal result of a cluster run.
+#[derive(Debug)]
+pub struct ClusterOutcome<O> {
+    /// The combined application output — provably equal to a single-engine
+    /// `run_dataset` over the concatenated input (see the crate docs for
+    /// the per-application equality notion).
+    pub output: O,
+    /// Each shard's final execution report, indexed by shard.
+    pub reports: Vec<ExecutionReport>,
+    /// Final cluster metrics (latencies, migrations, completion counts).
+    pub snapshot: ClusterSnapshot,
+}
+
+/// A cluster of persistent pipeline shards behind a skew-aware router.
+///
+/// Admission ([`submit`](Self::submit)) splits each tuple batch across
+/// shards by key-hash slot; every shard is one [`PersistentPipeline`]
+/// (one simulated FPGA) running on its own OS thread, so the cluster
+/// genuinely serves shards concurrently. Completion events stream back and
+/// feed latency metrics; [`rebalance`](Self::rebalance) migrates key ranges
+/// off hot shards; [`finish`](Self::finish) merges PriPE states *across*
+/// shards — each remote shard acts as a super-SecPE whose partial buffers
+/// fold into shard 0's via the application's own `merge` — and finalizes
+/// once, which is why sharded results equal a single-engine run.
+///
+/// [`PersistentPipeline`]: ditto_core::PersistentPipeline
+pub struct Cluster<A: DittoApp + Clone + 'static> {
+    app: A,
+    handles: Vec<ShardHandle<A>>,
+    router: RoutingTable,
+    balancer: Option<ShardBalancer>,
+    events: Receiver<ShardEvent>,
+    pending: HashMap<BatchId, PendingCluster>,
+    next_batch: BatchId,
+    batches_submitted: u64,
+    batches_completed: u64,
+    tuples_submitted: u64,
+    shard_batches_done: Vec<u64>,
+    last_shard_tuples: Vec<u64>,
+    latency_cycles: LatencyRecorder,
+    latency_wall_us: LatencyRecorder,
+    completed: Vec<CompletedBatch>,
+}
+
+impl<A: DittoApp + Clone + 'static> Cluster<A> {
+    /// Boots `config.shards` shard threads, each serving a clone of `app`.
+    pub fn new(app: A, config: &ServeConfig) -> Self {
+        let (event_tx, events) = std::sync::mpsc::channel();
+        let handles = (0..config.shards)
+            .map(|id| {
+                spawn_shard(
+                    id,
+                    app.clone(),
+                    &config.arch,
+                    config.ingress_rate,
+                    config.cycles_per_poll,
+                    event_tx.clone(),
+                )
+            })
+            .collect();
+        Cluster {
+            app,
+            handles,
+            router: RoutingTable::new(config.shards, config.slots),
+            balancer: config
+                .balancer
+                .clone()
+                .map(|b| ShardBalancer::new(config.shards, b)),
+            events,
+            pending: HashMap::new(),
+            next_batch: 0,
+            batches_submitted: 0,
+            batches_completed: 0,
+            tuples_submitted: 0,
+            shard_batches_done: vec![0; config.shards],
+            last_shard_tuples: vec![0; config.shards],
+            latency_cycles: LatencyRecorder::new(),
+            latency_wall_us: LatencyRecorder::new(),
+            completed: Vec::new(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Read access to the routing table (slot ownership, admitted loads).
+    pub fn router(&self) -> &RoutingTable {
+        &self.router
+    }
+
+    /// Batches admitted but not yet fully served.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Admits one batch: splits it across shards by the current routing
+    /// table and returns its id. Completion is observed via
+    /// [`poll`](Self::poll)/[`drain`](Self::drain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard thread has died (its own panic is reported on that
+    /// thread).
+    pub fn submit(&mut self, tuples: Vec<Tuple>) -> BatchId {
+        let id = self.next_batch;
+        self.next_batch += 1;
+        self.batches_submitted += 1;
+        self.tuples_submitted += tuples.len() as u64;
+        let total = tuples.len() as u64;
+        let parts = self.router.split(tuples);
+        let now = Instant::now();
+        let mut remaining = 0;
+        for (shard, part) in parts.into_iter().enumerate() {
+            if part.is_empty() {
+                continue;
+            }
+            remaining += 1;
+            self.handles[shard]
+                .commands
+                .send(ShardCommand::Submit {
+                    batch: id,
+                    tuples: part,
+                    submitted: now,
+                })
+                .unwrap_or_else(|_| panic!("shard {shard} is gone"));
+        }
+        if remaining == 0 {
+            // Degenerate empty batch: served by nobody, complete at once.
+            self.record_completion(CompletedBatch {
+                id,
+                tuples: 0,
+                latency_cycles: 0,
+                wall: Duration::ZERO,
+            });
+        } else {
+            self.pending.insert(
+                id,
+                PendingCluster {
+                    remaining,
+                    tuples: total,
+                    worst_cycles: 0,
+                    worst_wall: Duration::ZERO,
+                },
+            );
+        }
+        self.poll();
+        id
+    }
+
+    /// Absorbs all completion events currently queued (non-blocking).
+    pub fn poll(&mut self) {
+        while let Ok(ev) = self.events.try_recv() {
+            self.on_event(ev);
+        }
+    }
+
+    /// Blocks until every admitted batch has completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no completion arrives within the shard-reply timeout —
+    /// which means a shard thread died or deadlocked.
+    pub fn drain(&mut self) {
+        self.poll();
+        while !self.pending.is_empty() {
+            match self.events.recv_timeout(SHARD_REPLY_TIMEOUT) {
+                Ok(ev) => self.on_event(ev),
+                Err(_) => panic!(
+                    "cluster drain stalled with {} batches outstanding",
+                    self.pending.len()
+                ),
+            }
+        }
+    }
+
+    fn on_event(&mut self, ev: ShardEvent) {
+        self.shard_batches_done[ev.shard] += 1;
+        let done = {
+            let p = self
+                .pending
+                .get_mut(&ev.batch)
+                .expect("completion for unknown batch");
+            p.worst_cycles = p.worst_cycles.max(ev.latency_cycles);
+            p.worst_wall = p.worst_wall.max(ev.wall);
+            p.remaining -= 1;
+            p.remaining == 0
+        };
+        if done {
+            let p = self.pending.remove(&ev.batch).expect("present");
+            self.record_completion(CompletedBatch {
+                id: ev.batch,
+                tuples: p.tuples,
+                latency_cycles: p.worst_cycles,
+                wall: p.worst_wall,
+            });
+        }
+    }
+
+    fn record_completion(&mut self, batch: CompletedBatch) {
+        self.batches_completed += 1;
+        self.latency_cycles.record(batch.latency_cycles);
+        self.latency_wall_us
+            .record(u64::try_from(batch.wall.as_micros()).unwrap_or(u64::MAX));
+        self.completed.push(batch);
+    }
+
+    /// Takes the completion records accumulated since the last call —
+    /// load generators read these for per-batch latency traces. Absorbs
+    /// queued events first.
+    pub fn take_completed(&mut self) -> Vec<CompletedBatch> {
+        self.poll();
+        std::mem::take(&mut self.completed)
+    }
+
+    fn shard_snapshots(&self) -> Vec<ShardSnapshot> {
+        let replies: Vec<_> = self
+            .handles
+            .iter()
+            .enumerate()
+            .map(|(shard, h)| {
+                let (tx, rx) = std::sync::mpsc::channel();
+                h.commands
+                    .send(ShardCommand::Snapshot { reply: tx })
+                    .unwrap_or_else(|_| panic!("shard {shard} is gone"));
+                rx
+            })
+            .collect();
+        replies
+            .into_iter()
+            .enumerate()
+            .map(|(shard, rx)| {
+                rx.recv_timeout(SHARD_REPLY_TIMEOUT)
+                    .unwrap_or_else(|_| panic!("shard {shard} snapshot timed out"))
+            })
+            .collect()
+    }
+
+    /// A point-in-time view of the whole cluster (synchronously snapshots
+    /// every shard).
+    pub fn snapshot(&mut self) -> ClusterSnapshot {
+        self.poll();
+        let shards = self.shard_snapshots();
+        self.assemble_snapshot(shards)
+    }
+
+    fn assemble_snapshot(&self, shards: Vec<ShardSnapshot>) -> ClusterSnapshot {
+        ClusterSnapshot {
+            shards,
+            batches_submitted: self.batches_submitted,
+            batches_completed: self.batches_completed,
+            tuples_submitted: self.tuples_submitted,
+            migrations: self.balancer.as_ref().map_or(0, ShardBalancer::migrations),
+            latency_cycles: self.latency_cycles.stats(),
+            latency_wall_us: self.latency_wall_us.stats(),
+        }
+    }
+
+    /// One balancing round: reads every shard's live per-PE workload
+    /// counters, feeds the window to the skew predictor, and applies any
+    /// recommended key-range migrations to the routing table. Returns the
+    /// applied moves (empty when balanced or the balancer is disabled).
+    pub fn rebalance(&mut self) -> Vec<SlotMove> {
+        self.poll();
+        if self.balancer.is_none() {
+            return Vec::new();
+        }
+        let snaps = self.shard_snapshots();
+        let window: Vec<u64> = snaps
+            .iter()
+            .zip(&self.last_shard_tuples)
+            .map(|(s, &then)| s.tuples - then)
+            .collect();
+        self.last_shard_tuples = snaps.iter().map(|s| s.tuples).collect();
+        let balancer = self.balancer.as_mut().expect("checked above");
+        let moves = balancer.rebalance(&window, &mut self.router);
+        for mv in &moves {
+            self.router.apply(*mv);
+        }
+        moves
+    }
+
+    /// Collects every shard's terminal state (drains each shard engine to
+    /// quiescence in parallel), absorbing all remaining completion events.
+    fn collect_finishes(&mut self) -> Vec<ShardFinish<A>> {
+        // Fan the Finish command out first so all shards drain concurrently.
+        let replies: Vec<_> = self
+            .handles
+            .iter()
+            .enumerate()
+            .map(|(shard, h)| {
+                let (tx, rx) = std::sync::mpsc::channel();
+                h.commands
+                    .send(ShardCommand::Finish { reply: tx })
+                    .unwrap_or_else(|_| panic!("shard {shard} is gone"));
+                rx
+            })
+            .collect();
+        let finishes: Vec<ShardFinish<A>> = replies
+            .into_iter()
+            .enumerate()
+            .map(|(shard, rx)| {
+                rx.recv_timeout(SHARD_REPLY_TIMEOUT)
+                    .unwrap_or_else(|_| panic!("shard {shard} failed to finish (thread panicked?)"))
+            })
+            .collect();
+        for handle in self.handles.drain(..) {
+            handle.thread.join().expect("shard thread panicked");
+        }
+        // Every completion event was sent before the shard replied.
+        self.poll();
+        assert!(
+            self.pending.is_empty(),
+            "{} batches unaccounted after finish",
+            self.pending.len()
+        );
+        finishes
+    }
+
+    fn outcome_snapshot(&self, reports: &[ExecutionReport]) -> ClusterSnapshot {
+        let shards = reports
+            .iter()
+            .enumerate()
+            .map(|(shard, r)| ShardSnapshot {
+                shard,
+                cycles: r.cycles,
+                tuples: r.tuples,
+                queue_depth: 0,
+                reschedules: r.reschedules,
+                plans_generated: r.plans_generated,
+                per_pe_processed: r.per_pe_processed.clone(),
+                batches_completed: self.shard_batches_done[shard],
+                batches_pending: 0,
+            })
+            .collect();
+        self.assemble_snapshot(shards)
+    }
+
+    /// Shuts the cluster down and produces the combined output via the
+    /// cross-shard state merge: for each PriPE index `j`, every other
+    /// shard's PriPE `j` buffer folds into shard 0's through the
+    /// application's `merge` (shards act as super-SecPEs), then `finalize`
+    /// runs once over the merged states.
+    ///
+    /// For decomposable applications (and exact-arithmetic ones like
+    /// fixed-point PageRank) this is *identical* to a single-engine run
+    /// over the concatenated input; for data partitioning the outputs are
+    /// equal as per-partition multisets. HHD's sketches merge exactly, but
+    /// its candidate tables are populated per shard — see the crate docs
+    /// for the collision-only edge case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard thread died or its engine failed to drain.
+    pub fn finish(mut self) -> ClusterOutcome<A::Output> {
+        let finishes = self.collect_finishes();
+        let mut reports = Vec::with_capacity(finishes.len());
+        let mut iter = finishes.into_iter();
+        let first = iter.next().expect("at least one shard");
+        let mut acc = first.pri_states;
+        reports.push(first.report);
+        for f in iter {
+            for (j, state) in f.pri_states.into_iter().enumerate() {
+                self.app.merge(&mut acc[j], &state);
+            }
+            reports.push(f.report);
+        }
+        let output = self.app.finalize(acc);
+        let snapshot = self.outcome_snapshot(&reports);
+        ClusterOutcome {
+            output,
+            reports,
+            snapshot,
+        }
+    }
+
+    /// Shuts the cluster down with each shard finalizing *locally*,
+    /// returning one output per shard — the shape a serving layer uses when
+    /// partial results are consumed per shard (result caching, incremental
+    /// clients). Combine them with
+    /// [`MergeableOutput::combine_outputs`] when a global view is needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard thread died or its engine failed to drain.
+    pub fn finish_per_shard(mut self) -> (Vec<A::Output>, Vec<ExecutionReport>, ClusterSnapshot)
+    where
+        A: MergeableOutput,
+    {
+        let finishes = self.collect_finishes();
+        let mut outputs = Vec::with_capacity(finishes.len());
+        let mut reports = Vec::with_capacity(finishes.len());
+        for f in finishes {
+            outputs.push(self.app.finalize(f.pri_states));
+            reports.push(f.report);
+        }
+        let snapshot = self.outcome_snapshot(&reports);
+        (outputs, reports, snapshot)
+    }
+}
+
+impl<A: DittoApp + Clone + 'static> std::fmt::Debug for Cluster<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("shards", &self.handles.len())
+            .field("in_flight", &self.pending.len())
+            .field("batches_submitted", &self.batches_submitted)
+            .finish()
+    }
+}

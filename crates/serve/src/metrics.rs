@@ -1,0 +1,214 @@
+//! Snapshotable serving metrics: per-shard counters and latency
+//! distributions.
+
+/// Order statistics over a recorded latency population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Recorded samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (nearest-rank).
+    pub p50: u64,
+    /// 99th percentile (nearest-rank).
+    pub p99: u64,
+    /// Maximum.
+    pub max: u64,
+}
+
+impl LatencyStats {
+    /// The all-zero statistics of an empty population.
+    pub fn empty() -> Self {
+        LatencyStats {
+            count: 0,
+            mean: 0.0,
+            p50: 0,
+            p99: 0,
+            max: 0,
+        }
+    }
+}
+
+/// Accumulates latency samples and computes [`LatencyStats`] on demand.
+///
+/// Samples are kept exactly (sorted lazily per snapshot); a serving layer
+/// records one sample per completed batch, so the population stays modest.
+///
+/// # Example
+///
+/// ```
+/// use ditto_serve::LatencyRecorder;
+///
+/// let mut r = LatencyRecorder::new();
+/// for v in [10, 20, 30, 40, 1000] {
+///     r.record(v);
+/// }
+/// let s = r.stats();
+/// assert_eq!(s.count, 5);
+/// assert_eq!(s.p50, 30);
+/// assert_eq!(s.max, 1000);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    samples: Vec<u64>,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        LatencyRecorder::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.samples.push(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.samples.len() as u64
+    }
+
+    /// Computes the population's order statistics (nearest-rank
+    /// percentiles).
+    pub fn stats(&self) -> LatencyStats {
+        if self.samples.is_empty() {
+            return LatencyStats::empty();
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        // Nearest-rank: the ⌈q·n⌉-th smallest sample.
+        let rank = |q: f64| sorted[((q * n as f64).ceil() as usize).clamp(1, n) - 1];
+        LatencyStats {
+            count: n as u64,
+            mean: sorted.iter().sum::<u64>() as f64 / n as f64,
+            p50: rank(0.50),
+            p99: rank(0.99),
+            max: sorted[n - 1],
+        }
+    }
+}
+
+/// One shard's live counters, as replied to a snapshot request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// Shard index within the cluster.
+    pub shard: usize,
+    /// Simulated cycles on this shard's clock.
+    pub cycles: u64,
+    /// Tuples processed by this shard's destination PEs.
+    pub tuples: u64,
+    /// Tuples admitted to this shard but not yet processed (queue depth).
+    pub queue_depth: u64,
+    /// Completed reschedules on this shard.
+    pub reschedules: u64,
+    /// Scheduling plans generated on this shard.
+    pub plans_generated: u64,
+    /// Per-destination-PE processed counts (`M + X` entries) — the live
+    /// workload counters the balancer reads.
+    pub per_pe_processed: Vec<u64>,
+    /// Batches this shard finished serving.
+    pub batches_completed: u64,
+    /// Batches admitted to this shard and still in flight.
+    pub batches_pending: usize,
+}
+
+impl ShardSnapshot {
+    /// Average throughput on this shard in tuples per simulated cycle.
+    pub fn tuples_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.tuples as f64 / self.cycles as f64
+    }
+}
+
+/// A point-in-time view of the whole cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterSnapshot {
+    /// Per-shard counters, indexed by shard.
+    pub shards: Vec<ShardSnapshot>,
+    /// Batches admitted so far.
+    pub batches_submitted: u64,
+    /// Batches fully served so far.
+    pub batches_completed: u64,
+    /// Tuples admitted so far.
+    pub tuples_submitted: u64,
+    /// Key-range migrations the balancer has applied.
+    pub migrations: u64,
+    /// Batch latency distribution in simulated cycles (worst shard per
+    /// batch).
+    pub latency_cycles: LatencyStats,
+    /// Batch latency distribution in wall-clock microseconds.
+    pub latency_wall_us: LatencyStats,
+}
+
+impl ClusterSnapshot {
+    /// Tuples processed across all shards.
+    pub fn tuples_processed(&self) -> u64 {
+        self.shards.iter().map(|s| s.tuples).sum()
+    }
+
+    /// Max/mean ratio of per-shard processed-tuple counts — 1.0 is a
+    /// perfectly balanced cluster (the shard-level analogue of
+    /// `ExecutionReport::imbalance`).
+    pub fn shard_imbalance(&self) -> f64 {
+        let total = self.tuples_processed();
+        if total == 0 || self.shards.is_empty() {
+            return 1.0;
+        }
+        let mean = total as f64 / self.shards.len() as f64;
+        let max = self.shards.iter().map(|s| s.tuples).max().unwrap_or(0) as f64;
+        max / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_recorder_yields_zero_stats() {
+        assert_eq!(LatencyRecorder::new().stats(), LatencyStats::empty());
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let mut r = LatencyRecorder::new();
+        for v in 1..=100u64 {
+            r.record(v);
+        }
+        let s = r.stats();
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p99, 99);
+        assert_eq!(s.max, 100);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shard_imbalance_detects_hot_shard() {
+        let shard = |i: usize, tuples: u64| ShardSnapshot {
+            shard: i,
+            cycles: 100,
+            tuples,
+            queue_depth: 0,
+            reschedules: 0,
+            plans_generated: 0,
+            per_pe_processed: vec![],
+            batches_completed: 0,
+            batches_pending: 0,
+        };
+        let snap = ClusterSnapshot {
+            shards: vec![shard(0, 900), shard(1, 50), shard(2, 50)],
+            batches_submitted: 0,
+            batches_completed: 0,
+            tuples_submitted: 0,
+            migrations: 0,
+            latency_cycles: LatencyStats::empty(),
+            latency_wall_us: LatencyStats::empty(),
+        };
+        assert!(snap.shard_imbalance() > 2.5);
+        assert_eq!(snap.tuples_processed(), 1000);
+    }
+}

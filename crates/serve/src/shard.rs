@@ -1,0 +1,239 @@
+//! One serving shard: a persistent pipeline engine on its own thread.
+//!
+//! Each shard owns one [`PersistentPipeline`] (one simulated FPGA running
+//! the full Fig. 3 architecture) fed by a [`SharedQueue`]. The shard thread
+//! alternates between absorbing commands (batch admissions, snapshot
+//! requests) and stepping the engine in fixed cycle chunks; batch
+//! completion is detected by watermark — a batch is done once the engine's
+//! processed-tuple counter reaches the cumulative count admitted up to and
+//! including that batch, which needs no per-tuple tagging and therefore no
+//! change to the datapath.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::{Receiver, Sender};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use datagen::Tuple;
+use ditto_core::{ArchConfig, DittoApp, ExecutionReport, PersistentPipeline};
+
+use crate::batch::BatchId;
+use crate::metrics::ShardSnapshot;
+use crate::queue::SharedQueue;
+
+/// Commands a cluster sends to a shard thread.
+pub(crate) enum ShardCommand<A: DittoApp> {
+    /// Admit a sub-batch of tuples.
+    Submit {
+        /// Cluster-level batch id the sub-batch belongs to.
+        batch: BatchId,
+        /// The tuples routed to this shard.
+        tuples: Vec<Tuple>,
+        /// Cluster-side admission instant (wall latency baseline).
+        submitted: Instant,
+    },
+    /// Reply with current counters.
+    Snapshot { reply: Sender<ShardSnapshot> },
+    /// Close the queue, drain the engine, reply with final states.
+    Finish { reply: Sender<ShardFinish<A>> },
+}
+
+/// A shard's terminal reply: post-merge PriPE states plus the final report.
+pub(crate) struct ShardFinish<A: DittoApp> {
+    pub pri_states: Vec<A::State>,
+    pub report: ExecutionReport,
+}
+
+/// Completion notification streamed to the cluster (sub-batch sizes are
+/// tracked cluster-side, so the event only carries identity and latency).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ShardEvent {
+    pub shard: usize,
+    pub batch: BatchId,
+    /// Admission-to-completion latency on this shard's simulated clock.
+    pub latency_cycles: u64,
+    /// Admission-to-completion wall time as observed by the shard thread.
+    pub wall: std::time::Duration,
+}
+
+/// Cluster-side handle to a running shard thread.
+pub(crate) struct ShardHandle<A: DittoApp> {
+    pub commands: Sender<ShardCommand<A>>,
+    pub thread: JoinHandle<()>,
+}
+
+struct PendingBatch {
+    id: BatchId,
+    /// Engine `processed` value at which this batch is complete.
+    watermark: u64,
+    enqueue_cycle: u64,
+    submitted: Instant,
+}
+
+/// The shard thread's state.
+struct ShardWorker<A: DittoApp + 'static> {
+    id: usize,
+    pipeline: PersistentPipeline<A>,
+    queue: SharedQueue,
+    pending: VecDeque<PendingBatch>,
+    events: Sender<ShardEvent>,
+    cycles_per_poll: u64,
+    /// Ingress tuples/cycle (drain-budget sizing at Finish).
+    ingress_rate: f64,
+    enqueued: u64,
+    batches_done: u64,
+}
+
+/// Spawns a shard thread serving `app` under `arch`, reading from a fresh
+/// queue at `ingress_rate` tuples per cycle. The returned handle carries
+/// the command endpoint; completions stream through `events`.
+pub(crate) fn spawn_shard<A: DittoApp + 'static>(
+    id: usize,
+    app: A,
+    arch: &ArchConfig,
+    ingress_rate: f64,
+    cycles_per_poll: u64,
+    events: Sender<ShardEvent>,
+) -> ShardHandle<A> {
+    let (commands, command_rx) = std::sync::mpsc::channel();
+    let queue = SharedQueue::new();
+    let source = Box::new(queue.source(ingress_rate));
+    let pipeline =
+        PersistentPipeline::new(app, source, arch).with_label_prefix(&format!("shard{id}"));
+    let worker = ShardWorker {
+        id,
+        pipeline,
+        queue,
+        pending: VecDeque::new(),
+        events,
+        cycles_per_poll,
+        ingress_rate,
+        enqueued: 0,
+        batches_done: 0,
+    };
+    let thread = std::thread::Builder::new()
+        .name(format!("ditto-shard-{id}"))
+        .spawn(move || worker.run(command_rx))
+        .expect("spawn shard thread");
+    ShardHandle { commands, thread }
+}
+
+impl<A: DittoApp + 'static> ShardWorker<A> {
+    fn run(mut self, commands: Receiver<ShardCommand<A>>) {
+        let finish_reply = 'serve: loop {
+            // Idle shards block on the command queue; busy shards absorb
+            // whatever is already queued and keep stepping.
+            if self.pending.is_empty() {
+                match commands.recv() {
+                    Ok(cmd) => {
+                        if let Some(reply) = self.handle(cmd) {
+                            break 'serve Some(reply);
+                        }
+                    }
+                    // Cluster handle dropped without Finish: stop serving.
+                    Err(_) => break 'serve None,
+                }
+            }
+            while let Ok(cmd) = commands.try_recv() {
+                if let Some(reply) = self.handle(cmd) {
+                    break 'serve Some(reply);
+                }
+            }
+            if !self.pending.is_empty() {
+                self.pipeline.step_cycles(self.cycles_per_poll);
+                self.complete_ready();
+            }
+        };
+        if let Some(reply) = finish_reply {
+            self.finish(reply);
+        }
+    }
+
+    /// Processes one command; returns the reply channel when it was
+    /// `Finish` (the caller then tears the worker down).
+    fn handle(&mut self, cmd: ShardCommand<A>) -> Option<Sender<ShardFinish<A>>> {
+        match cmd {
+            ShardCommand::Submit {
+                batch,
+                tuples,
+                submitted,
+            } => {
+                self.queue.push_batch(&tuples);
+                self.enqueued += tuples.len() as u64;
+                self.pending.push_back(PendingBatch {
+                    id: batch,
+                    watermark: self.enqueued,
+                    enqueue_cycle: self.pipeline.cycle(),
+                    submitted,
+                });
+                None
+            }
+            ShardCommand::Snapshot { reply } => {
+                let _ = reply.send(self.snapshot());
+                None
+            }
+            ShardCommand::Finish { reply } => Some(reply),
+        }
+    }
+
+    fn snapshot(&self) -> ShardSnapshot {
+        let s = self.pipeline.snapshot();
+        ShardSnapshot {
+            shard: self.id,
+            cycles: s.cycles,
+            tuples: s.tuples,
+            queue_depth: self.enqueued - s.tuples,
+            reschedules: s.reschedules,
+            plans_generated: s.plans_generated,
+            per_pe_processed: s.per_pe_processed,
+            batches_completed: self.batches_done,
+            batches_pending: self.pending.len(),
+        }
+    }
+
+    /// Pops every pending batch whose watermark the engine has reached and
+    /// notifies the cluster.
+    fn complete_ready(&mut self) {
+        let processed = self.pipeline.processed();
+        let done_cycle = self.pipeline.cycle();
+        while let Some(front) = self.pending.front() {
+            if front.watermark > processed {
+                break;
+            }
+            let b = self.pending.pop_front().expect("front checked");
+            self.batches_done += 1;
+            // A send failure means the cluster stopped listening (dropped);
+            // the shard keeps serving the engine side regardless.
+            let _ = self.events.send(ShardEvent {
+                shard: self.id,
+                batch: b.id,
+                latency_cycles: done_cycle - b.enqueue_cycle,
+                wall: b.submitted.elapsed(),
+            });
+        }
+    }
+
+    /// Terminal sequence: close the queue, drain to quiescence, flush
+    /// completions, hand back states and the final report.
+    fn finish(mut self, reply: Sender<ShardFinish<A>>) {
+        self.queue.close();
+        let remaining = self.enqueued.saturating_sub(self.pipeline.processed());
+        // Worst case is ingress delivery at the configured rate followed by
+        // full serialisation through one PE at its initiation interval,
+        // plus reschedule/profiling slack; simulated cycles are cheap, so
+        // be generous.
+        let ingress_cycles = (remaining as f64 / self.ingress_rate).ceil() as u64;
+        let pe_cycles = remaining * u64::from(self.pipeline.app().ii_pri() + 2);
+        let budget = ingress_cycles + pe_cycles + 1_000_000;
+        self.pipeline.expect_drained(budget);
+        self.complete_ready();
+        assert!(
+            self.pending.is_empty(),
+            "shard {} drained but {} batches still pending",
+            self.id,
+            self.pending.len()
+        );
+        let (pri_states, report, _channels) = self.pipeline.finish_states();
+        let _ = reply.send(ShardFinish { pri_states, report });
+    }
+}

@@ -1,0 +1,113 @@
+//! Online serving: a sharded cluster of persistent pipelines under live,
+//! skew-rotating traffic.
+//!
+//! ```text
+//! cargo run --release --example online_serving
+//! ```
+//!
+//! 1. Boot a 4-shard cluster (one simulated FPGA per shard, each with the
+//!    paper's online provisioning X = M − 1 and rescheduling on).
+//! 2. Stream Zipf(3) request batches whose hot key rotates every few
+//!    epochs, rebalancing key ranges between shards as the balancer sees
+//!    hot-shard windows.
+//! 3. Snapshot live metrics (throughput, queue depth, p50/p99 latency).
+//! 4. Finish: merge states across shards and verify the served result
+//!    equals a single-engine offline run over the same tuples.
+
+use ditto::prelude::*;
+
+const SHARDS: usize = 4;
+const EPOCHS: usize = 8;
+const BATCHES_PER_EPOCH: usize = 4;
+const BATCH_TUPLES: usize = 2_000;
+
+fn main() {
+    // 1. Cluster: HISTO over 1024 bins, 8 PriPEs + 7 SecPEs per shard.
+    let app = HistoApp::new(1_024, 8);
+    let config = ServeConfig::online(SHARDS, 4, 8).with_balancer(BalancerConfig {
+        min_window_tuples: 1_024,
+        ..BalancerConfig::default()
+    });
+    let mut config = config;
+    config.arch = config.arch.with_pe_entries(app.pe_entries());
+    let mut cluster = Cluster::new(app.clone(), &config);
+    println!(
+        "cluster: {SHARDS} shards × {} ({} routing slots)",
+        config.arch.label(),
+        cluster.router().slots(),
+    );
+
+    // 2. Traffic: the hot key set rotates every epoch (the Fig. 9 regime,
+    //    lifted to request batches).
+    let mut all_tuples = Vec::new();
+    let mut migrations = 0usize;
+    for epoch in 0..EPOCHS {
+        let data = ZipfGenerator::new(3.0, 1 << 16, 1_000 + epoch as u64)
+            .take_vec(BATCHES_PER_EPOCH * BATCH_TUPLES);
+        for batch in split_into_batches(&data, BATCH_TUPLES) {
+            cluster.submit(batch);
+        }
+        all_tuples.extend(data);
+        let moves = cluster.rebalance();
+        if !moves.is_empty() {
+            println!(
+                "epoch {epoch}: balancer migrated {} key-range slot(s): {:?}",
+                moves.len(),
+                moves
+                    .iter()
+                    .map(|m| format!("slot {} {}→{}", m.slot, m.from, m.to))
+                    .collect::<Vec<_>>()
+            );
+            migrations += moves.len();
+        }
+    }
+    cluster.drain();
+
+    // 3. Live metrics.
+    let snap = cluster.snapshot();
+    println!(
+        "\nserved {} batches / {} tuples; shard imbalance {:.2}, {} migrations",
+        snap.batches_completed,
+        snap.tuples_processed(),
+        snap.shard_imbalance(),
+        snap.migrations,
+    );
+    println!(
+        "batch latency: p50 {} / p99 {} cycles ({} / {} µs wall)",
+        snap.latency_cycles.p50,
+        snap.latency_cycles.p99,
+        snap.latency_wall_us.p50,
+        snap.latency_wall_us.p99,
+    );
+    println!("\nshard  cycles     tuples   t/cyc  resched  plans");
+    for s in &snap.shards {
+        println!(
+            "{:>5}  {:>9}  {:>7}  {:>6.3}  {:>7}  {:>5}",
+            s.shard,
+            s.cycles,
+            s.tuples,
+            s.tuples_per_cycle(),
+            s.reschedules,
+            s.plans_generated,
+        );
+    }
+
+    // 4. Sharded == single engine.
+    let served = cluster.finish();
+    let single = SkewObliviousPipeline::run_dataset(app, all_tuples, &config.arch);
+    assert_eq!(
+        served.output, single.output,
+        "sharded serving must preserve exact results"
+    );
+    println!(
+        "\nverified: {SHARDS}-shard online result equals the single-engine offline run \
+         ({} total migrations, {} per-shard reschedules)",
+        migrations,
+        served
+            .snapshot
+            .shards
+            .iter()
+            .map(|s| s.reschedules)
+            .sum::<u64>(),
+    );
+}

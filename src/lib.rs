@@ -16,6 +16,8 @@
 //! * [`apps`] (`ditto-apps`) — HISTO, DP, PR, HLL and HHD;
 //! * [`baselines`] (`ditto-baselines`) — the designs the paper compares
 //!   against;
+//! * [`serve`] (`ditto-serve`) — the sharded online serving layer:
+//!   persistent pipeline shards behind a skew-aware router;
 //! * [`sketches`], [`graph`], [`datagen`], [`fpga_model`] — algorithmic,
 //!   graph, dataset and resource-model substrates.
 //!
@@ -53,6 +55,7 @@ pub use ditto_baselines as baselines;
 pub use ditto_core as core;
 pub use ditto_framework as framework;
 pub use ditto_graph as graph;
+pub use ditto_serve as serve;
 pub use fpga_model;
 pub use hls_sim;
 pub use sketches;
@@ -67,13 +70,16 @@ pub mod prelude {
         routing_noskew, PriorDesign, SinglePeDesign, StaticReplicationDesign,
     };
     pub use ditto_core::{
-        ArchConfig, DittoApp, ExecutionReport, Routed, RunOutcome, SchedulingPlan,
-        SkewObliviousPipeline,
+        ArchConfig, DittoApp, ExecutionReport, MergeableOutput, PersistentPipeline, Routed,
+        RunOutcome, SchedulingPlan, SkewObliviousPipeline, StatSnapshot,
     };
     pub use ditto_framework::{
         select_implementation, Implementation, Platform, SkewAnalyzer, SystemGenerator,
     };
     pub use ditto_graph::{generate, pagerank, Csr};
+    pub use ditto_serve::{
+        split_into_batches, BalancerConfig, Cluster, ClusterSnapshot, ServeConfig,
+    };
     pub use fpga_model::{mteps, mtps, AppCostProfile, Device, PipelineShape, ResourceModel};
     pub use hls_sim::{
         Counter, Engine, Kernel, MemoryModel, Progress, ReceiverId, SenderId, SimContext,
