@@ -1,13 +1,13 @@
 //! The single-PE RTL baseline (Tong et al. [19] style).
 
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use datagen::Tuple;
 use ditto_core::reader::MemoryReaderKernel;
 use ditto_core::{ChannelTotals, DittoApp, ExecutionReport, RunOutcome};
 use hls_sim::{
-    Counter, Cycle, Engine, Kernel, MemoryModel, Progress, ReceiverId, SimContext, SliceSource,
-    StreamSource, WakeSet,
+    CounterId, Cycle, Engine, Kernel, MemoryModel, Progress, ReceiverId, SimContext, SliceSource,
+    StateId, StreamSource, WakeSet,
 };
 
 /// A single deeply pipelined PE, as in RTL sketch accelerators: II = 1
@@ -41,8 +41,8 @@ struct OnePe<A: DittoApp> {
     app: Arc<A>,
     ii: u32,
     input: ReceiverId<Tuple>,
-    state: Arc<Mutex<A::State>>,
-    processed: Counter,
+    state: StateId<A::State>,
+    processed: CounterId,
     busy_until: Cycle,
 }
 
@@ -57,9 +57,8 @@ impl<A: DittoApp + 'static> Kernel for OnePe<A> {
         }
         if let Some(tuple) = ctx.try_recv(cy, self.input) {
             let routed = self.app.preprocess(tuple, 1);
-            self.app
-                .process(&mut self.state.lock().expect("uncontended"), &routed.value);
-            self.processed.incr();
+            self.app.process(ctx.state_mut(self.state), &routed.value);
+            ctx.counter_incr(self.processed);
             self.busy_until = cy + Cycle::from(self.ii);
             Progress::Busy
         } else if ctx.is_empty(self.input) {
@@ -111,20 +110,17 @@ impl SinglePeDesign {
         ));
         let mut engine = Engine::new();
         let (lane_tx, lane_rx) = engine.channel::<Tuple>("lane", 8);
-        let state = Arc::new(Mutex::new(app.new_state(self.state_entries)));
-        let processed = Counter::new();
+        let state = engine.state(app.new_state(self.state_entries));
+        let processed = engine.counter();
+        let issued = engine.counter();
 
-        engine.add_kernel(MemoryReaderKernel::new(
-            source,
-            vec![lane_tx],
-            Counter::new(),
-        ));
+        engine.add_kernel(MemoryReaderKernel::new(source, vec![lane_tx], issued));
         engine.add_kernel(OnePe {
             app: Arc::clone(&app),
             ii: self.ii,
             input: lane_rx,
-            state: Arc::clone(&state),
-            processed: processed.clone(),
+            state,
+            processed,
             busy_until: 0,
         });
         let rep = engine.run_until_quiescent(budget);
@@ -132,22 +128,20 @@ impl SinglePeDesign {
         let cycles = engine.cycle();
         let kernel_steps = engine.steps_executed();
         let channels = engine.channel_stats();
-        drop(engine);
 
-        let final_state = Arc::try_unwrap(state)
-            .unwrap_or_else(|_| unreachable!("engine dropped"))
-            .into_inner()
-            .expect("lock not poisoned");
+        let ctx = engine.context_mut();
+        let done = ctx.counter(processed);
+        let final_state = ctx.take_state(state);
         let output = app.finalize(vec![final_state]);
         RunOutcome {
             output,
             report: ExecutionReport {
                 label: "single-pe".to_owned(),
                 cycles,
-                tuples: processed.get(),
+                tuples: done,
                 reschedules: 0,
                 plans_generated: 0,
-                per_pe_processed: vec![processed.get()],
+                per_pe_processed: vec![done],
                 completed: true,
                 channel_totals: ChannelTotals::aggregate(&channels),
                 kernel_steps,

@@ -1,13 +1,13 @@
 //! The Fig. 1a baseline: static dispatch with replicated buffers.
 
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use datagen::Tuple;
 use ditto_core::reader::MemoryReaderKernel;
 use ditto_core::{ChannelTotals, DittoApp, ExecutionReport, RunOutcome};
 use hls_sim::{
-    Counter, Cycle, Engine, Kernel, MemoryModel, Progress, ReceiverId, SimContext, SliceSource,
-    StreamSource, WakeSet,
+    CounterId, Cycle, Engine, Kernel, MemoryModel, Progress, ReceiverId, SimContext, SliceSource,
+    StateId, StreamSource, WakeSet,
 };
 
 /// Cycles the host CPU needs per replica entry during final aggregation,
@@ -48,8 +48,8 @@ struct StaticPe<A: DittoApp> {
     name: String,
     app: Arc<A>,
     input: ReceiverId<Tuple>,
-    state: Arc<Mutex<A::State>>,
-    processed: Counter,
+    state: StateId<A::State>,
+    processed: CounterId,
     busy_until: Cycle,
 }
 
@@ -68,9 +68,8 @@ impl<A: DittoApp + 'static> Kernel for StaticPe<A> {
             // with M = 1 (one logical partition, replicated M times), so
             // the routing dst is trivially 0.
             let routed = self.app.preprocess(tuple, 1);
-            self.app
-                .process(&mut self.state.lock().expect("uncontended"), &routed.value);
-            self.processed.incr();
+            self.app.process(ctx.state_mut(self.state), &routed.value);
+            ctx.counter_incr(self.processed);
             self.busy_until = cy + Cycle::from(self.app.ii_pri());
             Progress::Busy
         } else if ctx.is_empty(self.input) {
@@ -134,10 +133,11 @@ impl StaticReplicationDesign {
         let lanes: Vec<_> = (0..self.m_pes)
             .map(|i| engine.channel::<Tuple>(&format!("lane{i}"), self.lane_depth))
             .collect();
-        let states: Vec<Arc<Mutex<A::State>>> = (0..self.m_pes)
-            .map(|_| Arc::new(Mutex::new(app.new_state(self.replica_entries))))
+        let states: Vec<StateId<A::State>> = (0..self.m_pes)
+            .map(|_| engine.state(app.new_state(self.replica_entries)))
             .collect();
-        let per_pe: Vec<Counter> = (0..self.m_pes).map(|_| Counter::new()).collect();
+        let per_pe: Vec<CounterId> = (0..self.m_pes).map(|_| engine.counter()).collect();
+        let issued = engine.counter();
 
         // Reuse the Ditto memory access engine: its round-robin lane fill
         // is exactly the paper's "assigning the i-th data to the i-th PE"
@@ -145,15 +145,15 @@ impl StaticReplicationDesign {
         engine.add_kernel(MemoryReaderKernel::new(
             source,
             lanes.iter().map(|&(tx, _)| tx).collect(),
-            Counter::new(),
+            issued,
         ));
-        for (i, (&(_, lane_rx), state)) in lanes.iter().zip(&states).enumerate() {
+        for (i, (&(_, lane_rx), &state)) in lanes.iter().zip(&states).enumerate() {
             engine.add_kernel(StaticPe {
                 name: format!("static-pe#{i}"),
                 app: Arc::clone(&app),
                 input: lane_rx,
-                state: Arc::clone(state),
-                processed: per_pe[i].clone(),
+                state,
+                processed: per_pe[i],
                 busy_until: 0,
             });
         }
@@ -162,26 +162,22 @@ impl StaticReplicationDesign {
         let kernel_cycles = engine.cycle();
         let kernel_steps = engine.steps_executed();
         let channels = engine.channel_stats();
-        drop(engine);
 
         // CPU-side aggregation of M replicas (the "intervention from the
         // CPU side" Fig. 1a requires).
         let merge_cycles =
             u64::from(self.m_pes) * self.replica_entries as u64 * CPU_MERGE_CYCLES_PER_ENTRY;
 
-        let mut iter = states.into_iter().map(|arc| {
-            Arc::try_unwrap(arc)
-                .unwrap_or_else(|_| unreachable!("engine dropped"))
-                .into_inner()
-                .expect("lock not poisoned")
-        });
+        let ctx = engine.context_mut();
+        let mut iter = states.iter().map(|&id| ctx.take_state(id));
         let mut first = iter.next().expect("at least one PE");
         for other in iter {
             app.merge(&mut first, &other);
         }
         let output = app.finalize(vec![first]);
 
-        let processed: u64 = per_pe.iter().map(Counter::get).sum();
+        let per_pe: Vec<u64> = per_pe.iter().map(|&c| ctx.counter(c)).collect();
+        let processed: u64 = per_pe.iter().sum();
         RunOutcome {
             output,
             report: ExecutionReport {
@@ -190,7 +186,7 @@ impl StaticReplicationDesign {
                 tuples: processed,
                 reschedules: 0,
                 plans_generated: 0,
-                per_pe_processed: per_pe.iter().map(Counter::get).collect(),
+                per_pe_processed: per_pe,
                 completed: true,
                 channel_totals: ChannelTotals::aggregate(&channels),
                 kernel_steps,

@@ -15,13 +15,13 @@
 //! perfectly; it is the *per-tuple synchronisation* that kills it.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use datagen::Tuple;
 use ditto_core::{ChannelTotals, DittoApp, ExecutionReport, RunOutcome};
 use hls_sim::{
-    Counter, Cycle, Engine, Kernel, MemoryModel, Progress, SimContext, SliceSource, StreamSource,
+    CounterId, Cycle, Engine, Kernel, MemoryModel, Progress, SimContext, SliceSource, StateId,
+    StreamSource,
 };
 
 /// Shared work queue with an atomic access cost and a two-phase
@@ -30,50 +30,50 @@ use hls_sim::{
 /// rotating priority cursor — the standard fair-arbiter structure, which
 /// prevents the first PE in step order from starving the rest.
 ///
-/// The queue sits outside the channel arena (it models an OpenCL global
+/// The queue sits outside the *channel* arena (it models an OpenCL global
 /// atomic, not a `cl_channel`), so the kernels touching it never park:
-/// there is no channel event to wake them on. It uses locks/atomics only to
-/// keep whole engines `Send`; each simulation stays single-threaded.
+/// there is no channel event to wake them on. It lives in the *state*
+/// arena instead — one register every PE and the filler address through
+/// the same `StateId`, plain data with no locks.
 struct SharedQueue {
-    items: Mutex<VecDeque<Tuple>>,
+    items: VecDeque<Tuple>,
     /// The cycle until which the queue's atomic is held by some PE.
-    locked_until: AtomicU64,
+    locked_until: u64,
     /// PE holding grant priority (advances past each winner).
-    cursor: AtomicU32,
+    cursor: u32,
     /// Requests raised during the previous cycle's PE steps.
-    requests: Mutex<Vec<u32>>,
+    requests: Vec<u32>,
     /// One-deep grant mailbox per PE.
-    mailbox: Vec<Mutex<Option<Tuple>>>,
+    mailbox: Vec<Option<Tuple>>,
     m_pes: u32,
 }
 
 impl SharedQueue {
     /// Raises PE `pe`'s steal request for the next arbitration round.
-    fn request(&self, pe: u32) {
-        self.requests.lock().expect("uncontended").push(pe);
+    fn request(&mut self, pe: u32) {
+        self.requests.push(pe);
     }
 
     /// Grants at most one pending request (arbiter step, once per cycle).
-    fn grant(&self, cy: Cycle, atomic_latency: u64) {
-        let mut requests = self.requests.lock().expect("uncontended");
-        if cy < self.locked_until.load(Ordering::Relaxed) {
-            requests.clear();
+    fn grant(&mut self, cy: Cycle, atomic_latency: u64) {
+        if cy < self.locked_until {
+            self.requests.clear();
             return;
         }
-        let cursor = self.cursor.load(Ordering::Relaxed);
-        let winner = requests
+        let cursor = self.cursor;
+        let winner = self
+            .requests
             .iter()
             .copied()
             .min_by_key(|&pe| (pe + self.m_pes - cursor) % self.m_pes);
-        requests.clear();
+        self.requests.clear();
         let Some(pe) = winner else { return };
-        let Some(item) = self.items.lock().expect("uncontended").pop_front() else {
+        let Some(item) = self.items.pop_front() else {
             return;
         };
-        *self.mailbox[pe as usize].lock().expect("uncontended") = Some(item);
-        self.locked_until
-            .store(cy + atomic_latency, Ordering::Relaxed);
-        self.cursor.store((pe + 1) % self.m_pes, Ordering::Relaxed);
+        self.mailbox[pe as usize] = Some(item);
+        self.locked_until = cy + atomic_latency;
+        self.cursor = (pe + 1) % self.m_pes;
     }
 }
 
@@ -103,9 +103,9 @@ struct StealingPe<A: DittoApp> {
     name: String,
     id: u32,
     app: Arc<A>,
-    queue: Arc<SharedQueue>,
-    state: Arc<Mutex<A::State>>,
-    processed: Counter,
+    queue: StateId<SharedQueue>,
+    state: StateId<A::State>,
+    processed: CounterId,
     busy_until: Cycle,
 }
 
@@ -114,38 +114,30 @@ impl<A: DittoApp + 'static> Kernel for StealingPe<A> {
         &self.name
     }
 
-    fn step(&mut self, cy: Cycle, _ctx: &mut SimContext) -> Progress {
-        if let Some(tuple) = self.queue.mailbox[self.id as usize]
-            .lock()
-            .expect("uncontended")
-            .take()
-        {
+    fn step(&mut self, cy: Cycle, ctx: &mut SimContext) -> Progress {
+        if let Some(tuple) = ctx.state_mut(self.queue).mailbox[self.id as usize].take() {
             let routed = self.app.preprocess(tuple, 1);
-            self.app
-                .process(&mut self.state.lock().expect("uncontended"), &routed.value);
-            self.processed.incr();
+            self.app.process(ctx.state_mut(self.state), &routed.value);
+            ctx.counter_incr(self.processed);
             self.busy_until = cy + Cycle::from(self.app.ii_pri());
             return Progress::Busy;
         }
         if cy >= self.busy_until {
-            self.queue.request(self.id);
+            ctx.state_mut(self.queue).request(self.id);
         }
         Progress::Busy
     }
 
-    fn is_idle(&self, _ctx: &SimContext) -> bool {
-        self.queue.items.lock().expect("uncontended").is_empty()
-            && self.queue.mailbox[self.id as usize]
-                .lock()
-                .expect("uncontended")
-                .is_none()
+    fn is_idle(&self, ctx: &SimContext) -> bool {
+        let queue = ctx.state(self.queue);
+        queue.items.is_empty() && queue.mailbox[self.id as usize].is_none()
     }
 }
 
 /// Feeds the shared queue from the memory interface.
 struct QueueFiller {
     source: Box<dyn StreamSource<Tuple>>,
-    queue: Arc<SharedQueue>,
+    queue: StateId<SharedQueue>,
     cap: usize,
     atomic_latency: u64,
     buf: Vec<Tuple>,
@@ -156,19 +148,18 @@ impl Kernel for QueueFiller {
         "queue-filler"
     }
 
-    fn step(&mut self, cy: Cycle, _ctx: &mut SimContext) -> Progress {
+    fn step(&mut self, cy: Cycle, ctx: &mut SimContext) -> Progress {
         // Arbiter phase: grant one of last cycle's requests.
-        self.queue.grant(cy, self.atomic_latency);
-        let len = self.queue.items.lock().expect("uncontended").len();
+        let queue = ctx.state_mut(self.queue);
+        queue.grant(cy, self.atomic_latency);
+        let len = queue.items.len();
         if len >= self.cap || self.source.exhausted() {
             return Progress::Busy;
         }
         self.buf.clear();
         self.source.pull(cy, self.cap - len, &mut self.buf);
-        self.queue
+        ctx.state_mut(self.queue)
             .items
-            .lock()
-            .expect("uncontended")
             .extend(self.buf.iter().copied());
         Progress::Busy
     }
@@ -217,35 +208,35 @@ impl WorkStealingDesign {
             Tuple::PAPER_WIDTH_BYTES,
             MemoryModel::new(64, 16),
         ));
-        let queue = Arc::new(SharedQueue {
-            items: Mutex::new(VecDeque::new()),
-            locked_until: AtomicU64::new(0),
-            cursor: AtomicU32::new(0),
-            requests: Mutex::new(Vec::new()),
-            mailbox: (0..self.m_pes).map(|_| Mutex::new(None)).collect(),
+        let mut engine = Engine::new();
+        let queue = engine.state(SharedQueue {
+            items: VecDeque::new(),
+            locked_until: 0,
+            cursor: 0,
+            requests: Vec::new(),
+            mailbox: (0..self.m_pes).map(|_| None).collect(),
             m_pes: self.m_pes,
         });
-        let states: Vec<Arc<Mutex<A::State>>> = (0..self.m_pes)
-            .map(|_| Arc::new(Mutex::new(app.new_state(1024))))
+        let states: Vec<StateId<A::State>> = (0..self.m_pes)
+            .map(|_| engine.state(app.new_state(1024)))
             .collect();
-        let per_pe: Vec<Counter> = (0..self.m_pes).map(|_| Counter::new()).collect();
+        let per_pe: Vec<CounterId> = (0..self.m_pes).map(|_| engine.counter()).collect();
 
-        let mut engine = Engine::new();
         engine.add_kernel(QueueFiller {
             source,
-            queue: Arc::clone(&queue),
+            queue,
             cap: 64,
             atomic_latency: self.atomic_latency_cycles,
             buf: Vec::new(),
         });
-        for (i, state) in states.iter().enumerate() {
+        for (i, &state) in states.iter().enumerate() {
             engine.add_kernel(StealingPe {
                 name: format!("steal-pe#{i}"),
                 id: i as u32,
                 app: Arc::clone(&app),
-                queue: Arc::clone(&queue),
-                state: Arc::clone(state),
-                processed: per_pe[i].clone(),
+                queue,
+                state,
+                processed: per_pe[i],
                 busy_until: 0,
             });
         }
@@ -253,20 +244,16 @@ impl WorkStealingDesign {
         assert!(rep.completed, "work-stealing pipeline failed to drain");
         let cycles = engine.cycle();
         let kernel_steps = engine.steps_executed();
-        drop(engine);
 
-        let mut iter = states.into_iter().map(|arc| {
-            Arc::try_unwrap(arc)
-                .unwrap_or_else(|_| unreachable!("engine dropped"))
-                .into_inner()
-                .expect("lock not poisoned")
-        });
+        let ctx = engine.context_mut();
+        let mut iter = states.iter().map(|&id| ctx.take_state(id));
         let mut first = iter.next().expect("at least one PE");
         for other in iter {
             app.merge(&mut first, &other);
         }
         let output = app.finalize(vec![first]);
-        let processed: u64 = per_pe.iter().map(Counter::get).sum();
+        let per_pe: Vec<u64> = per_pe.iter().map(|&c| ctx.counter(c)).collect();
+        let processed: u64 = per_pe.iter().sum();
         RunOutcome {
             output,
             report: ExecutionReport {
@@ -275,7 +262,7 @@ impl WorkStealingDesign {
                 tuples: processed,
                 reschedules: 0,
                 plans_generated: 0,
-                per_pe_processed: per_pe.iter().map(Counter::get).collect(),
+                per_pe_processed: per_pe,
                 completed: true,
                 channel_totals: ChannelTotals::default(),
                 kernel_steps,

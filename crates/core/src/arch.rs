@@ -1,12 +1,12 @@
 //! Pipeline assembly: builds and runs the full Fig. 3 architecture.
 
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
-use hls_sim::{ChannelStats, Counter, Engine, MemoryModel, SliceSource, StreamSource};
+use hls_sim::{ChannelStats, CounterId, Engine, MemoryModel, SliceSource, StateId, StreamSource};
 
 use crate::app::DittoApp;
 use crate::config::ArchConfig;
-use crate::control::Control;
+use crate::control::{Control, ControlId};
 use crate::mapper::MapperKernel;
 use crate::mask::MaskTable;
 use crate::merger::MergerKernel;
@@ -48,12 +48,15 @@ pub struct SkewObliviousPipeline;
 /// A fully assembled pipeline that can be driven incrementally.
 ///
 /// This is the long-lived form of the architecture: an engine plus the
-/// shared state handles (`M + X` PE buffers, the scheduling plan, the
+/// arena handles (`M + X` PE buffer registers, the scheduling plan, the
 /// control block and the processed-tuple counters) that a serving layer
-/// needs to keep one simulated FPGA alive across many requests. One
-/// `ditto-serve` shard owns exactly one `PersistentPipeline` and steps it
-/// between batch admissions; the offline entry points build one, run it to
-/// completion and tear it down in a single call.
+/// needs to keep one simulated FPGA alive across many requests. Everything
+/// behind those handles lives in the engine's state arena — the pipeline
+/// holds only `Copy` ids and resolves them on demand, so keeping a
+/// pipeline alive costs nothing and moving it across threads is a plain
+/// move. One `ditto-serve` shard owns exactly one `PersistentPipeline` and
+/// steps it between batch admissions; the offline entry points build one,
+/// run it to completion and tear it down in a single call.
 ///
 /// The lifecycle is: [`new`](Self::new) → any number of
 /// [`step_cycles`](Self::step_cycles) / [`snapshot`](Self::snapshot) calls →
@@ -63,12 +66,12 @@ pub struct SkewObliviousPipeline;
 pub struct PersistentPipeline<A: DittoApp> {
     engine: Engine,
     app: Arc<A>,
-    states: Vec<Arc<Mutex<A::State>>>,
-    per_pe_counters: Vec<Counter>,
-    processed: Counter,
-    plan: Arc<Mutex<SchedulingPlan>>,
-    control: Arc<Control>,
-    plans_generated: Counter,
+    states: Vec<StateId<A::State>>,
+    per_pe_counters: Vec<CounterId>,
+    processed: CounterId,
+    plan: StateId<SchedulingPlan>,
+    control: ControlId,
+    plans_generated: CounterId,
     label: String,
     m_pri: u32,
     pe_entries: usize,
@@ -149,13 +152,13 @@ impl<A: DittoApp + 'static> PersistentPipeline<A> {
             "M + X = {pes} exceeds the wide word's {MAX_DEST_PES}-destination mask range"
         );
         let m = config.m_pri;
-        let control = Control::new(config.x_sec);
-        let processed = Counter::new();
-        let issued = Counter::new();
-        let plan = Arc::new(Mutex::new(SchedulingPlan::empty()));
         let mask = Arc::new(MaskTable::new(config.n_pre));
 
         let mut engine = Engine::new();
+        let control = engine.state(Control::new(config.x_sec));
+        let processed = engine.counter();
+        let issued = engine.counter();
+        let plan = engine.state(SchedulingPlan::empty());
         let lane_in: Vec<_> = (0..n)
             .map(|i| engine.channel::<Tuple>(&format!("lane{i}"), config.lane_queue_depth))
             .collect();
@@ -185,10 +188,10 @@ impl<A: DittoApp + 'static> PersistentPipeline<A> {
             .map(|i| engine.channel::<PeId>(&format!("feed{i}"), 4))
             .collect();
 
-        let states: Vec<Arc<Mutex<A::State>>> = (0..pes)
-            .map(|_| Arc::new(Mutex::new(app.new_state(config.pe_entries))))
+        let states: Vec<StateId<A::State>> = (0..pes)
+            .map(|_| engine.state(app.new_state(config.pe_entries)))
             .collect();
-        let per_pe_counters: Vec<Counter> = (0..pes).map(|_| Counter::new()).collect();
+        let per_pe_counters: Vec<CounterId> = (0..pes).map(|_| engine.counter()).collect();
 
         engine.add_kernel(MemoryReaderKernel::new(
             source,
@@ -209,7 +212,7 @@ impl<A: DittoApp + 'static> PersistentPipeline<A> {
                 i,
                 m,
                 config.x_sec,
-                Arc::clone(&control),
+                control,
                 plan_ch[i].1,
                 pre_out[i].1,
                 map_out[i].0,
@@ -230,7 +233,7 @@ impl<A: DittoApp + 'static> PersistentPipeline<A> {
             ));
         }
         let mut sec_kernel_ids = Vec::new();
-        for (j, state) in states.iter().enumerate() {
+        for (j, &state) in states.iter().enumerate() {
             let role = if (j as u32) < m {
                 PeRole::Primary
             } else {
@@ -241,10 +244,10 @@ impl<A: DittoApp + 'static> PersistentPipeline<A> {
                 role,
                 Arc::clone(&app),
                 pe_in[j].1,
-                Arc::clone(state),
-                per_pe_counters[j].clone(),
-                processed.clone(),
-                Arc::clone(&control),
+                state,
+                per_pe_counters[j],
+                processed,
+                control,
             ));
             if (j as u32) >= m {
                 sec_kernel_ids.push(kernel_id);
@@ -255,6 +258,7 @@ impl<A: DittoApp + 'static> PersistentPipeline<A> {
             // The profiler and merger are registered next, in this order.
             let merger_kernel_id = engine.kernel_count() as u32 + 1;
             let profiler = ProfilerKernel::new(
+                &mut engine,
                 ProfilerParams {
                     m_pri: m,
                     x_sec: config.x_sec,
@@ -266,9 +270,9 @@ impl<A: DittoApp + 'static> PersistentPipeline<A> {
                 },
                 feed_ch.iter().map(|&(_, rx)| rx).collect(),
                 plan_ch.iter().map(|&(tx, _)| tx).collect(),
-                processed.clone(),
-                Arc::clone(&plan),
-                Arc::clone(&control),
+                processed,
+                plan,
+                control,
             )
             .with_protocol_wakes(sec_kernel_ids, Some(merger_kernel_id));
             let counter = profiler.plans_generated();
@@ -278,8 +282,8 @@ impl<A: DittoApp + 'static> PersistentPipeline<A> {
                 states.clone(),
                 m,
                 config.pe_entries,
-                Arc::clone(&plan),
-                Arc::clone(&control),
+                plan,
+                control,
             ));
             assert_eq!(
                 actual_merger_id, merger_kernel_id,
@@ -287,7 +291,7 @@ impl<A: DittoApp + 'static> PersistentPipeline<A> {
             );
             counter
         } else {
-            Counter::new()
+            engine.counter()
         };
 
         PersistentPipeline {
@@ -332,7 +336,7 @@ impl<A: DittoApp + 'static> PersistentPipeline<A> {
 
     /// Tuples processed by destination PEs so far.
     pub fn processed(&self) -> u64 {
-        self.processed.get()
+        self.engine.context().counter(self.processed)
     }
 
     /// Steps the engine `n` cycles unconditionally.
@@ -364,19 +368,24 @@ impl<A: DittoApp + 'static> PersistentPipeline<A> {
             "pipeline '{}' failed to drain within {} cycles ({} tuples processed) — deadlock?",
             self.label,
             max_cycles,
-            self.processed.get(),
+            self.processed(),
         );
     }
 
     /// Mid-run statistics: cheap (no channel scan), safe to call between
     /// steps at any time.
     pub fn snapshot(&self) -> StatSnapshot {
+        let ctx = self.engine.context();
         StatSnapshot {
             cycles: self.engine.cycle(),
-            tuples: self.processed.get(),
-            reschedules: self.control.reschedules(),
-            plans_generated: self.plans_generated.get(),
-            per_pe_processed: self.per_pe_counters.iter().map(Counter::get).collect(),
+            tuples: ctx.counter(self.processed),
+            reschedules: ctx.state(self.control).reschedules(),
+            plans_generated: ctx.counter(self.plans_generated),
+            per_pe_processed: self
+                .per_pe_counters
+                .iter()
+                .map(|&c| ctx.counter(c))
+                .collect(),
             kernel_steps: self.engine.steps_executed(),
         }
     }
@@ -385,49 +394,34 @@ impl<A: DittoApp + 'static> PersistentPipeline<A> {
     /// (the offline flow's final merger pass) and returns the `M` PriPE
     /// states plus measurements — the raw parts a cross-shard merge path
     /// folds before a single cluster-level `finalize`.
-    pub fn finish_states(self) -> (Vec<A::State>, ExecutionReport, Vec<ChannelStats>) {
-        let PersistentPipeline {
-            engine,
-            app,
-            mut states,
-            per_pe_counters,
-            processed,
-            plan,
-            control,
-            plans_generated,
-            label,
-            m_pri,
-            pe_entries,
-            drained_ok,
-        } = self;
-        let total_cycles = engine.cycle();
-        let kernel_steps = engine.steps_executed();
-        let channels = engine.channel_stats();
+    ///
+    /// The PE buffers are taken straight out of the state arena; nothing is
+    /// cloned and no teardown ordering is involved.
+    pub fn finish_states(mut self) -> (Vec<A::State>, ExecutionReport, Vec<ChannelStats>) {
+        let total_cycles = self.engine.cycle();
+        let kernel_steps = self.engine.steps_executed();
+        let channels = self.engine.channel_stats();
 
-        // Tear down the engine so the shared state handles become unique.
-        drop(engine);
-
-        let plan = plan.lock().expect("engine dropped").clone();
-        crate::merger::fold_sec_states(&*app, &states, &plan, pe_entries);
-        let pri_states: Vec<A::State> = states
-            .drain(..)
-            .take(m_pri as usize)
-            .map(|arc| {
-                Arc::try_unwrap(arc)
-                    .unwrap_or_else(|_| unreachable!("engine dropped, state unaliased"))
-                    .into_inner()
-                    .expect("lock not poisoned")
-            })
+        let ctx = self.engine.context_mut();
+        let plan = ctx.state(self.plan).clone();
+        crate::merger::fold_sec_states(ctx, &*self.app, &self.states, &plan, self.pe_entries);
+        let pri_states: Vec<A::State> = self.states[..self.m_pri as usize]
+            .iter()
+            .map(|&id| ctx.take_state(id))
             .collect();
 
         let report = ExecutionReport {
-            label,
+            label: std::mem::take(&mut self.label),
             cycles: total_cycles,
-            tuples: processed.get(),
-            reschedules: control.reschedules(),
-            plans_generated: plans_generated.get(),
-            per_pe_processed: per_pe_counters.iter().map(Counter::get).collect(),
-            completed: drained_ok,
+            tuples: ctx.counter(self.processed),
+            reschedules: ctx.state(self.control).reschedules(),
+            plans_generated: ctx.counter(self.plans_generated),
+            per_pe_processed: self
+                .per_pe_counters
+                .iter()
+                .map(|&c| ctx.counter(c))
+                .collect(),
+            completed: self.drained_ok,
             channel_totals: ChannelTotals::aggregate(&channels),
             kernel_steps,
         };

@@ -2,14 +2,18 @@
 //!
 //! In the paper these are side-band signals between kernels ("the runtime
 //! profiler ... informs SecPEs and mappers and exits itself", §IV-B). We
-//! model them as a shared control block every kernel holds an `Arc` to; all
+//! model them as a control block living in the engine's **state arena**:
+//! every participating kernel holds the same `Copy` [`ControlId`] handle and
+//! resolves it through the `&mut SimContext` its `step` receives. All
 //! mutations happen inside `step` calls of the owning kernels, so the
-//! protocol stays cycle-accurate and deterministic. The block uses relaxed
-//! atomics purely so the whole engine is `Send` — each simulation remains
-//! single-threaded.
+//! protocol stays cycle-accurate and deterministic — and because the arena
+//! is engine-owned plain data, reading a flag is a field load, not an
+//! atomic, and the whole engine stays `Send` for free.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
-use std::sync::Arc;
+use hls_sim::StateId;
+
+/// Handle to a pipeline's [`Control`] block in the engine's state arena.
+pub type ControlId = StateId<Control>;
 
 /// Lifecycle of a SecPE kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,66 +28,46 @@ pub enum SecPhase {
     Exited,
 }
 
-impl SecPhase {
-    fn encode(self) -> u8 {
-        match self {
-            SecPhase::Running => 0,
-            SecPhase::Draining => 1,
-            SecPhase::Exited => 2,
-        }
-    }
-
-    fn decode(v: u8) -> Self {
-        match v {
-            0 => SecPhase::Running,
-            1 => SecPhase::Draining,
-            2 => SecPhase::Exited,
-            _ => unreachable!("invalid SecPhase encoding {v}"),
-        }
-    }
-}
-
-/// Shared control block (one per pipeline).
-#[derive(Debug)]
+/// Control block (one per pipeline), allocated in the state arena via
+/// [`Engine::state`](hls_sim::Engine::state).
+#[derive(Debug, Clone)]
 pub struct Control {
     /// When `false`, mappers route every tuple to its original PriPE —
     /// "the mappers will prevent the tuples from being routed to SecPEs".
-    route_to_sec: AtomicBool,
+    route_to_sec: bool,
     /// When `true`, mappers feed original PriPE ids to the profiler.
-    feed_profiler: AtomicBool,
+    feed_profiler: bool,
     /// Bumped on every reschedule; mappers reset their tables when they
     /// observe a generation change.
-    generation: AtomicU64,
+    generation: u64,
     /// Per-SecPE phase, indexed by `sec_index = pe_id - M`.
-    sec_phases: Vec<AtomicU8>,
+    sec_phases: Vec<SecPhase>,
     /// Tuples routed to each SecPE (by the mappers) and not yet processed.
     /// The drain protocol exits a SecPE only when this reaches zero, which
     /// is the exact form of "all the tuples in the channels whose upstream
     /// is the data routing logic are consumed" (§IV-B).
-    sec_inflight: Vec<AtomicU64>,
+    sec_inflight: Vec<u64>,
     /// Request flag for the merger to fold SecPE partials.
-    merge_request: AtomicBool,
+    merge_request: bool,
     /// Set by the merger once the fold completed.
-    merge_done: AtomicBool,
+    merge_done: bool,
     /// Completed reschedules.
-    reschedules: AtomicU64,
+    reschedules: u64,
 }
 
 impl Control {
     /// Creates the control block for `x_sec` SecPEs, with routing enabled.
-    pub fn new(x_sec: u32) -> Arc<Self> {
-        Arc::new(Control {
-            route_to_sec: AtomicBool::new(true),
-            feed_profiler: AtomicBool::new(false),
-            generation: AtomicU64::new(0),
-            sec_phases: (0..x_sec)
-                .map(|_| AtomicU8::new(SecPhase::Running.encode()))
-                .collect(),
-            sec_inflight: (0..x_sec).map(|_| AtomicU64::new(0)).collect(),
-            merge_request: AtomicBool::new(false),
-            merge_done: AtomicBool::new(false),
-            reschedules: AtomicU64::new(0),
-        })
+    pub fn new(x_sec: u32) -> Self {
+        Control {
+            route_to_sec: true,
+            feed_profiler: false,
+            generation: 0,
+            sec_phases: vec![SecPhase::Running; x_sec as usize],
+            sec_inflight: vec![0; x_sec as usize],
+            merge_request: false,
+            merge_done: false,
+            reschedules: 0,
+        }
     }
 
     /// Number of SecPEs.
@@ -93,32 +77,32 @@ impl Control {
 
     /// Whether mappers may redirect tuples to SecPEs.
     pub fn route_to_sec(&self) -> bool {
-        self.route_to_sec.load(Ordering::Relaxed)
+        self.route_to_sec
     }
 
     /// Enables/disables SecPE routing.
-    pub fn set_route_to_sec(&self, on: bool) {
-        self.route_to_sec.store(on, Ordering::Relaxed);
+    pub fn set_route_to_sec(&mut self, on: bool) {
+        self.route_to_sec = on;
     }
 
     /// Whether mappers should feed PriPE ids to the profiler.
     pub fn feed_profiler(&self) -> bool {
-        self.feed_profiler.load(Ordering::Relaxed)
+        self.feed_profiler
     }
 
     /// Turns the profiler feed on or off.
-    pub fn set_feed_profiler(&self, on: bool) {
-        self.feed_profiler.store(on, Ordering::Relaxed);
+    pub fn set_feed_profiler(&mut self, on: bool) {
+        self.feed_profiler = on;
     }
 
     /// Current mapper-table generation.
     pub fn generation(&self) -> u64 {
-        self.generation.load(Ordering::Relaxed)
+        self.generation
     }
 
     /// Starts a new generation (mappers reset to identity on observing it).
-    pub fn bump_generation(&self) {
-        self.generation.fetch_add(1, Ordering::Relaxed);
+    pub fn bump_generation(&mut self) {
+        self.generation += 1;
     }
 
     /// Phase of SecPE `sec_index` (0-based, *not* the PE id).
@@ -127,7 +111,7 @@ impl Control {
     ///
     /// Panics if `sec_index` is out of range.
     pub fn sec_phase(&self, sec_index: usize) -> SecPhase {
-        SecPhase::decode(self.sec_phases[sec_index].load(Ordering::Relaxed))
+        self.sec_phases[sec_index]
     }
 
     /// Sets the phase of SecPE `sec_index`.
@@ -135,34 +119,27 @@ impl Control {
     /// # Panics
     ///
     /// Panics if `sec_index` is out of range.
-    pub fn set_sec_phase(&self, sec_index: usize, phase: SecPhase) {
-        self.sec_phases[sec_index].store(phase.encode(), Ordering::Relaxed);
+    pub fn set_sec_phase(&mut self, sec_index: usize, phase: SecPhase) {
+        self.sec_phases[sec_index] = phase;
     }
 
     /// Moves every running SecPE to [`SecPhase::Draining`].
-    pub fn drain_all_secs(&self) {
-        for c in &self.sec_phases {
-            let _ = c.compare_exchange(
-                SecPhase::Running.encode(),
-                SecPhase::Draining.encode(),
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            );
+    pub fn drain_all_secs(&mut self) {
+        for p in &mut self.sec_phases {
+            if *p == SecPhase::Running {
+                *p = SecPhase::Draining;
+            }
         }
     }
 
     /// Re-enqueues all SecPEs ([`SecPhase::Running`]).
-    pub fn restart_all_secs(&self) {
-        for c in &self.sec_phases {
-            c.store(SecPhase::Running.encode(), Ordering::Relaxed);
-        }
+    pub fn restart_all_secs(&mut self) {
+        self.sec_phases.fill(SecPhase::Running);
     }
 
     /// `true` when every SecPE has exited (vacuously true with X = 0).
     pub fn all_secs_exited(&self) -> bool {
-        self.sec_phases
-            .iter()
-            .all(|c| c.load(Ordering::Relaxed) == SecPhase::Exited.encode())
+        self.sec_phases.iter().all(|&p| p == SecPhase::Exited)
     }
 
     /// Records a tuple routed towards SecPE `sec_index` (mapper side).
@@ -170,8 +147,8 @@ impl Control {
     /// # Panics
     ///
     /// Panics if `sec_index` is out of range.
-    pub fn sec_inflight_inc(&self, sec_index: usize) {
-        self.sec_inflight[sec_index].fetch_add(1, Ordering::Relaxed);
+    pub fn sec_inflight_inc(&mut self, sec_index: usize) {
+        self.sec_inflight[sec_index] += 1;
     }
 
     /// Records a tuple consumed by SecPE `sec_index` (PE side).
@@ -179,9 +156,10 @@ impl Control {
     /// # Panics
     ///
     /// Panics if `sec_index` is out of range or the count would go negative.
-    pub fn sec_inflight_dec(&self, sec_index: usize) {
-        let prev = self.sec_inflight[sec_index].fetch_sub(1, Ordering::Relaxed);
-        assert!(prev > 0, "in-flight underflow for SecPE {sec_index}");
+    pub fn sec_inflight_dec(&mut self, sec_index: usize) {
+        let count = &mut self.sec_inflight[sec_index];
+        assert!(*count > 0, "in-flight underflow for SecPE {sec_index}");
+        *count -= 1;
     }
 
     /// Tuples currently in flight towards SecPE `sec_index`.
@@ -190,38 +168,38 @@ impl Control {
     ///
     /// Panics if `sec_index` is out of range.
     pub fn sec_inflight(&self, sec_index: usize) -> u64 {
-        self.sec_inflight[sec_index].load(Ordering::Relaxed)
+        self.sec_inflight[sec_index]
     }
 
     /// Asks the merger to fold SecPE partials into PriPE buffers.
-    pub fn request_merge(&self) {
-        self.merge_done.store(false, Ordering::Relaxed);
-        self.merge_request.store(true, Ordering::Relaxed);
+    pub fn request_merge(&mut self) {
+        self.merge_done = false;
+        self.merge_request = true;
     }
 
     /// Consumed by the merger: returns `true` exactly once per request.
-    pub fn take_merge_request(&self) -> bool {
-        self.merge_request.swap(false, Ordering::Relaxed)
+    pub fn take_merge_request(&mut self) -> bool {
+        std::mem::take(&mut self.merge_request)
     }
 
     /// Marks the requested merge as complete.
-    pub fn set_merge_done(&self) {
-        self.merge_done.store(true, Ordering::Relaxed);
+    pub fn set_merge_done(&mut self) {
+        self.merge_done = true;
     }
 
     /// `true` once the last requested merge completed.
     pub fn merge_done(&self) -> bool {
-        self.merge_done.load(Ordering::Relaxed)
+        self.merge_done
     }
 
     /// Number of completed reschedules.
     pub fn reschedules(&self) -> u64 {
-        self.reschedules.load(Ordering::Relaxed)
+        self.reschedules
     }
 
     /// Counts one completed reschedule.
-    pub fn count_reschedule(&self) {
-        self.reschedules.fetch_add(1, Ordering::Relaxed);
+    pub fn count_reschedule(&mut self) {
+        self.reschedules += 1;
     }
 }
 
@@ -231,7 +209,7 @@ mod tests {
 
     #[test]
     fn sec_phase_lifecycle() {
-        let c = Control::new(3);
+        let mut c = Control::new(3);
         assert!(!c.all_secs_exited());
         c.drain_all_secs();
         for i in 0..3 {
@@ -245,7 +223,7 @@ mod tests {
 
     #[test]
     fn drain_does_not_resurrect_exited_secs() {
-        let c = Control::new(2);
+        let mut c = Control::new(2);
         c.set_sec_phase(0, SecPhase::Exited);
         c.drain_all_secs();
         assert_eq!(c.sec_phase(0), SecPhase::Exited);
@@ -260,7 +238,7 @@ mod tests {
 
     #[test]
     fn merge_request_is_consumed_once() {
-        let c = Control::new(1);
+        let mut c = Control::new(1);
         c.request_merge();
         assert!(c.take_merge_request());
         assert!(!c.take_merge_request());
@@ -271,7 +249,7 @@ mod tests {
 
     #[test]
     fn generation_bumps() {
-        let c = Control::new(1);
+        let mut c = Control::new(1);
         assert_eq!(c.generation(), 0);
         c.bump_generation();
         c.bump_generation();
@@ -279,8 +257,11 @@ mod tests {
     }
 
     #[test]
-    fn control_is_send_and_sync() {
-        fn assert_send_sync<T: Send + Sync>(_t: &T) {}
-        assert_send_sync(&*Control::new(2));
+    fn control_in_arena_is_send() {
+        fn assert_send<T: Send>(_t: &T) {}
+        let mut engine = hls_sim::Engine::new();
+        let id = engine.state(Control::new(2));
+        assert_send(&engine);
+        assert_eq!(engine.context().state(id).x_sec(), 2);
     }
 }

@@ -64,7 +64,7 @@ pub mod routing;
 pub use app::{DittoApp, MergeableOutput, Routed};
 pub use arch::{PersistentPipeline, RunOutcome, SkewObliviousPipeline};
 pub use config::ArchConfig;
-pub use control::{Control, SecPhase};
+pub use control::{Control, ControlId, SecPhase};
 pub use mask::MaskTable;
 pub use plan::SchedulingPlan;
 pub use report::{ChannelTotals, ExecutionReport, StatSnapshot};

@@ -1,12 +1,10 @@
 //! The mapper module (§IV-C2, Fig. 4): mapping table, counter array and
 //! round-robin workload redirecting.
 
-use std::sync::Arc;
-
 use hls_sim::{Cycle, Kernel, Progress, ReceiverId, SenderId, SimContext, WakeSet};
 
 use crate::app::Routed;
-use crate::control::Control;
+use crate::control::ControlId;
 use crate::PeId;
 
 /// The pure mapping-table state machine, separated from the kernel shell so
@@ -141,7 +139,7 @@ pub struct MapperKernel<V> {
     name: String,
     mapper: Mapper,
     generation: u64,
-    control: Arc<Control>,
+    control: ControlId,
     plan_rx: ReceiverId<(PeId, PeId)>,
     input: ReceiverId<Routed<V>>,
     output: SenderId<Routed<V>>,
@@ -155,7 +153,7 @@ impl<V> MapperKernel<V> {
         lane: usize,
         m_pri: u32,
         x_sec: u32,
-        control: Arc<Control>,
+        control: ControlId,
         plan_rx: ReceiverId<(PeId, PeId)>,
         input: ReceiverId<Routed<V>>,
         output: SenderId<Routed<V>>,
@@ -194,8 +192,15 @@ impl<V: Clone + Send + 'static> Kernel for MapperKernel<V> {
     }
 
     fn step(&mut self, cy: Cycle, ctx: &mut SimContext) -> Progress {
+        // One control-block resolution per step: the flags only change
+        // inside other kernels' steps, never mid-step, so reading them all
+        // up front is exact.
+        let control = ctx.state(self.control);
+        let gen = control.generation();
+        let route_to_sec = control.route_to_sec();
+        let feed_profiler = control.feed_profiler();
+
         // Generation change: reset to identity before anything else.
-        let gen = self.control.generation();
         if gen != self.generation {
             self.mapper.reset();
             self.generation = gen;
@@ -212,19 +217,19 @@ impl<V: Clone + Send + 'static> Kernel for MapperKernel<V> {
         }
         if let Some(routed) = ctx.try_recv(cy, self.input) {
             let original = routed.dst;
-            let redirected = if self.control.route_to_sec() {
+            let redirected = if route_to_sec {
                 self.mapper.redirect(original)
             } else {
                 original
             };
             if redirected >= self.mapper.m_pri {
                 // Exact in-flight accounting for the drain protocol.
-                self.control
+                ctx.state_mut(self.control)
                     .sec_inflight_inc((redirected - self.mapper.m_pri) as usize);
             }
             ctx.try_send(cy, self.output, Routed::new(redirected, routed.value))
                 .unwrap_or_else(|_| unreachable!("checked can_send"));
-            if self.control.feed_profiler() {
+            if feed_profiler {
                 // Drop the feed if the profiler queue is full; the hardware
                 // hist port accepts one id per lane per cycle by design.
                 let _ = ctx.try_send(cy, self.profiler_feed, original);

@@ -1,33 +1,35 @@
 //! The merger module (§IV-B): folds SecPE partial buffers into PriPE
 //! results according to the SecPE scheduling plan.
 
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
-use hls_sim::{Cycle, Kernel, Progress, SimContext};
+use hls_sim::{Cycle, Kernel, Progress, SimContext, StateId};
 
 use crate::app::DittoApp;
-use crate::control::Control;
+use crate::control::ControlId;
 use crate::SchedulingPlan;
 
 /// The merger kernel.
 ///
-/// Holds shared handles to every destination PE's private buffer. On a
+/// Holds the arena handles of every destination PE's private buffer. On a
 /// merge request (raised by the profiler once all SecPEs have drained) it
 /// folds each scheduled SecPE's buffer into its PriPE's via the
 /// application's `merge`, resets the SecPE buffer for its next assignment,
-/// and acknowledges through the control block.
+/// and acknowledges through the control block. All of that goes through the
+/// `SimContext`: the PE buffers are state-arena registers this kernel and
+/// the owning PEs address by the same `Copy` [`StateId`]s.
 ///
-/// The same `merge_now` path is invoked once more at end of run before
+/// The same fold ([`fold_sec_states`]) runs once more at end of run before
 /// `finalize` (the paper's offline flow: "the results of PriPEs and SecPEs
 /// are merged by the merger module according to the SecPE scheduling plan").
 pub struct MergerKernel<A: DittoApp> {
     name: String,
     app: Arc<A>,
-    states: Vec<Arc<Mutex<A::State>>>,
+    states: Vec<StateId<A::State>>,
     m_pri: u32,
     pe_entries: usize,
-    plan: Arc<Mutex<SchedulingPlan>>,
-    control: Arc<Control>,
+    plan: StateId<SchedulingPlan>,
+    control: ControlId,
     merges_done: u64,
 }
 
@@ -36,11 +38,11 @@ impl<A: DittoApp> MergerKernel<A> {
     /// (`states[0..M]` are PriPEs, the rest SecPEs).
     pub fn new(
         app: Arc<A>,
-        states: Vec<Arc<Mutex<A::State>>>,
+        states: Vec<StateId<A::State>>,
         m_pri: u32,
         pe_entries: usize,
-        plan: Arc<Mutex<SchedulingPlan>>,
-        control: Arc<Control>,
+        plan: StateId<SchedulingPlan>,
+        control: ControlId,
     ) -> Self {
         assert!(states.len() >= m_pri as usize, "need at least M states");
         MergerKernel {
@@ -57,24 +59,19 @@ impl<A: DittoApp> MergerKernel<A> {
 
     /// Performs the fold immediately (also used by the pipeline at end of
     /// run). SecPE buffers are reset to fresh states afterwards.
-    pub fn merge_now(&mut self) {
-        let plan = self.plan.lock().expect("uncontended").clone();
+    pub fn merge_now(&mut self, ctx: &mut SimContext) {
+        let plan = ctx.state(self.plan).clone();
         debug_assert!(plan
             .pairs()
             .iter()
             .all(|&(_, pri)| (pri as usize) < self.m_pri as usize));
-        fold_sec_states(&*self.app, &self.states, &plan, self.pe_entries);
+        fold_sec_states(ctx, &*self.app, &self.states, &plan, self.pe_entries);
         self.merges_done += 1;
     }
 
     /// Number of merge passes executed.
     pub fn merges_done(&self) -> u64 {
         self.merges_done
-    }
-
-    #[cfg(test)]
-    pub(crate) fn control(&self) -> Arc<Control> {
-        Arc::clone(&self.control)
     }
 }
 
@@ -83,10 +80,10 @@ impl<A: DittoApp + 'static> Kernel for MergerKernel<A> {
         &self.name
     }
 
-    fn step(&mut self, _cy: Cycle, _ctx: &mut SimContext) -> Progress {
-        if self.control.take_merge_request() {
-            self.merge_now();
-            self.control.set_merge_done();
+    fn step(&mut self, _cy: Cycle, ctx: &mut SimContext) -> Progress {
+        if ctx.state_mut(self.control).take_merge_request() {
+            self.merge_now(ctx);
+            ctx.state_mut(self.control).set_merge_done();
         }
         // Merge requests arrive through the control block, not a channel;
         // the profiler wakes this kernel explicitly whenever it raises one,
@@ -102,22 +99,22 @@ impl<A: DittoApp + 'static> Kernel for MergerKernel<A> {
 /// Folds each scheduled SecPE buffer into its PriPE's via the application's
 /// `merge`, resetting the SecPE buffer to a fresh `pe_entries`-sized state —
 /// the one fold used both by mid-run reschedules ([`MergerKernel`]) and the
-/// pipeline's end-of-run pass.
+/// pipeline's end-of-run pass. The buffers are arena registers, so the fold
+/// is a pair of indexed accesses per plan entry: take the SecPE state out,
+/// merge it into the PriPE's.
 pub fn fold_sec_states<A: DittoApp>(
+    ctx: &mut SimContext,
     app: &A,
-    states: &[Arc<Mutex<A::State>>],
+    states: &[StateId<A::State>],
     plan: &SchedulingPlan,
     pe_entries: usize,
 ) {
     for &(sec, pri) in plan.pairs() {
         let sec_state = std::mem::replace(
-            &mut *states[sec as usize].lock().expect("uncontended"),
+            ctx.state_mut(states[sec as usize]),
             app.new_state(pe_entries),
         );
-        app.merge(
-            &mut states[pri as usize].lock().expect("uncontended"),
-            &sec_state,
-        );
+        app.merge(ctx.state_mut(states[pri as usize]), &sec_state);
     }
 }
 
@@ -125,37 +122,45 @@ pub fn fold_sec_states<A: DittoApp>(
 mod tests {
     use super::*;
     use crate::apps::CountPerKey;
+    use crate::control::Control;
     use hls_sim::Engine;
 
-    fn setup(plan_pairs: Vec<(u32, u32)>) -> (MergerKernel<CountPerKey>, Vec<Arc<Mutex<u64>>>) {
+    fn setup(
+        plan_pairs: Vec<(u32, u32)>,
+    ) -> (
+        Engine,
+        MergerKernel<CountPerKey>,
+        Vec<StateId<u64>>,
+        ControlId,
+    ) {
         let app = Arc::new(CountPerKey::new(2));
-        let states: Vec<Arc<Mutex<u64>>> = (0..4).map(|i| Arc::new(Mutex::new(i * 10))).collect();
-        let plan = Arc::new(Mutex::new(SchedulingPlan::from_pairs(plan_pairs)));
-        let control = Control::new(2);
+        let mut engine = Engine::new();
+        let states: Vec<StateId<u64>> = (0..4u64).map(|i| engine.state(i * 10)).collect();
+        let plan = engine.state(SchedulingPlan::from_pairs(plan_pairs));
+        let control = engine.state(Control::new(2));
         let merger = MergerKernel::new(app, states.clone(), 2, 1, plan, control);
-        (merger, states)
+        (engine, merger, states, control)
     }
 
     #[test]
     fn merges_sec_into_pri_and_resets_sec() {
         // PEs 0,1 primary (10*id), PEs 2,3 secondary; plan: 2->0, 3->1.
-        let (mut merger, states) = setup(vec![(2, 0), (3, 1)]);
-        merger.merge_now();
-        assert_eq!(*states[0].lock().unwrap(), 20);
-        assert_eq!(*states[1].lock().unwrap(), 10 + 30);
-        assert_eq!(*states[2].lock().unwrap(), 0, "SecPE buffer reset");
-        assert_eq!(*states[3].lock().unwrap(), 0);
+        let (mut engine, mut merger, states, _) = setup(vec![(2, 0), (3, 1)]);
+        merger.merge_now(engine.context_mut());
+        let ctx = engine.context();
+        assert_eq!(*ctx.state(states[0]), 20);
+        assert_eq!(*ctx.state(states[1]), 10 + 30);
+        assert_eq!(*ctx.state(states[2]), 0, "SecPE buffer reset");
+        assert_eq!(*ctx.state(states[3]), 0);
     }
 
     #[test]
     fn merge_request_via_control() {
-        let (mut merger, states) = setup(vec![(2, 1)]);
-        let control = merger.control();
-        let mut engine = Engine::new();
-        control.request_merge();
+        let (mut engine, mut merger, states, control) = setup(vec![(2, 1)]);
+        engine.context_mut().state_mut(control).request_merge();
         merger.step(0, engine.context_mut());
-        assert!(control.merge_done());
-        assert_eq!(*states[1].lock().unwrap(), 10 + 20);
+        assert!(engine.context().state(control).merge_done());
+        assert_eq!(*engine.context().state(states[1]), 10 + 20);
         // A second step without a request does nothing.
         merger.step(1, engine.context_mut());
         assert_eq!(merger.merges_done(), 1);
@@ -163,10 +168,10 @@ mod tests {
 
     #[test]
     fn empty_plan_merges_nothing() {
-        let (mut merger, states) = setup(vec![]);
-        merger.merge_now();
+        let (mut engine, mut merger, states, _) = setup(vec![]);
+        merger.merge_now(engine.context_mut());
         for (i, s) in states.iter().enumerate() {
-            assert_eq!(*s.lock().unwrap(), i as u64 * 10);
+            assert_eq!(*engine.context().state(*s), i as u64 * 10);
         }
     }
 }

@@ -1,11 +1,13 @@
 //! Processing elements: PrePEs and destination PEs (PriPE/SecPE).
 
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
-use hls_sim::{Counter, Cycle, Kernel, Progress, ReceiverId, SenderId, SimContext, WakeSet};
+use hls_sim::{
+    CounterId, Cycle, Kernel, Progress, ReceiverId, SenderId, SimContext, StateId, WakeSet,
+};
 
 use crate::app::{DittoApp, Routed};
-use crate::control::{Control, SecPhase};
+use crate::control::{ControlId, SecPhase};
 use crate::Tuple;
 
 /// A PrePE: reads raw tuples from its lane, applies the application's
@@ -100,19 +102,21 @@ pub enum PeRole {
 /// cycles per tuple and applies the application's `process` against its
 /// private buffer.
 ///
-/// The private buffer is shared with the merger through an
-/// `Arc<Mutex<State>>` — the in-simulation equivalent of the merger reading
-/// the PE's BRAM after it exits. The lock is uncontended (one engine runs on
-/// one thread); it exists so whole engines can move across sweep threads.
+/// The private buffer is a register in the engine's **state arena**: this
+/// kernel and the merger hold the same `Copy` [`StateId`] and resolve it
+/// through the `SimContext` — the in-simulation equivalent of the merger
+/// reading the PE's BRAM after it exits. Processed-tuple accounting goes
+/// through plain arena counters the same way, so the per-tuple hot path is
+/// two indexed arena accesses, with no locks and no atomics anywhere.
 pub struct ProcPeKernel<A: DittoApp> {
     name: String,
     app: Arc<A>,
     role: PeRole,
     input: ReceiverId<A::Value>,
-    state: Arc<Mutex<A::State>>,
-    processed: Counter,
-    total_processed: Counter,
-    control: Arc<Control>,
+    state: StateId<A::State>,
+    processed: CounterId,
+    total_processed: CounterId,
+    control: ControlId,
     busy_until: Cycle,
 }
 
@@ -124,10 +128,10 @@ impl<A: DittoApp> ProcPeKernel<A> {
         role: PeRole,
         app: Arc<A>,
         input: ReceiverId<A::Value>,
-        state: Arc<Mutex<A::State>>,
-        processed: Counter,
-        total_processed: Counter,
-        control: Arc<Control>,
+        state: StateId<A::State>,
+        processed: CounterId,
+        total_processed: CounterId,
+        control: ControlId,
     ) -> Self {
         let name = match role {
             PeRole::Primary => format!("pripe#{id}"),
@@ -147,8 +151,8 @@ impl<A: DittoApp> ProcPeKernel<A> {
     }
 
     /// This PE's per-PE processed-tuple counter.
-    pub fn processed(&self) -> Counter {
-        self.processed.clone()
+    pub fn processed(&self) -> CounterId {
+        self.processed
     }
 }
 
@@ -159,7 +163,8 @@ impl<A: DittoApp + 'static> Kernel for ProcPeKernel<A> {
 
     fn step(&mut self, cy: Cycle, ctx: &mut SimContext) -> Progress {
         if let PeRole::Secondary(idx) = self.role {
-            match self.control.sec_phase(idx) {
+            let control = ctx.state(self.control);
+            match control.sec_phase(idx) {
                 SecPhase::Running => {}
                 SecPhase::Draining => {
                     // §IV-B's drain protocol: keep consuming (at the normal
@@ -167,8 +172,9 @@ impl<A: DittoApp + 'static> Kernel for ProcPeKernel<A> {
                     // the datapath has been consumed, then exit. Stay hot
                     // for the whole drain so the transition fires the cycle
                     // the last in-flight tuple lands.
-                    if self.control.sec_inflight(idx) == 0 {
-                        self.control.set_sec_phase(idx, SecPhase::Exited);
+                    if control.sec_inflight(idx) == 0 {
+                        ctx.state_mut(self.control)
+                            .set_sec_phase(idx, SecPhase::Exited);
                         return Progress::Sleep;
                     }
                 }
@@ -181,12 +187,11 @@ impl<A: DittoApp + 'static> Kernel for ProcPeKernel<A> {
             return Progress::Busy;
         }
         if let Some(value) = ctx.try_recv(cy, self.input) {
-            self.app
-                .process(&mut self.state.lock().expect("uncontended"), &value);
-            self.processed.incr();
-            self.total_processed.incr();
+            self.app.process(ctx.state_mut(self.state), &value);
+            ctx.counter_incr(self.processed);
+            ctx.counter_incr(self.total_processed);
             if let PeRole::Secondary(idx) = self.role {
-                self.control.sec_inflight_dec(idx);
+                ctx.state_mut(self.control).sec_inflight_dec(idx);
             }
             self.busy_until = cy + Cycle::from(self.app.ii_pri());
             return Progress::Busy;
@@ -214,6 +219,7 @@ impl<A: DittoApp + 'static> Kernel for ProcPeKernel<A> {
 mod tests {
     use super::*;
     use crate::apps::CountPerKey;
+    use crate::control::Control;
     use hls_sim::Engine;
 
     #[test]
@@ -252,21 +258,23 @@ mod tests {
         for _ in 0..100 {
             engine.context_mut().try_send(0, in_tx, ()).unwrap();
         }
-        let state = Arc::new(Mutex::new(0u64));
-        let control = Control::new(0);
+        let state = engine.state(0u64);
+        let control = engine.state(Control::new(0));
+        let processed = engine.counter();
+        let total = engine.counter();
         engine.add_kernel(ProcPeKernel::new(
             0,
             PeRole::Primary,
             app,
             in_rx,
-            state.clone(),
-            Counter::new(),
-            Counter::new(),
+            state,
+            processed,
+            total,
             control,
         ));
         engine.run_cycles(41);
         // II = 2: about 20 tuples in 41 cycles.
-        let done = *state.lock().unwrap();
+        let done = *engine.context().state(state);
         assert!((19..=21).contains(&done), "{done}");
     }
 
@@ -278,26 +286,29 @@ mod tests {
         for _ in 0..5 {
             engine.context_mut().try_send(0, in_tx, ()).unwrap();
         }
-        let control = Control::new(1);
+        let control = engine.state(Control::new(1));
         // The mapper-side accounting would have counted these five tuples.
         for _ in 0..5 {
-            control.sec_inflight_inc(0);
+            engine.context_mut().state_mut(control).sec_inflight_inc(0);
         }
-        let state = Arc::new(Mutex::new(0u64));
+        let state = engine.state(0u64);
+        let processed = engine.counter();
+        let total = engine.counter();
         engine.add_kernel(ProcPeKernel::new(
             4,
             PeRole::Secondary(0),
             app,
             in_rx,
-            state.clone(),
-            Counter::new(),
-            Counter::new(),
-            control.clone(),
+            state,
+            processed,
+            total,
+            control,
         ));
-        control.set_sec_phase(0, SecPhase::Draining);
+        engine.context_mut().state_mut(control).drain_all_secs();
         engine.run_cycles(100);
-        assert_eq!(*state.lock().unwrap(), 5, "drained all queued tuples");
-        assert_eq!(control.sec_phase(0), SecPhase::Exited);
+        let ctx = engine.context();
+        assert_eq!(*ctx.state(state), 5, "drained all queued tuples");
+        assert_eq!(ctx.state(control).sec_phase(0), SecPhase::Exited);
     }
 
     #[test]
@@ -306,20 +317,25 @@ mod tests {
         let mut engine = Engine::new();
         let (in_tx, in_rx) = engine.channel("in", 16);
         engine.context_mut().try_send(0, in_tx, ()).unwrap();
-        let control = Control::new(1);
-        control.set_sec_phase(0, SecPhase::Exited);
-        let state = Arc::new(Mutex::new(0u64));
+        let control = engine.state(Control::new(1));
+        engine
+            .context_mut()
+            .state_mut(control)
+            .set_sec_phase(0, SecPhase::Exited);
+        let state = engine.state(0u64);
+        let processed = engine.counter();
+        let total = engine.counter();
         engine.add_kernel(ProcPeKernel::new(
             4,
             PeRole::Secondary(0),
             app,
             in_rx,
-            state.clone(),
-            Counter::new(),
-            Counter::new(),
+            state,
+            processed,
+            total,
             control,
         ));
         engine.run_cycles(10);
-        assert_eq!(*state.lock().unwrap(), 0);
+        assert_eq!(*engine.context().state(state), 0);
     }
 }

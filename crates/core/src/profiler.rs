@@ -2,13 +2,13 @@
 //! generation, throughput monitoring and the reschedule protocol (§IV-B).
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Mutex};
 
 use hls_sim::{
-    Counter, Cycle, Kernel, KernelId, Progress, ReceiverId, SenderId, SimContext, ThroughputWindow,
+    CounterId, Cycle, Engine, Kernel, KernelId, Progress, ReceiverId, SenderId, SimContext,
+    StateId, ThroughputWindow,
 };
 
-use crate::control::Control;
+use crate::control::ControlId;
 use crate::{PeId, SchedulingPlan};
 
 /// Tuning parameters of the profiler.
@@ -66,6 +66,11 @@ enum Phase {
 /// the reschedule protocol: mappers stop routing to SecPEs, SecPEs drain
 /// and exit, the merger folds their partials, and after the kernel
 /// re-enqueue overhead the profiler starts a fresh profiling window.
+///
+/// All cross-kernel state — the current plan, the control block, the
+/// processed-tuple count driving the throughput monitor and the
+/// plans-generated count — lives in the engine's state arena; the profiler
+/// holds `Copy` handles and resolves them through the `SimContext`.
 pub struct ProfilerKernel {
     name: String,
     params: ProfilerParams,
@@ -74,10 +79,12 @@ pub struct ProfilerKernel {
     plan_txs: Vec<SenderId<(PeId, PeId)>>,
     /// N independent hist instances (one per mapper lane), M bins each.
     hists: Vec<Vec<u64>>,
-    current_plan: Arc<Mutex<SchedulingPlan>>,
-    control: Arc<Control>,
+    current_plan: StateId<SchedulingPlan>,
+    control: ControlId,
+    /// Global processed-tuple counter driving the throughput monitor.
+    processed: CounterId,
     window: ThroughputWindow,
-    plans_generated: Counter,
+    plans_generated: CounterId,
     /// Consecutive reschedules that re-triggered faster than the requeue
     /// overhead can amortise.
     fast_retriggers: u32,
@@ -90,12 +97,15 @@ pub struct ProfilerKernel {
 }
 
 impl ProfilerKernel {
-    /// Creates the profiler.
+    /// Creates the profiler against `engine`'s state arena.
     ///
     /// `feeds` carry original PriPE ids from each mapper lane; `plan_txs`
     /// deliver plan pairs back to each mapper; `processed` is the global
     /// processed-tuple counter driving the throughput monitor;
-    /// `current_plan` is shared with the merger.
+    /// `current_plan` is shared with the merger and `control` with the
+    /// whole pipeline. A fresh plans-generated counter is allocated in the
+    /// arena (see [`plans_generated`](Self::plans_generated)), and the
+    /// mappers' profiler feed is switched on.
     ///
     /// # Panics
     ///
@@ -103,12 +113,13 @@ impl ProfilerKernel {
     /// to schedule — don't instantiate a profiler) or if `feeds` and
     /// `plan_txs` lengths differ.
     pub fn new(
+        engine: &mut Engine,
         params: ProfilerParams,
         feeds: Vec<ReceiverId<PeId>>,
         plan_txs: Vec<SenderId<(PeId, PeId)>>,
-        processed: Counter,
-        current_plan: Arc<Mutex<SchedulingPlan>>,
-        control: Arc<Control>,
+        processed: CounterId,
+        current_plan: StateId<SchedulingPlan>,
+        control: ControlId,
     ) -> Self {
         assert!(params.x_sec > 0, "profiler requires at least one SecPE");
         assert!(
@@ -121,10 +132,14 @@ impl ProfilerKernel {
             "one plan channel per mapper lane"
         );
         let lanes = feeds.len();
-        control.set_feed_profiler(true);
+        let plans_generated = engine.counter();
+        engine
+            .context_mut()
+            .state_mut(control)
+            .set_feed_profiler(true);
         ProfilerKernel {
             name: "runtime-profiler".to_owned(),
-            window: ThroughputWindow::new(processed, params.monitor_window),
+            window: ThroughputWindow::new(params.monitor_window),
             phase: Phase::Profiling {
                 remaining: params.profile_cycles,
             },
@@ -133,8 +148,9 @@ impl ProfilerKernel {
             plan_txs,
             current_plan,
             control,
+            processed,
             params,
-            plans_generated: Counter::new(),
+            plans_generated,
             fast_retriggers: 0,
             sec_kernels: Vec::new(),
             merger_kernel: None,
@@ -142,8 +158,8 @@ impl ProfilerKernel {
     }
 
     /// Counter of generated plans (observable by reports/tests).
-    pub fn plans_generated(&self) -> Counter {
-        self.plans_generated.clone()
+    pub fn plans_generated(&self) -> CounterId {
+        self.plans_generated
     }
 
     /// Registers the kernels this profiler must wake when it drives the
@@ -202,13 +218,13 @@ impl Kernel for ProfilerKernel {
                 }
                 *remaining -= 1;
                 if *remaining == 0 {
-                    self.control.set_feed_profiler(false);
+                    ctx.state_mut(self.control).set_feed_profiler(false);
                     let workloads = self.merged_workloads();
                     let plan =
                         SchedulingPlan::generate(&workloads, self.params.m_pri, self.params.x_sec);
                     let queue: VecDeque<_> = plan.pairs().to_vec().into();
-                    *self.current_plan.lock().expect("uncontended") = plan;
-                    self.plans_generated.incr();
+                    *ctx.state_mut(self.current_plan) = plan;
+                    ctx.counter_incr(self.plans_generated);
                     self.phase = Phase::Distributing { queue };
                 }
             }
@@ -226,7 +242,7 @@ impl Kernel for ProfilerKernel {
                     }
                 }
                 if queue.is_empty() {
-                    self.window.restart(cy);
+                    self.window.restart(cy, ctx.counter(self.processed));
                     self.phase = Phase::Monitoring {
                         since: cy,
                         peak: 0.0,
@@ -239,7 +255,7 @@ impl Kernel for ProfilerKernel {
                     // no-op, so the profiler can park for good.
                     return Progress::Sleep;
                 }
-                if let Some(rate) = self.window.tick(cy) {
+                if let Some(rate) = self.window.tick(cy, ctx.counter(self.processed)) {
                     if rate > *peak {
                         *peak = rate;
                     }
@@ -259,16 +275,17 @@ impl Kernel for ProfilerKernel {
                         } else {
                             self.fast_retriggers = 0;
                         }
-                        self.control.set_route_to_sec(false);
-                        self.control.drain_all_secs();
+                        let control = ctx.state_mut(self.control);
+                        control.set_route_to_sec(false);
+                        control.drain_all_secs();
                         self.wake_secs(ctx);
                         self.phase = Phase::Draining;
                     }
                 }
             }
             Phase::Draining => {
-                if self.control.all_secs_exited() {
-                    self.control.request_merge();
+                if ctx.state(self.control).all_secs_exited() {
+                    ctx.state_mut(self.control).request_merge();
                     if let Some(k) = self.merger_kernel {
                         ctx.wake_kernel(k);
                     }
@@ -276,8 +293,8 @@ impl Kernel for ProfilerKernel {
                 }
             }
             Phase::AwaitMerge => {
-                if self.control.merge_done() {
-                    self.control.count_reschedule();
+                if ctx.state(self.control).merge_done() {
+                    ctx.state_mut(self.control).count_reschedule();
                     self.phase = Phase::Requeue {
                         until: cy + self.params.requeue_overhead_cycles,
                     };
@@ -286,11 +303,12 @@ impl Kernel for ProfilerKernel {
             Phase::Requeue { until } => {
                 if cy >= *until {
                     // CPU has re-enqueued profiler + SecPEs (§IV-B).
-                    self.control.bump_generation();
-                    self.control.restart_all_secs();
+                    let control = ctx.state_mut(self.control);
+                    control.bump_generation();
+                    control.restart_all_secs();
+                    control.set_route_to_sec(true);
+                    control.set_feed_profiler(true);
                     self.wake_secs(ctx);
-                    self.control.set_route_to_sec(true);
-                    self.control.set_feed_profiler(true);
                     self.reset_hists();
                     self.phase = Phase::Profiling {
                         remaining: self.params.profile_cycles,
@@ -319,7 +337,8 @@ impl Kernel for ProfilerKernel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hls_sim::Engine;
+    use crate::control::Control;
+    use crate::SecPhase;
 
     fn params(x: u32) -> ProfilerParams {
         ProfilerParams {
@@ -338,15 +357,17 @@ mod tests {
         let mut engine = Engine::new();
         let (feed_tx, feed_rx) = engine.channel::<u32>("feed", 64);
         let (plan_tx, plan_rx) = engine.channel::<(u32, u32)>("plan", 8);
-        let control = Control::new(2);
-        let plan = Arc::new(Mutex::new(SchedulingPlan::empty()));
+        let control = engine.state(Control::new(2));
+        let plan = engine.state(SchedulingPlan::empty());
+        let processed = engine.counter();
         let mut prof = ProfilerKernel::new(
+            &mut engine,
             params(2),
             vec![feed_rx],
             vec![plan_tx],
-            Counter::new(),
-            plan.clone(),
-            control.clone(),
+            processed,
+            plan,
+            control,
         );
         // All workload on PriPE 3.
         for _ in 0..10 {
@@ -356,12 +377,12 @@ mod tests {
         for cy in 1..64 {
             prof.step(cy, ctx);
         }
-        assert_eq!(plan.lock().unwrap().pairs(), &[(4, 3), (5, 3)]);
+        assert_eq!(ctx.state(plan).pairs(), &[(4, 3), (5, 3)]);
         // Mapper received both pairs.
         assert_eq!(ctx.try_recv(100, plan_rx), Some((4, 3)));
         assert_eq!(ctx.try_recv(100, plan_rx), Some((5, 3)));
         assert!(
-            !control.feed_profiler(),
+            !ctx.state(control).feed_profiler(),
             "feed stops after profiling window"
         );
         assert!(prof.is_idle(ctx));
@@ -376,14 +397,16 @@ mod tests {
         let plans: Vec<_> = (0..2)
             .map(|i| engine.channel::<(u32, u32)>(&format!("p{i}"), 8))
             .collect();
-        let control = Control::new(1);
-        let plan = Arc::new(Mutex::new(SchedulingPlan::empty()));
+        let control = engine.state(Control::new(1));
+        let plan = engine.state(SchedulingPlan::empty());
+        let processed = engine.counter();
         let mut prof = ProfilerKernel::new(
+            &mut engine,
             params(1),
             feeds.iter().map(|&(_, rx)| rx).collect(),
             plans.iter().map(|&(tx, _)| tx).collect(),
-            Counter::new(),
-            plan.clone(),
+            processed,
+            plan,
             control,
         );
         // Lane 0 votes PriPE 1, lane 1 votes PriPE 2 — but lane 1 votes more.
@@ -397,7 +420,7 @@ mod tests {
         for cy in 1..40 {
             prof.step(cy, ctx);
         }
-        assert_eq!(plan.lock().unwrap().pairs(), &[(4, 2)]);
+        assert_eq!(ctx.state(plan).pairs(), &[(4, 2)]);
     }
 
     #[test]
@@ -405,24 +428,25 @@ mod tests {
         let mut engine = Engine::new();
         let (_feed_tx, feed_rx) = engine.channel::<u32>("feed", 64);
         let (plan_tx, _plan_rx) = engine.channel::<(u32, u32)>("plan", 8);
-        let control = Control::new(1);
-        let processed = Counter::new();
-        let plan = Arc::new(Mutex::new(SchedulingPlan::empty()));
+        let control = engine.state(Control::new(1));
+        let plan = engine.state(SchedulingPlan::empty());
+        let processed = engine.counter();
         let mut prof = ProfilerKernel::new(
+            &mut engine,
             params(1),
             vec![feed_rx],
             vec![plan_tx],
-            processed.clone(),
+            processed,
             plan,
-            control.clone(),
+            control,
         );
         // Throughput collapses to zero after the plan, but threshold is 0.
         let ctx = engine.context_mut();
         for cy in 1..2_000 {
             prof.step(cy, ctx);
         }
-        assert_eq!(control.reschedules(), 0);
-        assert!(control.route_to_sec());
+        assert_eq!(ctx.state(control).reschedules(), 0);
+        assert!(ctx.state(control).route_to_sec());
     }
 
     #[test]
@@ -430,19 +454,20 @@ mod tests {
         let mut engine = Engine::new();
         let (feed_tx, feed_rx) = engine.channel::<u32>("feed", 256);
         let (plan_tx, _plan_rx) = engine.channel::<(u32, u32)>("plan", 8);
-        let control = Control::new(1);
-        let processed = Counter::new();
-        let plan = Arc::new(Mutex::new(SchedulingPlan::empty()));
+        let control = engine.state(Control::new(1));
+        let plan = engine.state(SchedulingPlan::empty());
+        let processed = engine.counter();
         let mut p = params(1);
         p.reschedule_threshold = 0.5;
         p.requeue_overhead_cycles = 50;
         let mut prof = ProfilerKernel::new(
+            &mut engine,
             p,
             vec![feed_rx],
             vec![plan_tx],
-            processed.clone(),
+            processed,
             plan,
-            control.clone(),
+            control,
         );
         // Phase 1: profile (16 cycles), distribute, then healthy rate.
         let ctx = engine.context_mut();
@@ -454,31 +479,38 @@ mod tests {
         }
         // Healthy throughput for several windows (processed grows fast)...
         for _ in 0..400 {
-            processed.add(4);
+            ctx.counter_add(processed, 4);
             prof.step(cy, ctx);
             cy += 1;
         }
-        assert_eq!(control.reschedules(), 0);
+        assert_eq!(ctx.state(control).reschedules(), 0);
         // ...then collapse: rate goes to ~0 -> trigger.
         for _ in 0..200 {
             prof.step(cy, ctx);
             cy += 1;
             // SecPE cooperates with the drain request.
-            if control.sec_phase(0) == crate::SecPhase::Draining {
-                control.set_sec_phase(0, crate::SecPhase::Exited);
+            if ctx.state(control).sec_phase(0) == SecPhase::Draining {
+                ctx.state_mut(control).set_sec_phase(0, SecPhase::Exited);
             }
             // Merger cooperates.
-            if control.take_merge_request() {
-                control.set_merge_done();
+            if ctx.state_mut(control).take_merge_request() {
+                ctx.state_mut(control).set_merge_done();
             }
         }
-        assert_eq!(control.reschedules(), 1, "one reschedule completed");
+        assert_eq!(
+            ctx.state(control).reschedules(),
+            1,
+            "one reschedule completed"
+        );
         // After the requeue overhead the profiler must be profiling again.
         for _ in 0..100 {
             prof.step(cy, ctx);
             cy += 1;
         }
-        assert!(control.route_to_sec(), "routing re-enabled after requeue");
-        assert!(control.generation() > 0, "mappers told to reset");
+        assert!(
+            ctx.state(control).route_to_sec(),
+            "routing re-enabled after requeue"
+        );
+        assert!(ctx.state(control).generation() > 0, "mappers told to reset");
     }
 }

@@ -1,6 +1,6 @@
 //! The memory access engine (§IV-C4): streams tuples into the PrePE lanes.
 
-use hls_sim::{Counter, Cycle, Kernel, Progress, SenderId, SimContext, StreamSource};
+use hls_sim::{CounterId, Cycle, Kernel, Progress, SenderId, SimContext, StreamSource};
 
 use crate::Tuple;
 
@@ -26,7 +26,7 @@ pub struct MemoryReaderKernel {
     staged: usize,
     staging_cap: usize,
     next_lane: usize,
-    issued: Counter,
+    issued: CounterId,
 }
 
 impl MemoryReaderKernel {
@@ -35,7 +35,7 @@ impl MemoryReaderKernel {
     pub fn new(
         source: Box<dyn StreamSource<Tuple>>,
         lanes: Vec<SenderId<Tuple>>,
-        issued: Counter,
+        issued: CounterId,
     ) -> Self {
         let staging_cap = lanes.len() * 4;
         MemoryReaderKernel {
@@ -93,7 +93,7 @@ impl Kernel for MemoryReaderKernel {
             let lane = self.next_lane;
             if ctx.try_send(cy, self.lanes[lane], tuple).is_ok() {
                 self.staged += 1;
-                self.issued.incr();
+                ctx.counter_incr(self.issued);
             }
             // Advance even when the lane stalls: hardware lane FIFOs fill
             // independently and a single busy lane must not starve the rest.
@@ -136,14 +136,10 @@ mod tests {
             .collect();
         let data: Vec<Tuple> = (0..100).map(Tuple::from_key).collect();
         let src = SliceSource::new(data, 8, MemoryModel::new(32, 0)); // 4/cycle
-        let issued = Counter::new();
-        engine.add_kernel(MemoryReaderKernel::new(
-            Box::new(src),
-            senders,
-            issued.clone(),
-        ));
+        let issued = engine.counter();
+        engine.add_kernel(MemoryReaderKernel::new(Box::new(src), senders, issued));
         engine.run_cycles(200);
-        assert_eq!(issued.get(), 100);
+        assert_eq!(engine.context().counter(issued), 100);
         let per_lane: Vec<u64> = engine.channel_stats().iter().map(|s| s.pushes).collect();
         assert_eq!(per_lane, vec![25, 25, 25, 25]);
     }
@@ -154,15 +150,15 @@ mod tests {
         let (lane_tx, _lane_rx) = engine.channel::<Tuple>("lane", 4);
         let data: Vec<Tuple> = (0..1000).map(Tuple::from_key).collect();
         let src = SliceSource::new(data, 8, MemoryModel::new(64, 0));
-        let issued = Counter::new();
-        let mut reader = MemoryReaderKernel::new(Box::new(src), vec![lane_tx], issued.clone());
+        let issued = engine.counter();
+        let mut reader = MemoryReaderKernel::new(Box::new(src), vec![lane_tx], issued);
         let ctx = engine.context_mut();
         for cy in 0..100 {
             reader.step(cy, ctx);
         }
         // Lane capacity 4, staging 4: nothing downstream consumes, so at
         // most capacity + staging tuples leave the source.
-        assert!(issued.get() <= 4);
+        assert!(ctx.counter(issued) <= 4);
         assert!(!reader.drained());
     }
 }

@@ -9,10 +9,10 @@
 //! manifests) before the arena refactor. Any scheduling or channel-protocol
 //! deviation shows up here as a hard mismatch.
 
-use datagen::{EvolvingZipfStream, ZipfGenerator};
+use datagen::{EvolvingZipfStream, Tuple, ZipfGenerator};
 use ditto_core::apps::{CountPerKey, ModHistogram};
-use ditto_core::{ArchConfig, SkewObliviousPipeline};
-use hls_sim::ChannelStats;
+use ditto_core::{ArchConfig, DittoApp, PersistentPipeline, SkewObliviousPipeline};
+use hls_sim::{ChannelStats, MemoryModel, SliceSource};
 
 fn channel<'a>(channels: &'a [ChannelStats], name: &str) -> &'a ChannelStats {
     channels
@@ -60,6 +60,73 @@ fn offline_skewed_with_secpes_matches_seed() {
     assert_channel(&out.channels, "word7", (1_500, 1_500, 0, 64));
     assert_channel(&out.channels, "pein7", (1_043, 1_043, 0, 166));
     assert_channel(&out.channels, "feed0", (204, 203, 0, 2));
+}
+
+/// The persistent (serving) API — step → snapshot → drain → `finish_states`
+/// — must be observationally identical to the one-shot `run_dataset` path
+/// over the same dataset: same completion cycle, same per-PE workloads and
+/// channel statistics, same post-merge PriPE states, and mid-run snapshots
+/// that are exact prefixes of the final counts. Pinned on the same scenario
+/// as [`offline_skewed_with_secpes_matches_seed`] so the persistent path is
+/// transitively pinned to the seed goldens too.
+#[test]
+fn persistent_pipeline_matches_run_dataset() {
+    let data = ZipfGenerator::new(1.5, 1 << 12, 7).take_vec(6_000);
+    let cfg = ArchConfig::new(4, 8, 3).with_pe_entries(8);
+    let app = ModHistogram::new(64);
+
+    let oneshot = SkewObliviousPipeline::run_dataset(app.clone(), data.clone(), &cfg);
+
+    let source = SliceSource::new(data, Tuple::PAPER_WIDTH_BYTES, MemoryModel::new(64, 16));
+    let mut p = PersistentPipeline::new(app.clone(), Box::new(source), &cfg)
+        .with_label_prefix("persistent");
+    let mut last_tuples = 0;
+    for chunk in 0..4 {
+        p.step_cycles(200);
+        let snap = p.snapshot();
+        assert_eq!(snap.cycles, 200 * (chunk + 1));
+        assert!(snap.tuples >= last_tuples, "processed count is monotonic");
+        assert_eq!(
+            snap.per_pe_processed.iter().sum::<u64>(),
+            snap.tuples,
+            "per-PE counts always sum to the total"
+        );
+        last_tuples = snap.tuples;
+    }
+    assert!(last_tuples < 6_000, "6k tuples cannot finish in 800 cycles");
+    p.expect_drained(100_000);
+    let final_snap = p.snapshot();
+    let (states, report, channels) = p.finish_states();
+
+    // Snapshot at quiescence equals the final report's counters.
+    assert_eq!(final_snap.cycles, report.cycles);
+    assert_eq!(final_snap.tuples, report.tuples);
+    assert_eq!(final_snap.per_pe_processed, report.per_pe_processed);
+
+    // Bit-identical to the one-shot path (and therefore to the seed
+    // goldens): completion cycle, workloads, channel statistics, output.
+    assert_eq!(report.cycles, oneshot.report.cycles);
+    assert_eq!(report.cycles, 2_114, "seed golden");
+    assert_eq!(report.tuples, oneshot.report.tuples);
+    assert_eq!(report.per_pe_processed, oneshot.report.per_pe_processed);
+    assert_eq!(report.plans_generated, oneshot.report.plans_generated);
+    assert_eq!(report.reschedules, oneshot.report.reschedules);
+    assert_eq!(report.channel_totals, oneshot.report.channel_totals);
+    assert!(report.completed);
+    for (a, b) in channels.iter().zip(&oneshot.channels) {
+        assert_eq!(
+            (a.pushes, a.pops, a.full_stalls, a.max_occupancy),
+            (b.pushes, b.pops, b.full_stalls, b.max_occupancy),
+            "channel {} diverged between persistent and one-shot runs",
+            a.name
+        );
+    }
+    assert_eq!(states.len(), 8, "exactly M post-merge PriPE states");
+    assert_eq!(
+        app.finalize(states),
+        oneshot.output,
+        "post-merge PriPE states must finalize to the one-shot output"
+    );
 }
 
 /// Offline, extreme skew, no SecPEs: the pure collapse path with heavy

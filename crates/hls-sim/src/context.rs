@@ -1,10 +1,11 @@
-//! The [`SimContext`]: the engine-owned channel arena plus the wake-flag
-//! plumbing of the idle-set scheduler.
+//! The [`SimContext`]: the engine-owned channel and state arenas plus the
+//! wake-flag plumbing of the idle-set scheduler.
 
 use crate::channel::{ArenaSlot, BroadcastCore, ChannelCore};
+use crate::state::StateArena;
 use crate::{
-    BcastReceiverId, BcastSenderId, ChannelStats, Cycle, RawChannelId, ReceiverId, SendError,
-    SenderId,
+    BcastReceiverId, BcastSenderId, ChannelStats, CounterId, Cycle, RawChannelId, ReceiverId,
+    SendError, SenderId, StateId,
 };
 
 /// Wake subscribers of one channel event, compact in the (overwhelmingly
@@ -28,15 +29,17 @@ impl Subscribers {
     }
 }
 
-/// Owns every channel of a simulation and resolves the typed id handles
-/// kernels hold.
+/// Owns every channel and state register of a simulation and resolves the
+/// typed id handles kernels hold.
 ///
 /// A `&mut SimContext` is passed to every [`Kernel::step`](crate::Kernel::step);
-/// all sends and receives go through it. Successful sends and pops also mark
-/// the subscribed kernels' wake flags, which is how sleeping kernels are
-/// re-activated.
+/// all sends, receives and state accesses go through it. Successful sends
+/// and pops also mark the subscribed kernels' wake flags, which is how
+/// sleeping kernels are re-activated.
 pub struct SimContext {
     channels: Vec<ArenaSlot>,
+    /// Typed kernel-state registers and plain counters.
+    pub(crate) arena: StateArena,
     /// Kernels to wake when a value is pushed into channel `c`.
     on_push: Vec<Subscribers>,
     /// Kernels to wake when a value is popped from channel `c`.
@@ -54,6 +57,7 @@ impl SimContext {
     pub(crate) fn new() -> Self {
         SimContext {
             channels: Vec::new(),
+            arena: StateArena::default(),
             on_push: Vec::new(),
             on_pop: Vec::new(),
             wake: Vec::new(),
@@ -356,6 +360,67 @@ impl SimContext {
         }
     }
 
+    // ---- state arena ----------------------------------------------------
+
+    /// Borrows the state register behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is used with a mismatched type (ids are only issued by
+    /// [`Engine::state`](crate::Engine::state), so this indicates handle
+    /// misuse, not a data condition).
+    #[inline]
+    pub fn state<T: Send + 'static>(&self, id: StateId<T>) -> &T {
+        self.arena.state(id)
+    }
+
+    /// Mutably borrows the state register behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is used with a mismatched type.
+    #[inline]
+    pub fn state_mut<T: Send + 'static>(&mut self, id: StateId<T>) -> &mut T {
+        self.arena.state_mut(id)
+    }
+
+    /// Moves the state behind `id` out of the arena, leaving an empty slot.
+    ///
+    /// This is the end-of-run extraction path (merger folds, `finalize`):
+    /// no `Arc` unwrapping, no engine teardown ordering. Any later access
+    /// through the same id panics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state was already taken or `id` has a mismatched type.
+    pub fn take_state<T: Send + 'static>(&mut self, id: StateId<T>) -> T {
+        self.arena.take_state(id)
+    }
+
+    /// Reads counter `id`.
+    #[inline]
+    pub fn counter(&self, id: CounterId) -> u64 {
+        self.arena.counter(id)
+    }
+
+    /// Adds `n` to counter `id`.
+    #[inline]
+    pub fn counter_add(&mut self, id: CounterId, n: u64) {
+        self.arena.counter_add(id, n);
+    }
+
+    /// Adds one to counter `id`.
+    #[inline]
+    pub fn counter_incr(&mut self, id: CounterId) {
+        self.arena.counter_add(id, 1);
+    }
+
+    /// Overwrites counter `id` with `value`.
+    #[inline]
+    pub fn set_counter(&mut self, id: CounterId, value: u64) {
+        self.arena.set_counter(id, value);
+    }
+
     // ---- statistics -----------------------------------------------------
 
     /// Snapshots every channel's lifetime statistics, in creation order;
@@ -371,8 +436,11 @@ impl SimContext {
 
 impl std::fmt::Debug for SimContext {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (states, counters) = self.arena.len();
         f.debug_struct("SimContext")
             .field("channels", &self.channels.len())
+            .field("states", &states)
+            .field("counters", &counters)
             .finish()
     }
 }

@@ -2,8 +2,8 @@
 
 use crate::channel::{ArenaSlot, BroadcastCore, ChannelCore};
 use crate::{
-    BcastReceiverId, BcastSenderId, ChannelStats, Cycle, Kernel, KernelId, Progress, ReceiverId,
-    SenderId, SimContext, DEFAULT_LATENCY,
+    BcastReceiverId, BcastSenderId, ChannelStats, CounterId, Cycle, Kernel, KernelId, Progress,
+    ReceiverId, SenderId, SimContext, StateId, DEFAULT_LATENCY,
 };
 use std::marker::PhantomData;
 
@@ -153,6 +153,29 @@ impl Engine {
         (tx, rxs)
     }
 
+    /// Allocates a typed state register in the engine's state arena,
+    /// initialised to `init`, and returns its `Copy` handle.
+    ///
+    /// This is the build-time replacement for `Arc<Mutex<…>>` kernel state:
+    /// every kernel that needs the state (a PE writing its private buffer,
+    /// the merger folding it) holds the same handle and resolves it through
+    /// the [`SimContext`] passed to `step` —
+    /// [`state`](SimContext::state)/[`state_mut`](SimContext::state_mut)
+    /// while running, [`take_state`](SimContext::take_state) at end of run.
+    pub fn state<T: Send + 'static>(&mut self, init: T) -> StateId<T> {
+        self.ctx.arena.add_state(init)
+    }
+
+    /// Allocates a plain `u64` counter (initially zero) in the engine's
+    /// state arena and returns its `Copy` handle.
+    ///
+    /// The build-time replacement for shared atomic counters: kernels bump
+    /// it via [`SimContext::counter_add`]/[`counter_incr`](SimContext::counter_incr),
+    /// observers read it via [`SimContext::counter`].
+    pub fn counter(&mut self) -> CounterId {
+        self.ctx.arena.add_counter()
+    }
+
     /// Registers a kernel; kernels are stepped in registration order. The
     /// kernel's [`wake_set`](Kernel::wake_set) is recorded for the idle-set
     /// scheduler, and the kernel starts awake. Returns the kernel's id,
@@ -247,16 +270,22 @@ impl Engine {
         }
     }
 
-    /// Runs until `done()` returns `true`, checking after every cycle, or
-    /// until `max_cycles` have elapsed in this call.
+    /// Runs until `done(ctx)` returns `true`, checking after every cycle, or
+    /// until `max_cycles` have elapsed in this call. The predicate receives
+    /// the [`SimContext`] so it can observe arena counters and state
+    /// registers directly.
     ///
     /// Returns a [`RunReport`] whose `completed` flag distinguishes the two
     /// outcomes.
-    pub fn run_until<F: FnMut() -> bool>(&mut self, max_cycles: u64, mut done: F) -> RunReport {
+    pub fn run_until<F: FnMut(&SimContext) -> bool>(
+        &mut self,
+        max_cycles: u64,
+        mut done: F,
+    ) -> RunReport {
         let start = self.cycle;
         while self.cycle - start < max_cycles {
             self.step();
-            if done() {
+            if done(&self.ctx) {
                 return RunReport {
                     cycles: self.cycle - start,
                     completed: true,
@@ -369,38 +398,33 @@ pub struct RunReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Counter;
 
     struct CountTo {
         n: u64,
-        hits: Counter,
+        hits: CounterId,
     }
 
     impl Kernel for CountTo {
         fn name(&self) -> &str {
             "count"
         }
-        fn step(&mut self, _cy: Cycle, _ctx: &mut SimContext) -> Progress {
-            if self.hits.get() < self.n {
-                self.hits.incr();
+        fn step(&mut self, _cy: Cycle, ctx: &mut SimContext) -> Progress {
+            if ctx.counter(self.hits) < self.n {
+                ctx.counter_incr(self.hits);
             }
             Progress::Busy
         }
-        fn is_idle(&self, _ctx: &SimContext) -> bool {
-            self.hits.get() >= self.n
+        fn is_idle(&self, ctx: &SimContext) -> bool {
+            ctx.counter(self.hits) >= self.n
         }
     }
 
     #[test]
     fn run_until_stops_on_condition() {
-        let hits = Counter::new();
         let mut e = Engine::new();
-        e.add_kernel(CountTo {
-            n: 5,
-            hits: hits.clone(),
-        });
-        let hits2 = hits.clone();
-        let rep = e.run_until(100, move || hits2.get() == 5);
+        let hits = e.counter();
+        e.add_kernel(CountTo { n: 5, hits });
+        let rep = e.run_until(100, |ctx| ctx.counter(hits) == 5);
         assert!(rep.completed);
         assert_eq!(rep.cycles, 5);
         assert_eq!(e.cycle(), 5);
@@ -409,11 +433,9 @@ mod tests {
     #[test]
     fn run_until_times_out() {
         let mut e = Engine::new();
-        e.add_kernel(CountTo {
-            n: u64::MAX,
-            hits: Counter::new(),
-        });
-        let rep = e.run_until(10, || false);
+        let hits = e.counter();
+        e.add_kernel(CountTo { n: u64::MAX, hits });
+        let rep = e.run_until(10, |_| false);
         assert!(!rep.completed);
         assert_eq!(rep.cycles, 10);
     }
@@ -421,10 +443,8 @@ mod tests {
     #[test]
     fn quiescence_requires_settle_window() {
         let mut e = Engine::new();
-        e.add_kernel(CountTo {
-            n: 3,
-            hits: Counter::new(),
-        });
+        let hits = e.counter();
+        e.add_kernel(CountTo { n: 3, hits });
         let rep = e.run_until_quiescent(100);
         assert!(rep.completed);
         // Two fully busy cycles; the third cycle (where the kernel turns
@@ -436,25 +456,22 @@ mod tests {
     fn step_order_is_registration_order() {
         struct Recorder {
             id: u64,
-            log: Counter,
+            log: CounterId,
         }
         impl Kernel for Recorder {
             fn name(&self) -> &str {
                 "rec"
             }
-            fn step(&mut self, _cy: Cycle, _ctx: &mut SimContext) -> Progress {
+            fn step(&mut self, _cy: Cycle, ctx: &mut SimContext) -> Progress {
                 // Encode order: each step appends its id as a base-4 digit.
-                self.log.reset_to(self.log.get() * 4 + self.id);
+                ctx.set_counter(self.log, ctx.counter(self.log) * 4 + self.id);
                 Progress::Busy
             }
         }
-        let log = Counter::new();
         let mut e = Engine::new();
+        let log = e.counter();
         for id in 1..=3 {
-            e.add_kernel(Recorder {
-                id,
-                log: log.clone(),
-            });
+            e.add_kernel(Recorder { id, log });
         }
         e.step();
         e.step();
@@ -465,24 +482,24 @@ mod tests {
                 expect = expect * 4 + id;
             }
         }
-        assert_eq!(log.get(), expect);
+        assert_eq!(e.context().counter(log), expect);
     }
 
     #[test]
     fn sleeping_kernel_is_skipped_until_woken() {
         struct Sleeper {
             rx: ReceiverId<u32>,
-            steps: Counter,
-            got: Counter,
+            steps: CounterId,
+            got: CounterId,
         }
         impl Kernel for Sleeper {
             fn name(&self) -> &str {
                 "sleeper"
             }
             fn step(&mut self, cy: Cycle, ctx: &mut SimContext) -> Progress {
-                self.steps.incr();
+                ctx.counter_incr(self.steps);
                 if let Some(v) = ctx.try_recv(cy, self.rx) {
-                    self.got.add(u64::from(v));
+                    ctx.counter_add(self.got, u64::from(v));
                     Progress::Busy
                 } else if ctx.is_empty(self.rx) {
                     Progress::Sleep
@@ -494,44 +511,41 @@ mod tests {
                 crate::WakeSet::new().after_push_on(self.rx)
             }
         }
-        let steps = Counter::new();
-        let got = Counter::new();
         let mut e = Engine::new();
         let (tx, rx) = e.channel::<u32>("in", 4);
-        e.add_kernel(Sleeper {
-            rx,
-            steps: steps.clone(),
-            got: got.clone(),
-        });
+        let steps = e.counter();
+        let got = e.counter();
+        e.add_kernel(Sleeper { rx, steps, got });
         e.run_cycles(50);
-        assert_eq!(steps.get(), 1, "parked after the first no-op step");
+        let step_count = |e: &Engine| e.context().counter(steps);
+        assert_eq!(step_count(&e), 1, "parked after the first no-op step");
         // Push from outside any kernel: wakes the sleeper.
         e.context_mut().try_send(50, tx, 7).unwrap();
         e.run_cycles(4);
-        assert_eq!(got.get(), 7);
+        assert_eq!(e.context().counter(got), 7);
         // Busy on the recv cycle, one more no-op step, asleep again.
-        assert!(steps.get() <= 4, "steps {}", steps.get());
-        let parked_steps = steps.get();
+        assert!(step_count(&e) <= 4, "steps {}", step_count(&e));
+        let parked_steps = step_count(&e);
         e.run_cycles(50);
-        assert_eq!(steps.get(), parked_steps, "asleep again after drain");
+        assert_eq!(step_count(&e), parked_steps, "asleep again after drain");
     }
 
     #[test]
     fn wake_on_pop_releases_backpressured_producer() {
         struct Producer {
             tx: SenderId<u32>,
-            sent: Counter,
-            steps: Counter,
+            sent: CounterId,
+            steps: CounterId,
         }
         impl Kernel for Producer {
             fn name(&self) -> &str {
                 "producer"
             }
             fn step(&mut self, cy: Cycle, ctx: &mut SimContext) -> Progress {
-                self.steps.incr();
+                ctx.counter_incr(self.steps);
                 if ctx.can_send(self.tx) {
                     ctx.try_send(cy, self.tx, 1).expect("checked");
-                    self.sent.incr();
+                    ctx.counter_incr(self.sent);
                     Progress::Busy
                 } else {
                     Progress::Sleep
@@ -541,22 +555,22 @@ mod tests {
                 crate::WakeSet::new().after_pop_on(self.tx)
             }
         }
-        let sent = Counter::new();
-        let steps = Counter::new();
         let mut e = Engine::new();
         let (tx, rx) = e.channel::<u32>("out", 2);
-        e.add_kernel(Producer {
-            tx,
-            sent: sent.clone(),
-            steps: steps.clone(),
-        });
+        let sent = e.counter();
+        let steps = e.counter();
+        e.add_kernel(Producer { tx, sent, steps });
         e.run_cycles(20);
-        assert_eq!(sent.get(), 2, "filled the FIFO then parked");
-        assert_eq!(steps.get(), 3, "two sends + one parking no-op");
+        assert_eq!(e.context().counter(sent), 2, "filled the FIFO then parked");
+        assert_eq!(
+            e.context().counter(steps),
+            3,
+            "two sends + one parking no-op"
+        );
         // Drain one item: the producer wakes and refills.
         assert_eq!(e.context_mut().try_recv(20, rx), Some(1));
         e.run_cycles(5);
-        assert_eq!(sent.get(), 3);
+        assert_eq!(e.context().counter(sent), 3);
     }
 
     #[test]
@@ -564,10 +578,8 @@ mod tests {
         fn assert_send<T: Send>(_t: &T) {}
         let mut e = Engine::new();
         let (_tx, _rx) = e.channel::<u64>("x", 4);
-        e.add_kernel(CountTo {
-            n: 1,
-            hits: Counter::new(),
-        });
+        let hits = e.counter();
+        e.add_kernel(CountTo { n: 1, hits });
         assert_send(&e);
         // And it can actually cross a thread boundary mid-simulation.
         let e = std::thread::spawn(move || {
@@ -578,5 +590,52 @@ mod tests {
         .join()
         .expect("no panic");
         assert_eq!(e.cycle(), 10);
+    }
+
+    #[test]
+    fn state_registers_roundtrip() {
+        #[derive(Debug, PartialEq)]
+        struct Buf(Vec<u64>);
+        let mut e = Engine::new();
+        let a = e.state(Buf(vec![0; 4]));
+        let b = e.state(7u64);
+        let ctx = e.context_mut();
+        ctx.state_mut(a).0[2] = 9;
+        *ctx.state_mut(b) += 1;
+        assert_eq!(ctx.state(a), &Buf(vec![0, 0, 9, 0]));
+        assert_eq!(*ctx.state(b), 8);
+        assert_eq!(ctx.take_state(a), Buf(vec![0, 0, 9, 0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "already taken")]
+    fn state_double_take_panics() {
+        let mut e = Engine::new();
+        let id = e.state(1u64);
+        let ctx = e.context_mut();
+        assert_eq!(ctx.take_state(id), 1);
+        let _ = ctx.take_state(id);
+    }
+
+    #[test]
+    #[should_panic(expected = "already taken")]
+    fn state_access_after_take_panics() {
+        let mut e = Engine::new();
+        let id = e.state(1u64);
+        e.context_mut().take_state(id);
+        let _ = e.context().state(id);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched type")]
+    fn state_type_mismatch_panics() {
+        let mut e = Engine::new();
+        let id = e.state(1u64);
+        // Forge a differently-typed handle onto the same slot.
+        let wrong = StateId::<String> {
+            idx: id.idx,
+            _marker: PhantomData,
+        };
+        let _ = e.context().state(wrong);
     }
 }

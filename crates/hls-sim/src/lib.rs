@@ -10,11 +10,18 @@
 //!
 //! The simulator is deliberately simple and fully deterministic:
 //!
-//! * channels live in a typed **arena** owned by the engine's
+//! * channels live in a typed **channel arena** owned by the engine's
 //!   [`SimContext`]; kernels hold plain-`Copy` [`SenderId`]/[`ReceiverId`]
 //!   handles and resolve them through the context passed to `step` — no
 //!   reference counting or interior mutability on the hot path, and the
 //!   whole engine is `Send` so scenario sweeps parallelise across threads;
+//! * kernel *state* lives in a typed **state arena** next to the channels:
+//!   PE buffers, shared plans and counters are allocated at build time
+//!   ([`Engine::state`], [`Engine::counter`]) and addressed through `Copy`
+//!   [`StateId`]/[`CounterId`] handles — no `Arc<Mutex<…>>` and no shared
+//!   atomics anywhere on the per-cycle step path; states several kernels
+//!   cooperate on (a PE's private buffer, the scheduling plan) are just
+//!   registers both hold the id of;
 //! * a channel has a bounded capacity and a visibility latency — an item
 //!   pushed at cycle `c` can be popped at `c + latency` or later, and a full
 //!   channel makes the producer stall (this stall-on-full backpressure is the
@@ -36,11 +43,12 @@
 //! # Example
 //!
 //! A two-stage pipeline: a producer streams numbers into a channel, a
-//! consumer accumulates them into a shared [`Counter`].
+//! consumer accumulates them into an arena counter the harness reads back
+//! after the run.
 //!
 //! ```
 //! use hls_sim::{
-//!     Counter, Cycle, Engine, Kernel, Progress, ReceiverId, SenderId, SimContext, WakeSet,
+//!     CounterId, Cycle, Engine, Kernel, Progress, ReceiverId, SenderId, SimContext, WakeSet,
 //! };
 //!
 //! struct Producer { tx: SenderId<u64>, next: u64, count: u64 }
@@ -55,12 +63,12 @@
 //!     fn is_idle(&self, _ctx: &SimContext) -> bool { self.next == self.count }
 //! }
 //!
-//! struct Consumer { rx: ReceiverId<u64>, sum: Counter }
+//! struct Consumer { rx: ReceiverId<u64>, sum: CounterId }
 //! impl Kernel for Consumer {
 //!     fn name(&self) -> &str { "consumer" }
 //!     fn step(&mut self, cy: Cycle, ctx: &mut SimContext) -> Progress {
 //!         if let Some(v) = ctx.try_recv(cy, self.rx) {
-//!             self.sum.add(v);
+//!             ctx.counter_add(self.sum, v);
 //!             Progress::Busy
 //!         } else if ctx.is_empty(self.rx) {
 //!             Progress::Sleep // parked until the producer pushes again
@@ -74,11 +82,11 @@
 //!
 //! let mut engine = Engine::new();
 //! let (tx, rx) = engine.channel::<u64>("link", 4);
-//! let sum = Counter::new();
+//! let sum = engine.counter();
 //! engine.add_kernel(Producer { tx, next: 0, count: 10 });
-//! engine.add_kernel(Consumer { rx, sum: sum.clone() });
+//! engine.add_kernel(Consumer { rx, sum });
 //! let report = engine.run_until_quiescent(1_000);
-//! assert_eq!(sum.get(), 45);
+//! assert_eq!(engine.context().counter(sum), 45);
 //! assert!(report.cycles < 25);
 //! ```
 
@@ -90,6 +98,7 @@ mod context;
 mod engine;
 mod kernel;
 mod memory;
+mod state;
 mod stats;
 
 pub use channel::{
@@ -100,7 +109,8 @@ pub use context::SimContext;
 pub use engine::{Engine, RunReport};
 pub use kernel::{Kernel, Progress, WakeSet};
 pub use memory::{MemoryModel, RateLimiter, SliceSource, StreamSource};
-pub use stats::{Counter, ThroughputWindow};
+pub use state::{CounterId, StateId};
+pub use stats::ThroughputWindow;
 
 /// Simulation time, measured in clock cycles since engine start.
 pub type Cycle = u64;

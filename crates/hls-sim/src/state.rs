@@ -1,0 +1,163 @@
+//! The engine-owned **state arena**: typed per-kernel state registers and
+//! plain counters, addressed by `Copy` handles.
+//!
+//! The channel arena (PR 1) removed reference counting and interior
+//! mutability from the *communication* hot path; this module does the same
+//! for kernel *state*. Instead of sharing PE buffers through
+//! `Arc<Mutex<…>>` and counting tuples through shared atomics, a kernel
+//! allocates its state in the engine at build time ([`Engine::state`],
+//! [`Engine::counter`](crate::Engine::counter)) and holds only a `Copy`
+//! [`StateId<T>`]/[`CounterId`] handle, resolved through the
+//! [`SimContext`](crate::SimContext) already passed to every
+//! [`Kernel::step`](crate::Kernel::step):
+//!
+//! * [`SimContext::state`](crate::SimContext::state) /
+//!   [`SimContext::state_mut`](crate::SimContext::state_mut) — borrow a
+//!   typed state register;
+//! * [`SimContext::counter`](crate::SimContext::counter) /
+//!   [`SimContext::counter_add`](crate::SimContext::counter_add) — read /
+//!   bump a plain `u64` counter;
+//! * [`SimContext::take_state`](crate::SimContext::take_state) — move a
+//!   state out at end of run (the merger/finalize path), no `Arc`
+//!   unwrapping required.
+//!
+//! Because several kernels may hold the *same* handle (a PE writes its
+//! buffer, the merger folds it), the arena is exactly the dataflow-HLS
+//! discipline: all inter-stage state is explicit and engine-owned, and the
+//! whole engine stays `Send` for free.
+//!
+//! [`Engine::state`]: crate::Engine::state
+
+use std::any::Any;
+use std::fmt;
+use std::marker::PhantomData;
+
+/// Handle to a typed state register in the engine's state arena.
+///
+/// Plain `Copy` data; allocated by [`Engine::state`](crate::Engine::state)
+/// and resolved through the [`SimContext`](crate::SimContext). Several
+/// kernels may hold the same handle; the borrow checker serialises their
+/// accesses through the `&mut SimContext` each `step` receives.
+pub struct StateId<T> {
+    pub(crate) idx: u32,
+    pub(crate) _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for StateId<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for StateId<T> {}
+impl<T> fmt::Debug for StateId<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "StateId({})", self.idx)
+    }
+}
+impl<T> PartialEq for StateId<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.idx == other.idx
+    }
+}
+impl<T> Eq for StateId<T> {}
+
+/// Handle to a plain `u64` counter in the engine's counter arena.
+///
+/// Allocated by [`Engine::counter`](crate::Engine::counter); incremented by
+/// kernels through [`SimContext::counter_add`](crate::SimContext::counter_add)
+/// and read by observers (the runtime profiler's throughput monitor, run
+/// reports) through [`SimContext::counter`](crate::SimContext::counter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId {
+    pub(crate) idx: u32,
+}
+
+/// Sentinel left in a slot whose state was moved out with `take_state`;
+/// distinct from every user type (it is private), so stale-handle use after
+/// extraction always panics with an attributable message.
+struct Taken;
+
+/// The state arena backing one engine: typed registers plus counters.
+#[derive(Default)]
+pub(crate) struct StateArena {
+    /// Typed state registers, downcast on access like channel cores.
+    states: Vec<Box<dyn Any + Send>>,
+    /// Plain counters — a bump is an indexed add, not an atomic RMW.
+    counters: Vec<u64>,
+}
+
+impl StateArena {
+    pub(crate) fn add_state<T: Send + 'static>(&mut self, init: T) -> StateId<T> {
+        let idx = self.states.len() as u32;
+        self.states.push(Box::new(init));
+        StateId {
+            idx,
+            _marker: PhantomData,
+        }
+    }
+
+    pub(crate) fn add_counter(&mut self) -> CounterId {
+        let idx = self.counters.len() as u32;
+        self.counters.push(0);
+        CounterId { idx }
+    }
+
+    #[inline]
+    pub(crate) fn state<T: Send + 'static>(&self, id: StateId<T>) -> &T {
+        let slot = self.states[id.idx as usize].as_ref();
+        match slot.downcast_ref::<T>() {
+            Some(state) => state,
+            None => Self::bad_slot(slot.is::<Taken>(), id.idx),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn state_mut<T: Send + 'static>(&mut self, id: StateId<T>) -> &mut T {
+        let slot = self.states[id.idx as usize].as_mut();
+        if !slot.is::<T>() {
+            Self::bad_slot(slot.is::<Taken>(), id.idx);
+        }
+        slot.downcast_mut::<T>()
+            .unwrap_or_else(|| unreachable!("checked"))
+    }
+
+    /// Cold path shared by the typed accessors: attribute the failure.
+    #[cold]
+    fn bad_slot(taken: bool, idx: u32) -> ! {
+        if taken {
+            panic!("state {idx} already taken out of the arena");
+        }
+        panic!("state id {idx} used with mismatched type");
+    }
+
+    pub(crate) fn take_state<T: Send + 'static>(&mut self, id: StateId<T>) -> T {
+        let slot = std::mem::replace(&mut self.states[id.idx as usize], Box::new(Taken));
+        assert!(
+            !slot.is::<Taken>(),
+            "state {} already taken out of the arena",
+            id.idx
+        );
+        *slot
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("state {} taken with mismatched type", id.idx))
+    }
+
+    #[inline]
+    pub(crate) fn counter(&self, id: CounterId) -> u64 {
+        self.counters[id.idx as usize]
+    }
+
+    #[inline]
+    pub(crate) fn counter_add(&mut self, id: CounterId, n: u64) {
+        self.counters[id.idx as usize] += n;
+    }
+
+    #[inline]
+    pub(crate) fn set_counter(&mut self, id: CounterId, value: u64) {
+        self.counters[id.idx as usize] = value;
+    }
+
+    pub(crate) fn len(&self) -> (usize, usize) {
+        (self.states.len(), self.counters.len())
+    }
+}

@@ -1,108 +1,63 @@
-//! Shared counters and windowed throughput measurement.
-
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+//! Windowed throughput measurement over arena counters.
 
 use crate::Cycle;
 
-/// A shared monotonic counter.
+/// Sliding-window throughput observer over a monotonic count.
 ///
-/// Kernels increment it (e.g. "tuples processed"); observers — the runtime
-/// profiler's throughput monitor, the experiment harness — read it. Cloning
-/// yields another handle to the same count.
-///
-/// Backed by an atomic with relaxed ordering so handles are `Send + Sync`
-/// (the engine itself is single-threaded per simulation; atomicity only
-/// matters for moving whole engines across threads).
+/// Mirrors the runtime profiler's monitoring logic (§IV-C3): it keeps a local
+/// clock tick, and every `window` ticks computes the incremental number of
+/// processed items. The observer holds no handle to the count itself — the
+/// caller reads its [`CounterId`](crate::CounterId) through the
+/// [`SimContext`](crate::SimContext) and feeds the current value to
+/// [`tick`](ThroughputWindow::tick), which returns `Some(rate)` in
+/// items/cycle exactly once per completed window.
 ///
 /// # Example
 ///
 /// ```
-/// use hls_sim::Counter;
+/// use hls_sim::ThroughputWindow;
 ///
-/// let c = Counter::new();
-/// let handle = c.clone();
-/// handle.add(3);
-/// handle.incr();
-/// assert_eq!(c.get(), 4);
+/// let mut w = ThroughputWindow::new(10);
+/// let mut count = 0u64;
+/// let mut samples = Vec::new();
+/// for cy in 1..=30 {
+///     count += 2; // 2 items/cycle
+///     if let Some(rate) = w.tick(cy, count) {
+///         samples.push(rate);
+///     }
+/// }
+/// assert_eq!(samples.len(), 3);
+/// assert!((samples[0] - 2.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Default)]
-pub struct Counter {
-    value: Arc<AtomicU64>,
-}
-
-impl Counter {
-    /// Creates a counter at zero.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Adds `n` to the count.
-    #[inline]
-    pub fn add(&self, n: u64) {
-        self.value.fetch_add(n, Ordering::Relaxed);
-    }
-
-    /// Adds one to the count.
-    #[inline]
-    pub fn incr(&self) {
-        self.add(1);
-    }
-
-    /// Reads the current count.
-    #[inline]
-    pub fn get(&self) -> u64 {
-        self.value.load(Ordering::Relaxed)
-    }
-
-    /// Resets the count to zero.
-    pub fn reset(&self) {
-        self.value.store(0, Ordering::Relaxed);
-    }
-
-    /// Overwrites the count with `n`.
-    pub fn reset_to(&self, n: u64) {
-        self.value.store(n, Ordering::Relaxed);
-    }
-}
-
-/// Sliding-window throughput observer over a [`Counter`].
-///
-/// Mirrors the runtime profiler's monitoring logic (§IV-C3): it keeps a local
-/// clock tick, and every `window` ticks computes the incremental number of
-/// processed items. [`ThroughputWindow::tick`] returns `Some(rate)` in
-/// items/cycle exactly once per completed window.
 #[derive(Debug, Clone)]
 pub struct ThroughputWindow {
-    counter: Counter,
     window: u64,
     last_cycle: Cycle,
     last_count: u64,
 }
 
 impl ThroughputWindow {
-    /// Creates a window of `window` cycles over `counter`.
+    /// Creates a window of `window` cycles.
     ///
     /// # Panics
     ///
     /// Panics if `window` is zero.
-    pub fn new(counter: Counter, window: u64) -> Self {
+    pub fn new(window: u64) -> Self {
         assert!(window > 0, "throughput window must be nonzero");
         ThroughputWindow {
-            counter,
             window,
             last_cycle: 0,
             last_count: 0,
         }
     }
 
-    /// Advances the observer to cycle `cy`; returns the items/cycle rate of
-    /// the window that just completed, if one did.
-    pub fn tick(&mut self, cy: Cycle) -> Option<f64> {
+    /// Advances the observer to cycle `cy` with the current monotonic
+    /// `count`; returns the items/cycle rate of the window that just
+    /// completed, if one did.
+    pub fn tick(&mut self, cy: Cycle, count: u64) -> Option<f64> {
         if cy < self.last_cycle + self.window {
             return None;
         }
-        let count = self.counter.get();
         let cycles = (cy - self.last_cycle) as f64;
         let rate = (count - self.last_count) as f64 / cycles;
         self.last_cycle = cy;
@@ -115,10 +70,11 @@ impl ThroughputWindow {
         self.window
     }
 
-    /// Restarts the window at cycle `cy` without emitting a sample.
-    pub fn restart(&mut self, cy: Cycle) {
+    /// Restarts the window at cycle `cy` and baseline `count` without
+    /// emitting a sample.
+    pub fn restart(&mut self, cy: Cycle, count: u64) {
         self.last_cycle = cy;
-        self.last_count = self.counter.get();
+        self.last_count = count;
     }
 }
 
@@ -127,32 +83,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn counter_shares_state_across_clones() {
-        let a = Counter::new();
-        let b = a.clone();
-        a.add(2);
-        b.add(3);
-        assert_eq!(a.get(), 5);
-        a.reset();
-        assert_eq!(b.get(), 0);
-        b.reset_to(9);
-        assert_eq!(a.get(), 9);
-    }
-
-    #[test]
-    fn counter_is_send_and_sync() {
-        fn assert_send_sync<T: Send + Sync>(_t: &T) {}
-        assert_send_sync(&Counter::new());
-    }
-
-    #[test]
     fn throughput_window_emits_once_per_window() {
-        let c = Counter::new();
-        let mut w = ThroughputWindow::new(c.clone(), 10);
+        let mut w = ThroughputWindow::new(10);
+        let mut count = 0;
         let mut samples = Vec::new();
         for cy in 1..=30 {
-            c.add(2); // 2 items/cycle
-            if let Some(r) = w.tick(cy) {
+            count += 2; // 2 items/cycle
+            if let Some(r) = w.tick(cy, count) {
                 samples.push(r);
             }
         }
@@ -164,13 +101,10 @@ mod tests {
 
     #[test]
     fn throughput_window_restart_suppresses_partial_sample() {
-        let c = Counter::new();
-        let mut w = ThroughputWindow::new(c.clone(), 10);
-        c.add(100);
-        w.restart(5);
-        assert_eq!(w.tick(9), None);
-        c.add(10);
-        let r = w.tick(15).expect("window complete");
+        let mut w = ThroughputWindow::new(10);
+        w.restart(5, 100);
+        assert_eq!(w.tick(9, 100), None);
+        let r = w.tick(15, 110).expect("window complete");
         assert!((r - 1.0).abs() < 1e-9);
     }
 }
