@@ -1,46 +1,48 @@
-//! Emits `BENCH_3.json`: the dense-phase hot-path micro-bench.
+//! Emits `BENCH_4.json`: the hot-path micro-bench, one measurement per
+//! pipeline phase, before and after the cold-tap auto-advance.
 //!
-//! Measures the per-tuple wall cost of the *dense uniform phase* — every
-//! PE busy every cycle, no skew-induced idling — which is where per-cycle
-//! kernel-state access dominates: with uniform traffic the idle-set
-//! scheduler cannot park anything, so each simulated cycle pays the full
-//! state-access bill of every kernel.  Two configurations are timed:
+//! Two phases of the same paper-scale pipeline (8 lanes, 16 PriPEs,
+//! 15 SecPEs — 31 destination datapaths, the shape behind the ROADMAP's
+//! "~27/59 kernels idle under skew" observation) are timed, because they
+//! stress opposite ends of the scheduler:
 //!
-//! * `uniform_x0` — 4 lanes, 8 PriPEs, no SecPEs: the minimal datapath
-//!   (reader → PrePE → mapper → combiner → decoder → PriPE);
-//! * `uniform_x3` — 4 lanes, 8 PriPEs, 3 SecPEs: adds the runtime
-//!   profiler, plan distribution and the per-tuple control-block reads
-//!   (`route_to_sec`, profiler feed, in-flight accounting).
+//! * `dense_uniform` — uniform keys over 2^20: every PE input queue stays
+//!   non-empty and the word channel carries a word nearly every cycle, so
+//!   datapath taps rarely drain and the idle-set scheduler can park almost
+//!   nothing — the worst case for any added scheduling machinery.
+//! * `skewed_zipf3` — Zipf(3.0) keys: after the profiler's plan lands
+//!   (256-cycle window at the head of the run, then post-reschedule steady
+//!   state for the remaining >99 % of cycles) nearly every tuple targets
+//!   the hot PriPE and its SecPE helpers. The other datapaths see only
+//!   zero-mask words: their decoders park and the broadcast core
+//!   auto-advances their cursors without ever waking them — the phase the
+//!   refactor exists for.
 //!
-//! Each configuration runs `reps` times over the same dataset; the
-//! *minimum* wall time is reported (least scheduler noise on shared
-//! containers).  The `baseline_locked_state` block pins the same workload
-//! measured on the pre-arena implementation (PE state behind
-//! `Arc<Mutex<…>>`, shared atomic counters, `Arc<Control>` flags) so the
-//! state-arena redesign has a fixed before/after record.
+//! The *before* configuration (`cold_tap_auto_advance = false`) reproduces
+//! the PR 3 schedule exactly — same cycles, same per-channel statistics,
+//! deterministically more kernel steps — inside the same binary, so
+//! before/after pairs are measured interleaved rep by rep and container
+//! noise hits both sides equally. The minimum over reps is reported (least
+//! scheduler noise on shared containers). Kernel step counts are
+//! deterministic, so the bench *asserts* the scheduler win: the
+//! auto-advance run must execute strictly fewer kernel steps than the
+//! baseline in both phases.
 //!
 //! Usage: `cargo run --release -p ditto-bench --bin hotpath [out.json]`
 
 use std::time::Instant;
 
-use datagen::UniformGenerator;
+use datagen::{UniformGenerator, ZipfGenerator};
 use ditto_bench::json::Json;
 use ditto_core::apps::CountPerKey;
 use ditto_core::{ArchConfig, SkewObliviousPipeline};
 
-/// Pre-arena (`Arc<Mutex<State>>` PE buffers, atomic `Counter`s,
-/// `Arc<Control>` flags) ns/tuple for the identical workload and
-/// procedure (200 k uniform tuples, min of 5 reps), measured on this
-/// repository's 1-vCPU build container immediately before the state-arena
-/// redesign (PR 3).
-const BASELINE_X0_NS_PER_TUPLE: f64 = 193.6;
-/// Same measurement for the `uniform_x3` configuration.
-const BASELINE_X3_NS_PER_TUPLE: f64 = 223.7;
-
-/// One timed dense-phase run; returns (wall seconds, cycles, kernel steps).
-fn run_once(data: &[datagen::Tuple], x_sec: u32) -> (f64, u64, u64) {
-    let cfg = ArchConfig::new(4, 8, x_sec).with_pe_entries(1 << 14);
-    let app = CountPerKey::new(8);
+/// One timed run; returns (wall seconds, cycles, kernel steps).
+fn run_once(data: &[datagen::Tuple], auto_advance: bool) -> (f64, u64, u64) {
+    let cfg = ArchConfig::paper(15)
+        .with_pe_entries(1 << 14)
+        .with_cold_tap_auto_advance(auto_advance);
+    let app = CountPerKey::new(16);
     let t0 = Instant::now();
     let out = SkewObliviousPipeline::run_dataset(app, data.to_vec(), &cfg);
     let dt = t0.elapsed().as_secs_f64();
@@ -48,99 +50,151 @@ fn run_once(data: &[datagen::Tuple], x_sec: u32) -> (f64, u64, u64) {
     (dt, out.report.cycles, out.report.kernel_steps)
 }
 
-/// Times `reps` runs of one configuration; reports the minimum as a JSON
-/// block plus the headline ns/tuple value.
-fn measure(data: &[datagen::Tuple], x_sec: u32, reps: usize) -> (Json, f64) {
-    let mut best = f64::INFINITY;
-    let mut cycles = 0;
-    let mut steps = 0;
-    for _ in 0..reps {
-        let (dt, cy, st) = run_once(data, x_sec);
-        if dt < best {
-            best = dt;
-            cycles = cy;
-            steps = st;
+/// Minimum wall time, final cycles and (deterministic) step count over
+/// `reps` interleaved runs of one (phase, mode) pair.
+#[derive(Clone, Copy)]
+struct Sample {
+    best: f64,
+    cycles: u64,
+    steps: u64,
+    tuples: usize,
+}
+
+impl Sample {
+    fn new(tuples: usize) -> Self {
+        Sample {
+            best: f64::INFINITY,
+            cycles: 0,
+            steps: 0,
+            tuples,
         }
     }
-    let ns_per_tuple = best * 1e9 / data.len() as f64;
-    let block = Json::obj([
-        ("ns_per_tuple", Json::float(ns_per_tuple, 1)),
+
+    fn record(&mut self, (dt, cycles, steps): (f64, u64, u64)) {
+        if dt < self.best {
+            self.best = dt;
+        }
+        if self.cycles == 0 {
+            self.cycles = cycles;
+            self.steps = steps;
+        } else {
+            assert_eq!(self.cycles, cycles, "simulation must be deterministic");
+            assert_eq!(self.steps, steps, "kernel schedule must be deterministic");
+        }
+    }
+
+    fn ns_per_tuple(&self) -> f64 {
+        self.best * 1e9 / self.tuples as f64
+    }
+
+    fn json(&self) -> Json {
+        Json::obj([
+            ("ns_per_tuple", Json::float(self.ns_per_tuple(), 1)),
+            (
+                "ns_per_kernel_step",
+                Json::float(self.best * 1e9 / self.steps as f64, 1),
+            ),
+            ("wall_ms", Json::float(self.best * 1e3, 2)),
+            ("simulated_cycles", Json::uint(self.cycles)),
+            ("kernel_steps", Json::uint(self.steps)),
+        ])
+    }
+}
+
+/// Measures one phase in both modes, interleaving reps so container noise
+/// hits baseline and auto-advance equally.
+fn measure(data: &[datagen::Tuple], reps: usize) -> (Sample, Sample) {
+    let mut before = Sample::new(data.len());
+    let mut after = Sample::new(data.len());
+    for _ in 0..reps {
+        before.record(run_once(data, false));
+        after.record(run_once(data, true));
+    }
+    (before, after)
+}
+
+fn phase_json(name: &str, before: Sample, after: Sample) -> Json {
+    assert_eq!(
+        before.cycles, after.cycles,
+        "{name}: auto-advance must be cycle-identical to the baseline"
+    );
+    assert!(
+        after.steps < before.steps,
+        "{name}: auto-advance must execute strictly fewer kernel steps \
+         ({} vs {})",
+        after.steps,
+        before.steps
+    );
+    Json::obj([
+        ("baseline_pr3", before.json()),
+        ("auto_advance", after.json()),
         (
-            "ns_per_kernel_step",
-            Json::float(best * 1e9 / steps as f64, 1),
+            "speedup",
+            Json::float(before.ns_per_tuple() / after.ns_per_tuple(), 3),
         ),
-        ("wall_ms", Json::float(best * 1e3, 2)),
-        ("simulated_cycles", Json::uint(cycles)),
-        ("kernel_steps", Json::uint(steps)),
-    ]);
-    (block, ns_per_tuple)
+        (
+            "kernel_steps_ratio",
+            Json::float(after.steps as f64 / before.steps as f64, 3),
+        ),
+    ])
 }
 
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_3.json".to_owned());
+        .unwrap_or_else(|| "BENCH_4.json".to_owned());
     let tuples: usize = std::env::var("DITTO_HOTPATH_TUPLES")
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(200_000);
-    let reps = 5;
-    // Dense uniform phase: keys spread over 2^20, far more keys than PEs,
-    // so every PE input queue stays non-empty for the whole run.
-    let data = UniformGenerator::new(1 << 20, 3).take_vec(tuples);
+    let reps: usize = std::env::var("DITTO_HOTPATH_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+    // Dense phase: uniform keys over 2^20, far more keys than PEs, so
+    // every PE input queue stays non-empty for the whole run.
+    let dense_data = UniformGenerator::new(1 << 20, 3).take_vec(tuples);
+    // Skewed phase: Zipf(3.0) — ~97 % of tuples hit the hottest key.
+    let skewed_data = ZipfGenerator::new(3.0, 1 << 20, 7).take_vec(tuples);
 
     // Warm-up run (page in code + allocator arenas).
-    run_once(&data, 0);
+    run_once(&dense_data, true);
 
-    let (x0, x0_ns) = measure(&data, 0, reps);
-    let (x3, x3_ns) = measure(&data, 3, reps);
+    let (dense_before, dense_after) = measure(&dense_data, reps);
+    let (skewed_before, skewed_after) = measure(&skewed_data, reps);
 
     let doc = Json::obj([
-        ("bench", Json::str("BENCH_3")),
+        ("bench", Json::str("BENCH_4")),
         (
             "workload",
             Json::obj([
                 ("tuples", Json::uint(tuples as u64)),
                 ("reps", Json::uint(reps as u64)),
                 (
-                    "distribution",
-                    Json::str("uniform, 2^20 keys (dense phase)"),
+                    "config",
+                    Json::str("paper scale: 8 lanes, 16 PriPEs, 15 SecPEs"),
                 ),
-            ]),
-        ),
-        ("uniform_x0", x0),
-        ("uniform_x3", x3),
-        (
-            "baseline_locked_state",
-            Json::obj([
-                ("x0_ns_per_tuple", Json::float(BASELINE_X0_NS_PER_TUPLE, 1)),
-                ("x3_ns_per_tuple", Json::float(BASELINE_X3_NS_PER_TUPLE, 1)),
                 (
-                    "note",
+                    "method",
                     Json::str(
-                        "pre-arena implementation (Arc<Mutex<State>> PE buffers, atomic \
-                         Counters, Arc<Control> flags), measured with this exact binary on \
-                         the repo's 1-vCPU dev container immediately before the state-arena \
-                         redesign; speedup_vs_locked is only meaningful on comparable hardware",
+                        "before/after interleaved rep-by-rep in one binary: baseline_pr3 is \
+                         cold_tap_auto_advance=false (the PR 3 schedule, bit-identical cycles \
+                         and channel stats, every broadcast push wakes every decoder tap); \
+                         auto_advance is the phase-compiled cold-tap path; min over reps",
                     ),
                 ),
             ]),
         ),
         (
-            "speedup_vs_locked",
-            Json::obj([
-                (
-                    "uniform_x0",
-                    Json::float(BASELINE_X0_NS_PER_TUPLE / x0_ns, 2),
-                ),
-                (
-                    "uniform_x3",
-                    Json::float(BASELINE_X3_NS_PER_TUPLE / x3_ns, 2),
-                ),
-            ]),
+            "dense_uniform",
+            phase_json("dense_uniform", dense_before, dense_after),
+        ),
+        (
+            "skewed_zipf3",
+            phase_json("skewed_zipf3", skewed_before, skewed_after),
         ),
     ]);
-    doc.write(&out_path).expect("write BENCH_3.json");
+    doc.write(&out_path).expect("write BENCH_4.json");
     println!("{}", doc.to_pretty());
     eprintln!("wrote {out_path}");
 }

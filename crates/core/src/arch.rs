@@ -11,6 +11,7 @@ use crate::mapper::MapperKernel;
 use crate::mask::MaskTable;
 use crate::merger::MergerKernel;
 use crate::pe::{PeRole, PrePeKernel, ProcPeKernel};
+use crate::phase::PhasePlan;
 use crate::profiler::{ProfilerKernel, ProfilerParams};
 use crate::reader::MemoryReaderKernel;
 use crate::report::{ChannelTotals, ExecutionReport, StatSnapshot};
@@ -175,9 +176,21 @@ impl<A: DittoApp + 'static> PersistentPipeline<A> {
             })
             .collect();
         // One broadcast group stands in for the M+X wide-word datapath
-        // channels: stored once, per-datapath cursors and statistics.
-        let (word_tx, word_rx) =
-            engine.broadcast_channel::<WideWord<A::Value>>("word", pes, config.word_queue_depth);
+        // channels: stored once, per-datapath cursors and statistics. The
+        // relevance mask is the word's destination-PE bitmask, so words
+        // carrying nothing for a parked datapath are auto-advanced inside
+        // the broadcast core without waking the decoder — under skew the
+        // cold datapaths never step.
+        let (word_tx, word_rx) = if config.cold_tap_auto_advance {
+            engine.broadcast_channel_with_relevance::<WideWord<A::Value>>(
+                "word",
+                pes,
+                config.word_queue_depth,
+                |word| word.dest_taps(),
+            )
+        } else {
+            engine.broadcast_channel::<WideWord<A::Value>>("word", pes, config.word_queue_depth)
+        };
         let pe_in: Vec<_> = (0..pes)
             .map(|j| engine.channel::<A::Value>(&format!("pein{j}"), config.pe_queue_depth))
             .collect();
@@ -223,15 +236,17 @@ impl<A: DittoApp + 'static> PersistentPipeline<A> {
             map_out.iter().map(|&(_, rx)| rx).collect(),
             word_tx,
         ));
+        let mut decoder_kernel_ids = Vec::new();
         for (j, &word) in word_rx.iter().enumerate() {
-            engine.add_kernel(DecoderFilterKernel::new(
+            decoder_kernel_ids.push(engine.add_kernel(DecoderFilterKernel::new(
                 j as PeId,
                 config.n_pre,
                 Arc::clone(&mask),
                 word,
                 pe_in[j].0,
-            ));
+            )));
         }
+        let mut pe_kernel_ids = Vec::new();
         let mut sec_kernel_ids = Vec::new();
         for (j, &state) in states.iter().enumerate() {
             let role = if (j as u32) < m {
@@ -249,6 +264,7 @@ impl<A: DittoApp + 'static> PersistentPipeline<A> {
                 processed,
                 control,
             ));
+            pe_kernel_ids.push(kernel_id);
             if (j as u32) >= m {
                 sec_kernel_ids.push(kernel_id);
             }
@@ -274,7 +290,8 @@ impl<A: DittoApp + 'static> PersistentPipeline<A> {
                 plan,
                 control,
             )
-            .with_protocol_wakes(sec_kernel_ids, Some(merger_kernel_id));
+            .with_protocol_wakes(sec_kernel_ids, Some(merger_kernel_id))
+            .with_datapath_kernels(decoder_kernel_ids.clone(), pe_kernel_ids.clone());
             let counter = profiler.plans_generated();
             engine.add_kernel(profiler);
             let actual_merger_id = engine.add_kernel(MergerKernel::new(
@@ -293,6 +310,19 @@ impl<A: DittoApp + 'static> PersistentPipeline<A> {
         } else {
             engine.counter()
         };
+
+        // Initial phase (boundary zero): route to PriPEs only; every
+        // SecPE datapath is cold until the first scheduling plan lands.
+        let initial = PhasePlan::pri_only(m, config.x_sec);
+        let parked = initial
+            .cold_taps()
+            .into_iter()
+            .flat_map(|pe| [decoder_kernel_ids[pe as usize], pe_kernel_ids[pe as usize]])
+            .collect();
+        engine
+            .context_mut()
+            .state_mut(control)
+            .apply_phase_plan(initial.with_parked_kernels(parked));
 
         PersistentPipeline {
             engine,
@@ -332,6 +362,22 @@ impl<A: DittoApp + 'static> PersistentPipeline<A> {
     /// The current simulation cycle.
     pub fn cycle(&self) -> u64 {
         self.engine.cycle()
+    }
+
+    /// Read access to the underlying engine (active-set inspection,
+    /// channel statistics mid-run).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The compiled execution plan of the pipeline's current phase (see
+    /// [`PhasePlan`]), as applied at the last reschedule boundary.
+    pub fn phase_plan(&self) -> PhasePlan {
+        self.engine
+            .context()
+            .state(self.control)
+            .phase_plan()
+            .clone()
     }
 
     /// Tuples processed by destination PEs so far.
@@ -376,6 +422,7 @@ impl<A: DittoApp + 'static> PersistentPipeline<A> {
     /// steps at any time.
     pub fn snapshot(&self) -> StatSnapshot {
         let ctx = self.engine.context();
+        let phase_plan = ctx.state(self.control).phase_plan();
         StatSnapshot {
             cycles: self.engine.cycle(),
             tuples: ctx.counter(self.processed),
@@ -387,6 +434,8 @@ impl<A: DittoApp + 'static> PersistentPipeline<A> {
                 .map(|&c| ctx.counter(c))
                 .collect(),
             kernel_steps: self.engine.steps_executed(),
+            phase: phase_plan.phase(),
+            phase_active_pes: phase_plan.active_pes(),
         }
     }
 

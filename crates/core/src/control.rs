@@ -12,6 +12,8 @@
 
 use hls_sim::StateId;
 
+use crate::phase::PhasePlan;
+
 /// Handle to a pipeline's [`Control`] block in the engine's state arena.
 pub type ControlId = StateId<Control>;
 
@@ -53,6 +55,11 @@ pub struct Control {
     merge_done: bool,
     /// Completed reschedules.
     reschedules: u64,
+    /// The compiled execution plan of the current phase, applied at every
+    /// reschedule boundary (see [`PhasePlan`]).
+    phase_plan: PhasePlan,
+    /// Phase sequence stamped onto the next applied plan.
+    next_phase: u64,
 }
 
 impl Control {
@@ -67,6 +74,8 @@ impl Control {
             merge_request: false,
             merge_done: false,
             reschedules: 0,
+            phase_plan: PhasePlan::default(),
+            next_phase: 0,
         }
     }
 
@@ -192,6 +201,21 @@ impl Control {
         self.merge_done
     }
 
+    /// The compiled execution plan of the current phase.
+    pub fn phase_plan(&self) -> &PhasePlan {
+        &self.phase_plan
+    }
+
+    /// Installs `plan` as the new phase, stamping it with the next phase
+    /// sequence number (0 for the initial build-time plan). Called at
+    /// every reschedule boundary: pipeline assembly, plan distribution,
+    /// drain completion.
+    pub fn apply_phase_plan(&mut self, mut plan: PhasePlan) {
+        plan.set_phase(self.next_phase);
+        self.next_phase += 1;
+        self.phase_plan = plan;
+    }
+
     /// Number of completed reschedules.
     pub fn reschedules(&self) -> u64 {
         self.reschedules
@@ -245,6 +269,18 @@ mod tests {
         assert!(!c.merge_done());
         c.set_merge_done();
         assert!(c.merge_done());
+    }
+
+    #[test]
+    fn phase_plans_stamp_sequential_phases() {
+        let mut c = Control::new(2);
+        assert_eq!(c.phase_plan().phase(), 0);
+        assert_eq!(c.phase_plan().pe_count(), 0, "default plan is empty");
+        c.apply_phase_plan(PhasePlan::pri_only(4, 2));
+        assert_eq!(c.phase_plan().phase(), 0);
+        assert_eq!(c.phase_plan().active_pes(), 4);
+        c.apply_phase_plan(PhasePlan::pri_only(4, 2));
+        assert_eq!(c.phase_plan().phase(), 1);
     }
 
     #[test]

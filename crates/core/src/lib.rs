@@ -55,6 +55,7 @@ pub mod mapper;
 mod mask;
 pub mod merger;
 pub mod pe;
+pub mod phase;
 pub mod plan;
 pub mod profiler;
 pub mod reader;
@@ -66,6 +67,7 @@ pub use arch::{PersistentPipeline, RunOutcome, SkewObliviousPipeline};
 pub use config::ArchConfig;
 pub use control::{Control, ControlId, SecPhase};
 pub use mask::MaskTable;
+pub use phase::PhasePlan;
 pub use plan::SchedulingPlan;
 pub use report::{ChannelTotals, ExecutionReport, StatSnapshot};
 pub use routing::{WideWord, MAX_DEST_PES, MAX_WORD_SLOTS};

@@ -9,6 +9,7 @@ use hls_sim::{
 };
 
 use crate::control::ControlId;
+use crate::phase::PhasePlan;
 use crate::{PeId, SchedulingPlan};
 
 /// Tuning parameters of the profiler.
@@ -94,6 +95,11 @@ pub struct ProfilerKernel {
     sec_kernels: Vec<KernelId>,
     /// Merger kernel id woken on merge requests.
     merger_kernel: Option<KernelId>,
+    /// Decoder kernel ids, indexed by destination PE — the datapath half
+    /// of a phase plan's parked-kernel set.
+    decoder_kernels: Vec<KernelId>,
+    /// Destination-PE kernel ids, indexed by destination PE.
+    pe_kernels: Vec<KernelId>,
 }
 
 impl ProfilerKernel {
@@ -154,6 +160,8 @@ impl ProfilerKernel {
             fast_retriggers: 0,
             sec_kernels: Vec::new(),
             merger_kernel: None,
+            decoder_kernels: Vec::new(),
+            pe_kernels: Vec::new(),
         }
     }
 
@@ -174,6 +182,34 @@ impl ProfilerKernel {
         self.sec_kernels = sec_kernels;
         self.merger_kernel = merger_kernel;
         self
+    }
+
+    /// Registers the datapath kernel ids (decoder and PE per destination
+    /// PE, in PE order) so compiled phase plans can name the kernels
+    /// expected to stay parked. Without this, phase plans carry only the
+    /// active-PE prediction.
+    pub fn with_datapath_kernels(
+        mut self,
+        decoder_kernels: Vec<KernelId>,
+        pe_kernels: Vec<KernelId>,
+    ) -> Self {
+        self.decoder_kernels = decoder_kernels;
+        self.pe_kernels = pe_kernels;
+        self
+    }
+
+    /// Maps a compiled plan's cold datapaths to their kernel ids.
+    fn parked_kernels_of(&self, plan: &PhasePlan) -> Vec<KernelId> {
+        let mut parked = Vec::new();
+        for pe in plan.cold_taps() {
+            if let Some(&k) = self.decoder_kernels.get(pe as usize) {
+                parked.push(k);
+            }
+            if let Some(&k) = self.pe_kernels.get(pe as usize) {
+                parked.push(k);
+            }
+        }
+        parked
     }
 
     fn wake_secs(&self, ctx: &mut SimContext) {
@@ -222,6 +258,13 @@ impl Kernel for ProfilerKernel {
                     let workloads = self.merged_workloads();
                     let plan =
                         SchedulingPlan::generate(&workloads, self.params.m_pri, self.params.x_sec);
+                    // Compile the plan + the window it was generated from
+                    // into the coming phase's execution plan and apply it
+                    // at this reschedule boundary.
+                    let compiled = PhasePlan::compile(&workloads, &plan, self.params.x_sec);
+                    let parked = self.parked_kernels_of(&compiled);
+                    ctx.state_mut(self.control)
+                        .apply_phase_plan(compiled.with_parked_kernels(parked));
                     let queue: VecDeque<_> = plan.pairs().to_vec().into();
                     *ctx.state_mut(self.current_plan) = plan;
                     ctx.counter_incr(self.plans_generated);
@@ -285,6 +328,13 @@ impl Kernel for ProfilerKernel {
             }
             Phase::Draining => {
                 if ctx.state(self.control).all_secs_exited() {
+                    // Drain boundary: every SecPE has exited and nothing
+                    // is in flight to them — the phase until the next
+                    // plan distribution routes to PriPEs only.
+                    let pri_only = PhasePlan::pri_only(self.params.m_pri, self.params.x_sec);
+                    let parked = self.parked_kernels_of(&pri_only);
+                    ctx.state_mut(self.control)
+                        .apply_phase_plan(pri_only.with_parked_kernels(parked));
                     ctx.state_mut(self.control).request_merge();
                     if let Some(k) = self.merger_kernel {
                         ctx.wake_kernel(k);

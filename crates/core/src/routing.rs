@@ -42,6 +42,10 @@ pub struct WideWord<V> {
     /// word small for the broadcast copy). Slots past `len` hold defaults.
     values: [V; MAX_WORD_SLOTS],
     masks: [u16; MAX_DEST_PES],
+    /// Bit `p` set ⇔ some slot targets destination PE `p` — the word's tap
+    /// relevance mask, maintained while gathering so the broadcast core
+    /// classifies the word for all M+X datapaths in one load.
+    dest_taps: u64,
 }
 
 impl<V: Default> Default for WideWord<V> {
@@ -50,6 +54,7 @@ impl<V: Default> Default for WideWord<V> {
             len: 0,
             values: std::array::from_fn(|_| V::default()),
             masks: [0; MAX_DEST_PES],
+            dest_taps: 0,
         }
     }
 }
@@ -77,6 +82,7 @@ impl<V: Default> WideWord<V> {
             record.dst
         );
         self.masks[record.dst as usize] |= 1 << slot;
+        self.dest_taps |= 1 << record.dst;
         self.values[slot] = record.value;
         self.len += 1;
     }
@@ -95,6 +101,12 @@ impl<V: Default> WideWord<V> {
     /// targets `pe`).
     pub fn mask_for(&self, pe: PeId) -> u16 {
         self.masks[pe as usize]
+    }
+
+    /// The destination-PE bitmask (bit `p` set ⇔ some slot targets PE
+    /// `p`) — the word's relevance mask for the broadcast datapaths.
+    pub fn dest_taps(&self) -> u64 {
+        self.dest_taps
     }
 
     /// The payload in `slot`.
@@ -281,8 +293,11 @@ impl<V: Clone + Default + Send + 'static> Kernel for DecoderFilterKernel<V> {
                     if len == 0 {
                         // Nothing for this PE in that word: park right away
                         // when the tap drained, saving a wake-up lap for
-                        // the (majority) cold datapaths under skew.
+                        // the (majority) cold datapaths under skew. The
+                        // parked tap auto-advances past further zero-mask
+                        // words without stepping this kernel at all.
                         return if tap_now_empty {
+                            ctx.bcast_park(self.input);
                             Progress::Sleep
                         } else {
                             Progress::Busy
@@ -290,7 +305,10 @@ impl<V: Clone + Default + Send + 'static> Kernel for DecoderFilterKernel<V> {
                     }
                 }
                 TapRecv::NotVisible => return Progress::Busy,
-                TapRecv::Empty => return Progress::Sleep,
+                TapRecv::Empty => {
+                    ctx.bcast_park(self.input);
+                    return Progress::Sleep;
+                }
             }
         }
         // Forward one record per cycle.

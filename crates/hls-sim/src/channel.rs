@@ -262,12 +262,37 @@ impl<T> ChannelCore<T> {
     }
 }
 
+/// Relevance function of a broadcast channel: returns the bitmask of
+/// reader taps (bit `r` = tap `r`) the item is *relevant* to. Taps outside
+/// the mask see the item as a no-op (a zero destination mask in the
+/// wide-word case) and may be *auto-advanced* past when parked — cursor
+/// and statistics bookkeeping inside the core, without ever waking the
+/// tap's consumer kernel. One function call classifies the item for every
+/// tap at once. See
+/// [`Engine::broadcast_channel_with_relevance`](crate::Engine::broadcast_channel_with_relevance).
+pub type TapRelevance<T> = fn(&T) -> u64;
+
 /// Storage of one broadcast channel: a single queue with `R` reader cursors.
 ///
 /// Sequence numbers are absolute: the front of `queue` holds sequence
 /// `base_seq`, and reader `r` will next consume sequence `cursors[r]`. An
 /// item is dropped once every cursor has moved past it, so each value is
 /// stored exactly once regardless of the fan-out.
+///
+/// # Cold taps
+///
+/// A consumer that parks on an empty tap
+/// ([`SimContext::bcast_park`](crate::SimContext::bcast_park)) marks the tap
+/// *cold*. While a tap is cold, pushed items that the channel's
+/// [`TapRelevance`] predicate declares irrelevant to it do **not** fire the
+/// tap's push wakes; instead the engine auto-advances the cursor (with full
+/// pop/occupancy bookkeeping) at the end of the cycle in which the item
+/// becomes visible — exactly when the parked consumer would have consumed
+/// the no-op item had it been woken. A relevant push clears the cold flag
+/// and wakes the tap normally, and any direct receive on a cold tap also
+/// clears it (the consumer has taken over). Invariant: while a tap is cold,
+/// every item buffered for it is irrelevant, because the flag is only set on
+/// an empty tap and cleared by the first relevant push.
 pub(crate) struct BroadcastCore<T> {
     pub(crate) name_prefix: String,
     pub(crate) capacity: usize,
@@ -281,6 +306,20 @@ pub(crate) struct BroadcastCore<T> {
     pub(crate) pops: Vec<u64>,
     pub(crate) full_stalls: u64,
     pub(crate) max_occupancy: Vec<usize>,
+    /// Per-item relevance-mask function for the cold-tap auto-advance;
+    /// `None` disables auto-advance (parked taps are then woken by every
+    /// push).
+    pub(crate) relevance: Option<TapRelevance<T>>,
+    /// Bit `r` set ⇔ tap `r` is cold: its consumer is parked and every
+    /// item buffered for it is irrelevant (see the type-level docs).
+    pub(crate) cold_mask: u64,
+    /// Visibility boundary maintained by [`catch_up`](Self::catch_up):
+    /// sequence number of the first item not yet visible at the last
+    /// catch-up cycle. Items are queued in push order with monotonically
+    /// increasing visibility, so every sequence below the boundary is
+    /// consumable and a cold tap batch-advances to it in O(1) — no
+    /// per-item queue probing.
+    visible_seq: u64,
 }
 
 impl<T> BroadcastCore<T> {
@@ -305,7 +344,26 @@ impl<T> BroadcastCore<T> {
             pops: vec![0; readers],
             full_stalls: 0,
             max_occupancy: vec![0; readers],
+            relevance: None,
+            cold_mask: 0,
+            visible_seq: 0,
         }
+    }
+
+    /// Installs the relevance-mask function enabling cold-tap auto-advance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel has more than 64 reader taps — the cold set
+    /// and relevance masks are single words.
+    pub(crate) fn with_relevance(mut self, relevance: TapRelevance<T>) -> Self {
+        assert!(
+            self.cursors.len() <= 64,
+            "{}: auto-advance supports at most 64 reader taps",
+            self.name_prefix
+        );
+        self.relevance = Some(relevance);
+        self
     }
 
     #[inline]
@@ -373,7 +431,8 @@ impl<T> BroadcastCore<T> {
     }
 
     /// Applies `f` to the item at reader `r`'s cursor if it is visible at
-    /// `cy`, advancing the cursor.
+    /// `cy`, advancing the cursor. A successful receive on a cold tap also
+    /// clears the cold flag — the consumer has visibly taken over.
     #[inline]
     pub(crate) fn recv_map<R>(
         &mut self,
@@ -388,6 +447,17 @@ impl<T> BroadcastCore<T> {
             return None;
         }
         let out = f(&slot.value);
+        self.unpark(r);
+        self.advance_cursor(r);
+        Some(out)
+    }
+
+    /// Pop bookkeeping for reader `r`'s cursor: cursor, pop count and
+    /// front-release accounting — shared by kernel receives and the
+    /// cold-tap auto-advance.
+    #[inline]
+    fn advance_cursor(&mut self, r: usize) {
+        let cursor = self.cursors[r];
         self.cursors[r] = cursor + 1;
         self.pops[r] += 1;
         if cursor == self.base_seq {
@@ -396,7 +466,89 @@ impl<T> BroadcastCore<T> {
                 self.release_front();
             }
         }
-        Some(out)
+    }
+
+    /// Marks tap `r` cold: its consumer parked on it while it was empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the tap still buffers items — the cold
+    /// invariant requires an empty tap at park time.
+    pub(crate) fn park(&mut self, r: usize) {
+        debug_assert_eq!(
+            self.occupancy(r),
+            0,
+            "{}{r}: a tap may only be parked while empty",
+            self.name_prefix
+        );
+        if r < 64 {
+            self.cold_mask |= 1 << r;
+        }
+    }
+
+    /// Clears tap `r`'s cold flag (relevant push or direct receive).
+    #[inline]
+    pub(crate) fn unpark(&mut self, r: usize) {
+        if r < 64 {
+            self.cold_mask &= !(1u64 << r);
+        }
+    }
+
+    /// The relevance mask of the just-pushed item (the queue's back) —
+    /// without a relevance function every item is relevant to every tap.
+    #[inline]
+    pub(crate) fn newest_relevance(&self) -> u64 {
+        match (self.relevance, self.queue.back()) {
+            (Some(f), Some(slot)) => f(&slot.value),
+            _ => u64::MAX,
+        }
+    }
+
+    /// Auto-advances every cold tap past its visible irrelevant items,
+    /// returning the number of pops applied. Called by the engine at the
+    /// end of each cycle `cy`, which is observationally the moment the
+    /// parked consumer would have popped the no-op item itself (consumers
+    /// step after the producer within a cycle and drain one item per
+    /// cycle; successive pushes have strictly increasing visibility times).
+    pub(crate) fn catch_up(&mut self, cy: Cycle) -> u64 {
+        // Readers may have popped (and the front released) past a stale
+        // boundary during the cycle; everything below `base_seq` was
+        // visible, so the boundary resumes there.
+        if self.visible_seq < self.base_seq {
+            self.visible_seq = self.base_seq;
+        }
+        // Advance the visibility boundary (amortised O(1): at most one
+        // push lands per producer per cycle).
+        loop {
+            let offset = (self.visible_seq - self.base_seq) as usize;
+            match self.queue.get(offset) {
+                Some(slot) if slot.visible_at <= cy => self.visible_seq += 1,
+                _ => break,
+            }
+        }
+        let target = self.visible_seq;
+        let mut applied = 0;
+        let mut cold = self.cold_mask;
+        while cold != 0 {
+            let r = cold.trailing_zeros() as usize;
+            cold &= cold - 1;
+            let cursor = self.cursors[r];
+            if cursor < target {
+                // Batch pop bookkeeping: every sequence in
+                // `cursor..target` is visible and (cold invariant)
+                // irrelevant to this tap.
+                self.cursors[r] = target;
+                self.pops[r] += target - cursor;
+                applied += target - cursor;
+                if cursor == self.base_seq {
+                    self.front_waiters -= 1;
+                    if self.front_waiters == 0 {
+                        self.release_front();
+                    }
+                }
+            }
+        }
+        applied
     }
 
     #[inline]
@@ -432,10 +584,14 @@ impl<T> BroadcastCore<T> {
 
 /// Type-erased arena slot: the concrete `ChannelCore<T>`/`BroadcastCore<T>`
 /// behind a plain `dyn Any` (one `TypeId` compare per access, no extra
-/// virtual hop), plus a monomorphised stats reporter.
+/// virtual hop), plus a monomorphised stats reporter and — for broadcast
+/// channels with a relevance predicate — a monomorphised cold-tap
+/// catch-up hook the engine calls at the end of each cycle.
 pub(crate) struct ArenaSlot {
     pub(crate) core: Box<dyn Any + Send>,
     stats_fn: fn(&dyn Any, &mut Vec<ChannelStats>),
+    /// `Some` only for auto-advancing broadcast slots.
+    pub(crate) advance_fn: Option<fn(&mut dyn Any, Cycle) -> u64>,
 }
 
 impl ArenaSlot {
@@ -447,6 +603,7 @@ impl ArenaSlot {
         ArenaSlot {
             core: Box::new(core),
             stats_fn: report::<T>,
+            advance_fn: None,
         }
     }
 
@@ -457,9 +614,15 @@ impl ArenaSlot {
                 out.push(core.reader_stats(r));
             }
         }
+        fn advance<T: Send + 'static>(any: &mut dyn Any, cy: Cycle) -> u64 {
+            let core = any.downcast_mut::<BroadcastCore<T>>().expect("slot type");
+            core.catch_up(cy)
+        }
+        let advance_fn = core.relevance.is_some().then_some(advance::<T> as _);
         ArenaSlot {
             core: Box::new(core),
             stats_fn: report::<T>,
+            advance_fn,
         }
     }
 

@@ -44,8 +44,33 @@ pub struct SimContext {
     on_push: Vec<Subscribers>,
     /// Kernels to wake when a value is popped from channel `c`.
     on_pop: Vec<Subscribers>,
-    /// Per-kernel wake flags (`true` = step this kernel).
+    /// Per-tap push subscribers of broadcast channel `c` (empty for plain
+    /// channels): a broadcast push wakes tap `r`'s subscribers only when
+    /// the item is relevant to `r` or the tap is not parked.
+    on_push_tap: Vec<Vec<Subscribers>>,
+    /// Union of all tap subscribers per channel — the push fast path when
+    /// no tap is parked (one subscriber walk, like a plain channel).
+    on_push_tap_merged: Vec<Subscribers>,
+    /// Per-kernel wake flags (`true` = the kernel is awake). The byte
+    /// store/load here is the measured-fastest event path at pipeline
+    /// sizes of tens of kernels; the dense active *set* is maintained as
+    /// the (`awake_count`, `scan_ahead`) pair bounding the engine's
+    /// per-cycle loop, not as a materialized index list — see
+    /// [`Engine::step`](crate::Engine::step) for why.
     pub(crate) wake: Vec<bool>,
+    /// Maintained size of the active set — updated on every sleep/wake
+    /// transition, so [`Engine::active_kernels`](crate::Engine::active_kernels)
+    /// is O(1) instead of an O(n) flag recount.
+    pub(crate) awake_count: u32,
+    /// While a cycle is being stepped: number of awake kernels at or ahead
+    /// of the scan position (the loop's termination bound). Wakes of
+    /// later-indexed kernels raise it (they step this cycle); wakes behind
+    /// the scan only raise `awake_count` (they step next cycle) — exactly
+    /// the wake-flag-scan semantics.
+    pub(crate) scan_ahead: u32,
+    /// Broadcast channels with a relevance predicate — the engine runs
+    /// their cold-tap catch-up at the end of every cycle.
+    auto_channels: Vec<RawChannelId>,
     /// Kernel currently stepping (wakes targeting it are deferred to the
     /// sleep decision instead of the flag array).
     pub(crate) current_kernel: u32,
@@ -60,17 +85,30 @@ impl SimContext {
             arena: StateArena::default(),
             on_push: Vec::new(),
             on_pop: Vec::new(),
+            on_push_tap: Vec::new(),
+            on_push_tap_merged: Vec::new(),
             wake: Vec::new(),
+            awake_count: 0,
+            scan_ahead: 0,
+            auto_channels: Vec::new(),
             current_kernel: u32::MAX,
             self_woken: false,
         }
     }
 
-    pub(crate) fn add_channel(&mut self, ch: ArenaSlot) -> RawChannelId {
+    /// Registers a channel slot with `readers` broadcast taps (zero for
+    /// plain channels); auto-advancing slots join the end-of-cycle
+    /// catch-up list.
+    pub(crate) fn add_channel(&mut self, ch: ArenaSlot, readers: usize) -> RawChannelId {
         let id = self.channels.len() as RawChannelId;
+        if ch.advance_fn.is_some() {
+            self.auto_channels.push(id);
+        }
         self.channels.push(ch);
         self.on_push.push(Subscribers::None);
         self.on_pop.push(Subscribers::None);
+        self.on_push_tap.push(vec![Subscribers::None; readers]);
+        self.on_push_tap_merged.push(Subscribers::None);
         id
     }
 
@@ -80,6 +118,19 @@ impl SimContext {
             "wake subscription references unknown channel {ch}"
         );
         self.on_push[ch as usize].add(kernel);
+    }
+
+    pub(crate) fn subscribe_push_tap(&mut self, ch: RawChannelId, reader: u32, kernel: u32) {
+        let taps = self
+            .on_push_tap
+            .get_mut(ch as usize)
+            .unwrap_or_else(|| panic!("wake subscription references unknown channel {ch}"));
+        assert!(
+            (reader as usize) < taps.len(),
+            "wake subscription references unknown tap {reader} of channel {ch}"
+        );
+        taps[reader as usize].add(kernel);
+        self.on_push_tap_merged[ch as usize].add(kernel);
     }
 
     pub(crate) fn subscribe_pop(&mut self, ch: RawChannelId, kernel: u32) {
@@ -122,25 +173,49 @@ impl SimContext {
             .expect("broadcast id used with mismatched payload type")
     }
 
+    /// Wakes kernel `k`: sets its flag and maintains the active-set size.
+    /// A wake ahead of the engine's scan position also raises the loop's
+    /// remaining-work bound so the kernel steps this cycle; a wake behind
+    /// it steps next cycle.
     #[inline]
-    fn fire(
-        on_event: &[Subscribers],
-        idx: u32,
+    fn wake_one(
+        k: u32,
         wake: &mut [bool],
+        awake_count: &mut u32,
+        scan_ahead: &mut u32,
         current: u32,
         self_woken: &mut bool,
     ) {
-        let mut one = |k: u32| {
-            if k == current {
-                *self_woken = true;
-            } else {
-                wake[k as usize] = true;
+        if k == current {
+            *self_woken = true;
+        } else if !wake[k as usize] {
+            wake[k as usize] = true;
+            *awake_count += 1;
+            // `current` is `u32::MAX` outside the step loop, so external
+            // wakes never inflate the in-cycle bound.
+            if k > current {
+                *scan_ahead += 1;
             }
-        };
-        match &on_event[idx as usize] {
+        }
+    }
+
+    #[inline]
+    fn fire(
+        subs: &Subscribers,
+        wake: &mut [bool],
+        awake_count: &mut u32,
+        scan_ahead: &mut u32,
+        current: u32,
+        self_woken: &mut bool,
+    ) {
+        match subs {
             Subscribers::None => {}
-            Subscribers::One(k) => one(*k),
-            Subscribers::Many(v) => v.iter().for_each(|&k| one(k)),
+            Subscribers::One(k) => {
+                Self::wake_one(*k, wake, awake_count, scan_ahead, current, self_woken)
+            }
+            Subscribers::Many(v) => v.iter().for_each(|&k| {
+                Self::wake_one(k, wake, awake_count, scan_ahead, current, self_woken)
+            }),
         }
     }
 
@@ -164,9 +239,10 @@ impl SimContext {
         let result = self.chan_mut::<T>(tx.idx).try_send(cy, value);
         if result.is_ok() {
             Self::fire(
-                &self.on_push,
-                tx.idx,
+                &self.on_push[tx.idx as usize],
                 &mut self.wake,
+                &mut self.awake_count,
+                &mut self.scan_ahead,
                 self.current_kernel,
                 &mut self.self_woken,
             );
@@ -183,9 +259,10 @@ impl SimContext {
         let result = self.chan_mut::<T>(rx.idx).try_recv(cy);
         if result.is_some() {
             Self::fire(
-                &self.on_pop,
-                rx.idx,
+                &self.on_pop[rx.idx as usize],
                 &mut self.wake,
+                &mut self.awake_count,
+                &mut self.scan_ahead,
                 self.current_kernel,
                 &mut self.self_woken,
             );
@@ -239,6 +316,11 @@ impl SimContext {
     /// (mirroring the combiner's all-datapaths gate), and the value is
     /// stored once regardless of fan-out.
     ///
+    /// Push wakes are tap-scoped: each tap's subscribers fire unless the
+    /// tap is [parked](Self::bcast_park) *and* the channel's relevance
+    /// predicate declares the value a no-op for it — those taps are
+    /// auto-advanced by the engine instead of being woken.
+    ///
     /// # Errors
     ///
     /// Returns [`SendError`] holding the value when some tap is at capacity;
@@ -250,15 +332,61 @@ impl SimContext {
         tx: BcastSenderId<T>,
         value: T,
     ) -> Result<(), SendError<T>> {
-        let result = self.bcast_mut::<T>(tx.idx).try_send(cy, value);
+        let idx = tx.idx as usize;
+        let core = self.channels[idx]
+            .core
+            .downcast_mut::<BroadcastCore<T>>()
+            .expect("broadcast id used with mismatched payload type");
+        let result = core.try_send(cy, value);
         if result.is_ok() {
-            Self::fire(
-                &self.on_push,
-                tx.idx,
-                &mut self.wake,
-                self.current_kernel,
-                &mut self.self_woken,
-            );
+            if core.cold_mask == 0 {
+                // Fast path: no tap is parked, every tap wakes — one walk
+                // of the merged subscriber list, exactly a plain push.
+                Self::fire(
+                    &self.on_push_tap_merged[idx],
+                    &mut self.wake,
+                    &mut self.awake_count,
+                    &mut self.scan_ahead,
+                    self.current_kernel,
+                    &mut self.self_woken,
+                );
+            } else if self.on_push_tap[idx].len() > 64 {
+                // Parked taps exist but the channel is too wide for the
+                // cold machinery (only possible without a relevance
+                // function): clear and fall back to waking everyone.
+                core.cold_mask = 0;
+                Self::fire(
+                    &self.on_push_tap_merged[idx],
+                    &mut self.wake,
+                    &mut self.awake_count,
+                    &mut self.scan_ahead,
+                    self.current_kernel,
+                    &mut self.self_woken,
+                );
+            } else {
+                // One relevance call classifies the item for every tap.
+                // Cold taps the item is relevant to re-activate and wake;
+                // cold taps it is irrelevant to are left for the
+                // end-of-cycle auto-advance without waking anyone.
+                let readers = self.on_push_tap[idx].len() as u32;
+                let all = u64::MAX >> (64 - readers);
+                let relevant = core.newest_relevance();
+                core.cold_mask &= !relevant;
+                let mut wake_taps = all & !core.cold_mask;
+                let taps = &self.on_push_tap[idx];
+                while wake_taps != 0 {
+                    let r = wake_taps.trailing_zeros() as usize;
+                    wake_taps &= wake_taps - 1;
+                    Self::fire(
+                        &taps[r],
+                        &mut self.wake,
+                        &mut self.awake_count,
+                        &mut self.scan_ahead,
+                        self.current_kernel,
+                        &mut self.self_woken,
+                    );
+                }
+            }
         }
         result
     }
@@ -286,9 +414,10 @@ impl SimContext {
             .recv_map(cy, rx.reader as usize, f);
         if result.is_some() {
             Self::fire(
-                &self.on_pop,
-                rx.idx,
+                &self.on_pop[rx.idx as usize],
                 &mut self.wake,
+                &mut self.awake_count,
+                &mut self.scan_ahead,
                 self.current_kernel,
                 &mut self.self_woken,
             );
@@ -313,14 +442,57 @@ impl SimContext {
             .recv_or_empty(cy, rx.reader as usize, f);
         if matches!(result, crate::TapRecv::Got { .. }) {
             Self::fire(
-                &self.on_pop,
-                rx.idx,
+                &self.on_pop[rx.idx as usize],
                 &mut self.wake,
+                &mut self.awake_count,
+                &mut self.scan_ahead,
                 self.current_kernel,
                 &mut self.self_woken,
             );
         }
         result
+    }
+
+    /// Parks this broadcast tap: the caller (its consumer kernel) is about
+    /// to [`Sleep`](crate::Progress::Sleep) on the empty tap. On channels
+    /// created with a relevance predicate
+    /// ([`Engine::broadcast_channel_with_relevance`](crate::Engine::broadcast_channel_with_relevance)),
+    /// items irrelevant to a parked tap are consumed by the engine's
+    /// end-of-cycle auto-advance — full cursor and statistics bookkeeping,
+    /// no kernel wake-up — until a relevant item arrives and wakes the tap
+    /// normally. On channels without a predicate parking is harmless:
+    /// every push still wakes the tap.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the tap still buffers items.
+    #[inline]
+    pub fn bcast_park<T: Send + 'static>(&mut self, rx: BcastReceiverId<T>) {
+        self.bcast_mut::<T>(rx.idx).park(rx.reader as usize);
+    }
+
+    /// Runs the cold-tap catch-up of every auto-advancing broadcast
+    /// channel for cycle `cy`, firing pop wakes (backpressure release) for
+    /// any cursor that moved. Called by the engine at the end of each
+    /// cycle — the moment the parked consumers would have consumed the
+    /// no-op items themselves.
+    pub(crate) fn advance_cold_taps(&mut self, cy: Cycle) {
+        for i in 0..self.auto_channels.len() {
+            let idx = self.auto_channels[i] as usize;
+            let slot = &mut self.channels[idx];
+            let advance = slot.advance_fn.expect("auto channel has advance hook");
+            let pops = advance(&mut *slot.core, cy);
+            if pops > 0 {
+                Self::fire(
+                    &self.on_pop[idx],
+                    &mut self.wake,
+                    &mut self.awake_count,
+                    &mut self.scan_ahead,
+                    self.current_kernel,
+                    &mut self.self_woken,
+                );
+            }
+        }
     }
 
     /// Returns `true` if this tap has a visible item at cycle `cy`.
@@ -353,11 +525,14 @@ impl SimContext {
     /// phases without missing a transition.
     #[inline]
     pub fn wake_kernel(&mut self, kernel: u32) {
-        if kernel == self.current_kernel {
-            self.self_woken = true;
-        } else {
-            self.wake[kernel as usize] = true;
-        }
+        Self::wake_one(
+            kernel,
+            &mut self.wake,
+            &mut self.awake_count,
+            &mut self.scan_ahead,
+            self.current_kernel,
+            &mut self.self_woken,
+        );
     }
 
     // ---- state arena ----------------------------------------------------

@@ -87,9 +87,10 @@ impl Engine {
         capacity: usize,
         latency: u64,
     ) -> (SenderId<T>, ReceiverId<T>) {
-        let idx = self.ctx.add_channel(ArenaSlot::plain(ChannelCore::<T>::new(
-            name, capacity, latency,
-        )));
+        let idx = self.ctx.add_channel(
+            ArenaSlot::plain(ChannelCore::<T>::new(name, capacity, latency)),
+            0,
+        );
         (
             SenderId {
                 idx,
@@ -131,14 +132,52 @@ impl Engine {
         capacity: usize,
         latency: u64,
     ) -> (BcastSenderId<T>, Vec<BcastReceiverId<T>>) {
-        let idx = self
-            .ctx
-            .add_channel(ArenaSlot::broadcast(BroadcastCore::<T>::new(
-                name_prefix,
-                readers,
-                capacity,
-                latency,
-            )));
+        self.register_broadcast(BroadcastCore::<T>::new(
+            name_prefix,
+            readers,
+            capacity,
+            latency,
+        ))
+    }
+
+    /// [`broadcast_channel`](Self::broadcast_channel) with a relevance
+    /// function enabling the **cold-tap auto-advance**: `relevance(item)`
+    /// returns the bitmask of reader taps the item matters to (one call
+    /// classifies the item for every tap — the wide-word case keeps this
+    /// mask up to date while gathering records). Taps outside the mask see
+    /// a no-op item: it never wakes a tap whose consumer parked via
+    /// [`SimContext::bcast_park`] — the engine advances the tap's cursor
+    /// with full pop/occupancy bookkeeping at the end of the cycle the
+    /// item becomes visible, which is precisely when the consumer would
+    /// have consumed the no-op item had it been woken.
+    ///
+    /// The schedule equivalence assumes the producer pushes at most one
+    /// item per cycle and steps before the tap consumers within a cycle
+    /// (both true for pipelines built in registration order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `readers` is zero, or if `readers` exceeds
+    /// 64 (the relevance masks are single words).
+    pub fn broadcast_channel_with_relevance<T: Send + 'static>(
+        &mut self,
+        name_prefix: &str,
+        readers: usize,
+        capacity: usize,
+        relevance: crate::TapRelevance<T>,
+    ) -> (BcastSenderId<T>, Vec<BcastReceiverId<T>>) {
+        self.register_broadcast(
+            BroadcastCore::<T>::new(name_prefix, readers, capacity, DEFAULT_LATENCY)
+                .with_relevance(relevance),
+        )
+    }
+
+    fn register_broadcast<T: Send + 'static>(
+        &mut self,
+        core: BroadcastCore<T>,
+    ) -> (BcastSenderId<T>, Vec<BcastReceiverId<T>>) {
+        let readers = core.cursors.len();
+        let idx = self.ctx.add_channel(ArenaSlot::broadcast(core), readers);
         let tx = BcastSenderId {
             idx,
             _marker: PhantomData,
@@ -191,10 +230,14 @@ impl Engine {
         for ch in ws.on_push {
             self.ctx.subscribe_push(ch, idx);
         }
+        for (ch, reader) in ws.on_push_bcast {
+            self.ctx.subscribe_push_tap(ch, reader, idx);
+        }
         for ch in ws.on_pop {
             self.ctx.subscribe_pop(ch, idx);
         }
         self.ctx.wake.push(true);
+        self.ctx.awake_count += 1;
         if kernel.is_quiescence_gate() {
             self.gates.push(idx);
         }
@@ -213,9 +256,28 @@ impl Engine {
     }
 
     /// Number of kernels currently awake (not parked by the idle-set
-    /// scheduler).
+    /// scheduler) — the maintained active-set size, O(1) instead of a
+    /// recount of the wake flags.
     pub fn active_kernels(&self) -> usize {
-        self.ctx.wake.iter().filter(|&&w| w).count()
+        #[cfg(debug_assertions)]
+        {
+            let flagged = self.ctx.wake.iter().filter(|&&w| w).count();
+            debug_assert_eq!(
+                flagged, self.ctx.awake_count as usize,
+                "maintained active-set size out of sync with the wake flags"
+            );
+        }
+        self.ctx.awake_count as usize
+    }
+
+    /// `true` when kernel `k` is currently awake (in the active set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not a registered kernel id.
+    pub fn kernel_awake(&self, k: KernelId) -> bool {
+        assert!((k as usize) < self.kernels.len(), "unknown kernel {k}");
+        self.ctx.wake[k as usize]
     }
 
     /// Read access to the channel arena (statistics, post-run inspection).
@@ -237,6 +299,21 @@ impl Engine {
 
     /// Executes exactly one clock cycle: every awake kernel steps once, in
     /// registration order.
+    ///
+    /// The loop is bounded by the maintained active set instead of
+    /// unconditionally scanning the whole wake-flag vector: `scan_ahead`
+    /// starts at the active-set size, each visited awake kernel consumes
+    /// one unit, an in-cycle wake of a later-indexed kernel adds one (it
+    /// steps this cycle; a wake behind the scan steps next cycle), and the
+    /// loop exits the moment no awake kernel remains ahead — on a
+    /// mostly-parked pipeline the tail of the kernel vector is never
+    /// touched. A materialized index list (sorted insert / in-place
+    /// remove, or a bitset) was measured strictly slower at tens of
+    /// kernels: per-event list/bitset maintenance costs more than the
+    /// predictable flag reads it saves, and an order-ignoring swap-remove
+    /// list would break the registration-order stepping contract the
+    /// cycle-equivalence goldens pin. After the last kernel, cold
+    /// broadcast taps are auto-advanced past the cycle's no-op items.
     pub fn step(&mut self) {
         let cy = self.cycle;
         let Engine {
@@ -245,21 +322,28 @@ impl Engine {
             steps_executed,
             ..
         } = self;
-        for (i, kernel) in kernels.iter_mut().enumerate() {
+        ctx.scan_ahead = ctx.awake_count;
+        let mut i = 0usize;
+        while ctx.scan_ahead > 0 {
             if !ctx.wake[i] {
+                i += 1;
                 continue;
             }
+            ctx.scan_ahead -= 1;
             *steps_executed += 1;
             ctx.current_kernel = i as u32;
             ctx.self_woken = false;
-            if kernel.step(cy, ctx) == Progress::Sleep {
+            if kernels[i].step(cy, ctx) == Progress::Sleep && !ctx.self_woken {
                 // Park unless the kernel's own step triggered one of its
                 // wake events (self-loop); the next subscribed event or
                 // explicit wake re-activates it.
-                ctx.wake[i] = ctx.self_woken;
+                ctx.wake[i] = false;
+                ctx.awake_count -= 1;
             }
+            i += 1;
         }
         self.ctx.current_kernel = u32::MAX;
+        self.ctx.advance_cold_taps(cy);
         self.cycle += 1;
     }
 
@@ -298,14 +382,26 @@ impl Engine {
         }
     }
 
-    /// `true` when every *awake* kernel reports idle. Sleeping kernels are
-    /// skipped: their idle status is frozen while they sleep, and the
-    /// settling confirmation re-checks them before completion is declared.
+    /// `true` when every *awake* kernel reports idle — bounded by the
+    /// active-set size, so the per-cycle quiescence check ends at the last
+    /// awake kernel instead of walking the full population. Sleeping
+    /// kernels are skipped: their idle status is frozen while they sleep,
+    /// and the settling confirmation re-checks them before completion is
+    /// declared.
     fn active_all_idle(&self) -> bool {
-        self.kernels
-            .iter()
-            .zip(&self.ctx.wake)
-            .all(|(k, &awake)| !awake || k.is_idle(&self.ctx))
+        let mut remaining = self.ctx.awake_count;
+        for (k, kernel) in self.kernels.iter().enumerate() {
+            if remaining == 0 {
+                break;
+            }
+            if self.ctx.wake[k] {
+                remaining -= 1;
+                if !kernel.is_idle(&self.ctx) {
+                    return false;
+                }
+            }
+        }
+        true
     }
 
     /// Full-population idle check used to confirm a completed settling
@@ -316,7 +412,7 @@ impl Engine {
         let mut all = true;
         for i in 0..self.kernels.len() {
             if !self.kernels[i].is_idle(&self.ctx) {
-                self.ctx.wake[i] = true;
+                self.ctx.wake_kernel(i as u32);
                 all = false;
             }
         }

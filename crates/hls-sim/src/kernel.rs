@@ -38,6 +38,10 @@ pub enum Progress {
 pub struct WakeSet {
     pub(crate) on_push: Vec<RawChannelId>,
     pub(crate) on_pop: Vec<RawChannelId>,
+    /// Broadcast push subscriptions carry the reader tap, so a push can
+    /// wake exactly the taps it is relevant to (the cold-tap auto-advance
+    /// never wakes a parked tap for a zero-mask item).
+    pub(crate) on_push_bcast: Vec<(RawChannelId, u32)>,
 }
 
 impl WakeSet {
@@ -53,8 +57,14 @@ impl WakeSet {
     }
 
     /// Wake after a push into the broadcast group read through `rx`.
+    ///
+    /// The subscription is tap-scoped: on channels created with a
+    /// [relevance predicate](crate::Engine::broadcast_channel_with_relevance),
+    /// a push that is irrelevant to a [parked](crate::SimContext::bcast_park)
+    /// tap does not fire this wake — the engine auto-advances the tap's
+    /// cursor instead.
     pub fn after_push_on_bcast<T>(mut self, rx: BcastReceiverId<T>) -> Self {
-        self.on_push.push(rx.raw());
+        self.on_push_bcast.push((rx.raw(), rx.reader()));
         self
     }
 

@@ -31,10 +31,21 @@
 //!   return [`Progress::Sleep`] and is skipped until a subscribed event
 //!   wakes it (the **idle-set scheduler**) — observationally identical to
 //!   stepping everyone, but mostly-quiescent pipelines (the common case
-//!   under skew) cost only their active set;
+//!   under skew) cost only their active set. The scheduler maintains the
+//!   active-set size on every sleep/wake transition, so
+//!   [`Engine::active_kernels`] is O(1) and the per-cycle loop and
+//!   quiescence checks are bounded by the live count (ending at the last
+//!   awake kernel rather than scanning the whole population — see
+//!   [`Engine::step`] for why a materialized active list was rejected);
 //! * a [broadcast channel](Engine::broadcast_channel) fans one value out to
 //!   `R` reader taps while storing it once — the combiner's wide-word
-//!   duplication without `R` copies;
+//!   duplication without `R` copies. With a [relevance
+//!   predicate](Engine::broadcast_channel_with_relevance), items that are
+//!   no-ops for a [parked](SimContext::bcast_park) tap (zero destination
+//!   mask) are **auto-advanced** inside the core — cursor and statistics
+//!   bookkeeping at exactly the cycle the consumer would have consumed
+//!   them, without ever waking it — so under skew the cold datapaths cost
+//!   nothing per word;
 //! * there is no randomness anywhere in the engine.
 //!
 //! Throughput numbers are measured in items per cycle and converted to wall
@@ -103,7 +114,7 @@ mod stats;
 
 pub use channel::{
     BcastReceiverId, BcastSenderId, ChannelStats, RawChannelId, ReceiverId, SendError, SenderId,
-    TapRecv, DEFAULT_LATENCY,
+    TapRecv, TapRelevance, DEFAULT_LATENCY,
 };
 pub use context::SimContext;
 pub use engine::{Engine, RunReport};

@@ -129,3 +129,163 @@ fn broadcast_taps_mirror_plain_channels() {
         }
     }
 }
+
+/// Naive reference model of one auto-advancing broadcast channel: `R`
+/// independent FIFOs fed the same atomic pushes, where a parked tap
+/// auto-pops items outside the relevance mask at the end of the cycle
+/// they become visible, and a relevant push un-parks the tap.
+struct RefModel {
+    capacity: usize,
+    latency: u64,
+    /// Per tap: items as (value, visible_at), front = oldest unconsumed.
+    taps: Vec<std::collections::VecDeque<(u64, u64)>>,
+    parked: Vec<bool>,
+    pushes: u64,
+    pops: Vec<u64>,
+    full_stalls: u64,
+    max_occupancy: Vec<usize>,
+}
+
+impl RefModel {
+    fn new(readers: usize, capacity: usize, latency: u64) -> Self {
+        RefModel {
+            capacity,
+            latency,
+            taps: vec![std::collections::VecDeque::new(); readers],
+            parked: vec![false; readers],
+            pushes: 0,
+            pops: vec![0; readers],
+            full_stalls: 0,
+            max_occupancy: vec![0; readers],
+        }
+    }
+
+    fn try_send(&mut self, cy: u64, value: u64) -> bool {
+        if self.taps.iter().any(|t| t.len() >= self.capacity) {
+            self.full_stalls += 1;
+            return false;
+        }
+        for (r, tap) in self.taps.iter_mut().enumerate() {
+            if self.parked[r] && value & (1 << r) != 0 {
+                self.parked[r] = false;
+            }
+            tap.push_back((value, cy + self.latency));
+            self.max_occupancy[r] = self.max_occupancy[r].max(tap.len());
+        }
+        self.pushes += 1;
+        true
+    }
+
+    fn try_recv(&mut self, cy: u64, r: usize) -> Option<u64> {
+        match self.taps[r].front() {
+            Some(&(v, vis)) if vis <= cy => {
+                self.taps[r].pop_front();
+                self.pops[r] += 1;
+                self.parked[r] = false;
+                Some(v)
+            }
+            _ => None,
+        }
+    }
+
+    /// End-of-cycle auto-advance: parked taps consume their visible
+    /// (necessarily irrelevant) front items.
+    fn end_cycle(&mut self, cy: u64) {
+        for (r, tap) in self.taps.iter_mut().enumerate() {
+            if !self.parked[r] {
+                continue;
+            }
+            while matches!(tap.front(), Some(&(_, vis)) if vis <= cy) {
+                let (v, _) = tap.pop_front().expect("checked");
+                assert_eq!(v & (1 << r), 0, "parked tap held a relevant item");
+                self.pops[r] += 1;
+            }
+        }
+    }
+}
+
+/// The auto-advance broadcast core must match the naive reference model on
+/// delivered items, cursor positions (observed as per-tap occupancy) and
+/// per-reader statistics, under arbitrary interleavings of pushes with
+/// random zero/nonzero relevance masks, receives and parks.
+#[test]
+fn auto_advance_broadcast_matches_reference_model() {
+    let mut s = 0xd17704u64;
+    for case in 0..96 {
+        let readers = 1 + (splitmix(&mut s) % 6) as usize;
+        let capacity = 1 + (splitmix(&mut s) % 7) as usize;
+        let mut engine = Engine::new();
+        // Relevance mask of an item is simply its low `readers` bits, so
+        // random values exercise zero masks, partial masks and full masks.
+        let (btx, brx) =
+            engine.broadcast_channel_with_relevance::<u64>("w", readers, capacity, |&v| v);
+        let mut model = RefModel::new(readers, capacity, hls_sim::DEFAULT_LATENCY);
+        let mut delivered = vec![Vec::new(); readers];
+        let mut model_delivered = vec![Vec::new(); readers];
+        for _ in 0..160 {
+            let cy = engine.cycle();
+            let ctx = engine.context_mut();
+            // At most one push per cycle (the auto-advance contract).
+            if !splitmix(&mut s).is_multiple_of(4) {
+                let mask_bits = splitmix(&mut s) % (1 << readers);
+                let value = mask_bits; // value == relevance mask
+                let sent = ctx.bcast_try_send(cy, btx, value).is_ok();
+                assert_eq!(sent, model.try_send(cy, value), "case {case} cy {cy}");
+            }
+            // Random receives and parks per tap.
+            for r in 0..readers {
+                match splitmix(&mut s) % 3 {
+                    0 => {
+                        let got = ctx.bcast_recv_map(cy, brx[r], |&v| v);
+                        assert_eq!(got, model.try_recv(cy, r), "case {case} cy {cy} tap {r}");
+                        if let Some(v) = got {
+                            delivered[r].push(v);
+                            model_delivered[r].push(v);
+                        }
+                    }
+                    // Parking requires an empty tap (the kernel contract:
+                    // park only when going to sleep on emptiness).
+                    1 if ctx.bcast_is_empty(brx[r]) => {
+                        ctx.bcast_park(brx[r]);
+                        model.parked[r] = true;
+                    }
+                    _ => {}
+                }
+            }
+            // End of cycle: the engine auto-advances cold taps; the model
+            // mirrors it.
+            engine.step();
+            model.end_cycle(cy);
+            // Cursor positions: per-tap occupancy must agree after every
+            // cycle.
+            let ctx = engine.context();
+            for (r, &rx) in brx.iter().enumerate() {
+                assert_eq!(
+                    ctx.bcast_len(rx),
+                    model.taps[r].len(),
+                    "case {case} cy {cy} tap {r} occupancy"
+                );
+            }
+            // Per-reader statistics.
+            let stats = ctx.channel_stats();
+            for (r, st) in stats.iter().enumerate() {
+                assert_eq!(st.pushes, model.pushes, "case {case} tap {r} pushes");
+                assert_eq!(st.pops, model.pops[r], "case {case} tap {r} pops");
+                assert_eq!(
+                    st.full_stalls, model.full_stalls,
+                    "case {case} tap {r} stalls"
+                );
+                assert_eq!(
+                    st.max_occupancy, model.max_occupancy[r],
+                    "case {case} tap {r} max occupancy"
+                );
+                assert_eq!(
+                    st.occupancy,
+                    model.taps[r].len(),
+                    "case {case} tap {r} occupancy stat"
+                );
+            }
+        }
+        assert_eq!(delivered, model_delivered, "case {case} delivered items");
+    }
+}
