@@ -1,0 +1,215 @@
+//! Emits `BENCH_5.json`: the `ditto-wire` network front-end snapshot.
+//!
+//! Two experiment families, both over **real loopback TCP sockets**:
+//!
+//! * `wire` — an open-loop load-generator sweep over **qps × skew ×
+//!   connection count** against a live wire server (HISTO app, 2-shard
+//!   cluster per point): completed-tuple throughput and p50/p99 batch
+//!   latency *including wire time* (frame receipt → `Done` dispatch), plus
+//!   the simulated-cycle latencies for comparison;
+//! * `overload` — a forced-overload point with the admission watermark
+//!   deliberately below one batch: offered load far above capacity must be
+//!   *shed* (explicit `Overloaded` responses), not queued — the shed rate,
+//!   the served remainder and the queue-depth high-watermark are recorded.
+//!
+//! Size knob: `DITTO_WIRE_TUPLES` (tuples per sweep point, default
+//! 30 000).
+//!
+//! Usage: `cargo run --release -p ditto-bench --bin wire_bench [out.json]`
+
+use std::time::Duration;
+
+use datagen::ZipfGenerator;
+use ditto_apps::HistoApp;
+use ditto_bench::json::Json;
+use ditto_bench::sweep_threads;
+use ditto_core::ArchConfig;
+use ditto_serve::ServeConfig;
+use ditto_wire::{
+    app_id, run_load, AdmissionConfig, AppRegistry, LoadGenConfig, LoadReport, WireClient,
+    WireServer, WireServerConfig, WireStats,
+};
+
+const BATCH_TUPLES: usize = 1_000;
+const SHARDS: usize = 2;
+
+fn wire_tuples() -> usize {
+    std::env::var("DITTO_WIRE_TUPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30_000)
+}
+
+fn app() -> HistoApp {
+    HistoApp::new(1_024, 8)
+}
+
+fn serve_config() -> ServeConfig {
+    let arch = ArchConfig::new(4, 8, 7)
+        .with_reschedule(0.5, 2_000)
+        .with_pe_entries(app().pe_entries());
+    ServeConfig::new(SHARDS, arch)
+}
+
+/// Boots a fresh server, drives one load run, fetches the server-side
+/// stats and tears everything down.
+fn run_point(
+    alpha: f64,
+    qps: Option<f64>,
+    connections: usize,
+    tuples: usize,
+    admission: AdmissionConfig,
+) -> (LoadReport, WireStats) {
+    let mut registry = AppRegistry::new();
+    registry.register(app_id::HISTO, app(), serve_config());
+    let server = WireServer::bind(
+        "127.0.0.1:0",
+        registry,
+        WireServerConfig::new().with_admission(admission),
+    )
+    .expect("bind wire server");
+    let data = ZipfGenerator::new(alpha, 1 << 18, 17).take_vec(tuples);
+    let config = LoadGenConfig {
+        connections,
+        batch_tuples: BATCH_TUPLES,
+        qps,
+        max_outstanding: 8,
+    };
+    let report = run_load(server.local_addr(), app_id::HISTO, &data, &config);
+    let mut client = WireClient::connect(server.local_addr()).expect("stats connection");
+    let stats = client.stats(app_id::HISTO).expect("stats");
+    drop(client);
+    server.shutdown();
+    (report, stats)
+}
+
+fn point_row(
+    alpha: f64,
+    qps: Option<f64>,
+    connections: usize,
+    report: &LoadReport,
+    stats: &WireStats,
+) -> Json {
+    Json::obj([
+        ("connections", Json::uint(connections as u64)),
+        ("alpha", Json::float(alpha, 2)),
+        (
+            "qps_target",
+            qps.map_or(Json::str("max"), |r| Json::float(r, 0)),
+        ),
+        ("wall_ms", Json::float(report.wall.as_secs_f64() * 1e3, 1)),
+        ("tuples_per_sec", Json::float(report.tuples_per_sec(), 0)),
+        ("batches_done", Json::uint(report.completed)),
+        ("batches_shed", Json::uint(report.shed)),
+        ("shed_rate", Json::float(report.shed_rate(), 3)),
+        ("p50_wire_us", Json::uint(report.latency_wall_us.p50)),
+        ("p99_wire_us", Json::uint(report.latency_wall_us.p99)),
+        ("p50_batch_cycles", Json::uint(report.latency_cycles.p50)),
+        ("p99_batch_cycles", Json::uint(report.latency_cycles.p99)),
+        (
+            "server_queue_depth_peak",
+            Json::uint(stats.queue_depth_peak),
+        ),
+    ])
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_5.json".to_owned());
+    let tuples = wire_tuples();
+
+    // The headline grid: unthrottled offered load over connections × skew,
+    // permissive admission (nothing shed — pure wire+serve cost).
+    let mut points = Vec::new();
+    let mut max_tps = 0.0f64;
+    for &connections in &[1usize, 4] {
+        for &alpha in &[0.0, 3.0] {
+            eprintln!("wire point: {connections} conn(s), alpha {alpha}, max rate...");
+            let (report, stats) =
+                run_point(alpha, None, connections, tuples, AdmissionConfig::new());
+            assert_eq!(report.shed, 0, "permissive admission must not shed");
+            assert_eq!(
+                report.tuples_completed, tuples as u64,
+                "wire run lost tuples"
+            );
+            if connections == 1 && alpha == 0.0 {
+                max_tps = report.tuples_per_sec();
+            }
+            points.push(point_row(alpha, None, connections, &report, &stats));
+        }
+    }
+    // A paced point at roughly half the unthrottled single-connection rate:
+    // latency under a sustainable offered load.
+    let paced = (max_tps / 2.0).max(10_000.0);
+    for &alpha in &[0.0, 3.0] {
+        eprintln!("wire point: 1 conn, alpha {alpha}, paced {paced:.0} tps...");
+        let (report, stats) = run_point(alpha, Some(paced), 1, tuples, AdmissionConfig::new());
+        points.push(point_row(alpha, Some(paced), 1, &report, &stats));
+    }
+
+    // Forced overload: watermark below one batch, no defer, everything
+    // offered at once — the server must shed, not queue.
+    eprintln!("overload point: watermark {} tuples...", BATCH_TUPLES / 2);
+    let strict = AdmissionConfig::new()
+        .with_watermark(BATCH_TUPLES as u64 / 2)
+        .with_defer(0, Duration::ZERO);
+    let (report, stats) = run_point(3.0, None, 4, tuples, strict);
+    assert!(report.shed > 0, "forced overload failed to shed");
+    assert_eq!(
+        stats.tuples_completed + stats.tuples_shed,
+        tuples as u64,
+        "every tuple must be either served or explicitly shed"
+    );
+    let overload = Json::obj([
+        ("watermark_tuples", Json::uint(BATCH_TUPLES as u64 / 2)),
+        ("batches_offered", Json::uint(report.submitted)),
+        ("batches_done", Json::uint(report.completed)),
+        ("batches_shed", Json::uint(report.shed)),
+        ("shed_rate", Json::float(report.shed_rate(), 3)),
+        ("tuples_served", Json::uint(stats.tuples_completed)),
+        ("tuples_shed", Json::uint(stats.tuples_shed)),
+        ("queue_depth_peak", Json::uint(stats.queue_depth_peak)),
+        ("p99_wire_us_served", Json::uint(report.latency_wall_us.p99)),
+        (
+            "note",
+            Json::str(
+                "watermark below one batch: queue depth stays bounded near the watermark \
+                 and excess load is refused with explicit Overloaded responses",
+            ),
+        ),
+    ]);
+
+    let doc = Json::obj([
+        ("bench", Json::str("BENCH_5")),
+        (
+            "machine",
+            Json::obj([("threads", Json::uint(sweep_threads() as u64))]),
+        ),
+        (
+            "wire",
+            Json::obj([
+                ("app", Json::str("HISTO")),
+                (
+                    "arch",
+                    Json::str("2 shards x (8P+7S, reschedule 0.5) behind one TCP server"),
+                ),
+                ("tuples_per_point", Json::uint(tuples as u64)),
+                ("batch_tuples", Json::uint(BATCH_TUPLES as u64)),
+                ("points", Json::arr(points)),
+                (
+                    "note",
+                    Json::str(
+                        "loopback TCP; p50/p99_wire_us are frame-receipt to Done dispatch and \
+                         include wire + queueing + simulation time; shard engines and \
+                         connection handlers are OS threads, so scaling needs machine.threads",
+                    ),
+                ),
+            ]),
+        ),
+        ("overload", overload),
+    ]);
+    doc.write(&out_path).expect("write BENCH_5.json");
+    println!("{}", doc.to_pretty());
+    eprintln!("wrote {out_path}");
+}

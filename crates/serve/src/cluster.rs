@@ -11,7 +11,7 @@ use ditto_framework::SkewAnalyzer;
 
 use crate::balancer::{BalancerConfig, ShardBalancer};
 use crate::batch::{BatchId, CompletedBatch};
-use crate::metrics::{ClusterSnapshot, LatencyRecorder, ShardSnapshot};
+use crate::metrics::{AdmissionSnapshot, ClusterSnapshot, LatencyRecorder, ShardSnapshot};
 use crate::router::{RoutingTable, SlotMove, DEFAULT_SLOTS};
 use crate::shard::{spawn_shard, ShardCommand, ShardEvent, ShardFinish, ShardHandle};
 
@@ -145,6 +145,10 @@ pub struct Cluster<A: DittoApp + Clone + 'static> {
     batches_submitted: u64,
     batches_completed: u64,
     tuples_submitted: u64,
+    tuples_completed: u64,
+    batches_shed: u64,
+    tuples_shed: u64,
+    queue_depth_peak: u64,
     shard_batches_done: Vec<u64>,
     last_shard_tuples: Vec<u64>,
     latency_cycles: LatencyRecorder,
@@ -182,6 +186,10 @@ impl<A: DittoApp + Clone + 'static> Cluster<A> {
             batches_submitted: 0,
             batches_completed: 0,
             tuples_submitted: 0,
+            tuples_completed: 0,
+            batches_shed: 0,
+            tuples_shed: 0,
+            queue_depth_peak: 0,
             shard_batches_done: vec![0; config.shards],
             last_shard_tuples: vec![0; config.shards],
             latency_cycles: LatencyRecorder::new(),
@@ -255,8 +263,50 @@ impl<A: DittoApp + Clone + 'static> Cluster<A> {
                 },
             );
         }
+        self.queue_depth_peak = self
+            .queue_depth_peak
+            .max(self.tuples_submitted - self.tuples_completed);
         self.poll();
         id
+    }
+
+    /// Tuples admitted but not yet part of a completed batch — the
+    /// cluster-wide queue depth an admission layer reads before deciding to
+    /// accept more work. Non-blocking: absorbs queued completion events but
+    /// never round-trips to a shard thread.
+    pub fn queue_depth(&mut self) -> u64 {
+        self.poll();
+        self.tuples_submitted - self.tuples_completed
+    }
+
+    /// Records a batch an admission layer refused (load shedding): the
+    /// batch never entered the cluster, but its refusal is part of the
+    /// serving story and shows up in every snapshot.
+    pub fn record_shed(&mut self, tuples: u64) {
+        self.batches_shed += 1;
+        self.tuples_shed += tuples;
+    }
+
+    /// The admission-side counters, without a shard round-trip: queue
+    /// depth (current + high-watermark), submitted/completed/shed tallies
+    /// and the batch latency distributions. This is the non-blocking hook
+    /// a front-end polls on every admission decision; the full
+    /// [`snapshot`](Self::snapshot) additionally interrogates every shard
+    /// thread synchronously.
+    pub fn admission_snapshot(&mut self) -> AdmissionSnapshot {
+        self.poll();
+        AdmissionSnapshot {
+            batches_submitted: self.batches_submitted,
+            batches_completed: self.batches_completed,
+            batches_shed: self.batches_shed,
+            tuples_submitted: self.tuples_submitted,
+            tuples_completed: self.tuples_completed,
+            tuples_shed: self.tuples_shed,
+            queue_depth: self.tuples_submitted - self.tuples_completed,
+            queue_depth_peak: self.queue_depth_peak,
+            latency_cycles: self.latency_cycles.stats(),
+            latency_wall_us: self.latency_wall_us.stats(),
+        }
     }
 
     /// Absorbs all completion events currently queued (non-blocking).
@@ -277,10 +327,24 @@ impl<A: DittoApp + Clone + 'static> Cluster<A> {
         while !self.pending.is_empty() {
             match self.events.recv_timeout(SHARD_REPLY_TIMEOUT) {
                 Ok(ev) => self.on_event(ev),
-                Err(_) => panic!(
-                    "cluster drain stalled with {} batches outstanding",
-                    self.pending.len()
-                ),
+                Err(_) => {
+                    // Name the culprit: if a shard thread died, its panic
+                    // payload is the diagnosis, not "drain stalled".
+                    for (shard, handle) in self.handles.drain(..).enumerate() {
+                        if handle.thread.is_finished() {
+                            if let Err(payload) = handle.thread.join() {
+                                panic!(
+                                    "cluster drain stalled: shard {shard} thread panicked: {}",
+                                    panic_message(payload.as_ref())
+                                );
+                            }
+                        }
+                    }
+                    panic!(
+                        "cluster drain stalled with {} batches outstanding",
+                        self.pending.len()
+                    );
+                }
             }
         }
     }
@@ -310,6 +374,7 @@ impl<A: DittoApp + Clone + 'static> Cluster<A> {
 
     fn record_completion(&mut self, batch: CompletedBatch) {
         self.batches_completed += 1;
+        self.tuples_completed += batch.tuples;
         self.latency_cycles.record(batch.latency_cycles);
         self.latency_wall_us
             .record(u64::try_from(batch.wall.as_micros()).unwrap_or(u64::MAX));
@@ -360,7 +425,11 @@ impl<A: DittoApp + Clone + 'static> Cluster<A> {
             shards,
             batches_submitted: self.batches_submitted,
             batches_completed: self.batches_completed,
+            batches_shed: self.batches_shed,
             tuples_submitted: self.tuples_submitted,
+            tuples_shed: self.tuples_shed,
+            queue_depth: self.tuples_submitted - self.tuples_completed,
+            queue_depth_peak: self.queue_depth_peak,
             migrations: self.balancer.as_ref().map_or(0, ShardBalancer::migrations),
             latency_cycles: self.latency_cycles.stats(),
             latency_wall_us: self.latency_wall_us.stats(),
@@ -393,30 +462,46 @@ impl<A: DittoApp + Clone + 'static> Cluster<A> {
 
     /// Collects every shard's terminal state (drains each shard engine to
     /// quiescence in parallel), absorbing all remaining completion events.
+    ///
+    /// Failure diagnosis joins the dead thread where possible, so the
+    /// panic names the *shard's* failure (its payload), not just the
+    /// broken channel it left behind.
     fn collect_finishes(&mut self) -> Vec<ShardFinish<A>> {
+        let mut handles: Vec<Option<ShardHandle<A>>> = self.handles.drain(..).map(Some).collect();
         // Fan the Finish command out first so all shards drain concurrently.
-        let replies: Vec<_> = self
-            .handles
+        let replies: Vec<_> = handles
             .iter()
-            .enumerate()
-            .map(|(shard, h)| {
+            .map(|h| {
                 let (tx, rx) = std::sync::mpsc::channel();
-                h.commands
+                let sent = h
+                    .as_ref()
+                    .expect("handle present before collection")
+                    .commands
                     .send(ShardCommand::Finish { reply: tx })
-                    .unwrap_or_else(|_| panic!("shard {shard} is gone"));
-                rx
+                    .is_ok();
+                (rx, sent)
             })
             .collect();
-        let finishes: Vec<ShardFinish<A>> = replies
-            .into_iter()
-            .enumerate()
-            .map(|(shard, rx)| {
-                rx.recv_timeout(SHARD_REPLY_TIMEOUT)
-                    .unwrap_or_else(|_| panic!("shard {shard} failed to finish (thread panicked?)"))
-            })
-            .collect();
-        for handle in self.handles.drain(..) {
-            handle.thread.join().expect("shard thread panicked");
+        let mut finishes = Vec::with_capacity(handles.len());
+        for (shard, (rx, sent)) in replies.into_iter().enumerate() {
+            let reply = if sent {
+                rx.recv_timeout(SHARD_REPLY_TIMEOUT).ok()
+            } else {
+                None
+            };
+            match reply {
+                Some(f) => finishes.push(f),
+                None => report_shard_death(shard, handles[shard].take().expect("handle present")),
+            }
+        }
+        for (shard, handle) in handles.into_iter().enumerate() {
+            let handle = handle.expect("only dead shards are taken");
+            if let Err(payload) = handle.thread.join() {
+                panic!(
+                    "shard {shard} thread panicked: {}",
+                    panic_message(payload.as_ref())
+                );
+            }
         }
         // Every completion event was sent before the shard replied.
         self.poll();
@@ -510,6 +595,45 @@ impl<A: DittoApp + Clone + 'static> Cluster<A> {
     }
 }
 
+/// Diagnoses a shard that failed to reply to `Finish`: if its thread
+/// already ended, join it and propagate the panic payload (or report the
+/// silent exit); if it is still alive it is wedged, and joining would hang
+/// — say so instead.
+fn report_shard_death<A: ditto_core::DittoApp>(shard: usize, handle: ShardHandle<A>) -> ! {
+    // A dropped command channel slightly precedes thread exit while the
+    // panic unwinds; give it a moment so the payload is joinable.
+    for _ in 0..50 {
+        if handle.thread.is_finished() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    if handle.thread.is_finished() {
+        match handle.thread.join() {
+            Err(payload) => panic!(
+                "shard {shard} failed to finish: shard thread panicked: {}",
+                panic_message(payload.as_ref())
+            ),
+            Ok(()) => {
+                panic!("shard {shard} failed to finish: shard thread exited without replying")
+            }
+        }
+    }
+    panic!("shard {shard} failed to finish within the reply timeout (thread alive — deadlocked?)");
+}
+
+/// Best-effort extraction of a joined thread's panic payload: `panic!`
+/// with a literal carries `&str`, formatted panics carry `String`, anything
+/// else is reported opaquely. Used to turn "shard thread panicked" into a
+/// message naming the actual failure.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
+}
+
 impl<A: DittoApp + Clone + 'static> std::fmt::Debug for Cluster<A> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Cluster")
@@ -517,5 +641,107 @@ impl<A: DittoApp + Clone + 'static> std::fmt::Debug for Cluster<A> {
             .field("in_flight", &self.pending.len())
             .field("batches_submitted", &self.batches_submitted)
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ditto_core::apps::CountPerKey;
+
+    #[test]
+    fn admission_counters_track_queue_depth_and_sheds() {
+        let mut cluster = Cluster::new(
+            CountPerKey::new(4),
+            &ServeConfig::new(2, ArchConfig::new(2, 4, 1)),
+        );
+        let batch: Vec<Tuple> = (0..500u64).map(Tuple::from_key).collect();
+        cluster.submit(batch.clone());
+        cluster.submit(batch);
+        // At least one batch was outstanding at its own admission instant.
+        assert!(cluster.admission_snapshot().queue_depth_peak >= 500);
+        cluster.record_shed(123);
+        cluster.drain();
+        assert_eq!(cluster.queue_depth(), 0);
+        let adm = cluster.admission_snapshot();
+        assert_eq!(adm.tuples_submitted, 1_000);
+        assert_eq!(adm.tuples_completed, 1_000);
+        assert_eq!(adm.batches_submitted, 2);
+        assert_eq!(adm.batches_completed, 2);
+        assert_eq!(adm.batches_shed, 1);
+        assert_eq!(adm.tuples_shed, 123);
+        assert_eq!(adm.queue_depth, 0);
+        let outcome = cluster.finish();
+        assert_eq!(outcome.snapshot.batches_shed, 1);
+        assert_eq!(outcome.snapshot.tuples_shed, 123);
+        assert_eq!(outcome.snapshot.queue_depth, 0);
+        assert!(outcome.snapshot.queue_depth_peak >= 500);
+    }
+
+    /// An app that detonates inside the shard engine on a magic key.
+    #[derive(Clone)]
+    struct PoisonApp;
+
+    impl DittoApp for PoisonApp {
+        type Value = ();
+        type State = u64;
+        type Output = u64;
+
+        fn name(&self) -> &str {
+            "poison"
+        }
+
+        fn preprocess(&self, tuple: Tuple, m_pri: u32) -> ditto_core::Routed<()> {
+            assert!(tuple.key != 42, "poisoned tuple 42 reached the PrePE");
+            ditto_core::Routed::new((tuple.key % u64::from(m_pri)) as u32, ())
+        }
+
+        fn new_state(&self, _pe_entries: usize) -> u64 {
+            0
+        }
+
+        fn process(&self, state: &mut u64, (): &()) {
+            *state += 1;
+        }
+
+        fn merge(&self, pri: &mut u64, sec: &u64) {
+            *pri += sec;
+        }
+
+        fn finalize(&self, pri_states: Vec<u64>) -> u64 {
+            pri_states.into_iter().sum()
+        }
+    }
+
+    #[test]
+    fn shard_panic_payload_reaches_the_finish_error() {
+        let mut cluster = Cluster::new(PoisonApp, &ServeConfig::new(1, ArchConfig::new(1, 2, 0)));
+        cluster.submit(vec![Tuple::from_key(42)]);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || cluster.finish()))
+            .expect_err("finish must propagate the shard panic");
+        let msg = panic_message(err.as_ref());
+        assert!(
+            msg.contains("poisoned tuple 42"),
+            "shard panic payload lost; finish reported: {msg}"
+        );
+        assert!(msg.contains("shard 0"), "failing shard unnamed: {msg}");
+    }
+
+    #[test]
+    fn panic_payloads_become_messages() {
+        let caught =
+            std::panic::catch_unwind(|| panic!("shard0 deadlocked at 42")).expect_err("panicked");
+        assert_eq!(panic_message(caught.as_ref()), "shard0 deadlocked at 42");
+        let caught = std::panic::catch_unwind(|| {
+            let n = 7;
+            panic!("engine stalled with {n} tuples")
+        })
+        .expect_err("panicked");
+        assert_eq!(
+            panic_message(caught.as_ref()),
+            "engine stalled with 7 tuples"
+        );
+        let caught = std::panic::catch_unwind(|| std::panic::panic_any(17u32)).expect_err("odd");
+        assert_eq!(panic_message(caught.as_ref()), "non-string panic payload");
     }
 }

@@ -92,6 +92,8 @@ mod shard;
 pub use balancer::{BalancerConfig, ShardBalancer};
 pub use batch::{split_into_batches, BatchId, CompletedBatch};
 pub use cluster::{Cluster, ClusterOutcome, ServeConfig};
-pub use metrics::{ClusterSnapshot, LatencyRecorder, LatencyStats, ShardSnapshot};
+pub use metrics::{
+    AdmissionSnapshot, ClusterSnapshot, LatencyRecorder, LatencyStats, ShardSnapshot,
+};
 pub use queue::{QueueSource, SharedQueue};
 pub use router::{RoutingTable, SlotMove, DEFAULT_SLOTS};

@@ -124,6 +124,37 @@ impl ShardSnapshot {
     }
 }
 
+/// The cluster-side admission counters, readable without a shard
+/// round-trip — what a front-end polls on every admission decision.
+///
+/// Shed counters cover batches an admission layer *refused* (they never
+/// entered the cluster); queue depth counts tuples admitted but not yet
+/// part of a completed batch, aggregated cluster-wide.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionSnapshot {
+    /// Batches admitted so far.
+    pub batches_submitted: u64,
+    /// Batches fully served so far.
+    pub batches_completed: u64,
+    /// Batches refused by an admission layer (load shedding).
+    pub batches_shed: u64,
+    /// Tuples admitted so far.
+    pub tuples_submitted: u64,
+    /// Tuples in completed batches.
+    pub tuples_completed: u64,
+    /// Tuples in shed batches.
+    pub tuples_shed: u64,
+    /// Tuples admitted but not yet in a completed batch (cluster-wide).
+    pub queue_depth: u64,
+    /// High-watermark of `queue_depth` over the cluster's lifetime,
+    /// sampled at every admission.
+    pub queue_depth_peak: u64,
+    /// Batch latency distribution in simulated cycles.
+    pub latency_cycles: LatencyStats,
+    /// Batch latency distribution in wall-clock microseconds.
+    pub latency_wall_us: LatencyStats,
+}
+
 /// A point-in-time view of the whole cluster.
 #[derive(Debug, Clone)]
 pub struct ClusterSnapshot {
@@ -133,8 +164,20 @@ pub struct ClusterSnapshot {
     pub batches_submitted: u64,
     /// Batches fully served so far.
     pub batches_completed: u64,
+    /// Batches refused by an admission layer (load shedding) — see
+    /// [`Cluster::record_shed`](crate::Cluster::record_shed).
+    pub batches_shed: u64,
     /// Tuples admitted so far.
     pub tuples_submitted: u64,
+    /// Tuples in shed batches (never admitted).
+    pub tuples_shed: u64,
+    /// Tuples admitted but not yet in a completed batch, aggregated
+    /// cluster-wide (the per-shard `queue_depth` covers only that shard's
+    /// ingress queue).
+    pub queue_depth: u64,
+    /// High-watermark of the cluster-wide queue depth, sampled at every
+    /// admission.
+    pub queue_depth_peak: u64,
     /// Key-range migrations the balancer has applied.
     pub migrations: u64,
     /// Batch latency distribution in simulated cycles (worst shard per
@@ -203,7 +246,11 @@ mod tests {
             shards: vec![shard(0, 900), shard(1, 50), shard(2, 50)],
             batches_submitted: 0,
             batches_completed: 0,
+            batches_shed: 0,
             tuples_submitted: 0,
+            tuples_shed: 0,
+            queue_depth: 0,
+            queue_depth_peak: 0,
             migrations: 0,
             latency_cycles: LatencyStats::empty(),
             latency_wall_us: LatencyStats::empty(),

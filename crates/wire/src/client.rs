@@ -1,0 +1,414 @@
+//! The client side: a pipelining [`WireClient`] plus an open-loop
+//! load generator for qps × skew sweeps over real sockets.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use datagen::Tuple;
+use ditto_serve::{LatencyRecorder, LatencyStats};
+
+use crate::frame::{Frame, FrameError, Request, Response, WireStats};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum WireError {
+    /// Transport error.
+    Io(std::io::Error),
+    /// Frame-level decode failure.
+    Frame(FrameError),
+    /// The server answered with something the operation cannot use.
+    Protocol(&'static str),
+    /// The server answered [`Response::Error`].
+    Server {
+        /// Machine-readable code (see [`crate::frame::error_code`]).
+        code: u16,
+        /// Server-provided detail.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "transport error: {e}"),
+            WireError::Frame(e) => write!(f, "frame error: {e}"),
+            WireError::Protocol(why) => write!(f, "protocol violation: {why}"),
+            WireError::Server { code, message } => {
+                write!(f, "server error {code}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl From<FrameError> for WireError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(io) => WireError::Io(io),
+            other => WireError::Frame(other),
+        }
+    }
+}
+
+/// A blocking wire connection with request pipelining.
+///
+/// [`submit`](Self::submit) only *sends* — any number of batches may be in
+/// flight, and [`recv`](Self::recv) returns completions in whatever order
+/// the cluster finishes them, matched to requests by sequence number. The
+/// synchronous helpers ([`stats`](Self::stats), [`finalize`](Self::finalize),
+/// [`ping`](Self::ping)) require no submissions outstanding, since they
+/// pair one request with the next response of the matching kind.
+pub struct WireClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_seq: u64,
+}
+
+impl WireClient {
+    /// Connects to a wire server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn connect(addr: SocketAddr) -> Result<WireClient, WireError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(WireClient {
+            reader,
+            writer: BufWriter::new(stream),
+            next_seq: 0,
+        })
+    }
+
+    fn send(&mut self, request: Request, app: u16) -> Result<u64, WireError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let bytes = request.into_frame(app, seq).to_bytes();
+        self.writer.write_all(&bytes)?;
+        self.writer.flush()?;
+        Ok(seq)
+    }
+
+    /// Sends a batch to `app` without waiting; returns the sequence number
+    /// its eventual response will echo.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn submit(&mut self, app: u16, tuples: &[Tuple]) -> Result<u64, WireError> {
+        self.send(
+            Request::Submit {
+                tuples: tuples.to_vec(),
+            },
+            app,
+        )
+    }
+
+    /// Blocks for the next response frame: `(seq, app, response)`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Protocol`] on a clean EOF (server closed while
+    /// responses were expected); transport/frame errors otherwise.
+    pub fn recv(&mut self) -> Result<(u64, u16, Response), WireError> {
+        let frame = Frame::read_from(&mut self.reader)?
+            .ok_or(WireError::Protocol("connection closed by server"))?;
+        let response = Response::decode(&frame)?;
+        Ok((frame.seq, frame.app, response))
+    }
+
+    /// Submits one batch and blocks until *its* response arrives (requires
+    /// no other requests outstanding).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Protocol`] if an unrelated response arrives.
+    pub fn submit_wait(&mut self, app: u16, tuples: &[Tuple]) -> Result<Response, WireError> {
+        let seq = self.submit(app, tuples)?;
+        let (got_seq, _, response) = self.recv()?;
+        if got_seq != seq {
+            return Err(WireError::Protocol("response for a different request"));
+        }
+        Ok(response)
+    }
+
+    fn expect<T>(
+        &mut self,
+        request: Request,
+        app: u16,
+        pick: impl FnOnce(Response) -> Result<T, WireError>,
+    ) -> Result<T, WireError> {
+        let seq = self.send(request, app)?;
+        let (got_seq, _, response) = self.recv()?;
+        if got_seq != seq {
+            return Err(WireError::Protocol("response for a different request"));
+        }
+        if let Response::Error { code, message } = response {
+            return Err(WireError::Server { code, message });
+        }
+        pick(response)
+    }
+
+    /// Fetches `app`'s serving statistics.
+    ///
+    /// # Errors
+    ///
+    /// Transport, frame or server errors.
+    pub fn stats(&mut self, app: u16) -> Result<WireStats, WireError> {
+        self.expect(Request::Stats, app, |r| match r {
+            Response::Stats(stats) => Ok(stats),
+            _ => Err(WireError::Protocol("expected a stats reply")),
+        })
+    }
+
+    /// Drains and finalizes `app`, returning its encoded output (decode
+    /// with the matching [`WireApp`](crate::WireApp) codec).
+    ///
+    /// # Errors
+    ///
+    /// Transport, frame or server errors.
+    pub fn finalize(&mut self, app: u16) -> Result<Vec<u8>, WireError> {
+        self.expect(Request::Finalize, app, |r| match r {
+            Response::Output { bytes } => Ok(bytes),
+            _ => Err(WireError::Protocol("expected an output reply")),
+        })
+    }
+
+    /// Round-trips a ping, returning the wall latency.
+    ///
+    /// # Errors
+    ///
+    /// Transport, frame or server errors.
+    pub fn ping(&mut self) -> Result<Duration, WireError> {
+        let t0 = Instant::now();
+        self.expect(
+            Request::Ping {
+                echo: b"ditto".to_vec(),
+            },
+            0,
+            |r| match r {
+                Response::Pong { .. } => Ok(()),
+                _ => Err(WireError::Protocol("expected a pong")),
+            },
+        )?;
+        Ok(t0.elapsed())
+    }
+}
+
+impl std::fmt::Debug for WireClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireClient")
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+/// Open-loop load-generator tuning.
+#[derive(Debug, Clone)]
+pub struct LoadGenConfig {
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Tuples per request batch.
+    pub batch_tuples: usize,
+    /// Offered load in tuples/second across all connections; `None` sends
+    /// as fast as the window allows.
+    pub qps: Option<f64>,
+    /// Per-connection cap on batches awaiting their response — bounds
+    /// client-side pipelining the way a real fleet's timeouts would.
+    pub max_outstanding: usize,
+}
+
+impl LoadGenConfig {
+    /// One connection, 1 000-tuple batches, unpaced, window of 8.
+    pub fn new() -> Self {
+        LoadGenConfig {
+            connections: 1,
+            batch_tuples: 1_000,
+            qps: None,
+            max_outstanding: 8,
+        }
+    }
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        LoadGenConfig::new()
+    }
+}
+
+/// What one load-generation run observed — all latencies are
+/// frame-receipt-to-`Done` as reported by the server, i.e. they include
+/// wire time.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Batches sent.
+    pub submitted: u64,
+    /// Batches acknowledged `Done`.
+    pub completed: u64,
+    /// Batches refused with `Overloaded`.
+    pub shed: u64,
+    /// Tuples in completed batches.
+    pub tuples_completed: u64,
+    /// Wall time from first send to last response.
+    pub wall: Duration,
+    /// `Done` latency distribution in wall microseconds (wire-inclusive).
+    pub latency_wall_us: LatencyStats,
+    /// `Done` latency distribution in simulated cycles.
+    pub latency_cycles: LatencyStats,
+}
+
+impl LoadReport {
+    /// Completed-batch shed ratio in `[0, 1]`.
+    pub fn shed_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            return 0.0;
+        }
+        self.shed as f64 / self.submitted as f64
+    }
+
+    /// Completed tuples per second of wall time.
+    pub fn tuples_per_sec(&self) -> f64 {
+        if self.wall.is_zero() {
+            return 0.0;
+        }
+        self.tuples_completed as f64 / self.wall.as_secs_f64()
+    }
+}
+
+/// Outcome of one connection's share of a load run.
+struct ConnReport {
+    submitted: u64,
+    completed: u64,
+    shed: u64,
+    tuples_completed: u64,
+    wall_us: Vec<u64>,
+    cycles: Vec<u64>,
+}
+
+/// Drives `data` through `app` on a wire server at `addr` as an open-loop
+/// load-generation run: batches are assigned round-robin to
+/// `config.connections` sockets, each pacing its own share against the
+/// global schedule and keeping at most `max_outstanding` batches in
+/// flight.
+///
+/// # Panics
+///
+/// Panics on connection failure or a server-side protocol violation —
+/// load generation is a harness, not a library path, and a broken run
+/// must be loud.
+pub fn run_load(addr: SocketAddr, app: u16, data: &[Tuple], config: &LoadGenConfig) -> LoadReport {
+    assert!(config.connections > 0, "need at least one connection");
+    assert!(config.batch_tuples > 0, "batch size must be nonzero");
+    assert!(config.max_outstanding > 0, "window must be nonzero");
+    let batches: Vec<&[Tuple]> = data.chunks(config.batch_tuples).collect();
+    let start = Instant::now();
+    let reports: Vec<ConnReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.connections)
+            .map(|conn| {
+                let batches = &batches;
+                scope.spawn(move || connection_share(addr, app, batches, conn, config, start))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load connection panicked"))
+            .collect()
+    });
+    let wall = start.elapsed();
+    let mut wall_rec = LatencyRecorder::new();
+    let mut cycle_rec = LatencyRecorder::new();
+    let (mut submitted, mut completed, mut shed, mut tuples_completed) = (0, 0, 0, 0);
+    for r in reports {
+        submitted += r.submitted;
+        completed += r.completed;
+        shed += r.shed;
+        tuples_completed += r.tuples_completed;
+        for v in r.wall_us {
+            wall_rec.record(v);
+        }
+        for v in r.cycles {
+            cycle_rec.record(v);
+        }
+    }
+    LoadReport {
+        submitted,
+        completed,
+        shed,
+        tuples_completed,
+        wall,
+        latency_wall_us: wall_rec.stats(),
+        latency_cycles: cycle_rec.stats(),
+    }
+}
+
+/// One connection's loop: batches `conn, conn + C, conn + 2C, …`, open-loop
+/// paced against the *global* schedule (batch `i` is due at
+/// `start + i · B / qps`), window-capped.
+fn connection_share(
+    addr: SocketAddr,
+    app: u16,
+    batches: &[&[Tuple]],
+    conn: usize,
+    config: &LoadGenConfig,
+    start: Instant,
+) -> ConnReport {
+    let mut client = WireClient::connect(addr).expect("connect load connection");
+    let mut report = ConnReport {
+        submitted: 0,
+        completed: 0,
+        shed: 0,
+        tuples_completed: 0,
+        wall_us: Vec::new(),
+        cycles: Vec::new(),
+    };
+    let mut outstanding = 0usize;
+    let absorb = |resp: Response, report: &mut ConnReport| match resp {
+        Response::Done {
+            tuples,
+            latency_cycles,
+            wall_us,
+        } => {
+            report.completed += 1;
+            report.tuples_completed += tuples;
+            report.wall_us.push(wall_us);
+            report.cycles.push(latency_cycles);
+        }
+        Response::Overloaded { .. } => report.shed += 1,
+        other => panic!("unexpected response during load run: {other:?}"),
+    };
+    for (i, batch) in batches
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % config.connections == conn)
+    {
+        if let Some(rate) = config.qps {
+            let due = start + Duration::from_secs_f64(i as f64 * config.batch_tuples as f64 / rate);
+            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+        }
+        while outstanding >= config.max_outstanding {
+            let (_, _, resp) = client.recv().expect("load response");
+            absorb(resp, &mut report);
+            outstanding -= 1;
+        }
+        client.submit(app, batch).expect("submit load batch");
+        report.submitted += 1;
+        outstanding += 1;
+    }
+    while outstanding > 0 {
+        let (_, _, resp) = client.recv().expect("load response");
+        absorb(resp, &mut report);
+        outstanding -= 1;
+    }
+    report
+}

@@ -1,0 +1,541 @@
+//! The TCP server: accept loop, per-connection handler threads, the
+//! completion pump and graceful shutdown.
+//!
+//! Modeled on the Memcached-over-HLS case study's request loop
+//! (parse → route → respond), adapted to batch granularity:
+//!
+//! ```text
+//!              ┌───────────────────────── WireServer ─────────────────────────┐
+//! client ──TCP──► reader thread ── admission ──► Cluster (app 1) ◄─┐          │
+//! client ──TCP──► reader thread ── admission ──► Cluster (app 2) ◄─┤ pump     │
+//!    ▲               │ shed → Overloaded                           │ thread   │
+//!    └── writer ◄────┴── responses ◄── completions ────────────────┘          │
+//!              └──────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Each connection gets a *reader* thread (parses frames, admits or sheds
+//! batches, answers stats/finalize/ping) and a *writer* thread (serialises
+//! responses from an mpsc channel back onto the socket) — so a connection
+//! can keep submitting while earlier batches are still in flight
+//! (pipelining), and completions for one connection never block another.
+//! The *pump* thread polls every hosted cluster for completed batches and
+//! routes `Done` responses to whichever connection submitted them.
+//!
+//! Shutdown is graceful by construction: stop admitting, drain every
+//! in-flight batch, flush the resulting `Done` responses, close the
+//! sockets, join the connection threads, and only then tear down the shard
+//! threads (whose panics, if any, are propagated with their payloads).
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ditto_serve::{BatchId, CompletedBatch};
+
+use crate::admission::{AdmissionConfig, AdmissionController, AdmissionDecision};
+use crate::frame::{error_code, Frame, FrameError, Request, Response, WireStats};
+use crate::registry::{AppRegistry, HostedCluster};
+
+/// Wire server tuning.
+#[derive(Debug, Clone)]
+pub struct WireServerConfig {
+    /// Admission control (watermark, defer policy).
+    pub admission: AdmissionConfig,
+    /// How often the completion pump polls the hosted clusters.
+    pub pump_interval: Duration,
+}
+
+impl WireServerConfig {
+    /// Defaults: permissive admission, 200 µs pump.
+    pub fn new() -> Self {
+        WireServerConfig {
+            admission: AdmissionConfig::new(),
+            pump_interval: Duration::from_micros(200),
+        }
+    }
+
+    /// Sets the admission config.
+    pub fn with_admission(mut self, admission: AdmissionConfig) -> Self {
+        self.admission = admission;
+        self
+    }
+}
+
+impl Default for WireServerConfig {
+    fn default() -> Self {
+        WireServerConfig::new()
+    }
+}
+
+/// A response routed to one connection's writer thread.
+type OutFrame = Frame;
+
+/// Bound on a connection's queued-but-unwritten response frames. The
+/// reader thread *blocks* sending into a full queue (so a client spamming
+/// requests without reading responses is throttled by its own TCP window,
+/// not by server memory); the completion pump instead drops the `Done` of
+/// a client that let this many responses pile up unread — its batches were
+/// still served and counted, it just forfeited the acks it refused to
+/// read.
+const RESP_QUEUE_FRAMES: usize = 4_096;
+
+/// A live connection: the stream (kept for shutdown) plus its reader and
+/// writer thread handles.
+type ConnHandle = (TcpStream, JoinHandle<()>, JoinHandle<()>);
+
+/// A connection waiting on a batch completion.
+struct Waiter {
+    resp: SyncSender<OutFrame>,
+    app: u16,
+    seq: u64,
+    received: Instant,
+}
+
+/// One hosted app's serving state: the erased cluster plus the completion
+/// waiters, guarded together (a batch id is only meaningful while the
+/// cluster that issued it lives).
+struct HostState {
+    host: Box<dyn HostedCluster>,
+    waiters: HashMap<BatchId, Waiter>,
+}
+
+impl HostState {
+    /// Routes completion records to their waiting connections. Runs under
+    /// the app lock, so it must never block: a full response queue (a
+    /// client that stopped reading) drops that client's ack rather than
+    /// stalling the app for everyone.
+    fn dispatch(&mut self, completed: Vec<CompletedBatch>) {
+        for batch in completed {
+            let Some(w) = self.waiters.remove(&batch.id) else {
+                // Completion for a batch whose connection died; drop it.
+                continue;
+            };
+            let resp = Response::Done {
+                tuples: batch.tuples,
+                latency_cycles: batch.latency_cycles,
+                wall_us: u64::try_from(w.received.elapsed().as_micros()).unwrap_or(u64::MAX),
+            };
+            // Full or disconnected both mean the client is not listening.
+            let _ = w.resp.try_send(resp.into_frame(w.app, w.seq));
+        }
+    }
+
+    /// Fails every waiter (connection teardown path at shutdown).
+    fn fail_waiters(&mut self, code: u16, message: &str) {
+        for (_, w) in self.waiters.drain() {
+            let resp = Response::Error {
+                code,
+                message: message.to_owned(),
+            };
+            let _ = w.resp.try_send(resp.into_frame(w.app, w.seq));
+        }
+    }
+}
+
+struct ServerShared {
+    apps: HashMap<u16, Mutex<HostState>>,
+    admission: AdmissionController,
+    stopping: AtomicBool,
+    connections_accepted: AtomicU64,
+    defer_wait: Duration,
+}
+
+/// Final accounting returned by [`WireServer::shutdown`].
+#[derive(Debug, Clone)]
+pub struct ShutdownReport {
+    /// Connections the server accepted over its lifetime.
+    pub connections_accepted: u64,
+    /// Final per-app statistics, sorted by app id.
+    pub per_app: Vec<(u16, WireStats)>,
+}
+
+/// A running wire front-end over one or more serve clusters.
+///
+/// Bound with [`bind`](Self::bind); stopped with
+/// [`shutdown`](Self::shutdown) — always shut down explicitly: dropping
+/// the handle leaves the background threads serving until process exit.
+pub struct WireServer {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    accept_thread: Option<JoinHandle<()>>,
+    pump_thread: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<ConnHandle>>>,
+}
+
+impl WireServer {
+    /// Binds `addr` (use `127.0.0.1:0` to let the OS pick a port) and
+    /// starts serving the registry's apps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind errors.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        registry: AppRegistry,
+        config: WireServerConfig,
+    ) -> std::io::Result<WireServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let apps = registry
+            .apps
+            .into_iter()
+            .map(|(id, host)| {
+                (
+                    id,
+                    Mutex::new(HostState {
+                        host,
+                        waiters: HashMap::new(),
+                    }),
+                )
+            })
+            .collect();
+        let shared = Arc::new(ServerShared {
+            apps,
+            admission: AdmissionController::new(config.admission.clone()),
+            stopping: AtomicBool::new(false),
+            connections_accepted: AtomicU64::new(0),
+            defer_wait: config.admission.defer_wait,
+        });
+        let conns = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_conns = Arc::clone(&conns);
+        let accept_thread = std::thread::Builder::new()
+            .name("wire-accept".to_owned())
+            .spawn(move || accept_loop(&listener, &accept_shared, &accept_conns))
+            .expect("spawn accept thread");
+
+        let pump_shared = Arc::clone(&shared);
+        let pump_interval = config.pump_interval;
+        let pump_thread = std::thread::Builder::new()
+            .name("wire-pump".to_owned())
+            .spawn(move || pump_loop(&pump_shared, pump_interval))
+            .expect("spawn pump thread");
+
+        Ok(WireServer {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+            pump_thread: Some(pump_thread),
+            conns,
+        })
+    }
+
+    /// The bound address clients connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop admitting, drain every in-flight batch,
+    /// flush their `Done` responses, close connections, join the
+    /// connection threads, then tear the shard threads down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a server or shard thread panicked (the payload is
+    /// propagated into the message).
+    pub fn shutdown(mut self) -> ShutdownReport {
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            t.join().expect("accept thread panicked");
+        }
+        if let Some(t) = self.pump_thread.take() {
+            t.join().expect("pump thread panicked");
+        }
+        // Drain every app: new submissions are already refused (stopping
+        // flag), so after drain there are no in-flight batches; the
+        // resulting Done frames flow through still-live writer threads.
+        for state in self.shared.apps.values() {
+            let mut st = state.lock().expect("host state poisoned");
+            let completed = st.host.drain();
+            st.dispatch(completed);
+            st.fail_waiters(error_code::SHUTTING_DOWN, "server shutting down");
+        }
+        // Close the read side: readers see EOF and exit, dropping their
+        // response senders; writers flush what is queued, then exit.
+        let conns = std::mem::take(&mut *self.conns.lock().expect("conn list poisoned"));
+        for (stream, _, _) in &conns {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        for (_, reader, writer) in conns {
+            reader.join().expect("connection reader panicked");
+            writer.join().expect("connection writer panicked");
+        }
+        // Only now tear down the shard threads.
+        let shared = Arc::try_unwrap(self.shared)
+            .unwrap_or_else(|_| panic!("wire server shared state still referenced after joins"));
+        let mut per_app: Vec<(u16, WireStats)> = shared
+            .apps
+            .into_iter()
+            .map(|(id, state)| {
+                let st = state.into_inner().expect("host state poisoned");
+                let (_, stats) = st.host.shutdown();
+                (id, stats)
+            })
+            .collect();
+        per_app.sort_unstable_by_key(|&(id, _)| id);
+        ShutdownReport {
+            connections_accepted: shared.connections_accepted.load(Ordering::SeqCst),
+            per_app,
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<ServerShared>,
+    conns: &Arc<Mutex<Vec<ConnHandle>>>,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.stopping.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Transient accept failures (fd pressure, aborted
+                // handshakes) must not busy-loop.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if shared.stopping.load(Ordering::SeqCst) {
+            // The wake-up connection (or a late client): refuse and stop.
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+        shared.connections_accepted.fetch_add(1, Ordering::SeqCst);
+        stream.set_nodelay(true).ok();
+        let Ok(read_half) = stream.try_clone() else {
+            continue;
+        };
+        let Ok(write_half) = stream.try_clone() else {
+            continue;
+        };
+        let (resp_tx, resp_rx) = std::sync::mpsc::sync_channel::<OutFrame>(RESP_QUEUE_FRAMES);
+        let reader_shared = Arc::clone(shared);
+        let reader = std::thread::Builder::new()
+            .name("wire-conn-read".to_owned())
+            .spawn(move || connection_loop(read_half, &reader_shared, &resp_tx))
+            .expect("spawn connection reader");
+        let writer = std::thread::Builder::new()
+            .name("wire-conn-write".to_owned())
+            .spawn(move || writer_loop(write_half, &resp_rx))
+            .expect("spawn connection writer");
+        let mut list = conns.lock().expect("conn list poisoned");
+        // Reap connections that already ended, so a long-lived server under
+        // client churn does not accumulate dead sockets and thread handles.
+        let mut kept = Vec::with_capacity(list.len() + 1);
+        for (stream, reader, writer) in list.drain(..) {
+            if reader.is_finished() && writer.is_finished() {
+                reader.join().expect("connection reader panicked");
+                writer.join().expect("connection writer panicked");
+            } else {
+                kept.push((stream, reader, writer));
+            }
+        }
+        *list = kept;
+        list.push((stream, reader, writer));
+    }
+}
+
+/// Serialises queued response frames onto the socket until every sender
+/// (the reader thread and all of this connection's waiters) is gone.
+fn writer_loop(stream: TcpStream, responses: &Receiver<OutFrame>) {
+    let mut out = BufWriter::new(stream);
+    while let Ok(frame) = responses.recv() {
+        let mut bytes = frame.to_bytes();
+        // Coalesce whatever else is already queued into one write burst.
+        while let Ok(next) = responses.try_recv() {
+            next.encode(&mut bytes);
+        }
+        if out.write_all(&bytes).and_then(|()| out.flush()).is_err() {
+            return; // client is gone; drain-and-drop the rest
+        }
+    }
+}
+
+/// The per-connection request loop: parse → admit/route → respond.
+fn connection_loop(stream: TcpStream, shared: &Arc<ServerShared>, resp: &SyncSender<OutFrame>) {
+    let mut input = BufReader::new(stream);
+    loop {
+        let frame = match Frame::read_from(&mut input) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return, // clean disconnect
+            Err(FrameError::Io(_)) => return,
+            Err(e) => {
+                // Protocol garbage: answer once, then hang up (framing is
+                // lost, so nothing later on this connection is parseable).
+                let resp_frame = Response::Error {
+                    code: error_code::BAD_REQUEST,
+                    message: e.to_string(),
+                }
+                .into_frame(0, 0);
+                let _ = resp.send(resp_frame);
+                return;
+            }
+        };
+        let received = Instant::now();
+        let request = match Request::decode(&frame) {
+            Ok(request) => request,
+            Err(e) => {
+                let resp_frame = Response::Error {
+                    code: error_code::BAD_REQUEST,
+                    message: e.to_string(),
+                }
+                .into_frame(frame.app, frame.seq);
+                let _ = resp.send(resp_frame);
+                return;
+            }
+        };
+        match request {
+            Request::Ping { echo } => {
+                let _ = resp.send(Response::Pong { echo }.into_frame(frame.app, frame.seq));
+            }
+            Request::Submit { tuples } => {
+                handle_submit(shared, resp, &frame, tuples, received);
+            }
+            Request::Stats => {
+                let reply = with_app(shared, frame.app, |st| Response::Stats(st.host.stats()));
+                let _ = resp.send(reply.into_frame(frame.app, frame.seq));
+            }
+            Request::Finalize => {
+                let reply = with_app(shared, frame.app, |st| {
+                    let (completed, bytes) = st.host.finalize();
+                    st.dispatch(completed);
+                    Response::Output { bytes }
+                });
+                let _ = resp.send(reply.into_frame(frame.app, frame.seq));
+            }
+        }
+    }
+}
+
+/// Runs `f` under the app's lock, or answers `UNKNOWN_APP`.
+fn with_app(
+    shared: &ServerShared,
+    app: u16,
+    f: impl FnOnce(&mut HostState) -> Response,
+) -> Response {
+    match shared.apps.get(&app) {
+        Some(state) => f(&mut state.lock().expect("host state poisoned")),
+        None => Response::Error {
+            code: error_code::UNKNOWN_APP,
+            message: format!("no app registered under id {app}"),
+        },
+    }
+}
+
+/// Admission for one batch: check the live queue depth against the
+/// watermark, deferring briefly on a full queue, shedding past the policy.
+fn handle_submit(
+    shared: &ServerShared,
+    resp: &SyncSender<OutFrame>,
+    frame: &Frame,
+    tuples: Vec<datagen::Tuple>,
+    received: Instant,
+) {
+    let Some(state) = shared.apps.get(&frame.app) else {
+        let reply = Response::Error {
+            code: error_code::UNKNOWN_APP,
+            message: format!("no app registered under id {}", frame.app),
+        };
+        let _ = resp.send(reply.into_frame(frame.app, frame.seq));
+        return;
+    };
+    let n_tuples = tuples.len() as u64;
+    let mut attempt = 0u32;
+    let mut batch = Some(tuples);
+    loop {
+        if shared.stopping.load(Ordering::SeqCst) {
+            let reply = Response::Error {
+                code: error_code::SHUTTING_DOWN,
+                message: "server shutting down".to_owned(),
+            };
+            let _ = resp.send(reply.into_frame(frame.app, frame.seq));
+            return;
+        }
+        let decision = {
+            let mut st = state.lock().expect("host state poisoned");
+            // Re-check under the lock: shutdown fails all waiters while
+            // holding it, so a submit that slips past the flag check above
+            // must not insert a waiter nobody will ever complete.
+            if shared.stopping.load(Ordering::SeqCst) {
+                let reply = Response::Error {
+                    code: error_code::SHUTTING_DOWN,
+                    message: "server shutting down".to_owned(),
+                };
+                let _ = resp.send(reply.into_frame(frame.app, frame.seq));
+                return;
+            }
+            let depth = st.host.queue_depth();
+            match shared.admission.evaluate(depth, attempt) {
+                AdmissionDecision::Admit => {
+                    let id = st.host.submit(batch.take().expect("batch present"));
+                    st.waiters.insert(
+                        id,
+                        Waiter {
+                            resp: resp.clone(),
+                            app: frame.app,
+                            seq: frame.seq,
+                            received,
+                        },
+                    );
+                    return;
+                }
+                AdmissionDecision::Defer => AdmissionDecision::Defer,
+                AdmissionDecision::Shed => {
+                    st.host.record_shed(n_tuples);
+                    let reply = Response::Overloaded {
+                        queue_depth: depth,
+                        watermark: shared.admission.config().max_queue_tuples,
+                    };
+                    let _ = resp.send(reply.into_frame(frame.app, frame.seq));
+                    return;
+                }
+            }
+        };
+        debug_assert_eq!(decision, AdmissionDecision::Defer);
+        // Defer outside the lock so the pump and other connections proceed.
+        attempt += 1;
+        std::thread::sleep(shared.defer_wait);
+    }
+}
+
+/// Polls every hosted cluster for completed batches and routes their
+/// `Done` responses.
+fn pump_loop(shared: &Arc<ServerShared>, interval: Duration) {
+    while !shared.stopping.load(Ordering::SeqCst) {
+        for state in shared.apps.values() {
+            // Never block on a busy app (drain/finalize hold the lock for
+            // long stretches); completions keep until the next tick.
+            let Ok(mut st) = state.try_lock() else {
+                continue;
+            };
+            let completed = st.host.take_completed();
+            if !completed.is_empty() {
+                st.dispatch(completed);
+            }
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+impl std::fmt::Debug for WireServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireServer")
+            .field("addr", &self.addr)
+            .field(
+                "connections_accepted",
+                &self.shared.connections_accepted.load(Ordering::SeqCst),
+            )
+            .finish()
+    }
+}

@@ -1,0 +1,219 @@
+//! Property tests for the wire frame codec, in the workspace's
+//! deterministic style (seeded xoshiro256** instead of a proptest dep):
+//!
+//! * encode → decode is the identity for random requests, responses and
+//!   raw frames;
+//! * every truncation of a valid frame is rejected with an error — never a
+//!   panic, never a bogus success;
+//! * corrupted headers (magic, version, kind, reserved bits, length) are
+//!   rejected;
+//! * arbitrary garbage never panics the decoder.
+
+use datagen::rng::Xoshiro256;
+use datagen::Tuple;
+use ditto_wire::frame::{
+    Frame, FrameError, FrameKind, Request, Response, WireStats, HEADER_BYTES, MAX_PAYLOAD_BYTES,
+};
+
+const ROUNDS: usize = 200;
+
+fn random_tuples(rng: &mut Xoshiro256, max: usize) -> Vec<Tuple> {
+    let n = rng.range_u64(max as u64 + 1) as usize;
+    (0..n)
+        .map(|_| Tuple::new(rng.next_u64(), rng.next_u64()))
+        .collect()
+}
+
+fn random_request(rng: &mut Xoshiro256) -> Request {
+    match rng.range_u64(4) {
+        0 => Request::Submit {
+            tuples: random_tuples(rng, 64),
+        },
+        1 => Request::Stats,
+        2 => Request::Finalize,
+        _ => Request::Ping {
+            echo: (0..rng.range_u64(32))
+                .map(|_| rng.next_u64() as u8)
+                .collect(),
+        },
+    }
+}
+
+fn random_response(rng: &mut Xoshiro256) -> Response {
+    match rng.range_u64(6) {
+        0 => Response::Done {
+            tuples: rng.next_u64(),
+            latency_cycles: rng.next_u64(),
+            wall_us: rng.next_u64(),
+        },
+        1 => Response::Stats(WireStats {
+            batches_submitted: rng.next_u64(),
+            batches_completed: rng.next_u64(),
+            batches_shed: rng.next_u64(),
+            tuples_submitted: rng.next_u64(),
+            tuples_completed: rng.next_u64(),
+            tuples_shed: rng.next_u64(),
+            queue_depth: rng.next_u64(),
+            queue_depth_peak: rng.next_u64(),
+            p50_cycles: rng.next_u64(),
+            p99_cycles: rng.next_u64(),
+            p50_wall_us: rng.next_u64(),
+            p99_wall_us: rng.next_u64(),
+        }),
+        2 => Response::Output {
+            bytes: (0..rng.range_u64(128))
+                .map(|_| rng.next_u64() as u8)
+                .collect(),
+        },
+        3 => Response::Pong {
+            echo: (0..rng.range_u64(16))
+                .map(|_| rng.next_u64() as u8)
+                .collect(),
+        },
+        4 => Response::Overloaded {
+            queue_depth: rng.next_u64(),
+            watermark: rng.next_u64(),
+        },
+        _ => Response::Error {
+            code: rng.next_u64() as u16,
+            message: format!("error {}", rng.range_u64(1_000)),
+        },
+    }
+}
+
+#[test]
+fn random_requests_roundtrip() {
+    let mut rng = Xoshiro256::new(0xf7a3e);
+    for _ in 0..ROUNDS {
+        let req = random_request(&mut rng);
+        let app = rng.next_u64() as u16;
+        let seq = rng.next_u64();
+        let frame = req.clone().into_frame(app, seq);
+        let bytes = frame.to_bytes();
+        let (decoded, used) = Frame::decode(&bytes).expect("frame decodes");
+        assert_eq!(used, bytes.len(), "whole buffer consumed");
+        assert_eq!(decoded, frame, "raw frame identity");
+        assert_eq!(decoded.app, app);
+        assert_eq!(decoded.seq, seq);
+        assert_eq!(Request::decode(&decoded).expect("typed decode"), req);
+    }
+}
+
+#[test]
+fn random_responses_roundtrip() {
+    let mut rng = Xoshiro256::new(0xbeefcafe);
+    for _ in 0..ROUNDS {
+        let resp = random_response(&mut rng);
+        let frame = resp
+            .clone()
+            .into_frame(rng.next_u64() as u16, rng.next_u64());
+        let (decoded, _) = Frame::decode(&frame.to_bytes()).expect("frame decodes");
+        assert_eq!(Response::decode(&decoded).expect("typed decode"), resp);
+    }
+}
+
+#[test]
+fn every_truncation_is_rejected_without_panic() {
+    let mut rng = Xoshiro256::new(0x71c);
+    for _ in 0..40 {
+        let frame = random_request(&mut rng).into_frame(1, rng.next_u64());
+        let bytes = frame.to_bytes();
+        for cut in 0..bytes.len() {
+            match Frame::decode(&bytes[..cut]) {
+                Err(FrameError::Truncated { .. }) => {}
+                Err(other) => panic!("truncation at {cut} gave unexpected error {other}"),
+                Ok(_) => panic!("truncated frame at {cut} decoded successfully"),
+            }
+        }
+        // And through the reader path: mid-frame EOF is an Io error.
+        for cut in 1..bytes.len() {
+            let mut r: &[u8] = &bytes[..cut];
+            assert!(
+                matches!(Frame::read_from(&mut r), Err(FrameError::Io(_))),
+                "reader accepted a frame cut at {cut}"
+            );
+        }
+    }
+}
+
+#[test]
+fn corrupt_headers_are_rejected() {
+    let frame = Request::Submit {
+        tuples: vec![Tuple::new(1, 2)],
+    }
+    .into_frame(5, 99);
+    let good = frame.to_bytes();
+    assert!(Frame::decode(&good).is_ok());
+
+    let mut bad = good.clone();
+    bad[0] ^= 0xff;
+    assert!(matches!(Frame::decode(&bad), Err(FrameError::BadMagic(_))));
+
+    let mut bad = good.clone();
+    bad[2] = 200;
+    assert!(matches!(
+        Frame::decode(&bad),
+        Err(FrameError::BadVersion(200))
+    ));
+
+    let mut bad = good.clone();
+    bad[3] = 0x7f;
+    assert!(matches!(
+        Frame::decode(&bad),
+        Err(FrameError::UnknownKind(0x7f))
+    ));
+
+    let mut bad = good.clone();
+    bad[6] = 1;
+    assert!(matches!(
+        Frame::decode(&bad),
+        Err(FrameError::ReservedBits(1))
+    ));
+
+    let mut bad = good.clone();
+    bad[16..20].copy_from_slice(&(MAX_PAYLOAD_BYTES as u32 + 1).to_le_bytes());
+    assert!(matches!(Frame::decode(&bad), Err(FrameError::Oversize(_))));
+
+    // Payload-level corruption: shrink the declared tuple count so payload
+    // bytes trail.
+    let mut bad = good;
+    bad[HEADER_BYTES..HEADER_BYTES + 4].copy_from_slice(&0u32.to_le_bytes());
+    let (decoded, _) = Frame::decode(&bad).expect("frame layer still fine");
+    assert!(matches!(
+        Request::decode(&decoded),
+        Err(FrameError::BadPayload(_))
+    ));
+}
+
+#[test]
+fn arbitrary_garbage_never_panics() {
+    let mut rng = Xoshiro256::new(0xdead);
+    for _ in 0..ROUNDS {
+        let len = rng.range_u64(256) as usize;
+        let garbage: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        // Either error or a (coincidentally) valid frame — just no panic.
+        if let Ok((frame, used)) = Frame::decode(&garbage) {
+            assert!(used <= garbage.len());
+            let _ = Request::decode(&frame);
+            let _ = Response::decode(&frame);
+        }
+        let mut r: &[u8] = &garbage;
+        let _ = Frame::read_from(&mut r);
+    }
+}
+
+#[test]
+fn kind_discriminants_are_pinned() {
+    // The wire protocol is external surface: discriminants must never
+    // drift silently.
+    assert_eq!(FrameKind::Submit as u8, 0x01);
+    assert_eq!(FrameKind::Stats as u8, 0x02);
+    assert_eq!(FrameKind::Finalize as u8, 0x03);
+    assert_eq!(FrameKind::Ping as u8, 0x04);
+    assert_eq!(FrameKind::Done as u8, 0x81);
+    assert_eq!(FrameKind::StatsReply as u8, 0x82);
+    assert_eq!(FrameKind::Output as u8, 0x83);
+    assert_eq!(FrameKind::Pong as u8, 0x84);
+    assert_eq!(FrameKind::Overloaded as u8, 0x90);
+    assert_eq!(FrameKind::Error as u8, 0x91);
+}

@@ -1,0 +1,312 @@
+//! End-to-end loopback: results served over real TCP sockets must equal a
+//! single-engine `run_dataset` over the concatenated input, for all five
+//! paper applications under uniform and extreme (Zipf-3) skew — plus
+//! overload behaviour (explicit shedding instead of unbounded queues) and
+//! graceful shutdown.
+
+use std::sync::Arc;
+
+use datagen::{Tuple, UniformGenerator, ZipfGenerator};
+use ditto_apps::{DataPartitionApp, HhdApp, HistoApp, HllApp, PageRankApp};
+use ditto_core::{ArchConfig, DittoApp, SkewObliviousPipeline};
+use ditto_serve::{split_into_batches, ServeConfig};
+use ditto_wire::{
+    AdmissionConfig, AppRegistry, Response, WireApp, WireClient, WireServer, WireServerConfig,
+};
+use sketches::Fixed;
+
+const TUPLES: usize = 6_000;
+const BATCH: usize = 1_000;
+const SHARDS: usize = 2;
+const APP: u16 = 7;
+
+fn uniform(seed: u64) -> Vec<Tuple> {
+    UniformGenerator::new(1 << 16, seed).take_vec(TUPLES)
+}
+
+fn zipf3(seed: u64) -> Vec<Tuple> {
+    ZipfGenerator::new(3.0, 1 << 16, seed).take_vec(TUPLES)
+}
+
+/// Boots a wire server hosting `app`, serves `data` through a pipelined
+/// client over a real loopback socket, finalizes over the wire and decodes
+/// the output. Every submitted batch must come back `Done` with sane
+/// latency metadata.
+fn serve_over_wire<A: WireApp>(app: A, data: &[Tuple], arch: &ArchConfig) -> A::Output {
+    let mut registry = AppRegistry::new();
+    registry.register(APP, app.clone(), ServeConfig::new(SHARDS, arch.clone()));
+    let server =
+        WireServer::bind("127.0.0.1:0", registry, WireServerConfig::new()).expect("bind loopback");
+    let mut client = WireClient::connect(server.local_addr()).expect("connect");
+
+    // Pipelined: submit everything, then collect the completions.
+    let batches = split_into_batches(data, BATCH);
+    let expected: u64 = batches.len() as u64;
+    for batch in &batches {
+        client.submit(APP, batch).expect("submit");
+    }
+    let mut done = 0u64;
+    let mut tuples_acked = 0u64;
+    while done < expected {
+        let (_, app_id, resp) = client.recv().expect("completion");
+        assert_eq!(app_id, APP);
+        match resp {
+            Response::Done {
+                tuples,
+                latency_cycles,
+                ..
+            } => {
+                assert!(latency_cycles > 0, "completion carries sim latency");
+                tuples_acked += tuples;
+                done += 1;
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    assert_eq!(tuples_acked, data.len() as u64, "every tuple acknowledged");
+
+    let stats = client.stats(APP).expect("stats");
+    assert_eq!(stats.batches_completed, expected);
+    assert_eq!(stats.batches_shed, 0);
+    assert_eq!(stats.queue_depth, 0);
+    assert!(stats.queue_depth_peak > 0);
+
+    let bytes = client.finalize(APP).expect("finalize");
+    let output = app.decode_output(&bytes).expect("decode output");
+    drop(client);
+    server.shutdown();
+    output
+}
+
+fn single<A: DittoApp + 'static>(app: A, data: &[Tuple], arch: &ArchConfig) -> A::Output {
+    SkewObliviousPipeline::run_dataset(app, data.to_vec(), arch).output
+}
+
+#[test]
+fn histo_wire_equals_single_engine() {
+    let app = HistoApp::new(256, 8);
+    let arch = ArchConfig::new(4, 8, 7).with_pe_entries(app.pe_entries());
+    for data in [uniform(11), zipf3(12)] {
+        let wired = serve_over_wire(app.clone(), &data, &arch);
+        let alone = single(app.clone(), &data, &arch);
+        assert_eq!(wired, alone, "HISTO wire-served run diverged");
+        assert_eq!(wired, app.reference(&data), "and both match the host");
+    }
+}
+
+#[test]
+fn dp_wire_equals_single_engine_as_multisets() {
+    let app = DataPartitionApp::new(64, 8);
+    let arch = ArchConfig::new(4, 8, 7).with_pe_entries(app.pe_entries());
+    for data in [uniform(21), zipf3(22)] {
+        let mut wired = serve_over_wire(app.clone(), &data, &arch);
+        let mut alone = single(app.clone(), &data, &arch);
+        // DP is the non-decomposable app: partition contents compare as
+        // multisets, exactly as in the in-process cluster equivalence.
+        for bucket in wired.iter_mut().chain(alone.iter_mut()) {
+            bucket.sort_unstable();
+        }
+        assert_eq!(wired, alone, "DP wire-served run diverged");
+    }
+}
+
+#[test]
+fn pagerank_wire_equals_single_engine_bit_for_bit() {
+    let graph = ditto_graph::generate::rmat(10, 8.0, 0.57, 0.19, 0.19, 0x5eed);
+    let contribs: Arc<Vec<Fixed>> = Arc::new(
+        (0..graph.vertex_count())
+            .map(|v| Fixed::from_f64(1.0 / (graph.out_degree(v).max(1) as f64)))
+            .collect(),
+    );
+    let app = PageRankApp::new(contribs, 8);
+    let arch = ArchConfig::new(4, 8, 7).with_pe_entries(app.pe_entries());
+    let edges = PageRankApp::edge_tuples(&graph);
+    let wired = serve_over_wire(app.clone(), &edges, &arch);
+    let alone = single(app, &edges, &arch);
+    assert_eq!(wired, alone, "PR wire-served run diverged");
+}
+
+#[test]
+fn hll_wire_equals_single_engine() {
+    let app = HllApp::new(10, 8);
+    let arch = ArchConfig::new(4, 8, 7).with_pe_entries(app.pe_entries());
+    for data in [uniform(31), zipf3(32)] {
+        let wired = serve_over_wire(app.clone(), &data, &arch);
+        let alone = single(app.clone(), &data, &arch);
+        assert_eq!(wired, alone, "HLL register files diverged");
+    }
+}
+
+#[test]
+fn hhd_wire_equals_single_engine() {
+    let app = HhdApp::new(4, 512, 300, 8);
+    let arch = ArchConfig::new(4, 8, 7).with_pe_entries(app.pe_entries());
+    for data in [uniform(41), zipf3(42)] {
+        let wired = serve_over_wire(app.clone(), &data, &arch);
+        let alone = single(app.clone(), &data, &arch);
+        assert_eq!(wired, alone, "HHD reports diverged");
+    }
+}
+
+#[test]
+fn overload_sheds_instead_of_queueing() {
+    // A watermark smaller than one batch with no defer: as soon as any
+    // batch is in flight, the next is shed. Flooding without reading
+    // responses forces the condition deterministically.
+    let app = HistoApp::new(256, 8);
+    let arch = ArchConfig::new(4, 8, 3).with_pe_entries(app.pe_entries());
+    let mut registry = AppRegistry::new();
+    registry.register(APP, app.clone(), ServeConfig::new(SHARDS, arch));
+    let config = WireServerConfig::new().with_admission(
+        AdmissionConfig::new()
+            .with_watermark(BATCH as u64 / 2)
+            .with_defer(0, std::time::Duration::ZERO),
+    );
+    let server = WireServer::bind("127.0.0.1:0", registry, config).expect("bind");
+    let mut client = WireClient::connect(server.local_addr()).expect("connect");
+
+    let data = zipf3(51);
+    let batches = split_into_batches(&data, BATCH);
+    let total = batches.len() as u64;
+    for batch in &batches {
+        client.submit(APP, batch).expect("submit");
+    }
+    let mut done = Vec::new();
+    let mut shed = Vec::new();
+    for _ in 0..total {
+        let (seq, _, resp) = client.recv().expect("response");
+        match resp {
+            Response::Done { .. } => done.push(seq),
+            Response::Overloaded {
+                queue_depth,
+                watermark,
+            } => {
+                assert_eq!(watermark, BATCH as u64 / 2);
+                assert!(queue_depth >= watermark, "shed below the watermark");
+                shed.push(seq);
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    assert!(!done.is_empty(), "everything was shed");
+    assert!(!shed.is_empty(), "nothing was shed under forced overload");
+
+    // Shed counts are visible in the serving stats...
+    let stats = client.stats(APP).expect("stats");
+    assert_eq!(stats.batches_shed, shed.len() as u64);
+    assert_eq!(stats.batches_completed, done.len() as u64);
+    assert_eq!(
+        stats.tuples_submitted + stats.tuples_shed,
+        data.len() as u64,
+        "every tuple either admitted or shed"
+    );
+
+    // ...and the admitted subset is served *correctly*: the wire output
+    // equals the host reference over exactly the admitted batches.
+    let admitted: Vec<Tuple> = batches
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| done.contains(&(*i as u64)))
+        .flat_map(|(_, b)| b.iter().copied())
+        .collect();
+    let bytes = client.finalize(APP).expect("finalize");
+    let output = app.decode_output(&bytes).expect("decode");
+    assert_eq!(output, app.reference(&admitted), "admitted tuples served");
+
+    drop(client);
+    let report = server.shutdown();
+    let (_, final_stats) = report.per_app[0];
+    assert_eq!(final_stats.batches_shed, shed.len() as u64);
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_batches() {
+    let app = HistoApp::new(64, 4);
+    let arch = ArchConfig::new(2, 4, 1).with_pe_entries(app.pe_entries());
+    let mut registry = AppRegistry::new();
+    registry.register(APP, app, ServeConfig::new(1, arch));
+    let server = WireServer::bind("127.0.0.1:0", registry, WireServerConfig::new()).expect("bind");
+    let mut client = WireClient::connect(server.local_addr()).expect("connect");
+
+    let data = uniform(61);
+    let batches = split_into_batches(&data, BATCH);
+    let total = batches.len() as u64;
+    for batch in &batches {
+        client.submit(APP, batch).expect("submit");
+    }
+    // Wait (on a second connection, so stats replies never interleave with
+    // this client's Done stream) until every batch is admitted — then shut
+    // down while completions are still in flight.
+    let mut observer = WireClient::connect(server.local_addr()).expect("connect observer");
+    loop {
+        let stats = observer.stats(APP).expect("stats");
+        if stats.batches_submitted == total {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let report = server.shutdown();
+    assert_eq!(report.connections_accepted, 2);
+    let (app_id, stats) = &report.per_app[0];
+    assert_eq!(*app_id, APP);
+    assert_eq!(stats.batches_submitted, total);
+    assert_eq!(
+        stats.batches_completed, total,
+        "an admitted batch was not drained"
+    );
+    assert_eq!(stats.queue_depth, 0, "shutdown left work queued");
+
+    // Every Done was flushed before the socket closed.
+    let mut done = 0;
+    loop {
+        match client.recv() {
+            Ok((_, _, Response::Done { .. })) => done += 1,
+            Ok((_, _, other)) => panic!("unexpected response: {other:?}"),
+            Err(_) => break, // server closed after flushing
+        }
+    }
+    assert_eq!(done, total, "a Done response was lost in shutdown");
+}
+
+#[test]
+fn unknown_app_and_garbage_are_answered_not_crashed() {
+    let mut registry = AppRegistry::new();
+    registry.register(
+        APP,
+        HistoApp::new(16, 4),
+        ServeConfig::new(1, ArchConfig::new(2, 4, 1)),
+    );
+    let server = WireServer::bind("127.0.0.1:0", registry, WireServerConfig::new()).expect("bind");
+
+    // Unknown app id: explicit error, connection stays usable.
+    let mut client = WireClient::connect(server.local_addr()).expect("connect");
+    let resp = client
+        .submit_wait(999, &[Tuple::from_key(1)])
+        .expect("answered");
+    assert!(
+        matches!(resp, Response::Error { code, .. } if code == ditto_wire::frame::error_code::UNKNOWN_APP)
+    );
+    assert!(client.ping().is_ok(), "connection survived the error");
+
+    // Garbage bytes: the server answers one error frame and hangs up; the
+    // listener keeps accepting.
+    {
+        use std::io::Write;
+        let mut raw = std::net::TcpStream::connect(server.local_addr()).expect("connect raw");
+        // More than one header's worth, so the frame parser actually runs
+        // (a shorter blob would leave the server waiting for the rest).
+        raw.write_all(b"GET /ditto HTTP/1.1\r\nHost: x\r\n\r\n")
+            .expect("write garbage");
+        raw.flush().expect("flush garbage");
+        let frame = ditto_wire::Frame::read_from(&mut raw)
+            .expect("error frame")
+            .expect("frame before close");
+        assert!(matches!(
+            Response::decode(&frame).expect("typed"),
+            Response::Error { .. }
+        ));
+    }
+    assert!(client.ping().is_ok(), "server survived the garbage");
+    drop(client);
+    server.shutdown();
+}

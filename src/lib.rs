@@ -18,6 +18,9 @@
 //!   against;
 //! * [`serve`] (`ditto-serve`) — the sharded online serving layer:
 //!   persistent pipeline shards behind a skew-aware router;
+//! * [`wire`] (`ditto-wire`) — the zero-dependency TCP front-end over the
+//!   serve cluster: binary frame protocol, admission control and load
+//!   shedding;
 //! * [`sketches`], [`graph`], [`datagen`], [`fpga_model`] — algorithmic,
 //!   graph, dataset and resource-model substrates.
 //!
@@ -56,6 +59,7 @@ pub use ditto_core as core;
 pub use ditto_framework as framework;
 pub use ditto_graph as graph;
 pub use ditto_serve as serve;
+pub use ditto_wire as wire;
 pub use fpga_model;
 pub use hls_sim;
 pub use sketches;
@@ -78,7 +82,11 @@ pub mod prelude {
     };
     pub use ditto_graph::{generate, pagerank, Csr};
     pub use ditto_serve::{
-        split_into_batches, BalancerConfig, Cluster, ClusterSnapshot, ServeConfig,
+        split_into_batches, AdmissionSnapshot, BalancerConfig, Cluster, ClusterSnapshot,
+        ServeConfig,
+    };
+    pub use ditto_wire::{
+        AdmissionConfig, AppRegistry, WireApp, WireClient, WireServer, WireServerConfig,
     };
     pub use fpga_model::{mteps, mtps, AppCostProfile, Device, PipelineShape, ResourceModel};
     pub use hls_sim::{
