@@ -18,7 +18,7 @@ use std::time::Instant;
 
 use datagen::ZipfGenerator;
 use ditto_apps::HistoApp;
-use ditto_bench::json::Json;
+use ditto_bench::json::{host_info, Json};
 use ditto_bench::{alpha_sweep, harness_tuples, par_map, sweep_threads};
 use ditto_core::{ArchConfig, SkewObliviousPipeline};
 
@@ -90,6 +90,7 @@ fn main() {
 
     let doc = Json::obj([
         ("bench", Json::str("BENCH_1")),
+        ("host", host_info()),
         (
             "machine",
             Json::obj([("threads", Json::uint(sweep_threads() as u64))]),

@@ -1,175 +1,232 @@
-//! Emits `BENCH_4.json`: the hot-path micro-bench, one measurement per
-//! pipeline phase, before and after the cold-tap auto-advance.
+//! Emits `BENCH_6.json`: steady-state fast-forward before/after, one
+//! measurement per pipeline phase.
 //!
 //! Two phases of the same paper-scale pipeline (8 lanes, 16 PriPEs,
-//! 15 SecPEs — 31 destination datapaths, the shape behind the ROADMAP's
-//! "~27/59 kernels idle under skew" observation) are timed, because they
-//! stress opposite ends of the scheduler:
+//! 15 SecPEs — the shape behind the ROADMAP's "~27/59 kernels idle under
+//! skew" observation) are timed, because they stress opposite ends of the
+//! event-horizon detector:
 //!
-//! * `dense_uniform` — uniform keys over 2^20: every PE input queue stays
-//!   non-empty and the word channel carries a word nearly every cycle, so
-//!   datapath taps rarely drain and the idle-set scheduler can park almost
-//!   nothing — the worst case for any added scheduling machinery.
-//! * `skewed_zipf3` — Zipf(3.0) keys: after the profiler's plan lands
-//!   (256-cycle window at the head of the run, then post-reschedule steady
-//!   state for the remaining >99 % of cycles) nearly every tuple targets
-//!   the hot PriPE and its SecPE helpers. The other datapaths see only
-//!   zero-mask words: their decoders park and the broadcast core
-//!   auto-advances their cursors without ever waking them — the phase the
-//!   refactor exists for.
+//! * `paced_zipf3` — the headline. A Zipf(3.0) stream arrives in bursts
+//!   (256 tuples every 8 192 cycles, the duty cycle of a paper-scale
+//!   network feed), so after each burst drains the whole fabric is
+//!   provably idle until the source's next pull cycle. Every awake kernel
+//!   publishes an event horizon (`hold_until`), the engine jumps straight
+//!   to the earliest one, and >90 % of simulated cycles are never stepped.
+//! * `saturated_uniform` — the honest case. Uniform keys arrive
+//!   back-to-back, every PE input queue stays non-empty, the horizons are
+//!   always "now", and fast-forward cannot engage. This phase exists to
+//!   show the detector's overhead when it never fires (~1×).
 //!
-//! The *before* configuration (`cold_tap_auto_advance = false`) reproduces
-//! the PR 3 schedule exactly — same cycles, same per-channel statistics,
-//! deterministically more kernel steps — inside the same binary, so
-//! before/after pairs are measured interleaved rep by rep and container
-//! noise hits both sides equally. The minimum over reps is reported (least
-//! scheduler noise on shared containers). Kernel step counts are
-//! deterministic, so the bench *asserts* the scheduler win: the
-//! auto-advance run must execute strictly fewer kernel steps than the
-//! baseline in both phases.
+//! The *before* configuration (`steady_state_fast_forward = false`) is the
+//! PR 5 cycle-stepped schedule — bit-identical cycles, workloads and
+//! per-channel statistics, deterministically the same everything except
+//! wall time — inside the same binary, so before/after pairs are measured
+//! interleaved rep by rep and container noise hits both sides equally. The
+//! minimum over reps is reported (least scheduler noise on shared
+//! containers). The bench *asserts* bit-identity between the modes: same
+//! completion cycles, per-PE workloads and channel totals; only
+//! `kernel_steps` and wall time may differ.
 //!
 //! Usage: `cargo run --release -p ditto-bench --bin hotpath [out.json]`
 
 use std::time::Instant;
 
-use datagen::{UniformGenerator, ZipfGenerator};
-use ditto_bench::json::Json;
+use datagen::{Tuple, UniformGenerator, ZipfGenerator};
+use ditto_bench::json::{host_info, Json};
 use ditto_core::apps::CountPerKey;
-use ditto_core::{ArchConfig, SkewObliviousPipeline};
+use ditto_core::{ArchConfig, PersistentPipeline};
+use hls_sim::{MemoryModel, PacedSource, SliceSource, StreamSource};
 
-/// One timed run; returns (wall seconds, cycles, kernel steps).
-fn run_once(data: &[datagen::Tuple], auto_advance: bool) -> (f64, u64, u64) {
-    let cfg = ArchConfig::paper(15)
-        .with_pe_entries(1 << 14)
-        .with_cold_tap_auto_advance(auto_advance);
-    let app = CountPerKey::new(16);
-    let t0 = Instant::now();
-    let out = SkewObliviousPipeline::run_dataset(app, data.to_vec(), &cfg);
-    let dt = t0.elapsed().as_secs_f64();
-    assert_eq!(out.report.tuples, data.len() as u64, "no tuples lost");
-    (dt, out.report.cycles, out.report.kernel_steps)
-}
+/// Burst size of the paced phase (tuples per burst).
+const BURST: usize = 256;
+/// Burst period of the paced phase (cycles between burst starts).
+const PERIOD: u64 = 8_192;
 
-/// Minimum wall time, final cycles and (deterministic) step count over
-/// `reps` interleaved runs of one (phase, mode) pair.
-#[derive(Clone, Copy)]
-struct Sample {
-    best: f64,
+/// One timed drain of a persistent pipeline built from `make_source`.
+struct RunStats {
+    dt: f64,
     cycles: u64,
     steps: u64,
-    tuples: usize,
+    tuples: u64,
+    per_pe: Vec<u64>,
+    totals: (u64, u64, u64, u64),
+    ff_jumps: u64,
+    ff_skipped: u64,
+}
+
+fn run_once(
+    make_source: &dyn Fn() -> Box<dyn StreamSource<Tuple>>,
+    fast_forward: bool,
+    max_cycles: u64,
+) -> RunStats {
+    let cfg = ArchConfig::paper(15)
+        .with_pe_entries(1 << 14)
+        .with_steady_state_fast_forward(fast_forward);
+    let app = CountPerKey::new(16);
+    let t0 = Instant::now();
+    let mut p = PersistentPipeline::new(app, make_source(), &cfg);
+    p.expect_drained(max_cycles);
+    let dt = t0.elapsed().as_secs_f64();
+    let ff_jumps = p.engine().ff_jumps();
+    let ff_skipped = p.engine().ff_cycles_skipped();
+    let out = p.finish();
+    let t = out.report.channel_totals;
+    RunStats {
+        dt,
+        cycles: out.report.cycles,
+        steps: out.report.kernel_steps,
+        tuples: out.report.tuples,
+        per_pe: out.report.per_pe_processed,
+        totals: (t.pushes, t.pops, t.full_stalls, t.max_occupancy_sum),
+        ff_jumps,
+        ff_skipped,
+    }
+}
+
+/// Minimum wall time plus the (deterministic) counters over `reps`
+/// interleaved runs of one (phase, mode) pair.
+struct Sample {
+    best: f64,
+    first: Option<RunStats>,
 }
 
 impl Sample {
-    fn new(tuples: usize) -> Self {
+    fn new() -> Self {
         Sample {
             best: f64::INFINITY,
-            cycles: 0,
-            steps: 0,
-            tuples,
+            first: None,
         }
     }
 
-    fn record(&mut self, (dt, cycles, steps): (f64, u64, u64)) {
-        if dt < self.best {
-            self.best = dt;
+    fn record(&mut self, run: RunStats) {
+        if run.dt < self.best {
+            self.best = run.dt;
         }
-        if self.cycles == 0 {
-            self.cycles = cycles;
-            self.steps = steps;
-        } else {
-            assert_eq!(self.cycles, cycles, "simulation must be deterministic");
-            assert_eq!(self.steps, steps, "kernel schedule must be deterministic");
+        match &self.first {
+            None => self.first = Some(run),
+            Some(f) => {
+                assert_eq!(f.cycles, run.cycles, "simulation must be deterministic");
+                assert_eq!(f.steps, run.steps, "kernel schedule must be deterministic");
+                assert_eq!(f.totals, run.totals, "channel stats must be deterministic");
+            }
         }
     }
 
-    fn ns_per_tuple(&self) -> f64 {
-        self.best * 1e9 / self.tuples as f64
+    fn stats(&self) -> &RunStats {
+        self.first.as_ref().expect("at least one rep recorded")
     }
 
     fn json(&self) -> Json {
+        let s = self.stats();
         Json::obj([
-            ("ns_per_tuple", Json::float(self.ns_per_tuple(), 1)),
-            (
-                "ns_per_kernel_step",
-                Json::float(self.best * 1e9 / self.steps as f64, 1),
-            ),
             ("wall_ms", Json::float(self.best * 1e3, 2)),
-            ("simulated_cycles", Json::uint(self.cycles)),
-            ("kernel_steps", Json::uint(self.steps)),
+            (
+                "ns_per_simulated_cycle",
+                Json::float(self.best * 1e9 / s.cycles as f64, 2),
+            ),
+            ("simulated_cycles", Json::uint(s.cycles)),
+            ("kernel_steps", Json::uint(s.steps)),
+            ("ff_jumps", Json::uint(s.ff_jumps)),
+            ("ff_cycles_skipped", Json::uint(s.ff_skipped)),
         ])
     }
 }
 
 /// Measures one phase in both modes, interleaving reps so container noise
-/// hits baseline and auto-advance equally.
-fn measure(data: &[datagen::Tuple], reps: usize) -> (Sample, Sample) {
-    let mut before = Sample::new(data.len());
-    let mut after = Sample::new(data.len());
+/// hits the cycle-stepped baseline and fast-forward equally.
+fn measure(
+    make_source: &dyn Fn() -> Box<dyn StreamSource<Tuple>>,
+    reps: usize,
+    max_cycles: u64,
+) -> (Sample, Sample) {
+    let mut before = Sample::new();
+    let mut after = Sample::new();
     for _ in 0..reps {
-        before.record(run_once(data, false));
-        after.record(run_once(data, true));
+        before.record(run_once(make_source, false, max_cycles));
+        after.record(run_once(make_source, true, max_cycles));
     }
     (before, after)
 }
 
-fn phase_json(name: &str, before: Sample, after: Sample) -> Json {
+fn phase_json(name: &str, before: &Sample, after: &Sample) -> Json {
+    let (b, a) = (before.stats(), after.stats());
     assert_eq!(
-        before.cycles, after.cycles,
-        "{name}: auto-advance must be cycle-identical to the baseline"
+        b.cycles, a.cycles,
+        "{name}: fast-forward must be cycle-identical to the baseline"
     );
-    assert!(
-        after.steps < before.steps,
-        "{name}: auto-advance must execute strictly fewer kernel steps \
-         ({} vs {})",
-        after.steps,
-        before.steps
+    assert_eq!(b.tuples, a.tuples, "{name}: tuple counts must match");
+    assert_eq!(b.per_pe, a.per_pe, "{name}: per-PE workloads must match");
+    assert_eq!(b.totals, a.totals, "{name}: channel totals must match");
+    assert_eq!(
+        b.ff_skipped, 0,
+        "{name}: the baseline must step every cycle"
     );
     Json::obj([
-        ("baseline_pr3", before.json()),
-        ("auto_advance", after.json()),
+        ("baseline_stepped", before.json()),
+        ("fast_forward", after.json()),
+        ("speedup", Json::float(before.best / after.best, 3)),
         (
-            "speedup",
-            Json::float(before.ns_per_tuple() / after.ns_per_tuple(), 3),
-        ),
-        (
-            "kernel_steps_ratio",
-            Json::float(after.steps as f64 / before.steps as f64, 3),
+            "cycles_skipped_fraction",
+            Json::float(a.ff_skipped as f64 / a.cycles as f64, 4),
         ),
     ])
 }
 
 fn main() {
+    // The env override exists so CI can force-enable fast-forward under
+    // unmodified golden tests; under this bench it would silently turn the
+    // in-binary baseline into a second fast-forward run.
+    assert!(
+        std::env::var_os("DITTO_FAST_FORWARD").is_none(),
+        "unset DITTO_FAST_FORWARD: the bench controls the flag per run"
+    );
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_4.json".to_owned());
+        .unwrap_or_else(|| "BENCH_6.json".to_owned());
     let tuples: usize = std::env::var("DITTO_HOTPATH_TUPLES")
         .ok()
         .and_then(|s| s.parse().ok())
-        .unwrap_or(200_000);
+        .unwrap_or(65_536);
     let reps: usize = std::env::var("DITTO_HOTPATH_REPS")
         .ok()
         .and_then(|s| s.parse().ok())
-        .unwrap_or(7);
-    // Dense phase: uniform keys over 2^20, far more keys than PEs, so
+        .unwrap_or(5);
+
+    // Paced phase: Zipf(3.0) — ~97 % of tuples hit the hottest key — in
+    // BURST-tuple bursts every PERIOD cycles.
+    let skewed_data = ZipfGenerator::new(3.0, 1 << 20, 7).take_vec(tuples);
+    let paced = move || -> Box<dyn StreamSource<Tuple>> {
+        Box::new(PacedSource::new(skewed_data.clone(), BURST, PERIOD, 16))
+    };
+    let paced_budget = (tuples as u64 / BURST as u64 + 2) * PERIOD + 1_000_000;
+
+    // Saturated phase: uniform keys over 2^20, far more keys than PEs, so
     // every PE input queue stays non-empty for the whole run.
     let dense_data = UniformGenerator::new(1 << 20, 3).take_vec(tuples);
-    // Skewed phase: Zipf(3.0) — ~97 % of tuples hit the hottest key.
-    let skewed_data = ZipfGenerator::new(3.0, 1 << 20, 7).take_vec(tuples);
+    let dense = move || -> Box<dyn StreamSource<Tuple>> {
+        Box::new(SliceSource::new(
+            dense_data.clone(),
+            Tuple::PAPER_WIDTH_BYTES,
+            MemoryModel::new(64, 16),
+        ))
+    };
 
     // Warm-up run (page in code + allocator arenas).
-    run_once(&dense_data, true);
+    run_once(&dense, true, 10_000_000);
 
-    let (dense_before, dense_after) = measure(&dense_data, reps);
-    let (skewed_before, skewed_after) = measure(&skewed_data, reps);
+    let (dense_before, dense_after) = measure(&dense, reps, 10_000_000);
+    let (paced_before, paced_after) = measure(&paced, reps, paced_budget);
 
     let doc = Json::obj([
-        ("bench", Json::str("BENCH_4")),
+        ("bench", Json::str("BENCH_6")),
+        ("host", host_info()),
         (
             "workload",
             Json::obj([
                 ("tuples", Json::uint(tuples as u64)),
                 ("reps", Json::uint(reps as u64)),
+                ("burst", Json::uint(BURST as u64)),
+                ("period", Json::uint(PERIOD)),
                 (
                     "config",
                     Json::str("paper scale: 8 lanes, 16 PriPEs, 15 SecPEs"),
@@ -177,24 +234,24 @@ fn main() {
                 (
                     "method",
                     Json::str(
-                        "before/after interleaved rep-by-rep in one binary: baseline_pr3 is \
-                         cold_tap_auto_advance=false (the PR 3 schedule, bit-identical cycles \
-                         and channel stats, every broadcast push wakes every decoder tap); \
-                         auto_advance is the phase-compiled cold-tap path; min over reps",
+                        "before/after interleaved rep-by-rep in one binary: baseline_stepped is \
+                         steady_state_fast_forward=false (the PR 5 cycle-stepped schedule, \
+                         bit-identical cycles, workloads and channel stats); fast_forward jumps \
+                         to each kernel-published event horizon; min wall time over reps",
                     ),
                 ),
             ]),
         ),
         (
-            "dense_uniform",
-            phase_json("dense_uniform", dense_before, dense_after),
+            "paced_zipf3",
+            phase_json("paced_zipf3", &paced_before, &paced_after),
         ),
         (
-            "skewed_zipf3",
-            phase_json("skewed_zipf3", skewed_before, skewed_after),
+            "saturated_uniform",
+            phase_json("saturated_uniform", &dense_before, &dense_after),
         ),
     ]);
-    doc.write(&out_path).expect("write BENCH_4.json");
+    doc.write(&out_path).expect("write BENCH_6.json");
     println!("{}", doc.to_pretty());
     eprintln!("wrote {out_path}");
 }

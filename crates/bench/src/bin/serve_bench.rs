@@ -24,7 +24,7 @@ use std::time::{Duration, Instant};
 
 use datagen::ZipfGenerator;
 use ditto_apps::HistoApp;
-use ditto_bench::json::Json;
+use ditto_bench::json::{host_info, Json};
 use ditto_bench::{alpha_sweep, harness_tuples, par_map, sweep_threads};
 use ditto_core::{ArchConfig, SkewObliviousPipeline};
 use ditto_serve::{split_into_batches, BalancerConfig, Cluster, ServeConfig};
@@ -219,6 +219,7 @@ fn main() {
 
     let doc = Json::obj([
         ("bench", Json::str("BENCH_2")),
+        ("host", host_info()),
         (
             "machine",
             Json::obj([("threads", Json::uint(sweep_threads() as u64))]),

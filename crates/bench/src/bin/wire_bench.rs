@@ -21,7 +21,7 @@ use std::time::Duration;
 
 use datagen::ZipfGenerator;
 use ditto_apps::HistoApp;
-use ditto_bench::json::Json;
+use ditto_bench::json::{host_info, Json};
 use ditto_bench::sweep_threads;
 use ditto_core::ArchConfig;
 use ditto_serve::ServeConfig;
@@ -182,6 +182,7 @@ fn main() {
 
     let doc = Json::obj([
         ("bench", Json::str("BENCH_5")),
+        ("host", host_info()),
         (
             "machine",
             Json::obj([("threads", Json::uint(sweep_threads() as u64))]),

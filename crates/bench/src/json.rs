@@ -126,6 +126,31 @@ impl Json {
     }
 }
 
+/// The host-information block embedded in every `BENCH_*.json` artifact so
+/// numbers from different machines (dev laptop vs CI runner) are never
+/// compared as if they came from the same box.
+///
+/// The environment marker is `DITTO_BENCH_ENV` when set, `"ci"` when the
+/// conventional `CI` variable is present, and `"local"` otherwise.
+pub fn host_info() -> Json {
+    let env = std::env::var("DITTO_BENCH_ENV").unwrap_or_else(|_| {
+        if std::env::var_os("CI").is_some() {
+            "ci".to_owned()
+        } else {
+            "local".to_owned()
+        }
+    });
+    Json::obj([
+        (
+            "logical_cores",
+            Json::uint(std::thread::available_parallelism().map_or(0, |n| n.get() as u64)),
+        ),
+        ("env", Json::str(env)),
+        ("os", Json::str(std::env::consts::OS)),
+        ("arch", Json::str(std::env::consts::ARCH)),
+    ])
+}
+
 fn render_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
@@ -205,6 +230,14 @@ mod tests {
             doc.to_pretty(),
             "{\n  \"name\": \"x\",\n  \"inner\": {\n    \"k\": 1\n  },\n  \"empty\": []\n}"
         );
+    }
+
+    #[test]
+    fn host_info_reports_cores_and_env() {
+        let text = host_info().to_pretty();
+        assert!(text.contains("\"logical_cores\""));
+        assert!(text.contains("\"env\""));
+        assert!(text.contains("\"os\""));
     }
 
     #[test]

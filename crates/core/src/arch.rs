@@ -81,6 +81,21 @@ pub struct PersistentPipeline<A: DittoApp> {
     drained_ok: bool,
 }
 
+/// Resolves the effective steady-state fast-forward setting: the
+/// `DITTO_FAST_FORWARD` environment variable (`1`/`true` to force on, `0`
+/// to force off; read once per process) overrides the configuration flag.
+/// The escape hatch lets CI re-run the cycle-equivalence goldens with
+/// fast-forward enabled without touching every construction site.
+fn fast_forward_enabled(config: &ArchConfig) -> bool {
+    static OVERRIDE: std::sync::OnceLock<Option<bool>> = std::sync::OnceLock::new();
+    let forced = OVERRIDE.get_or_init(|| match std::env::var("DITTO_FAST_FORWARD") {
+        Ok(v) if v == "1" || v.eq_ignore_ascii_case("true") => Some(true),
+        Ok(v) if v == "0" => Some(false),
+        _ => None,
+    });
+    forced.unwrap_or(config.steady_state_fast_forward)
+}
+
 impl SkewObliviousPipeline {
     /// Runs `app` over an in-memory dataset streamed through the default
     /// memory interface (64-byte wide, the paper's platform), draining the
@@ -310,6 +325,8 @@ impl<A: DittoApp + 'static> PersistentPipeline<A> {
         } else {
             engine.counter()
         };
+
+        engine.set_fast_forward(fast_forward_enabled(config));
 
         // Initial phase (boundary zero): route to PriPEs only; every
         // SecPE datapath is cold until the first scheduling plan lands.

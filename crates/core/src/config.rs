@@ -52,6 +52,14 @@ pub struct ArchConfig {
     /// deterministically more kernel steps; kept as the in-binary
     /// baseline for the hot-path bench.
     pub cold_tap_auto_advance: bool,
+    /// When `true`, the engine's steady-state fast-forward is enabled:
+    /// whenever every awake kernel can prove its next cycles are
+    /// observational no-ops, the engine jumps the cycle counter straight
+    /// to the next event horizon instead of stepping through the gap.
+    /// Bit-identical to cycle stepping (cycles, per-PE workloads, channel
+    /// statistics) by construction; defaults to `false` so the
+    /// cycle-equivalence goldens pin both modes against each other.
+    pub steady_state_fast_forward: bool,
 }
 
 impl ArchConfig {
@@ -81,6 +89,7 @@ impl ArchConfig {
             requeue_overhead_cycles: 200_000,
             auto_disable_after: 3,
             cold_tap_auto_advance: true,
+            steady_state_fast_forward: false,
         }
     }
 
@@ -125,6 +134,12 @@ impl ArchConfig {
     /// Enables or disables the cold-tap auto-advance (see the field docs).
     pub fn with_cold_tap_auto_advance(mut self, on: bool) -> Self {
         self.cold_tap_auto_advance = on;
+        self
+    }
+
+    /// Enables or disables steady-state fast-forward (see the field docs).
+    pub fn with_steady_state_fast_forward(mut self, on: bool) -> Self {
+        self.steady_state_fast_forward = on;
         self
     }
 

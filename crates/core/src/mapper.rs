@@ -244,6 +244,28 @@ impl<V: Clone + Send + 'static> Kernel for MapperKernel<V> {
         ctx.is_empty(self.input)
     }
 
+    fn hold_until(&self, cy: Cycle, ctx: &SimContext) -> Option<Cycle> {
+        if ctx.state(self.control).generation() != self.generation {
+            // A pending table reset changes routing: simulate it.
+            return None;
+        }
+        // The earliest cycle a queued plan pair becomes applicable.
+        let plan_at = match ctx.recv_visible_at(self.plan_rx) {
+            None => Cycle::MAX,
+            Some(t) if t > cy => t,
+            Some(_) => return None, // pair applies this cycle
+        };
+        if !ctx.can_send(self.output) {
+            // Tuples can't move; only a plan arrival or a pop event can.
+            return Some(plan_at);
+        }
+        match ctx.recv_visible_at(self.input) {
+            None => Some(plan_at),
+            Some(t) if t > cy => Some(plan_at.min(t)),
+            Some(_) => None,
+        }
+    }
+
     fn wake_set(&self) -> WakeSet {
         WakeSet::new()
             .after_push_on(self.plan_rx)

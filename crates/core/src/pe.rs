@@ -81,6 +81,22 @@ impl<A: DittoApp + 'static> Kernel for PrePeKernel<A> {
         ctx.is_empty(self.input)
     }
 
+    fn hold_until(&self, cy: Cycle, ctx: &SimContext) -> Option<Cycle> {
+        if cy < self.busy_until {
+            // II wait: steps in between neither receive nor send.
+            return Some(self.busy_until);
+        }
+        if !ctx.can_send(self.output) {
+            // Blocked on downstream room; only a pop event changes that.
+            return Some(Cycle::MAX);
+        }
+        match ctx.recv_visible_at(self.input) {
+            None => Some(Cycle::MAX),     // empty: wait for a push event
+            Some(t) if t > cy => Some(t), // item in flight, invisible yet
+            Some(_) => None,              // visible work this cycle
+        }
+    }
+
     fn wake_set(&self) -> WakeSet {
         WakeSet::new()
             .after_push_on(self.input)
@@ -208,6 +224,25 @@ impl<A: DittoApp + 'static> Kernel for ProcPeKernel<A> {
 
     fn is_idle(&self, ctx: &SimContext) -> bool {
         ctx.is_empty(self.input)
+    }
+
+    fn hold_until(&self, cy: Cycle, ctx: &SimContext) -> Option<Cycle> {
+        if let PeRole::Secondary(idx) = self.role {
+            match ctx.state(self.control).sec_phase(idx) {
+                SecPhase::Running => {}
+                // Draining transitions phases from inside step; simulate it.
+                SecPhase::Draining => return None,
+                SecPhase::Exited => return Some(Cycle::MAX),
+            }
+        }
+        if cy < self.busy_until {
+            return Some(self.busy_until);
+        }
+        match ctx.recv_visible_at(self.input) {
+            None => Some(Cycle::MAX),
+            Some(t) if t > cy => Some(t),
+            Some(_) => None,
+        }
     }
 
     fn wake_set(&self) -> WakeSet {

@@ -382,6 +382,30 @@ impl Kernel for ProfilerKernel {
             Phase::Draining | Phase::AwaitMerge | Phase::Requeue { .. } => false,
         }
     }
+
+    fn hold_until(&self, cy: Cycle, _ctx: &SimContext) -> Option<Cycle> {
+        match &self.phase {
+            // Reschedule-boundary phases tick an internal clock or watch
+            // cross-kernel state every cycle: the detector refuses to
+            // fast-forward across them.
+            Phase::Profiling { .. }
+            | Phase::Distributing { .. }
+            | Phase::Draining
+            | Phase::AwaitMerge => None,
+            Phase::Monitoring { .. } => {
+                if self.params.reschedule_threshold <= 0.0 {
+                    // Permanent no-op (the step parks the kernel anyway).
+                    return Some(Cycle::MAX);
+                }
+                // Ticks strictly before the window boundary return `None`
+                // without mutating the observer.
+                let boundary = self.window.next_boundary();
+                (boundary > cy).then_some(boundary)
+            }
+            Phase::Requeue { until } => (*until > cy).then_some(*until),
+            Phase::Disabled => Some(Cycle::MAX),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -497,6 +521,47 @@ mod tests {
         }
         assert_eq!(ctx.state(control).reschedules(), 0);
         assert!(ctx.state(control).route_to_sec());
+    }
+
+    #[test]
+    fn hold_refuses_reschedule_boundary_phases() {
+        // The fast-forward detector must never jump across a phase whose
+        // steps drive the reschedule protocol: while profiling (and in every
+        // other boundary phase) the profiler opts out of fast-forward.
+        let mut engine = Engine::new();
+        let (feed_tx, feed_rx) = engine.channel::<u32>("feed", 64);
+        let (plan_tx, _plan_rx) = engine.channel::<(u32, u32)>("plan", 8);
+        let control = engine.state(Control::new(1));
+        let plan = engine.state(SchedulingPlan::empty());
+        let processed = engine.counter();
+        let mut p = params(1);
+        p.reschedule_threshold = 0.5;
+        let mut prof = ProfilerKernel::new(
+            &mut engine,
+            p,
+            vec![feed_rx],
+            vec![plan_tx],
+            processed,
+            plan,
+            control,
+        );
+        let ctx = engine.context_mut();
+        ctx.try_send(0, feed_tx, 0u32).unwrap();
+        // Profiling: every cycle counts ids and ticks the window countdown.
+        assert_eq!(prof.hold_until(1, ctx), None, "profiling must step");
+        let mut cy = 1;
+        // Drive through the profiling window and the plan distribution.
+        for _ in 0..20 {
+            prof.step(cy, ctx);
+            cy += 1;
+        }
+        // Monitoring with a live threshold: holdable only to the window
+        // boundary, where the throughput tick fires.
+        let hold = prof.hold_until(cy, ctx).expect("monitoring is holdable");
+        assert!(hold > cy && hold < Cycle::MAX, "hold {hold} at cy {cy}");
+        // Stepping up to (but not past) the boundary leaves the hold fixed.
+        prof.step(cy, ctx);
+        assert_eq!(prof.hold_until(cy + 1, ctx), Some(hold));
     }
 
     #[test]

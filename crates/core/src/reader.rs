@@ -115,6 +115,21 @@ impl Kernel for MemoryReaderKernel {
         self.drained()
     }
 
+    fn hold_until(&self, cy: Cycle, _ctx: &SimContext) -> Option<Cycle> {
+        if self.staging_len() > 0 {
+            // Queued tuples retry the lanes every cycle (counting stalls):
+            // never skippable.
+            return None;
+        }
+        if self.source.exhausted() {
+            return Some(Cycle::MAX);
+        }
+        // Staging is empty: until the source's next grant, every step is a
+        // zero pull followed by an empty distribution loop.
+        let next = self.source.next_pull_at(cy);
+        (next > cy).then_some(next)
+    }
+
     fn is_quiescence_gate(&self) -> bool {
         // The pipeline cannot drain while the source still has tuples, so
         // the engine can skip the full idle scan until the reader drains.

@@ -27,21 +27,25 @@ pub const MAX_WORD_SLOTS: usize = 16;
 pub const MAX_DEST_PES: usize = 64;
 
 /// A wide word: up to [`MAX_WORD_SLOTS`] routed records gathered in one
-/// cycle, stored inline (no heap allocation), together with the precomputed
-/// per-destination slot masks the decoders look up in O(1).
+/// cycle, stored inline (no heap allocation) in structure-of-arrays form —
+/// a contiguous destination-id lane next to a contiguous value lane,
+/// mirroring the hardware wide word's field packing.
 ///
 /// In hardware the combiner emits the records plus their destination ids and
-/// every decoder compares all N ids against its own; precomputing the masks
-/// while gathering is the simulation-level equivalent (same cycle behaviour,
-/// one pass instead of M+X).
+/// every decoder compares all N ids against its own. The word stores exactly
+/// that: one `u8` destination per slot. [`mask_for`](Self::mask_for) derives
+/// a decoder's slot mask with a single pass over the (at most
+/// [`MAX_WORD_SLOTS`]-byte) id lane, cheap-rejected by the `dest_taps`
+/// relevance bitmask — so the per-word broadcast copy moves N + 9 bytes of
+/// routing metadata instead of a materialised `M + X`-row mask table, while
+/// the common cold-datapath lookup stays O(1).
 #[derive(Debug, Clone)]
 pub struct WideWord<V> {
     len: u8,
-    /// Slot payloads; destinations live only in `masks` (the decoders never
-    /// need the ids once the masks are known, and dropping them keeps the
-    /// word small for the broadcast copy). Slots past `len` hold defaults.
+    /// Slot payloads (the value lane). Slots past `len` hold defaults.
     values: [V; MAX_WORD_SLOTS],
-    masks: [u16; MAX_DEST_PES],
+    /// Slot destination PE ids (the key lane), parallel to `values`.
+    dsts: [u8; MAX_WORD_SLOTS],
     /// Bit `p` set ⇔ some slot targets destination PE `p` — the word's tap
     /// relevance mask, maintained while gathering so the broadcast core
     /// classifies the word for all M+X datapaths in one load.
@@ -53,7 +57,7 @@ impl<V: Default> Default for WideWord<V> {
         WideWord {
             len: 0,
             values: std::array::from_fn(|_| V::default()),
-            masks: [0; MAX_DEST_PES],
+            dsts: [0; MAX_WORD_SLOTS],
             dest_taps: 0,
         }
     }
@@ -81,7 +85,7 @@ impl<V: Default> WideWord<V> {
             "destination PE {} exceeds the wide-word mask range",
             record.dst
         );
-        self.masks[record.dst as usize] |= 1 << slot;
+        self.dsts[slot] = record.dst as u8;
         self.dest_taps |= 1 << record.dst;
         self.values[slot] = record.value;
         self.len += 1;
@@ -98,9 +102,24 @@ impl<V: Default> WideWord<V> {
     }
 
     /// The N-bit mask of slots destined for PE `pe` (bit `i` set ⇔ slot `i`
-    /// targets `pe`).
+    /// targets `pe`), derived by scanning the destination-id lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` exceeds [`MAX_DEST_PES`].
     pub fn mask_for(&self, pe: PeId) -> u16 {
-        self.masks[pe as usize]
+        assert!(
+            (pe as usize) < MAX_DEST_PES,
+            "destination PE {pe} exceeds the wide-word mask range"
+        );
+        if self.dest_taps & (1u64 << pe) == 0 {
+            return 0;
+        }
+        let mut mask = 0u16;
+        for (slot, &d) in self.dsts[..usize::from(self.len)].iter().enumerate() {
+            mask |= u16::from(PeId::from(d) == pe) << slot;
+        }
+        mask
     }
 
     /// The destination-PE bitmask (bit `p` set ⇔ some slot targets PE
@@ -190,6 +209,22 @@ impl<V: Clone + Default + Send + 'static> Kernel for CombinerKernel<V> {
 
     fn is_idle(&self, ctx: &SimContext) -> bool {
         self.inputs.iter().all(|&rx| ctx.is_empty(rx))
+    }
+
+    fn hold_until(&self, cy: Cycle, ctx: &SimContext) -> Option<Cycle> {
+        if !ctx.bcast_can_send(self.output) {
+            // Stalled broadcast: only a datapath pop event unblocks it.
+            return Some(Cycle::MAX);
+        }
+        let mut earliest = Cycle::MAX;
+        for &rx in &self.inputs {
+            match ctx.recv_visible_at(rx) {
+                None => {}
+                Some(t) if t > cy => earliest = earliest.min(t),
+                Some(_) => return None, // a lane has work this cycle
+            }
+        }
+        Some(earliest)
     }
 
     fn wake_set(&self) -> WakeSet {
@@ -328,6 +363,19 @@ impl<V: Clone + Default + Send + 'static> Kernel for DecoderFilterKernel<V> {
 
     fn is_idle(&self, ctx: &SimContext) -> bool {
         ctx.bcast_is_empty(self.input) && self.pending_next >= self.pending_len
+    }
+
+    fn hold_until(&self, cy: Cycle, ctx: &SimContext) -> Option<Cycle> {
+        if self.pending_next < self.pending_len {
+            // Forwarding retries every cycle (counting stalls when
+            // backpressured): never skippable.
+            return None;
+        }
+        match ctx.bcast_recv_visible_at(self.input) {
+            None => Some(Cycle::MAX), // tap empty: wait for a push event
+            Some(t) if t > cy => Some(t),
+            Some(_) => None, // word decodable this cycle
+        }
     }
 
     fn wake_set(&self) -> WakeSet {

@@ -157,6 +157,36 @@ fn offline_extreme_skew_without_secpes_matches_seed() {
     assert_channel(&out.channels, "pein2", (4_921, 4_921, 3_896, 512));
 }
 
+/// The offline skewed golden, re-run with steady-state fast-forward
+/// enabled: event-horizon stepping must reproduce the seed goldens bit for
+/// bit — same completion cycle, workloads and per-channel statistics.
+#[test]
+fn offline_skewed_with_fast_forward_matches_seed() {
+    let data = ZipfGenerator::new(1.5, 1 << 12, 7).take_vec(6_000);
+    let cfg = ArchConfig::new(4, 8, 3)
+        .with_pe_entries(8)
+        .with_steady_state_fast_forward(true);
+    let out = SkewObliviousPipeline::run_dataset(ModHistogram::new(64), data, &cfg);
+
+    assert_eq!(out.report.cycles, 2_114);
+    assert_eq!(out.report.tuples, 6_000);
+    assert_eq!(out.report.plans_generated, 1);
+    assert_eq!(
+        out.report.per_pe_processed,
+        vec![334, 290, 538, 238, 236, 862, 390, 1043, 706, 659, 704]
+    );
+
+    let t = out.report.channel_totals;
+    assert_eq!(
+        (t.pushes, t.pops, t.full_stalls, t.max_occupancy_sum),
+        (41_328, 41_324, 784, 586)
+    );
+
+    assert_channel(&out.channels, "lane0", (1_500, 1_500, 196, 8));
+    assert_channel(&out.channels, "word7", (1_500, 1_500, 0, 64));
+    assert_channel(&out.channels, "pein7", (1_043, 1_043, 0, 166));
+}
+
 /// Online, evolving skew, 7 SecPEs with rescheduling: exercises the full
 /// §IV-B protocol — drain, merge, requeue — eight times over.
 #[test]

@@ -249,6 +249,15 @@ impl<T> ChannelCore<T> {
         matches!(self.queue.front(), Some(slot) if slot.visible_at <= cy)
     }
 
+    /// Visibility time of the front item, if any. Items are queued with
+    /// monotonically non-decreasing visibility, so this is the earliest
+    /// cycle at which *any* receive on the channel can succeed — the
+    /// fast-forward detector's per-channel event.
+    #[inline]
+    pub(crate) fn front_visible_at(&self) -> Option<Cycle> {
+        self.queue.front().map(|slot| slot.visible_at)
+    }
+
     pub(crate) fn stats(&self) -> ChannelStats {
         ChannelStats {
             name: self.name.clone(),
@@ -557,6 +566,30 @@ impl<T> BroadcastCore<T> {
         matches!(self.queue.get(offset), Some(slot) if slot.visible_at <= cy)
     }
 
+    /// Visibility time of the item at reader `r`'s cursor, if any — the
+    /// earliest cycle at which a receive on this tap can succeed (the
+    /// fast-forward detector's per-tap event).
+    #[inline]
+    pub(crate) fn tap_front_visible_at(&self, r: usize) -> Option<Cycle> {
+        let offset = (self.cursors[r] - self.base_seq) as usize;
+        self.queue.get(offset).map(|slot| slot.visible_at)
+    }
+
+    /// Earliest cycle at which [`catch_up`](Self::catch_up) could apply
+    /// pops: the visibility time of the item at the boundary, while any tap
+    /// is cold. Conservative — the returned cycle's catch-up may turn out
+    /// to apply nothing (e.g. every cold cursor is already past the
+    /// boundary) — but never *later* than a catch-up that pops, which is
+    /// what the fast-forward jump must not skip over.
+    pub(crate) fn next_cold_event(&self) -> Option<Cycle> {
+        if self.cold_mask == 0 {
+            return None;
+        }
+        let boundary = self.visible_seq.max(self.base_seq);
+        let offset = (boundary - self.base_seq) as usize;
+        self.queue.get(offset).map(|slot| slot.visible_at)
+    }
+
     /// Drops fully-consumed items from the front of the queue. The slowest
     /// cursor always lands on the new front, so `front_waiters` ends ≥ 1.
     fn release_front(&mut self) {
@@ -592,6 +625,11 @@ pub(crate) struct ArenaSlot {
     stats_fn: fn(&dyn Any, &mut Vec<ChannelStats>),
     /// `Some` only for auto-advancing broadcast slots.
     pub(crate) advance_fn: Option<fn(&mut dyn Any, Cycle) -> u64>,
+    /// Earliest upcoming cold-tap catch-up event of an auto-advancing
+    /// broadcast slot (`Some` exactly when `advance_fn` is) — consulted by
+    /// the fast-forward detector so a jump never skips a cycle whose
+    /// end-of-cycle catch-up would pop (and possibly fire wakes).
+    pub(crate) next_event_fn: Option<fn(&dyn Any) -> Option<Cycle>>,
 }
 
 impl ArenaSlot {
@@ -604,6 +642,7 @@ impl ArenaSlot {
             core: Box::new(core),
             stats_fn: report::<T>,
             advance_fn: None,
+            next_event_fn: None,
         }
     }
 
@@ -618,11 +657,16 @@ impl ArenaSlot {
             let core = any.downcast_mut::<BroadcastCore<T>>().expect("slot type");
             core.catch_up(cy)
         }
-        let advance_fn = core.relevance.is_some().then_some(advance::<T> as _);
+        fn next_event<T: Send + 'static>(any: &dyn Any) -> Option<Cycle> {
+            let core = any.downcast_ref::<BroadcastCore<T>>().expect("slot type");
+            core.next_cold_event()
+        }
+        let auto = core.relevance.is_some();
         ArenaSlot {
             core: Box::new(core),
             stats_fn: report::<T>,
-            advance_fn,
+            advance_fn: auto.then_some(advance::<T> as _),
+            next_event_fn: auto.then_some(next_event::<T> as _),
         }
     }
 

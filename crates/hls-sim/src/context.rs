@@ -308,6 +308,17 @@ impl SimContext {
         self.chan::<T>(tx.idx).queue.is_empty()
     }
 
+    /// Visibility time of the FIFO's head item, or `None` when empty.
+    ///
+    /// Items queue with non-decreasing visibility, so this is the earliest
+    /// cycle at which any receive through `rx` can succeed — the per-channel
+    /// event a [`Kernel::hold_until`](crate::Kernel::hold_until)
+    /// implementation bounds its horizon with.
+    #[inline]
+    pub fn recv_visible_at<T: Send + 'static>(&self, rx: ReceiverId<T>) -> Option<Cycle> {
+        self.chan::<T>(rx.idx).front_visible_at()
+    }
+
     // ---- broadcast channels --------------------------------------------
 
     /// Attempts to broadcast `value` to every reader tap at cycle `cy`.
@@ -511,6 +522,36 @@ impl SimContext {
     #[inline]
     pub fn bcast_len<T: Send + 'static>(&self, rx: BcastReceiverId<T>) -> usize {
         self.bcast::<T>(rx.idx).occupancy(rx.reader as usize)
+    }
+
+    /// Visibility time of the item at this tap's cursor, or `None` when the
+    /// tap buffers nothing — the broadcast analogue of
+    /// [`recv_visible_at`](Self::recv_visible_at) for
+    /// [`Kernel::hold_until`](crate::Kernel::hold_until) bounds.
+    #[inline]
+    pub fn bcast_recv_visible_at<T: Send + 'static>(
+        &self,
+        rx: BcastReceiverId<T>,
+    ) -> Option<Cycle> {
+        self.bcast::<T>(rx.idx)
+            .tap_front_visible_at(rx.reader as usize)
+    }
+
+    /// Earliest upcoming cycle at which some auto-advancing broadcast
+    /// channel's end-of-cycle cold-tap catch-up could pop (and fire pop
+    /// wakes), or `None` when no such event is pending. The fast-forward
+    /// detector never jumps past this — those pops are observable (stats,
+    /// backpressure release, wakes).
+    pub(crate) fn next_cold_tap_event(&self) -> Option<Cycle> {
+        let mut earliest: Option<Cycle> = None;
+        for &id in &self.auto_channels {
+            let slot = &self.channels[id as usize];
+            let next_event = slot.next_event_fn.expect("auto channel has event hook");
+            if let Some(ev) = next_event(&*slot.core) {
+                earliest = Some(earliest.map_or(ev, |e| e.min(ev)));
+            }
+        }
+        earliest
     }
 
     // ---- explicit wakes -------------------------------------------------

@@ -38,6 +38,14 @@ pub struct Engine {
     /// kernels)` is the fraction of the naive step-everyone schedule the
     /// idle-set scheduler actually ran).
     steps_executed: u64,
+    /// Steady-state fast-forward: when enabled, the run loops consult the
+    /// awake kernels' [`Kernel::hold_until`] horizons and jump the clock
+    /// across provably no-op cycle ranges instead of simulating them.
+    fast_forward: bool,
+    /// Number of fast-forward jumps taken.
+    ff_jumps: u64,
+    /// Total cycles skipped by fast-forward jumps.
+    ff_cycles_skipped: u64,
 }
 
 impl Engine {
@@ -49,12 +57,44 @@ impl Engine {
             gates: Vec::new(),
             cycle: 0,
             steps_executed: 0,
+            fast_forward: false,
+            ff_jumps: 0,
+            ff_cycles_skipped: 0,
         }
     }
 
     /// Total kernel step calls executed so far (see the field docs).
     pub fn steps_executed(&self) -> u64 {
         self.steps_executed
+    }
+
+    /// Enables or disables steady-state fast-forward (default: off).
+    ///
+    /// With fast-forward on, the run loops ([`run_cycles`](Self::run_cycles),
+    /// [`run_until`](Self::run_until),
+    /// [`run_until_quiescent`](Self::run_until_quiescent)) call
+    /// [`fast_forward_now`](Self::fast_forward_now) before each cycle and
+    /// jump the clock across cycle ranges every awake kernel proves to be a
+    /// no-op — observationally identical to stepping through them (cycles,
+    /// counters, per-channel statistics all bit-equal), just without the
+    /// per-cycle work.
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.fast_forward = enabled;
+    }
+
+    /// `true` when steady-state fast-forward is enabled.
+    pub fn fast_forward_enabled(&self) -> bool {
+        self.fast_forward
+    }
+
+    /// Number of fast-forward jumps taken so far.
+    pub fn ff_jumps(&self) -> u64 {
+        self.ff_jumps
+    }
+
+    /// Total cycles skipped by fast-forward jumps so far.
+    pub fn ff_cycles_skipped(&self) -> u64 {
+        self.ff_cycles_skipped
     }
 
     /// Creates a channel with the given debug `name` and `capacity`, using
@@ -347,9 +387,69 @@ impl Engine {
         self.cycle += 1;
     }
 
+    /// Attempts one steady-state fast-forward jump of at most `budget`
+    /// cycles, returning the number of cycles skipped (zero when no jump
+    /// was possible).
+    ///
+    /// The event horizon is the earliest of: every awake kernel's
+    /// [`Kernel::hold_until`] claim (any awake kernel declining with `None`
+    /// aborts the jump), the next cold-tap catch-up event of an
+    /// auto-advancing broadcast channel (those end-of-cycle pops are
+    /// observable — statistics, backpressure release, wakes), and
+    /// `current cycle + budget`. Skipped cycles are provably no-ops: no
+    /// kernel steps, no channel moves, no wake fires, so only the clock —
+    /// and the jump telemetry — advances. Sleeping kernels need no proof:
+    /// they are not stepped until a wake event, and no wake can fire inside
+    /// the gap.
+    pub fn fast_forward_now(&mut self, budget: u64) -> u64 {
+        if budget == 0 {
+            return 0;
+        }
+        let cy = self.cycle;
+        let mut horizon = cy.saturating_add(budget);
+        let mut remaining = self.ctx.awake_count;
+        for (i, kernel) in self.kernels.iter().enumerate() {
+            if remaining == 0 {
+                break;
+            }
+            if self.ctx.wake[i] {
+                remaining -= 1;
+                match kernel.hold_until(cy, &self.ctx) {
+                    Some(h) if h > cy => horizon = horizon.min(h),
+                    _ => return 0,
+                }
+            }
+        }
+        if let Some(ev) = self.ctx.next_cold_tap_event() {
+            if ev <= cy {
+                // This very cycle's end-of-cycle catch-up may pop:
+                // simulate it.
+                return 0;
+            }
+            horizon = horizon.min(ev);
+        }
+        let skipped = horizon - cy;
+        if skipped > 0 {
+            self.cycle = horizon;
+            self.ff_jumps += 1;
+            self.ff_cycles_skipped += skipped;
+        }
+        skipped
+    }
+
     /// Executes `n` clock cycles unconditionally.
+    ///
+    /// With [fast-forward](Self::set_fast_forward) enabled, provably no-op
+    /// cycle ranges inside the budget are jumped instead of stepped.
     pub fn run_cycles(&mut self, n: u64) {
-        for _ in 0..n {
+        let end = self.cycle + n;
+        while self.cycle < end {
+            if self.fast_forward {
+                self.fast_forward_now(end - self.cycle);
+                if self.cycle >= end {
+                    break;
+                }
+            }
             self.step();
         }
     }
@@ -368,6 +468,16 @@ impl Engine {
     ) -> RunReport {
         let start = self.cycle;
         while self.cycle - start < max_cycles {
+            if self.fast_forward {
+                // The context is frozen across a jump (the skipped steps
+                // are no-ops), so the predicate — false after the previous
+                // step — stays false throughout the gap: one post-jump
+                // check covers every skipped cycle.
+                self.fast_forward_now(max_cycles - (self.cycle - start));
+                if self.cycle - start >= max_cycles {
+                    break;
+                }
+            }
             self.step();
             if done(&self.ctx) {
                 return RunReport {
@@ -380,6 +490,15 @@ impl Engine {
             cycles: self.cycle - start,
             completed: false,
         }
+    }
+
+    /// `true` when every quiescence gate (typically the sources) reports
+    /// idle. While any gate still has data the pipeline cannot be
+    /// quiescent, so this cheap check short-circuits the full scan.
+    fn gates_idle(&self) -> bool {
+        self.gates
+            .iter()
+            .all(|&g| self.kernels[g as usize].is_idle(&self.ctx))
     }
 
     /// `true` when every *awake* kernel reports idle — bounded by the
@@ -433,14 +552,32 @@ impl Engine {
         let start = self.cycle;
         let mut idle_streak = 0u64;
         while self.cycle - start < max_cycles {
+            if self.fast_forward {
+                let remaining = max_cycles - (self.cycle - start);
+                // The engine state is frozen across a jump, so each
+                // skipped cycle's idle observation equals the current one;
+                // credit them to the streak. When idle, the jump is capped
+                // one cycle short of completing the settle window — the
+                // completing cycle runs the full-population confirmation,
+                // which may wake kernels, so it is always simulated.
+                let idle_now = self.gates_idle() && self.active_all_idle();
+                let budget = if idle_now {
+                    remaining.min(QUIESCENT_SETTLE_CYCLES - idle_streak - 1)
+                } else {
+                    remaining
+                };
+                let skipped = self.fast_forward_now(budget);
+                if idle_now {
+                    idle_streak += skipped;
+                }
+                if self.cycle - start >= max_cycles {
+                    break;
+                }
+            }
             self.step();
             // Gate filter: while any source still has data, the pipeline
             // cannot be quiescent — skip the full scan.
-            let gates_idle = self
-                .gates
-                .iter()
-                .all(|&g| self.kernels[g as usize].is_idle(&self.ctx));
-            if gates_idle && self.active_all_idle() {
+            if self.gates_idle() && self.active_all_idle() {
                 idle_streak += 1;
                 if idle_streak >= QUIESCENT_SETTLE_CYCLES {
                     if self.confirm_all_idle() {

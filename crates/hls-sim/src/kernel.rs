@@ -127,6 +127,26 @@ pub trait Kernel: Send {
         WakeSet::default()
     }
 
+    /// Reports, for the fast-forward detector, the earliest future cycle at
+    /// which this kernel's `step` might do observable work.
+    ///
+    /// Returning `Some(h)` with `h > cy` asserts: *every* `step` with a
+    /// cycle argument in `cy..h` is an observational no-op — it mutates no
+    /// channel, counter, state register or statistic (including stall
+    /// counters), provided no subscribed wake event fires in the meantime.
+    /// `Some(`[`Cycle::MAX`]`)` means "a no-op until a wake event", the same
+    /// claim [`Progress::Sleep`] makes. Returning `None` (the default)
+    /// opts out: the engine steps the kernel cycle by cycle.
+    ///
+    /// The engine only consults awake kernels, and only jumps when every
+    /// one of them returns `Some`; the jump is additionally bounded by
+    /// channel-visibility events, so a conservative-but-correct bound (too
+    /// *early* a horizon) costs performance, never correctness. Too *late*
+    /// a horizon breaks cycle accuracy — when in doubt return `None`.
+    fn hold_until(&self, _cy: Cycle, _ctx: &SimContext) -> Option<Cycle> {
+        None
+    }
+
     /// Marks this kernel as a *quiescence gate*: the pipeline can only be
     /// quiescent once every gate is idle, so
     /// [`run_until_quiescent`](crate::Engine::run_until_quiescent) checks
@@ -157,6 +177,10 @@ impl<K: Kernel + ?Sized> Kernel for Box<K> {
 
     fn wake_set(&self) -> WakeSet {
         (**self).wake_set()
+    }
+
+    fn hold_until(&self, cy: Cycle, ctx: &SimContext) -> Option<Cycle> {
+        (**self).hold_until(cy, ctx)
     }
 
     fn is_quiescence_gate(&self) -> bool {

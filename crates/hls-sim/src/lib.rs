@@ -119,7 +119,7 @@ pub use channel::{
 pub use context::SimContext;
 pub use engine::{Engine, RunReport};
 pub use kernel::{Kernel, Progress, WakeSet};
-pub use memory::{MemoryModel, RateLimiter, SliceSource, StreamSource};
+pub use memory::{MemoryModel, PacedSource, RateLimiter, SliceSource, StreamSource};
 pub use state::{CounterId, StateId};
 pub use stats::ThroughputWindow;
 

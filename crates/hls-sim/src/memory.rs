@@ -25,6 +25,19 @@ pub trait StreamSource<T>: Send {
 
     /// Total items produced so far.
     fn produced(&self) -> u64;
+
+    /// Earliest cycle at or after `cy` at which [`pull`](Self::pull) might
+    /// return a nonzero count — and before which every `pull` is guaranteed
+    /// to return zero *and* leave the source's observable behaviour
+    /// unchanged (so skipping those calls entirely is equivalent).
+    ///
+    /// The default, `cy` itself, claims nothing ("might produce right now")
+    /// and keeps the fast-forward detector from jumping while the reader
+    /// waits on this source. Rate-limited sources should override it with
+    /// their next token-grant or burst-arrival cycle.
+    fn next_pull_at(&self, cy: Cycle) -> Cycle {
+        cy
+    }
 }
 
 /// Bandwidth model of the global-memory interface.
@@ -91,10 +104,19 @@ impl Default for MemoryModel {
 /// Accumulates `rate` tokens per elapsed cycle (rates below one item/cycle
 /// are supported) up to one cycle's worth of headroom beyond the burst size,
 /// and grants whole items on request.
+///
+/// The token balance is *anchored*: it is recomputed from the last cycle
+/// tokens were actually consumed, in a single multiply, rather than
+/// accumulated call by call. Calling [`grant`](Self::grant) every cycle and
+/// calling it once after a gap therefore yield bit-identical outcomes —
+/// the property the engine's fast-forward mode relies on to skip the
+/// zero-grant cycles without simulating them.
 #[derive(Debug, Clone)]
 pub struct RateLimiter {
     rate: f64,
+    /// Token balance at the anchor cycle `last_cycle`.
     tokens: f64,
+    /// Anchor: last cycle at which tokens were consumed (or zero).
     last_cycle: Cycle,
     burst: f64,
 }
@@ -117,16 +139,52 @@ impl RateLimiter {
         }
     }
 
+    /// Token balance available at cycle `cy` (≥ the anchor), clamped to the
+    /// burst cap. A pure function of the anchor — the same expression
+    /// whether evaluated every cycle or once after a gap.
+    #[inline]
+    fn tokens_at(&self, cy: Cycle) -> f64 {
+        let elapsed = (cy.max(self.last_cycle) - self.last_cycle) as f64;
+        (self.tokens + elapsed * self.rate).min(self.burst.max(self.rate))
+    }
+
     /// Grants up to `want` items at cycle `cy`, consuming tokens.
     pub fn grant(&mut self, cy: Cycle, want: usize) -> usize {
-        if cy > self.last_cycle {
-            let elapsed = (cy - self.last_cycle) as f64;
-            self.tokens = (self.tokens + elapsed * self.rate).min(self.burst.max(self.rate));
-            self.last_cycle = cy;
+        let avail = self.tokens_at(cy);
+        let granted = (avail.floor() as usize).min(want);
+        if granted > 0 {
+            // Re-anchor only on consumption, so zero-grant calls leave the
+            // limiter bit-identical to not having been called at all.
+            self.tokens = avail - granted as f64;
+            self.last_cycle = cy.max(self.last_cycle);
         }
-        let granted = (self.tokens.floor() as usize).min(want);
-        self.tokens -= granted as f64;
         granted
+    }
+
+    /// Earliest cycle at or after `cy` at which [`grant`](Self::grant)
+    /// would release at least one item — `Cycle::MAX` when the burst cap
+    /// sits below one whole item and no grant can ever succeed.
+    pub fn next_grant_at(&self, cy: Cycle) -> Cycle {
+        if self.burst.max(self.rate) < 1.0 {
+            return Cycle::MAX;
+        }
+        let from = cy.max(self.last_cycle);
+        if self.tokens_at(from) >= 1.0 {
+            return from;
+        }
+        // Estimate the elapsed cycles needed, then settle on the exact
+        // first cycle using the same arithmetic `grant` evaluates — the
+        // estimate may be one off either way in floating point.
+        let need = ((1.0 - self.tokens) / self.rate).ceil();
+        let mut at = if need.is_finite() && need >= 1.0 {
+            (self.last_cycle + (need as u64).saturating_sub(1)).max(from)
+        } else {
+            from
+        };
+        while self.tokens_at(at) < 1.0 {
+            at += 1;
+        }
+        at
     }
 
     /// The configured average rate in items per cycle.
@@ -202,6 +260,124 @@ impl<T: Clone + Send> StreamSource<T> for SliceSource<T> {
     fn produced(&self) -> u64 {
         self.produced
     }
+
+    fn next_pull_at(&self, cy: Cycle) -> Cycle {
+        if self.exhausted() {
+            return Cycle::MAX;
+        }
+        // Before the burst latency `pull` returns early without touching
+        // the limiter; afterwards the first productive cycle is the
+        // limiter's next whole-token grant.
+        self.limiter.next_grant_at(cy).max(self.latency)
+    }
+}
+
+/// A [`StreamSource`] delivering an in-memory dataset in fixed-size bursts
+/// on a fixed period — `burst` items become eligible every `period` cycles,
+/// the first burst landing at cycle `latency`.
+///
+/// Models periodically arriving input (a network source delivering packet
+/// batches, a DMA engine completing descriptors) whose average rate sits
+/// well below the pipeline's peak — the regime where the engine's
+/// fast-forward mode skips the idle gaps between bursts. Unreleased items
+/// carry over: a consumer that falls behind can drain the backlog at full
+/// speed.
+///
+/// # Example
+///
+/// ```
+/// use hls_sim::{PacedSource, StreamSource};
+///
+/// // 2 items every 10 cycles, first burst at cycle 5.
+/// let mut src = PacedSource::new(vec![1u32, 2, 3, 4], 2, 10, 5);
+/// let mut out = Vec::new();
+/// assert_eq!(src.pull(4, 16, &mut out), 0);
+/// assert_eq!(src.pull(5, 16, &mut out), 2);
+/// assert_eq!(src.next_pull_at(6), 15); // nothing more until the next burst
+/// assert_eq!(src.pull(15, 16, &mut out), 2);
+/// assert!(src.exhausted());
+/// ```
+#[derive(Debug)]
+pub struct PacedSource<T> {
+    data: Vec<T>,
+    next: usize,
+    produced: u64,
+    burst: usize,
+    period: u64,
+    latency: u64,
+}
+
+impl<T> PacedSource<T> {
+    /// Creates a source over `data` releasing `burst` items every `period`
+    /// cycles, starting at cycle `latency`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst` or `period` is zero.
+    pub fn new(data: Vec<T>, burst: usize, period: u64, latency: u64) -> Self {
+        assert!(burst > 0, "paced source burst must be nonzero");
+        assert!(period > 0, "paced source period must be nonzero");
+        PacedSource {
+            data,
+            next: 0,
+            produced: 0,
+            burst,
+            period,
+            latency,
+        }
+    }
+
+    /// Items released (eligible to pull) by cycle `cy`.
+    fn eligible(&self, cy: Cycle) -> usize {
+        if cy < self.latency {
+            return 0;
+        }
+        let bursts = (cy - self.latency) / self.period + 1;
+        usize::try_from(bursts)
+            .unwrap_or(usize::MAX)
+            .saturating_mul(self.burst)
+            .min(self.data.len())
+    }
+
+    /// Remaining items not yet delivered.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.next
+    }
+}
+
+impl<T: Clone + Send> StreamSource<T> for PacedSource<T> {
+    fn pull(&mut self, cy: Cycle, max: usize, out: &mut Vec<T>) -> usize {
+        let avail = self.eligible(cy).saturating_sub(self.next);
+        let granted = avail.min(max);
+        out.extend_from_slice(&self.data[self.next..self.next + granted]);
+        self.next += granted;
+        self.produced += granted as u64;
+        granted
+    }
+
+    fn exhausted(&self) -> bool {
+        self.next >= self.data.len()
+    }
+
+    fn produced(&self) -> u64 {
+        self.produced
+    }
+
+    fn next_pull_at(&self, cy: Cycle) -> Cycle {
+        if self.exhausted() {
+            return Cycle::MAX;
+        }
+        if cy < self.latency {
+            return self.latency;
+        }
+        if self.eligible(cy) > self.next {
+            return cy;
+        }
+        // All released items consumed: the next burst lands one period
+        // after the last one that already landed.
+        let bursts = (cy - self.latency) / self.period + 1;
+        self.latency + bursts * self.period
+    }
 }
 
 #[cfg(test)]
@@ -250,6 +426,105 @@ mod tests {
         assert_eq!(out, (0u64..10).collect::<Vec<_>>());
         assert!(src.exhausted());
         assert_eq!(src.produced(), 10);
+    }
+
+    #[test]
+    fn rate_limiter_next_grant_matches_grant() {
+        // The predicted cycle must be exactly the first cycle `grant`
+        // releases an item, for awkward fractional rates too.
+        for &rate in &[0.1, 0.3, 0.5, 1.0, 2.5, 8.0] {
+            let rl = RateLimiter::new(rate, 4);
+            let mut probe = rl.clone();
+            let predicted = rl.next_grant_at(1);
+            let mut first = None;
+            for cy in 1..=100 {
+                if probe.grant(cy, 1) > 0 {
+                    first = Some(cy);
+                    break;
+                }
+            }
+            assert_eq!(first, Some(predicted), "rate {rate}");
+        }
+    }
+
+    #[test]
+    fn rate_limiter_zero_grant_calls_are_invisible() {
+        // Calling grant every cycle (all zero-grants) then once, vs once
+        // after the gap, must agree bit-exactly — the fast-forward
+        // equivalence contract.
+        let mut stepped = RateLimiter::new(0.3, 2);
+        let mut jumped = stepped.clone();
+        let mut log_a = Vec::new();
+        for cy in 1..=50 {
+            log_a.push(stepped.grant(cy, 3));
+        }
+        let mut log_b = vec![0; 50];
+        let mut cy = 1;
+        while cy <= 50 {
+            let at = jumped.next_grant_at(cy);
+            if at > 50 {
+                break;
+            }
+            log_b[(at - 1) as usize] = jumped.grant(at, 3);
+            cy = at + 1;
+        }
+        assert_eq!(log_a, log_b);
+    }
+
+    #[test]
+    fn slice_source_next_pull_is_exact() {
+        let mem = MemoryModel::new(4, 10); // 0.5 tuples/cycle for 8-byte tuples
+        let mut src = SliceSource::new((0u64..4).collect(), 8, mem);
+        let mut out = Vec::new();
+        let mut cy = 0;
+        let mut arrivals = Vec::new();
+        while !src.exhausted() {
+            let at = src.next_pull_at(cy);
+            assert!(at >= 10, "latency gates the first pull");
+            let n = src.pull(at, 8, &mut out);
+            assert!(n > 0, "next_pull_at must point at a productive cycle");
+            arrivals.push(at);
+            cy = at + 1;
+        }
+        assert_eq!(out, (0u64..4).collect::<Vec<_>>());
+        // A cycle-by-cycle replay of a fresh source sees the same arrivals.
+        let mut replay = SliceSource::new((0u64..4).collect(), 8, MemoryModel::new(4, 10));
+        let mut replay_arrivals = Vec::new();
+        let mut buf = Vec::new();
+        for cy in 0..100 {
+            if replay.pull(cy, 8, &mut buf) > 0 {
+                replay_arrivals.push(cy);
+            }
+        }
+        assert_eq!(arrivals, replay_arrivals);
+    }
+
+    #[test]
+    fn paced_source_releases_bursts_on_schedule() {
+        let mut src = PacedSource::new((0u32..10).collect(), 3, 100, 20);
+        let mut out = Vec::new();
+        assert_eq!(src.next_pull_at(0), 20);
+        assert_eq!(src.pull(19, 16, &mut out), 0);
+        assert_eq!(src.pull(20, 16, &mut out), 3);
+        assert_eq!(src.next_pull_at(21), 120);
+        assert_eq!(src.pull(120, 16, &mut out), 3);
+        // Backlog carries over when the consumer lags two periods.
+        assert_eq!(src.pull(321, 16, &mut out), 4);
+        assert!(src.exhausted());
+        assert_eq!(src.next_pull_at(400), Cycle::MAX);
+        assert_eq!(src.produced(), 10);
+        assert_eq!(out, (0u32..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn paced_source_partial_pull_keeps_remainder_eligible() {
+        let mut src = PacedSource::new((0u32..8).collect(), 4, 50, 0);
+        let mut out = Vec::new();
+        assert_eq!(src.pull(0, 1, &mut out), 1);
+        // The rest of the burst stays pullable immediately.
+        assert_eq!(src.next_pull_at(1), 1);
+        assert_eq!(src.pull(1, 16, &mut out), 3);
+        assert_eq!(src.next_pull_at(2), 50);
     }
 
     #[test]

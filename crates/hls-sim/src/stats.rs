@@ -70,6 +70,14 @@ impl ThroughputWindow {
         self.window
     }
 
+    /// First cycle at which [`tick`](Self::tick) will complete the current
+    /// window. Every `tick` strictly before this cycle returns `None`
+    /// without mutating the observer — the window's fast-forward hold
+    /// horizon.
+    pub fn next_boundary(&self) -> Cycle {
+        self.last_cycle + self.window
+    }
+
     /// Restarts the window at cycle `cy` and baseline `count` without
     /// emitting a sample.
     pub fn restart(&mut self, cy: Cycle, count: u64) {

@@ -18,6 +18,7 @@ use ditto_core::DittoApp;
 use ditto_serve::{BatchId, Cluster, CompletedBatch, ServeConfig};
 use sketches::{Fixed, HyperLogLog};
 
+use crate::admission::AdmissionConfig;
 use crate::frame::{put_u32, put_u64, ByteReader, FrameError, WireStats};
 
 /// Conventional app ids used by the examples, benches and tests. The
@@ -333,6 +334,9 @@ impl<A: WireApp> HostedCluster for Host<A> {
 #[derive(Default)]
 pub struct AppRegistry {
     pub(crate) apps: HashMap<u16, Box<dyn HostedCluster>>,
+    /// Per-app admission overrides; apps without an entry use the server's
+    /// [`WireServerConfig`](crate::WireServerConfig) admission policy.
+    pub(crate) admissions: HashMap<u16, AdmissionConfig>,
 }
 
 impl AppRegistry {
@@ -357,6 +361,26 @@ impl AppRegistry {
         };
         let prev = self.apps.insert(id, Box::new(host));
         assert!(prev.is_none(), "app id {id} registered twice");
+        self
+    }
+
+    /// [`register`](Self::register) with a per-app admission budget: this
+    /// app's submits are evaluated against `admission` instead of the
+    /// server-wide policy, so one noisy app sheds at its own watermark
+    /// while the others keep serving under the default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already registered.
+    pub fn register_with_admission<A: WireApp>(
+        &mut self,
+        id: u16,
+        app: A,
+        config: ServeConfig,
+        admission: AdmissionConfig,
+    ) -> &mut Self {
+        self.register(id, app, config);
+        self.admissions.insert(id, admission);
         self
     }
 

@@ -102,6 +102,9 @@ struct Waiter {
 struct HostState {
     host: Box<dyn HostedCluster>,
     waiters: HashMap<BatchId, Waiter>,
+    /// This app's admission budget: the registry's per-app override, or
+    /// the server-wide policy.
+    admission: AdmissionController,
 }
 
 impl HostState {
@@ -139,10 +142,8 @@ impl HostState {
 
 struct ServerShared {
     apps: HashMap<u16, Mutex<HostState>>,
-    admission: AdmissionController,
     stopping: AtomicBool,
     connections_accepted: AtomicU64,
-    defer_wait: Duration,
 }
 
 /// Final accounting returned by [`WireServer::shutdown`].
@@ -181,25 +182,30 @@ impl WireServer {
     ) -> std::io::Result<WireServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let apps = registry
-            .apps
+        let AppRegistry {
+            apps,
+            mut admissions,
+        } = registry;
+        let apps = apps
             .into_iter()
             .map(|(id, host)| {
+                let policy = admissions
+                    .remove(&id)
+                    .unwrap_or_else(|| config.admission.clone());
                 (
                     id,
                     Mutex::new(HostState {
                         host,
                         waiters: HashMap::new(),
+                        admission: AdmissionController::new(policy),
                     }),
                 )
             })
             .collect();
         let shared = Arc::new(ServerShared {
             apps,
-            admission: AdmissionController::new(config.admission.clone()),
             stopping: AtomicBool::new(false),
             connections_accepted: AtomicU64::new(0),
-            defer_wait: config.admission.defer_wait,
         });
         let conns = Arc::new(Mutex::new(Vec::new()));
 
@@ -462,7 +468,7 @@ fn handle_submit(
             let _ = resp.send(reply.into_frame(frame.app, frame.seq));
             return;
         }
-        let decision = {
+        let defer_wait = {
             let mut st = state.lock().expect("host state poisoned");
             // Re-check under the lock: shutdown fails all waiters while
             // holding it, so a submit that slips past the flag check above
@@ -476,7 +482,7 @@ fn handle_submit(
                 return;
             }
             let depth = st.host.queue_depth();
-            match shared.admission.evaluate(depth, attempt) {
+            match st.admission.evaluate(depth, attempt) {
                 AdmissionDecision::Admit => {
                     let id = st.host.submit(batch.take().expect("batch present"));
                     st.waiters.insert(
@@ -490,22 +496,21 @@ fn handle_submit(
                     );
                     return;
                 }
-                AdmissionDecision::Defer => AdmissionDecision::Defer,
+                AdmissionDecision::Defer => st.admission.config().defer_wait,
                 AdmissionDecision::Shed => {
                     st.host.record_shed(n_tuples);
                     let reply = Response::Overloaded {
                         queue_depth: depth,
-                        watermark: shared.admission.config().max_queue_tuples,
+                        watermark: st.admission.config().max_queue_tuples,
                     };
                     let _ = resp.send(reply.into_frame(frame.app, frame.seq));
                     return;
                 }
             }
         };
-        debug_assert_eq!(decision, AdmissionDecision::Defer);
         // Defer outside the lock so the pump and other connections proceed.
         attempt += 1;
-        std::thread::sleep(shared.defer_wait);
+        std::thread::sleep(defer_wait);
     }
 }
 

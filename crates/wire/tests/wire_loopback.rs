@@ -220,6 +220,66 @@ fn overload_sheds_instead_of_queueing() {
 }
 
 #[test]
+fn per_app_admission_budgets_isolate_apps() {
+    // Two apps on one server: the "strict" app carries its own tiny
+    // admission budget (half a batch, no defer) while the "lenient" one
+    // uses the permissive server-wide policy. Flooding both must force the
+    // strict app into Overloaded without the lenient app shedding anything.
+    const STRICT: u16 = 7;
+    const LENIENT: u16 = 8;
+    let app = HistoApp::new(256, 8);
+    let arch = ArchConfig::new(4, 8, 3).with_pe_entries(app.pe_entries());
+    let mut registry = AppRegistry::new();
+    registry.register_with_admission(
+        STRICT,
+        app.clone(),
+        ServeConfig::new(SHARDS, arch.clone()),
+        AdmissionConfig::new()
+            .with_watermark(BATCH as u64 / 2)
+            .with_defer(0, std::time::Duration::ZERO),
+    );
+    registry.register(LENIENT, app.clone(), ServeConfig::new(SHARDS, arch));
+    let server = WireServer::bind("127.0.0.1:0", registry, WireServerConfig::new()).expect("bind");
+    let mut client = WireClient::connect(server.local_addr()).expect("connect");
+
+    let data = zipf3(71);
+    let batches = split_into_batches(&data, BATCH);
+    let total = batches.len() as u64;
+    // Interleave the flood so both apps see the same arrival pattern.
+    for batch in &batches {
+        client.submit(STRICT, batch).expect("submit strict");
+        client.submit(LENIENT, batch).expect("submit lenient");
+    }
+    let mut strict_done = 0u64;
+    let mut strict_shed = 0u64;
+    let mut lenient_done = 0u64;
+    for _ in 0..2 * total {
+        let (_, app_id, resp) = client.recv().expect("response");
+        match (app_id, resp) {
+            (STRICT, Response::Done { .. }) => strict_done += 1,
+            (STRICT, Response::Overloaded { watermark, .. }) => {
+                assert_eq!(watermark, BATCH as u64 / 2, "strict app's own budget");
+                strict_shed += 1;
+            }
+            (LENIENT, Response::Done { .. }) => lenient_done += 1,
+            (id, other) => panic!("unexpected response for app {id}: {other:?}"),
+        }
+    }
+    assert!(strict_shed > 0, "strict app never hit its budget");
+    assert_eq!(strict_done + strict_shed, total);
+    assert_eq!(lenient_done, total, "lenient app must keep serving");
+
+    let strict_stats = client.stats(STRICT).expect("stats");
+    assert_eq!(strict_stats.batches_shed, strict_shed);
+    let lenient_stats = client.stats(LENIENT).expect("stats");
+    assert_eq!(lenient_stats.batches_shed, 0);
+    assert_eq!(lenient_stats.batches_completed, total);
+
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
 fn graceful_shutdown_drains_in_flight_batches() {
     let app = HistoApp::new(64, 4);
     let arch = ArchConfig::new(2, 4, 1).with_pe_entries(app.pe_entries());
