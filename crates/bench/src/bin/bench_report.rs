@@ -51,6 +51,7 @@ fn routing_point(alpha: f64, x: u32, tuples: usize) -> u64 {
 }
 
 fn main() {
+    ditto_obs::env::log_active();
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_1.json".to_owned());

@@ -8,6 +8,7 @@ use ditto_graph::generate;
 use fpga_model::{mteps, AppCostProfile};
 
 fn main() {
+    ditto_obs::env::log_active();
     println!("# Fig. 8 — PR on undirected graphs (MTEPS), Ditto vs Chen et al. [8]");
     let scale_down: usize = std::env::var("DITTO_GRAPH_SCALE")
         .ok()

@@ -24,6 +24,7 @@ fn gbps(tpc: f64, freq_mhz: f64) -> f64 {
 }
 
 fn main() {
+    ditto_obs::env::log_active();
     let overhead: u64 = std::env::var("DITTO_REQUEUE_OVERHEAD")
         .ok()
         .and_then(|s| s.parse().ok())

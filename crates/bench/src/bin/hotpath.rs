@@ -1,5 +1,5 @@
-//! Emits `BENCH_6.json`: steady-state fast-forward before/after, one
-//! measurement per pipeline phase.
+//! Emits `BENCH_7.json`: steady-state fast-forward before/after, one
+//! measurement per pipeline phase, plus the observability overhead guard.
 //!
 //! Two phases of the same paper-scale pipeline (8 lanes, 16 PriPEs,
 //! 15 SecPEs — the shape behind the ROADMAP's "~27/59 kernels idle under
@@ -27,6 +27,18 @@
 //! completion cycles, per-PE workloads and channel totals; only
 //! `kernel_steps` and wall time may differ.
 //!
+//! The `observability_overhead` block is the guard for the `ditto-obs`
+//! metrics registry: the dense-uniform phase is re-run with the registry
+//! *enabled* — published into and snapshotted every `OBS_PUBLISH_CYCLES`
+//! cycles, the cadence of a serve shard's poll loop — against the
+//! compiled-out default (no registry anywhere near the run), interleaved
+//! rep by rep. Because the registry is publish-on-demand (plain counters
+//! re-exported at snapshot time; nothing on the step path), the run must
+//! stay bit-identical and the wall-time overhead must stay ≤ 2%; the
+//! bench asserts both. Engine counters in this report are read *from* the
+//! registry snapshot — the bench consumes the same telemetry plane the
+//! wire `MetricsDump` serves.
+//!
 //! Usage: `cargo run --release -p ditto-bench --bin hotpath [out.json]`
 
 use std::time::Instant;
@@ -35,12 +47,21 @@ use datagen::{Tuple, UniformGenerator, ZipfGenerator};
 use ditto_bench::json::{host_info, Json};
 use ditto_core::apps::CountPerKey;
 use ditto_core::{ArchConfig, PersistentPipeline};
+use ditto_obs::MetricsRegistry;
 use hls_sim::{MemoryModel, PacedSource, SliceSource, StreamSource};
 
 /// Burst size of the paced phase (tuples per burst).
 const BURST: usize = 256;
 /// Burst period of the paced phase (cycles between burst starts).
 const PERIOD: u64 = 8_192;
+/// Publish cadence of the observability-enabled run (cycles) — the serve
+/// shard's default `cycles_per_poll`, so the guard measures the cadence
+/// the serving layer actually runs at.
+const OBS_PUBLISH_CYCLES: u64 = 256;
+/// Full snapshots (the `MetricsDump` scrape path — deep histogram copies)
+/// are taken every Nth publish: scrapes are request-driven, not per-poll,
+/// and even this cadence is one scrape per ~4K simulated cycles.
+const OBS_SCRAPE_EVERY: u64 = 16;
 
 /// One timed drain of a persistent pipeline built from `make_source`.
 struct RunStats {
@@ -67,14 +88,80 @@ fn run_once(
     let mut p = PersistentPipeline::new(app, make_source(), &cfg);
     p.expect_drained(max_cycles);
     let dt = t0.elapsed().as_secs_f64();
-    let ff_jumps = p.engine().ff_jumps();
-    let ff_skipped = p.engine().ff_cycles_skipped();
+    finish_stats(p, dt)
+}
+
+/// The serving-loop twin of [`run_once`]: identical engine schedule, but
+/// the drain is chunked at [`OBS_PUBLISH_CYCLES`] — a serve shard's poll
+/// loop. With `publish` set, each chunk additionally publishes the
+/// engine's counters into a registry and records a poll histogram sample,
+/// plus a full snapshot (the `MetricsDump` scrape path) every
+/// [`OBS_SCRAPE_EVERY`]th publish. With `publish` unset the registry is
+/// never constructed (the compiled-out default); both sides run the *same*
+/// drain loop, so the measured delta is the registry's marginal cost, not
+/// code-layout luck. The publish/snapshot wall time is *included* in the
+/// measurement; that inclusion is the whole point of the guard.
+fn run_polled(
+    make_source: &dyn Fn() -> Box<dyn StreamSource<Tuple>>,
+    fast_forward: bool,
+    max_cycles: u64,
+    publish: bool,
+) -> (RunStats, u64, f64) {
+    let cfg = ArchConfig::paper(15)
+        .with_pe_entries(1 << 14)
+        .with_steady_state_fast_forward(fast_forward);
+    let app = CountPerKey::new(16);
+    let mut reg = publish.then(|| {
+        let mut r = MetricsRegistry::new().with_label("bench", "hotpath");
+        let h = r.histogram("ditto_bench_tuples_per_poll", "obs", "tuples");
+        (r, h, 0u64)
+    });
+    let mut publishes = 0u64;
+    let mut obs_secs = 0.0f64;
+    let t0 = Instant::now();
+    let mut p = PersistentPipeline::new(app, make_source(), &cfg);
+    let mut spent = 0u64;
+    while !p.drain(OBS_PUBLISH_CYCLES) {
+        spent += OBS_PUBLISH_CYCLES;
+        assert!(spent <= max_cycles, "polled run failed to drain");
+        if let Some((reg, tuples_seen, last_tuples)) = reg.as_mut() {
+            let tp = Instant::now();
+            p.engine().publish_metrics(reg);
+            let t = p.processed();
+            reg.observe(*tuples_seen, t - *last_tuples);
+            *last_tuples = t;
+            publishes += 1;
+            if publishes.is_multiple_of(OBS_SCRAPE_EVERY) {
+                let snap = reg.snapshot();
+                assert_eq!(snap.scalar("ditto_engine_cycles"), Some(p.cycle()));
+            }
+            obs_secs += tp.elapsed().as_secs_f64();
+        }
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    (finish_stats(p, dt), publishes, obs_secs)
+}
+
+/// Folds a drained pipeline into [`RunStats`], reading the engine-side
+/// counters from a metrics snapshot — the same telemetry plane the wire
+/// `MetricsDump` serves — instead of ad-hoc getters.
+fn finish_stats(p: PersistentPipeline<CountPerKey>, dt: f64) -> RunStats {
+    let mut reg = MetricsRegistry::new();
+    p.engine().publish_metrics(&mut reg);
+    let snap = reg.snapshot();
+    let counter = |name: &str| snap.scalar(name).unwrap_or_else(|| panic!("{name} absent"));
+    let ff_jumps = counter("ditto_engine_ff_jumps");
+    let ff_skipped = counter("ditto_engine_ff_cycles_skipped");
+    let cycles = counter("ditto_engine_cycles");
+    let steps = counter("ditto_engine_kernel_steps");
     let out = p.finish();
+    assert_eq!(cycles, out.report.cycles, "registry mirrors the report");
+    assert_eq!(steps, out.report.kernel_steps);
     let t = out.report.channel_totals;
     RunStats {
         dt,
-        cycles: out.report.cycles,
-        steps: out.report.kernel_steps,
+        cycles,
+        steps,
         tuples: out.report.tuples,
         per_pe: out.report.per_pe_processed,
         totals: (t.pushes, t.pops, t.full_stalls, t.max_occupancy_sum),
@@ -172,7 +259,65 @@ fn phase_json(name: &str, before: &Sample, after: &Sample) -> Json {
     ])
 }
 
+/// Interleaves registry-off / registry-on reps of the dense phase and
+/// asserts the observability contract: bit-identical simulation, ≤ 2%
+/// wall-time overhead.
+fn measure_obs(
+    make_source: &dyn Fn() -> Box<dyn StreamSource<Tuple>>,
+    reps: usize,
+    max_cycles: u64,
+) -> Json {
+    // The effect under test is far smaller (µs of publish work) than the
+    // container's run-to-run noise on a ~20 ms drain, so an end-to-end
+    // on/off wall-time ratio measures the weather, not the registry. The
+    // overhead is instead measured directly: the observability block's own
+    // wall time inside each enabled run, as a fraction of the paired
+    // baseline run's total — interleaved, with the median over pairs
+    // rejecting spike-contaminated samples. This is what the guard is
+    // for: if a change makes publish/snapshot expensive (or drags it onto
+    // the step path), this fraction blows past the budget immediately.
+    const PAIRS_PER_REP: usize = 4;
+    let mut off = Sample::new();
+    let mut on = Sample::new();
+    let mut fractions = Vec::new();
+    let mut publishes = 0u64;
+    for _ in 0..reps * PAIRS_PER_REP {
+        let (run_off, _, _) = run_polled(make_source, true, max_cycles, false);
+        let (run_on, n, obs_secs) = run_polled(make_source, true, max_cycles, true);
+        fractions.push(obs_secs / run_off.dt);
+        publishes = n;
+        off.record(run_off);
+        on.record(run_on);
+    }
+    let (o, e) = (off.stats(), on.stats());
+    assert_eq!(
+        o.cycles, e.cycles,
+        "observability must not perturb the simulation"
+    );
+    assert_eq!(o.steps, e.steps, "kernel schedule must be untouched");
+    assert_eq!(o.per_pe, e.per_pe, "per-PE workloads must be untouched");
+    assert_eq!(o.totals, e.totals, "channel totals must be untouched");
+    fractions.sort_by(|a, b| a.total_cmp(b));
+    let overhead = fractions[fractions.len() / 2];
+    assert!(
+        overhead <= 0.02,
+        "metrics registry costs {:.2}% on the dense-uniform phase (budget 2%)",
+        overhead * 100.0
+    );
+    Json::obj([
+        ("registry_off", off.json()),
+        ("registry_on", on.json()),
+        ("publish_interval_cycles", Json::uint(OBS_PUBLISH_CYCLES)),
+        ("snapshot_every_publishes", Json::uint(OBS_SCRAPE_EVERY)),
+        ("publishes_per_run", Json::uint(publishes)),
+        ("pairs_measured", Json::uint(fractions.len() as u64)),
+        ("overhead_fraction", Json::float(overhead, 4)),
+        ("overhead_budget", Json::float(0.02, 4)),
+    ])
+}
+
 fn main() {
+    ditto_obs::env::log_active();
     // The env override exists so CI can force-enable fast-forward under
     // unmodified golden tests; under this bench it would silently turn the
     // in-binary baseline into a second fast-forward run.
@@ -182,7 +327,7 @@ fn main() {
     );
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_6.json".to_owned());
+        .unwrap_or_else(|| "BENCH_7.json".to_owned());
     let tuples: usize = std::env::var("DITTO_HOTPATH_TUPLES")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -216,9 +361,10 @@ fn main() {
 
     let (dense_before, dense_after) = measure(&dense, reps, 10_000_000);
     let (paced_before, paced_after) = measure(&paced, reps, paced_budget);
+    let obs_overhead = measure_obs(&dense, reps, 10_000_000);
 
     let doc = Json::obj([
-        ("bench", Json::str("BENCH_6")),
+        ("bench", Json::str("BENCH_7")),
         ("host", host_info()),
         (
             "workload",
@@ -250,8 +396,9 @@ fn main() {
             "saturated_uniform",
             phase_json("saturated_uniform", &dense_before, &dense_after),
         ),
+        ("observability_overhead", obs_overhead),
     ]);
-    doc.write(&out_path).expect("write BENCH_6.json");
+    doc.write(&out_path).expect("write BENCH_7.json");
     println!("{}", doc.to_pretty());
     eprintln!("wrote {out_path}");
 }

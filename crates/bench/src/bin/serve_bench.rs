@@ -161,6 +161,7 @@ fn serve_point(shards: usize, alpha: f64, qps: Option<f64>, tuples: usize) -> Se
 }
 
 fn main() {
+    ditto_obs::env::log_active();
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_2.json".to_owned());

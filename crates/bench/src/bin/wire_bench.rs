@@ -114,6 +114,7 @@ fn point_row(
 }
 
 fn main() {
+    ditto_obs::env::log_active();
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_5.json".to_owned());

@@ -163,6 +163,28 @@ impl ChannelStats {
     }
 }
 
+/// Allocation-free sum of every channel's statistics, folded with the same
+/// per-reader expansion as [`SimContext::channel_stats`]
+/// (one row per plain channel, one per broadcast reader tap) but without
+/// cloning any debug name. This is what a periodic observability publish
+/// reads: the full [`ChannelStats`] snapshot costs one `String` per
+/// channel per call, which a per-poll cadence cannot afford.
+///
+/// [`SimContext::channel_stats`]: crate::SimContext::channel_stats
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelAggregate {
+    /// Total successful pushes (broadcast pushes counted once per tap).
+    pub pushes: u64,
+    /// Total successful pops.
+    pub pops: u64,
+    /// Total rejected pushes (producer stalls on full FIFOs).
+    pub full_stalls: u64,
+    /// Highest occupancy high-water mark of any single channel/tap.
+    pub max_occupancy: usize,
+    /// Number of (reader-expanded) channels folded in.
+    pub channels: usize,
+}
+
 pub(crate) struct QueueSlot<T> {
     pub(crate) value: T,
     pub(crate) visible_at: Cycle,
@@ -268,6 +290,14 @@ impl<T> ChannelCore<T> {
             max_occupancy: self.max_occupancy,
             occupancy: self.queue.len(),
         }
+    }
+
+    pub(crate) fn accumulate(&self, agg: &mut ChannelAggregate) {
+        agg.pushes += self.pushes;
+        agg.pops += self.pops;
+        agg.full_stalls += self.full_stalls;
+        agg.max_occupancy = agg.max_occupancy.max(self.max_occupancy);
+        agg.channels += 1;
     }
 }
 
@@ -613,6 +643,16 @@ impl<T> BroadcastCore<T> {
             occupancy: self.occupancy(r),
         }
     }
+
+    pub(crate) fn accumulate(&self, agg: &mut ChannelAggregate) {
+        for r in 0..self.cursors.len() {
+            agg.pushes += self.pushes;
+            agg.pops += self.pops[r];
+            agg.full_stalls += self.full_stalls;
+            agg.max_occupancy = agg.max_occupancy.max(self.max_occupancy[r]);
+            agg.channels += 1;
+        }
+    }
 }
 
 /// Type-erased arena slot: the concrete `ChannelCore<T>`/`BroadcastCore<T>`
@@ -623,6 +663,7 @@ impl<T> BroadcastCore<T> {
 pub(crate) struct ArenaSlot {
     pub(crate) core: Box<dyn Any + Send>,
     stats_fn: fn(&dyn Any, &mut Vec<ChannelStats>),
+    totals_fn: fn(&dyn Any, &mut ChannelAggregate),
     /// `Some` only for auto-advancing broadcast slots.
     pub(crate) advance_fn: Option<fn(&mut dyn Any, Cycle) -> u64>,
     /// Earliest upcoming cold-tap catch-up event of an auto-advancing
@@ -638,9 +679,14 @@ impl ArenaSlot {
             let core = any.downcast_ref::<ChannelCore<T>>().expect("slot type");
             out.push(core.stats());
         }
+        fn totals<T: Send + 'static>(any: &dyn Any, agg: &mut ChannelAggregate) {
+            let core = any.downcast_ref::<ChannelCore<T>>().expect("slot type");
+            core.accumulate(agg);
+        }
         ArenaSlot {
             core: Box::new(core),
             stats_fn: report::<T>,
+            totals_fn: totals::<T>,
             advance_fn: None,
             next_event_fn: None,
         }
@@ -661,10 +707,15 @@ impl ArenaSlot {
             let core = any.downcast_ref::<BroadcastCore<T>>().expect("slot type");
             core.next_cold_event()
         }
+        fn totals<T: Send + 'static>(any: &dyn Any, agg: &mut ChannelAggregate) {
+            let core = any.downcast_ref::<BroadcastCore<T>>().expect("slot type");
+            core.accumulate(agg);
+        }
         let auto = core.relevance.is_some();
         ArenaSlot {
             core: Box::new(core),
             stats_fn: report::<T>,
+            totals_fn: totals::<T>,
             advance_fn: auto.then_some(advance::<T> as _),
             next_event_fn: auto.then_some(next_event::<T> as _),
         }
@@ -672,6 +723,10 @@ impl ArenaSlot {
 
     pub(crate) fn push_stats(&self, out: &mut Vec<ChannelStats>) {
         (self.stats_fn)(&*self.core, out);
+    }
+
+    pub(crate) fn push_totals(&self, agg: &mut ChannelAggregate) {
+        (self.totals_fn)(&*self.core, agg);
     }
 }
 

@@ -4,8 +4,8 @@
 use crate::channel::{ArenaSlot, BroadcastCore, ChannelCore};
 use crate::state::StateArena;
 use crate::{
-    BcastReceiverId, BcastSenderId, ChannelStats, CounterId, Cycle, RawChannelId, ReceiverId,
-    SendError, SenderId, StateId,
+    BcastReceiverId, BcastSenderId, ChannelAggregate, ChannelStats, CounterId, Cycle, RawChannelId,
+    ReceiverId, SendError, SenderId, StateId,
 };
 
 /// Wake subscribers of one channel event, compact in the (overwhelmingly
@@ -647,6 +647,19 @@ impl SimContext {
             ch.push_stats(&mut out);
         }
         out
+    }
+
+    /// Sums every channel's statistics without materialising the
+    /// per-channel rows (or cloning their debug names) — the cheap
+    /// aggregate a periodic observability publish reads. Folds with the
+    /// same reader-tap expansion as [`channel_stats`](Self::channel_stats),
+    /// so the totals match exactly.
+    pub fn channel_aggregate(&self) -> ChannelAggregate {
+        let mut agg = ChannelAggregate::default();
+        for ch in &self.channels {
+            ch.push_totals(&mut agg);
+        }
+        agg
     }
 }
 

@@ -337,6 +337,39 @@ impl Engine {
         self.ctx.channel_stats()
     }
 
+    /// Publishes the engine's counters into an observability registry —
+    /// the engine layer's contribution to a cross-layer metrics snapshot.
+    ///
+    /// Publish-on-demand by design: nothing here touches the step path
+    /// (the counters already exist; this re-exports them as absolute
+    /// values at snapshot time), so enabling observability cannot perturb
+    /// cycle-equivalence goldens.
+    pub fn publish_metrics(&self, reg: &mut ditto_obs::MetricsRegistry) {
+        let cycles = reg.counter("ditto_engine_cycles", "engine", "cycles");
+        let steps = reg.counter("ditto_engine_kernel_steps", "engine", "items");
+        let jumps = reg.counter("ditto_engine_ff_jumps", "engine", "items");
+        let skipped = reg.counter("ditto_engine_ff_cycles_skipped", "engine", "cycles");
+        let kernels = reg.gauge("ditto_engine_kernels", "engine", "kernels");
+        let active = reg.gauge("ditto_engine_active_kernels", "engine", "kernels");
+        reg.set_counter(cycles, self.cycle);
+        reg.set_counter(steps, self.steps_executed);
+        reg.set_counter(jumps, self.ff_jumps);
+        reg.set_counter(skipped, self.ff_cycles_skipped);
+        reg.set_gauge(kernels, self.kernels.len() as u64);
+        reg.set_gauge(active, self.ctx.awake_count as u64);
+        // The allocation-free aggregate, not the per-channel snapshot: a
+        // per-poll publish cannot afford one name clone per channel.
+        let agg = self.ctx.channel_aggregate();
+        let h_pushes = reg.counter("ditto_engine_channel_pushes", "engine", "items");
+        let h_pops = reg.counter("ditto_engine_channel_pops", "engine", "items");
+        let h_stalls = reg.counter("ditto_engine_channel_full_stalls", "engine", "items");
+        let h_occ = reg.gauge("ditto_engine_channel_max_occupancy", "engine", "items");
+        reg.set_counter(h_pushes, agg.pushes);
+        reg.set_counter(h_pops, agg.pops);
+        reg.set_counter(h_stalls, agg.full_stalls);
+        reg.set_gauge(h_occ, agg.max_occupancy as u64);
+    }
+
     /// Executes exactly one clock cycle: every awake kernel steps once, in
     /// registration order.
     ///

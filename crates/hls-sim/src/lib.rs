@@ -113,8 +113,8 @@ mod state;
 mod stats;
 
 pub use channel::{
-    BcastReceiverId, BcastSenderId, ChannelStats, RawChannelId, ReceiverId, SendError, SenderId,
-    TapRecv, TapRelevance, DEFAULT_LATENCY,
+    BcastReceiverId, BcastSenderId, ChannelAggregate, ChannelStats, RawChannelId, ReceiverId,
+    SendError, SenderId, TapRecv, TapRelevance, DEFAULT_LATENCY,
 };
 pub use context::SimContext;
 pub use engine::{Engine, RunReport};

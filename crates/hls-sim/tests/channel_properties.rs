@@ -289,3 +289,76 @@ fn auto_advance_broadcast_matches_reference_model() {
         assert_eq!(delivered, model_delivered, "case {case} delivered items");
     }
 }
+
+/// The allocation-free `channel_aggregate` equals a fold of the full
+/// per-channel `channel_stats` snapshot, across random mixes of plain and
+/// broadcast channels under random traffic.
+#[test]
+fn channel_aggregate_matches_stats_fold() {
+    let mut s = 0xa66au64;
+    for case in 0..64 {
+        let mut engine = Engine::new();
+        let plain = 1 + (splitmix(&mut s) % 4) as usize;
+        let bcast = (splitmix(&mut s) % 3) as usize;
+        let mut txs = Vec::new();
+        let mut rxs = Vec::new();
+        for i in 0..plain {
+            let capacity = 1 + (splitmix(&mut s) % 7) as usize;
+            let (tx, rx) = engine.channel::<u64>(&format!("p{i}"), capacity);
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let mut btxs = Vec::new();
+        let mut brxs = Vec::new();
+        for i in 0..bcast {
+            let capacity = 1 + (splitmix(&mut s) % 7) as usize;
+            let readers = 1 + (splitmix(&mut s) % 4) as usize;
+            let (btx, brx) = engine.broadcast_channel::<u64>(&format!("b{i}"), readers, capacity);
+            btxs.push(btx);
+            brxs.push(brx);
+        }
+        let ctx = engine.context_mut();
+        for cy in 0..300u64 {
+            let roll = splitmix(&mut s);
+            match roll % 4 {
+                0 => {
+                    let _ = ctx.try_send(cy, txs[roll as usize / 4 % plain], cy);
+                }
+                1 => {
+                    let _ = ctx.try_recv(cy, rxs[roll as usize / 4 % plain]);
+                }
+                2 if bcast > 0 => {
+                    let _ = ctx.bcast_try_send(cy, btxs[roll as usize / 4 % bcast], cy);
+                }
+                _ if bcast > 0 => {
+                    let taps = &brxs[roll as usize / 4 % bcast];
+                    let _ = ctx.bcast_recv_map(cy, taps[roll as usize / 8 % taps.len()], |&v| v);
+                }
+                _ => {}
+            }
+        }
+        let stats = ctx.channel_stats();
+        let agg = ctx.channel_aggregate();
+        assert_eq!(agg.channels, stats.len(), "case {case}");
+        assert_eq!(
+            agg.pushes,
+            stats.iter().map(|c| c.pushes).sum::<u64>(),
+            "case {case}"
+        );
+        assert_eq!(
+            agg.pops,
+            stats.iter().map(|c| c.pops).sum::<u64>(),
+            "case {case}"
+        );
+        assert_eq!(
+            agg.full_stalls,
+            stats.iter().map(|c| c.full_stalls).sum::<u64>(),
+            "case {case}"
+        );
+        assert_eq!(
+            agg.max_occupancy,
+            stats.iter().map(|c| c.max_occupancy).max().unwrap_or(0),
+            "case {case}"
+        );
+    }
+}

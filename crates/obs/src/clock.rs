@@ -1,0 +1,51 @@
+//! A process-global monotone microsecond clock.
+//!
+//! Span events recorded on different threads (the wire reader, shard
+//! workers, the completion pump) must carry *comparable* timestamps so a
+//! batch's flame row stays monotone across layer boundaries. `Instant` is
+//! monotonic process-wide, so all stamps are microseconds since one shared
+//! epoch, pinned the first time any thread asks for the time.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// The shared epoch (pinned on first use).
+pub fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds elapsed since the shared epoch.
+pub fn wall_us_now() -> u64 {
+    wall_us_of(Instant::now())
+}
+
+/// Converts an `Instant` captured earlier (e.g. a frame's receive time) to
+/// microseconds since the shared epoch. Instants predating the epoch clamp
+/// to 0.
+pub fn wall_us_of(t: Instant) -> u64 {
+    t.saturating_duration_since(epoch()).as_micros() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotone_and_convertible() {
+        let a = wall_us_now();
+        let mid = Instant::now();
+        let b = wall_us_of(mid);
+        let c = wall_us_now();
+        assert!(a <= b && b <= c);
+    }
+
+    #[test]
+    fn pre_epoch_instants_clamp_to_zero() {
+        // `epoch()` is already pinned by the time this runs in-process; an
+        // instant captured before the pin (simulated here by the epoch
+        // itself) converts without underflow.
+        assert_eq!(wall_us_of(epoch()), 0);
+    }
+}

@@ -1,0 +1,289 @@
+//! Compact binary encoding for [`MetricsSnapshot`]s — the payload the wire
+//! layer ships inside a `MetricsDump` frame.
+//!
+//! Little-endian, length-prefixed, version-tagged. Decoding is
+//! fuzz-resistant: every read is bounds-checked, every length prefix is
+//! validated against the bytes actually remaining before any allocation,
+//! and histogram bucket indices are range-checked — malformed input yields
+//! `Err`, never a panic or an attacker-sized allocation.
+//!
+//! Layout (version 1):
+//!
+//! ```text
+//! u8  version
+//! u32 entry_count
+//! entry := str16 name · str16 layer · str16 unit
+//!          u16 label_count · (str16 key · str16 value)*
+//!          u8 kind            0 = counter, 1 = gauge, 2 = histogram
+//!          counter/gauge: u64 value
+//!          histogram:     u64 count · u64 sum_lo · u64 sum_hi ·
+//!                         u64 min · u64 max ·
+//!                         u32 sparse_len · (u32 bucket · u64 count)*
+//! str16 := u16 length · UTF-8 bytes
+//! ```
+
+use crate::hist::{LogHistogram, BUCKETS};
+use crate::registry::{MetricDesc, MetricEntry, MetricValue, MetricsSnapshot};
+
+/// Codec version emitted by [`encode_snapshot`].
+pub const CODEC_VERSION: u8 = 1;
+
+const KIND_COUNTER: u8 = 0;
+const KIND_GAUGE: u8 = 1;
+const KIND_HISTOGRAM: u8 = 2;
+
+fn put_str16(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    let len = u16::try_from(bytes.len()).expect("metric strings fit in u16");
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// Serialises a snapshot to the version-1 binary form.
+pub fn encode_snapshot(snap: &MetricsSnapshot) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + snap.entries.len() * 64);
+    out.push(CODEC_VERSION);
+    out.extend_from_slice(&(snap.entries.len() as u32).to_le_bytes());
+    for e in &snap.entries {
+        put_str16(&mut out, &e.desc.name);
+        put_str16(&mut out, &e.desc.layer);
+        put_str16(&mut out, &e.desc.unit);
+        out.extend_from_slice(&(e.desc.labels.len() as u16).to_le_bytes());
+        for (k, v) in &e.desc.labels {
+            put_str16(&mut out, k);
+            put_str16(&mut out, v);
+        }
+        match &e.value {
+            MetricValue::Counter(v) => {
+                out.push(KIND_COUNTER);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            MetricValue::Gauge(v) => {
+                out.push(KIND_GAUGE);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            MetricValue::Histogram(h) => {
+                out.push(KIND_HISTOGRAM);
+                out.extend_from_slice(&h.count().to_le_bytes());
+                let sum = h.sum();
+                out.extend_from_slice(&(sum as u64).to_le_bytes());
+                out.extend_from_slice(&((sum >> 64) as u64).to_le_bytes());
+                out.extend_from_slice(&h.min().to_le_bytes());
+                out.extend_from_slice(&h.max().to_le_bytes());
+                let sparse = h.sparse_buckets();
+                out.extend_from_slice(&(sparse.len() as u32).to_le_bytes());
+                for (i, c) in sparse {
+                    out.extend_from_slice(&i.to_le_bytes());
+                    out.extend_from_slice(&c.to_le_bytes());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A bounds-checked little-endian reader over untrusted bytes.
+struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.remaining() < n {
+            return Err(format!(
+                "truncated snapshot: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.remaining()
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str16(&mut self) -> Result<String, String> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "non-UTF-8 metric string".to_owned())
+    }
+
+    /// Guards a count prefix against allocation attacks: `count` items of
+    /// at least `min_item_bytes` each must fit in the remaining input.
+    fn expect_items(&self, count: usize, min_item_bytes: usize) -> Result<(), String> {
+        let need = count.saturating_mul(min_item_bytes);
+        if need > self.remaining() {
+            return Err(format!(
+                "length prefix {count} exceeds remaining {} bytes",
+                self.remaining()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Decodes a version-1 binary snapshot. Errors (never panics) on truncated,
+/// oversized, or otherwise malformed input.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<MetricsSnapshot, String> {
+    let mut r = ByteReader::new(bytes);
+    let version = r.u8()?;
+    if version != CODEC_VERSION {
+        return Err(format!("unsupported snapshot codec version {version}"));
+    }
+    let entry_count = r.u32()? as usize;
+    // Smallest possible entry: three empty str16s + label count + kind + u64.
+    r.expect_items(entry_count, 2 + 2 + 2 + 2 + 1 + 8)?;
+    let mut entries = Vec::with_capacity(entry_count);
+    for _ in 0..entry_count {
+        let name = r.str16()?;
+        let layer = r.str16()?;
+        let unit = r.str16()?;
+        let label_count = r.u16()? as usize;
+        r.expect_items(label_count, 4)?;
+        let mut labels = Vec::with_capacity(label_count);
+        for _ in 0..label_count {
+            let k = r.str16()?;
+            let v = r.str16()?;
+            labels.push((k, v));
+        }
+        let kind = r.u8()?;
+        let value = match kind {
+            KIND_COUNTER => MetricValue::Counter(r.u64()?),
+            KIND_GAUGE => MetricValue::Gauge(r.u64()?),
+            KIND_HISTOGRAM => {
+                let count = r.u64()?;
+                let sum_lo = r.u64()?;
+                let sum_hi = r.u64()?;
+                let sum = u128::from(sum_lo) | (u128::from(sum_hi) << 64);
+                let min = r.u64()?;
+                let max = r.u64()?;
+                let sparse_len = r.u32()? as usize;
+                r.expect_items(sparse_len, 12)?;
+                let mut sparse = Vec::with_capacity(sparse_len);
+                for _ in 0..sparse_len {
+                    let i = r.u32()?;
+                    if i as usize >= BUCKETS {
+                        return Err(format!("histogram bucket index {i} out of range"));
+                    }
+                    let c = r.u64()?;
+                    sparse.push((i, c));
+                }
+                MetricValue::Histogram(LogHistogram::from_parts(count, sum, min, max, &sparse))
+            }
+            k => return Err(format!("unknown metric kind {k}")),
+        };
+        entries.push(MetricEntry {
+            desc: MetricDesc {
+                name,
+                layer,
+                unit,
+                labels,
+            },
+            value,
+        });
+    }
+    if r.remaining() != 0 {
+        return Err(format!("{} trailing bytes after snapshot", r.remaining()));
+    }
+    Ok(MetricsSnapshot { entries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    fn sample() -> MetricsSnapshot {
+        let mut reg = MetricsRegistry::new()
+            .with_label("shard", "2")
+            .with_label("app", "1");
+        let c = reg.counter("tuples_total", "serve", "tuples");
+        let g = reg.gauge("depth", "serve", "tuples");
+        let h = reg.histogram("latency", "serve", "us");
+        reg.add(c, 1234);
+        reg.set_gauge(g, 9);
+        for v in [1u64, 2, 3, 1 << 40, u64::MAX] {
+            reg.observe(h, v);
+        }
+        reg.snapshot()
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let snap = sample();
+        let bytes = encode_snapshot(&snap);
+        let back = decode_snapshot(&bytes).expect("decode own encoding");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn empty_snapshot_roundtrips() {
+        let snap = MetricsSnapshot::new();
+        assert_eq!(decode_snapshot(&encode_snapshot(&snap)).unwrap(), snap);
+    }
+
+    #[test]
+    fn truncation_at_every_byte_errors_cleanly() {
+        let bytes = encode_snapshot(&sample());
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_snapshot(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_bytes_never_panic() {
+        let base = encode_snapshot(&sample());
+        // Flip each byte through a few values; decode must return, not panic.
+        for i in 0..base.len() {
+            for delta in [1u8, 0x7f, 0xff] {
+                let mut b = base.clone();
+                b[i] = b[i].wrapping_add(delta);
+                let _ = decode_snapshot(&b);
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_length_prefixes_are_rejected() {
+        // version=1, entry_count=u32::MAX: must fail the expect_items guard
+        // without allocating.
+        let mut b = vec![CODEC_VERSION];
+        b.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = decode_snapshot(&b).unwrap_err();
+        assert!(err.contains("exceeds remaining"), "{err}");
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = encode_snapshot(&sample());
+        bytes.push(0);
+        assert!(decode_snapshot(&bytes).unwrap_err().contains("trailing"));
+    }
+}

@@ -1,0 +1,155 @@
+//! The consolidated `DITTO_*` environment-override catalog.
+//!
+//! Every runtime/bench knob the stack reads from the environment is
+//! registered here with its consumer and default, so there is one place
+//! (plus the README table generated from the same data) to discover them,
+//! and [`log_active`] lets long-running binaries announce at startup which
+//! overrides are in effect — silent env-dependent behaviour is how bench
+//! numbers stop being comparable.
+
+/// One documented environment override.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnvKnob {
+    /// Variable name.
+    pub name: &'static str,
+    /// The binary/layer that reads it.
+    pub consumer: &'static str,
+    /// Behaviour when unset.
+    pub default: &'static str,
+    /// What setting it does.
+    pub effect: &'static str,
+}
+
+/// Every `DITTO_*` override the stack honours.
+pub const KNOWN: &[EnvKnob] = &[
+    EnvKnob {
+        name: "DITTO_FAST_FORWARD",
+        consumer: "ditto-core (all simulations)",
+        default: "per-config flag",
+        effect: "force steady-state fast-forward on (`1`/`true`) or off (`0`) process-wide, \
+                 overriding `ArchConfig`; lets CI re-run goldens under fast-forward",
+    },
+    EnvKnob {
+        name: "DITTO_TUPLES",
+        consumer: "ditto-bench harness",
+        default: "260000 (1 % of paper scale)",
+        effect: "dataset size for harness runs and parallel sweeps",
+    },
+    EnvKnob {
+        name: "DITTO_THREADS",
+        consumer: "ditto-bench harness",
+        default: "available parallelism",
+        effect: "worker thread count for scenario sweeps",
+    },
+    EnvKnob {
+        name: "DITTO_SERVE_TUPLES",
+        consumer: "serve_bench",
+        default: "40000",
+        effect: "tuples per serve-cluster sweep point",
+    },
+    EnvKnob {
+        name: "DITTO_WIRE_TUPLES",
+        consumer: "wire_bench",
+        default: "30000",
+        effect: "tuples per wire front-end sweep point",
+    },
+    EnvKnob {
+        name: "DITTO_HOTPATH_TUPLES",
+        consumer: "hotpath",
+        default: "65536",
+        effect: "tuples per hotpath phase",
+    },
+    EnvKnob {
+        name: "DITTO_HOTPATH_REPS",
+        consumer: "hotpath",
+        default: "5",
+        effect: "interleaved repetitions per hotpath measurement",
+    },
+    EnvKnob {
+        name: "DITTO_GRAPH_SCALE",
+        consumer: "fig8",
+        default: "4",
+        effect: "graph scale-down divisor for the PageRank suite",
+    },
+    EnvKnob {
+        name: "DITTO_REQUEUE_OVERHEAD",
+        consumer: "fig9",
+        default: "20000",
+        effect: "modelled re-queue overhead (cycles) in the skew sweep",
+    },
+    EnvKnob {
+        name: "DITTO_BENCH_ENV",
+        consumer: "ditto-bench (BENCH_*.json)",
+        default: "\"ci\" under CI, else \"local\"",
+        effect: "environment marker stamped into bench artifact host info",
+    },
+    EnvKnob {
+        name: "DITTO_TRACE_OUT",
+        consumer: "wire loopback test",
+        default: "unset (no export)",
+        effect: "file path where the loopback telemetry test writes its Chrome trace-event JSON",
+    },
+];
+
+/// The `DITTO_*` overrides currently set, as `(knob, value)` pairs in
+/// [`KNOWN`] order.
+pub fn active() -> Vec<(EnvKnob, String)> {
+    KNOWN
+        .iter()
+        .filter_map(|k| std::env::var(k.name).ok().map(|v| (*k, v)))
+        .collect()
+}
+
+/// Logs the active overrides to stderr (one line per knob, nothing when no
+/// override is set). Call once at binary startup.
+pub fn log_active() {
+    for (k, v) in active() {
+        eprintln!("ditto-obs: env override {}={v} ({})", k.name, k.consumer);
+    }
+}
+
+/// The catalog as a GitHub-flavoured Markdown table — the source of the
+/// README's env-override section (kept in sync by test).
+pub fn markdown_table() -> String {
+    let mut out = String::from("| Variable | Read by | Default | Effect |\n|---|---|---|---|\n");
+    for k in KNOWN {
+        out.push_str(&format!(
+            "| `{}` | {} | {} | {} |\n",
+            k.name,
+            k.consumer,
+            k.default,
+            k.effect.split_whitespace().collect::<Vec<_>>().join(" ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knob_names_are_unique_and_prefixed() {
+        let mut names: Vec<&str> = KNOWN.iter().map(|k| k.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate knob registered");
+        for k in KNOWN {
+            assert!(
+                k.name.starts_with("DITTO_"),
+                "{} not DITTO_-prefixed",
+                k.name
+            );
+        }
+    }
+
+    #[test]
+    fn markdown_table_has_one_row_per_knob() {
+        let table = markdown_table();
+        assert_eq!(table.lines().count(), 2 + KNOWN.len());
+        for k in KNOWN {
+            assert!(table.contains(k.name));
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! Log-bucketed (HDR-style) histograms with bounded memory and nearest-rank
+//! percentiles.
+//!
+//! The serving layer records one latency sample per completed batch; under
+//! sustained load an exact-sample vector grows without bound. A
+//! [`LogHistogram`] instead buckets values logarithmically with
+//! [`SUB_BUCKETS`] linear sub-buckets per power of two, so any `u64`
+//! population fits in a fixed ~15 KiB array while percentile queries stay
+//! within a `1/32` (~3.1 %) relative error of the exact nearest-rank answer
+//! — pinned by a property test against the exact-sample reference.
+
+/// Sub-bucket resolution: each power-of-two octave is split into
+/// `2^SUB_BUCKET_BITS` linear sub-buckets, bounding the relative
+/// quantization error at `2^-SUB_BUCKET_BITS` (~3.1 %).
+pub const SUB_BUCKET_BITS: u32 = 5;
+
+/// Sub-buckets per octave.
+pub const SUB_BUCKETS: u64 = 1 << SUB_BUCKET_BITS;
+
+/// Total bucket count covering the full `u64` range: the exact unit
+/// buckets below [`SUB_BUCKETS`] plus one sub-bucket row per remaining
+/// octave (`bucket_index(u64::MAX)` lands at `BUCKETS - 1`).
+pub const BUCKETS: usize = (64 - SUB_BUCKET_BITS as usize + 1) * SUB_BUCKETS as usize;
+
+/// Order statistics over a recorded population.
+///
+/// `p50`/`p99`/`p999` are nearest-rank percentiles; when computed from a
+/// [`LogHistogram`] they are upper bucket edges, i.e. within the bucket
+/// quantization error above the exact-sample answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Recorded samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (nearest-rank).
+    pub p50: u64,
+    /// 99th percentile (nearest-rank).
+    pub p99: u64,
+    /// 99.9th percentile (nearest-rank).
+    pub p999: u64,
+    /// Maximum.
+    pub max: u64,
+}
+
+impl LatencyStats {
+    /// The all-zero statistics of an empty population.
+    pub fn empty() -> Self {
+        LatencyStats {
+            count: 0,
+            mean: 0.0,
+            p50: 0,
+            p99: 0,
+            p999: 0,
+            max: 0,
+        }
+    }
+}
+
+/// A fixed-memory log-bucketed histogram over `u64` samples.
+///
+/// # Example
+///
+/// ```
+/// use ditto_obs::LogHistogram;
+///
+/// let mut h = LogHistogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// let s = h.stats();
+/// assert_eq!(s.count, 1000);
+/// assert_eq!(s.max, 1000);
+/// // Within one sub-bucket (~3.1 %) above the exact nearest-rank value.
+/// assert!(s.p50 >= 500 && s.p50 <= 500 + (500 >> 5));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+    buckets: Vec<u64>,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+/// Maps a value to its bucket index. Values below [`SUB_BUCKETS`] get exact
+/// unit buckets; larger values share an octave split into [`SUB_BUCKETS`]
+/// linear sub-buckets.
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        return v as usize;
+    }
+    let top = 63 - v.leading_zeros();
+    let shift = top - SUB_BUCKET_BITS;
+    let sub = (v >> shift) & (SUB_BUCKETS - 1);
+    ((shift as usize) + 1) * SUB_BUCKETS as usize + sub as usize
+}
+
+/// The largest value mapping to `index` — the representative a percentile
+/// query reports, making bucketed nearest-rank an upper bound on the exact
+/// answer.
+pub fn bucket_high_edge(index: usize) -> u64 {
+    if index < SUB_BUCKETS as usize {
+        return index as u64;
+    }
+    let shift = (index / SUB_BUCKETS as usize - 1) as u32;
+    let sub = (index % SUB_BUCKETS as usize) as u64;
+    let low = (SUB_BUCKETS + sub) << shift;
+    low + ((1u64 << shift) - 1)
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: vec![0; BUCKETS],
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` samples of value `v`.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.count += n;
+        self.sum += u128::from(v) * u128::from(n);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_index(v)] += n;
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Exact minimum recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (0.0 when empty). Exact: the sum is kept unbucketed.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// `true` when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Nearest-rank quantile: the ⌈q·n⌉-th smallest sample's bucket upper
+    /// edge, clamped to the exact recorded maximum. Within
+    /// `value >> SUB_BUCKET_BITS` above the exact-sample nearest-rank
+    /// answer.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                return bucket_high_edge(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one. Associative and commutative —
+    /// per-shard histograms merge into a cluster view in any order.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, &o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+    }
+
+    /// The standard percentile bundle.
+    pub fn stats(&self) -> LatencyStats {
+        if self.count == 0 {
+            return LatencyStats::empty();
+        }
+        LatencyStats {
+            count: self.count,
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
+            max: self.max,
+        }
+    }
+
+    /// Non-empty buckets as `(bucket_index, count)` pairs — the sparse form
+    /// the wire codec ships.
+    pub fn sparse_buckets(&self) -> Vec<(u32, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i as u32, c))
+            .collect()
+    }
+
+    /// Rebuilds a histogram from its sparse parts (the wire codec's decode
+    /// path). Counts/sum/min/max are trusted as shipped; bucket indices out
+    /// of range are rejected by the caller before this is reached.
+    pub fn from_parts(count: u64, sum: u128, min: u64, max: u64, sparse: &[(u32, u64)]) -> Self {
+        let mut h = LogHistogram::new();
+        h.count = count;
+        h.sum = sum;
+        h.min = min;
+        h.max = max;
+        for &(i, c) in sparse {
+            h.buckets[i as usize] += c;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_mapping_is_monotone_and_self_consistent() {
+        let probes = [
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            63,
+            64,
+            100,
+            1023,
+            1024,
+            1 << 20,
+            (1 << 20) + 12345,
+            u64::MAX / 2,
+            u64::MAX,
+        ];
+        let mut last = 0usize;
+        for &v in &probes {
+            let i = bucket_index(v);
+            assert!(i >= last, "bucket index must be monotone in value");
+            last = i;
+            assert!(i < BUCKETS, "index {i} out of range for {v}");
+            let high = bucket_high_edge(i);
+            assert!(high >= v, "high edge {high} below value {v}");
+            assert_eq!(
+                bucket_index(high),
+                i,
+                "high edge must land in its own bucket"
+            );
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in [0u64, 1, 2, 3, 30, 31] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), 2);
+        assert_eq!(h.max(), 31);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn empty_histogram_yields_zero_stats() {
+        assert_eq!(LogHistogram::new().stats(), LatencyStats::empty());
+    }
+
+    #[test]
+    fn quantiles_clamp_to_recorded_max() {
+        let mut h = LogHistogram::new();
+        h.record(1_000_003);
+        assert_eq!(h.quantile(0.999), 1_000_003);
+        assert_eq!(h.quantile(0.5), 1_000_003);
+    }
+
+    #[test]
+    fn sparse_roundtrip_reconstructs() {
+        let mut h = LogHistogram::new();
+        for v in [5u64, 5, 77, 1 << 30, u64::MAX] {
+            h.record(v);
+        }
+        let back =
+            LogHistogram::from_parts(h.count(), h.sum(), h.min(), h.max(), &h.sparse_buckets());
+        assert_eq!(back, h);
+    }
+}

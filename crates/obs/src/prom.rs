@@ -1,0 +1,222 @@
+//! Prometheus text exposition (format 0.0.4) for [`MetricsSnapshot`]s,
+//! plus a hand-rolled validator used by tests and CI to prove the output
+//! parses.
+//!
+//! Counters and gauges export as their own types; histograms export as
+//! `summary` (quantile series + `_sum` + `_count`) rather than native
+//! Prometheus histograms — shipping the pre-computed p50/p99/p999 keeps
+//! the exposition compact instead of emitting one `_bucket` line per
+//! populated log-bucket.
+
+use crate::registry::{MetricValue, MetricsSnapshot};
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Renders a snapshot as Prometheus text exposition. Entries sharing a name
+/// emit one `# HELP`/`# TYPE` header followed by all label variants, as the
+/// format requires.
+pub fn to_prometheus_text(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut last_name: Option<&str> = None;
+    for e in &snap.entries {
+        if last_name != Some(e.desc.name.as_str()) {
+            let ty = match e.value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram(_) => "summary",
+            };
+            out.push_str(&format!(
+                "# HELP {} {} metric ({}).\n# TYPE {} {}\n",
+                e.desc.name, e.desc.layer, e.desc.unit, e.desc.name, ty
+            ));
+            last_name = Some(e.desc.name.as_str());
+        }
+        match &e.value {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                out.push_str(&format!(
+                    "{}{} {}\n",
+                    e.desc.name,
+                    label_block(&e.desc.labels, None),
+                    v
+                ));
+            }
+            MetricValue::Histogram(h) => {
+                let s = h.stats();
+                for (q, v) in [("0.5", s.p50), ("0.99", s.p99), ("0.999", s.p999)] {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        e.desc.name,
+                        label_block(&e.desc.labels, Some(("quantile", q))),
+                        v
+                    ));
+                }
+                out.push_str(&format!(
+                    "{}_sum{} {}\n",
+                    e.desc.name,
+                    label_block(&e.desc.labels, None),
+                    h.sum()
+                ));
+                out.push_str(&format!(
+                    "{}_count{} {}\n",
+                    e.desc.name,
+                    label_block(&e.desc.labels, None),
+                    h.count()
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn is_valid_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Validates Prometheus text exposition line by line: comment syntax,
+/// metric/label name charsets, quoted label values, and a parseable sample
+/// value per line. Returns the offending line on failure. Used by the wire
+/// smoke test and CI to prove the scrape output is well-formed.
+pub fn validate_prometheus_text(text: &str) -> Result<(), String> {
+    for line in text.lines() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut words = rest.splitn(3, ' ');
+            match words.next() {
+                Some("HELP") | Some("TYPE") => {
+                    let name = words
+                        .next()
+                        .ok_or_else(|| format!("comment missing metric name: {line}"))?;
+                    if !is_valid_name(name) {
+                        return Err(format!("invalid metric name {name:?}: {line}"));
+                    }
+                    if rest.starts_with("TYPE") {
+                        let ty = words.next().unwrap_or("");
+                        if !matches!(
+                            ty,
+                            "counter" | "gauge" | "summary" | "histogram" | "untyped"
+                        ) {
+                            return Err(format!("invalid metric type {ty:?}: {line}"));
+                        }
+                    }
+                }
+                _ => return Err(format!("unknown comment form: {line}")),
+            }
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("sample missing value: {line}"))?;
+        if value.parse::<f64>().is_err() {
+            return Err(format!("unparseable sample value {value:?}: {line}"));
+        }
+        let name_part = match series.split_once('{') {
+            Some((name, rest)) => {
+                let labels = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("unterminated label block: {line}"))?;
+                for pair in labels.split(',') {
+                    let (k, v) = pair
+                        .split_once('=')
+                        .ok_or_else(|| format!("label missing '=': {line}"))?;
+                    if !is_valid_name(k) {
+                        return Err(format!("invalid label name {k:?}: {line}"));
+                    }
+                    if !(v.starts_with('"') && v.ends_with('"') && v.len() >= 2) {
+                        return Err(format!("unquoted label value {v:?}: {line}"));
+                    }
+                }
+                name
+            }
+            None => series,
+        };
+        if !is_valid_name(name_part) {
+            return Err(format!("invalid series name {name_part:?}: {line}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let mut reg = MetricsRegistry::new().with_label("shard", "0");
+        let c = reg.counter("ditto_tuples_total", "serve", "tuples");
+        let g = reg.gauge("ditto_queue_depth", "serve", "tuples");
+        let h = reg.histogram("ditto_latency_us", "serve", "us");
+        reg.add(c, 42);
+        reg.set_gauge(g, 3);
+        for v in [10u64, 20, 30, 40, 5000] {
+            reg.observe(h, v);
+        }
+        reg.snapshot()
+    }
+
+    #[test]
+    fn exposition_contains_all_series_and_validates() {
+        let text = to_prometheus_text(&sample_snapshot());
+        assert!(text.contains("# TYPE ditto_tuples_total counter"));
+        assert!(text.contains("ditto_tuples_total{shard=\"0\"} 42"));
+        assert!(text.contains("# TYPE ditto_latency_us summary"));
+        assert!(text.contains("quantile=\"0.999\""));
+        assert!(text.contains("ditto_latency_us_count{shard=\"0\"} 5"));
+        validate_prometheus_text(&text).expect("own output must validate");
+    }
+
+    #[test]
+    fn single_header_per_name_across_label_variants() {
+        let mut a = sample_snapshot();
+        let mut reg = MetricsRegistry::new().with_label("shard", "1");
+        let c = reg.counter("ditto_tuples_total", "serve", "tuples");
+        reg.add(c, 7);
+        a.merge(&reg.snapshot());
+        let text = to_prometheus_text(&a);
+        assert_eq!(
+            text.matches("# TYPE ditto_tuples_total counter").count(),
+            1,
+            "one TYPE header per metric name:\n{text}"
+        );
+        validate_prometheus_text(&text).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(validate_prometheus_text("9bad_name 1").is_err());
+        assert!(validate_prometheus_text("name{k=unquoted} 1").is_err());
+        assert!(validate_prometheus_text("name{k=\"v\" 1").is_err());
+        assert!(validate_prometheus_text("name notanumber").is_err());
+        assert!(validate_prometheus_text("# TYPE x flavor").is_err());
+        assert!(validate_prometheus_text("# NOPE x y").is_err());
+        assert!(validate_prometheus_text("ok_name{k=\"v\"} 1.5\n").is_ok());
+    }
+}

@@ -1,0 +1,409 @@
+//! The cross-layer metrics registry: typed counter/gauge/histogram handles
+//! plus mergeable snapshots.
+//!
+//! Registries are *per-thread/per-shard by construction*: a registry is a
+//! plain (non-atomic, non-locked) struct each worker owns and writes
+//! through `Copy` handles, so publishing metrics never touches the
+//! simulation step path's lock-free property. Cross-thread aggregation
+//! happens on *snapshots*: every layer snapshots its own registry and the
+//! snapshots [`merge`](MetricsSnapshot::merge) — an associative,
+//! commutative fold keyed by `(name, labels)` (counters/gauges sum,
+//! histograms bucket-merge), proven associative by test.
+
+use std::collections::HashMap;
+
+use crate::hist::LogHistogram;
+
+/// What a metric measures and how it merges/exports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic total; merges by sum, exported as a Prometheus counter.
+    Counter,
+    /// Point-in-time level; merges by sum (per-shard gauges carry a
+    /// distinguishing label, so a summed collision is an aggregate by
+    /// intent), exported as a Prometheus gauge.
+    Gauge,
+    /// Log-bucketed distribution; merges by bucket addition, exported as a
+    /// Prometheus summary (quantiles + sum + count).
+    Histogram,
+}
+
+/// A metric's identity and catalog metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricDesc {
+    /// Prometheus-safe metric name (`[a-zA-Z_][a-zA-Z0-9_]*`).
+    pub name: String,
+    /// The runtime layer that owns the metric (`engine`, `serve`, `wire`,
+    /// `obs`).
+    pub layer: String,
+    /// Unit of the recorded value (`cycles`, `tuples`, `us`, `batches`,
+    /// `events`, `connections`, `kernels`, `items`).
+    pub unit: String,
+    /// Distinguishing labels (e.g. `shard`, `app`, `channel`), sorted.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricDesc {
+    /// The merge identity: `(name, labels)`.
+    fn key(&self) -> (String, Vec<(String, String)>) {
+        (self.name.clone(), self.labels.clone())
+    }
+}
+
+/// A snapshot entry's value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge level.
+    Gauge(u64),
+    /// Full histogram state.
+    Histogram(LogHistogram),
+}
+
+impl MetricValue {
+    /// The entry's kind.
+    pub fn kind(&self) -> MetricKind {
+        match self {
+            MetricValue::Counter(_) => MetricKind::Counter,
+            MetricValue::Gauge(_) => MetricKind::Gauge,
+            MetricValue::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+
+    /// Scalar view: the counter/gauge value, or the histogram's count.
+    pub fn scalar(&self) -> u64 {
+        match self {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => *v,
+            MetricValue::Histogram(h) => h.count(),
+        }
+    }
+}
+
+/// One exported metric: description plus value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricEntry {
+    /// Identity and catalog metadata.
+    pub desc: MetricDesc,
+    /// The recorded value.
+    pub value: MetricValue,
+}
+
+/// Handle to a registered counter. `Copy` — store it next to the hot loop
+/// and write through it without lookups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterHandle(usize);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeHandle(usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramHandle(usize);
+
+/// A single-owner metrics registry (see the module docs for the
+/// per-thread/merge-on-snapshot design).
+///
+/// # Example
+///
+/// ```
+/// use ditto_obs::{MetricsRegistry, MetricValue};
+///
+/// let mut reg = MetricsRegistry::new().with_label("shard", "0");
+/// let served = reg.counter("ditto_serve_tuples_total", "serve", "tuples");
+/// let depth = reg.gauge("ditto_serve_queue_depth", "serve", "tuples");
+/// let lat = reg.histogram("ditto_serve_batch_latency_us", "serve", "us");
+/// reg.add(served, 128);
+/// reg.set_gauge(depth, 7);
+/// reg.observe(lat, 250);
+/// let snap = reg.snapshot();
+/// assert_eq!(snap.scalar("ditto_serve_tuples_total"), Some(128));
+/// assert!(matches!(
+///     &snap.get("ditto_serve_batch_latency_us", &[("shard", "0")]).unwrap().value,
+///     MetricValue::Histogram(h) if h.count() == 1
+/// ));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    labels: Vec<(String, String)>,
+    counters: Vec<(MetricDesc, u64)>,
+    gauges: Vec<(MetricDesc, u64)>,
+    hists: Vec<(MetricDesc, LogHistogram)>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry with no common labels.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds a common label stamped onto every metric registered afterwards
+    /// (and everything registered before — labels are registry-wide).
+    pub fn with_label(mut self, key: &str, value: impl ToString) -> Self {
+        self.labels.push((key.to_owned(), value.to_string()));
+        self
+    }
+
+    fn desc(&self, name: &str, layer: &str, unit: &str) -> MetricDesc {
+        let mut labels = self.labels.clone();
+        labels.sort();
+        MetricDesc {
+            name: name.to_owned(),
+            layer: layer.to_owned(),
+            unit: unit.to_owned(),
+            labels,
+        }
+    }
+
+    /// Registers (or re-uses, matched by name) a counter.
+    pub fn counter(&mut self, name: &str, layer: &str, unit: &str) -> CounterHandle {
+        if let Some(i) = self.counters.iter().position(|(d, _)| d.name == name) {
+            return CounterHandle(i);
+        }
+        self.counters.push((self.desc(name, layer, unit), 0));
+        CounterHandle(self.counters.len() - 1)
+    }
+
+    /// Registers (or re-uses, matched by name) a gauge.
+    pub fn gauge(&mut self, name: &str, layer: &str, unit: &str) -> GaugeHandle {
+        if let Some(i) = self.gauges.iter().position(|(d, _)| d.name == name) {
+            return GaugeHandle(i);
+        }
+        self.gauges.push((self.desc(name, layer, unit), 0));
+        GaugeHandle(self.gauges.len() - 1)
+    }
+
+    /// Registers (or re-uses, matched by name) a histogram.
+    pub fn histogram(&mut self, name: &str, layer: &str, unit: &str) -> HistogramHandle {
+        if let Some(i) = self.hists.iter().position(|(d, _)| d.name == name) {
+            return HistogramHandle(i);
+        }
+        self.hists
+            .push((self.desc(name, layer, unit), LogHistogram::new()));
+        HistogramHandle(self.hists.len() - 1)
+    }
+
+    /// Increments a counter by `n`.
+    pub fn add(&mut self, h: CounterHandle, n: u64) {
+        self.counters[h.0].1 += n;
+    }
+
+    /// Sets a counter to an absolute total — the publishing pattern for
+    /// layers that already maintain their own monotonic counters (engine
+    /// `ff_jumps`, cluster `batches_submitted`) and re-export them at
+    /// snapshot time.
+    pub fn set_counter(&mut self, h: CounterHandle, v: u64) {
+        self.counters[h.0].1 = v;
+    }
+
+    /// Sets a gauge level.
+    pub fn set_gauge(&mut self, h: GaugeHandle, v: u64) {
+        self.gauges[h.0].1 = v;
+    }
+
+    /// Records one histogram sample.
+    pub fn observe(&mut self, h: HistogramHandle, v: u64) {
+        self.hists[h.0].1.record(v);
+    }
+
+    /// Installs a fully-populated histogram under a registered handle —
+    /// how a layer that maintains its own [`LogHistogram`] (the cluster's
+    /// batch latency) exports it without re-recording every sample.
+    pub fn set_histogram(&mut self, h: HistogramHandle, hist: LogHistogram) {
+        self.hists[h.0].1 = hist;
+    }
+
+    /// A point-in-time copy of every registered metric, sorted by
+    /// `(name, labels)` for deterministic export order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut entries: Vec<MetricEntry> = Vec::new();
+        for (d, v) in &self.counters {
+            entries.push(MetricEntry {
+                desc: d.clone(),
+                value: MetricValue::Counter(*v),
+            });
+        }
+        for (d, v) in &self.gauges {
+            entries.push(MetricEntry {
+                desc: d.clone(),
+                value: MetricValue::Gauge(*v),
+            });
+        }
+        for (d, h) in &self.hists {
+            entries.push(MetricEntry {
+                desc: d.clone(),
+                value: MetricValue::Histogram(h.clone()),
+            });
+        }
+        let mut snap = MetricsSnapshot { entries };
+        snap.sort();
+        snap
+    }
+}
+
+/// A mergeable point-in-time view of one or more registries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// The exported metrics, sorted by `(name, labels)`.
+    pub entries: Vec<MetricEntry>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        MetricsSnapshot::default()
+    }
+
+    fn sort(&mut self) {
+        self.entries.sort_by_key(|e| e.desc.key());
+    }
+
+    /// Folds `other` into this snapshot. Entries with equal
+    /// `(name, labels)` and kind combine (counters/gauges sum, histograms
+    /// bucket-merge); everything else is appended. Associative and
+    /// commutative, so shard → cluster → server aggregation order never
+    /// matters.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        let mut index: HashMap<(String, Vec<(String, String)>), usize> = self
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.desc.key(), i))
+            .collect();
+        for e in &other.entries {
+            match index.get(&e.desc.key()) {
+                Some(&i) if self.entries[i].value.kind() == e.value.kind() => {
+                    match (&mut self.entries[i].value, &e.value) {
+                        (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+                        (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a += b,
+                        (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge(b),
+                        _ => unreachable!("kinds checked equal"),
+                    }
+                }
+                _ => {
+                    index.insert(e.desc.key(), self.entries.len());
+                    self.entries.push(e.clone());
+                }
+            }
+        }
+        self.sort();
+    }
+
+    /// Appends a label to every entry — how a wire server stamps each
+    /// hosted app's snapshot with its `app` id before merging them into one
+    /// dump.
+    pub fn add_label(&mut self, key: &str, value: impl ToString) {
+        let v = value.to_string();
+        for e in &mut self.entries {
+            e.desc.labels.push((key.to_owned(), v.clone()));
+            e.desc.labels.sort();
+        }
+        self.sort();
+    }
+
+    /// Finds the entry with exactly these labels (order-insensitive).
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricEntry> {
+        let mut want: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect();
+        want.sort();
+        self.entries
+            .iter()
+            .find(|e| e.desc.name == name && e.desc.labels == want)
+    }
+
+    /// All entries with this name, any labels.
+    pub fn all(&self, name: &str) -> Vec<&MetricEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.desc.name == name)
+            .collect()
+    }
+
+    /// The scalar total of `name` summed across labels (`None` when the
+    /// metric is absent).
+    pub fn scalar(&self, name: &str) -> Option<u64> {
+        let matches = self.all(name);
+        if matches.is_empty() {
+            return None;
+        }
+        Some(matches.iter().map(|e| e.value.scalar()).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard_snapshot(shard: usize, tuples: u64, depth: u64) -> MetricsSnapshot {
+        let mut reg = MetricsRegistry::new().with_label("shard", shard);
+        let c = reg.counter("tuples_total", "serve", "tuples");
+        let g = reg.gauge("queue_depth", "serve", "tuples");
+        let h = reg.histogram("latency_us", "serve", "us");
+        reg.set_counter(c, tuples);
+        reg.set_gauge(g, depth);
+        reg.observe(h, tuples);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn labels_keep_shards_separate_and_scalar_sums() {
+        let mut a = shard_snapshot(0, 100, 3);
+        let b = shard_snapshot(1, 50, 4);
+        a.merge(&b);
+        assert_eq!(
+            a.get("tuples_total", &[("shard", "0")])
+                .unwrap()
+                .value
+                .scalar(),
+            100
+        );
+        assert_eq!(
+            a.get("tuples_total", &[("shard", "1")])
+                .unwrap()
+                .value
+                .scalar(),
+            50
+        );
+        assert_eq!(a.scalar("tuples_total"), Some(150));
+        assert_eq!(a.scalar("queue_depth"), Some(7));
+        assert_eq!(a.scalar("absent"), None);
+    }
+
+    #[test]
+    fn same_key_entries_combine() {
+        let mut a = shard_snapshot(0, 10, 1);
+        let b = shard_snapshot(0, 32, 2);
+        a.merge(&b);
+        let e = a.get("tuples_total", &[("shard", "0")]).unwrap();
+        assert_eq!(e.value.scalar(), 42);
+        let MetricValue::Histogram(h) = &a.get("latency_us", &[("shard", "0")]).unwrap().value
+        else {
+            panic!("histogram expected");
+        };
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn add_label_stamps_everything() {
+        let mut s = shard_snapshot(0, 5, 0);
+        s.add_label("app", 3u16);
+        assert!(s.get("tuples_total", &[("shard", "0")]).is_none());
+        assert!(s
+            .get("tuples_total", &[("app", "3"), ("shard", "0")])
+            .is_some());
+    }
+
+    #[test]
+    fn handle_reuse_by_name() {
+        let mut reg = MetricsRegistry::new();
+        let a = reg.counter("x", "engine", "items");
+        let b = reg.counter("x", "engine", "items");
+        assert_eq!(a, b);
+        reg.add(a, 1);
+        reg.add(b, 1);
+        assert_eq!(reg.snapshot().scalar("x"), Some(2));
+    }
+}

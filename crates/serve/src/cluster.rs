@@ -8,10 +8,13 @@ use std::time::{Duration, Instant};
 use datagen::Tuple;
 use ditto_core::{ArchConfig, DittoApp, ExecutionReport, MergeableOutput};
 use ditto_framework::SkewAnalyzer;
+use ditto_obs::{
+    LogHistogram, MetricsRegistry, MetricsSnapshot, SpanEvent, SpanJournal, SpanStage, NO_SHARD,
+};
 
 use crate::balancer::{BalancerConfig, ShardBalancer};
 use crate::batch::{BatchId, CompletedBatch};
-use crate::metrics::{AdmissionSnapshot, ClusterSnapshot, LatencyRecorder, ShardSnapshot};
+use crate::metrics::{AdmissionSnapshot, ClusterSnapshot, ShardSnapshot};
 use crate::router::{RoutingTable, SlotMove, DEFAULT_SLOTS};
 use crate::shard::{spawn_shard, ShardCommand, ShardEvent, ShardFinish, ShardHandle};
 
@@ -38,6 +41,10 @@ pub struct ServeConfig {
     pub ingress_rate: f64,
     /// Skew-aware balancer tuning; `None` pins the routing table.
     pub balancer: Option<BalancerConfig>,
+    /// Capacity of each span-journal ring buffer (one per shard plus one
+    /// cluster-side); `0` disables trace buffering entirely while keeping
+    /// the lifetime counters exact.
+    pub journal_capacity: usize,
 }
 
 impl ServeConfig {
@@ -56,6 +63,7 @@ impl ServeConfig {
             cycles_per_poll: 256,
             ingress_rate: 8.0,
             balancer: None,
+            journal_capacity: 4096,
         }
     }
 
@@ -97,6 +105,13 @@ impl ServeConfig {
     /// Enables the skew-aware balancer.
     pub fn with_balancer(mut self, config: BalancerConfig) -> Self {
         self.balancer = Some(config);
+        self
+    }
+
+    /// Sets the per-journal ring-buffer capacity (`0` disables trace
+    /// buffering; lifetime counters stay exact either way).
+    pub fn with_journal_capacity(mut self, capacity: usize) -> Self {
+        self.journal_capacity = capacity;
         self
     }
 }
@@ -151,9 +166,11 @@ pub struct Cluster<A: DittoApp + Clone + 'static> {
     queue_depth_peak: u64,
     shard_batches_done: Vec<u64>,
     last_shard_tuples: Vec<u64>,
-    latency_cycles: LatencyRecorder,
-    latency_wall_us: LatencyRecorder,
+    latency_cycles: LogHistogram,
+    latency_wall_us: LogHistogram,
     completed: Vec<CompletedBatch>,
+    /// Cluster-side lifecycle events (the cross-shard `Merge` stage).
+    journal: SpanJournal,
 }
 
 impl<A: DittoApp + Clone + 'static> Cluster<A> {
@@ -168,6 +185,7 @@ impl<A: DittoApp + Clone + 'static> Cluster<A> {
                     &config.arch,
                     config.ingress_rate,
                     config.cycles_per_poll,
+                    config.journal_capacity,
                     event_tx.clone(),
                 )
             })
@@ -192,9 +210,10 @@ impl<A: DittoApp + Clone + 'static> Cluster<A> {
             queue_depth_peak: 0,
             shard_batches_done: vec![0; config.shards],
             last_shard_tuples: vec![0; config.shards],
-            latency_cycles: LatencyRecorder::new(),
-            latency_wall_us: LatencyRecorder::new(),
+            latency_cycles: LogHistogram::new(),
+            latency_wall_us: LogHistogram::new(),
             completed: Vec::new(),
+            journal: SpanJournal::new(config.journal_capacity),
         }
     }
 
@@ -378,6 +397,13 @@ impl<A: DittoApp + Clone + 'static> Cluster<A> {
         self.latency_cycles.record(batch.latency_cycles);
         self.latency_wall_us
             .record(u64::try_from(batch.wall.as_micros()).unwrap_or(u64::MAX));
+        self.journal.record(
+            batch.id,
+            SpanStage::Merge,
+            batch.latency_cycles,
+            NO_SHARD,
+            batch.tuples,
+        );
         self.completed.push(batch);
     }
 
@@ -434,6 +460,100 @@ impl<A: DittoApp + Clone + 'static> Cluster<A> {
             latency_cycles: self.latency_cycles.stats(),
             latency_wall_us: self.latency_wall_us.stats(),
         }
+    }
+
+    /// The merged cross-layer observability snapshot: every shard's
+    /// registry (serving counters plus its engine's cycle/step/channel
+    /// metrics, labelled `shard=<i>`) merged with the cluster-level
+    /// admission counters and the bucketed batch-latency histograms.
+    /// Synchronously round-trips to every shard thread, like
+    /// [`snapshot`](Self::snapshot).
+    pub fn metrics(&mut self) -> MetricsSnapshot {
+        self.poll();
+        let replies: Vec<_> = self
+            .handles
+            .iter()
+            .enumerate()
+            .map(|(shard, h)| {
+                let (tx, rx) = std::sync::mpsc::channel();
+                h.commands
+                    .send(ShardCommand::Metrics { reply: tx })
+                    .unwrap_or_else(|_| panic!("shard {shard} is gone"));
+                rx
+            })
+            .collect();
+        let mut merged = self.cluster_metrics();
+        for (shard, rx) in replies.into_iter().enumerate() {
+            let snap = rx
+                .recv_timeout(SHARD_REPLY_TIMEOUT)
+                .unwrap_or_else(|_| panic!("shard {shard} metrics timed out"));
+            merged.merge(&snap);
+        }
+        merged
+    }
+
+    /// The cluster-level (admission-side) registry: batch/tuple tallies,
+    /// queue depth, migrations and the latency histograms.
+    fn cluster_metrics(&self) -> MetricsSnapshot {
+        let mut reg = MetricsRegistry::new();
+        let b_sub = reg.counter("ditto_cluster_batches_submitted", "serve", "batches");
+        let b_done = reg.counter("ditto_cluster_batches_completed", "serve", "batches");
+        let b_shed = reg.counter("ditto_cluster_batches_shed", "serve", "batches");
+        let t_sub = reg.counter("ditto_cluster_tuples_submitted", "serve", "tuples");
+        let t_done = reg.counter("ditto_cluster_tuples_completed", "serve", "tuples");
+        let t_shed = reg.counter("ditto_cluster_tuples_shed", "serve", "tuples");
+        let depth = reg.gauge("ditto_cluster_queue_depth", "serve", "tuples");
+        let peak = reg.gauge("ditto_cluster_queue_depth_peak", "serve", "tuples");
+        let migr = reg.counter("ditto_cluster_migrations", "serve", "items");
+        let recorded = reg.counter("ditto_cluster_journal_events", "serve", "events");
+        let evicted = reg.counter("ditto_cluster_journal_evicted", "serve", "events");
+        reg.set_counter(b_sub, self.batches_submitted);
+        reg.set_counter(b_done, self.batches_completed);
+        reg.set_counter(b_shed, self.batches_shed);
+        reg.set_counter(t_sub, self.tuples_submitted);
+        reg.set_counter(t_done, self.tuples_completed);
+        reg.set_counter(t_shed, self.tuples_shed);
+        reg.set_gauge(depth, self.tuples_submitted - self.tuples_completed);
+        reg.set_gauge(peak, self.queue_depth_peak);
+        reg.set_counter(
+            migr,
+            self.balancer.as_ref().map_or(0, ShardBalancer::migrations),
+        );
+        reg.set_counter(recorded, self.journal.recorded());
+        reg.set_counter(evicted, self.journal.evicted());
+        let lat_c = reg.histogram("ditto_cluster_batch_latency_cycles", "serve", "cycles");
+        let lat_w = reg.histogram("ditto_cluster_batch_latency_wall", "serve", "us");
+        reg.set_histogram(lat_c, self.latency_cycles.clone());
+        reg.set_histogram(lat_w, self.latency_wall_us.clone());
+        reg.snapshot()
+    }
+
+    /// Drains every span journal — each shard's `Queue`/`Step`/`Drain`
+    /// events plus the cluster's `Merge` events — into one flat list.
+    /// Events already drained are gone; buffering capacity comes from
+    /// [`ServeConfig::journal_capacity`].
+    pub fn take_journal(&mut self) -> Vec<SpanEvent> {
+        self.poll();
+        let replies: Vec<_> = self
+            .handles
+            .iter()
+            .enumerate()
+            .map(|(shard, h)| {
+                let (tx, rx) = std::sync::mpsc::channel();
+                h.commands
+                    .send(ShardCommand::Journal { reply: tx })
+                    .unwrap_or_else(|_| panic!("shard {shard} is gone"));
+                rx
+            })
+            .collect();
+        let mut events = self.journal.drain();
+        for (shard, rx) in replies.into_iter().enumerate() {
+            let mut shard_events = rx
+                .recv_timeout(SHARD_REPLY_TIMEOUT)
+                .unwrap_or_else(|_| panic!("shard {shard} journal timed out"));
+            events.append(&mut shard_events);
+        }
+        events
     }
 
     /// One balancing round: reads every shard's live per-PE workload

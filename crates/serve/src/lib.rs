@@ -97,3 +97,10 @@ pub use metrics::{
 };
 pub use queue::{QueueSource, SharedQueue};
 pub use router::{RoutingTable, SlotMove, DEFAULT_SLOTS};
+
+// Observability vocabulary re-exported so serve-layer callers (the wire
+// front-end, benches, examples) need not depend on `ditto-obs` directly.
+pub use ditto_obs::{
+    chrome_trace_json, LogHistogram, MetricsRegistry, MetricsSnapshot, SpanEvent, SpanJournal,
+    SpanStage, NO_SHARD,
+};

@@ -1,38 +1,23 @@
 //! Snapshotable serving metrics: per-shard counters and latency
 //! distributions.
+//!
+//! [`LatencyStats`] is the cross-layer type from `ditto-obs`; the
+//! cluster's live distributions are bounded-memory
+//! [`LogHistogram`](ditto_obs::LogHistogram)s (an unbounded exact-sample
+//! vector grows forever under sustained load), while the exact-sample
+//! [`LatencyRecorder`] remains for load generators and as the reference
+//! the histogram's property test pins nearest-rank semantics against.
 
-/// Order statistics over a recorded latency population.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct LatencyStats {
-    /// Recorded samples.
-    pub count: u64,
-    /// Arithmetic mean.
-    pub mean: f64,
-    /// Median (nearest-rank).
-    pub p50: u64,
-    /// 99th percentile (nearest-rank).
-    pub p99: u64,
-    /// Maximum.
-    pub max: u64,
-}
+pub use ditto_obs::LatencyStats;
 
-impl LatencyStats {
-    /// The all-zero statistics of an empty population.
-    pub fn empty() -> Self {
-        LatencyStats {
-            count: 0,
-            mean: 0.0,
-            p50: 0,
-            p99: 0,
-            max: 0,
-        }
-    }
-}
-
-/// Accumulates latency samples and computes [`LatencyStats`] on demand.
+/// Accumulates latency samples exactly and computes [`LatencyStats`] on
+/// demand.
 ///
-/// Samples are kept exactly (sorted lazily per snapshot); a serving layer
-/// records one sample per completed batch, so the population stays modest.
+/// Samples are kept exactly (sorted lazily per snapshot) — appropriate for
+/// bounded populations like one load-generation run, and the ground truth
+/// the `ditto-obs` bucketed histogram is property-tested against. Serving
+/// paths that run indefinitely use
+/// [`LogHistogram`](ditto_obs::LogHistogram) instead.
 ///
 /// # Example
 ///
@@ -85,6 +70,7 @@ impl LatencyRecorder {
             mean: sorted.iter().sum::<u64>() as f64 / n as f64,
             p50: rank(0.50),
             p99: rank(0.99),
+            p999: rank(0.999),
             max: sorted[n - 1],
         }
     }
@@ -225,6 +211,7 @@ mod tests {
         let s = r.stats();
         assert_eq!(s.p50, 50);
         assert_eq!(s.p99, 99);
+        assert_eq!(s.p999, 100);
         assert_eq!(s.max, 100);
         assert!((s.mean - 50.5).abs() < 1e-9);
     }

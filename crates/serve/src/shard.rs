@@ -16,6 +16,7 @@ use std::time::Instant;
 
 use datagen::Tuple;
 use ditto_core::{ArchConfig, DittoApp, ExecutionReport, PersistentPipeline};
+use ditto_obs::{MetricsRegistry, MetricsSnapshot, SpanEvent, SpanJournal, SpanStage};
 
 use crate::batch::BatchId;
 use crate::metrics::ShardSnapshot;
@@ -34,6 +35,11 @@ pub(crate) enum ShardCommand<A: DittoApp> {
     },
     /// Reply with current counters.
     Snapshot { reply: Sender<ShardSnapshot> },
+    /// Reply with this shard's observability snapshot (engine counters +
+    /// shard serving counters, labelled by shard).
+    Metrics { reply: Sender<MetricsSnapshot> },
+    /// Drain and reply with this shard's buffered span-journal events.
+    Journal { reply: Sender<Vec<SpanEvent>> },
     /// Close the queue, drain the engine, reply with final states.
     Finish { reply: Sender<ShardFinish<A>> },
 }
@@ -68,6 +74,11 @@ struct PendingBatch {
     watermark: u64,
     enqueue_cycle: u64,
     submitted: Instant,
+    /// Tuples this sub-batch carried (journal annotation).
+    tuples: u64,
+    /// Whether a `Step` span event was recorded for this batch yet (the
+    /// first engine poll after its enqueue).
+    stepped: bool,
 }
 
 /// The shard thread's state.
@@ -82,6 +93,8 @@ struct ShardWorker<A: DittoApp + 'static> {
     ingress_rate: f64,
     enqueued: u64,
     batches_done: u64,
+    /// Batch lifecycle events (queue/step/drain) for trace export.
+    journal: SpanJournal,
 }
 
 /// Spawns a shard thread serving `app` under `arch`, reading from a fresh
@@ -93,6 +106,7 @@ pub(crate) fn spawn_shard<A: DittoApp + 'static>(
     arch: &ArchConfig,
     ingress_rate: f64,
     cycles_per_poll: u64,
+    journal_capacity: usize,
     events: Sender<ShardEvent>,
 ) -> ShardHandle<A> {
     let (commands, command_rx) = std::sync::mpsc::channel();
@@ -110,6 +124,7 @@ pub(crate) fn spawn_shard<A: DittoApp + 'static>(
         ingress_rate,
         enqueued: 0,
         batches_done: 0,
+        journal: SpanJournal::new(journal_capacity),
     };
     let thread = std::thread::Builder::new()
         .name(format!("ditto-shard-{id}"))
@@ -141,6 +156,7 @@ impl<A: DittoApp + 'static> ShardWorker<A> {
             }
             if !self.pending.is_empty() {
                 self.pipeline.step_cycles(self.cycles_per_poll);
+                self.record_first_steps();
                 self.complete_ready();
             }
         };
@@ -160,11 +176,17 @@ impl<A: DittoApp + 'static> ShardWorker<A> {
             } => {
                 self.queue.push_batch(&tuples);
                 self.enqueued += tuples.len() as u64;
+                let n = tuples.len() as u64;
+                let cycle = self.pipeline.cycle();
+                self.journal
+                    .record(batch, SpanStage::Queue, cycle, self.id as u32, n);
                 self.pending.push_back(PendingBatch {
                     id: batch,
                     watermark: self.enqueued,
-                    enqueue_cycle: self.pipeline.cycle(),
+                    enqueue_cycle: cycle,
                     submitted,
+                    tuples: n,
+                    stepped: false,
                 });
                 None
             }
@@ -172,8 +194,55 @@ impl<A: DittoApp + 'static> ShardWorker<A> {
                 let _ = reply.send(self.snapshot());
                 None
             }
+            ShardCommand::Metrics { reply } => {
+                let _ = reply.send(self.metrics());
+                None
+            }
+            ShardCommand::Journal { reply } => {
+                let _ = reply.send(self.journal.drain());
+                None
+            }
             ShardCommand::Finish { reply } => Some(reply),
         }
+    }
+
+    /// Journals the first engine poll that advanced each batch: every
+    /// pending batch not yet marked gets its `Step` event now.
+    fn record_first_steps(&mut self) {
+        let cycle = self.pipeline.cycle();
+        let shard = self.id as u32;
+        for b in self.pending.iter_mut().filter(|b| !b.stepped) {
+            b.stepped = true;
+            self.journal
+                .record(b.id, SpanStage::Step, cycle, shard, b.tuples);
+        }
+    }
+
+    /// This shard's observability snapshot: serving counters plus the
+    /// engine's own metrics, all labelled `shard=<id>`. Built on demand
+    /// from counters that already exist — nothing is recorded on the step
+    /// path.
+    fn metrics(&self) -> MetricsSnapshot {
+        let mut reg = MetricsRegistry::new().with_label("shard", self.id);
+        let s = self.pipeline.snapshot();
+        let tuples = reg.counter("ditto_serve_tuples_total", "serve", "tuples");
+        let batches = reg.counter("ditto_serve_batches_completed", "serve", "batches");
+        let resched = reg.counter("ditto_serve_reschedules", "serve", "items");
+        let plans = reg.counter("ditto_serve_plans_generated", "serve", "items");
+        let depth = reg.gauge("ditto_serve_queue_depth", "serve", "tuples");
+        let pending = reg.gauge("ditto_serve_batches_pending", "serve", "batches");
+        let recorded = reg.counter("ditto_serve_journal_events", "serve", "events");
+        let evicted = reg.counter("ditto_serve_journal_evicted", "serve", "events");
+        reg.set_counter(tuples, s.tuples);
+        reg.set_counter(batches, self.batches_done);
+        reg.set_counter(resched, s.reschedules);
+        reg.set_counter(plans, s.plans_generated);
+        reg.set_gauge(depth, self.enqueued - s.tuples);
+        reg.set_gauge(pending, self.pending.len() as u64);
+        reg.set_counter(recorded, self.journal.recorded());
+        reg.set_counter(evicted, self.journal.evicted());
+        self.pipeline.engine().publish_metrics(&mut reg);
+        reg.snapshot()
     }
 
     fn snapshot(&self) -> ShardSnapshot {
@@ -202,6 +271,8 @@ impl<A: DittoApp + 'static> ShardWorker<A> {
             }
             let b = self.pending.pop_front().expect("front checked");
             self.batches_done += 1;
+            self.journal
+                .record(b.id, SpanStage::Drain, done_cycle, self.id as u32, b.tuples);
             // A send failure means the cluster stopped listening (dropped);
             // the shard keeps serving the engine side regardless.
             let _ = self.events.send(ShardEvent {
@@ -226,6 +297,7 @@ impl<A: DittoApp + 'static> ShardWorker<A> {
         let pe_cycles = remaining * u64::from(self.pipeline.app().ii_pri() + 2);
         let budget = ingress_cycles + pe_cycles + 1_000_000;
         self.pipeline.expect_drained(budget);
+        self.record_first_steps();
         self.complete_ready();
         assert!(
             self.pending.is_empty(),

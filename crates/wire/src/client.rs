@@ -6,9 +6,10 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
 use datagen::Tuple;
+use ditto_obs::{decode_snapshot, MetricsSnapshot};
 use ditto_serve::{LatencyRecorder, LatencyStats};
 
-use crate::frame::{Frame, FrameError, Request, Response, WireStats};
+use crate::frame::{metrics_format, Frame, FrameError, Request, Response, WireStats};
 
 /// Client-side failure.
 #[derive(Debug)]
@@ -181,6 +182,52 @@ impl WireClient {
             Response::Output { bytes } => Ok(bytes),
             _ => Err(WireError::Protocol("expected an output reply")),
         })
+    }
+
+    /// Fetches the merged observability registry for `app` (0 for every
+    /// hosted app, each entry labelled `app=<id>`) as a decoded snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Transport, frame or server errors; [`WireError::Frame`] if the
+    /// binary body fails to decode.
+    pub fn metrics(&mut self, app: u16) -> Result<MetricsSnapshot, WireError> {
+        self.expect(
+            Request::Metrics {
+                format: metrics_format::BINARY,
+            },
+            app,
+            |r| match r {
+                Response::MetricsDump { format, body } if format == metrics_format::BINARY => {
+                    decode_snapshot(&body)
+                        .map_err(|_| WireError::Protocol("undecodable metrics body"))
+                }
+                _ => Err(WireError::Protocol("expected a binary metrics dump")),
+            },
+        )
+    }
+
+    /// Fetches the registry for `app` (0 for all apps) in Prometheus text
+    /// exposition format.
+    ///
+    /// # Errors
+    ///
+    /// Transport, frame or server errors; [`WireError::Protocol`] on a
+    /// non-UTF-8 body.
+    pub fn metrics_text(&mut self, app: u16) -> Result<String, WireError> {
+        self.expect(
+            Request::Metrics {
+                format: metrics_format::PROMETHEUS,
+            },
+            app,
+            |r| match r {
+                Response::MetricsDump { format, body } if format == metrics_format::PROMETHEUS => {
+                    String::from_utf8(body)
+                        .map_err(|_| WireError::Protocol("metrics text not UTF-8"))
+                }
+                _ => Err(WireError::Protocol("expected a text metrics dump")),
+            },
+        )
     }
 
     /// Round-trips a ping, returning the wall latency.

@@ -52,6 +52,14 @@ pub const MAX_PING_BYTES: usize = 1024;
 /// Bytes one encoded tuple occupies in a `Submit` payload.
 pub const TUPLE_BYTES: usize = 16;
 
+/// Body encodings a [`Request::Metrics`] may ask for.
+pub mod metrics_format {
+    /// The compact binary snapshot codec (`ditto_obs::decode_snapshot`).
+    pub const BINARY: u8 = 0;
+    /// Prometheus text exposition format 0.0.4 (UTF-8).
+    pub const PROMETHEUS: u8 = 1;
+}
+
 /// Error codes carried by [`Response::Error`].
 pub mod error_code {
     /// The frame named an app id the server does not host.
@@ -75,6 +83,9 @@ pub enum FrameKind {
     Finalize = 0x03,
     /// Client → server: liveness echo.
     Ping = 0x04,
+    /// Client → server: dump the merged observability registry (app id 0
+    /// addresses every hosted app at once).
+    Metrics = 0x05,
     /// Server → client: the batch completed (result ack + latency).
     Done = 0x81,
     /// Server → client: statistics reply.
@@ -83,6 +94,8 @@ pub enum FrameKind {
     Output = 0x83,
     /// Server → client: ping echo.
     Pong = 0x84,
+    /// Server → client: observability registry dump.
+    MetricsDump = 0x85,
     /// Server → client: the batch was shed by admission control.
     Overloaded = 0x90,
     /// Server → client: request failed.
@@ -96,10 +109,12 @@ impl FrameKind {
             0x02 => FrameKind::Stats,
             0x03 => FrameKind::Finalize,
             0x04 => FrameKind::Ping,
+            0x05 => FrameKind::Metrics,
             0x81 => FrameKind::Done,
             0x82 => FrameKind::StatsReply,
             0x83 => FrameKind::Output,
             0x84 => FrameKind::Pong,
+            0x85 => FrameKind::MetricsDump,
             0x90 => FrameKind::Overloaded,
             0x91 => FrameKind::Error,
             _ => return None,
@@ -422,6 +437,10 @@ pub struct WireStats {
     pub p50_wall_us: u64,
     /// 99th-percentile batch latency in wall-clock microseconds.
     pub p99_wall_us: u64,
+    /// 99.9th-percentile batch latency in simulated cycles.
+    pub p999_cycles: u64,
+    /// 99.9th-percentile batch latency in wall-clock microseconds.
+    pub p999_wall_us: u64,
 }
 
 impl WireStats {
@@ -439,6 +458,10 @@ impl WireStats {
             self.p99_cycles,
             self.p50_wall_us,
             self.p99_wall_us,
+            // p999 fields ride at the end so pre-p999 decoders that read a
+            // fixed prefix stay layout-compatible.
+            self.p999_cycles,
+            self.p999_wall_us,
         ] {
             put_u64(out, v);
         }
@@ -458,6 +481,8 @@ impl WireStats {
             p99_cycles: r.u64()?,
             p50_wall_us: r.u64()?,
             p99_wall_us: r.u64()?,
+            p999_cycles: r.u64()?,
+            p999_wall_us: r.u64()?,
         })
     }
 }
@@ -479,6 +504,12 @@ pub enum Request {
         /// Opaque bytes echoed back, at most [`MAX_PING_BYTES`].
         echo: Vec<u8>,
     },
+    /// Dump the merged observability registry for the addressed app (app
+    /// id 0: every hosted app, each entry labelled `app=<id>`).
+    Metrics {
+        /// Requested body encoding — see [`metrics_format`].
+        format: u8,
+    },
 }
 
 impl Request {
@@ -498,6 +529,7 @@ impl Request {
             Request::Stats => (FrameKind::Stats, Vec::new()),
             Request::Finalize => (FrameKind::Finalize, Vec::new()),
             Request::Ping { echo } => (FrameKind::Ping, echo),
+            Request::Metrics { format } => (FrameKind::Metrics, vec![format]),
         };
         Frame {
             kind,
@@ -544,6 +576,14 @@ impl Request {
                     echo: frame.payload.clone(),
                 })
             }
+            FrameKind::Metrics => {
+                let format = *r.bytes(1)?.first().expect("bytes(1) yields one byte");
+                if format != metrics_format::BINARY && format != metrics_format::PROMETHEUS {
+                    return Err(FrameError::BadPayload("unknown metrics format"));
+                }
+                r.finish()?;
+                Ok(Request::Metrics { format })
+            }
             _ => Err(FrameError::BadPayload("response kind in request position")),
         }
     }
@@ -574,6 +614,13 @@ pub enum Response {
     Pong {
         /// The request's echo bytes.
         echo: Vec<u8>,
+    },
+    /// The observability registry dump.
+    MetricsDump {
+        /// The body encoding actually used (echoes the request's).
+        format: u8,
+        /// Encoded body: the binary snapshot codec or Prometheus text.
+        body: Vec<u8>,
     },
     /// The batch was shed by admission control and **not** served.
     Overloaded {
@@ -613,6 +660,12 @@ impl Response {
             }
             Response::Output { bytes } => (FrameKind::Output, bytes),
             Response::Pong { echo } => (FrameKind::Pong, echo),
+            Response::MetricsDump { format, body } => {
+                let mut p = Vec::with_capacity(1 + body.len());
+                p.push(format);
+                p.extend_from_slice(&body);
+                (FrameKind::MetricsDump, p)
+            }
             Response::Overloaded {
                 queue_depth,
                 watermark,
@@ -668,6 +721,11 @@ impl Response {
             FrameKind::Pong => Ok(Response::Pong {
                 echo: frame.payload.clone(),
             }),
+            FrameKind::MetricsDump => {
+                let format = *r.bytes(1)?.first().expect("bytes(1) yields one byte");
+                let body = r.bytes(r.remaining())?.to_vec();
+                Ok(Response::MetricsDump { format, body })
+            }
             FrameKind::Overloaded => {
                 let resp = Response::Overloaded {
                     queue_depth: r.u64()?,
@@ -722,6 +780,12 @@ mod tests {
             Request::Ping {
                 echo: b"hello".to_vec(),
             },
+            Request::Metrics {
+                format: metrics_format::BINARY,
+            },
+            Request::Metrics {
+                format: metrics_format::PROMETHEUS,
+            },
         ];
         for (i, req) in reqs.into_iter().enumerate() {
             let f = req.clone().into_frame(i as u16, 1000 + i as u64);
@@ -749,6 +813,10 @@ mod tests {
                 bytes: vec![1, 2, 3],
             },
             Response::Pong { echo: vec![] },
+            Response::MetricsDump {
+                format: metrics_format::PROMETHEUS,
+                body: b"# TYPE x counter\nx 1\n".to_vec(),
+            },
             Response::Overloaded {
                 queue_depth: 4096,
                 watermark: 1024,

@@ -71,6 +71,6 @@ mod server;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionDecision};
 pub use client::{run_load, LoadGenConfig, LoadReport, WireClient, WireError};
-pub use frame::{Frame, FrameError, FrameKind, Request, Response, WireStats};
+pub use frame::{metrics_format, Frame, FrameError, FrameKind, Request, Response, WireStats};
 pub use registry::{app_id, AppRegistry, WireApp};
 pub use server::{ShutdownReport, WireServer, WireServerConfig};

@@ -15,6 +15,7 @@ use datagen::Tuple;
 use ditto_apps::{DataPartitionApp, HhdApp, HistoApp, HllApp, PageRankApp};
 use ditto_core::apps::CountPerKey;
 use ditto_core::DittoApp;
+use ditto_obs::{MetricsSnapshot, SpanEvent};
 use ditto_serve::{BatchId, Cluster, CompletedBatch, ServeConfig};
 use sketches::{Fixed, HyperLogLog};
 
@@ -207,6 +208,10 @@ pub(crate) trait HostedCluster: Send {
     fn take_completed(&mut self) -> Vec<CompletedBatch>;
     /// Serving statistics (non-blocking).
     fn stats(&mut self) -> WireStats;
+    /// The merged observability registry (synchronous shard round-trip).
+    fn metrics(&mut self) -> MetricsSnapshot;
+    /// Drains every span journal (shards + cluster) into one flat list.
+    fn take_journal(&mut self) -> Vec<SpanEvent>;
     /// Drains every in-flight batch, returning their completion records
     /// without tearing anything down.
     fn drain(&mut self) -> Vec<CompletedBatch>;
@@ -233,6 +238,8 @@ fn wire_stats<A: DittoApp + Clone + 'static>(cluster: &mut Cluster<A>) -> WireSt
         p99_cycles: a.latency_cycles.p99,
         p50_wall_us: a.latency_wall_us.p50,
         p99_wall_us: a.latency_wall_us.p99,
+        p999_cycles: a.latency_cycles.p999,
+        p999_wall_us: a.latency_wall_us.p999,
     }
 }
 
@@ -282,6 +289,14 @@ impl<A: WireApp> HostedCluster for Host<A> {
 
     fn stats(&mut self) -> WireStats {
         fold_stats(&self.prior, wire_stats(&mut self.cluster))
+    }
+
+    fn metrics(&mut self) -> MetricsSnapshot {
+        self.cluster.metrics()
+    }
+
+    fn take_journal(&mut self) -> Vec<SpanEvent> {
+        self.cluster.take_journal()
     }
 
     fn drain(&mut self) -> Vec<CompletedBatch> {

@@ -35,10 +35,14 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use ditto_obs::{
+    clock, encode_snapshot, to_prometheus_text, MetricsRegistry, MetricsSnapshot, SpanEvent,
+    SpanJournal, SpanStage, NO_SHARD,
+};
 use ditto_serve::{BatchId, CompletedBatch};
 
 use crate::admission::{AdmissionConfig, AdmissionController, AdmissionDecision};
-use crate::frame::{error_code, Frame, FrameError, Request, Response, WireStats};
+use crate::frame::{error_code, metrics_format, Frame, FrameError, Request, Response, WireStats};
 use crate::registry::{AppRegistry, HostedCluster};
 
 /// Wire server tuning.
@@ -48,20 +52,30 @@ pub struct WireServerConfig {
     pub admission: AdmissionConfig,
     /// How often the completion pump polls the hosted clusters.
     pub pump_interval: Duration,
+    /// Capacity of each app's wire-level span journal (accept/admit/shed/
+    /// reply events); `0` disables buffering, counters stay exact.
+    pub trace_capacity: usize,
 }
 
 impl WireServerConfig {
-    /// Defaults: permissive admission, 200 µs pump.
+    /// Defaults: permissive admission, 200 µs pump, 4096-event journals.
     pub fn new() -> Self {
         WireServerConfig {
             admission: AdmissionConfig::new(),
             pump_interval: Duration::from_micros(200),
+            trace_capacity: 4096,
         }
     }
 
     /// Sets the admission config.
     pub fn with_admission(mut self, admission: AdmissionConfig) -> Self {
         self.admission = admission;
+        self
+    }
+
+    /// Sets the wire-level span-journal capacity.
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
         self
     }
 }
@@ -105,6 +119,8 @@ struct HostState {
     /// This app's admission budget: the registry's per-app override, or
     /// the server-wide policy.
     admission: AdmissionController,
+    /// Wire-level span events (accept/admit/shed/reply).
+    journal: SpanJournal,
 }
 
 impl HostState {
@@ -118,6 +134,13 @@ impl HostState {
                 // Completion for a batch whose connection died; drop it.
                 continue;
             };
+            self.journal.record(
+                batch.id,
+                SpanStage::Reply,
+                batch.latency_cycles,
+                NO_SHARD,
+                batch.tuples,
+            );
             let resp = Response::Done {
                 tuples: batch.tuples,
                 latency_cycles: batch.latency_cycles,
@@ -126,6 +149,31 @@ impl HostState {
             // Full or disconnected both mean the client is not listening.
             let _ = w.resp.try_send(resp.into_frame(w.app, w.seq));
         }
+    }
+
+    /// This app's full observability snapshot: the hosted cluster's merged
+    /// registry plus the wire layer's own journal counters.
+    fn metrics(&mut self) -> MetricsSnapshot {
+        let mut snap = self.host.metrics();
+        let mut reg = MetricsRegistry::new();
+        let recorded = reg.counter("ditto_wire_journal_events", "wire", "events");
+        let evicted = reg.counter("ditto_wire_journal_evicted", "wire", "events");
+        reg.set_counter(recorded, self.journal.recorded());
+        reg.set_counter(evicted, self.journal.evicted());
+        snap.merge(&reg.snapshot());
+        snap
+    }
+
+    /// Drains this app's full span journal — the hosted cluster's events
+    /// (queue/step/drain/merge) and the wire layer's (accept/admit/shed/
+    /// reply) — stamping every event with `app`.
+    fn take_journal(&mut self, app: u16) -> Vec<SpanEvent> {
+        let mut events = self.host.take_journal();
+        events.append(&mut self.journal.drain());
+        for e in &mut events {
+            e.app = app;
+        }
+        events
     }
 
     /// Fails every waiter (connection teardown path at shutdown).
@@ -180,6 +228,10 @@ impl WireServer {
         registry: AppRegistry,
         config: WireServerConfig,
     ) -> std::io::Result<WireServer> {
+        // Announce DITTO_* overrides once, at the front door: a serving
+        // process whose behaviour was changed by the environment should
+        // say so before accepting traffic.
+        ditto_obs::env::log_active();
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let AppRegistry {
@@ -198,6 +250,7 @@ impl WireServer {
                         host,
                         waiters: HashMap::new(),
                         admission: AdmissionController::new(policy),
+                        journal: SpanJournal::new(config.trace_capacity),
                     }),
                 )
             })
@@ -235,6 +288,23 @@ impl WireServer {
     /// The bound address clients connect to.
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Drains every hosted app's span journals — wire-level accept/admit/
+    /// shed/reply events plus the cluster's queue/step/drain/merge events —
+    /// stamped with their app ids. Feed the result to
+    /// [`ditto_obs::chrome_trace_json`] for a `chrome://tracing` /
+    /// Perfetto-loadable file.
+    pub fn take_trace_events(&self) -> Vec<SpanEvent> {
+        let mut ids: Vec<u16> = self.shared.apps.keys().copied().collect();
+        ids.sort_unstable();
+        let mut events = Vec::new();
+        for id in ids {
+            let state = self.shared.apps.get(&id).expect("id from keys");
+            let mut st = state.lock().expect("host state poisoned");
+            events.extend(st.take_journal(id));
+        }
+        events
     }
 
     /// Graceful shutdown: stop admitting, drain every in-flight batch,
@@ -420,8 +490,50 @@ fn connection_loop(stream: TcpStream, shared: &Arc<ServerShared>, resp: &SyncSen
                 });
                 let _ = resp.send(reply.into_frame(frame.app, frame.seq));
             }
+            Request::Metrics { format } => {
+                let reply = handle_metrics(shared, frame.app, format);
+                let _ = resp.send(reply.into_frame(frame.app, frame.seq));
+            }
         }
     }
+}
+
+/// Serves a `Metrics` request: app id 0 merges every hosted app's registry
+/// (each stamped with its `app` label); a concrete id dumps that app alone.
+fn handle_metrics(shared: &ServerShared, app: u16, format: u8) -> Response {
+    let snap = if app == 0 {
+        let mut ids: Vec<u16> = shared.apps.keys().copied().collect();
+        ids.sort_unstable();
+        let mut merged = MetricsSnapshot::default();
+        for id in ids {
+            let state = shared.apps.get(&id).expect("id from keys");
+            let mut st = state.lock().expect("host state poisoned");
+            let mut snap = st.metrics();
+            snap.add_label("app", id);
+            merged.merge(&snap);
+        }
+        merged
+    } else {
+        match shared.apps.get(&app) {
+            Some(state) => {
+                let mut st = state.lock().expect("host state poisoned");
+                let mut snap = st.metrics();
+                snap.add_label("app", app);
+                snap
+            }
+            None => {
+                return Response::Error {
+                    code: error_code::UNKNOWN_APP,
+                    message: format!("no app registered under id {app}"),
+                }
+            }
+        }
+    };
+    let body = match format {
+        metrics_format::PROMETHEUS => to_prometheus_text(&snap).into_bytes(),
+        _ => encode_snapshot(&snap),
+    };
+    Response::MetricsDump { format, body }
 }
 
 /// Runs `f` under the app's lock, or answers `UNKNOWN_APP`.
@@ -484,7 +596,23 @@ fn handle_submit(
             let depth = st.host.queue_depth();
             match st.admission.evaluate(depth, attempt) {
                 AdmissionDecision::Admit => {
+                    // The admit stamp is taken *before* the submit fans the
+                    // batch out, so the shard's Queue event (recorded after
+                    // it receives the command) can never precede it.
+                    let admit_wall = clock::wall_us_now();
                     let id = st.host.submit(batch.take().expect("batch present"));
+                    // Accept is back-filled with the frame-receipt instant
+                    // now that admission has assigned the span id.
+                    st.journal.record_at(
+                        id,
+                        SpanStage::Accept,
+                        clock::wall_us_of(received),
+                        0,
+                        NO_SHARD,
+                        n_tuples,
+                    );
+                    st.journal
+                        .record_at(id, SpanStage::Admit, admit_wall, 0, NO_SHARD, n_tuples);
                     st.waiters.insert(
                         id,
                         Waiter {
@@ -499,6 +627,20 @@ fn handle_submit(
                 AdmissionDecision::Defer => st.admission.config().defer_wait,
                 AdmissionDecision::Shed => {
                     st.host.record_shed(n_tuples);
+                    // Shed batches never got a cluster id; their span is
+                    // the client seq with the top bit set, which cannot
+                    // collide with real batch ids.
+                    let span = frame.seq | 1 << 63;
+                    st.journal.record_at(
+                        span,
+                        SpanStage::Accept,
+                        clock::wall_us_of(received),
+                        0,
+                        NO_SHARD,
+                        n_tuples,
+                    );
+                    st.journal
+                        .record(span, SpanStage::Shed, 0, NO_SHARD, n_tuples);
                     let reply = Response::Overloaded {
                         queue_depth: depth,
                         watermark: st.admission.config().max_queue_tuples,

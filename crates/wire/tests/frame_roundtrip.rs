@@ -12,7 +12,8 @@
 use datagen::rng::Xoshiro256;
 use datagen::Tuple;
 use ditto_wire::frame::{
-    Frame, FrameError, FrameKind, Request, Response, WireStats, HEADER_BYTES, MAX_PAYLOAD_BYTES,
+    metrics_format, Frame, FrameError, FrameKind, Request, Response, WireStats, HEADER_BYTES,
+    MAX_PAYLOAD_BYTES,
 };
 
 const ROUNDS: usize = 200;
@@ -25,12 +26,19 @@ fn random_tuples(rng: &mut Xoshiro256, max: usize) -> Vec<Tuple> {
 }
 
 fn random_request(rng: &mut Xoshiro256) -> Request {
-    match rng.range_u64(4) {
+    match rng.range_u64(5) {
         0 => Request::Submit {
             tuples: random_tuples(rng, 64),
         },
         1 => Request::Stats,
         2 => Request::Finalize,
+        3 => Request::Metrics {
+            format: if rng.range_u64(2) == 0 {
+                metrics_format::BINARY
+            } else {
+                metrics_format::PROMETHEUS
+            },
+        },
         _ => Request::Ping {
             echo: (0..rng.range_u64(32))
                 .map(|_| rng.next_u64() as u8)
@@ -40,7 +48,7 @@ fn random_request(rng: &mut Xoshiro256) -> Request {
 }
 
 fn random_response(rng: &mut Xoshiro256) -> Response {
-    match rng.range_u64(6) {
+    match rng.range_u64(7) {
         0 => Response::Done {
             tuples: rng.next_u64(),
             latency_cycles: rng.next_u64(),
@@ -59,6 +67,8 @@ fn random_response(rng: &mut Xoshiro256) -> Response {
             p99_cycles: rng.next_u64(),
             p50_wall_us: rng.next_u64(),
             p99_wall_us: rng.next_u64(),
+            p999_cycles: rng.next_u64(),
+            p999_wall_us: rng.next_u64(),
         }),
         2 => Response::Output {
             bytes: (0..rng.range_u64(128))
@@ -73,6 +83,16 @@ fn random_response(rng: &mut Xoshiro256) -> Response {
         4 => Response::Overloaded {
             queue_depth: rng.next_u64(),
             watermark: rng.next_u64(),
+        },
+        5 => Response::MetricsDump {
+            format: if rng.range_u64(2) == 0 {
+                metrics_format::BINARY
+            } else {
+                metrics_format::PROMETHEUS
+            },
+            body: (0..rng.range_u64(256))
+                .map(|_| rng.next_u64() as u8)
+                .collect(),
         },
         _ => Response::Error {
             code: rng.next_u64() as u16,
@@ -210,10 +230,12 @@ fn kind_discriminants_are_pinned() {
     assert_eq!(FrameKind::Stats as u8, 0x02);
     assert_eq!(FrameKind::Finalize as u8, 0x03);
     assert_eq!(FrameKind::Ping as u8, 0x04);
+    assert_eq!(FrameKind::Metrics as u8, 0x05);
     assert_eq!(FrameKind::Done as u8, 0x81);
     assert_eq!(FrameKind::StatsReply as u8, 0x82);
     assert_eq!(FrameKind::Output as u8, 0x83);
     assert_eq!(FrameKind::Pong as u8, 0x84);
+    assert_eq!(FrameKind::MetricsDump as u8, 0x85);
     assert_eq!(FrameKind::Overloaded as u8, 0x90);
     assert_eq!(FrameKind::Error as u8, 0x91);
 }

@@ -328,6 +328,176 @@ fn graceful_shutdown_drains_in_flight_batches() {
     assert_eq!(done, total, "a Done response was lost in shutdown");
 }
 
+/// One `Metrics` round-trip over a real loopback socket must return
+/// per-shard counters, bucketed latency histograms with p50/p99/p999 and
+/// admission/shed totals for *every* registered app — in both the binary
+/// codec and validated Prometheus text — and the server's span journals
+/// must reconstruct a full batch lifecycle with monotone timestamps,
+/// exportable as Chrome trace-event JSON.
+#[test]
+fn metrics_dump_and_trace_export_over_loopback() {
+    use ditto_obs::{chrome_trace_json, validate_prometheus_text, MetricValue, SpanStage};
+
+    const APP_A: u16 = 7;
+    const APP_B: u16 = 8;
+    let app = HistoApp::new(256, 8);
+    let arch = ArchConfig::new(4, 8, 3).with_pe_entries(app.pe_entries());
+    let mut registry = AppRegistry::new();
+    registry.register(APP_A, app.clone(), ServeConfig::new(SHARDS, arch.clone()));
+    registry.register(APP_B, app.clone(), ServeConfig::new(SHARDS, arch));
+    let server = WireServer::bind("127.0.0.1:0", registry, WireServerConfig::new()).expect("bind");
+    let mut client = WireClient::connect(server.local_addr()).expect("connect");
+
+    let data = zipf3(81);
+    let batches = split_into_batches(&data, BATCH);
+    let total = batches.len() as u64;
+    for batch in &batches {
+        client.submit(APP_A, batch).expect("submit A");
+        client.submit(APP_B, batch).expect("submit B");
+    }
+    for _ in 0..2 * total {
+        let (_, _, resp) = client.recv().expect("completion");
+        assert!(matches!(resp, Response::Done { .. }));
+    }
+
+    // -- Binary dump, app 0 = every hosted app, labelled. --
+    let snap = client.metrics(0).expect("metrics dump");
+    for app_id in [APP_A, APP_B] {
+        let label = app_id.to_string();
+        // Per-shard serving counters for this app sum to the dataset size.
+        let mut shard_tuples = 0u64;
+        for shard in 0..SHARDS {
+            let e = snap
+                .get(
+                    "ditto_serve_tuples_total",
+                    &[("app", &label), ("shard", &shard.to_string())],
+                )
+                .unwrap_or_else(|| panic!("no shard {shard} counters for app {app_id}"));
+            shard_tuples += e.value.scalar();
+        }
+        assert_eq!(shard_tuples, data.len() as u64, "app {app_id} tuples");
+        // Admission totals.
+        let submitted = snap
+            .get("ditto_cluster_batches_submitted", &[("app", &label)])
+            .expect("admission totals present")
+            .value
+            .scalar();
+        assert_eq!(submitted, total);
+        let shed = snap
+            .get("ditto_cluster_batches_shed", &[("app", &label)])
+            .expect("shed totals present")
+            .value
+            .scalar();
+        assert_eq!(shed, 0);
+        // Bucketed latency histogram with all three quantiles.
+        let e = snap
+            .get("ditto_cluster_batch_latency_cycles", &[("app", &label)])
+            .expect("latency histogram present");
+        let MetricValue::Histogram(h) = &e.value else {
+            panic!("latency metric is not a histogram");
+        };
+        let s = h.stats();
+        assert_eq!(s.count, total);
+        assert!(s.p50 > 0 && s.p50 <= s.p99 && s.p99 <= s.p999 && s.p999 <= s.max);
+        // Engine counters made it through the merge too.
+        let cycles = snap
+            .get("ditto_engine_cycles", &[("app", &label), ("shard", "0")])
+            .expect("engine counters present")
+            .value
+            .scalar();
+        assert!(cycles > 0);
+    }
+
+    // -- Prometheus text scrape parses cleanly. --
+    let text = client.metrics_text(0).expect("prometheus scrape");
+    validate_prometheus_text(&text).expect("exposition must parse");
+    assert!(text.contains("ditto_serve_tuples_total"));
+    assert!(text.contains("quantile=\"0.999\""));
+
+    // -- Span journals reconstruct a full batch lifecycle. --
+    let events = server.take_trace_events();
+    let spans_with = |stage: SpanStage| -> std::collections::HashSet<(u16, u64)> {
+        events
+            .iter()
+            .filter(|e| e.stage == stage)
+            .map(|e| (e.app, e.span))
+            .collect()
+    };
+    let full: Vec<(u16, u64)> = [
+        SpanStage::Accept,
+        SpanStage::Admit,
+        SpanStage::Queue,
+        SpanStage::Step,
+        SpanStage::Drain,
+        SpanStage::Merge,
+        SpanStage::Reply,
+    ]
+    .iter()
+    .map(|&s| spans_with(s))
+    .reduce(|a, b| a.intersection(&b).copied().collect())
+    .expect("stage list non-empty")
+    .into_iter()
+    .collect();
+    assert!(
+        !full.is_empty(),
+        "no span covers the full accept→reply lifecycle"
+    );
+    // Causality is per-shard between queue/step/drain (shard B may finish
+    // its slice before shard A even dequeues its command), global at the
+    // boundaries: accept ≤ admit ≤ every queue; every drain ≤ merge ≤
+    // reply; and queue ≤ step ≤ drain within each shard.
+    for &(app_id, span) in &full {
+        let evs: Vec<_> = events
+            .iter()
+            .filter(|e| e.app == app_id && e.span == span)
+            .collect();
+        let walls = |stage: SpanStage| -> Vec<u64> {
+            evs.iter()
+                .filter(|e| e.stage == stage)
+                .map(|e| e.wall_us)
+                .collect()
+        };
+        let max = |stage| *walls(stage).iter().max().expect("stage present");
+        let min = |stage| *walls(stage).iter().min().expect("stage present");
+        assert!(max(SpanStage::Accept) <= min(SpanStage::Admit));
+        assert!(max(SpanStage::Admit) <= min(SpanStage::Queue));
+        assert!(max(SpanStage::Drain) <= min(SpanStage::Merge));
+        assert!(max(SpanStage::Merge) <= min(SpanStage::Reply));
+        let shards: std::collections::HashSet<u32> = evs
+            .iter()
+            .filter(|e| e.stage == SpanStage::Queue)
+            .map(|e| e.shard)
+            .collect();
+        for shard in shards {
+            let on_shard = |stage: SpanStage| -> Option<u64> {
+                evs.iter()
+                    .filter(|e| e.stage == stage && e.shard == shard)
+                    .map(|e| e.wall_us)
+                    .max()
+            };
+            let q = on_shard(SpanStage::Queue).expect("queue present");
+            if let Some(s) = on_shard(SpanStage::Step) {
+                assert!(q <= s, "span {span} shard {shard}: queue after step");
+                if let Some(d) = on_shard(SpanStage::Drain) {
+                    assert!(s <= d, "span {span} shard {shard}: step after drain");
+                }
+            }
+        }
+    }
+
+    // -- Chrome trace-event export (CI uploads this artifact). --
+    let json = chrome_trace_json(&events);
+    assert!(json.starts_with("{\"traceEvents\":["));
+    assert!(json.contains("\"name\":\"reply\""));
+    let out = std::env::var("DITTO_TRACE_OUT")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| std::env::temp_dir().join("ditto_wire_trace.json"));
+    std::fs::write(&out, &json).expect("write trace artifact");
+
+    drop(client);
+    server.shutdown();
+}
+
 #[test]
 fn unknown_app_and_garbage_are_answered_not_crashed() {
     let mut registry = AppRegistry::new();

@@ -21,6 +21,9 @@
 //! * [`wire`] (`ditto-wire`) — the zero-dependency TCP front-end over the
 //!   serve cluster: binary frame protocol, admission control and load
 //!   shedding;
+//! * [`obs`] (`ditto-obs`) — cross-layer observability: the metrics
+//!   registry, bucketed latency histograms, the batch-span tracing journal
+//!   and the Prometheus/binary exposition codecs;
 //! * [`sketches`], [`graph`], [`datagen`], [`fpga_model`] — algorithmic,
 //!   graph, dataset and resource-model substrates.
 //!
@@ -58,6 +61,7 @@ pub use ditto_baselines as baselines;
 pub use ditto_core as core;
 pub use ditto_framework as framework;
 pub use ditto_graph as graph;
+pub use ditto_obs as obs;
 pub use ditto_serve as serve;
 pub use ditto_wire as wire;
 pub use fpga_model;
@@ -81,6 +85,10 @@ pub mod prelude {
         select_implementation, Implementation, Platform, SkewAnalyzer, SystemGenerator,
     };
     pub use ditto_graph::{generate, pagerank, Csr};
+    pub use ditto_obs::{
+        chrome_trace_json, LatencyStats, LogHistogram, MetricsRegistry, MetricsSnapshot, SpanEvent,
+        SpanJournal, SpanStage,
+    };
     pub use ditto_serve::{
         split_into_batches, AdmissionSnapshot, BalancerConfig, Cluster, ClusterSnapshot,
         ServeConfig,

@@ -1,0 +1,53 @@
+//! Pins README content that is generated from (or promised by) code, so
+//! documentation drift fails the suite instead of shipping.
+
+static README: &str = include_str!("../README.md");
+
+/// The env-override table in the README is the verbatim output of
+/// [`ditto::obs::env::markdown_table`] — edit `obs::env::KNOWN`, then
+/// paste the regenerated table.
+#[test]
+fn env_override_table_matches_registry() {
+    let table = ditto::obs::env::markdown_table();
+    assert!(
+        README.contains(&table),
+        "README env-override table is stale; regenerate it with \
+         ditto_obs::env::markdown_table():\n{table}"
+    );
+}
+
+/// Every `DITTO_*` variable the README mentions anywhere is a registered
+/// knob — prose cannot reference an override the catalog doesn't know.
+#[test]
+fn readme_mentions_only_registered_knobs() {
+    let known: Vec<&str> = ditto::obs::env::KNOWN.iter().map(|k| k.name).collect();
+    let mut rest = README;
+    while let Some(at) = rest.find("DITTO_") {
+        let tail = &rest[at..];
+        let end = tail
+            .find(|c: char| !(c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_'))
+            .unwrap_or(tail.len());
+        // Bare `DITTO_*` (glob prose) trims to `DITTO`; skip those.
+        let var = tail[..end].trim_end_matches('_');
+        if var.len() > "DITTO".len() {
+            assert!(
+                known.contains(&var),
+                "README references unregistered env var {var}; add it to \
+                 ditto_obs::env::KNOWN"
+            );
+        }
+        rest = &rest[at + end..];
+    }
+}
+
+/// The wire-protocol section documents the PR 7 telemetry frames with
+/// their pinned discriminants.
+#[test]
+fn wire_protocol_docs_cover_metrics_frames() {
+    for needle in ["`Metrics` (`0x05`", "`MetricsDump` (`0x85`"] {
+        assert!(
+            README.contains(needle),
+            "README protocol kinds paragraph is missing {needle}"
+        );
+    }
+}
