@@ -89,7 +89,7 @@ impl HhdApp {
 }
 
 /// One PE's heavy-hitter state: a CMS slice plus threshold candidates.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HhdState {
     sketch: CountMinSketch,
     candidates: HashMap<u64, u64>,

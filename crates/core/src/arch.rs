@@ -494,6 +494,64 @@ impl<A: DittoApp + 'static> PersistentPipeline<A> {
         (pri_states, report, channels)
     }
 
+    /// Extracts the accumulated PE state backing every key-range slot this
+    /// pipeline currently serves, leaving the engine live and serving from
+    /// fresh `new_state` buffers — the state-handoff primitive.
+    ///
+    /// The handoff granularity is deliberately the pipeline's *whole*
+    /// accumulated slice: `DittoApp` states are mergeable aggregates
+    /// (histogram bins, sketch registers, fixed-point sums), not
+    /// key-addressable tables, so a finer key-sliced split of one PriPE
+    /// buffer does not exist in general — one histogram bin mixes
+    /// contributions from many router slots. Whole-slice extraction is
+    /// still exact at cluster level because `merge` is associative and
+    /// commutative: it never matters *which* engine's buffers a tuple's
+    /// contribution sits in, only that it sits in exactly one. Extraction
+    /// moves every contribution this engine holds; installing the returned
+    /// states elsewhere ([`install_slots`](Self::install_slots)) relocates
+    /// the history without changing the merged total.
+    ///
+    /// SecPE partials are folded into the PriPE buffers first (the same
+    /// merge pass [`finish_states`](Self::finish_states) runs), so exactly
+    /// `M` states are returned and the SecPEs restart clean. Callers that
+    /// need the extract to cover everything *admitted* (not just everything
+    /// processed) must step the engine to its admission watermark first —
+    /// tuples still in flight at extraction time land in the fresh buffers
+    /// and merge exactly all the same.
+    pub fn extract_slots(&mut self) -> Vec<A::State> {
+        let ctx = self.engine.context_mut();
+        let plan = ctx.state(self.plan).clone();
+        crate::merger::fold_sec_states(ctx, &*self.app, &self.states, &plan, self.pe_entries);
+        self.states[..self.m_pri as usize]
+            .iter()
+            .map(|&id| std::mem::replace(ctx.state_mut(id), self.app.new_state(self.pe_entries)))
+            .collect()
+    }
+
+    /// Folds a previously extracted slice of `M` PriPE states into this
+    /// pipeline's PriPE buffers through the application's own `merge` —
+    /// the receiving half of a state handoff. The engine keeps running;
+    /// index `j` merges into PriPE `j`, mirroring how a cross-shard merge
+    /// treats a remote shard as a super-SecPE.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` does not hold exactly `M` entries.
+    pub fn install_slots(&mut self, states: Vec<A::State>) {
+        assert_eq!(
+            states.len(),
+            self.m_pri as usize,
+            "pipeline '{}' expects {} PriPE states, got {}",
+            self.label,
+            self.m_pri,
+            states.len()
+        );
+        let ctx = self.engine.context_mut();
+        for (&id, incoming) in self.states.iter().zip(&states) {
+            self.app.merge(ctx.state_mut(id), incoming);
+        }
+    }
+
     /// Final merge + finalize: consumes the pipeline and produces the
     /// application output with measurements.
     pub fn finish(self) -> RunOutcome<A::Output> {
@@ -664,6 +722,74 @@ mod tests {
         assert_eq!(states.iter().sum::<u64>(), 5_000, "SecPE partials folded");
         assert_eq!(report.tuples, 5_000);
         assert!(!channels.is_empty());
+    }
+
+    #[test]
+    fn extract_install_moves_state_between_pipelines() {
+        // Two engines each drain half of a dataset; handing pipeline A's
+        // slice to pipeline B must make B's finish equal the single-engine
+        // run over the whole dataset, and leave A holding nothing.
+        let data = ZipfGenerator::new(1.5, 1 << 12, 13).take_vec(6_000);
+        let cfg = ArchConfig::new(4, 8, 7);
+        let single = SkewObliviousPipeline::run_dataset(CountPerKey::new(8), data.clone(), &cfg);
+
+        let (half_a, half_b) = data.split_at(3_000);
+        let build = |half: &[Tuple]| {
+            let source = SliceSource::new(
+                half.to_vec(),
+                Tuple::PAPER_WIDTH_BYTES,
+                MemoryModel::new(64, 16),
+            );
+            let mut p = PersistentPipeline::new(CountPerKey::new(8), Box::new(source), &cfg);
+            p.expect_drained(200_000);
+            p
+        };
+        let mut a = build(half_a);
+        let mut b = build(half_b);
+        let slice = a.extract_slots();
+        assert_eq!(slice.len(), 8, "exactly M PriPE states extracted");
+        assert_eq!(slice.iter().sum::<u64>(), 3_000, "SecPE partials folded in");
+        b.install_slots(slice);
+        assert_eq!(b.finish().output.iter().sum::<u64>(), 6_000);
+        assert_eq!(
+            a.finish().output.iter().sum::<u64>(),
+            0,
+            "extraction must leave the source empty"
+        );
+        assert_eq!(single.output.iter().sum::<u64>(), 6_000);
+    }
+
+    #[test]
+    fn mid_run_extract_reinstall_is_identity() {
+        // Extracting mid-run (tuples still in flight) and reinstalling into
+        // the same engine must not change the final output: in-flight
+        // tuples land in the fresh buffers and merge exactly.
+        let data = ZipfGenerator::new(2.0, 1 << 12, 5).take_vec(5_000);
+        let bins = 64u64;
+        let cfg = ArchConfig::new(4, 8, 3).with_pe_entries(8);
+        let reference =
+            SkewObliviousPipeline::run_dataset(ModHistogram::new(bins), data.clone(), &cfg);
+        let source = SliceSource::new(data, Tuple::PAPER_WIDTH_BYTES, MemoryModel::new(64, 16));
+        let mut p = PersistentPipeline::new(ModHistogram::new(bins), Box::new(source), &cfg);
+        p.step_cycles(400);
+        assert!(p.processed() > 0, "mid-run point must have progress");
+        let slice = p.extract_slots();
+        p.install_slots(slice);
+        p.expect_drained(200_000);
+        assert_eq!(p.finish().output, reference.output);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 8 PriPE states, got 3")]
+    fn install_rejects_wrong_arity() {
+        let cfg = ArchConfig::new(2, 8, 0);
+        let source = SliceSource::new(
+            Vec::new(),
+            Tuple::PAPER_WIDTH_BYTES,
+            MemoryModel::new(64, 16),
+        );
+        let mut p = PersistentPipeline::new(CountPerKey::new(8), Box::new(source), &cfg);
+        p.install_slots(vec![0, 0, 0]);
     }
 
     #[test]

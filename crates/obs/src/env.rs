@@ -43,9 +43,9 @@ pub const KNOWN: &[EnvKnob] = &[
     },
     EnvKnob {
         name: "DITTO_SERVE_TUPLES",
-        consumer: "serve_bench",
+        consumer: "serve_bench, ha_bench",
         default: "40000",
-        effect: "tuples per serve-cluster sweep point",
+        effect: "tuples per serve-cluster / HA sweep point",
     },
     EnvKnob {
         name: "DITTO_WIRE_TUPLES",
@@ -82,6 +82,20 @@ pub const KNOWN: &[EnvKnob] = &[
         consumer: "ditto-bench (BENCH_*.json)",
         default: "\"ci\" under CI, else \"local\"",
         effect: "environment marker stamped into bench artifact host info",
+    },
+    EnvKnob {
+        name: "DITTO_REPLICAS",
+        consumer: "ditto-ha (replicated serving)",
+        default: "per-call argument (examples default to 1)",
+        effect: "follower replicas per shard for `HaCluster`-hosted apps; `0` disables \
+                 replication and recovery falls back to batch-log replay",
+    },
+    EnvKnob {
+        name: "DITTO_KILL_SHARD",
+        consumer: "ditto-serve (fault injection)",
+        default: "unset (no fault)",
+        effect: "`<shard>:<batches>` kills the given shard thread after it serves that many \
+                 batches — deterministic failure injection for recovery drills and CI smoke",
     },
     EnvKnob {
         name: "DITTO_TRACE_OUT",

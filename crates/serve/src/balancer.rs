@@ -162,9 +162,16 @@ impl ShardBalancer {
             if slot_load > excess || slot_load == 0.0 {
                 continue;
             }
-            let cold = (0..loads.len())
+            // A shard owning zero slots was retired by failure recovery
+            // (`reassign_all` stripped it bare): its load window reads 0
+            // forever, so it would always look coldest — never route new
+            // key ranges at a corpse.
+            let Some(cold) = (0..loads.len())
+                .filter(|&s| !table.slots_of(s).is_empty())
                 .min_by(|&a, &b| loads[a].total_cmp(&loads[b]))
-                .expect("non-empty");
+            else {
+                break;
+            };
             if cold == hot {
                 break;
             }
@@ -268,6 +275,24 @@ mod tests {
         let window = table.shard_window();
         assert!(balancer.rebalance(&window, &mut table).is_empty());
         assert_eq!(balancer.observations(), 0, "window below the noise guard");
+    }
+
+    #[test]
+    fn retired_shards_never_receive_slots() {
+        let mut table = RoutingTable::new(3, 24);
+        let mut balancer = ShardBalancer::new(3, BalancerConfig::default());
+        // Retire shard 2 the way failure recovery does: strip it bare.
+        table.reassign_all(2, 1);
+        let hot_keys = keys_on_shard(&table, 0, 16);
+        for _ in 0..6 {
+            admit(&mut table, &hot_keys, 100);
+            let window = table.shard_window();
+            for mv in balancer.rebalance(&window, &mut table) {
+                assert_ne!(mv.to, 2, "migrated a slot to the retired shard");
+                table.apply(mv);
+            }
+        }
+        assert!(table.slots_of(2).is_empty());
     }
 
     #[test]

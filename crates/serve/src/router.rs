@@ -177,6 +177,29 @@ impl RoutingTable {
         );
         self.owner[mv.slot] = mv.to;
     }
+
+    /// Failure recovery: reassigns *every* slot owned by `from` to `to`,
+    /// returning the moves applied. Unlike [`apply`](Self::apply) this
+    /// deliberately strips the source bare — a dead shard serves nothing —
+    /// and tolerates a source that already owns no slots (re-recovery is a
+    /// no-op).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is out of range or equals `from`.
+    pub fn reassign_all(&mut self, from: usize, to: usize) -> Vec<SlotMove> {
+        assert!(to < self.shards, "target shard out of range");
+        assert_ne!(from, to, "cannot reassign a shard's slots to itself");
+        let moves: Vec<SlotMove> = self
+            .slots_of(from)
+            .into_iter()
+            .map(|slot| SlotMove { slot, from, to })
+            .collect();
+        for mv in &moves {
+            self.owner[mv.slot] = mv.to;
+        }
+        moves
+    }
 }
 
 #[cfg(test)]
@@ -232,6 +255,21 @@ mod tests {
         let w = table.take_window();
         assert_eq!(w.iter().sum::<u64>(), 100);
         assert_eq!(table.slot_window().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn reassign_all_strips_the_source_bare() {
+        let mut table = RoutingTable::new(3, 9);
+        let before = table.slots_of(1);
+        assert_eq!(before.len(), 3);
+        let moves = table.reassign_all(1, 2);
+        assert_eq!(moves.len(), 3);
+        assert!(table.slots_of(1).is_empty());
+        for mv in &moves {
+            assert_eq!(table.owner_of(mv.slot), 2);
+        }
+        // Re-recovery of an already-bare shard is a no-op.
+        assert!(table.reassign_all(1, 0).is_empty());
     }
 
     #[test]

@@ -40,6 +40,19 @@ pub(crate) enum ShardCommand<A: DittoApp> {
     Metrics { reply: Sender<MetricsSnapshot> },
     /// Drain and reply with this shard's buffered span-journal events.
     Journal { reply: Sender<Vec<SpanEvent>> },
+    /// Catch the engine up to its admission watermark, then extract the
+    /// accumulated PriPE slice (the engine keeps serving from fresh
+    /// buffers) — the source half of a state handoff.
+    Extract { reply: Sender<ShardExtract<A>> },
+    /// Fold a previously extracted slice into this engine's PriPE buffers —
+    /// the target half of a state handoff. Replies with the install cycle.
+    Install {
+        states: Vec<A::State>,
+        reply: Sender<u64>,
+    },
+    /// Fault injection: panic the shard thread with `message`, the
+    /// in-process stand-in for a crashed FPGA host.
+    Die { message: String },
     /// Close the queue, drain the engine, reply with final states.
     Finish { reply: Sender<ShardFinish<A>> },
 }
@@ -50,16 +63,72 @@ pub(crate) struct ShardFinish<A: DittoApp> {
     pub report: ExecutionReport,
 }
 
-/// Completion notification streamed to the cluster (sub-batch sizes are
-/// tracked cluster-side, so the event only carries identity and latency).
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct ShardEvent {
-    pub shard: usize,
-    pub batch: BatchId,
-    /// Admission-to-completion latency on this shard's simulated clock.
-    pub latency_cycles: u64,
-    /// Admission-to-completion wall time as observed by the shard thread.
-    pub wall: std::time::Duration,
+/// A shard's reply to `Extract`: the accumulated PriPE slice plus what the
+/// catch-up to the admission watermark cost.
+pub(crate) struct ShardExtract<A: DittoApp> {
+    /// The `M` post-merge PriPE states, covering every tuple admitted to
+    /// this shard up to the extraction instant.
+    pub states: Vec<A::State>,
+    /// Tuples the slice covers (the engine's processed count).
+    pub tuples: u64,
+    /// Cycles stepped to reach the admission watermark before extracting.
+    pub catch_up_cycles: u64,
+}
+
+/// Event streamed from a shard thread to the cluster: either one sub-batch
+/// completion or the shard's death notice (sub-batch sizes are tracked
+/// cluster-side, so completions only carry identity and latency).
+#[derive(Debug, Clone)]
+pub(crate) enum ShardEvent {
+    /// A sub-batch reached its watermark.
+    Completed {
+        shard: usize,
+        batch: BatchId,
+        /// Admission-to-completion latency on this shard's simulated clock.
+        latency_cycles: u64,
+        /// Admission-to-completion wall time as observed by the shard thread.
+        wall: std::time::Duration,
+    },
+    /// The shard thread panicked; `message` is its panic payload. Sent by
+    /// the shard loop's drop-guard *before* the thread unwinds, so cluster
+    /// waiters wake with a named error immediately instead of blocking
+    /// until `collect_finishes` joins the corpse.
+    Failed { shard: usize, message: String },
+}
+
+/// When a shard thread panics mid-serve, every cluster-side waiter would
+/// otherwise block on the events channel until teardown joins the thread
+/// (the cluster clones the event sender per shard, so one death never
+/// disconnects the channel). This guard wraps the serve loop: it catches
+/// the unwind, streams a [`ShardEvent::Failed`] carrying the panic payload,
+/// then resumes unwinding so the thread's join handle still reports the
+/// original panic.
+fn run_with_failure_notice<A: DittoApp + 'static>(
+    worker: ShardWorker<A>,
+    commands: Receiver<ShardCommand<A>>,
+) {
+    let shard = worker.id;
+    let events = worker.events.clone();
+    let outcome =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || worker.run(commands)));
+    if let Err(payload) = outcome {
+        let _ = events.send(ShardEvent::Failed {
+            shard,
+            message: panic_message(payload.as_ref()).to_owned(),
+        });
+        std::panic::resume_unwind(payload);
+    }
+}
+
+/// Best-effort extraction of a panic payload: `panic!` with a literal
+/// carries `&str`, formatted panics carry `String`, anything else is
+/// reported opaquely.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
 }
 
 /// Cluster-side handle to a running shard thread.
@@ -93,6 +162,9 @@ struct ShardWorker<A: DittoApp + 'static> {
     ingress_rate: f64,
     enqueued: u64,
     batches_done: u64,
+    /// Fault injection: panic after serving this many batches (the
+    /// `DITTO_KILL_SHARD` hook, resolved cluster-side to this shard).
+    kill_after: Option<u64>,
     /// Batch lifecycle events (queue/step/drain) for trace export.
     journal: SpanJournal,
 }
@@ -100,6 +172,7 @@ struct ShardWorker<A: DittoApp + 'static> {
 /// Spawns a shard thread serving `app` under `arch`, reading from a fresh
 /// queue at `ingress_rate` tuples per cycle. The returned handle carries
 /// the command endpoint; completions stream through `events`.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn spawn_shard<A: DittoApp + 'static>(
     id: usize,
     app: A,
@@ -107,6 +180,7 @@ pub(crate) fn spawn_shard<A: DittoApp + 'static>(
     ingress_rate: f64,
     cycles_per_poll: u64,
     journal_capacity: usize,
+    kill_after: Option<u64>,
     events: Sender<ShardEvent>,
 ) -> ShardHandle<A> {
     let (commands, command_rx) = std::sync::mpsc::channel();
@@ -124,11 +198,12 @@ pub(crate) fn spawn_shard<A: DittoApp + 'static>(
         ingress_rate,
         enqueued: 0,
         batches_done: 0,
+        kill_after,
         journal: SpanJournal::new(journal_capacity),
     };
     let thread = std::thread::Builder::new()
         .name(format!("ditto-shard-{id}"))
-        .spawn(move || worker.run(command_rx))
+        .spawn(move || run_with_failure_notice(worker, command_rx))
         .expect("spawn shard thread");
     ShardHandle { commands, thread }
 }
@@ -202,7 +277,54 @@ impl<A: DittoApp + 'static> ShardWorker<A> {
                 let _ = reply.send(self.journal.drain());
                 None
             }
+            ShardCommand::Extract { reply } => {
+                let before = self.pipeline.cycle();
+                self.catch_up();
+                self.record_first_steps();
+                self.complete_ready();
+                let states = self.pipeline.extract_slots();
+                let _ = reply.send(ShardExtract {
+                    states,
+                    tuples: self.pipeline.processed(),
+                    catch_up_cycles: self.pipeline.cycle() - before,
+                });
+                None
+            }
+            ShardCommand::Install { states, reply } => {
+                self.pipeline.install_slots(states);
+                let _ = reply.send(self.pipeline.cycle());
+                None
+            }
+            ShardCommand::Die { message } => panic!("{message}"),
             ShardCommand::Finish { reply } => Some(reply),
+        }
+    }
+
+    /// Steps the engine until it has processed everything admitted so far —
+    /// the pause phase of a state handoff: after this, the PriPE buffers
+    /// cover every admitted tuple, so an extract loses nothing in flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics (naming the shard) if the watermark is not reached within a
+    /// generous ingress + serialisation cycle budget — a deadlock, not a
+    /// data property.
+    fn catch_up(&mut self) {
+        let target = self.enqueued;
+        let remaining = target.saturating_sub(self.pipeline.processed());
+        let ingress_cycles = (remaining as f64 / self.ingress_rate).ceil() as u64;
+        let pe_cycles = remaining * u64::from(self.pipeline.app().ii_pri() + 2);
+        let deadline = self.pipeline.cycle() + ingress_cycles + pe_cycles + 1_000_000;
+        while self.pipeline.processed() < target {
+            assert!(
+                self.pipeline.cycle() < deadline,
+                "shard {} failed to catch up to its admission watermark \
+                 ({}/{} tuples) — deadlock?",
+                self.id,
+                self.pipeline.processed(),
+                target
+            );
+            self.pipeline.step_cycles(self.cycles_per_poll);
         }
     }
 
@@ -275,12 +397,21 @@ impl<A: DittoApp + 'static> ShardWorker<A> {
                 .record(b.id, SpanStage::Drain, done_cycle, self.id as u32, b.tuples);
             // A send failure means the cluster stopped listening (dropped);
             // the shard keeps serving the engine side regardless.
-            let _ = self.events.send(ShardEvent {
+            let _ = self.events.send(ShardEvent::Completed {
                 shard: self.id,
                 batch: b.id,
                 latency_cycles: done_cycle - b.enqueue_cycle,
                 wall: b.submitted.elapsed(),
             });
+            if let Some(after) = self.kill_after {
+                if self.batches_done >= after {
+                    panic!(
+                        "DITTO_KILL_SHARD: shard {} killed after {} served batches \
+                         (fault injection)",
+                        self.id, self.batches_done
+                    );
+                }
+            }
         }
     }
 

@@ -1,0 +1,171 @@
+//! Golden: state handoff is invisible to the application result. A run
+//! with a forced mid-stream migration (slice extracted from the source
+//! shard, installed on the target through `merge`, slots re-routed) must
+//! be bit-identical to a single-engine run with no migration at all, for
+//! all five paper applications — and surviving a source-shard kill right
+//! after the handoff must lose nothing either.
+
+use std::sync::Arc;
+
+use datagen::{Tuple, ZipfGenerator};
+use ditto_apps::{DataPartitionApp, HhdApp, HistoApp, HllApp, PageRankApp};
+use ditto_core::{ArchConfig, DittoApp, SkewObliviousPipeline};
+use ditto_serve::{split_into_batches, Cluster, ServeConfig, SlotMove};
+
+const TUPLES: usize = 8_000;
+const BATCH: usize = 1_000;
+const SHARDS: usize = 3;
+
+fn zipf3(seed: u64) -> Vec<Tuple> {
+    ZipfGenerator::new(3.0, 1 << 16, seed).take_vec(TUPLES)
+}
+
+/// Serves `data`, forcing a whole-slice handoff of half of shard 0's
+/// slots to shard 1 midway through the stream.
+fn serve_with_handoff<A: DittoApp + Clone + 'static>(
+    app: A,
+    data: &[Tuple],
+    config: &ServeConfig,
+) -> A::Output {
+    let mut cluster = Cluster::new(app, config);
+    let batches = split_into_batches(data, BATCH);
+    let midpoint = batches.len() / 2;
+    for (i, batch) in batches.into_iter().enumerate() {
+        if i == midpoint {
+            let moves: Vec<SlotMove> = cluster
+                .router()
+                .slots_of(0)
+                .into_iter()
+                .step_by(2)
+                .map(|slot| SlotMove {
+                    slot,
+                    from: 0,
+                    to: 1,
+                })
+                .collect();
+            assert!(!moves.is_empty(), "shard 0 must own slots to migrate");
+            cluster
+                .handoff(0, 1, &moves)
+                .expect("no shard died in this run");
+        }
+        cluster.submit(batch);
+    }
+    cluster.drain();
+    assert_eq!(cluster.handoffs_total(), 1);
+    cluster.finish().output
+}
+
+fn single<A: DittoApp + 'static>(app: A, data: &[Tuple], arch: &ArchConfig) -> A::Output {
+    SkewObliviousPipeline::run_dataset(app, data.to_vec(), arch).output
+}
+
+#[test]
+fn histo_handoff_run_equals_no_migration_run() {
+    let app = HistoApp::new(256, 8);
+    let arch = ArchConfig::new(4, 8, 7).with_pe_entries(app.pe_entries());
+    let config = ServeConfig::new(SHARDS, arch.clone());
+    let data = zipf3(81);
+    let migrated = serve_with_handoff(app.clone(), &data, &config);
+    assert_eq!(migrated, single(app, &data, &arch), "HISTO diverged");
+}
+
+#[test]
+fn dp_handoff_run_equals_no_migration_run_as_multisets() {
+    let app = DataPartitionApp::new(64, 8);
+    let arch = ArchConfig::new(4, 8, 7).with_pe_entries(app.pe_entries());
+    let config = ServeConfig::new(SHARDS, arch.clone());
+    let data = zipf3(82);
+    let mut migrated = serve_with_handoff(app.clone(), &data, &config);
+    let mut alone = single(app, &data, &arch);
+    // DP partitions promise contents, not intra-partition order.
+    for bucket in migrated.iter_mut().chain(alone.iter_mut()) {
+        bucket.sort_unstable();
+    }
+    assert_eq!(migrated, alone, "DP diverged");
+}
+
+#[test]
+fn pagerank_handoff_run_equals_no_migration_run() {
+    let graph = ditto_graph::generate::rmat(10, 8.0, 0.57, 0.19, 0.19, 0x5eed);
+    let contribs = Arc::new(
+        (0..graph.vertex_count())
+            .map(|v| sketches::Fixed::from_f64(1.0 / (graph.out_degree(v).max(1) as f64)))
+            .collect::<Vec<_>>(),
+    );
+    let app = PageRankApp::new(contribs, 8);
+    let arch = ArchConfig::new(4, 8, 7).with_pe_entries(app.pe_entries());
+    let config = ServeConfig::new(SHARDS, arch.clone());
+    let edges = PageRankApp::edge_tuples(&graph);
+    let migrated = serve_with_handoff(app.clone(), &edges, &config);
+    assert_eq!(migrated, single(app, &edges, &arch), "PR diverged");
+}
+
+#[test]
+fn hll_handoff_run_equals_no_migration_run() {
+    let app = HllApp::new(10, 8);
+    let arch = ArchConfig::new(4, 8, 7).with_pe_entries(app.pe_entries());
+    let config = ServeConfig::new(SHARDS, arch.clone());
+    let data = zipf3(83);
+    let migrated = serve_with_handoff(app.clone(), &data, &config);
+    assert_eq!(migrated, single(app, &data, &arch), "HLL diverged");
+}
+
+#[test]
+fn hhd_handoff_run_equals_no_migration_run() {
+    let app = HhdApp::new(4, 512, 300, 8);
+    let arch = ArchConfig::new(4, 8, 7).with_pe_entries(app.pe_entries());
+    let config = ServeConfig::new(SHARDS, arch.clone());
+    let data = zipf3(84);
+    let migrated = serve_with_handoff(app.clone(), &data, &config);
+    assert_eq!(migrated, single(app, &data, &arch), "HHD diverged");
+}
+
+#[test]
+fn source_shard_killed_right_after_handoff_loses_nothing() {
+    // The moment the handoff completes, the source holds only history it
+    // accumulated *before* its slice was extracted away — none. Killing it
+    // immediately after and recovering must therefore still reproduce the
+    // single-engine result exactly.
+    let app = HistoApp::new(256, 8);
+    let arch = ArchConfig::new(4, 8, 7).with_pe_entries(app.pe_entries());
+    let config = ServeConfig::new(SHARDS, arch.clone());
+    let data = zipf3(85);
+    let mut cluster = Cluster::new(app.clone(), &config);
+    let batches = split_into_batches(&data, BATCH);
+    let midpoint = batches.len() / 2;
+    for (i, batch) in batches.into_iter().enumerate() {
+        if i == midpoint {
+            // Migrate all of shard 0's slots but one (the router refuses
+            // to strip a live shard bare through `apply`).
+            let slots = cluster.router().slots_of(0);
+            let moves: Vec<SlotMove> = slots[..slots.len() - 1]
+                .iter()
+                .map(|&slot| SlotMove {
+                    slot,
+                    from: 0,
+                    to: 1,
+                })
+                .collect();
+            cluster.handoff(0, 1, &moves).expect("healthy run");
+            // Everything shard 0 ever folded now lives on shard 1; the
+            // corpse holds zero post-extraction tuples, so its death costs
+            // only the re-routing of its one remaining slot.
+            cluster.kill_shard(0, "killed right after surrendering state");
+            let moved = cluster.recover_shard(0, 2);
+            assert_eq!(moved.len(), 1, "only the kept slot should move");
+        }
+        cluster.submit(batch);
+        // Sub-batches racing the kill (none expected: handoff moved every
+        // slot off shard 0 first) would surface here.
+        for (_, _, tuples) in cluster.take_lost_parts() {
+            cluster.submit(tuples);
+        }
+    }
+    cluster.drain();
+    let outcome = cluster.finish();
+    assert_eq!(
+        outcome.output,
+        single(app, &data, &arch),
+        "kill-after-handoff lost or doubled tuples"
+    );
+}

@@ -15,8 +15,9 @@ use datagen::Tuple;
 use ditto_apps::{DataPartitionApp, HhdApp, HistoApp, HllApp, PageRankApp};
 use ditto_core::apps::CountPerKey;
 use ditto_core::DittoApp;
+use ditto_ha::HaCluster;
 use ditto_obs::{MetricsSnapshot, SpanEvent};
-use ditto_serve::{BatchId, Cluster, CompletedBatch, ServeConfig};
+use ditto_serve::{AdmissionSnapshot, BatchId, Cluster, CompletedBatch, ServeConfig};
 use sketches::{Fixed, HyperLogLog};
 
 use crate::admission::AdmissionConfig;
@@ -200,6 +201,10 @@ impl WireApp for HhdApp {
 pub(crate) trait HostedCluster: Send {
     /// Admits a batch, returning its cluster batch id.
     fn submit(&mut self, tuples: Vec<Tuple>) -> BatchId;
+    /// Background upkeep between frames: the server's pump calls this every
+    /// cycle so a host can run supervision (failure detection, promotion)
+    /// without blocking any client. The default does nothing.
+    fn maintain(&mut self) {}
     /// Live cluster-wide queue depth in tuples (non-blocking).
     fn queue_depth(&mut self) -> u64;
     /// Records a shed batch of `tuples` tuples.
@@ -224,7 +229,10 @@ pub(crate) trait HostedCluster: Send {
 }
 
 fn wire_stats<A: DittoApp + Clone + 'static>(cluster: &mut Cluster<A>) -> WireStats {
-    let a = cluster.admission_snapshot();
+    wire_stats_from(cluster.admission_snapshot())
+}
+
+fn wire_stats_from(a: AdmissionSnapshot) -> WireStats {
     WireStats {
         batches_submitted: a.batches_submitted,
         batches_completed: a.batches_completed,
@@ -328,6 +336,93 @@ impl<A: WireApp> HostedCluster for Host<A> {
     }
 }
 
+/// A replicated host: the same surface as [`Host`], but the cluster is an
+/// [`HaCluster`] — every shard shadowed by follower replicas, with the
+/// pump-driven [`maintain`](HostedCluster::maintain) hook running failure
+/// detection and promotion between frames. A shard thread dying mid-run is
+/// invisible to connected clients beyond the recovery pause: in-flight
+/// batches resolve from the promoted replica and later frames route to the
+/// inheritor.
+struct HaHost<A: WireApp>
+where
+    A::State: Clone,
+{
+    app: A,
+    config: ServeConfig,
+    replicas: usize,
+    cluster: HaCluster<A>,
+    prior: WireStats,
+}
+
+impl<A: WireApp> HostedCluster for HaHost<A>
+where
+    A::State: Clone,
+{
+    fn submit(&mut self, tuples: Vec<Tuple>) -> BatchId {
+        self.cluster.submit(tuples)
+    }
+
+    fn maintain(&mut self) {
+        self.cluster.heal();
+    }
+
+    fn queue_depth(&mut self) -> u64 {
+        self.cluster.queue_depth()
+    }
+
+    fn record_shed(&mut self, tuples: u64) {
+        self.cluster.record_shed(tuples);
+    }
+
+    fn take_completed(&mut self) -> Vec<CompletedBatch> {
+        self.cluster.take_completed()
+    }
+
+    fn stats(&mut self) -> WireStats {
+        fold_stats(
+            &self.prior,
+            wire_stats_from(self.cluster.admission_snapshot()),
+        )
+    }
+
+    fn metrics(&mut self) -> MetricsSnapshot {
+        self.cluster.metrics()
+    }
+
+    fn take_journal(&mut self) -> Vec<SpanEvent> {
+        self.cluster.take_journal()
+    }
+
+    fn drain(&mut self) -> Vec<CompletedBatch> {
+        self.cluster.drain();
+        self.cluster.take_completed()
+    }
+
+    fn finalize(&mut self) -> (Vec<CompletedBatch>, Vec<u8>) {
+        let fresh = HaCluster::new(self.app.clone(), &self.config, self.replicas);
+        let mut old = std::mem::replace(&mut self.cluster, fresh);
+        old.drain();
+        let completed = old.take_completed();
+        self.prior = fold_stats(&self.prior, wire_stats_from(old.admission_snapshot()));
+        let outcome = old.finish();
+        let mut bytes = Vec::new();
+        self.app.encode_output(&outcome.output, &mut bytes);
+        (completed, bytes)
+    }
+
+    fn shutdown(self: Box<Self>) -> (Vec<CompletedBatch>, WireStats) {
+        let HaHost {
+            mut cluster, prior, ..
+        } = *self;
+        cluster.heal();
+        cluster.drain();
+        let completed = cluster.take_completed();
+        let stats = fold_stats(&prior, wire_stats_from(cluster.admission_snapshot()));
+        let _ = cluster.finish();
+        (completed, stats)
+    }
+}
+
 /// The apps a wire server hosts, keyed by the frame header's app id.
 ///
 /// # Example
@@ -371,6 +466,39 @@ impl AppRegistry {
         let host = Host {
             app,
             config,
+            cluster,
+            prior: WireStats::default(),
+        };
+        let prev = self.apps.insert(id, Box::new(host));
+        assert!(prev.is_none(), "app id {id} registered twice");
+        self
+    }
+
+    /// [`register`](Self::register) with N-way replication and automatic
+    /// failure recovery: the app is hosted on an
+    /// [`HaCluster`](ditto_ha::HaCluster) with `replicas` followers per
+    /// shard, and the server's pump runs its supervisor between frames —
+    /// a dying shard thread is promoted away without any client noticing
+    /// more than the recovery pause.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already registered.
+    pub fn register_replicated<A: WireApp>(
+        &mut self,
+        id: u16,
+        app: A,
+        config: ServeConfig,
+        replicas: usize,
+    ) -> &mut Self
+    where
+        A::State: Clone,
+    {
+        let cluster = HaCluster::new(app.clone(), &config, replicas);
+        let host = HaHost {
+            app,
+            config,
+            replicas,
             cluster,
             prior: WireStats::default(),
         };

@@ -666,6 +666,10 @@ fn pump_loop(shared: &Arc<ServerShared>, interval: Duration) {
             let Ok(mut st) = state.try_lock() else {
                 continue;
             };
+            // Host upkeep first (an HA host runs failure detection and
+            // replica promotion here), so a shard death surfaces as a
+            // promotion instead of stuck completions.
+            st.host.maintain();
             let completed = st.host.take_completed();
             if !completed.is_empty() {
                 st.dispatch(completed);

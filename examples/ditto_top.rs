@@ -5,7 +5,9 @@
 //! cargo run --release --example ditto_top
 //! ```
 //!
-//! 1. Boot a wire server hosting two apps (HISTO and HLL) on loopback.
+//! 1. Boot a wire server hosting two apps (HISTO and HLL) on loopback —
+//!    HISTO replicated (`register_replicated`, `DITTO_REPLICAS` overrides
+//!    the follower count), HLL plain, so the table shows both shapes.
 //! 2. Spawn a background load generator that serves skewed batches over
 //!    its own connection.
 //! 3. From a second connection, poll the `MetricsDump` frame on an
@@ -54,6 +56,12 @@ fn gauge(snap: &MetricsSnapshot, name: &str, app: u16, shard: usize) -> u64 {
     .map_or(0, |e| e.value.scalar())
 }
 
+/// App-level gauge with no shard label (the HA plane's replica count).
+fn app_gauge(snap: &MetricsSnapshot, name: &str, app: u16) -> Option<u64> {
+    snap.get(name, &[("app", &app.to_string())])
+        .map(|e| e.value.scalar())
+}
+
 fn latency(snap: &MetricsSnapshot, app: u16) -> Option<LatencyStats> {
     let e = snap.get(
         "ditto_cluster_batch_latency_cycles",
@@ -74,11 +82,14 @@ fn render(
     let mut now = HashMap::new();
     println!("── tick {tick} ──────────────────────────────────────────────");
     println!(
-        "{:>5} {:>5} {:>12} {:>10} {:>7} {:>9} {:>9} {:>9}",
-        "app", "shard", "tuples", "qps", "depth", "p50cyc", "p99cyc", "p999cyc"
+        "{:>5} {:>5} {:>12} {:>10} {:>7} {:>5} {:>5} {:>9} {:>9} {:>9}",
+        "app", "shard", "tuples", "qps", "depth", "repl", "lag", "p50cyc", "p99cyc", "p999cyc"
     );
     for app in [app_id::HISTO, app_id::HLL] {
         let lat = latency(snap, app);
+        // The HA plane: follower count per shard ("-" for plain hosts)
+        // and per-shard replication lag in queued tuples.
+        let replicas = app_gauge(snap, "ditto_ha_replicas", app);
         for (shard, total) in {
             let mut v: Vec<_> = shard_tuples(snap, app).into_iter().collect();
             v.sort();
@@ -88,10 +99,16 @@ fn render(
                 .get(&(app, shard))
                 .map_or(0.0, |&p| (total - p) as f64 / dt);
             let depth = gauge(snap, "ditto_serve_queue_depth", app, shard);
+            let repl = replicas.map_or("-".into(), |r| r.to_string());
+            let lag = if replicas.is_some() {
+                gauge(snap, "ditto_ha_replication_lag", app, shard).to_string()
+            } else {
+                "-".into()
+            };
             let (p50, p99, p999) = lat.as_ref().map_or((0, 0, 0), |s| (s.p50, s.p99, s.p999));
             println!(
-                "{:>5} {:>5} {:>12} {:>10.0} {:>7} {:>9} {:>9} {:>9}",
-                app, shard, total, qps, depth, p50, p99, p999
+                "{:>5} {:>5} {:>12} {:>10.0} {:>7} {:>5} {:>5} {:>9} {:>9} {:>9}",
+                app, shard, total, qps, depth, repl, lag, p50, p99, p999
             );
             now.insert((app, shard), total);
         }
@@ -104,10 +121,11 @@ fn main() {
     let histo = HistoApp::new(1_024, 8);
     let hll = HllApp::new(12, 8);
     let mut registry = AppRegistry::new();
-    registry.register(
+    registry.register_replicated(
         app_id::HISTO,
         histo.clone(),
         serve_config(histo.pe_entries()),
+        ditto::ha::env_replicas(1),
     );
     registry.register(app_id::HLL, hll.clone(), serve_config(hll.pe_entries()));
     let server = WireServer::bind("127.0.0.1:0", registry, WireServerConfig::new())

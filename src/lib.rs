@@ -21,6 +21,9 @@
 //! * [`wire`] (`ditto-wire`) — the zero-dependency TCP front-end over the
 //!   serve cluster: binary frame protocol, admission control and load
 //!   shedding;
+//! * [`ha`] (`ditto-ha`) — replication and failure recovery for the serve
+//!   cluster: replicated state handoff, N-way follower replicas, batch-log
+//!   replay and shard promotion;
 //! * [`obs`] (`ditto-obs`) — cross-layer observability: the metrics
 //!   registry, bucketed latency histograms, the batch-span tracing journal
 //!   and the Prometheus/binary exposition codecs;
@@ -61,6 +64,7 @@ pub use ditto_baselines as baselines;
 pub use ditto_core as core;
 pub use ditto_framework as framework;
 pub use ditto_graph as graph;
+pub use ditto_ha as ha;
 pub use ditto_obs as obs;
 pub use ditto_serve as serve;
 pub use ditto_wire as wire;
@@ -85,6 +89,7 @@ pub mod prelude {
         select_implementation, Implementation, Platform, SkewAnalyzer, SystemGenerator,
     };
     pub use ditto_graph::{generate, pagerank, Csr};
+    pub use ditto_ha::{BatchLog, HaCluster, Promotion, RecoverySource};
     pub use ditto_obs::{
         chrome_trace_json, LatencyStats, LogHistogram, MetricsRegistry, MetricsSnapshot, SpanEvent,
         SpanJournal, SpanStage,
