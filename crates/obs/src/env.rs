@@ -103,6 +103,27 @@ pub const KNOWN: &[EnvKnob] = &[
         default: "unset (no export)",
         effect: "file path where the loopback telemetry test writes its Chrome trace-event JSON",
     },
+    EnvKnob {
+        name: "DITTO_MAX_CONNS",
+        consumer: "ditto-wire (admission)",
+        default: "10240",
+        effect: "server-wide budget on concurrently open connections; accepts past it are \
+                 answered with one `TOO_MANY_CONNECTIONS` error frame and closed",
+    },
+    EnvKnob {
+        name: "DITTO_WIRE_BACKEND",
+        consumer: "ditto-wire (reactor)",
+        default: "`epoll` on Linux, else `poll`",
+        effect: "readiness backend for the I/O reactors: `epoll` or `poll` (unknown values \
+                 keep the platform default)",
+    },
+    EnvKnob {
+        name: "DITTO_WIRE_IO_THREADS",
+        consumer: "ditto-wire (reactor)",
+        default: "cores, capped at 8",
+        effect: "reactor (I/O) thread count, independent of connection count; overrides both \
+                 the auto-size and `WireServerConfig`",
+    },
 ];
 
 /// The `DITTO_*` overrides currently set, as `(knob, value)` pairs in

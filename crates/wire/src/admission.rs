@@ -26,17 +26,35 @@ pub struct AdmissionConfig {
     pub defer_retries: u32,
     /// Back-off between defer re-checks.
     pub defer_wait: Duration,
+    /// Server-wide budget on concurrently open connections: an accept past
+    /// it is answered with one
+    /// [`TOO_MANY_CONNECTIONS`](crate::frame::error_code::TOO_MANY_CONNECTIONS)
+    /// error frame and closed — admission control at the socket level, so
+    /// a connect storm degrades into explicit refusals instead of fd
+    /// exhaustion. Default: `DITTO_MAX_CONNS`, else 10 240.
+    pub max_connections: usize,
+}
+
+/// `DITTO_MAX_CONNS`, else 10 240 — comfortably above the 1k+ bench sweep
+/// while staying under common fd ulimits with room for the client side.
+fn default_max_connections() -> usize {
+    std::env::var("DITTO_MAX_CONNS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(10_240)
 }
 
 impl AdmissionConfig {
     /// A permissive default: a deep watermark (1 Mi tuples) with two brief
     /// defer rounds — overload protection without shedding under ordinary
-    /// bursts.
+    /// bursts — and the environment-driven connection budget.
     pub fn new() -> Self {
         AdmissionConfig {
             max_queue_tuples: 1 << 20,
             defer_retries: 2,
             defer_wait: Duration::from_millis(1),
+            max_connections: default_max_connections(),
         }
     }
 
@@ -51,6 +69,18 @@ impl AdmissionConfig {
     pub fn with_defer(mut self, retries: u32, wait: Duration) -> Self {
         self.defer_retries = retries;
         self.defer_wait = wait;
+        self
+    }
+
+    /// Sets the concurrent-connection budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero budget (a server that can never accept is a
+    /// configuration bug, not a policy).
+    pub fn with_max_connections(mut self, connections: usize) -> Self {
+        assert!(connections > 0, "connection budget must be nonzero");
+        self.max_connections = connections;
         self
     }
 }
@@ -134,5 +164,23 @@ mod tests {
         let c = controller(1, 0);
         assert_eq!(c.evaluate(1, 0), AdmissionDecision::Shed);
         assert_eq!(c.evaluate(0, 0), AdmissionDecision::Admit);
+    }
+
+    #[test]
+    fn connection_budget_defaults_and_overrides() {
+        // No DITTO_MAX_CONNS in the test environment: the baked default.
+        assert_eq!(AdmissionConfig::new().max_connections, 10_240);
+        assert_eq!(
+            AdmissionConfig::new()
+                .with_max_connections(3)
+                .max_connections,
+            3
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_connection_budget_panics() {
+        let _ = AdmissionConfig::new().with_max_connections(0);
     }
 }

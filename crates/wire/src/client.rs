@@ -71,6 +71,7 @@ pub struct WireClient {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     next_seq: u64,
+    token: u16,
 }
 
 impl WireClient {
@@ -87,13 +88,24 @@ impl WireClient {
             reader,
             writer: BufWriter::new(stream),
             next_seq: 0,
+            token: 0,
         })
+    }
+
+    /// Sets the auth token stamped into every subsequent request frame —
+    /// required by servers whose registry
+    /// [`set_token`](crate::AppRegistry::set_token)s the target app.
+    /// Token 0 (the default) means "none".
+    pub fn set_token(&mut self, token: u16) {
+        self.token = token;
     }
 
     fn send(&mut self, request: Request, app: u16) -> Result<u64, WireError> {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let bytes = request.into_frame(app, seq).to_bytes();
+        let bytes = request
+            .into_frame_with_token(app, seq, self.token)
+            .to_bytes();
         self.writer.write_all(&bytes)?;
         self.writer.flush()?;
         Ok(seq)
@@ -272,16 +284,29 @@ pub struct LoadGenConfig {
     /// Per-connection cap on batches awaiting their response — bounds
     /// client-side pipelining the way a real fleet's timeouts would.
     pub max_outstanding: usize,
+    /// Delay between consecutive connection openings (connection `i`
+    /// connects at `i × stagger`). Zero opens all at once; high fan-in
+    /// runs stagger to keep a thundering connect herd from overflowing
+    /// even a deepened accept backlog.
+    pub connect_stagger: Duration,
+    /// Establish *every* connection before the pacing clock starts, so a
+    /// paced run measures steady-state latency over a settled connection
+    /// set rather than folding the connect storm into the tail. Mutually
+    /// sensible with `qps`; ignores `connect_stagger`.
+    pub connect_barrier: bool,
 }
 
 impl LoadGenConfig {
-    /// One connection, 1 000-tuple batches, unpaced, window of 8.
+    /// One connection, 1 000-tuple batches, unpaced, window of 8, no
+    /// connect stagger, no connect barrier.
     pub fn new() -> Self {
         LoadGenConfig {
             connections: 1,
             batch_tuples: 1_000,
             qps: None,
             max_outstanding: 8,
+            connect_stagger: Duration::ZERO,
+            connect_barrier: false,
         }
     }
 }
@@ -357,12 +382,19 @@ pub fn run_load(addr: SocketAddr, app: u16, data: &[Tuple], config: &LoadGenConf
     assert!(config.batch_tuples > 0, "batch size must be nonzero");
     assert!(config.max_outstanding > 0, "window must be nonzero");
     let batches: Vec<&[Tuple]> = data.chunks(config.batch_tuples).collect();
+    // Behind the connect barrier, every worker thread spawns and connects
+    // *before* the leader stamps the schedule's start instant — the paced
+    // run then measures a settled connection set, with neither the
+    // thread-spawn storm nor the connect storm folded into the tail.
+    let barrier = std::sync::Barrier::new(config.connections);
+    let barrier_start: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
     let start = Instant::now();
     let reports: Vec<ConnReport> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..config.connections)
             .map(|conn| {
                 let batches = &batches;
-                scope.spawn(move || connection_share(addr, app, batches, conn, config, start))
+                let sync = config.connect_barrier.then_some((&barrier, &barrier_start));
+                scope.spawn(move || connection_share(addr, app, batches, conn, config, start, sync))
             })
             .collect();
         handles
@@ -407,8 +439,24 @@ fn connection_share(
     conn: usize,
     config: &LoadGenConfig,
     start: Instant,
+    sync: Option<(&std::sync::Barrier, &std::sync::OnceLock<Instant>)>,
 ) -> ConnReport {
+    if sync.is_none() && !config.connect_stagger.is_zero() {
+        std::thread::sleep(config.connect_stagger * conn as u32);
+    }
     let mut client = WireClient::connect(addr).expect("connect load connection");
+    // Connect barrier: everyone is connected before the leader stamps the
+    // start of the paced schedule (second wait publishes the stamp).
+    let start = match sync {
+        Some((barrier, cell)) => {
+            if barrier.wait().is_leader() {
+                cell.set(Instant::now()).expect("start stamped once");
+            }
+            barrier.wait();
+            *cell.get().expect("leader stamped start")
+        }
+        None => start,
+    };
     let mut report = ConnReport {
         submitted: 0,
         completed: 0,

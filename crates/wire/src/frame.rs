@@ -8,7 +8,7 @@
 //! 2       1     version        1
 //! 3       1     kind           request/response discriminant
 //! 4       2     app id         u16 LE (0 for app-less kinds)
-//! 6       2     reserved       must be zero
+//! 6       2     auth token     u16 LE (0 = none; per-app tenancy check)
 //! 8       8     seq            u64 LE, echoed verbatim in the response
 //! 16      4     payload len    u32 LE, capped at MAX_PAYLOAD_BYTES
 //! 20      …     payload        kind-specific body
@@ -68,6 +68,11 @@ pub mod error_code {
     pub const BAD_REQUEST: u16 = 2;
     /// The server is shutting down and no longer admits work.
     pub const SHUTTING_DOWN: u16 = 3;
+    /// The server is at its connection budget (`DITTO_MAX_CONNS`) and
+    /// refused the connection.
+    pub const TOO_MANY_CONNECTIONS: u16 = 4;
+    /// The frame's auth token does not match the app's registered token.
+    pub const BAD_TOKEN: u16 = 5;
 }
 
 /// Frame discriminants. Requests use the low range, responses the high.
@@ -135,8 +140,6 @@ pub enum FrameError {
     BadVersion(u8),
     /// Unknown frame kind byte.
     UnknownKind(u8),
-    /// Reserved header bits were set.
-    ReservedBits(u16),
     /// Declared payload length exceeds [`MAX_PAYLOAD_BYTES`].
     Oversize(u32),
     /// A byte-slice decode ran out of input.
@@ -157,7 +160,6 @@ impl fmt::Display for FrameError {
             FrameError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
             FrameError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
             FrameError::UnknownKind(k) => write!(f, "unknown frame kind {k:#04x}"),
-            FrameError::ReservedBits(b) => write!(f, "reserved header bits set: {b:#06x}"),
             FrameError::Oversize(n) => write!(f, "payload of {n} bytes exceeds the frame cap"),
             FrameError::Truncated { needed, got } => {
                 write!(f, "truncated frame: needed {needed} bytes, got {got}")
@@ -182,6 +184,10 @@ pub struct Frame {
     pub kind: FrameKind,
     /// App id the frame addresses (0 when the kind is app-less).
     pub app: u16,
+    /// Per-app auth token (0 = none). These used to be the reserved
+    /// header bits; old clients that zeroed them speak token-less frames,
+    /// which apps without a registered token accept unchanged.
+    pub token: u16,
     /// Request sequence number, echoed in the response.
     pub seq: u64,
     /// Kind-specific body.
@@ -204,10 +210,15 @@ impl Frame {
         out.push(VERSION);
         out.push(self.kind as u8);
         out.extend_from_slice(&self.app.to_le_bytes());
-        out.extend_from_slice(&0u16.to_le_bytes());
+        out.extend_from_slice(&self.token.to_le_bytes());
         out.extend_from_slice(&self.seq.to_le_bytes());
         out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
         out.extend_from_slice(&self.payload);
+    }
+
+    /// Size of this frame on the wire: header plus payload.
+    pub fn encoded_len(&self) -> usize {
+        HEADER_BYTES + self.payload.len()
     }
 
     /// Encodes into a fresh buffer.
@@ -231,7 +242,7 @@ impl Frame {
                 got: buf.len(),
             });
         }
-        let (kind, app, seq, len) = parse_header(&buf[..HEADER_BYTES])?;
+        let (kind, app, token, seq, len) = parse_header(&buf[..HEADER_BYTES])?;
         let total = HEADER_BYTES + len;
         if buf.len() < total {
             return Err(FrameError::Truncated {
@@ -244,6 +255,7 @@ impl Frame {
             Frame {
                 kind,
                 app,
+                token,
                 seq,
                 payload,
             },
@@ -272,7 +284,7 @@ impl Frame {
         }
         header[0] = first[0];
         r.read_exact(&mut header[1..])?;
-        let (kind, app, seq, len) = parse_header(&header)?;
+        let (kind, app, token, seq, len) = parse_header(&header)?;
         // Grow the buffer with the bytes actually received instead of
         // allocating the declared length up front — a peer declaring a
         // 64 MiB payload and going silent pins kilobytes, not gigabytes.
@@ -287,14 +299,16 @@ impl Frame {
         Ok(Some(Frame {
             kind,
             app,
+            token,
             seq,
             payload,
         }))
     }
 }
 
-/// Validates a 20-byte header, returning `(kind, app, seq, payload_len)`.
-fn parse_header(h: &[u8]) -> Result<(FrameKind, u16, u64, usize), FrameError> {
+/// Validates a 20-byte header, returning
+/// `(kind, app, token, seq, payload_len)`.
+fn parse_header(h: &[u8]) -> Result<(FrameKind, u16, u16, u64, usize), FrameError> {
     if h[0..2] != MAGIC {
         return Err(FrameError::BadMagic([h[0], h[1]]));
     }
@@ -303,16 +317,13 @@ fn parse_header(h: &[u8]) -> Result<(FrameKind, u16, u64, usize), FrameError> {
     }
     let kind = FrameKind::from_u8(h[3]).ok_or(FrameError::UnknownKind(h[3]))?;
     let app = u16::from_le_bytes([h[4], h[5]]);
-    let reserved = u16::from_le_bytes([h[6], h[7]]);
-    if reserved != 0 {
-        return Err(FrameError::ReservedBits(reserved));
-    }
+    let token = u16::from_le_bytes([h[6], h[7]]);
     let seq = u64::from_le_bytes(h[8..16].try_into().expect("8 bytes"));
     let len = u32::from_le_bytes(h[16..20].try_into().expect("4 bytes"));
     if len as usize > MAX_PAYLOAD_BYTES {
         return Err(FrameError::Oversize(len));
     }
-    Ok((kind, app, seq, len as usize))
+    Ok((kind, app, token, seq, len as usize))
 }
 
 /// Bounds-checked little-endian reader over a payload slice.
@@ -514,8 +525,14 @@ pub enum Request {
 
 impl Request {
     /// Wraps the request into a frame addressed to `app` with sequence
-    /// number `seq`.
+    /// number `seq` and no auth token.
     pub fn into_frame(self, app: u16, seq: u64) -> Frame {
+        self.into_frame_with_token(app, seq, 0)
+    }
+
+    /// [`into_frame`](Self::into_frame) carrying a per-app auth `token`
+    /// on the header bits that used to be reserved.
+    pub fn into_frame_with_token(self, app: u16, seq: u64, token: u16) -> Frame {
         let (kind, payload) = match self {
             Request::Submit { tuples } => {
                 let mut p = Vec::with_capacity(4 + tuples.len() * TUPLE_BYTES);
@@ -534,6 +551,7 @@ impl Request {
         Frame {
             kind,
             app,
+            token,
             seq,
             payload,
         }
@@ -687,6 +705,7 @@ impl Response {
         Frame {
             kind,
             app,
+            token: 0,
             seq,
             payload,
         }
@@ -764,9 +783,22 @@ mod tests {
         assert_eq!(bytes[2], VERSION);
         assert_eq!(bytes[3], FrameKind::Submit as u8);
         assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), 3);
-        assert_eq!(&bytes[6..8], &[0, 0]);
+        assert_eq!(&bytes[6..8], &[0, 0], "token-less frames zero bytes 6..8");
         assert_eq!(bytes[8..16], 0x0102_0304_0506_0708u64.to_le_bytes());
         assert_eq!(u32::from_le_bytes(bytes[16..20].try_into().unwrap()), 20);
+    }
+
+    #[test]
+    fn auth_token_rides_the_former_reserved_bits() {
+        let f = Request::Finalize.into_frame_with_token(3, 9, 0xBEEF);
+        let bytes = f.to_bytes();
+        assert_eq!(u16::from_le_bytes([bytes[6], bytes[7]]), 0xBEEF);
+        let (back, _) = Frame::decode(&bytes).expect("tokened frame decodes");
+        assert_eq!(back.token, 0xBEEF);
+        assert_eq!(back, f);
+        // Token-less construction stays wire-identical to the pre-token
+        // protocol (reserved bits were zero).
+        assert_eq!(Request::Finalize.into_frame(3, 9).token, 0);
     }
 
     #[test]
@@ -842,6 +874,7 @@ mod tests {
         let frame = Frame {
             kind: FrameKind::Submit,
             app: 0,
+            token: 0,
             seq: 0,
             payload,
         };

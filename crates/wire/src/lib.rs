@@ -13,12 +13,18 @@
 //! ```
 //!
 //! * [`frame`] — the versioned, length-prefixed binary codec: requests
-//!   carry an app id + tuple payloads, responses carry batch results and
-//!   latency metadata; decoding is fuzz-resistant (property-tested).
-//! * [`WireServer`] — a `std::net` TCP server: one reader + writer thread
-//!   per connection, request pipelining (responses matched by sequence
-//!   number), a completion pump, and graceful shutdown that drains
-//!   in-flight batches before joining shard threads.
+//!   carry an app id, an auth token and tuple payloads, responses carry
+//!   batch results and latency metadata; decoding is fuzz-resistant
+//!   (property-tested).
+//! * [`WireServer`] — an event-driven TCP server: a core-count pool of
+//!   reactor threads multiplexes every connection through hand-rolled
+//!   `epoll` bindings (`poll(2)` fallback, selectable via [`Backend`]),
+//!   with per-connection framed state machines, bounded write buffers
+//!   that backpressure (and eventually evict) slow readers, request
+//!   pipelining (responses matched by sequence number), a connection
+//!   budget (`DITTO_MAX_CONNS`), a completion pump, and graceful
+//!   shutdown that drains in-flight batches and flushes their responses
+//!   before joining shard threads.
 //! * [`AdmissionController`] — reads the cluster's live aggregated
 //!   `queue_depth` before every admission; past the configured
 //!   high-watermark it defers briefly, then sheds with an explicit
@@ -60,17 +66,24 @@
 //! server.shutdown();
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the poller's syscall shim is the one
+// carved-out `#[allow(unsafe_code)]` module (see `poller::sys`); all
+// other code stays safe Rust.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod admission;
 mod client;
+mod conn;
 pub mod frame;
+mod poller;
+mod reactor;
 mod registry;
 mod server;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionDecision};
 pub use client::{run_load, LoadGenConfig, LoadReport, WireClient, WireError};
 pub use frame::{metrics_format, Frame, FrameError, FrameKind, Request, Response, WireStats};
+pub use poller::Backend;
 pub use registry::{app_id, AppRegistry, WireApp};
 pub use server::{ShutdownReport, WireServer, WireServerConfig};

@@ -447,6 +447,9 @@ pub struct AppRegistry {
     /// Per-app admission overrides; apps without an entry use the server's
     /// [`WireServerConfig`](crate::WireServerConfig) admission policy.
     pub(crate) admissions: HashMap<u16, AdmissionConfig>,
+    /// Per-app auth tokens riding the frame header's former reserved bits;
+    /// apps without an entry (or with token 0) accept any client.
+    pub(crate) tokens: HashMap<u16, u16>,
 }
 
 impl AppRegistry {
@@ -524,6 +527,26 @@ impl AppRegistry {
     ) -> &mut Self {
         self.register(id, app, config);
         self.admissions.insert(id, admission);
+        self
+    }
+
+    /// Requires clients of app `id` to present `token` in the frame
+    /// header's auth field on `Submit` and `Finalize` — per-app tenancy on
+    /// the former reserved bits. A mismatch is answered with a
+    /// [`BAD_TOKEN`](crate::frame::error_code::BAD_TOKEN) error frame and
+    /// the connection stays usable (read-mostly requests are unaffected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` is zero (the wire encoding of "no token") or `id`
+    /// is not registered yet.
+    pub fn set_token(&mut self, id: u16, token: u16) -> &mut Self {
+        assert!(token != 0, "auth token 0 means \"none\" on the wire");
+        assert!(
+            self.apps.contains_key(&id),
+            "set_token for unregistered app id {id}"
+        );
+        self.tokens.insert(id, token);
         self
     }
 

@@ -1,69 +1,95 @@
-//! The TCP server: accept loop, per-connection handler threads, the
-//! completion pump and graceful shutdown.
+//! The TCP server: reactor threads, the completion pump / service
+//! executor, and graceful shutdown.
 //!
 //! Modeled on the Memcached-over-HLS case study's request loop
-//! (parse → route → respond), adapted to batch granularity:
+//! (parse → route → respond), adapted to batch granularity and engineered
+//! for its connection counts — I/O threads scale with cores, not sockets:
 //!
 //! ```text
-//!              ┌───────────────────────── WireServer ─────────────────────────┐
-//! client ──TCP──► reader thread ── admission ──► Cluster (app 1) ◄─┐          │
-//! client ──TCP──► reader thread ── admission ──► Cluster (app 2) ◄─┤ pump     │
-//!    ▲               │ shed → Overloaded                           │ thread   │
-//!    └── writer ◄────┴── responses ◄── completions ────────────────┘          │
-//!              └──────────────────────────────────────────────────────────────┘
+//!            ┌─────────────────────────── WireServer ───────────────────────────┐
+//! client ──┐ │  reactor 0 (accept + events) ── admission ──► Cluster (app 1) ◄┐ │
+//! client ──┼TCP► reactor 1 (events)          ── admission ──► Cluster (app 2) ◄┤ │
+//!  ⋮ 10k   │ │      │ parse · park · shed             pump/service thread ────┘ │
+//! client ──┘ │      └── outboxes ◄─── Done/Stats/Output ──────┘                  │
+//!            └───────────────────────────────────────────────────────────────────┘
 //! ```
 //!
-//! Each connection gets a *reader* thread (parses frames, admits or sheds
-//! batches, answers stats/finalize/ping) and a *writer* thread (serialises
-//! responses from an mpsc channel back onto the socket) — so a connection
-//! can keep submitting while earlier batches are still in flight
-//! (pipelining), and completions for one connection never block another.
-//! The *pump* thread polls every hosted cluster for completed batches and
-//! routes `Done` responses to whichever connection submitted them.
+//! A small fixed pool of **reactor** threads multiplexes every connection
+//! through a readiness poller ([epoll or poll](crate::poller)). Each
+//! connection is a framed state machine: partial reads resume across
+//! events, responses accumulate in a bounded per-connection outbox, and a
+//! slow client backpressures (then is disconnected) without blocking the
+//! loop — so thousands of idle or slow connections cost file descriptors,
+//! not threads. Submits admit (or shed) inline under a `try_lock`;
+//! lock-holding requests (`Stats`/`Finalize`/`Metrics`) run on the pump
+//! thread. The **pump** polls every hosted cluster for completed batches
+//! (running HA `maintain` first) and routes `Done` frames to whichever
+//! connection submitted them — pipelining across connections for free.
 //!
 //! Shutdown is graceful by construction: stop admitting, drain every
-//! in-flight batch, flush the resulting `Done` responses, close the
-//! sockets, join the connection threads, and only then tear down the shard
-//! threads (whose panics, if any, are propagated with their payloads).
+//! in-flight batch, flush the resulting `Done` responses from the
+//! outboxes, close the sockets, join the reactors, and only then tear
+//! down the shard threads (whose panics, if any, are propagated).
 
-use std::collections::HashMap;
-use std::io::{BufReader, BufWriter, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender};
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ditto_obs::{
-    clock, encode_snapshot, to_prometheus_text, MetricsRegistry, MetricsSnapshot, SpanEvent,
-    SpanJournal, SpanStage, NO_SHARD,
+    encode_snapshot, to_prometheus_text, MetricsRegistry, MetricsSnapshot, SpanEvent, SpanJournal,
+    SpanStage, NO_SHARD,
 };
 use ditto_serve::{BatchId, CompletedBatch};
 
-use crate::admission::{AdmissionConfig, AdmissionController, AdmissionDecision};
-use crate::frame::{error_code, metrics_format, Frame, FrameError, Request, Response, WireStats};
+use crate::admission::{AdmissionConfig, AdmissionController};
+use crate::conn::ConnShared;
+use crate::frame::{error_code, metrics_format, Response, WireStats};
+use crate::poller::{deepen_backlog, Backend};
+use crate::reactor::{Reactor, ReactorNotify};
 use crate::registry::{AppRegistry, HostedCluster};
 
 /// Wire server tuning.
 #[derive(Debug, Clone)]
 pub struct WireServerConfig {
-    /// Admission control (watermark, defer policy).
+    /// Admission control (watermark, defer policy, connection budget).
     pub admission: AdmissionConfig,
     /// How often the completion pump polls the hosted clusters.
     pub pump_interval: Duration,
     /// Capacity of each app's wire-level span journal (accept/admit/shed/
     /// reply events); `0` disables buffering, counters stay exact.
     pub trace_capacity: usize,
+    /// Readiness backend for the reactors. Defaults to `DITTO_WIRE_BACKEND`
+    /// (`epoll` | `poll`), else the platform's best.
+    pub backend: Backend,
+    /// Reactor (I/O) thread count; `0` (the default) auto-sizes to the
+    /// core count capped at 8. `DITTO_WIRE_IO_THREADS` overrides both.
+    pub io_threads: usize,
+    /// Soft cap on a connection's queued response bytes: past it the
+    /// server stops reading that connection; past 4× it the connection is
+    /// disconnected as a slow reader.
+    pub write_buf_bytes: usize,
+    /// How long shutdown keeps flushing outboxes toward clients that are
+    /// still reading before force-closing the rest.
+    pub drain_timeout: Duration,
 }
 
 impl WireServerConfig {
-    /// Defaults: permissive admission, 200 µs pump, 4096-event journals.
+    /// Defaults: permissive admission, 200 µs pump, 4096-event journals,
+    /// environment-selected backend, auto-sized reactor pool, 4 MiB
+    /// outbox soft cap, 10 s drain.
     pub fn new() -> Self {
         WireServerConfig {
             admission: AdmissionConfig::new(),
             pump_interval: Duration::from_micros(200),
             trace_capacity: 4096,
+            backend: Backend::from_env(Backend::auto()),
+            io_threads: 0,
+            write_buf_bytes: 4 << 20,
+            drain_timeout: Duration::from_secs(10),
         }
     }
 
@@ -78,6 +104,35 @@ impl WireServerConfig {
         self.trace_capacity = capacity;
         self
     }
+
+    /// Pins the readiness backend (overriding `DITTO_WIRE_BACKEND`).
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the reactor thread count (`0` = auto).
+    pub fn with_io_threads(mut self, threads: usize) -> Self {
+        self.io_threads = threads;
+        self
+    }
+
+    /// Sets the per-connection outbox soft cap in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero (a server that can never respond is a bug).
+    pub fn with_write_buffer(mut self, bytes: usize) -> Self {
+        assert!(bytes > 0, "write buffer cap must be nonzero");
+        self.write_buf_bytes = bytes;
+        self
+    }
+
+    /// Sets the shutdown outbox-drain deadline.
+    pub fn with_drain_timeout(mut self, timeout: Duration) -> Self {
+        self.drain_timeout = timeout;
+        self
+    }
 }
 
 impl Default for WireServerConfig {
@@ -86,49 +141,53 @@ impl Default for WireServerConfig {
     }
 }
 
-/// A response routed to one connection's writer thread.
-type OutFrame = Frame;
-
-/// Bound on a connection's queued-but-unwritten response frames. The
-/// reader thread *blocks* sending into a full queue (so a client spamming
-/// requests without reading responses is throttled by its own TCP window,
-/// not by server memory); the completion pump instead drops the `Done` of
-/// a client that let this many responses pile up unread — its batches were
-/// still served and counted, it just forfeited the acks it refused to
-/// read.
-const RESP_QUEUE_FRAMES: usize = 4_096;
-
-/// A live connection: the stream (kept for shutdown) plus its reader and
-/// writer thread handles.
-type ConnHandle = (TcpStream, JoinHandle<()>, JoinHandle<()>);
+/// `DITTO_WIRE_IO_THREADS`, else the configured count, else cores (≤ 8).
+fn resolve_io_threads(configured: usize) -> usize {
+    std::env::var("DITTO_WIRE_IO_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or(if configured > 0 {
+            configured
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8)
+        })
+}
 
 /// A connection waiting on a batch completion.
-struct Waiter {
-    resp: SyncSender<OutFrame>,
-    app: u16,
-    seq: u64,
-    received: Instant,
+pub(crate) struct Waiter {
+    /// The submitting connection's cross-thread half.
+    pub(crate) conn: Arc<ConnShared>,
+    /// App id to answer under.
+    pub(crate) app: u16,
+    /// Client sequence number to answer under.
+    pub(crate) seq: u64,
+    /// Frame-receipt instant, for wall-clock latency in `Done`.
+    pub(crate) received: Instant,
 }
 
 /// One hosted app's serving state: the erased cluster plus the completion
 /// waiters, guarded together (a batch id is only meaningful while the
 /// cluster that issued it lives).
-struct HostState {
-    host: Box<dyn HostedCluster>,
-    waiters: HashMap<BatchId, Waiter>,
+pub(crate) struct HostState {
+    pub(crate) host: Box<dyn HostedCluster>,
+    pub(crate) waiters: HashMap<BatchId, Waiter>,
     /// This app's admission budget: the registry's per-app override, or
     /// the server-wide policy.
-    admission: AdmissionController,
+    pub(crate) admission: AdmissionController,
     /// Wire-level span events (accept/admit/shed/reply).
-    journal: SpanJournal,
+    pub(crate) journal: SpanJournal,
 }
 
 impl HostState {
     /// Routes completion records to their waiting connections. Runs under
-    /// the app lock, so it must never block: a full response queue (a
-    /// client that stopped reading) drops that client's ack rather than
-    /// stalling the app for everyone.
-    fn dispatch(&mut self, completed: Vec<CompletedBatch>) {
+    /// the app lock, so it must never block: the outbox push is bounded,
+    /// and a client past its hard cap forfeits the ack it refused to read
+    /// rather than stalling the app for everyone.
+    pub(crate) fn dispatch(&mut self, completed: Vec<CompletedBatch>) {
         for batch in completed {
             let Some(w) = self.waiters.remove(&batch.id) else {
                 // Completion for a batch whose connection died; drop it.
@@ -146,8 +205,11 @@ impl HostState {
                 latency_cycles: batch.latency_cycles,
                 wall_us: u64::try_from(w.received.elapsed().as_micros()).unwrap_or(u64::MAX),
             };
-            // Full or disconnected both mean the client is not listening.
-            let _ = w.resp.try_send(resp.into_frame(w.app, w.seq));
+            // Push before decrementing: a half-closed connection closes on
+            // `pending == 0 && outbox empty`, and this order guarantees it
+            // sees the frame.
+            let _ = w.conn.push_frame(&resp.into_frame(w.app, w.seq));
+            w.conn.pending.fetch_sub(1, Ordering::AcqRel);
         }
     }
 
@@ -176,22 +238,95 @@ impl HostState {
         events
     }
 
-    /// Fails every waiter (connection teardown path at shutdown).
+    /// Fails every waiter (shutdown path).
     fn fail_waiters(&mut self, code: u16, message: &str) {
         for (_, w) in self.waiters.drain() {
             let resp = Response::Error {
                 code,
                 message: message.to_owned(),
             };
-            let _ = w.resp.try_send(resp.into_frame(w.app, w.seq));
+            let _ = w.conn.push_frame(&resp.into_frame(w.app, w.seq));
+            w.conn.pending.fetch_sub(1, Ordering::AcqRel);
         }
     }
 }
 
-struct ServerShared {
-    apps: HashMap<u16, Mutex<HostState>>,
-    stopping: AtomicBool,
-    connections_accepted: AtomicU64,
+/// A lock-holding request queued for execution off the event loop.
+pub(crate) struct ServiceRequest {
+    /// The requesting connection (response target; its decode is paused).
+    pub(crate) conn: Arc<ConnShared>,
+    /// App id from the frame header.
+    pub(crate) app: u16,
+    /// Client sequence number to answer under.
+    pub(crate) seq: u64,
+    /// Which request.
+    pub(crate) kind: ServiceKind,
+}
+
+/// The lock-holding request kinds the reactors hand off.
+pub(crate) enum ServiceKind {
+    /// `Stats` → `Response::Stats`.
+    Stats,
+    /// `Finalize` → dispatch tail completions, `Response::Output`.
+    Finalize,
+    /// `Metrics` → `Response::MetricsDump`.
+    Metrics {
+        /// Requested dump format (`metrics_format`).
+        format: u8,
+    },
+}
+
+/// The service executor's queue; `closed` refuses late arrivals during
+/// shutdown (checked under the same lock, so none are lost in between).
+pub(crate) struct ServiceQueue {
+    closed: bool,
+    ops: VecDeque<ServiceRequest>,
+}
+
+/// Queues a service request unless the queue already closed for shutdown.
+pub(crate) fn enqueue_service(shared: &ServerShared, req: ServiceRequest) -> bool {
+    let mut q = shared.service.lock().expect("service queue poisoned");
+    if q.closed {
+        return false;
+    }
+    q.ops.push_back(req);
+    true
+}
+
+/// Executes one service request and unblocks its connection.
+fn execute_service(shared: &ServerShared, op: ServiceRequest) {
+    let reply = match op.kind {
+        ServiceKind::Stats => with_app(shared, op.app, |st| Response::Stats(st.host.stats())),
+        ServiceKind::Finalize => with_app(shared, op.app, |st| {
+            let (completed, bytes) = st.host.finalize();
+            st.dispatch(completed);
+            Response::Output { bytes }
+        }),
+        ServiceKind::Metrics { format } => handle_metrics(shared, op.app, format),
+    };
+    let _ = op.conn.push_frame(&reply.into_frame(op.app, op.seq));
+    op.conn.service_blocked.store(false, Ordering::Release);
+    // The push already rang the doorbell, but ring again in case the push
+    // was refused: the lifted pause alone must reach the reactor.
+    op.conn.notify.mark_dirty(op.conn.token);
+}
+
+/// State shared by the reactors, the pump, and the shutdown path.
+pub(crate) struct ServerShared {
+    pub(crate) apps: HashMap<u16, Mutex<HostState>>,
+    /// Per-app auth tokens (absent or 0 = open access).
+    pub(crate) tokens: HashMap<u16, u16>,
+    pub(crate) stopping: AtomicBool,
+    /// Set after in-flight batches drained: reactors flush and exit.
+    pub(crate) draining: AtomicBool,
+    pub(crate) connections_accepted: AtomicU64,
+    pub(crate) connections_rejected: AtomicU64,
+    pub(crate) slow_disconnects: AtomicU64,
+    pub(crate) connections_open: AtomicUsize,
+    pub(crate) service: Mutex<ServiceQueue>,
+    pub(crate) max_connections: usize,
+    pub(crate) write_soft_cap: usize,
+    pub(crate) write_hard_cap: usize,
 }
 
 /// Final accounting returned by [`WireServer::shutdown`].
@@ -199,6 +334,9 @@ struct ServerShared {
 pub struct ShutdownReport {
     /// Connections the server accepted over its lifetime.
     pub connections_accepted: u64,
+    /// Connections refused over the [`AdmissionConfig::max_connections`]
+    /// budget.
+    pub connections_rejected: u64,
     /// Final per-app statistics, sorted by app id.
     pub per_app: Vec<(u16, WireStats)>,
 }
@@ -211,9 +349,11 @@ pub struct ShutdownReport {
 pub struct WireServer {
     addr: SocketAddr,
     shared: Arc<ServerShared>,
-    accept_thread: Option<JoinHandle<()>>,
+    notifies: Vec<Arc<ReactorNotify>>,
+    reactor_threads: Vec<JoinHandle<()>>,
     pump_thread: Option<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<ConnHandle>>>,
+    backend: Backend,
+    io_threads: usize,
 }
 
 impl WireServer {
@@ -222,7 +362,7 @@ impl WireServer {
     ///
     /// # Errors
     ///
-    /// Propagates socket bind errors.
+    /// Propagates socket bind, wake-pipe, and poller setup errors.
     pub fn bind(
         addr: impl ToSocketAddrs,
         registry: AppRegistry,
@@ -233,12 +373,16 @@ impl WireServer {
         // say so before accepting traffic.
         ditto_obs::env::log_active();
         let listener = TcpListener::bind(addr)?;
+        // std listens with a backlog of 128; a 1k-connection fan-in opens
+        // sockets faster than one acceptor drains them, so deepen it.
+        let _ = deepen_backlog(listener.as_raw_fd(), 1024);
         let addr = listener.local_addr()?;
         let AppRegistry {
             apps,
             mut admissions,
+            tokens,
         } = registry;
-        let apps = apps
+        let apps: HashMap<u16, Mutex<HostState>> = apps
             .into_iter()
             .map(|(id, host)| {
                 let policy = admissions
@@ -255,19 +399,54 @@ impl WireServer {
                 )
             })
             .collect();
+        let io_threads = resolve_io_threads(config.io_threads);
+        let backend = config.backend;
         let shared = Arc::new(ServerShared {
             apps,
+            tokens,
             stopping: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
             connections_accepted: AtomicU64::new(0),
+            connections_rejected: AtomicU64::new(0),
+            slow_disconnects: AtomicU64::new(0),
+            connections_open: AtomicUsize::new(0),
+            service: Mutex::new(ServiceQueue {
+                closed: false,
+                ops: VecDeque::new(),
+            }),
+            max_connections: config.admission.max_connections,
+            write_soft_cap: config.write_buf_bytes,
+            write_hard_cap: config.write_buf_bytes.saturating_mul(4),
         });
-        let conns = Arc::new(Mutex::new(Vec::new()));
 
-        let accept_shared = Arc::clone(&shared);
-        let accept_conns = Arc::clone(&conns);
-        let accept_thread = std::thread::Builder::new()
-            .name("wire-accept".to_owned())
-            .spawn(move || accept_loop(&listener, &accept_shared, &accept_conns))
-            .expect("spawn accept thread");
+        let mut notifies = Vec::with_capacity(io_threads);
+        let mut wake_rxs = Vec::with_capacity(io_threads);
+        for _ in 0..io_threads {
+            let (tx, rx) = std::os::unix::net::UnixStream::pair()?;
+            tx.set_nonblocking(true)?;
+            notifies.push(Arc::new(ReactorNotify::new(tx)));
+            wake_rxs.push(rx);
+        }
+        let mut listener = Some(listener);
+        let mut reactor_threads = Vec::with_capacity(io_threads);
+        for (index, rx) in wake_rxs.into_iter().enumerate() {
+            let reactor = Reactor::new(
+                index,
+                Arc::clone(&shared),
+                Arc::clone(&notifies[index]),
+                notifies.clone(),
+                rx,
+                listener.take(),
+                backend,
+                config.drain_timeout,
+            )?;
+            reactor_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("wire-reactor-{index}"))
+                    .spawn(move || reactor.run())
+                    .expect("spawn reactor thread"),
+            );
+        }
 
         let pump_shared = Arc::clone(&shared);
         let pump_interval = config.pump_interval;
@@ -279,15 +458,28 @@ impl WireServer {
         Ok(WireServer {
             addr,
             shared,
-            accept_thread: Some(accept_thread),
+            notifies,
+            reactor_threads,
             pump_thread: Some(pump_thread),
-            conns,
+            backend,
+            io_threads,
         })
     }
 
     /// The bound address clients connect to.
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The readiness backend the reactors are running on.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// How many reactor (I/O) threads are multiplexing connections —
+    /// fixed at bind time, independent of the connection count.
+    pub fn io_threads(&self) -> usize {
+        self.io_threads
     }
 
     /// Drains every hosted app's span journals — wire-level accept/admit/
@@ -308,8 +500,9 @@ impl WireServer {
     }
 
     /// Graceful shutdown: stop admitting, drain every in-flight batch,
-    /// flush their `Done` responses, close connections, join the
-    /// connection threads, then tear the shard threads down.
+    /// flush their `Done` responses from the per-connection outboxes,
+    /// close connections, join the reactors, then tear the shard threads
+    /// down.
     ///
     /// # Panics
     ///
@@ -317,32 +510,37 @@ impl WireServer {
     /// propagated into the message).
     pub fn shutdown(mut self) -> ShutdownReport {
         self.shared.stopping.store(true, Ordering::SeqCst);
-        // Wake the blocking accept with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
-            t.join().expect("accept thread panicked");
-        }
         if let Some(t) = self.pump_thread.take() {
             t.join().expect("pump thread panicked");
         }
+        // Close the service queue and run what it still holds: reactors
+        // that lose the race get an explicit refusal, and no paused
+        // connection is left waiting on an op nobody will execute.
+        let late_ops = {
+            let mut q = self.shared.service.lock().expect("service queue poisoned");
+            q.closed = true;
+            std::mem::take(&mut q.ops)
+        };
+        for op in late_ops {
+            execute_service(&self.shared, op);
+        }
         // Drain every app: new submissions are already refused (stopping
         // flag), so after drain there are no in-flight batches; the
-        // resulting Done frames flow through still-live writer threads.
+        // resulting Done frames land in still-live outboxes.
         for state in self.shared.apps.values() {
             let mut st = state.lock().expect("host state poisoned");
             let completed = st.host.drain();
             st.dispatch(completed);
             st.fail_waiters(error_code::SHUTTING_DOWN, "server shutting down");
         }
-        // Close the read side: readers see EOF and exit, dropping their
-        // response senders; writers flush what is queued, then exit.
-        let conns = std::mem::take(&mut *self.conns.lock().expect("conn list poisoned"));
-        for (stream, _, _) in &conns {
-            let _ = stream.shutdown(Shutdown::Read);
+        // Now every response is queued: tell the reactors to flush
+        // outboxes and exit ("no Done lost"), and wake them to notice.
+        self.shared.draining.store(true, Ordering::SeqCst);
+        for notify in &self.notifies {
+            notify.wake();
         }
-        for (_, reader, writer) in conns {
-            reader.join().expect("connection reader panicked");
-            writer.join().expect("connection writer panicked");
+        for t in self.reactor_threads.drain(..) {
+            t.join().expect("reactor thread panicked");
         }
         // Only now tear down the shard threads.
         let shared = Arc::try_unwrap(self.shared)
@@ -359,147 +557,15 @@ impl WireServer {
         per_app.sort_unstable_by_key(|&(id, _)| id);
         ShutdownReport {
             connections_accepted: shared.connections_accepted.load(Ordering::SeqCst),
+            connections_rejected: shared.connections_rejected.load(Ordering::SeqCst),
             per_app,
         }
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    shared: &Arc<ServerShared>,
-    conns: &Arc<Mutex<Vec<ConnHandle>>>,
-) {
-    loop {
-        let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(_) => {
-                if shared.stopping.load(Ordering::SeqCst) {
-                    return;
-                }
-                // Transient accept failures (fd pressure, aborted
-                // handshakes) must not busy-loop.
-                std::thread::sleep(Duration::from_millis(10));
-                continue;
-            }
-        };
-        if shared.stopping.load(Ordering::SeqCst) {
-            // The wake-up connection (or a late client): refuse and stop.
-            let _ = stream.shutdown(Shutdown::Both);
-            return;
-        }
-        shared.connections_accepted.fetch_add(1, Ordering::SeqCst);
-        stream.set_nodelay(true).ok();
-        let Ok(read_half) = stream.try_clone() else {
-            continue;
-        };
-        let Ok(write_half) = stream.try_clone() else {
-            continue;
-        };
-        let (resp_tx, resp_rx) = std::sync::mpsc::sync_channel::<OutFrame>(RESP_QUEUE_FRAMES);
-        let reader_shared = Arc::clone(shared);
-        let reader = std::thread::Builder::new()
-            .name("wire-conn-read".to_owned())
-            .spawn(move || connection_loop(read_half, &reader_shared, &resp_tx))
-            .expect("spawn connection reader");
-        let writer = std::thread::Builder::new()
-            .name("wire-conn-write".to_owned())
-            .spawn(move || writer_loop(write_half, &resp_rx))
-            .expect("spawn connection writer");
-        let mut list = conns.lock().expect("conn list poisoned");
-        // Reap connections that already ended, so a long-lived server under
-        // client churn does not accumulate dead sockets and thread handles.
-        let mut kept = Vec::with_capacity(list.len() + 1);
-        for (stream, reader, writer) in list.drain(..) {
-            if reader.is_finished() && writer.is_finished() {
-                reader.join().expect("connection reader panicked");
-                writer.join().expect("connection writer panicked");
-            } else {
-                kept.push((stream, reader, writer));
-            }
-        }
-        *list = kept;
-        list.push((stream, reader, writer));
-    }
-}
-
-/// Serialises queued response frames onto the socket until every sender
-/// (the reader thread and all of this connection's waiters) is gone.
-fn writer_loop(stream: TcpStream, responses: &Receiver<OutFrame>) {
-    let mut out = BufWriter::new(stream);
-    while let Ok(frame) = responses.recv() {
-        let mut bytes = frame.to_bytes();
-        // Coalesce whatever else is already queued into one write burst.
-        while let Ok(next) = responses.try_recv() {
-            next.encode(&mut bytes);
-        }
-        if out.write_all(&bytes).and_then(|()| out.flush()).is_err() {
-            return; // client is gone; drain-and-drop the rest
-        }
-    }
-}
-
-/// The per-connection request loop: parse → admit/route → respond.
-fn connection_loop(stream: TcpStream, shared: &Arc<ServerShared>, resp: &SyncSender<OutFrame>) {
-    let mut input = BufReader::new(stream);
-    loop {
-        let frame = match Frame::read_from(&mut input) {
-            Ok(Some(frame)) => frame,
-            Ok(None) => return, // clean disconnect
-            Err(FrameError::Io(_)) => return,
-            Err(e) => {
-                // Protocol garbage: answer once, then hang up (framing is
-                // lost, so nothing later on this connection is parseable).
-                let resp_frame = Response::Error {
-                    code: error_code::BAD_REQUEST,
-                    message: e.to_string(),
-                }
-                .into_frame(0, 0);
-                let _ = resp.send(resp_frame);
-                return;
-            }
-        };
-        let received = Instant::now();
-        let request = match Request::decode(&frame) {
-            Ok(request) => request,
-            Err(e) => {
-                let resp_frame = Response::Error {
-                    code: error_code::BAD_REQUEST,
-                    message: e.to_string(),
-                }
-                .into_frame(frame.app, frame.seq);
-                let _ = resp.send(resp_frame);
-                return;
-            }
-        };
-        match request {
-            Request::Ping { echo } => {
-                let _ = resp.send(Response::Pong { echo }.into_frame(frame.app, frame.seq));
-            }
-            Request::Submit { tuples } => {
-                handle_submit(shared, resp, &frame, tuples, received);
-            }
-            Request::Stats => {
-                let reply = with_app(shared, frame.app, |st| Response::Stats(st.host.stats()));
-                let _ = resp.send(reply.into_frame(frame.app, frame.seq));
-            }
-            Request::Finalize => {
-                let reply = with_app(shared, frame.app, |st| {
-                    let (completed, bytes) = st.host.finalize();
-                    st.dispatch(completed);
-                    Response::Output { bytes }
-                });
-                let _ = resp.send(reply.into_frame(frame.app, frame.seq));
-            }
-            Request::Metrics { format } => {
-                let reply = handle_metrics(shared, frame.app, format);
-                let _ = resp.send(reply.into_frame(frame.app, frame.seq));
-            }
-        }
-    }
-}
-
 /// Serves a `Metrics` request: app id 0 merges every hosted app's registry
-/// (each stamped with its `app` label); a concrete id dumps that app alone.
+/// (each stamped with its `app` label) plus the server-wide connection
+/// gauges; a concrete id dumps that app alone.
 fn handle_metrics(shared: &ServerShared, app: u16, format: u8) -> Response {
     let snap = if app == 0 {
         let mut ids: Vec<u16> = shared.apps.keys().copied().collect();
@@ -512,6 +578,16 @@ fn handle_metrics(shared: &ServerShared, app: u16, format: u8) -> Response {
             snap.add_label("app", id);
             merged.merge(&snap);
         }
+        let mut reg = MetricsRegistry::new();
+        let open = reg.gauge("ditto_wire_connections_open", "wire", "connections");
+        let accepted = reg.counter("ditto_wire_connections_accepted", "wire", "connections");
+        let rejected = reg.counter("ditto_wire_connections_rejected", "wire", "connections");
+        let slow = reg.counter("ditto_wire_slow_disconnects", "wire", "connections");
+        reg.set_gauge(open, shared.connections_open.load(Ordering::SeqCst) as u64);
+        reg.set_counter(accepted, shared.connections_accepted.load(Ordering::SeqCst));
+        reg.set_counter(rejected, shared.connections_rejected.load(Ordering::SeqCst));
+        reg.set_counter(slow, shared.slow_disconnects.load(Ordering::SeqCst));
+        merged.merge(&reg.snapshot());
         merged
     } else {
         match shared.apps.get(&app) {
@@ -551,115 +627,25 @@ fn with_app(
     }
 }
 
-/// Admission for one batch: check the live queue depth against the
-/// watermark, deferring briefly on a full queue, shedding past the policy.
-fn handle_submit(
-    shared: &ServerShared,
-    resp: &SyncSender<OutFrame>,
-    frame: &Frame,
-    tuples: Vec<datagen::Tuple>,
-    received: Instant,
-) {
-    let Some(state) = shared.apps.get(&frame.app) else {
-        let reply = Response::Error {
-            code: error_code::UNKNOWN_APP,
-            message: format!("no app registered under id {}", frame.app),
-        };
-        let _ = resp.send(reply.into_frame(frame.app, frame.seq));
-        return;
-    };
-    let n_tuples = tuples.len() as u64;
-    let mut attempt = 0u32;
-    let mut batch = Some(tuples);
+/// Executes queued service requests, then polls every hosted cluster for
+/// completed batches and routes their `Done` responses.
+fn pump_loop(shared: &Arc<ServerShared>, interval: Duration) {
     loop {
-        if shared.stopping.load(Ordering::SeqCst) {
-            let reply = Response::Error {
-                code: error_code::SHUTTING_DOWN,
-                message: "server shutting down".to_owned(),
+        // Service requests first: their connections' decode is paused
+        // until answered, so they must not wait behind a full pump pass.
+        loop {
+            let op = {
+                let mut q = shared.service.lock().expect("service queue poisoned");
+                q.ops.pop_front()
             };
-            let _ = resp.send(reply.into_frame(frame.app, frame.seq));
+            match op {
+                Some(op) => execute_service(shared, op),
+                None => break,
+            }
+        }
+        if shared.stopping.load(Ordering::SeqCst) {
             return;
         }
-        let defer_wait = {
-            let mut st = state.lock().expect("host state poisoned");
-            // Re-check under the lock: shutdown fails all waiters while
-            // holding it, so a submit that slips past the flag check above
-            // must not insert a waiter nobody will ever complete.
-            if shared.stopping.load(Ordering::SeqCst) {
-                let reply = Response::Error {
-                    code: error_code::SHUTTING_DOWN,
-                    message: "server shutting down".to_owned(),
-                };
-                let _ = resp.send(reply.into_frame(frame.app, frame.seq));
-                return;
-            }
-            let depth = st.host.queue_depth();
-            match st.admission.evaluate(depth, attempt) {
-                AdmissionDecision::Admit => {
-                    // The admit stamp is taken *before* the submit fans the
-                    // batch out, so the shard's Queue event (recorded after
-                    // it receives the command) can never precede it.
-                    let admit_wall = clock::wall_us_now();
-                    let id = st.host.submit(batch.take().expect("batch present"));
-                    // Accept is back-filled with the frame-receipt instant
-                    // now that admission has assigned the span id.
-                    st.journal.record_at(
-                        id,
-                        SpanStage::Accept,
-                        clock::wall_us_of(received),
-                        0,
-                        NO_SHARD,
-                        n_tuples,
-                    );
-                    st.journal
-                        .record_at(id, SpanStage::Admit, admit_wall, 0, NO_SHARD, n_tuples);
-                    st.waiters.insert(
-                        id,
-                        Waiter {
-                            resp: resp.clone(),
-                            app: frame.app,
-                            seq: frame.seq,
-                            received,
-                        },
-                    );
-                    return;
-                }
-                AdmissionDecision::Defer => st.admission.config().defer_wait,
-                AdmissionDecision::Shed => {
-                    st.host.record_shed(n_tuples);
-                    // Shed batches never got a cluster id; their span is
-                    // the client seq with the top bit set, which cannot
-                    // collide with real batch ids.
-                    let span = frame.seq | 1 << 63;
-                    st.journal.record_at(
-                        span,
-                        SpanStage::Accept,
-                        clock::wall_us_of(received),
-                        0,
-                        NO_SHARD,
-                        n_tuples,
-                    );
-                    st.journal
-                        .record(span, SpanStage::Shed, 0, NO_SHARD, n_tuples);
-                    let reply = Response::Overloaded {
-                        queue_depth: depth,
-                        watermark: st.admission.config().max_queue_tuples,
-                    };
-                    let _ = resp.send(reply.into_frame(frame.app, frame.seq));
-                    return;
-                }
-            }
-        };
-        // Defer outside the lock so the pump and other connections proceed.
-        attempt += 1;
-        std::thread::sleep(defer_wait);
-    }
-}
-
-/// Polls every hosted cluster for completed batches and routes their
-/// `Done` responses.
-fn pump_loop(shared: &Arc<ServerShared>, interval: Duration) {
-    while !shared.stopping.load(Ordering::SeqCst) {
         for state in shared.apps.values() {
             // Never block on a busy app (drain/finalize hold the lock for
             // long stretches); completions keep until the next tick.
@@ -683,6 +669,8 @@ impl std::fmt::Debug for WireServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WireServer")
             .field("addr", &self.addr)
+            .field("backend", &self.backend)
+            .field("io_threads", &self.io_threads)
             .field(
                 "connections_accepted",
                 &self.shared.connections_accepted.load(Ordering::SeqCst),

@@ -183,12 +183,12 @@ fn corrupt_headers_are_rejected() {
         Err(FrameError::UnknownKind(0x7f))
     ));
 
-    let mut bad = good.clone();
-    bad[6] = 1;
-    assert!(matches!(
-        Frame::decode(&bad),
-        Err(FrameError::ReservedBits(1))
-    ));
+    // Bytes 6..8 are no longer reserved-must-be-zero: they carry the auth
+    // token, so flipping them still decodes — as a token-bearing frame.
+    let mut with_token = good.clone();
+    with_token[6] = 1;
+    let (decoded, _) = Frame::decode(&with_token).expect("token bytes are not a defect");
+    assert_eq!(decoded.token, 1);
 
     let mut bad = good.clone();
     bad[16..20].copy_from_slice(&(MAX_PAYLOAD_BYTES as u32 + 1).to_le_bytes());

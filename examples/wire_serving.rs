@@ -41,7 +41,13 @@ fn main() {
     registry.register(app_id::HLL, hll.clone(), serve_config(hll.pe_entries()));
     let server = WireServer::bind("127.0.0.1:0", registry, WireServerConfig::new())
         .expect("bind wire server");
-    println!("wire server listening on {}", server.local_addr());
+    println!(
+        "wire server listening on {} ({} backend, {} I/O thread(s), budget {} connections)",
+        server.local_addr(),
+        server.backend().label(),
+        server.io_threads(),
+        AdmissionConfig::new().max_connections,
+    );
 
     // 2. Pipelined serving over the socket.
     let data = ZipfGenerator::new(2.0, 1 << 18, 42).take_vec(TUPLES);
