@@ -1,0 +1,338 @@
+//! Emits `BENCH_10.json`: the deployment-planner benchmark — counts-tracing
+//! overhead guard, planner search cost, and the chosen configuration's
+//! measured win over the paper-default deployment.
+//!
+//! Three blocks:
+//!
+//! * `counts_tracing_overhead` — the BENCH_7-style guard for the profiling
+//!   pass. A saturated-uniform pipeline is stepped for a fixed cycle count
+//!   twice per pair, interleaved: once untraced (the engine's per-kernel
+//!   step counters stay `None` — the compiled-out default every golden
+//!   runs under), once under `profile_counts` (counters allocated, one
+//!   indexed increment per executed step, a snapshot diff per 256-cycle
+//!   chunk). The bench *asserts* the traced run is simulation-identical —
+//!   same cycles, tuples, per-PE workloads, kernel steps and channel
+//!   aggregate — and that the wall overhead (min over interleaved pairs;
+//!   see `measure_trace_overhead` for why) stays within budget.
+//!   Disabled-mode invisibility is structural (the counters are never
+//!   allocated), so the honest number reported here is the *enabled* cost:
+//!   what a serve shard pays while a profiling slice is live.
+//! * `plan_search` — wall time of the estimates pass itself: four
+//!   `Planner::plan` calls (two apps × two skews) over the paper search
+//!   space, with the repeated-fragment memo carrying across calls.
+//! * `chosen_vs_paper_default` — the payoff. The uniform-workload plan's
+//!   chosen shape and the paper-default `16P+15S` are both simulated on
+//!   the same dataset; the block reports measured rate, modelled MT/s and
+//!   MT/s per kALM for each, plus the area-efficiency ratio the planner
+//!   is accepted on.
+//!
+//! Usage: `cargo run --release -p ditto-bench --bin plan_bench [out.json]`
+
+use std::time::Instant;
+
+use datagen::{Tuple, UniformGenerator, ZipfGenerator};
+use ditto_bench::json::{host_info, Json};
+use ditto_core::apps::CountPerKey;
+use ditto_core::{ArchConfig, PersistentPipeline, SkewObliviousPipeline, SliceOptions};
+use ditto_plan::{Planner, PlannerOptions};
+use fpga_model::{mtps, AppCostProfile, PipelineShape};
+use hls_sim::{MemoryModel, SliceSource, StreamSource};
+
+/// Cycles each overhead-pair run steps (both sides step exactly this).
+const TRACE_CYCLES: u64 = 32_768;
+/// Sampling chunk of the traced side — the `SliceOptions` default.
+const TRACE_CHUNK: u64 = 256;
+/// Enabled-tracing wall budget, fraction of the untraced run.
+const OVERHEAD_BUDGET: f64 = 0.02;
+/// PriPE count of the profiling pipeline the planner folds from.
+const REFERENCE_M: u32 = 32;
+
+/// Everything deterministic about one fixed-cycle run, for the
+/// bit-identity asserts.
+#[derive(PartialEq, Debug)]
+struct RunFingerprint {
+    cycles: u64,
+    tuples: u64,
+    kernel_steps: u64,
+    per_pe: Vec<u64>,
+    channel: (u64, u64, u64),
+}
+
+fn fingerprint(p: &PersistentPipeline<CountPerKey>) -> RunFingerprint {
+    let s = p.snapshot();
+    let agg = p.engine().context().channel_aggregate();
+    RunFingerprint {
+        cycles: s.cycles,
+        tuples: s.tuples,
+        kernel_steps: s.kernel_steps,
+        per_pe: s.per_pe_processed,
+        channel: (agg.pushes, agg.pops, agg.full_stalls),
+    }
+}
+
+fn overhead_pipeline(data: &[Tuple]) -> PersistentPipeline<CountPerKey> {
+    let source: Box<dyn StreamSource<Tuple>> = Box::new(SliceSource::new(
+        data.to_vec(),
+        Tuple::PAPER_WIDTH_BYTES,
+        MemoryModel::new(64, 16),
+    ));
+    PersistentPipeline::new(CountPerKey::new(16), source, &ArchConfig::paper(15))
+}
+
+/// One untraced fixed-cycle run: the same chunked stepping loop as the
+/// traced side, minus tracing — so the measured delta is the profiling
+/// pass's marginal cost, not loop-shape luck.
+fn run_untraced(data: &[Tuple]) -> (f64, RunFingerprint) {
+    let mut p = overhead_pipeline(data);
+    let t0 = Instant::now();
+    let mut spent = 0;
+    while spent < TRACE_CYCLES {
+        let chunk = TRACE_CHUNK.min(TRACE_CYCLES - spent);
+        p.step_cycles(chunk);
+        spent += chunk;
+    }
+    (t0.elapsed().as_secs_f64(), fingerprint(&p))
+}
+
+/// One traced fixed-cycle run: identical stepping, under `profile_counts`.
+fn run_traced(data: &[Tuple]) -> (f64, RunFingerprint, u64) {
+    let mut p = overhead_pipeline(data);
+    let t0 = Instant::now();
+    let trace = p.profile_counts(SliceOptions::new(TRACE_CYCLES).with_chunk(TRACE_CHUNK));
+    (
+        t0.elapsed().as_secs_f64(),
+        fingerprint(&p),
+        trace.total_tuples(),
+    )
+}
+
+fn measure_trace_overhead(data: &[Tuple], pairs: usize) -> Json {
+    // Warm-up: page in code paths and allocator arenas on both sides.
+    run_untraced(data);
+    run_traced(data);
+    let mut off_best = f64::INFINITY;
+    let mut on_best = f64::INFINITY;
+    let mut fractions = Vec::with_capacity(pairs);
+    let mut baseline: Option<RunFingerprint> = None;
+    let mut traced_tuples = 0;
+    for _ in 0..pairs {
+        let (off_dt, off_fp) = run_untraced(data);
+        let (on_dt, on_fp, tuples) = run_traced(data);
+        assert_eq!(
+            off_fp, on_fp,
+            "counts tracing must not perturb the simulation"
+        );
+        match &baseline {
+            None => baseline = Some(off_fp),
+            Some(b) => assert_eq!(*b, off_fp, "simulation must be deterministic"),
+        }
+        traced_tuples = tuples;
+        fractions.push(on_dt / off_dt - 1.0);
+        off_best = off_best.min(off_dt);
+        on_best = on_best.min(on_dt);
+    }
+    fractions.sort_by(|a, b| a.total_cmp(b));
+    let median = fractions[fractions.len() / 2];
+    // Shared-container noise on a run this size is one-sided (scheduler
+    // spikes only ever slow a run down) and larger than the effect under
+    // test, so the median still measures the weather. The min over
+    // adjacent interleaved pairs is the estimator the noise cannot
+    // inflate: a real regression costs on *every* run and lifts the min
+    // with it, while a spike contaminates only the pair it lands on.
+    let overhead = fractions[0].max(0.0);
+    assert!(
+        overhead <= OVERHEAD_BUDGET,
+        "enabled counts tracing costs {:.2}% (budget {:.0}%)",
+        overhead * 100.0,
+        OVERHEAD_BUDGET * 100.0
+    );
+    let fp = baseline.expect("at least one pair");
+    Json::obj([
+        ("untraced_wall_ms", Json::float(off_best * 1e3, 2)),
+        ("traced_wall_ms", Json::float(on_best * 1e3, 2)),
+        ("cycles_per_run", Json::uint(TRACE_CYCLES)),
+        ("sampling_chunk_cycles", Json::uint(TRACE_CHUNK)),
+        ("tuples_traced", Json::uint(traced_tuples)),
+        ("kernel_steps_per_run", Json::uint(fp.kernel_steps)),
+        ("pairs_measured", Json::uint(fractions.len() as u64)),
+        ("overhead_fraction", Json::float(overhead, 4)),
+        ("overhead_fraction_median", Json::float(median.max(0.0), 4)),
+        ("overhead_budget", Json::float(OVERHEAD_BUDGET, 4)),
+        (
+            "disabled_mode",
+            Json::str("bit-invisible by construction: step counters are never allocated"),
+        ),
+    ])
+}
+
+/// Profiles `data` at the reference shape and returns the planning input.
+fn profile(data: &[Tuple], label_tuples: usize) -> ditto_obs::CountsTrace {
+    let source: Box<dyn StreamSource<Tuple>> = Box::new(SliceSource::new(
+        data.to_vec(),
+        Tuple::PAPER_WIDTH_BYTES,
+        MemoryModel::new(64, 16),
+    ));
+    let mut p = PersistentPipeline::new(
+        CountPerKey::new(REFERENCE_M),
+        source,
+        &ArchConfig::new(8, REFERENCE_M, 0),
+    );
+    let trace = p.profile_counts(SliceOptions::new(4_096));
+    assert!(trace.total_tuples() > 0, "{label_tuples}-tuple slice empty");
+    trace
+}
+
+fn simulate(shape: PipelineShape, data: &[Tuple]) -> f64 {
+    let cfg = ArchConfig::new(shape.n_pre, shape.m_pri, shape.x_sec);
+    let outcome =
+        SkewObliviousPipeline::run_dataset(CountPerKey::new(shape.m_pri), data.to_vec(), &cfg);
+    assert!(outcome.report.completed, "comparison run must drain");
+    outcome.report.tuples_per_cycle()
+}
+
+fn main() {
+    ditto_obs::env::log_active();
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_10.json".to_owned());
+    let tuples: usize = std::env::var("DITTO_PLAN_BENCH_TUPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60_000);
+    let pairs: usize = std::env::var("DITTO_PLAN_BENCH_PAIRS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+
+    let uniform = UniformGenerator::new(1 << 18, 11).take_vec(tuples);
+    let zipf = ZipfGenerator::new(2.0, 1 << 18, 11).take_vec(tuples);
+    // The overhead guard needs the fabric saturated for every traced
+    // cycle; size that stream to outlast the fixed-cycle window.
+    let dense =
+        UniformGenerator::new(1 << 20, 3).take_vec((TRACE_CYCLES as usize) * 8 + (tuples / 2));
+
+    let overhead = measure_trace_overhead(&dense, pairs);
+
+    // The estimates pass: four plans, one shared memo.
+    let mut planner = Planner::new();
+    let opts = PlannerOptions::paper_search();
+    let points = [
+        ("count/uniform", &uniform, AppCostProfile::histo()),
+        ("count/zipf2.0", &zipf, AppCostProfile::histo()),
+        ("dp/uniform", &uniform, AppCostProfile::dp()),
+        ("dp/zipf2.0", &zipf, AppCostProfile::dp()),
+    ];
+    let mut plans = Vec::new();
+    let mut search_json = Vec::new();
+    let t_search = Instant::now();
+    for (label, data, prof) in &points {
+        let trace = profile(data, tuples);
+        let t0 = Instant::now();
+        let plan = planner.plan(&trace, REFERENCE_M, prof, &opts);
+        let dt = t0.elapsed();
+        search_json.push(Json::obj([
+            ("point", Json::str(*label)),
+            ("chosen", Json::str(plan.chosen.shape.label())),
+            ("device", Json::str(plan.chosen.device)),
+            ("predicted_mtps", Json::float(plan.chosen.mtps, 1)),
+            (
+                "candidates_priced",
+                Json::uint(plan.candidates.len() as u64),
+            ),
+            ("search_ms", Json::float(dt.as_secs_f64() * 1e3, 3)),
+        ]));
+        plans.push(plan);
+    }
+    let search_total = t_search.elapsed().as_secs_f64();
+    let memo = planner.memo_stats();
+
+    // The payoff: the uniform plan's choice vs the paper default, both
+    // simulated on the dataset the plan was made for.
+    let chosen = &plans[0].chosen;
+    let paper = PipelineShape::new(8, 16, 15);
+    let paper_candidate = plans[0]
+        .candidates
+        .iter()
+        .find(|c| c.shape == paper)
+        .expect("paper default is in the search space");
+    let chosen_rate = simulate(chosen.shape, &uniform);
+    let paper_rate = simulate(paper, &uniform);
+    let chosen_mtps = mtps(chosen_rate, chosen.estimate.freq_mhz);
+    let paper_mtps = mtps(paper_rate, paper_candidate.estimate.freq_mhz);
+    let chosen_per_kalm = chosen_mtps / (chosen.estimate.logic_alms as f64 / 1e3);
+    let paper_per_kalm = paper_mtps / (paper_candidate.estimate.logic_alms as f64 / 1e3);
+    assert!(
+        chosen_per_kalm > paper_per_kalm,
+        "planner choice must beat the paper default on MT/s per kALM \
+         ({chosen_per_kalm:.3} vs {paper_per_kalm:.3})"
+    );
+
+    let doc = Json::obj([
+        ("bench", Json::str("BENCH_10")),
+        ("host", host_info()),
+        (
+            "workload",
+            Json::obj([
+                ("tuples", Json::uint(tuples as u64)),
+                ("overhead_pairs", Json::uint(pairs as u64)),
+                ("reference_m", Json::uint(u64::from(REFERENCE_M))),
+                (
+                    "method",
+                    Json::str(
+                        "counts_tracing_overhead: interleaved untraced/traced fixed-cycle runs, \
+                         simulation-identity asserted, min-over-pairs overhead vs 2% budget; \
+                         plan_search: profile->plan for 4 app x skew points sharing one \
+                         estimate memo; chosen_vs_paper_default: both shapes simulated on the \
+                         uniform dataset",
+                    ),
+                ),
+            ]),
+        ),
+        ("counts_tracing_overhead", overhead),
+        (
+            "plan_search",
+            Json::obj([
+                ("points", Json::arr(search_json)),
+                ("total_wall_ms", Json::float(search_total * 1e3, 2)),
+                ("memo_lookups", Json::uint(memo.lookups)),
+                ("memo_hits", Json::uint(memo.hits)),
+            ]),
+        ),
+        (
+            "chosen_vs_paper_default",
+            Json::obj([
+                (
+                    "chosen",
+                    Json::obj([
+                        ("shape", Json::str(chosen.shape.label())),
+                        ("simulated_rate", Json::float(chosen_rate, 3)),
+                        ("mtps", Json::float(chosen_mtps, 1)),
+                        ("logic_alms", Json::uint(chosen.estimate.logic_alms)),
+                        ("mtps_per_kalm", Json::float(chosen_per_kalm, 3)),
+                    ]),
+                ),
+                (
+                    "paper_default",
+                    Json::obj([
+                        ("shape", Json::str(paper.label())),
+                        ("simulated_rate", Json::float(paper_rate, 3)),
+                        ("mtps", Json::float(paper_mtps, 1)),
+                        (
+                            "logic_alms",
+                            Json::uint(paper_candidate.estimate.logic_alms),
+                        ),
+                        ("mtps_per_kalm", Json::float(paper_per_kalm, 3)),
+                    ]),
+                ),
+                (
+                    "area_efficiency_ratio",
+                    Json::float(chosen_per_kalm / paper_per_kalm, 3),
+                ),
+                ("throughput_ratio", Json::float(chosen_mtps / paper_mtps, 3)),
+            ]),
+        ),
+    ]);
+    doc.write(&out_path).expect("write BENCH_10.json");
+    println!("{}", doc.to_pretty());
+    eprintln!("wrote {out_path}");
+}

@@ -140,11 +140,12 @@ pub fn host_info() -> Json {
             "local".to_owned()
         }
     });
+    let cores = std::thread::available_parallelism().map_or(0, |n| n.get() as u64);
     Json::obj([
-        (
-            "logical_cores",
-            Json::uint(std::thread::available_parallelism().map_or(0, |n| n.get() as u64)),
-        ),
+        ("logical_cores", Json::uint(cores)),
+        // Thread-scaling numbers from a one-vCPU box are not speedups;
+        // flag them so downstream comparisons can discard or caveat them.
+        ("single_vcpu", Json::Bool(cores == 1)),
         ("env", Json::str(env)),
         ("os", Json::str(std::env::consts::OS)),
         ("arch", Json::str(std::env::consts::ARCH)),
@@ -236,6 +237,7 @@ mod tests {
     fn host_info_reports_cores_and_env() {
         let text = host_info().to_pretty();
         assert!(text.contains("\"logical_cores\""));
+        assert!(text.contains("\"single_vcpu\""));
         assert!(text.contains("\"env\""));
         assert!(text.contains("\"os\""));
     }

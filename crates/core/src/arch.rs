@@ -387,6 +387,12 @@ impl<A: DittoApp + 'static> PersistentPipeline<A> {
         &self.engine
     }
 
+    /// Mutable engine access for the counts-tracing profiling pass (see
+    /// [`profile_counts`](crate::counts::profile_counts)).
+    pub(crate) fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
     /// The compiled execution plan of the pipeline's current phase (see
     /// [`PhasePlan`]), as applied at the last reschedule boundary.
     pub fn phase_plan(&self) -> PhasePlan {

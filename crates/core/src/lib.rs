@@ -51,6 +51,7 @@ pub mod apps;
 mod arch;
 mod config;
 mod control;
+pub mod counts;
 pub mod mapper;
 mod mask;
 pub mod merger;
@@ -66,6 +67,7 @@ pub use app::{DittoApp, MergeableOutput, Routed};
 pub use arch::{PersistentPipeline, RunOutcome, SkewObliviousPipeline};
 pub use config::ArchConfig;
 pub use control::{Control, ControlId, SecPhase};
+pub use counts::{profile_counts, SliceOptions};
 pub use mask::MaskTable;
 pub use phase::PhasePlan;
 pub use plan::SchedulingPlan;

@@ -34,6 +34,37 @@ impl Device {
         }
     }
 
+    /// The Arria 10 GX 660 — the mid-range sibling the deployment planner
+    /// offers as a cheaper target (≈59 % of the GX 1150's logic).
+    pub fn arria10_gx660() -> Self {
+        Device {
+            name: "Intel Arria 10 GX 660",
+            alms: 251_680,
+            m20k_blocks: 2_133,
+            dsp_blocks: 1_688,
+        }
+    }
+
+    /// The Stratix 10 GX 2800 — the headroom target for configurations the
+    /// Arria 10 rejects (more than 2× its logic and 4× its RAM).
+    pub fn stratix10_gx2800() -> Self {
+        Device {
+            name: "Intel Stratix 10 GX 2800",
+            alms: 933_120,
+            m20k_blocks: 11_721,
+            dsp_blocks: 5_760,
+        }
+    }
+
+    /// The devices the deployment planner searches over, smallest first.
+    pub fn catalog() -> Vec<Device> {
+        vec![
+            Device::arria10_gx660(),
+            Device::arria10_gx1150(),
+            Device::stratix10_gx2800(),
+        ]
+    }
+
     /// Fraction of ALMs used by `alms` (0.0–1.0+, uncapped).
     pub fn utilization_logic(&self, alms: u64) -> f64 {
         alms as f64 / self.alms as f64
@@ -77,6 +108,18 @@ mod tests {
         assert!((dev.utilization_ram(2_129) - 0.78).abs() < 0.01);
         assert!((dev.utilization_logic(230_095) - 0.54).abs() < 0.01);
         assert!((dev.utilization_dsp(658) - 0.43).abs() < 0.01);
+    }
+
+    #[test]
+    fn catalog_is_ordered_and_distinct() {
+        let cat = Device::catalog();
+        assert_eq!(cat.len(), 3);
+        for pair in cat.windows(2) {
+            assert!(pair[0].alms < pair[1].alms, "catalog sorted by capacity");
+            assert_ne!(pair[0].name, pair[1].name);
+        }
+        // The paper's platform is in the catalog.
+        assert!(cat.iter().any(|d| *d == Device::arria10_gx1150()));
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! Property tests for the resource/frequency model: the planner trusts the
+//! model's *shape* (orderings, convexity, bounds) far more than any single
+//! calibrated value, so these pin the shape directly.
+//!
+//! Four families:
+//!
+//! 1. **Monotonicity** — growing any shape axis (`n_pre`, `m_pri`,
+//!    `x_sec`) never shrinks any resource, for every application profile.
+//! 2. **Congestion superlinearity** — the marginal RAM of one more SecPE
+//!    is non-decreasing, and strictly grows once logic utilisation crosses
+//!    the congestion knee (the reason the planner's budget axis exists).
+//! 3. **Frequency degradation** — noiseless frequency is non-increasing in
+//!    utilisation, jitter is bounded by ±4 % of the base fit, and every
+//!    achieved frequency respects the clamp band.
+//! 4. **Capacity rejection** — a shape that overflows a device is reported
+//!    as not fitting, with utilisations above 1, rather than silently
+//!    clamped.
+
+use fpga_model::{AppCostProfile, Device, FrequencyModel, PipelineShape, ResourceModel};
+
+fn estimate_tuple(model: &ResourceModel, shape: PipelineShape, p: &AppCostProfile) -> [u64; 3] {
+    let e = model.estimate(shape, p);
+    [e.logic_alms, e.ram_blocks, e.dsps]
+}
+
+#[test]
+fn resources_are_monotone_in_every_shape_axis() {
+    let model = ResourceModel::arria10();
+    // Each sweep grows exactly one axis from a mid-space base shape. The
+    // start values respect the `x_sec < m_pri` shape invariant.
+    type AxisSweep = (&'static str, u32, fn(u32) -> PipelineShape);
+    let sweeps: [AxisSweep; 3] = [
+        ("n_pre", 1, |v| PipelineShape::new(v, 16, 4)),
+        ("m_pri", 5, |v| PipelineShape::new(8, v, 4)),
+        ("x_sec", 0, |v| PipelineShape::new(8, 16, v)),
+    ];
+    for profile in AppCostProfile::all() {
+        for (axis, start, shape_of) in &sweeps {
+            let mut prev: Option<[u64; 3]> = None;
+            for v in *start..=(if *axis == "x_sec" { 15 } else { 32 }) {
+                let cur = estimate_tuple(&model, shape_of(v), &profile);
+                if let Some(p) = prev {
+                    for (k, res) in ["logic", "ram", "dsp"].iter().enumerate() {
+                        assert!(
+                            cur[k] >= p[k],
+                            "{}/{axis}={v}: {res} shrank {} -> {}",
+                            profile.name,
+                            p[k],
+                            cur[k]
+                        );
+                    }
+                }
+                prev = Some(cur);
+            }
+        }
+    }
+}
+
+#[test]
+fn secpe_marginal_ram_is_superlinear_across_the_knee() {
+    let model = ResourceModel::arria10();
+    let hll = AppCostProfile::hll();
+    // RAM cost of each additional SecPE on the paper's 8/16 base. x = 0→1
+    // is excluded: it pays the one-time profiler/merger/rescheduler blocks,
+    // not a marginal SecPE.
+    let ram: Vec<u64> = (1..=15)
+        .map(|x| {
+            model
+                .estimate(PipelineShape::new(8, 16, x), &hll)
+                .ram_blocks
+        })
+        .collect();
+    let marginals: Vec<i64> = ram.windows(2).map(|w| w[1] as i64 - w[0] as i64).collect();
+    for (i, pair) in marginals.windows(2).enumerate() {
+        // ±1 slack: the estimate rounds the congested RAM to whole blocks.
+        assert!(
+            pair[1] >= pair[0] - 1,
+            "marginal RAM fell from {} to {} at x={}",
+            pair[0],
+            pair[1],
+            i + 2
+        );
+    }
+    // The sweep crosses the knee (~40 % utilisation on the GX 1150), so
+    // the congestion term must make the last marginal strictly costlier
+    // than the first — superlinearity, not just monotonicity.
+    let first = model.estimate(PipelineShape::new(8, 16, 1), &hll);
+    let last = model.estimate(PipelineShape::new(8, 16, 15), &hll);
+    assert!(first.logic_util < 0.40 + 0.10 && last.logic_util > 0.40);
+    assert!(
+        marginals[marginals.len() - 1] > marginals[0],
+        "congestion never engaged: marginals {marginals:?}"
+    );
+}
+
+#[test]
+fn frequency_degrades_monotonically_and_jitter_is_bounded() {
+    let noiseless = FrequencyModel::noiseless();
+    let calibrated = FrequencyModel::calibrated();
+    let mut prev = f64::INFINITY;
+    for step in 0..=100 {
+        let util = step as f64 / 100.0;
+        let f = noiseless.frequency_mhz(util, 0);
+        assert!(f <= prev, "noiseless frequency rose at util {util}");
+        assert!(
+            (noiseless.min_mhz..=noiseless.max_mhz).contains(&f),
+            "frequency {f} outside the clamp band"
+        );
+        prev = f;
+        // Jitter: any design hash stays within ±4 % of the base fit
+        // (before clamping) and inside the clamp band (after).
+        let base = noiseless.intercept_mhz - noiseless.slope_mhz * util;
+        for hash in [0u64, 1 << 17, 0xdead_beef_cafe, u64::MAX] {
+            let fj = calibrated.frequency_mhz(util, hash);
+            assert!(
+                fj >= (base * (1.0 - calibrated.jitter))
+                    .clamp(calibrated.min_mhz, calibrated.max_mhz)
+                    - 1e-9
+                    && fj
+                        <= (base * (1.0 + calibrated.jitter))
+                            .clamp(calibrated.min_mhz, calibrated.max_mhz)
+                            + 1e-9,
+                "jitter exceeded ±{:.0}% at util {util}, hash {hash:#x}: {fj} vs base {base}",
+                calibrated.jitter * 100.0
+            );
+        }
+    }
+    // The degradation is real, not clamped away, over the planner's range.
+    assert!(noiseless.frequency_mhz(0.3, 0) > noiseless.frequency_mhz(0.7, 0));
+}
+
+#[test]
+fn overflowing_shapes_are_rejected_not_clamped() {
+    let small = Device::arria10_gx660();
+    let model = ResourceModel::new(small.clone(), FrequencyModel::noiseless());
+    let oversized = PipelineShape::new(32, 64, 15);
+    let est = model.estimate(oversized, &AppCostProfile::pagerank());
+    assert!(
+        !small.fits(est.logic_alms, est.ram_blocks, est.dsps),
+        "a 79-PE PageRank design cannot fit a GX 660"
+    );
+    assert!(
+        est.logic_util > 1.0 || est.ram_util > 1.0 || est.dsp_util > 1.0,
+        "overflow must surface as utilisation > 1, got logic {:.2} ram {:.2} dsp {:.2}",
+        est.logic_util,
+        est.ram_util,
+        est.dsp_util
+    );
+    // The same design fits the largest catalog device — the rescue path
+    // the planner's device search relies on.
+    let big = Device::stratix10_gx2800();
+    let big_est = ResourceModel::new(big.clone(), FrequencyModel::noiseless())
+        .estimate(oversized, &AppCostProfile::pagerank());
+    assert!(big.fits(big_est.logic_alms, big_est.ram_blocks, big_est.dsps));
+    // And the catalog is ordered so that search visits small devices first.
+    let caps: Vec<u64> = Device::catalog().iter().map(|d| d.alms).collect();
+    assert!(caps.windows(2).all(|w| w[0] < w[1]));
+}

@@ -46,6 +46,13 @@ pub struct Engine {
     ff_jumps: u64,
     /// Total cycles skipped by fast-forward jumps.
     ff_cycles_skipped: u64,
+    /// Opt-in per-kernel step counters for the counts-tracing profiling
+    /// pass. `None` (the default) keeps the step loop untouched — the
+    /// disabled mode is bit-invisible by construction, not by flag checks
+    /// on shared state. When enabled, entry `i` counts kernel `i`'s
+    /// executed steps; one indexed increment per executed step is the
+    /// entire overhead.
+    step_counts: Option<Vec<u64>>,
 }
 
 impl Engine {
@@ -60,12 +67,28 @@ impl Engine {
             fast_forward: false,
             ff_jumps: 0,
             ff_cycles_skipped: 0,
+            step_counts: None,
         }
     }
 
     /// Total kernel step calls executed so far (see the field docs).
     pub fn steps_executed(&self) -> u64 {
         self.steps_executed
+    }
+
+    /// Enables per-kernel step counting (the counts-tracing hook). Kernels
+    /// registered after this call are covered too. Idempotent: re-enabling
+    /// keeps the existing counts.
+    pub fn enable_step_counts(&mut self) {
+        if self.step_counts.is_none() {
+            self.step_counts = Some(vec![0; self.kernels.len()]);
+        }
+    }
+
+    /// Per-kernel executed-step counts in registration order, `None` until
+    /// [`enable_step_counts`](Self::enable_step_counts) is called.
+    pub fn step_counts(&self) -> Option<&[u64]> {
+        self.step_counts.as_deref()
     }
 
     /// Enables or disables steady-state fast-forward (default: off).
@@ -281,6 +304,9 @@ impl Engine {
         if kernel.is_quiescence_gate() {
             self.gates.push(idx);
         }
+        if let Some(counts) = &mut self.step_counts {
+            counts.push(0);
+        }
         self.kernels.push(kernel);
         idx
     }
@@ -393,6 +419,7 @@ impl Engine {
             kernels,
             ctx,
             steps_executed,
+            step_counts,
             ..
         } = self;
         ctx.scan_ahead = ctx.awake_count;
@@ -404,6 +431,9 @@ impl Engine {
             }
             ctx.scan_ahead -= 1;
             *steps_executed += 1;
+            if let Some(counts) = step_counts {
+                counts[i] += 1;
+            }
             ctx.current_kernel = i as u32;
             ctx.self_woken = false;
             if kernels[i].step(cy, ctx) == Progress::Sleep && !ctx.self_woken {
@@ -837,6 +867,27 @@ mod tests {
         assert_eq!(e.context_mut().try_recv(20, rx), Some(1));
         e.run_cycles(5);
         assert_eq!(e.context().counter(sent), 3);
+    }
+
+    #[test]
+    fn step_counts_track_per_kernel_executions() {
+        let mut e = Engine::new();
+        assert!(e.step_counts().is_none(), "disabled by default");
+        let hits = e.counter();
+        e.add_kernel(CountTo { n: u64::MAX, hits });
+        e.enable_step_counts();
+        // Kernels registered after enabling are covered too.
+        let hits2 = e.counter();
+        e.add_kernel(CountTo {
+            n: u64::MAX,
+            hits: hits2,
+        });
+        e.run_cycles(7);
+        assert_eq!(e.step_counts().unwrap(), &[7, 7]);
+        assert_eq!(e.steps_executed(), 14, "aggregate counter unaffected");
+        // Idempotent re-enable keeps counts.
+        e.enable_step_counts();
+        assert_eq!(e.step_counts().unwrap(), &[7, 7]);
     }
 
     #[test]

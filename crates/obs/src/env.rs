@@ -124,6 +124,27 @@ pub const KNOWN: &[EnvKnob] = &[
         effect: "reactor (I/O) thread count, independent of connection count; overrides both \
                  the auto-size and `WireServerConfig`",
     },
+    EnvKnob {
+        name: "DITTO_PLAN_SLICE",
+        consumer: "ditto-plan (planner, plan_bench, plan_deploy)",
+        default: "20000",
+        effect: "cycles in the bounded counts-tracing profiling slice the planner runs \
+                 before searching configurations",
+    },
+    EnvKnob {
+        name: "DITTO_PLAN_BUDGET",
+        consumer: "ditto-plan (search)",
+        default: "0.85",
+        effect: "resource budget as a utilisation fraction: candidate configurations whose \
+                 estimated logic/RAM/DSP utilisation exceeds it on any axis are rejected",
+    },
+    EnvKnob {
+        name: "DITTO_PLAN_TRACE_OUT",
+        consumer: "plan_deploy example",
+        default: "unset (no export)",
+        effect: "file path where `plan_deploy` writes the counts trace's phase flame row as \
+                 Chrome trace-event JSON (timeline in cycles)",
+    },
 ];
 
 /// The `DITTO_*` overrides currently set, as `(knob, value)` pairs in

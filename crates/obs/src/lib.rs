@@ -15,6 +15,9 @@
 //!   exportable as Chrome trace-event JSON via [`chrome_trace_json`].
 //! * [`prom`] — Prometheus text exposition plus a validator; [`codec`] —
 //!   the compact binary form shipped in `MetricsDump` wire frames.
+//! * [`counts`] — the counts-tracing data model ([`CountsTrace`]): the
+//!   profiling half of the two-pass deployment planner, exported through
+//!   the same registry/journal/codec plane.
 //! * [`env`] — the documented catalog of `DITTO_*` overrides.
 //!
 //! Zero dependencies; `#![forbid(unsafe_code)]`.
@@ -24,6 +27,7 @@
 
 pub mod clock;
 pub mod codec;
+pub mod counts;
 pub mod env;
 pub mod hist;
 pub mod journal;
@@ -31,6 +35,7 @@ pub mod prom;
 pub mod registry;
 
 pub use codec::{decode_snapshot, encode_snapshot, CODEC_VERSION};
+pub use counts::{CountsTrace, KernelClass, PhaseCounts};
 pub use hist::{LatencyStats, LogHistogram};
 pub use journal::{chrome_trace_json, SpanEvent, SpanJournal, SpanStage, NO_SHARD};
 pub use prom::{to_prometheus_text, validate_prometheus_text};

@@ -1,0 +1,61 @@
+//! Plan validation: simulate the chosen point and compare against the
+//! estimate.
+
+use datagen::Tuple;
+use ditto_core::{DittoApp, SkewObliviousPipeline};
+use fpga_model::mtps;
+
+use crate::planner::DeploymentPlan;
+
+/// Predicted-vs-simulated comparison for one deployment plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Validation {
+    /// The estimator's steady-state rate, tuples/cycle.
+    pub predicted_rate: f64,
+    /// The cycle-level simulator's end-to-end rate (including ramp-up,
+    /// profiling window and drain tail), tuples/cycle.
+    pub simulated_rate: f64,
+    /// Predicted throughput at the modelled clock, MT/s.
+    pub predicted_mtps: f64,
+    /// Simulated throughput at the same modelled clock, MT/s.
+    pub simulated_mtps: f64,
+    /// Signed relative error of the prediction: `(pred − sim) / sim`.
+    pub rel_error: f64,
+}
+
+impl Validation {
+    /// `true` if the prediction is within `tolerance` (e.g. `0.25` for
+    /// ±25 %) of the simulation.
+    pub fn within(&self, tolerance: f64) -> bool {
+        self.rel_error.abs() <= tolerance
+    }
+}
+
+/// Runs the plan's chosen [`ArchConfig`](ditto_core::ArchConfig) over
+/// `data` in the cycle-level simulator and compares throughput with the
+/// estimate. Both sides use the plan's modelled clock, so the comparison
+/// isolates the rate model (the part the estimator can get wrong) from the
+/// frequency model (shared by construction).
+pub fn validate<A: DittoApp + 'static>(
+    plan: &DeploymentPlan,
+    app: A,
+    data: Vec<Tuple>,
+) -> Validation {
+    let outcome = SkewObliviousPipeline::run_dataset(app, data, &plan.config);
+    assert!(outcome.report.completed, "validation run must drain");
+    let simulated_rate = outcome.report.tuples_per_cycle();
+    let predicted_rate = plan.chosen.prediction.rate;
+    let freq = plan.chosen.estimate.freq_mhz;
+    let rel_error = if simulated_rate > 0.0 {
+        (predicted_rate - simulated_rate) / simulated_rate
+    } else {
+        f64::INFINITY
+    };
+    Validation {
+        predicted_rate,
+        simulated_rate,
+        predicted_mtps: mtps(predicted_rate, freq),
+        simulated_mtps: mtps(simulated_rate, freq),
+        rel_error,
+    }
+}

@@ -1,0 +1,161 @@
+//! End-to-end planner goldens: profile → plan → validate, for two
+//! applications × two skews.
+//!
+//! Pins the acceptance bar of the two-pass planner: the predicted
+//! throughput of the chosen configuration is within ±25 % of the
+//! cycle-level simulation, and on uniform data the choice beats the
+//! paper-default `16P+15S` deployment on throughput per ALM.
+
+use datagen::{Tuple, UniformGenerator, ZipfGenerator};
+use ditto_core::apps::{CountPerKey, ModHistogram};
+use ditto_core::{ArchConfig, DittoApp, PersistentPipeline, SliceOptions};
+use ditto_plan::{validate, DeploymentPlan, Planner, PlannerOptions};
+use fpga_model::{AppCostProfile, PipelineShape};
+use hls_sim::{MemoryModel, SliceSource};
+
+/// PriPE count of the profiling pipeline; candidates fold from it.
+const REFERENCE_M: u32 = 32;
+/// Dataset size: long enough that ramp-up and drain tails are noise.
+const TUPLES: usize = 60_000;
+/// Profiling slice: a quarter of the stream at full rate.
+const SLICE_CYCLES: u64 = 4_096;
+
+fn source(data: Vec<Tuple>) -> Box<SliceSource<Tuple>> {
+    Box::new(SliceSource::new(
+        data,
+        Tuple::PAPER_WIDTH_BYTES,
+        MemoryModel::new(64, 16),
+    ))
+}
+
+/// Runs the full two-pass flow for one app × dataset point.
+fn plan_point<A, F>(
+    planner: &mut Planner,
+    make_app: F,
+    profile: &AppCostProfile,
+    data: &[Tuple],
+    label: &str,
+) -> (DeploymentPlan, ditto_plan::Validation)
+where
+    A: DittoApp + 'static,
+    F: Fn(u32) -> A,
+{
+    // Pass 1: counts — a bounded slice at the reference shape.
+    let ref_cfg = ArchConfig::new(8, REFERENCE_M, 0);
+    let mut pipeline =
+        PersistentPipeline::new(make_app(REFERENCE_M), source(data.to_vec()), &ref_cfg);
+    let trace = pipeline.profile_counts(SliceOptions::new(SLICE_CYCLES));
+    assert!(trace.total_tuples() > 0, "{label}: slice saw no tuples");
+
+    // Pass 2: estimates — search, then validate the chosen point in the
+    // simulator.
+    let opts = PlannerOptions::paper_search();
+    let plan = planner.plan(&trace, REFERENCE_M, profile, &opts);
+    let v = validate(&plan, make_app(plan.config.m_pri), data.to_vec());
+    eprintln!(
+        "{label}: chose {} on {} | predicted {:.2} t/c ({:.0} MT/s, {} bound) \
+         simulated {:.2} t/c | error {:+.1}%",
+        plan.chosen.shape.label(),
+        plan.chosen.device,
+        v.predicted_rate,
+        plan.chosen.mtps,
+        plan.chosen.prediction.binding(),
+        v.simulated_rate,
+        v.rel_error * 100.0,
+    );
+    (plan, v)
+}
+
+fn paper_default(plan: &DeploymentPlan) -> &ditto_plan::Candidate {
+    plan.candidates
+        .iter()
+        .find(|c| c.shape == PipelineShape::new(8, 16, 15))
+        .expect("paper default is in the search space")
+}
+
+#[test]
+fn planner_golden_two_apps_two_skews() {
+    let uniform = UniformGenerator::new(1 << 18, 11).take_vec(TUPLES);
+    let zipf = ZipfGenerator::new(2.0, 1 << 18, 11).take_vec(TUPLES);
+    let mut planner = Planner::new();
+
+    // count-per-key (HISTO-like cost profile).
+    let (cu_plan, cu_v) = plan_point(
+        &mut planner,
+        CountPerKey::new,
+        &AppCostProfile::histo(),
+        &uniform,
+        "count/uniform",
+    );
+    let (cz_plan, cz_v) = plan_point(
+        &mut planner,
+        CountPerKey::new,
+        &AppCostProfile::histo(),
+        &zipf,
+        "count/zipf2.0",
+    );
+
+    // mod-histogram (DP-like cost profile: bigger per-PE buffers).
+    let (hu_plan, hu_v) = plan_point(
+        &mut planner,
+        |_m| ModHistogram::new(1 << 12),
+        &AppCostProfile::dp(),
+        &uniform,
+        "histo/uniform",
+    );
+    let (hz_plan, hz_v) = plan_point(
+        &mut planner,
+        |_m| ModHistogram::new(1 << 12),
+        &AppCostProfile::dp(),
+        &zipf,
+        "histo/zipf2.0",
+    );
+
+    // ±25 % prediction tolerance on every point.
+    for (label, v) in [
+        ("count/uniform", &cu_v),
+        ("count/zipf2.0", &cz_v),
+        ("histo/uniform", &hu_v),
+        ("histo/zipf2.0", &hz_v),
+    ] {
+        assert!(
+            v.within(0.25),
+            "{label}: prediction off by {:+.1}% (predicted {:.2}, simulated {:.2})",
+            v.rel_error * 100.0,
+            v.predicted_rate,
+            v.simulated_rate
+        );
+    }
+
+    // Uniform data must not pay SecPE area, and must beat the paper's
+    // default 16P+15S deployment on throughput per ALM.
+    for (label, plan) in [("count/uniform", &cu_plan), ("histo/uniform", &hu_plan)] {
+        assert_eq!(plan.chosen.shape.x_sec, 0, "{label}");
+        let dflt = paper_default(plan);
+        assert!(
+            plan.chosen.mtps_per_kalm > dflt.mtps_per_kalm,
+            "{label}: {:.3} MT/s/kALM must beat the paper default's {:.3}",
+            plan.chosen.mtps_per_kalm,
+            dflt.mtps_per_kalm
+        );
+        assert!(plan.chosen.mtps >= dflt.mtps * 0.99, "{label}");
+    }
+
+    // Skewed data must buy skew-handling capacity and beat the bare shape.
+    for (label, plan) in [("count/zipf2.0", &cz_plan), ("histo/zipf2.0", &hz_plan)] {
+        assert!(plan.chosen.shape.x_sec > 0, "{label}");
+    }
+
+    // The estimate cache carries across app × skew points: the second
+    // planning call of each profile re-prices nothing.
+    let memo = planner.memo_stats();
+    assert!(
+        memo.hits * 2 >= memo.lookups,
+        "repeated-fragment memoisation should serve half the lookups: {memo:?}"
+    );
+
+    // The machine-readable report round-trips the decision.
+    let json = cu_plan.to_json();
+    assert!(json.contains(&format!("\"{}\"", cu_plan.chosen.shape.label())));
+    assert!(json.contains("\"memo\""));
+}

@@ -30,8 +30,17 @@ const SHARD_REPLY_TIMEOUT: Duration = Duration::from_secs(120);
 pub struct ServeConfig {
     /// Number of pipeline shards (simulated FPGAs).
     pub shards: usize,
-    /// Per-shard architecture (every shard runs the same implementation).
+    /// Per-shard architecture (every shard runs the same implementation
+    /// unless [`ServeConfig::with_shard_archs`] installs per-shard
+    /// overrides).
     pub arch: ArchConfig,
+    /// Optional per-shard architecture overrides, e.g. from a
+    /// `ditto-plan` deployment plan run per shard's workload. All entries
+    /// must agree with `arch` on `m_pri` and `pe_entries` (the cross-shard
+    /// merge and failover paths require identical state shapes); tuning
+    /// knobs — `n_pre`, `x_sec`, queue depths, reschedule policy — may
+    /// differ freely.
+    pub shard_archs: Option<Vec<ArchConfig>>,
     /// Routing slots (migration granularity).
     pub slots: usize,
     /// Cycles a shard simulates between command polls — the completion
@@ -93,6 +102,7 @@ impl ServeConfig {
         ServeConfig {
             shards,
             arch,
+            shard_archs: None,
             slots: DEFAULT_SLOTS.max(shards),
             cycles_per_poll: 256,
             ingress_rate: 8.0,
@@ -157,6 +167,38 @@ impl ServeConfig {
     pub fn with_state_handoff(mut self, on: bool) -> Self {
         self.state_handoff = on;
         self
+    }
+
+    /// Installs per-shard architecture overrides (e.g. the chosen
+    /// `ArchConfig` of a per-shard `ditto-plan` deployment plan). Shard
+    /// `i` runs `archs[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `archs.len() != self.shards`, or if any entry differs
+    /// from the base `arch` in `m_pri` or `pe_entries` — the cross-shard
+    /// merge folds PriPE `j`'s state across shards, so state shapes must
+    /// match even when throughput knobs differ.
+    pub fn with_shard_archs(mut self, archs: Vec<ArchConfig>) -> Self {
+        assert_eq!(archs.len(), self.shards, "need one ArchConfig per shard");
+        for (id, a) in archs.iter().enumerate() {
+            assert_eq!(
+                (a.m_pri, a.pe_entries),
+                (self.arch.m_pri, self.arch.pe_entries),
+                "shard {id}: per-shard archs must keep m_pri/pe_entries uniform"
+            );
+        }
+        self.shard_archs = Some(archs);
+        self
+    }
+
+    /// The architecture shard `shard` runs: its override when
+    /// [`ServeConfig::with_shard_archs`] installed one, the shared base
+    /// `arch` otherwise.
+    pub fn arch_for(&self, shard: usize) -> &ArchConfig {
+        self.shard_archs
+            .as_ref()
+            .map_or(&self.arch, |archs| &archs[shard])
     }
 
     /// Installs a deterministic shard-kill fault.
@@ -312,7 +354,7 @@ impl<A: DittoApp + Clone + 'static> Cluster<A> {
                 spawn_shard(
                     id,
                     app.clone(),
-                    &config.arch,
+                    config.arch_for(id),
                     config.ingress_rate,
                     config.cycles_per_poll,
                     config.journal_capacity,
@@ -1429,6 +1471,46 @@ mod tests {
         assert_eq!(outcome.snapshot.tuples_shed, 123);
         assert_eq!(outcome.snapshot.queue_depth, 0);
         assert!(outcome.snapshot.queue_depth_peak >= 500);
+    }
+
+    #[test]
+    fn per_shard_archs_serve_and_export_plan_gauges() {
+        // Shard 1 provisions skew-handling capacity, shard 0 stays bare —
+        // e.g. a planner priced each shard's workload separately. State
+        // shapes (m_pri, pe_entries) stay uniform so the merge is exact.
+        let config = ServeConfig::new(2, ArchConfig::new(2, 4, 0))
+            .with_shard_archs(vec![ArchConfig::new(2, 4, 0), ArchConfig::new(2, 4, 2)]);
+        assert_eq!(config.arch_for(0).x_sec, 0);
+        assert_eq!(config.arch_for(1).x_sec, 2);
+
+        let data: Vec<Tuple> = (0..2_000u64).map(|i| Tuple::from_key(i % 97)).collect();
+        let mut cluster = Cluster::new(CountPerKey::new(4), &config);
+        cluster.submit(data.clone());
+        cluster.drain();
+        let metrics = cluster.metrics();
+        assert!(
+            metrics.get("ditto_plan_phase", &[("shard", "0")]).is_some(),
+            "shard metrics must export the plan phase gauge"
+        );
+        assert!(metrics
+            .get("ditto_plan_active_pes", &[("shard", "1")])
+            .is_some());
+        let hetero = cluster.finish();
+
+        let mut uniform = Cluster::new(
+            CountPerKey::new(4),
+            &ServeConfig::new(2, ArchConfig::new(2, 4, 0)),
+        );
+        uniform.submit(data);
+        let base = uniform.finish();
+        assert_eq!(hetero.output, base.output);
+    }
+
+    #[test]
+    #[should_panic(expected = "m_pri/pe_entries uniform")]
+    fn per_shard_archs_reject_mismatched_state_shapes() {
+        let _ = ServeConfig::new(2, ArchConfig::new(2, 4, 0))
+            .with_shard_archs(vec![ArchConfig::new(2, 4, 0), ArchConfig::new(2, 8, 0)]);
     }
 
     /// An app that detonates inside the shard engine on a magic key.

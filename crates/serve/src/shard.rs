@@ -363,6 +363,10 @@ impl<A: DittoApp + 'static> ShardWorker<A> {
         reg.set_gauge(pending, self.pending.len() as u64);
         reg.set_counter(recorded, self.journal.recorded());
         reg.set_counter(evicted, self.journal.evicted());
+        let phase = reg.gauge("ditto_plan_phase", "plan", "phase");
+        let active = reg.gauge("ditto_plan_active_pes", "plan", "pes");
+        reg.set_gauge(phase, s.phase);
+        reg.set_gauge(active, u64::from(s.phase_active_pes));
         self.pipeline.engine().publish_metrics(&mut reg);
         reg.snapshot()
     }

@@ -82,8 +82,19 @@ fn render(
     let mut now = HashMap::new();
     println!("── tick {tick} ──────────────────────────────────────────────");
     println!(
-        "{:>5} {:>5} {:>12} {:>10} {:>7} {:>5} {:>5} {:>9} {:>9} {:>9}",
-        "app", "shard", "tuples", "qps", "depth", "repl", "lag", "p50cyc", "p99cyc", "p999cyc"
+        "{:>5} {:>5} {:>12} {:>10} {:>7} {:>6} {:>4} {:>5} {:>5} {:>9} {:>9} {:>9}",
+        "app",
+        "shard",
+        "tuples",
+        "qps",
+        "depth",
+        "phase",
+        "pes",
+        "repl",
+        "lag",
+        "p50cyc",
+        "p99cyc",
+        "p999cyc"
     );
     for app in [app_id::HISTO, app_id::HLL] {
         let lat = latency(snap, app);
@@ -99,6 +110,10 @@ fn render(
                 .get(&(app, shard))
                 .map_or(0.0, |&p| (total - p) as f64 / dt);
             let depth = gauge(snap, "ditto_serve_queue_depth", app, shard);
+            // The plan plane: which execution phase the shard's engine is
+            // in and how many PEs its current plan keeps active.
+            let phase = gauge(snap, "ditto_plan_phase", app, shard);
+            let pes = gauge(snap, "ditto_plan_active_pes", app, shard);
             let repl = replicas.map_or("-".into(), |r| r.to_string());
             let lag = if replicas.is_some() {
                 gauge(snap, "ditto_ha_replication_lag", app, shard).to_string()
@@ -107,8 +122,8 @@ fn render(
             };
             let (p50, p99, p999) = lat.as_ref().map_or((0, 0, 0), |s| (s.p50, s.p99, s.p999));
             println!(
-                "{:>5} {:>5} {:>12} {:>10.0} {:>7} {:>5} {:>5} {:>9} {:>9} {:>9}",
-                app, shard, total, qps, depth, repl, lag, p50, p99, p999
+                "{:>5} {:>5} {:>12} {:>10.0} {:>7} {:>6} {:>4} {:>5} {:>5} {:>9} {:>9} {:>9}",
+                app, shard, total, qps, depth, phase, pes, repl, lag, p50, p99, p999
             );
             now.insert((app, shard), total);
         }

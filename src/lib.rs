@@ -27,6 +27,10 @@
 //! * [`obs`] (`ditto-obs`) — cross-layer observability: the metrics
 //!   registry, bucketed latency histograms, the batch-span tracing journal
 //!   and the Prometheus/binary exposition codecs;
+//! * [`plan`] (`ditto-plan`) — the two-pass deployment planner: replays a
+//!   counts-tracing profile (`ditto_core::profile_counts`) against the
+//!   resource model to pick a deployable `ArchConfig` under a utilisation
+//!   budget;
 //! * [`sketches`], [`graph`], [`datagen`], [`fpga_model`] — algorithmic,
 //!   graph, dataset and resource-model substrates.
 //!
@@ -66,6 +70,7 @@ pub use ditto_framework as framework;
 pub use ditto_graph as graph;
 pub use ditto_ha as ha;
 pub use ditto_obs as obs;
+pub use ditto_plan as plan;
 pub use ditto_serve as serve;
 pub use ditto_wire as wire;
 pub use fpga_model;
@@ -83,7 +88,7 @@ pub mod prelude {
     };
     pub use ditto_core::{
         ArchConfig, DittoApp, ExecutionReport, MergeableOutput, PersistentPipeline, Routed,
-        RunOutcome, SchedulingPlan, SkewObliviousPipeline, StatSnapshot,
+        RunOutcome, SchedulingPlan, SkewObliviousPipeline, SliceOptions, StatSnapshot,
     };
     pub use ditto_framework::{
         select_implementation, Implementation, Platform, SkewAnalyzer, SystemGenerator,
@@ -91,9 +96,10 @@ pub mod prelude {
     pub use ditto_graph::{generate, pagerank, Csr};
     pub use ditto_ha::{BatchLog, HaCluster, Promotion, RecoverySource};
     pub use ditto_obs::{
-        chrome_trace_json, LatencyStats, LogHistogram, MetricsRegistry, MetricsSnapshot, SpanEvent,
-        SpanJournal, SpanStage,
+        chrome_trace_json, CountsTrace, LatencyStats, LogHistogram, MetricsRegistry,
+        MetricsSnapshot, SpanEvent, SpanJournal, SpanStage,
     };
+    pub use ditto_plan::{validate, DeploymentPlan, Planner, PlannerOptions, WorkloadModel};
     pub use ditto_serve::{
         split_into_batches, AdmissionSnapshot, BalancerConfig, Cluster, ClusterSnapshot,
         ServeConfig,
